@@ -1,0 +1,73 @@
+// Real-execution collective benchmarks over the thread backend: measures
+// this host's shared-memory runtime (useful as a sanity floor and as a
+// demonstration that the same code path the simulator times also runs
+// for real).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace {
+
+using hpcx::xmpi::Comm;
+
+void run_collective(benchmark::State& state, int ranks,
+                    const std::function<void(Comm&, std::vector<double>&,
+                                             std::vector<double>&)>& op,
+                    std::size_t count) {
+  for (auto _ : state) {
+    hpcx::xmpi::run_on_threads(ranks, [&](Comm& c) {
+      std::vector<double> send(count, static_cast<double>(c.rank()));
+      std::vector<double> recv(count *
+                               static_cast<std::size_t>(c.size()));
+      for (int i = 0; i < 4; ++i) op(c, send, recv);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void BM_ThreadAllreduce(benchmark::State& state) {
+  run_collective(
+      state, static_cast<int>(state.range(0)),
+      [](Comm& c, std::vector<double>& s, std::vector<double>& r) {
+        c.allreduce(hpcx::xmpi::cbuf(std::span<const double>(s)),
+                    hpcx::xmpi::mbuf(std::span<double>(r.data(), s.size())),
+                    hpcx::xmpi::ROp::kSum);
+      },
+      8192);
+}
+BENCHMARK(BM_ThreadAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ThreadAlltoall(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hpcx::xmpi::run_on_threads(ranks, [&](Comm& c) {
+      const std::size_t per = 4096;
+      std::vector<double> send(per * static_cast<std::size_t>(c.size()),
+                               1.0);
+      std::vector<double> recv(send.size());
+      for (int i = 0; i < 4; ++i)
+        c.alltoall(hpcx::xmpi::cbuf(std::span<const double>(send)),
+                   hpcx::xmpi::mbuf(std::span<double>(recv)));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ThreadAlltoall)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ThreadBarrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hpcx::xmpi::run_on_threads(ranks, [](Comm& c) {
+      for (int i = 0; i < 16; ++i) c.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ThreadBarrier)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

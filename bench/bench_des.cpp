@@ -1,0 +1,52 @@
+// Engine micro-benchmarks: event throughput, fiber switch cost, and
+// simulated-message throughput — the quantities that bound how large a
+// machine the simulator can sweep.
+#include <benchmark/benchmark.h>
+
+#include "des/event_queue.hpp"
+#include "des/fiber.hpp"
+#include "des/simulator.hpp"
+#include "machine/registry.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hpcx::des::EventQueue q;
+    for (int i = 0; i < n; ++i)
+      q.push(static_cast<double>((i * 2654435761u) % 1000), [] {});
+    while (!q.empty()) q.pop(nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  hpcx::des::Fiber fiber([] {
+    for (;;) hpcx::des::Fiber::yield();
+  });
+  for (auto _ : state) fiber.resume();
+  state.SetItemsProcessed(state.iterations() * 2);  // two switches/resume
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SimulatedAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto machine = hpcx::mach::dell_xeon();
+  for (auto _ : state) {
+    const auto r = hpcx::xmpi::run_on_machine(machine, ranks, [](auto& c) {
+      c.allreduce(hpcx::xmpi::phantom_cbuf(131072, hpcx::xmpi::DType::kF64),
+                  hpcx::xmpi::phantom_mbuf(131072, hpcx::xmpi::DType::kF64),
+                  hpcx::xmpi::ROp::kSum);
+    });
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_SimulatedAllreduce)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Host micro-benchmarks of the HPCC kernels (google-benchmark): STREAM,
+// DGEMM, FFT, RandomAccess, serial HPL. These measure this machine, not
+// the paper systems — they validate that the kernels behave like the
+// algorithms they implement (O(n^3) DGEMM, O(n log n) FFT, ...).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hpcc/dgemm.hpp"
+#include "hpcc/fft.hpp"
+#include "hpcc/hpl.hpp"
+#include "hpcc/random_access.hpp"
+#include "hpcc/stream.hpp"
+
+namespace {
+
+void BM_StreamTriad(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 3.0 * c[i];
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(24 * n));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Dgemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  hpcx::Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.next_double();
+  for (auto& x : b) x = rng.next_double();
+  for (auto _ : state) {
+    hpcx::hpcc::dgemm(a.data(), n, b.data(), n, c.data(), n, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  hpcx::Rng rng(2);
+  std::vector<hpcx::hpcc::Complex> x(n);
+  for (auto& v : x)
+    v = hpcx::hpcc::Complex(rng.next_double(), rng.next_double());
+  for (auto _ : state) {
+    std::vector<hpcx::hpcc::Complex> work = x;
+    hpcx::hpcc::fft(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      hpcx::hpcc::fft_flop_count(static_cast<double>(n)) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(3 * 3 * 5 * 1024);
+
+void BM_RandomAccessUpdates(benchmark::State& state) {
+  const int log2_size = static_cast<int>(state.range(0));
+  const std::uint64_t size = 1ULL << log2_size;
+  const std::uint64_t mask = size - 1;
+  std::vector<std::uint64_t> table(size);
+  for (std::uint64_t i = 0; i < size; ++i) table[i] = i;
+  hpcx::HpccRandom rng(0);
+  for (auto _ : state) {
+    for (int u = 0; u < 4096; ++u) {
+      const std::uint64_t a = rng.next();
+      table[a & mask] ^= a;
+    }
+    benchmark::ClobberMemory();
+  }
+  state.counters["updates"] = benchmark::Counter(
+      4096.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RandomAccessUpdates)->Arg(12)->Arg(18)->Arg(22);
+
+void BM_HplSerial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = hpcx::hpcc::run_hpl_serial(n, 32);
+    if (!r.passed) state.SkipWithError("HPL residual check failed");
+    benchmark::DoNotOptimize(r.gflops);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      hpcx::hpcc::hpl_flop_count(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HplSerial)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

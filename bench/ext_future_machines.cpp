@@ -1,0 +1,63 @@
+// Extension: the five additional architectures the paper's conclusion
+// promised to evaluate ("Linux clusters with different networks, IBM
+// Blue Gene/P, Cray XT4, Cray X1E and a cluster of IBM POWER5+"),
+// run through the same IMB 1 MB battery and the HPCC balance metrics.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/future.hpp"
+#include "report/series.hpp"
+
+int main() {
+  using namespace hpcx;
+  constexpr int kCpus = 128;
+
+  // IMB 1 MB battery.
+  Table imb_table("Future systems: IMB at 1 MB, " + std::to_string(kCpus) +
+                  " CPUs");
+  std::vector<std::string> header{"Benchmark"};
+  const auto machines = mach::future_machines();
+  for (const auto& m : machines) header.push_back(m.name);
+  imb_table.set_header(std::move(header));
+  for (const auto id :
+       {imb::BenchmarkId::kBarrier, imb::BenchmarkId::kAllreduce,
+        imb::BenchmarkId::kAlltoall, imb::BenchmarkId::kBcast,
+        imb::BenchmarkId::kSendrecv}) {
+    std::vector<std::string> row{imb::to_string(id)};
+    for (const auto& m : machines) {
+      const int cpus = std::min(kCpus, m.max_cpus);
+      const auto r = report::measure_imb(
+          m, cpus, id, id == imb::BenchmarkId::kBarrier ? 0 : (1 << 20));
+      if (id == imb::BenchmarkId::kSendrecv)
+        row.push_back(format_bandwidth(r.bandwidth_Bps));
+      else
+        row.push_back(format_fixed(r.t_avg_s * 1e6, 1) + " us");
+    }
+    imb_table.add_row(std::move(row));
+  }
+  imb_table.print(std::cout);
+
+  // HPCC balance view (the paper's Figs 2/4 analysis on the new set).
+  Table bal("Future systems: HPCC balance at " + std::to_string(kCpus) +
+            " CPUs");
+  bal.set_header({"Machine", "G-HPL (Tflop/s)", "RingBW/HPL (B/kFlop)",
+                  "Stream/HPL (B/F)"});
+  for (const auto& m : machines) {
+    const int cpus = std::min(kCpus, m.max_cpus);
+    hpcc::HpccParts parts;
+    parts.ptrans = parts.random_access = parts.fft = false;
+    const auto r = hpcc::run_hpcc_sim(m, cpus, {}, parts);
+    bal.add_row({m.name, format_fixed(r.g_hpl_flops / 1e12, 4),
+                 format_fixed(r.ring_bw_Bps * cpus / r.g_hpl_flops * 1e3, 1),
+                 format_fixed(r.ep_stream_copy_Bps * cpus / r.g_hpl_flops,
+                              2)});
+  }
+  bal.add_note("torus machines (BG/P, XT4) trade bisection for cost and "
+               "scale; the GigE cluster anchors the low end — the same "
+               "balance story the paper tells for the 2006 set");
+  bal.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates the paper's Figs 1-2: accumulated random-ring bandwidth
+// and its B/kFlop ratio over the HPL sweep of each machine (including
+// the Altix NUMALINK3 variant and the beyond-one-box decline).
+#include <iostream>
+
+#include "report/hpcc_figures.hpp"
+
+int main() {
+  hpcx::report::print_fig01_02_ring_vs_hpl(std::cout);
+  return 0;
+}

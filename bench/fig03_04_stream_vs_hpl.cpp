@@ -1,0 +1,10 @@
+// Regenerates the paper's Figs 3-4: accumulated EP-STREAM copy and the
+// Byte/Flop balance over the HPL sweep of each machine.
+#include <iostream>
+
+#include "report/hpcc_figures.hpp"
+
+int main() {
+  hpcx::report::print_fig03_04_stream_vs_hpl(std::cout);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates the paper's Fig 5 (all HPCC benchmarks normalised by HPL
+// and by column maximum) and Table 3 (the absolute ratio maxima).
+#include <iostream>
+
+#include "report/hpcc_figures.hpp"
+
+int main() {
+  hpcx::report::print_fig05_table3(std::cout);
+  return 0;
+}

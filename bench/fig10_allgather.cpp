@@ -1,0 +1,10 @@
+// Regenerates the paper's allgather figure series on the simulated
+// machines. See DESIGN.md for the experiment index.
+#include <iostream>
+
+#include "report/figures.hpp"
+
+int main() {
+  hpcx::report::print_fig10_allgather(std::cout);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates the paper's allgatherv figure series on the simulated
+// machines. See DESIGN.md for the experiment index.
+#include <iostream>
+
+#include "report/figures.hpp"
+
+int main() {
+  hpcx::report::print_fig11_allgatherv(std::cout);
+  return 0;
+}

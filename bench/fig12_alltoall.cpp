@@ -1,0 +1,10 @@
+// Regenerates the paper's alltoall figure series on the simulated
+// machines. See DESIGN.md for the experiment index.
+#include <iostream>
+
+#include "report/figures.hpp"
+
+int main() {
+  hpcx::report::print_fig12_alltoall(std::cout);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Prints the paper's Tables 1-2: the published architecture parameters
+// and the five-system characteristics as modelled by the registry.
+#include <iostream>
+
+#include "report/figures.hpp"
+
+int main() {
+  hpcx::report::print_table1_altix(std::cout);
+  hpcx::report::print_table2_systems(std::cout);
+  return 0;
+}

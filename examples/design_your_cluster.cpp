@@ -1,0 +1,107 @@
+// Design-your-own-cluster: the library as a *procurement* tool.
+//
+// The paper's goal is "to identify strength and weakness of the
+// underlying hardware and interconnect networks for particular
+// operations". This example turns that around: define a hypothetical
+// 2006-era commodity cluster, then ask which interconnect budget choice
+// — a cheap oversubscribed Clos or an expensive full-bisection fat tree
+// — matters for which workload class, using the same HPCC/IMB machinery
+// that reproduces the paper.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/machine.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace {
+
+hpcx::mach::MachineConfig base_cluster() {
+  hpcx::mach::MachineConfig m;
+  m.name = "my-cluster";
+  m.short_name = "custom";
+  m.network_name = "custom";
+  m.location = "here";
+  m.vendor = "DIY";
+  m.proc.name = "commodity x86";
+  m.proc.clock_hz = 2.4e9;
+  m.proc.flops_per_cycle = 2.0;
+  m.proc.dgemm_efficiency = 0.85;
+  m.proc.hpl_kernel_efficiency = 0.70;
+  m.proc.fft_efficiency = 0.06;
+  m.proc.stream_copy_Bps = 3.5e9;
+  m.proc.random_update_rate = 10e6;
+  m.mem.single_cpu_Bps = 3.5e9;
+  m.mem.node_aggregate_Bps = 5.0e9;
+  m.cpus_per_node = 2;
+  m.max_cpus = 256;
+  m.nic.send_overhead_s = 3e-6;
+  m.nic.recv_overhead_s = 3e-6;
+  m.nic.injection_Bps = 0.9e9;
+  m.node.intranode_Bps = 1.2e9;
+  m.node.intranode_latency_s = 0.7e-6;
+  m.node.node_mem_Bps = 5.0e9;
+  m.host_link = {1.0e9, 0.3e-6};
+  m.fabric_link = {1.0e9, 0.3e-6};
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpcx;
+
+  auto cheap = base_cluster();
+  cheap.name = "cheap (Clos 4:1)";
+  cheap.topology = mach::TopologyKind::kClos;
+  cheap.clos_hosts_per_leaf = 16;
+  cheap.clos_spines = 4;
+
+  auto premium = base_cluster();
+  premium.name = "premium (fat tree 1:1)";
+  premium.topology = mach::TopologyKind::kFatTree;
+  premium.core_taper = 1.0;
+
+  constexpr int kCpus = 128;
+  Table t("Interconnect budget study: same nodes, two fabrics, 128 CPUs");
+  t.set_header({"Metric", "cheap (Clos 4:1)", "premium (fat tree 1:1)",
+                "premium gain"});
+
+  std::vector<std::vector<double>> cells;
+  for (const auto* m : {&cheap, &premium}) {
+    hpcc::HpccConfig cfg;
+    cfg.ra_log2 = 20;  // keep the example quick
+    const hpcc::HpccReport r = hpcc::run_hpcc_sim(*m, kCpus, cfg);
+    double alltoall_us = 0;
+    xmpi::run_on_machine(*m, kCpus, [&](xmpi::Comm& c) {
+      imb::ImbParams p;
+      p.msg_bytes = 1 << 20;
+      p.phantom = true;
+      const auto res = imb::run_benchmark(imb::BenchmarkId::kAlltoall, c, p);
+      if (c.rank() == 0) alltoall_us = res.t_avg_s * 1e6;
+    });
+    cells.push_back({r.g_hpl_flops / 1e9, r.g_fft_flops / 1e9,
+                     r.g_ptrans_Bps / 1e9, r.ring_bw_Bps / 1e6,
+                     alltoall_us / 1e3, r.ep_stream_copy_Bps / 1e9});
+  }
+
+  const char* metric_names[] = {"G-HPL (Gflop/s)",     "G-FFT (Gflop/s)",
+                                "G-PTRANS (GB/s)",     "RandomRing (MB/s/cpu)",
+                                "Alltoall 1MB (ms)",   "EP-STREAM (GB/s/cpu)"};
+  const bool smaller_better[] = {false, false, false, false, true, false};
+  for (std::size_t i = 0; i < std::size(metric_names); ++i) {
+    const double a = cells[0][i], b = cells[1][i];
+    const double gain = smaller_better[i] ? a / b : b / a;
+    t.add_row({metric_names[i], format_fixed(a, 1), format_fixed(b, 1),
+               format_fixed(gain, 2) + "x"});
+  }
+  t.add_note("bisection-bound work (FFT/PTRANS/Alltoall/random-ring) pays "
+             "for the premium fabric; HPL and EP- kernels barely notice — "
+             "the paper's central observation, applied to a design choice");
+  t.print(std::cout);
+  return 0;
+}

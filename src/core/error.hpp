@@ -1,0 +1,65 @@
+// Error handling for hpcx.
+//
+// The library uses exceptions for recoverable errors (bad user input,
+// inconsistent configuration) and HPCX_ASSERT for internal invariants.
+// Following the C++ Core Guidelines (E.2, I.10), errors a caller can react
+// to are thrown as typed exceptions derived from hpcx::Error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpcx {
+
+/// Base class of all exceptions thrown by the hpcx library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration (machine, topology, benchmark parameters)
+/// is internally inconsistent or out of the supported range.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on misuse of the message-passing API (mismatched message sizes,
+/// invalid ranks, payload/phantom mixing).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HPCX_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hpcx
+
+/// Internal invariant check. Always on: the cost is negligible relative to
+/// what this library does, and a silently-corrupt simulation is worthless.
+#define HPCX_ASSERT(expr)                                             \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::hpcx::detail::assert_fail(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define HPCX_ASSERT_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::hpcx::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// Validate user-supplied configuration; throws ConfigError.
+#define HPCX_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) throw ::hpcx::ConfigError(msg);                      \
+  } while (0)

@@ -1,0 +1,84 @@
+#include "core/rng.hpp"
+
+#include "core/error.hpp"
+
+namespace hpcx {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  HPCX_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t HpccRandom::starts(std::int64_t n) {
+  // Official HPCC_starts: computes the n-th element of the sequence in
+  // O(log n) by repeated squaring of the "multiply by x" matrix over GF(2).
+  while (n < 0) n += static_cast<std::int64_t>(kPeriod);
+  while (n > static_cast<std::int64_t>(kPeriod))
+    n -= static_cast<std::int64_t>(kPeriod);
+  if (n == 0) return 1;
+
+  std::uint64_t m2[64];
+  std::uint64_t temp = 1;
+  for (int i = 0; i < 64; ++i) {
+    m2[i] = temp;
+    temp = (temp << 1) ^ ((static_cast<std::int64_t>(temp) < 0) ? kPoly : 0);
+    temp = (temp << 1) ^ ((static_cast<std::int64_t>(temp) < 0) ? kPoly : 0);
+  }
+
+  int i = 62;
+  while (i >= 0 && !((n >> i) & 1)) --i;
+
+  std::uint64_t ran = 2;
+  while (i > 0) {
+    temp = 0;
+    for (int j = 0; j < 64; ++j)
+      if ((ran >> j) & 1) temp ^= m2[j];
+    ran = temp;
+    --i;
+    if ((n >> i) & 1)
+      ran = (ran << 1) ^ ((static_cast<std::int64_t>(ran) < 0) ? kPoly : 0);
+  }
+  return ran;
+}
+
+}  // namespace hpcx

@@ -1,0 +1,89 @@
+// Random number generation used across the library.
+//
+// Two generators are provided:
+//  * SplitMix64 / Xoshiro256** — general-purpose deterministic RNG for
+//    workload generation, random-ring permutations, and network routing
+//    hash decisions. Deterministic across platforms (no <random> engines,
+//    whose distributions are implementation-defined).
+//  * HpccRandom — the official HPC Challenge RandomAccess sequence
+//    a(k+1) = a(k) * 2 mod P(x) over GF(2), with the standard primitive
+//    polynomial, plus the O(log k) jump-ahead used to start each process
+//    at its own position in the global update stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcx {
+
+/// SplitMix64: tiny, fast seeding generator (public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse RNG (public-domain algorithm by
+/// Blackman & Vigna). Deterministic, 2^256-1 period, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x53414948'50434358ULL);  // "SAIH PCCX"
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fisher–Yates shuffle of v (deterministic given the RNG state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// The official HPCC RandomAccess pseudo-random sequence over GF(2)[x] /
+/// (x^64 + x^63 + x^62 + x^60 + 1)  — constant POLY = 0x0000000000000007
+/// in the shifted representation used by the reference code: each step is
+///   a = (a << 1) ^ ((signed)a < 0 ? POLY : 0).
+class HpccRandom {
+ public:
+  static constexpr std::uint64_t kPoly = 0x0000000000000007ULL;
+  static constexpr std::uint64_t kPeriod = 1317624576693539401ULL;
+
+  /// Value of the sequence at position n (official HPCC_starts jump-ahead).
+  static std::uint64_t starts(std::int64_t n);
+
+  explicit HpccRandom(std::int64_t start_index = 0)
+      : value_(starts(start_index)) {}
+
+  std::uint64_t next() {
+    value_ = (value_ << 1) ^
+             ((static_cast<std::int64_t>(value_) < 0) ? kPoly : 0ULL);
+    return value_;
+  }
+
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_;
+};
+
+}  // namespace hpcx

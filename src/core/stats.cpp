@@ -1,0 +1,68 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpcx {
+
+void Stats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Stats::min() const {
+  HPCX_ASSERT(n_ > 0);
+  return min_;
+}
+
+double Stats::max() const {
+  HPCX_ASSERT(n_ > 0);
+  return max_;
+}
+
+double Stats::mean() const {
+  HPCX_ASSERT(n_ > 0);
+  return mean_;
+}
+
+double Stats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double percentile(std::vector<double> v, double p) {
+  HPCX_ASSERT(!v.empty());
+  HPCX_ASSERT(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  const auto n = v.size();
+  // Nearest-rank definition: smallest value with at least p% of data <= it.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return v[rank - 1];
+}
+
+double geomean(const std::vector<double>& v) {
+  HPCX_ASSERT(!v.empty());
+  double log_sum = 0.0;
+  for (double x : v) {
+    HPCX_ASSERT(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace hpcx

@@ -1,0 +1,34 @@
+// Streaming statistics accumulator (Welford) plus small helpers used by the
+// benchmark drivers to summarise repeated timings.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hpcx {
+
+/// Online min/max/mean/variance accumulator (Welford's algorithm).
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Exact percentile (nearest-rank) of a copy of `v`; p in [0,100].
+double percentile(std::vector<double> v, double p);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(const std::vector<double>& v);
+
+}  // namespace hpcx

@@ -1,0 +1,74 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace hpcx {
+
+void Table::set_header(std::vector<std::string> header) {
+  HPCX_REQUIRE(rows_.empty(), "Table::set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  HPCX_REQUIRE(row.size() == header_.size(),
+               "Table row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto hline = [&]() {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << r[c] << std::string(width[c] - r[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  hline();
+  print_row(header_);
+  hline();
+  for (const auto& r : rows_) print_row(r);
+  hline();
+  for (const auto& n : notes_) os << "  note: " << n << '\n';
+  os << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      const std::string& s = r[c];
+      if (s.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : s) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << s;
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace hpcx

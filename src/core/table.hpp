@@ -1,0 +1,47 @@
+// ASCII table / CSV emission used by every figure and table harness.
+//
+// The bench binaries print, for each paper table/figure, one Table whose
+// rows/columns mirror the paper's series (e.g. rows = CPU counts, columns
+// = machines). Cells are strings so callers control formatting via
+// core/units.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcx {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Free-form footnote printed under the table.
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Pretty-print with aligned columns and a box around the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace hpcx

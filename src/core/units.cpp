@@ -1,0 +1,68 @@
+#include "core/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hpcx {
+
+namespace {
+std::string printf_str(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return std::string(buf) + suffix;
+}
+}  // namespace
+
+std::string format_time(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a < 1e-9) return printf_str("%.3f", seconds * 1e12, " ps");
+  if (a < 1e-6) return printf_str("%.3f", seconds * 1e9, " ns");
+  if (a < 1e-3) return printf_str("%.3f", seconds * 1e6, " us");
+  if (a < 1.0) return printf_str("%.3f", seconds * 1e3, " ms");
+  return printf_str("%.3f", seconds, " s");
+}
+
+std::string format_bandwidth(double bps) {
+  if (bps < 1e3) return printf_str("%.2f", bps, " B/s");
+  if (bps < 1e6) return printf_str("%.2f", bps / 1e3, " KB/s");
+  if (bps < 1e9) return printf_str("%.2f", bps / 1e6, " MB/s");
+  return printf_str("%.2f", bps / 1e9, " GB/s");
+}
+
+std::string format_flops(double fps) {
+  if (fps < 1e6) return printf_str("%.2f", fps / 1e3, " Kflop/s");
+  if (fps < 1e9) return printf_str("%.2f", fps / 1e6, " Mflop/s");
+  if (fps < 1e12) return printf_str("%.2f", fps / 1e9, " Gflop/s");
+  return printf_str("%.2f", fps / 1e12, " Tflop/s");
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ULL << 30) && bytes % (1ULL << 30) == 0)
+    std::snprintf(buf, sizeof(buf), "%llu GB",
+                  static_cast<unsigned long long>(bytes >> 30));
+  else if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+    std::snprintf(buf, sizeof(buf), "%llu MB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  else if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0)
+    std::snprintf(buf, sizeof(buf), "%llu KB",
+                  static_cast<unsigned long long>(bytes >> 10));
+  else
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_sci(double value, int sig) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", sig - 1, value);
+  return buf;
+}
+
+}  // namespace hpcx

@@ -1,0 +1,36 @@
+// Unit formatting helpers. All internal quantities are SI base units:
+// seconds for time, bytes for sizes, flop/s for compute rates. These
+// helpers render them the way the paper's tables/figures do (µs/call,
+// MB/s, Gflop/s, GUP/s, Byte/Flop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpcx {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+constexpr double kMicro = 1e-6;
+
+/// "12.34 us", "1.23 ms", "4.56 s" — adaptive time formatting.
+std::string format_time(double seconds);
+
+/// "1.50 GB/s" etc. (decimal GB as in the paper).
+std::string format_bandwidth(double bytes_per_second);
+
+/// "6.40 Gflop/s" etc.
+std::string format_flops(double flops_per_second);
+
+/// "1 MB", "4 KB", "17 B" — IMB-style message size labels (binary units).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double without trailing noise, for table cells.
+std::string format_fixed(double value, int decimals);
+
+/// Scientific notation with given significant digits.
+std::string format_sci(double value, int sig);
+
+}  // namespace hpcx

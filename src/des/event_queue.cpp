@@ -1,0 +1,29 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpcx::des {
+
+void EventQueue::push(SimTime t, Callback cb) {
+  HPCX_ASSERT(cb != nullptr);
+  heap_.push_back(Entry{t, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+SimTime EventQueue::next_time() const {
+  HPCX_ASSERT(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Callback EventQueue::pop(SimTime* time_out) {
+  HPCX_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  if (time_out) *time_out = e.time;
+  return std::move(e.cb);
+}
+
+}  // namespace hpcx::des

@@ -1,0 +1,54 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap ordered by (time, sequence). The sequence number makes
+// event ordering total and deterministic: two events scheduled for the
+// same instant fire in the order they were scheduled, on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hpcx::des {
+
+/// Simulation time in seconds. A double gives sub-nanosecond resolution
+/// over the hours of simulated time these benchmarks span; determinism is
+/// unaffected because the simulator is single-threaded and ties are broken
+/// by sequence number.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t`.
+  void push(SimTime t, Callback cb);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Pop and return the earliest event's callback. Queue must be
+  /// non-empty. `time_out` (optional) receives the event time.
+  Callback pop(SimTime* time_out);
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hpcx::des

@@ -1,0 +1,91 @@
+#include "des/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+
+namespace hpcx::des {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  HPCX_ASSERT(body_ != nullptr);
+  const std::size_t ps = page_size();
+  stack_size_ = round_up(stack_bytes, ps) + ps;  // +1 guard page
+  stack_base_ = mmap(nullptr, stack_size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  HPCX_ASSERT_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end (stacks grow down on every ABI we target).
+  HPCX_ASSERT(mprotect(stack_base_, ps, PROT_NONE) == 0);
+
+  HPCX_ASSERT(getcontext(&context_) == 0);
+  context_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + ps;
+  context_.uc_stack.ss_size = stack_size_ - ps;
+  context_.uc_link = &return_context_;
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended fiber would leak whatever RAII state lives on
+  // its stack; the simulator never does this (it drains all processes),
+  // but a user might, so we simply release the stack. Destructors of
+  // objects on the fiber stack do NOT run in that case.
+  if (stack_base_ != nullptr) munmap(stack_base_, stack_size_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  HPCX_ASSERT(self != nullptr);
+  try {
+    self->body_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = State::kFinished;
+  // Returning lets ucontext resume uc_link (= return_context_).
+}
+
+void Fiber::resume() {
+  HPCX_ASSERT_MSG(g_current_fiber == nullptr,
+                  "nested Fiber::resume from inside a fiber");
+  HPCX_ASSERT_MSG(state_ == State::kReady || state_ == State::kSuspended,
+                  "resume of finished/running fiber");
+  g_current_fiber = this;
+  state_ = State::kRunning;
+  HPCX_ASSERT(swapcontext(&return_context_, &context_) == 0);
+  g_current_fiber = nullptr;
+  if (state_ == State::kRunning) state_ = State::kSuspended;
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  HPCX_ASSERT_MSG(self != nullptr, "Fiber::yield outside any fiber");
+  // Mark suspended *before* switching so resume() sees a consistent state.
+  self->state_ = State::kSuspended;
+  g_current_fiber = nullptr;
+  HPCX_ASSERT(swapcontext(&self->context_, &self->return_context_) == 0);
+  g_current_fiber = self;
+  self->state_ = State::kRunning;
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+}  // namespace hpcx::des

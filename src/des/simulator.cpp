@@ -1,0 +1,90 @@
+#include "des/simulator.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace hpcx::des {
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  HPCX_ASSERT_MSG(delay >= 0.0, "negative event delay");
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+ProcessId Simulator::spawn(std::function<void()> body,
+                           std::size_t stack_bytes) {
+  const ProcessId pid = static_cast<ProcessId>(processes_.size());
+  Process p;
+  p.fiber = std::make_unique<Fiber>(std::move(body), stack_bytes);
+  processes_.push_back(std::move(p));
+  ++live_processes_;
+  queue_.push(now_, [this, pid] { resume_process(pid); });
+  return pid;
+}
+
+void Simulator::resume_process(ProcessId pid) {
+  HPCX_ASSERT(pid < processes_.size());
+  Process& p = processes_[pid];
+  HPCX_ASSERT_MSG(!p.fiber->finished(), "resume of finished process");
+  p.blocked = false;
+  p.wake_pending = false;
+  const ProcessId prev = running_;
+  HPCX_ASSERT_MSG(prev == kNoProcess,
+                  "process resumed from inside another process");
+  running_ = pid;
+  p.fiber->resume();  // re-throws any exception from the process body
+  running_ = kNoProcess;
+  if (p.fiber->finished()) {
+    HPCX_ASSERT(live_processes_ > 0);
+    --live_processes_;
+  }
+}
+
+void Simulator::run() {
+  HPCX_ASSERT_MSG(!in_run_, "re-entrant Simulator::run");
+  in_run_ = true;
+  while (!queue_.empty()) {
+    SimTime t;
+    EventQueue::Callback cb = queue_.pop(&t);
+    HPCX_ASSERT_MSG(t >= now_, "time went backwards");
+    now_ = t;
+    cb();
+  }
+  in_run_ = false;
+  if (live_processes_ > 0) {
+    throw Error("simulation deadlock: " + std::to_string(live_processes_) +
+                " process(es) still blocked with no pending events");
+  }
+}
+
+void Simulator::sleep(SimTime duration) {
+  HPCX_ASSERT_MSG(duration >= 0.0, "negative sleep");
+  const ProcessId pid = current_process();
+  Process& p = processes_[pid];
+  p.blocked = true;
+  queue_.push(now_ + duration, [this, pid] { resume_process(pid); });
+  Fiber::yield();
+}
+
+void Simulator::block() {
+  const ProcessId pid = current_process();
+  processes_[pid].blocked = true;
+  Fiber::yield();
+}
+
+ProcessId Simulator::current_process() const {
+  HPCX_ASSERT_MSG(running_ != kNoProcess,
+                  "operation requires a process context");
+  return running_;
+}
+
+void Simulator::wake(ProcessId pid) {
+  HPCX_ASSERT(pid < processes_.size());
+  Process& p = processes_[pid];
+  HPCX_ASSERT_MSG(p.blocked, "wake of a process that is not blocked");
+  if (p.wake_pending) return;  // a resume is already queued
+  p.wake_pending = true;
+  queue_.push(now_, [this, pid] { resume_process(pid); });
+}
+
+}  // namespace hpcx::des

@@ -1,0 +1,88 @@
+// Deterministic single-threaded discrete-event simulator with fiber
+// processes.
+//
+// Two kinds of activity coexist:
+//  * plain events — callbacks scheduled at an absolute simulated time,
+//    executed in the scheduler context (used by the network model for
+//    message-delivery bookkeeping);
+//  * processes — fibers running ordinary blocking code under virtual
+//    time (used for simulated MPI ranks).
+//
+// A process blocks via sleep()/block(); other code unblocks it with
+// wake(). Wakes are delivered through the event queue, so *all* state
+// transitions are totally ordered by (time, schedule sequence): the
+// simulation is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/fiber.hpp"
+
+namespace hpcx::des {
+
+using ProcessId = std::uint32_t;
+constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Current simulated time, in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedule a plain event `delay` seconds from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Create a process; it starts when the simulation reaches the current
+  /// time's event horizon (i.e. it is scheduled like an event at now()).
+  ProcessId spawn(std::function<void()> body,
+                  std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Run until no events remain. Throws Error if processes are still
+  /// blocked when the event queue drains (deadlock), listing how many.
+  void run();
+
+  /// Number of spawned processes that have not yet finished.
+  std::size_t live_processes() const { return live_processes_; }
+
+  // --- Operations available *inside* a process fiber ---
+
+  /// Suspend the calling process for `duration` simulated seconds.
+  void sleep(SimTime duration);
+
+  /// Suspend the calling process until somebody calls wake() on it.
+  void block();
+
+  /// Id of the calling process (must be inside one).
+  ProcessId current_process() const;
+
+  // --- Operations available anywhere (events or other processes) ---
+
+  /// Make a blocked process runnable; it resumes at the current simulated
+  /// time, after already-pending events at this instant. Waking a process
+  /// that is not blocked is an error.
+  void wake(ProcessId pid);
+
+ private:
+  struct Process {
+    std::unique_ptr<Fiber> fiber;
+    bool blocked = false;   // waiting for wake()
+    bool wake_pending = false;
+  };
+
+  void resume_process(ProcessId pid);
+
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::vector<Process> processes_;
+  ProcessId running_ = kNoProcess;
+  std::size_t live_processes_ = 0;
+  bool in_run_ = false;
+};
+
+}  // namespace hpcx::des

@@ -1,0 +1,42 @@
+#include "des/sync.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpcx::des {
+
+void WaitQueue::wait() {
+  const ProcessId pid = sim_->current_process();
+  waiters_.push_back(pid);
+  sim_->block();
+}
+
+void WaitQueue::notify_one() {
+  if (waiters_.empty()) return;
+  const ProcessId pid = waiters_.front();
+  waiters_.pop_front();
+  sim_->wake(pid);
+}
+
+void WaitQueue::notify_all() {
+  while (!waiters_.empty()) notify_one();
+}
+
+void SimResource::acquire(SimTime hold) {
+  HPCX_ASSERT(hold >= 0.0);
+  const SimTime start = std::max(sim_->now(), next_free_);
+  const SimTime end = start + hold;
+  next_free_ = end;
+  sim_->sleep(end - sim_->now());
+}
+
+SimTime SimResource::reserve(SimTime earliest, SimTime hold) {
+  HPCX_ASSERT(hold >= 0.0);
+  const SimTime start = std::max(earliest, next_free_);
+  const SimTime end = start + hold;
+  next_free_ = end;
+  return end;
+}
+
+}  // namespace hpcx::des

@@ -1,0 +1,62 @@
+// Blocking synchronisation primitives for simulator processes.
+//
+// WaitQueue is the condition-variable analogue: processes wait() on it
+// (with the usual re-check-your-predicate discipline) and any context —
+// an event callback or another process — calls notify_one()/notify_all().
+//
+// SimResource models a capacity-1 resource with FIFO virtual-time
+// queueing (e.g. a NIC injection port): acquire() blocks the caller until
+// the resource's next-free time, then advances it by `hold` seconds.
+#pragma once
+
+#include <deque>
+
+#include "des/simulator.hpp"
+
+namespace hpcx::des {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator& sim) : sim_(&sim) {}
+
+  /// Block the calling process until notified. FIFO order.
+  void wait();
+
+  /// Wake the longest-waiting process, if any.
+  void notify_one();
+
+  /// Wake every waiting process.
+  void notify_all();
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<ProcessId> waiters_;
+};
+
+/// A serially-reusable resource under virtual time. Rather than queueing
+/// fibers, it tracks the time the resource next becomes free; an acquirer
+/// sleeps until that instant and then holds it for `hold` seconds. This
+/// is the standard fluid approximation for link/port serialisation.
+class SimResource {
+ public:
+  explicit SimResource(Simulator& sim) : sim_(&sim) {}
+
+  /// Block the calling process until the resource is free, then occupy it
+  /// for `hold` simulated seconds (the call returns after `hold` elapses).
+  void acquire(SimTime hold);
+
+  /// Non-blocking variant for event-context users: reserves the resource
+  /// for `hold` seconds starting no earlier than `earliest`, and returns
+  /// the reservation's [start, end) interval end.
+  SimTime reserve(SimTime earliest, SimTime hold);
+
+  SimTime next_free() const { return next_free_; }
+
+ private:
+  Simulator* sim_;
+  SimTime next_free_ = 0.0;
+};
+
+}  // namespace hpcx::des

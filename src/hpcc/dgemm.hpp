@@ -1,0 +1,25 @@
+// Dense double-precision matrix multiply — the EP-DGEMM component of
+// HPCC and the update kernel of HPL. Row-major storage with explicit
+// leading dimensions, BLAS-style semantics C := C + A*B.
+#pragma once
+
+#include <cstddef>
+
+namespace hpcx::hpcc {
+
+/// C (m x n, ldc) += A (m x k, lda) * B (k x n, ldb). Cache-blocked with
+/// an i-k-j inner ordering that streams B and C rows.
+void dgemm(const double* a, std::size_t lda, const double* b,
+           std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+           std::size_t n, std::size_t k);
+
+/// Textbook triple loop, for verification.
+void dgemm_naive(const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                 std::size_t n, std::size_t k);
+
+/// Timed square DGEMM: returns sustained flop/s for C += A*B with
+/// n x n matrices (2 n^3 flops), best of `repetitions`.
+double dgemm_flops(std::size_t n, int repetitions = 3);
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,220 @@
+#include "hpcc/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "hpcc/dgemm.hpp"
+#include "hpcc/fft.hpp"
+#include "hpcc/fft_dist.hpp"
+#include "hpcc/hpl_dist.hpp"
+#include "hpcc/ptrans.hpp"
+#include "hpcc/random_access.hpp"
+#include "hpcc/ring.hpp"
+#include "hpcc/stream.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::hpcc {
+
+namespace {
+
+bool smooth235(std::size_t n) { return fft_supported_size(n); }
+
+/// Smallest 2/3/5-smooth multiple of p that is >= floor (0 if p itself
+/// is not smooth — the FFT cannot divide its dimensions by such p).
+std::size_t smooth_multiple_of(std::size_t p, std::size_t floor_value) {
+  if (!smooth235(p)) return 0;
+  std::size_t m = p;
+  while (m < floor_value) m *= 2;
+  return m;
+}
+
+}  // namespace
+
+HpccConfig auto_config(int cpus) {
+  HPCX_REQUIRE(cpus >= 1, "need at least one CPU");
+  HpccConfig cfg;
+  const double sp = std::sqrt(static_cast<double>(cpus));
+  // HPL: problem grows with sqrt(P) (weak memory scaling); panel count is
+  // capped so simulated runs stay tractable.
+  cfg.hpl_n = static_cast<int>(4096 * sp);
+  cfg.hpl_nb = std::max(128, cfg.hpl_n / 384);
+  // PTRANS: row-block distribution needs P | n.
+  cfg.ptrans_n = cpus * std::max(64, 2048 / cpus);
+  // RandomAccess: table scaled so that, with the official 1024-update
+  // look-ahead, each rank performs ~16 bucket-exchange rounds — keeping
+  // the benchmark message-rate-bound (its real operating regime) while
+  // the event count stays tractable.
+  int log2p = 0;
+  while ((1 << log2p) < cpus) ++log2p;
+  cfg.ra_log2 = std::clamp(log2p + 12, 16, 26);
+  // FFT: square-ish six-step dims, each a smooth multiple of P; the
+  // global vector scales with the machine like the HPCC runs did.
+  cfg.fft_n1 = smooth_multiple_of(
+      static_cast<std::size_t>(cpus),
+      std::max<std::size_t>(4096, 32 * static_cast<std::size_t>(cpus)));
+  cfg.fft_n2 = cfg.fft_n1;
+  return cfg;
+}
+
+HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
+                        HpccConfig cfg, HpccParts parts) {
+  HPCX_REQUIRE(cpus >= 1, "need at least one CPU");
+  const HpccConfig def = auto_config(cpus);
+  if (cfg.hpl_n == 0) cfg.hpl_n = def.hpl_n;
+  if (cfg.hpl_nb == 0) cfg.hpl_nb = def.hpl_nb;
+  if (cfg.ptrans_n == 0) cfg.ptrans_n = def.ptrans_n;
+  if (cfg.ra_log2 == 0) cfg.ra_log2 = def.ra_log2;
+  if (cfg.fft_n1 == 0) cfg.fft_n1 = def.fft_n1;
+  if (cfg.fft_n2 == 0) cfg.fft_n2 = def.fft_n2;
+
+  HpccReport report;
+  report.cpus = cpus;
+
+  // EP- metrics come straight from the node model: every CPU of a fully
+  // populated node runs the kernel simultaneously.
+  report.ep_stream_copy_Bps = machine.stream_per_cpu_all_active();
+  report.ep_dgemm_flops =
+      machine.proc.peak_flops() * machine.proc.dgemm_efficiency;
+
+  const double peak = machine.proc.peak_flops();
+
+  // --- G-HPL ---
+  if (parts.hpl) {
+    HplDistConfig hc;
+    hc.n = cfg.hpl_n;
+    hc.nb = cfg.hpl_nb;
+    HplModel model;
+    model.update_seconds_per_flop =
+        1.0 / (peak * machine.proc.hpl_kernel_efficiency);
+    // Panels are latency/memory-bound getf2 work, far below DGEMM rate.
+    model.panel_seconds_per_flop =
+        model.update_seconds_per_flop / machine.proc.hpl_panel_fraction;
+    // One pivot max-exchange per eliminated column, log-depth down the
+    // grid column.
+    const auto [pr, pc] = hpl_grid(cpus);
+    (void)pc;
+    model.pivot_latency_s =
+        (pr > 1 ? std::ceil(std::log2(static_cast<double>(pr))) : 0.0) *
+        (machine.nic.send_overhead_s + machine.nic.recv_overhead_s +
+         2.0 * machine.fabric_link.latency_s);
+    double gflops = 0;
+    xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
+      const HplDistResult r = run_hpl_dist(c, hc, &model);
+      if (c.rank() == 0) gflops = r.gflops;
+    });
+    report.g_hpl_flops = gflops * 1e9;
+  }
+
+  // --- G-PTRANS ---
+  if (parts.ptrans) {
+    PtransModel model;
+    model.seconds_per_byte = 1.0 / machine.stream_per_cpu_all_active();
+    double bps = 0;
+    xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
+      const PtransResult r = run_ptrans(c, cfg.ptrans_n, &model);
+      if (c.rank() == 0) bps = r.bytes_per_s;
+    });
+    report.g_ptrans_Bps = bps;
+  }
+
+  // --- G-RandomAccess ---
+  if (parts.random_access) {
+    GupsModel model;
+    model.seconds_per_update = 1.0 / machine.proc.random_update_rate;
+    const int look_ahead = 1024;  // the official pipeline depth
+    double gups = 0;
+    xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
+      const GupsResult r =
+          run_random_access_dist(c, cfg.ra_log2, look_ahead, &model);
+      if (c.rank() == 0) gups = r.gups;
+    });
+    report.g_gups = gups * 1e9;  // stored as updates/s
+  }
+
+  // --- G-FFT (requires 2/3/5-smooth CPU counts; 0 otherwise) ---
+  if (parts.fft && cfg.fft_n1 != 0) {
+    FftModel model;
+    model.seconds_per_flop = 1.0 / (peak * machine.proc.fft_efficiency);
+    double fps = 0;
+    xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
+      const FftDistResult r = run_fft_dist(c, cfg.fft_n1, cfg.fft_n2, &model);
+      if (c.rank() == 0) fps = r.flops_per_s;
+    });
+    report.g_fft_flops = fps;
+  }
+
+  // --- Random-ring bandwidth and latency ---
+  if (parts.ring) {
+    double bw = 0, lat = 0;
+    xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
+      const RingResult r =
+          run_random_ring(c, cfg.ring_bytes, cfg.ring_iterations,
+                          cfg.ring_patterns, 0xB0EFF, /*phantom=*/true);
+      if (c.rank() == 0) {
+        bw = r.bandwidth_per_cpu_Bps;
+        lat = r.latency_s;
+      }
+    });
+    report.ring_bw_Bps = bw;
+    report.ring_latency_s = lat;
+  }
+
+  return report;
+}
+
+HpccReport run_hpcc_real(int nranks, HpccConfig cfg) {
+  HPCX_REQUIRE(nranks >= 1, "need at least one rank");
+  // Correctness-grade sizes.
+  if (cfg.hpl_n == 0) cfg.hpl_n = 96;
+  if (cfg.hpl_nb == 0) cfg.hpl_nb = 16;
+  if (cfg.ptrans_n == 0) cfg.ptrans_n = nranks * 16;
+  if (cfg.ra_log2 == 0) cfg.ra_log2 = 12;
+  if (cfg.fft_n1 == 0)
+    cfg.fft_n1 = smooth_multiple_of(static_cast<std::size_t>(nranks), 32);
+  if (cfg.fft_n2 == 0) cfg.fft_n2 = cfg.fft_n1;
+  cfg.ring_bytes = std::min<std::size_t>(cfg.ring_bytes, 1 << 16);
+
+  HpccReport report;
+  report.cpus = nranks;
+
+  const StreamResult stream = run_stream(1 << 18, 2);
+  report.ep_stream_copy_Bps = stream.copy_Bps;
+  report.ep_dgemm_flops = dgemm_flops(128, 2);
+
+  xmpi::run_on_threads(nranks, [&](xmpi::Comm& c) {
+    HplDistConfig hc;
+    hc.n = cfg.hpl_n;
+    hc.nb = cfg.hpl_nb;
+    const HplDistResult hpl = run_hpl_dist(c, hc);
+    HPCX_ASSERT_MSG(hpl.passed, "real HPL verification failed");
+
+    const PtransResult pt = run_ptrans(c, cfg.ptrans_n);
+    HPCX_ASSERT_MSG(pt.passed, "real PTRANS verification failed");
+
+    const GupsResult ra = run_random_access_dist(c, cfg.ra_log2, 256);
+    HPCX_ASSERT_MSG(ra.passed, "real RandomAccess verification failed");
+
+    FftDistResult ft;
+    if (cfg.fft_n1 != 0) {
+      ft = run_fft_dist(c, cfg.fft_n1, cfg.fft_n2);
+      HPCX_ASSERT_MSG(ft.passed, "real G-FFT verification failed");
+    }
+
+    const RingResult ring =
+        run_random_ring(c, cfg.ring_bytes, cfg.ring_iterations,
+                        cfg.ring_patterns);
+    if (c.rank() == 0) {
+      report.g_hpl_flops = hpl.gflops * 1e9;
+      report.g_ptrans_Bps = pt.bytes_per_s;
+      report.g_gups = ra.gups * 1e9;
+      report.g_fft_flops = ft.flops_per_s;
+      report.ring_bw_Bps = ring.bandwidth_per_cpu_Bps;
+      report.ring_latency_s = ring.latency_s;
+    }
+  });
+  return report;
+}
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,68 @@
+// Full HPC Challenge suite driver.
+//
+// Two entry points:
+//  * run_hpcc_real — every benchmark executes for real on host threads
+//    (small problem sizes; correctness-grade, used by tests/examples);
+//  * run_hpcc_sim — the paper's operating point: the distributed
+//    benchmarks run their real communication schedules on the simulated
+//    machine with phantom payloads and modelled local compute, yielding
+//    the G- metrics for machines of hundreds to thousands of CPUs.
+//
+// The report carries the eight quantities the paper's ratio analysis
+// uses (Figs 1-5, Table 3).
+#pragma once
+
+#include <cstddef>
+
+#include "machine/machine.hpp"
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+struct HpccConfig {
+  // 0 = auto-scale from the CPU count (see driver.cpp).
+  int hpl_n = 0;
+  int hpl_nb = 0;
+  int ptrans_n = 0;
+  int ra_log2 = 0;           ///< log2 of the RandomAccess table size
+  std::size_t fft_n1 = 0;    ///< six-step FFT dims (n = n1 * n2)
+  std::size_t fft_n2 = 0;
+  std::size_t ring_bytes = 2'000'000;
+  int ring_iterations = 3;
+  int ring_patterns = 2;
+};
+
+struct HpccReport {
+  int cpus = 0;
+  double g_hpl_flops = 0;       ///< G-HPL, flop/s
+  double g_ptrans_Bps = 0;      ///< G-PTRANS, bytes/s
+  double g_gups = 0;            ///< G-RandomAccess, updates/s
+  double g_fft_flops = 0;       ///< G-FFT, flop/s
+  double ep_stream_copy_Bps = 0;  ///< per-process STREAM copy
+  double ep_dgemm_flops = 0;      ///< per-process DGEMM
+  double ring_bw_Bps = 0;         ///< random-ring bandwidth per process
+  double ring_latency_s = 0;      ///< random-ring latency
+};
+
+/// Which suite components to run (Figs 1-4 only need HPL + ring; the
+/// full set is the Fig 5 / Table 3 operating point).
+struct HpccParts {
+  bool hpl = true;
+  bool ptrans = true;
+  bool random_access = true;
+  bool fft = true;
+  bool ring = true;
+};
+
+/// Paper operating point: HPCC on `cpus` CPUs of the modelled machine.
+HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
+                        HpccConfig config = {}, HpccParts parts = {});
+
+/// Correctness-grade run on host threads (all benchmarks real).
+HpccReport run_hpcc_real(int nranks, HpccConfig config = {});
+
+/// The auto-scaled configuration run_hpcc_sim would use (exposed for
+/// tests and documentation).
+HpccConfig auto_config(int cpus);
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,123 @@
+#include "hpcc/fft.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hpcx::hpcc {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+int smallest_radix(std::size_t n) {
+  if (n % 2 == 0) return 2;
+  if (n % 3 == 0) return 3;
+  if (n % 5 == 0) return 5;
+  return 0;
+}
+
+/// out[0..n) = DFT of in[0], in[stride], ..., in[(n-1)*stride].
+/// sign = -1 forward, +1 inverse (no normalisation here).
+void fft_rec(const Complex* in, Complex* out, std::size_t n,
+             std::size_t stride, double sign) {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const int radix = smallest_radix(n);
+  HPCX_ASSERT_MSG(radix != 0, "size not supported (factors beyond 2/3/5)");
+  const std::size_t r = static_cast<std::size_t>(radix);
+  const std::size_t m = n / r;
+
+  // Decimation in time: r interleaved sub-transforms of length m.
+  for (std::size_t q = 0; q < r; ++q)
+    fft_rec(in + q * stride, out + q * m, m, stride * r, sign);
+
+  // Combine with twiddles; the r-point butterfly is an explicit small
+  // DFT (r <= 5), computed from a stack copy so the writes don't alias.
+  Complex t[5];
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t q = 0; q < r; ++q) {
+      const double angle = sign * kTau * static_cast<double>(q * j) /
+                           static_cast<double>(n);
+      t[q] = out[q * m + j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    for (std::size_t p = 0; p < r; ++p) {
+      Complex acc = t[0];
+      for (std::size_t q = 1; q < r; ++q) {
+        const double angle =
+            sign * kTau * static_cast<double>((p * q) % r) /
+            static_cast<double>(r);
+        acc += t[q] * Complex(std::cos(angle), std::sin(angle));
+      }
+      out[p * m + j] = acc;
+    }
+  }
+}
+
+void transform(std::vector<Complex>& x, double sign) {
+  const std::size_t n = x.size();
+  if (n <= 1) return;
+  HPCX_REQUIRE(fft_supported_size(n),
+               "FFT size must factor over {2, 3, 5}");
+  std::vector<Complex> out(n);
+  fft_rec(x.data(), out.data(), n, 1, sign);
+  x.swap(out);
+}
+
+}  // namespace
+
+bool fft_supported_size(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t f : {2u, 3u, 5u})
+    while (n % f == 0) n /= f;
+  return n == 1;
+}
+
+void fft(std::vector<Complex>& x) { transform(x, -1.0); }
+
+void ifft(std::vector<Complex>& x) {
+  transform(x, +1.0);
+  const double inv = 1.0 / static_cast<double>(x.size() == 0 ? 1 : x.size());
+  for (auto& v : x) v *= inv;
+}
+
+std::vector<Complex> dft_naive(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -kTau * static_cast<double>(j * k) /
+                           static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double fft_flops(std::size_t n, int repetitions) {
+  HPCX_REQUIRE(repetitions >= 1, "fft_flops needs >= 1 repetition");
+  std::vector<Complex> x(n);
+  Rng rng(777);
+  for (auto& v : x) v = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  double best = 1e30;
+  for (int r = 0; r < repetitions; ++r) {
+    std::vector<Complex> work = x;
+    const auto t0 = std::chrono::steady_clock::now();
+    fft(work);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, dt);
+  }
+  return fft_flop_count(static_cast<double>(n)) / best;
+}
+
+}  // namespace hpcx::hpcc

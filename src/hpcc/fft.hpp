@@ -1,0 +1,38 @@
+// Complex 1-D FFT, mixed radix 2/3/5 (the size family of Takahashi's
+// FFTE, which the HPCC G-FFT benchmark uses). Out-of-place recursive
+// Cooley-Tukey with in-place radix butterflies; O(n log n) for any
+// n = 2^a 3^b 5^c.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace hpcx::hpcc {
+
+using Complex = std::complex<double>;
+
+/// True iff n factors completely over {2, 3, 5} (n >= 1).
+bool fft_supported_size(std::size_t n);
+
+/// In-place forward DFT: x[k] = sum_j x[j] e^{-2 pi i j k / n}.
+void fft(std::vector<Complex>& x);
+
+/// In-place inverse DFT (normalised by 1/n): ifft(fft(x)) == x.
+void ifft(std::vector<Complex>& x);
+
+/// O(n^2) reference DFT for verification.
+std::vector<Complex> dft_naive(const std::vector<Complex>& x);
+
+/// The HPCC flop-count convention for a complex FFT of size n.
+inline double fft_flop_count(double n) {
+  if (n <= 1) return 0.0;
+  return 5.0 * n * std::log2(n);
+}
+
+/// Timed in-cache FFT: sustained flop/s by the HPCC convention, best of
+/// `repetitions` forward transforms.
+double fft_flops(std::size_t n, int repetitions = 3);
+
+}  // namespace hpcx::hpcc

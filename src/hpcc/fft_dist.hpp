@@ -1,0 +1,35 @@
+// G-FFT — distributed 1-D complex FFT by the six-step (Bailey /
+// Takahashi FFTE) decomposition: the length-n vector is viewed as an
+// n1 x n2 matrix; three distributed transposes bracket two rounds of
+// local row FFTs and a twiddle scaling. All global data motion is
+// alltoall — which is why the paper observes G-FFT tracking the
+// Alltoall/random-ring network metrics so closely.
+#pragma once
+
+#include <cstddef>
+
+#include "hpcc/fft.hpp"
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+struct FftModel {
+  double seconds_per_flop = 0;  ///< local FFT + twiddle work
+};
+
+struct FftDistResult {
+  double seconds = 0;
+  double flops_per_s = 0;  ///< fft_flop_count(n) / seconds (HPCC Gflop/s)
+  double max_error = 0;    ///< vs serial FFT (real mode, verify sizes)
+  bool passed = false;
+};
+
+/// Distributed FFT of length n = n1 * n2. Requirements: n1 and n2 are
+/// supported FFT sizes and both divisible by size(). The input is the
+/// deterministic pseudo-random HPCC vector (seeded); in real mode the
+/// result is verified against the serial FFT when n <= verify_limit.
+FftDistResult run_fft_dist(xmpi::Comm& comm, std::size_t n1, std::size_t n2,
+                           const FftModel* model = nullptr,
+                           std::size_t verify_limit = 1 << 14);
+
+}  // namespace hpcx::hpcc

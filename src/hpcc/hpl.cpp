@@ -1,0 +1,169 @@
+#include "hpcc/hpl.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "hpcc/dgemm.hpp"
+
+namespace hpcx::hpcc {
+
+namespace {
+
+/// Unblocked LU with partial pivoting on the panel A[k0..n) x [k0..k0+kb)
+/// with *full-row* interchanges across [0, lda) columns (LAPACK dgetf2 +
+/// dlaswp folded together for the panel's own columns).
+void panel_factor(double* a, int n, int lda, int k0, int kb,
+                  std::vector<int>& piv) {
+  for (int j = k0; j < k0 + kb; ++j) {
+    // Pivot search in column j, rows j..n.
+    int p = j;
+    double best = std::fabs(a[static_cast<std::size_t>(j) * lda + j]);
+    for (int i = j + 1; i < n; ++i) {
+      const double v = std::fabs(a[static_cast<std::size_t>(i) * lda + j]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv[static_cast<std::size_t>(j)] = p;
+    if (p != j) {
+      for (int c = 0; c < lda; ++c)
+        std::swap(a[static_cast<std::size_t>(j) * lda + c],
+                  a[static_cast<std::size_t>(p) * lda + c]);
+    }
+    const double diag = a[static_cast<std::size_t>(j) * lda + j];
+    HPCX_ASSERT_MSG(diag != 0.0, "singular matrix in HPL factorisation");
+    const double inv = 1.0 / diag;
+    for (int i = j + 1; i < n; ++i) {
+      const double lij = a[static_cast<std::size_t>(i) * lda + j] * inv;
+      a[static_cast<std::size_t>(i) * lda + j] = lij;
+      // Rank-1 update restricted to the panel's remaining columns.
+      for (int c = j + 1; c < k0 + kb; ++c)
+        a[static_cast<std::size_t>(i) * lda + c] -=
+            lij * a[static_cast<std::size_t>(j) * lda + c];
+    }
+  }
+}
+
+/// U12 := L11^{-1} U12 — unit-lower triangular solve with the panel's
+/// L11 block against the columns [c0, c1).
+void trsm_panel(double* a, int lda, int k0, int kb, int c0, int c1) {
+  for (int r = k0; r < k0 + kb; ++r)
+    for (int i = r + 1; i < k0 + kb; ++i) {
+      const double lir = a[static_cast<std::size_t>(i) * lda + r];
+      if (lir == 0.0) continue;
+      for (int c = c0; c < c1; ++c)
+        a[static_cast<std::size_t>(i) * lda + c] -=
+            lir * a[static_cast<std::size_t>(r) * lda + c];
+    }
+}
+
+}  // namespace
+
+void lu_factor(double* a, int n, int lda, int nb, std::vector<int>& piv) {
+  HPCX_REQUIRE(n >= 1 && lda >= n && nb >= 1, "bad lu_factor arguments");
+  piv.assign(static_cast<std::size_t>(n), 0);
+  std::vector<double> neg_l;  // reused negated L21 panel for the update
+  for (int k0 = 0; k0 < n; k0 += nb) {
+    const int kb = std::min(nb, n - k0);
+    panel_factor(a, n, lda, k0, kb, piv);
+    if (k0 + kb >= n) break;
+    trsm_panel(a, lda, k0, kb, k0 + kb, n);
+    // A22 -= L21 * U12 via dgemm on a negated copy of L21.
+    const int m2 = n - (k0 + kb);
+    const int n2 = n - (k0 + kb);
+    neg_l.assign(static_cast<std::size_t>(m2) * kb, 0.0);
+    for (int i = 0; i < m2; ++i)
+      for (int c = 0; c < kb; ++c)
+        neg_l[static_cast<std::size_t>(i) * kb + c] =
+            -a[static_cast<std::size_t>(k0 + kb + i) * lda + (k0 + c)];
+    dgemm(neg_l.data(), static_cast<std::size_t>(kb),
+          &a[static_cast<std::size_t>(k0) * lda + (k0 + kb)],
+          static_cast<std::size_t>(lda),
+          &a[static_cast<std::size_t>(k0 + kb) * lda + (k0 + kb)],
+          static_cast<std::size_t>(lda), static_cast<std::size_t>(m2),
+          static_cast<std::size_t>(n2), static_cast<std::size_t>(kb));
+  }
+}
+
+void lu_solve(const double* lu, int n, int lda, const std::vector<int>& piv,
+              double* b) {
+  // Apply the row interchanges to b in factorisation order.
+  for (int k = 0; k < n; ++k) {
+    const int p = piv[static_cast<std::size_t>(k)];
+    if (p != k) std::swap(b[k], b[p]);
+  }
+  // Forward: L y = Pb (unit lower).
+  for (int i = 1; i < n; ++i) {
+    double acc = b[i];
+    const double* row = &lu[static_cast<std::size_t>(i) * lda];
+    for (int j = 0; j < i; ++j) acc -= row[j] * b[j];
+    b[i] = acc;
+  }
+  // Backward: U x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = b[i];
+    const double* row = &lu[static_cast<std::size_t>(i) * lda];
+    for (int j = i + 1; j < n; ++j) acc -= row[j] * b[j];
+    b[i] = acc / row[i];
+  }
+}
+
+double hpl_entry(std::uint64_t seed, std::uint64_t i, std::uint64_t j) {
+  SplitMix64 sm(seed ^ (i * 0x9E3779B97F4A7C15ULL + j));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53 - 0.5;
+}
+
+double hpl_residual(int n, std::uint64_t seed, const std::vector<double>& x) {
+  HPCX_ASSERT(static_cast<int>(x.size()) == n);
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  double r_inf = 0, a_inf = 0, x_inf = 0, b_inf = 0;
+  for (std::uint64_t i = 0; i < un; ++i) {
+    double ax = 0, arow = 0;
+    for (std::uint64_t j = 0; j < un; ++j) {
+      const double aij = hpl_entry(seed, i, j);
+      ax += aij * x[j];
+      arow += std::fabs(aij);
+    }
+    const double bi = hpl_entry(seed, un + i, 0);
+    r_inf = std::max(r_inf, std::fabs(ax - bi));
+    a_inf = std::max(a_inf, arow);
+    b_inf = std::max(b_inf, std::fabs(bi));
+  }
+  for (double v : x) x_inf = std::max(x_inf, std::fabs(v));
+  const double eps = std::numeric_limits<double>::epsilon();
+  return r_inf /
+         (eps * (a_inf * x_inf + b_inf) * static_cast<double>(n));
+}
+
+HplSerialResult run_hpl_serial(int n, int nb, std::uint64_t seed) {
+  HPCX_REQUIRE(n >= 1, "HPL needs n >= 1");
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  std::vector<double> a(un * un);
+  for (std::uint64_t i = 0; i < un; ++i)
+    for (std::uint64_t j = 0; j < un; ++j)
+      a[i * un + j] = hpl_entry(seed, i, j);
+  std::vector<double> b(un);
+  for (std::uint64_t i = 0; i < un; ++i) b[i] = hpl_entry(seed, un + i, 0);
+
+  std::vector<int> piv;
+  const auto t0 = std::chrono::steady_clock::now();
+  lu_factor(a.data(), n, n, nb, piv);
+  lu_solve(a.data(), n, n, piv, b.data());
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  HplSerialResult result;
+  result.seconds = dt;
+  result.gflops = hpl_flop_count(n) / dt / 1e9;
+  result.residual = hpl_residual(n, seed, b);
+  result.passed = result.residual < 16.0;
+  return result;
+}
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,50 @@
+// HPL — the High Performance LINPACK benchmark (G-HPL in HPCC): solve a
+// dense random linear system by blocked LU factorisation with partial
+// pivoting, verify with the scaled residual, report flop/s by the
+// standard (2/3 n^3 + 2 n^2) credit.
+//
+// This header is the serial building block: a right-looking blocked
+// factorisation (panel getf2 + row interchange + triangular solve +
+// rank-kb DGEMM update). The distributed benchmark lives in
+// hpcc/hpl_dist.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcx::hpcc {
+
+/// Blocked LU with partial pivoting, row-major A (n x n, leading
+/// dimension lda). On return A holds L (unit diagonal, below) and U;
+/// piv[k] = row exchanged with row k at step k (LAPACK-style ipiv).
+void lu_factor(double* a, int n, int lda, int nb, std::vector<int>& piv);
+
+/// Solve LU x = P b in place: b enters as the right-hand side, leaves as
+/// the solution.
+void lu_solve(const double* lu, int n, int lda,
+              const std::vector<int>& piv, double* b);
+
+/// Deterministic HPL matrix/rhs entries in [-0.5, 0.5], reproducible by
+/// (seed, i, j) anywhere in a distributed run without storing A.
+double hpl_entry(std::uint64_t seed, std::uint64_t i, std::uint64_t j);
+
+/// The scaled residual ||Ax-b||_inf / (eps * (||A||_inf ||x||_inf +
+/// ||b||_inf) * n); HPL accepts < 16.
+double hpl_residual(int n, std::uint64_t seed, const std::vector<double>& x);
+
+/// Standard HPL flop credit.
+inline double hpl_flop_count(double n) {
+  return 2.0 / 3.0 * n * n * n + 2.0 * n * n;
+}
+
+struct HplSerialResult {
+  double seconds = 0;
+  double gflops = 0;
+  double residual = 0;
+  bool passed = false;
+};
+
+/// Generate, factor, solve and verify an n x n system (block size nb).
+HplSerialResult run_hpl_serial(int n, int nb, std::uint64_t seed = 1);
+
+}  // namespace hpcx::hpcc

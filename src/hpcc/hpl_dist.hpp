@@ -1,0 +1,56 @@
+// Distributed HPL over xmpi: right-looking blocked LU with partial
+// pivoting on a 1-D block-cyclic *column* distribution.
+//
+// Per panel: the owning rank factors the panel (pivot search + full-row
+// interchanges on its local columns), broadcasts the factored panel and
+// the pivot indices; every rank applies the row interchanges to its own
+// columns, then performs the triangular solve and rank-kb DGEMM update on
+// its trailing columns. Communication volume and the compute/comm
+// overlap structure match HPL's; the paper-relevant behaviour (panel
+// broadcast cost growing with P, HPL efficiency decline) is preserved.
+// (Production HPL uses a 2-D grid, which reduces the broadcast volume by
+// the grid's row count — a documented simplification; see DESIGN.md.)
+//
+// A non-null HplModel runs the same communication schedule with phantom
+// payloads, charging local compute through the model instead of doing
+// the math — this is how G-HPL is obtained on the simulated machines.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+struct HplDistConfig {
+  int n = 0;
+  int nb = 64;
+  std::uint64_t seed = 1;
+  /// Verify by gathering the factors to rank 0 and solving (real mode
+  /// only; O(n^2) memory on rank 0).
+  bool verify = true;
+};
+
+struct HplModel {
+  double panel_seconds_per_flop = 0;   ///< getf2-style panel work
+  double update_seconds_per_flop = 0;  ///< trsm + dgemm trailing update
+  /// Latency of one pivot-exchange step down the process column (the
+  /// nb-deep factorisation pipeline); derived from the NIC model.
+  double pivot_latency_s = 0;
+};
+
+/// Near-square factorisation pr x pc = np with pr <= pc (HPL grid rule).
+std::pair<int, int> hpl_grid(int np);
+
+struct HplDistResult {
+  double seconds = 0;   ///< factorisation time (max over ranks)
+  double gflops = 0;    ///< hpl_flop_count(n) / seconds
+  double residual = 0;  ///< scaled residual (real + verify only)
+  bool passed = false;
+};
+
+HplDistResult run_hpl_dist(xmpi::Comm& comm, const HplDistConfig& config,
+                           const HplModel* model = nullptr);
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,33 @@
+// PTRANS — parallel matrix transpose, A = A + B^T. "This benchmark
+// heavily exercises the communication subsystem where pairs of
+// processors communicate with each other simultaneously. It measures the
+// total communications capacity of the network."
+//
+// B is an n x n matrix, row-block distributed; the transpose moves
+// essentially the whole matrix across the network bisection. The HPCC
+// rate convention is total bytes moved (8 n^2) over the elapsed time.
+#pragma once
+
+#include <cstdint>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+struct PtransModel {
+  double seconds_per_byte = 0;  ///< local pack/add cost per byte touched
+};
+
+struct PtransResult {
+  double seconds = 0;
+  double bytes_per_s = 0;  ///< 8 n^2 / seconds (the HPCC GB/s metric)
+  bool passed = false;     ///< element-wise verification (real mode)
+};
+
+/// Run A = A + B^T on an n x n system; n must be divisible by size().
+/// `model` non-null = phantom mode with modelled local costs.
+PtransResult run_ptrans(xmpi::Comm& comm, int n,
+                        const PtransModel* model = nullptr,
+                        std::uint64_t seed = 7);
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,47 @@
+// RandomAccess (GUPS) — "measures the rate at which the computer can
+// update pseudo-random locations of its memory", the low-temporal/
+// low-spatial-locality corner of the HPCC locality square.
+//
+// Serial version follows the official rules: table of 2^m 64-bit words
+// initialised to table[i] = i, 4 * 2^m updates table[a & (2^m - 1)] ^= a
+// along the official GF(2) sequence, then verification by replaying the
+// (self-inverse) updates and counting mismatches (< 1% allowed).
+//
+// The distributed version is the bucketed algorithm: the global table is
+// split across ranks by high bits; each rank generates its slice of the
+// update stream, buckets updates by owner, and exchanges buckets with
+// alltoallv every `look_ahead` updates (the official code's 1024-deep
+// pipeline).
+#pragma once
+
+#include <cstdint>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+struct GupsResult {
+  double seconds = 0;
+  double gups = 0;               ///< giga-updates per second
+  std::uint64_t updates = 0;
+  std::uint64_t errors = 0;      ///< verification mismatches (real mode)
+  bool passed = false;           ///< errors <= 1% of table size
+};
+
+/// Serial RandomAccess on a 2^log2_size-word table.
+GupsResult run_random_access(int log2_size);
+
+/// Per-rank model charge for the distributed phantom mode: seconds per
+/// local table update (covers generate + bucket + apply).
+struct GupsModel {
+  double seconds_per_update = 0;
+};
+
+/// Distributed RandomAccess over `comm`. Global table is 2^log2_size
+/// words; ranks must divide it evenly (size() must be a power of two).
+/// `model` non-null runs phantom mode (no table, modelled local time).
+GupsResult run_random_access_dist(xmpi::Comm& comm, int log2_size,
+                                  int look_ahead = 1024,
+                                  const GupsModel* model = nullptr);
+
+}  // namespace hpcx::hpcc

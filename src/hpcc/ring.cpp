@@ -1,0 +1,107 @@
+#include "hpcc/ring.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hpcx::hpcc {
+
+namespace {
+
+constexpr int kTagRight = 201;
+constexpr int kTagLeft = 202;
+
+/// One timed ring measurement over an explicit neighbour layout.
+/// Returns (bandwidth per CPU, latency).
+RingResult measure_ring(xmpi::Comm& comm, const std::vector<int>& perm,
+                        std::size_t msg_bytes, int iterations,
+                        bool phantom) {
+  const int n = comm.size();
+  HPCX_ASSERT(static_cast<int>(perm.size()) == n);
+  int idx = -1;
+  for (int i = 0; i < n; ++i)
+    if (perm[static_cast<std::size_t>(i)] == comm.rank()) idx = i;
+  HPCX_ASSERT(idx >= 0);
+  const int right = perm[static_cast<std::size_t>((idx + 1) % n)];
+  const int left = perm[static_cast<std::size_t>((idx + n - 1) % n)];
+
+  std::vector<unsigned char> sbuf, rbuf;
+  if (!phantom) {
+    sbuf.assign(msg_bytes, static_cast<unsigned char>(comm.rank()));
+    rbuf.assign(msg_bytes, 0);
+  }
+  auto send_view = [&] {
+    return phantom ? xmpi::phantom_cbuf(msg_bytes)
+                   : xmpi::cbuf_bytes(sbuf.data(), msg_bytes);
+  };
+  auto recv_view = [&] {
+    return phantom ? xmpi::phantom_mbuf(msg_bytes)
+                   : xmpi::mbuf_bytes(rbuf.data(), msg_bytes);
+  };
+
+  auto one_pass = [&](std::size_t bytes, int iters) {
+    (void)bytes;
+    comm.barrier();
+    const double t0 = comm.now();
+    for (int it = 0; it < iters; ++it) {
+      comm.sendrecv(right, kTagRight, send_view(), left, kTagRight,
+                    recv_view());
+      comm.sendrecv(left, kTagLeft, send_view(), right, kTagLeft,
+                    recv_view());
+    }
+    comm.barrier();
+    return (comm.now() - t0) / iters;
+  };
+
+  // Bandwidth pass at msg_bytes; latency pass at 8 bytes.
+  const double t_bw = one_pass(msg_bytes, iterations);
+  std::size_t saved = msg_bytes;
+  msg_bytes = 8;
+  if (!phantom) {
+    sbuf.assign(8, 0);
+    rbuf.assign(8, 0);
+  }
+  const double t_lat = one_pass(8, iterations);
+  msg_bytes = saved;
+
+  RingResult r;
+  r.bandwidth_per_cpu_Bps = 2.0 * static_cast<double>(saved) / t_bw;
+  r.latency_s = t_lat / 2.0;
+  return r;
+}
+
+}  // namespace
+
+RingResult run_natural_ring(xmpi::Comm& comm, std::size_t msg_bytes,
+                            int iterations, bool phantom) {
+  HPCX_REQUIRE(iterations >= 1, "ring needs >= 1 iteration");
+  std::vector<int> perm(static_cast<std::size_t>(comm.size()));
+  std::iota(perm.begin(), perm.end(), 0);
+  return measure_ring(comm, perm, msg_bytes, iterations, phantom);
+}
+
+RingResult run_random_ring(xmpi::Comm& comm, std::size_t msg_bytes,
+                           int iterations, int patterns, std::uint64_t seed,
+                           bool phantom) {
+  HPCX_REQUIRE(iterations >= 1 && patterns >= 1, "bad ring parameters");
+  double bw_sum = 0, lat_sum = 0;
+  for (int p = 0; p < patterns; ++p) {
+    // All ranks derive the same permutation from the shared seed.
+    std::vector<int> perm(static_cast<std::size_t>(comm.size()));
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed + static_cast<std::uint64_t>(p) * 1000003ULL);
+    rng.shuffle(perm);
+    const RingResult r =
+        measure_ring(comm, perm, msg_bytes, iterations, phantom);
+    bw_sum += r.bandwidth_per_cpu_Bps;
+    lat_sum += r.latency_s;
+  }
+  RingResult r;
+  r.bandwidth_per_cpu_Bps = bw_sum / patterns;
+  r.latency_s = lat_sum / patterns;
+  return r;
+}
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,32 @@
+// Ring bandwidth / latency (the b_eff-derived components of HPCC).
+//
+// In one iteration every process exchanges a message with both of its
+// ring neighbours (send right + send left, receiving symmetrically).
+// Natural ring: neighbours by rank order. Random ring: neighbours under
+// a random permutation — "for a large number of SMP nodes, most MPI
+// processes will communicate with MPI processes on other SMP nodes",
+// making this the paper's stand-in for sustained inter-node bandwidth
+// per CPU (Figs 1-2).
+#pragma once
+
+#include <cstdint>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+struct RingResult {
+  double bandwidth_per_cpu_Bps = 0;  ///< 2 * msg_bytes / t_iter
+  double latency_s = 0;              ///< 8-byte iteration time / 2
+};
+
+/// Natural-order ring.
+RingResult run_natural_ring(xmpi::Comm& comm, std::size_t msg_bytes,
+                            int iterations = 4, bool phantom = false);
+
+/// Random ring, averaged over `patterns` seeded permutations.
+RingResult run_random_ring(xmpi::Comm& comm, std::size_t msg_bytes,
+                           int iterations = 4, int patterns = 3,
+                           std::uint64_t seed = 0xB0EFF, bool phantom = false);
+
+}  // namespace hpcx::hpcc

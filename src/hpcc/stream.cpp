@@ -1,0 +1,111 @@
+#include "hpcc/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::hpcc {
+
+namespace {
+
+double seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Arrays {
+  std::vector<double> a, b, c;
+};
+
+// The kernels are free functions on raw pointers so the compiler can
+// vectorise them; `__restrict` mirrors the official benchmark's Fortran
+// aliasing guarantees.
+void kernel_copy(double* __restrict c, const double* __restrict a,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+}
+void kernel_scale(double* __restrict b, const double* __restrict c,
+                  double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) b[i] = s * c[i];
+}
+void kernel_add(double* __restrict c, const double* __restrict a,
+                const double* __restrict b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+}
+void kernel_triad(double* __restrict a, const double* __restrict b,
+                  const double* __restrict c, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+}
+
+constexpr double kScalar = 3.0;
+
+StreamResult run_impl(std::size_t n, int repetitions, Arrays& arr) {
+  HPCX_REQUIRE(n >= 2, "STREAM needs n >= 2");
+  HPCX_REQUIRE(repetitions >= 1, "STREAM needs >= 1 repetition");
+  arr.a.assign(n, 1.0);
+  arr.b.assign(n, 2.0);
+  arr.c.assign(n, 0.0);
+
+  double best[4] = {1e30, 1e30, 1e30, 1e30};
+  for (int r = 0; r < repetitions; ++r) {
+    double t = seconds_now();
+    kernel_copy(arr.c.data(), arr.a.data(), n);
+    best[0] = std::min(best[0], seconds_now() - t);
+
+    t = seconds_now();
+    kernel_scale(arr.b.data(), arr.c.data(), kScalar, n);
+    best[1] = std::min(best[1], seconds_now() - t);
+
+    t = seconds_now();
+    kernel_add(arr.c.data(), arr.a.data(), arr.b.data(), n);
+    best[2] = std::min(best[2], seconds_now() - t);
+
+    t = seconds_now();
+    kernel_triad(arr.a.data(), arr.b.data(), arr.c.data(), kScalar, n);
+    best[3] = std::min(best[3], seconds_now() - t);
+  }
+
+  const double dn = static_cast<double>(n);
+  StreamResult result;
+  result.copy_Bps = 16.0 * dn / best[0];
+  result.scale_Bps = 16.0 * dn / best[1];
+  result.add_Bps = 24.0 * dn / best[2];
+  result.triad_Bps = 24.0 * dn / best[3];
+  return result;
+}
+
+}  // namespace
+
+StreamResult run_stream(std::size_t n, int repetitions) {
+  Arrays arr;
+  return run_impl(n, repetitions, arr);
+}
+
+bool run_stream_checked(std::size_t n, int repetitions,
+                        StreamResult* result) {
+  Arrays arr;
+  const StreamResult r = run_impl(n, repetitions, arr);
+  if (result) *result = r;
+  // Replay the recurrence scalar-wise (the official verification).
+  double a = 1.0, b = 2.0, c = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    c = a;
+    b = kScalar * c;
+    c = a + b;
+    a = b + kScalar * c;
+  }
+  const double eps = 1e-8 * std::max({std::fabs(a), std::fabs(b),
+                                      std::fabs(c)});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(arr.a[i] - a) > eps || std::fabs(arr.b[i] - b) > eps ||
+        std::fabs(arr.c[i] - c) > eps)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace hpcx::hpcc

@@ -1,0 +1,30 @@
+// STREAM — sustainable memory bandwidth (McCalpin), the EP-STREAM
+// component of HPCC. Four kernels over double arrays:
+//   Copy:  c = a          (16 bytes/iter)
+//   Scale: b = s*c        (16 bytes/iter)
+//   Add:   c = a + b      (24 bytes/iter)
+//   Triad: a = b + s*c    (24 bytes/iter)
+#pragma once
+
+#include <cstddef>
+
+namespace hpcx::hpcc {
+
+struct StreamResult {
+  double copy_Bps = 0;
+  double scale_Bps = 0;
+  double add_Bps = 0;
+  double triad_Bps = 0;
+};
+
+/// Run STREAM on `n`-element arrays (3 arrays, 24n bytes total), best of
+/// `repetitions` timed passes per kernel. n must be >= 2.
+StreamResult run_stream(std::size_t n, int repetitions = 5);
+
+/// Verification helper: returns true if the arrays after `reps` passes of
+/// the four kernels hold the analytically expected values (the official
+/// STREAM check); used by tests via run_stream_checked.
+bool run_stream_checked(std::size_t n, int repetitions,
+                        StreamResult* result);
+
+}  // namespace hpcx::hpcc

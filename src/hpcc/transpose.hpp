@@ -1,0 +1,91 @@
+// Distributed matrix transpose over a 1-D row-block distribution —
+// the communication core of both PTRANS and the six-step FFT.
+//
+// The R x C matrix is distributed by rows: rank p owns rows
+// [p*R/P, (p+1)*R/P). The transpose is C x R, again row-block
+// distributed. Each rank packs, for every peer q, the local sub-block
+// that lands in q's rows of the transpose (transposing it locally during
+// the pack), exchanges the blocks with alltoall, and unpacks. R and C
+// must be divisible by P.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "xmpi/comm.hpp"
+
+namespace hpcx::hpcc {
+
+namespace detail {
+template <typename T>
+constexpr xmpi::DType dtype_of();
+template <>
+constexpr xmpi::DType dtype_of<double>() {
+  return xmpi::DType::kF64;
+}
+template <>
+constexpr xmpi::DType dtype_of<std::uint64_t>() {
+  return xmpi::DType::kU64;
+}
+template <>
+constexpr xmpi::DType dtype_of<std::complex<double>>() {
+  return xmpi::DType::kC128;
+}
+}  // namespace detail
+
+/// Transpose `in` (local rows of the R x C matrix, row-major, R/P x C)
+/// into `out` (local rows of the C x R transpose, C/P x R). Phantom mode
+/// (in/out empty vectors with phantom == true) sends unsized payloads of
+/// the same byte volume. T must be trivially copyable and 8 bytes
+/// (double or a complex packed as two transfers — see complex overload).
+template <typename T>
+void dist_transpose(xmpi::Comm& comm, const std::vector<T>& in,
+                    std::vector<T>& out, std::size_t rows_r,
+                    std::size_t cols_c, bool phantom = false) {
+  const int np = comm.size();
+  const std::size_t unp = static_cast<std::size_t>(np);
+  HPCX_REQUIRE(rows_r % unp == 0 && cols_c % unp == 0,
+               "transpose dims must be divisible by the rank count");
+  const std::size_t lr = rows_r / unp;  // my rows of the input
+  const std::size_t lc = cols_c / unp;  // my rows of the transpose
+  const std::size_t block = lr * lc;    // elements per peer block
+
+  if (phantom) {
+    comm.alltoall(xmpi::phantom_cbuf(block * unp, detail::dtype_of<T>()),
+                  xmpi::phantom_mbuf(block * unp, detail::dtype_of<T>()));
+    return;
+  }
+
+  HPCX_REQUIRE(in.size() == lr * cols_c, "input strip size mismatch");
+  out.assign(lc * rows_r, T{});
+
+  // Pack: block for peer q = transpose of my rows x q's column range.
+  std::vector<T> send(block * unp);
+  for (int q = 0; q < np; ++q) {
+    T* dst = send.data() + static_cast<std::size_t>(q) * block;
+    const std::size_t c0 = static_cast<std::size_t>(q) * lc;
+    for (std::size_t c = 0; c < lc; ++c)
+      for (std::size_t r = 0; r < lr; ++r)
+        dst[c * lr + r] = in[r * cols_c + (c0 + c)];
+  }
+
+  std::vector<T> recv(block * unp);
+  comm.alltoall(
+      xmpi::CBuf{send.data(), send.size(), detail::dtype_of<T>()},
+      xmpi::MBuf{recv.data(), recv.size(), detail::dtype_of<T>()});
+
+  // Unpack: the block from peer p holds my transpose rows x p's original
+  // rows (already transposed by the sender's pack).
+  for (int p = 0; p < np; ++p) {
+    const T* src = recv.data() + static_cast<std::size_t>(p) * block;
+    const std::size_t r0 = static_cast<std::size_t>(p) * lr;
+    for (std::size_t c = 0; c < lc; ++c)
+      for (std::size_t r = 0; r < lr; ++r)
+        out[c * rows_r + (r0 + r)] = src[c * lr + r];
+  }
+}
+
+}  // namespace hpcx::hpcc

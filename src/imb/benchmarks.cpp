@@ -1,0 +1,235 @@
+#include "imb/benchmarks.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::imb::detail {
+
+namespace {
+
+using xmpi::CBuf;
+using xmpi::Comm;
+using xmpi::DType;
+using xmpi::MBuf;
+using xmpi::ROp;
+
+constexpr int kTagPing = 11;
+constexpr int kTagPong = 12;
+constexpr int kTagRightward = 13;  // message travelling to the right
+constexpr int kTagLeftward = 14;   // message travelling to the left
+
+/// Owns the send/recv storage for one benchmark, real or phantom.
+class Buffers {
+ public:
+  Buffers(bool phantom, std::size_t send_bytes, std::size_t recv_bytes)
+      : phantom_(phantom) {
+    if (!phantom_) {
+      send_.assign(send_bytes, 0x5a);
+      recv_.assign(recv_bytes, 0);
+    }
+    send_bytes_ = send_bytes;
+    recv_bytes_ = recv_bytes;
+  }
+
+  CBuf send_view(std::size_t bytes, std::size_t offset = 0) const {
+    HPCX_ASSERT(offset + bytes <= send_bytes_);
+    if (phantom_) return xmpi::phantom_cbuf(bytes);
+    return xmpi::cbuf_bytes(send_.data() + offset, bytes);
+  }
+  MBuf recv_view(std::size_t bytes, std::size_t offset = 0) {
+    HPCX_ASSERT(offset + bytes <= recv_bytes_);
+    if (phantom_) return xmpi::phantom_mbuf(bytes);
+    return xmpi::mbuf_bytes(recv_.data() + offset, bytes);
+  }
+  /// Typed f64 views for the reductions (count doubles).
+  CBuf send_f64(std::size_t count) const {
+    HPCX_ASSERT(count * 8 <= send_bytes_);
+    if (phantom_) return xmpi::phantom_cbuf(count, DType::kF64);
+    return CBuf{send_.data(), count, DType::kF64};
+  }
+  MBuf recv_f64(std::size_t count) {
+    HPCX_ASSERT(count * 8 <= recv_bytes_);
+    if (phantom_) return xmpi::phantom_mbuf(count, DType::kF64);
+    return MBuf{recv_.data(), count, DType::kF64};
+  }
+
+ private:
+  bool phantom_;
+  std::size_t send_bytes_ = 0, recv_bytes_ = 0;
+  std::vector<unsigned char> send_, recv_;
+};
+
+/// Measure `op` with the IMB loop; all ranks participate.
+ImbResult measure(Comm& comm, int warmup, int reps,
+                  std::size_t bytes_per_call,
+                  const std::function<void(int)>& op) {
+  for (int w = 0; w < warmup; ++w) op(-1 - w);
+  comm.barrier();
+  const double t0 = comm.now();
+  for (int it = 0; it < reps; ++it) op(it);
+  const double per_rank = (comm.now() - t0) / reps;
+  return reduce_timings(comm, per_rank, bytes_per_call, reps);
+}
+
+/// PingPong/PingPing run on ranks {0, 1}; everyone else waits at the
+/// final reduction. The pair's rank-0 time is broadcast so all ranks
+/// report the same numbers.
+ImbResult measure_pair(Comm& comm, int warmup, int reps,
+                       std::size_t bytes_per_call, double time_divisor,
+                       const std::function<void(void)>& op_rank0,
+                       const std::function<void(void)>& op_rank1) {
+  HPCX_REQUIRE(comm.size() >= 2, "single-transfer benchmarks need 2 ranks");
+  double per_iter = 0;
+  if (comm.rank() == 0) {
+    for (int w = 0; w < warmup; ++w) op_rank0();
+    const double t0 = comm.now();
+    for (int it = 0; it < reps; ++it) op_rank0();
+    per_iter = (comm.now() - t0) / reps / time_divisor;
+  } else if (comm.rank() == 1) {
+    for (int w = 0; w < warmup; ++w) op_rank1();
+    for (int it = 0; it < reps; ++it) op_rank1();
+  }
+  comm.bcast(MBuf{&per_iter, 1, DType::kF64}, 0);
+  ImbResult r;
+  r.t_min_s = r.t_avg_s = r.t_max_s = per_iter;
+  r.repetitions = reps;
+  if (bytes_per_call > 0 && per_iter > 0)
+    r.bandwidth_Bps = static_cast<double>(bytes_per_call) / per_iter;
+  return r;
+}
+
+}  // namespace
+
+ImbResult dispatch_benchmark(BenchmarkId id, Comm& comm,
+                             const ImbParams& params, int reps) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  const std::size_t msg = params.msg_bytes;
+  const bool ph = params.phantom;
+  const int right = (r + 1) % n;
+  const int left = (r + n - 1) % n;
+
+  switch (id) {
+    case BenchmarkId::kPingPong: {
+      Buffers buf(ph, msg, msg);
+      return measure_pair(
+          comm, params.warmup, reps, msg, /*time_divisor=*/2.0,
+          [&] {
+            comm.send(1, kTagPing, buf.send_view(msg));
+            comm.recv(1, kTagPong, buf.recv_view(msg));
+          },
+          [&] {
+            comm.recv(0, kTagPing, buf.recv_view(msg));
+            comm.send(0, kTagPong, buf.send_view(msg));
+          });
+    }
+    case BenchmarkId::kPingPing: {
+      // Both directions launched before either receive: the messages
+      // obstruct each other, which is the point of the benchmark.
+      Buffers buf(ph, msg, msg);
+      return measure_pair(
+          comm, params.warmup, reps, msg, /*time_divisor=*/1.0,
+          [&] {
+            comm.send(1, kTagPing, buf.send_view(msg));
+            comm.recv(1, kTagPing, buf.recv_view(msg));
+          },
+          [&] {
+            comm.send(0, kTagPing, buf.send_view(msg));
+            comm.recv(0, kTagPing, buf.recv_view(msg));
+          });
+    }
+    case BenchmarkId::kSendrecv: {
+      Buffers buf(ph, msg, msg);
+      return measure(comm, params.warmup, reps, 2 * msg, [&](int) {
+        comm.sendrecv(right, kTagRightward, buf.send_view(msg), left,
+                      kTagRightward, buf.recv_view(msg));
+      });
+    }
+    case BenchmarkId::kExchange: {
+      Buffers buf(ph, msg, 2 * msg);
+      return measure(comm, params.warmup, reps, 4 * msg, [&](int) {
+        comm.send(left, kTagLeftward, buf.send_view(msg));
+        comm.send(right, kTagRightward, buf.send_view(msg));
+        comm.recv(left, kTagRightward, buf.recv_view(msg, 0));
+        comm.recv(right, kTagLeftward, buf.recv_view(msg, msg));
+      });
+    }
+    case BenchmarkId::kBarrier: {
+      return measure(comm, params.warmup, reps, 0,
+                     [&](int) { comm.barrier(); });
+    }
+    case BenchmarkId::kBcast: {
+      Buffers buf(ph, 0, msg);
+      // IMB rotates the root across iterations.
+      return measure(comm, params.warmup, reps, 0, [&](int it) {
+        const int root = ((it % n) + n) % n;
+        comm.bcast(buf.recv_view(msg), root);
+      });
+    }
+    case BenchmarkId::kAllgather: {
+      Buffers buf(ph, msg, msg * static_cast<std::size_t>(n));
+      return measure(comm, params.warmup, reps, 0, [&](int) {
+        comm.allgather(buf.send_view(msg),
+                       buf.recv_view(msg * static_cast<std::size_t>(n)));
+      });
+    }
+    case BenchmarkId::kAllgatherv: {
+      Buffers buf(ph, msg, msg * static_cast<std::size_t>(n));
+      std::vector<int> counts(static_cast<std::size_t>(n),
+                              static_cast<int>(msg));
+      return measure(comm, params.warmup, reps, 0, [&](int) {
+        comm.allgatherv(buf.send_view(msg),
+                        buf.recv_view(msg * static_cast<std::size_t>(n)),
+                        counts);
+      });
+    }
+    case BenchmarkId::kAlltoall: {
+      // "Every process inputs A*N bytes (A for each process)."
+      const std::size_t total = msg * static_cast<std::size_t>(n);
+      Buffers buf(ph, total, total);
+      return measure(comm, params.warmup, reps, 0, [&](int) {
+        comm.alltoall(buf.send_view(total), buf.recv_view(total));
+      });
+    }
+    case BenchmarkId::kReduce: {
+      const std::size_t count = std::max<std::size_t>(1, msg / 8);
+      Buffers buf(ph, count * 8, count * 8);
+      return measure(comm, params.warmup, reps, 0, [&](int it) {
+        const int root = ((it % n) + n) % n;
+        comm.reduce(buf.send_f64(count), buf.recv_f64(count), ROp::kSum,
+                    root);
+      });
+    }
+    case BenchmarkId::kAllreduce: {
+      const std::size_t count = std::max<std::size_t>(1, msg / 8);
+      Buffers buf(ph, count * 8, count * 8);
+      return measure(comm, params.warmup, reps, 0, [&](int) {
+        comm.allreduce(buf.send_f64(count), buf.recv_f64(count), ROp::kSum);
+      });
+    }
+    case BenchmarkId::kReduceScatter: {
+      // The msg-byte buffer is reduced, then scattered in ~equal chunks.
+      const std::size_t total = std::max<std::size_t>(
+          static_cast<std::size_t>(n), msg / 8);
+      std::vector<int> counts(static_cast<std::size_t>(n));
+      const std::size_t base = total / static_cast<std::size_t>(n);
+      std::size_t rem = total % static_cast<std::size_t>(n);
+      for (int i = 0; i < n; ++i)
+        counts[static_cast<std::size_t>(i)] =
+            static_cast<int>(base + (static_cast<std::size_t>(i) < rem));
+      const std::size_t mine =
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+      Buffers buf(ph, total * 8, mine * 8);
+      return measure(comm, params.warmup, reps, 0, [&](int) {
+        comm.reduce_scatter(buf.send_f64(total), buf.recv_f64(mine), counts,
+                            ROp::kSum);
+      });
+    }
+  }
+  throw ConfigError("unknown IMB benchmark id");
+}
+
+}  // namespace hpcx::imb::detail

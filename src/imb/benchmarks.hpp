@@ -1,0 +1,19 @@
+// Internal: per-benchmark bodies behind run_benchmark(). Split from
+// imb.cpp so the dispatch table and the measurement loops stay readable.
+#pragma once
+
+#include "imb/imb.hpp"
+
+namespace hpcx::imb::detail {
+
+int auto_repetitions(BenchmarkId id, std::size_t msg_bytes, bool phantom);
+
+/// Cross-rank min/avg/max of a per-rank average; fills bandwidth from
+/// bytes_per_call (0 = not a transfer benchmark).
+ImbResult reduce_timings(xmpi::Comm& comm, double per_rank_avg_s,
+                         std::size_t bytes_per_call, int reps);
+
+ImbResult dispatch_benchmark(BenchmarkId id, xmpi::Comm& comm,
+                             const ImbParams& params, int reps);
+
+}  // namespace hpcx::imb::detail

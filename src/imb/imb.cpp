@@ -1,0 +1,142 @@
+#include "imb/imb.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "imb/benchmarks.hpp"
+#include "xmpi/sub_comm.hpp"
+
+namespace hpcx::imb {
+
+const char* to_string(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kPingPong:
+      return "PingPong";
+    case BenchmarkId::kPingPing:
+      return "PingPing";
+    case BenchmarkId::kSendrecv:
+      return "Sendrecv";
+    case BenchmarkId::kExchange:
+      return "Exchange";
+    case BenchmarkId::kBarrier:
+      return "Barrier";
+    case BenchmarkId::kBcast:
+      return "Bcast";
+    case BenchmarkId::kAllgather:
+      return "Allgather";
+    case BenchmarkId::kAllgatherv:
+      return "Allgatherv";
+    case BenchmarkId::kAlltoall:
+      return "Alltoall";
+    case BenchmarkId::kReduce:
+      return "Reduce";
+    case BenchmarkId::kAllreduce:
+      return "Allreduce";
+    case BenchmarkId::kReduceScatter:
+      return "Reduce_scatter";
+  }
+  return "?";
+}
+
+std::vector<BenchmarkId> all_benchmarks() {
+  return {BenchmarkId::kPingPong,   BenchmarkId::kPingPing,
+          BenchmarkId::kSendrecv,   BenchmarkId::kExchange,
+          BenchmarkId::kBarrier,    BenchmarkId::kBcast,
+          BenchmarkId::kAllgather,  BenchmarkId::kAllgatherv,
+          BenchmarkId::kAlltoall,   BenchmarkId::kReduce,
+          BenchmarkId::kAllreduce,  BenchmarkId::kReduceScatter};
+}
+
+std::vector<BenchmarkId> paper_benchmarks() {
+  return {BenchmarkId::kSendrecv,  BenchmarkId::kExchange,
+          BenchmarkId::kBarrier,   BenchmarkId::kBcast,
+          BenchmarkId::kAllgather, BenchmarkId::kAllgatherv,
+          BenchmarkId::kAlltoall,  BenchmarkId::kReduce,
+          BenchmarkId::kAllreduce, BenchmarkId::kReduceScatter};
+}
+
+namespace detail {
+
+int auto_repetitions(BenchmarkId id, std::size_t msg_bytes, bool phantom) {
+  if (phantom) return 3;  // the simulator is deterministic
+  if (id == BenchmarkId::kBarrier) return 100;
+  // IMB-style overall-volume cap, shrunk to keep host tests quick.
+  const std::size_t cap_bytes = 8u << 20;
+  const std::size_t per_rep = std::max<std::size_t>(1, msg_bytes);
+  return static_cast<int>(std::clamp<std::size_t>(cap_bytes / per_rep,
+                                                  2, 50));
+}
+
+ImbResult reduce_timings(xmpi::Comm& comm, double per_rank_avg_s,
+                         std::size_t bytes_per_call, int reps) {
+  double mn = per_rank_avg_s, mx = per_rank_avg_s, sum = per_rank_avg_s;
+  double tmp = 0;
+  comm.allreduce(xmpi::CBuf{&per_rank_avg_s, 1, xmpi::DType::kF64},
+                 xmpi::MBuf{&tmp, 1, xmpi::DType::kF64}, xmpi::ROp::kMin);
+  mn = tmp;
+  comm.allreduce(xmpi::CBuf{&per_rank_avg_s, 1, xmpi::DType::kF64},
+                 xmpi::MBuf{&tmp, 1, xmpi::DType::kF64}, xmpi::ROp::kMax);
+  mx = tmp;
+  comm.allreduce(xmpi::CBuf{&per_rank_avg_s, 1, xmpi::DType::kF64},
+                 xmpi::MBuf{&tmp, 1, xmpi::DType::kF64}, xmpi::ROp::kSum);
+  sum = tmp;
+
+  ImbResult r;
+  r.t_min_s = mn;
+  r.t_max_s = mx;
+  r.t_avg_s = sum / comm.size();
+  r.repetitions = reps;
+  if (bytes_per_call > 0 && r.t_max_s > 0)
+    r.bandwidth_Bps = static_cast<double>(bytes_per_call) / r.t_max_s;
+  return r;
+}
+
+}  // namespace detail
+
+ImbResult run_benchmark(BenchmarkId id, xmpi::Comm& comm,
+                        const ImbParams& params) {
+  HPCX_REQUIRE(params.warmup >= 0, "negative warmup");
+  HPCX_REQUIRE(params.groups >= 1, "groups must be >= 1");
+  const int reps = params.repetitions > 0
+                       ? params.repetitions
+                       : detail::auto_repetitions(id, params.msg_bytes,
+                                                  params.phantom);
+  if (params.groups == 1)
+    return detail::dispatch_benchmark(id, comm, params, reps);
+
+  // IMB "-multi": disjoint contiguous groups run concurrently. Each
+  // group measures itself; the cross-group reduction reports the slowest
+  // group (the number an application sharing the fabric would see).
+  HPCX_REQUIRE(comm.size() % params.groups == 0,
+               "groups must divide the communicator size");
+  const int group_size = comm.size() / params.groups;
+  HPCX_REQUIRE(group_size >= 2 || (id != BenchmarkId::kPingPong &&
+                                   id != BenchmarkId::kPingPing),
+               "single-transfer benchmarks need groups of >= 2 ranks");
+  const int group = comm.rank() / group_size;
+  std::vector<int> members(static_cast<std::size_t>(group_size));
+  for (int i = 0; i < group_size; ++i) members[static_cast<std::size_t>(i)] = group * group_size + i;
+  xmpi::SubComm sub(comm, members, 1 + group);
+  ImbParams inner = params;
+  inner.groups = 1;
+  comm.barrier();  // launch all groups together
+  const ImbResult mine = detail::dispatch_benchmark(id, sub, inner, reps);
+
+  // Reduce across the whole communicator: slowest group dominates.
+  double vals[3] = {mine.t_min_s, mine.t_avg_s, mine.t_max_s};
+  double mx[3] = {0, 0, 0};
+  comm.allreduce(xmpi::CBuf{vals, 3, xmpi::DType::kF64},
+                 xmpi::MBuf{mx, 3, xmpi::DType::kF64}, xmpi::ROp::kMax);
+  ImbResult out;
+  out.t_min_s = mx[0];
+  out.t_avg_s = mx[1];
+  out.t_max_s = mx[2];
+  out.repetitions = reps;
+  if (mine.bandwidth_Bps > 0 && out.t_max_s > 0) {
+    // Recompute from the slowest group's time with the same byte count.
+    out.bandwidth_Bps = mine.bandwidth_Bps * mine.t_max_s / out.t_max_s;
+  }
+  return out;
+}
+
+}  // namespace hpcx::imb

@@ -1,0 +1,70 @@
+// Intel MPI Benchmarks (IMB 2.3) — the 12 benchmarks the paper uses:
+// the single-transfer pair (PingPong, PingPing), the parallel-transfer
+// pair (Sendrecv, Exchange), and the collectives (Barrier, Bcast,
+// Allgather, Allgatherv, Alltoall, Reduce, Allreduce, Reduce_scatter).
+//
+// Timing methodology follows IMB: warm-up iterations, a barrier, `reps`
+// back-to-back calls, per-rank average, then min/avg/max across ranks.
+// The paper plots time per call in us (collectives) or MB/s (Sendrecv /
+// Exchange) at 1 MB message size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::imb {
+
+enum class BenchmarkId {
+  kPingPong,
+  kPingPing,
+  kSendrecv,
+  kExchange,
+  kBarrier,
+  kBcast,
+  kAllgather,
+  kAllgatherv,
+  kAlltoall,
+  kReduce,
+  kAllreduce,
+  kReduceScatter,
+};
+
+const char* to_string(BenchmarkId id);
+
+/// All 12, in the order above.
+std::vector<BenchmarkId> all_benchmarks();
+
+/// The 11 MPI communication functions of the paper's figures (excludes
+/// PingPong/PingPing, which the paper describes but does not plot).
+std::vector<BenchmarkId> paper_benchmarks();
+
+struct ImbParams {
+  std::size_t msg_bytes = 1 << 20;  ///< the paper's operating point
+  int repetitions = 0;              ///< 0 = auto (IMB-style, volume-capped)
+  int warmup = 1;
+  bool phantom = false;  ///< phantom payloads (simulated machines)
+  /// IMB "-multi" mode: split the communicator into this many disjoint
+  /// contiguous groups that run the benchmark *concurrently*, stressing
+  /// the shared fabric; the reported time is the slowest group's.
+  /// Must divide size(); 1 = the normal single-group mode.
+  int groups = 1;
+};
+
+struct ImbResult {
+  double t_min_s = 0;  ///< min over ranks of the per-rank average
+  double t_avg_s = 0;  ///< avg over ranks
+  double t_max_s = 0;  ///< max over ranks (the conventional headline)
+  double bandwidth_Bps = 0;  ///< transfer benchmarks only; else 0
+  int repetitions = 0;
+};
+
+/// Run one benchmark on `comm`; every rank must call it; all ranks
+/// return identical results. PingPong/PingPing need size() >= 2 (extra
+/// ranks idle through the measurement and join the reduction).
+ImbResult run_benchmark(BenchmarkId id, xmpi::Comm& comm,
+                        const ImbParams& params);
+
+}  // namespace hpcx::imb

@@ -1,0 +1,194 @@
+#include "machine/future.hpp"
+
+#include "machine/registry.hpp"
+
+namespace hpcx::mach {
+
+// Parameter sources: vendor datasheets and the public benchmarking
+// literature of 2007-2008 (Blue Gene/P: 13.6 Gflop/s nodes, 3-D torus at
+// 425 MB/s x 6 links; XT4: SeaStar2 ~6 GB/s links, MPI latency ~6 us;
+// X1E: 18 Gflop/s MSPs; POWER5+: HPS ~2 GB/s per link pair, ~5 us).
+
+MachineConfig bluegene_p() {
+  MachineConfig m;
+  m.name = "IBM Blue Gene/P";
+  m.short_name = "bgp";
+  m.network_name = "3D torus";
+  m.location = "(projected)";
+  m.vendor = "IBM";
+
+  m.proc.name = "PowerPC 450";
+  m.proc.cpu_class = CpuClass::kScalar;
+  m.proc.clock_hz = 0.85e9;
+  m.proc.flops_per_cycle = 4.0;  // dual FPU, fused multiply-add
+  m.proc.dgemm_efficiency = 0.92;
+  m.proc.hpl_kernel_efficiency = 0.80;
+  m.proc.fft_efficiency = 0.09;
+  m.proc.stream_copy_Bps = 3.0e9;
+  m.proc.random_update_rate = 6e6;
+
+  m.mem.single_cpu_Bps = 3.0e9;
+  m.mem.node_aggregate_Bps = 13.6e9;  // strong on-node memory system
+
+  m.cpus_per_node = 4;
+  m.max_cpus = 4096;  // one rack's worth for the sweeps
+
+  m.topology = TopologyKind::kTorus;
+  m.torus_dimensions = 3;
+  m.host_link = {0.425e9, 0.1e-6};  // 425 MB/s per torus link
+  m.fabric_link = {0.425e9, 0.1e-6};
+
+  m.nic.send_overhead_s = 1.3e-6;  // lightweight CNK kernel
+  m.nic.recv_overhead_s = 1.3e-6;
+  m.nic.injection_Bps = 2.0e9;  // DMA across the six torus directions
+  m.nic.per_message_gap_s = 0.1e-6;
+
+  m.node.intranode_Bps = 2.5e9;
+  m.node.intranode_latency_s = 0.5e-6;
+  m.node.node_mem_Bps = 13.6e9;
+  // The BG/P collective+barrier networks are dedicated hardware trees.
+  m.hw_barrier_latency_s = 2e-6;
+  return m;
+}
+
+MachineConfig cray_xt4() {
+  MachineConfig m;
+  m.name = "Cray XT4";
+  m.short_name = "xt4";
+  m.network_name = "SeaStar2 3D torus";
+  m.location = "(projected)";
+  m.vendor = "Cray";
+
+  m.proc.name = "AMD Opteron (dual-core)";
+  m.proc.cpu_class = CpuClass::kScalar;
+  m.proc.clock_hz = 2.6e9;
+  m.proc.flops_per_cycle = 2.0;
+  m.proc.dgemm_efficiency = 0.89;
+  m.proc.hpl_kernel_efficiency = 0.78;
+  m.proc.fft_efficiency = 0.09;
+  m.proc.stream_copy_Bps = 5.0e9;
+  m.proc.random_update_rate = 18e6;
+
+  m.mem.single_cpu_Bps = 5.0e9;
+  m.mem.node_aggregate_Bps = 7.6e9;
+
+  m.cpus_per_node = 2;
+  m.max_cpus = 2048;
+
+  m.topology = TopologyKind::kTorus;
+  m.torus_dimensions = 3;
+  m.host_link = {6.0e9, 0.2e-6};  // SeaStar2
+  m.fabric_link = {6.0e9, 0.2e-6};
+
+  m.nic.send_overhead_s = 2.6e-6;  // Portals stack
+  m.nic.recv_overhead_s = 2.6e-6;
+  m.nic.injection_Bps = 2.2e9;  // HyperTransport-attached NIC
+  m.nic.per_message_gap_s = 0.2e-6;
+
+  m.node.intranode_Bps = 2.0e9;
+  m.node.intranode_latency_s = 0.6e-6;
+  m.node.node_mem_Bps = 7.6e9;
+  return m;
+}
+
+MachineConfig cray_x1e() {
+  // Mid-life upgrade of the X1: 1.13 GHz MSPs, doubled module density
+  // (8 MSPs per node board), same interconnect family.
+  MachineConfig m = cray_x1_msp();
+  m.name = "Cray X1E";
+  m.short_name = "x1e";
+  m.location = "(projected)";
+  m.proc.name = "Cray X1E MSP";
+  m.proc.clock_hz = 1.13e9;  // 18.1 Gflop/s per MSP
+  m.cpus_per_node = 8;
+  m.max_cpus = 256;
+  m.mem.node_aggregate_Bps = 136e9;  // same memory system, more CPUs
+  return m;
+}
+
+MachineConfig power5_cluster() {
+  MachineConfig m;
+  m.name = "IBM POWER5+ cluster";
+  m.short_name = "p5";
+  m.network_name = "HPS (Federation)";
+  m.location = "(projected)";
+  m.vendor = "IBM";
+
+  m.proc.name = "POWER5+";
+  m.proc.cpu_class = CpuClass::kScalar;
+  m.proc.clock_hz = 1.9e9;
+  m.proc.flops_per_cycle = 4.0;  // 2 FMA pipes
+  m.proc.dgemm_efficiency = 0.90;
+  m.proc.hpl_kernel_efficiency = 0.77;
+  m.proc.fft_efficiency = 0.11;
+  m.proc.stream_copy_Bps = 6.0e9;
+  m.proc.random_update_rate = 15e6;
+
+  m.mem.single_cpu_Bps = 6.0e9;
+  m.mem.node_aggregate_Bps = 48e9;  // strong SMP memory system
+
+  m.cpus_per_node = 16;
+  m.max_cpus = 512;
+
+  m.topology = TopologyKind::kFatTree;
+  m.host_link = {2.0e9, 0.3e-6};  // dual-plane HPS, per-direction
+  m.fabric_link = {2.0e9, 0.3e-6};
+
+  m.nic.send_overhead_s = 2.3e-6;
+  m.nic.recv_overhead_s = 2.3e-6;
+  m.nic.injection_Bps = 2.0e9;
+  m.nic.per_message_gap_s = 0.2e-6;
+
+  m.node.intranode_Bps = 4.0e9;
+  m.node.intranode_latency_s = 0.6e-6;
+  m.node.node_mem_Bps = 48e9;
+  return m;
+}
+
+MachineConfig gige_cluster() {
+  MachineConfig m;
+  m.name = "Linux cluster (GigE)";
+  m.short_name = "gige";
+  m.network_name = "Gigabit Ethernet";
+  m.location = "(projected)";
+  m.vendor = "white-box";
+
+  m.proc.name = "commodity x86";
+  m.proc.cpu_class = CpuClass::kScalar;
+  m.proc.clock_hz = 2.4e9;
+  m.proc.flops_per_cycle = 2.0;
+  m.proc.dgemm_efficiency = 0.85;
+  m.proc.hpl_kernel_efficiency = 0.65;
+  m.proc.fft_efficiency = 0.07;
+  m.proc.stream_copy_Bps = 3.5e9;
+  m.proc.random_update_rate = 10e6;
+
+  m.mem.single_cpu_Bps = 3.5e9;
+  m.mem.node_aggregate_Bps = 5.0e9;
+
+  m.cpus_per_node = 2;
+  m.max_cpus = 256;
+
+  m.topology = TopologyKind::kClos;
+  m.clos_hosts_per_leaf = 24;  // 48-port switch, 2:1 uplinked
+  m.clos_spines = 12;
+  m.host_link = {0.112e9, 5e-6};  // ~112 MB/s TCP payload rate
+  m.fabric_link = {0.112e9, 5e-6};
+
+  m.nic.send_overhead_s = 18e-6;  // kernel TCP stack
+  m.nic.recv_overhead_s = 18e-6;
+  m.nic.injection_Bps = 0.112e9;
+  m.nic.per_message_gap_s = 2e-6;
+
+  m.node.intranode_Bps = 1.2e9;
+  m.node.intranode_latency_s = 0.8e-6;
+  m.node.node_mem_Bps = 5.0e9;
+  return m;
+}
+
+std::vector<MachineConfig> future_machines() {
+  return {bluegene_p(), cray_xt4(), cray_x1e(), power5_cluster(),
+          gige_cluster()};
+}
+
+}  // namespace hpcx::mach

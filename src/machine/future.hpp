@@ -1,0 +1,36 @@
+// The five additional architectures the paper planned to evaluate
+// ("In the future we plan to ... include five more architectures —
+// Linux clusters with different networks, IBM Blue Gene/P, Cray XT4,
+// Cray X1E and a cluster of IBM POWER5+"), modelled from their public
+// specifications so the suites can be run on them today.
+//
+// These are extensions, not reproductions: no paper data exists to
+// calibrate against, so parameters come from vendor documentation and
+// contemporaneous benchmarking literature.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace hpcx::mach {
+
+/// IBM Blue Gene/P: 850 MHz PPC450 quad-core nodes, 3-D torus network.
+MachineConfig bluegene_p();
+
+/// Cray XT4: 2.6 GHz dual-core Opteron nodes, SeaStar2 3-D torus.
+MachineConfig cray_xt4();
+
+/// Cray X1E: the X1's mid-life upgrade (1.13 GHz MSPs, doubled density).
+MachineConfig cray_x1e();
+
+/// IBM POWER5+ cluster: 1.9 GHz POWER5+ 16-way SMP nodes, HPS fabric.
+MachineConfig power5_cluster();
+
+/// Commodity Linux cluster on gigabit Ethernet (the low-cost baseline).
+MachineConfig gige_cluster();
+
+/// All five, in the order above.
+std::vector<MachineConfig> future_machines();
+
+}  // namespace hpcx::mach

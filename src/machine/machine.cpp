@@ -1,0 +1,80 @@
+#include "machine/machine.hpp"
+
+#include "core/error.hpp"
+#include "topology/clos.hpp"
+#include "topology/crossbar.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/torus.hpp"
+
+namespace hpcx::mach {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFatTree:
+      return "fat-tree";
+    case TopologyKind::kHypercube:
+      return "hypercube";
+    case TopologyKind::kCrossbar:
+      return "crossbar";
+    case TopologyKind::kClos:
+      return "clos";
+    case TopologyKind::kTorus:
+      return "torus";
+  }
+  return "?";
+}
+
+int MachineConfig::nodes_for(int cpus) const {
+  HPCX_REQUIRE(cpus >= 1, "need at least one CPU");
+  return (cpus + cpus_per_node - 1) / cpus_per_node;
+}
+
+topo::Graph MachineConfig::build_topology(int nodes) const {
+  HPCX_REQUIRE(nodes >= 1, "need at least one node");
+  switch (topology) {
+    case TopologyKind::kFatTree: {
+      topo::FatTreeConfig cfg;
+      cfg.num_hosts = nodes;
+      cfg.host_link = host_link;
+      cfg.fabric_link = fabric_link;
+      cfg.core_taper = core_taper;
+      if (single_box_nodes > 0 && nodes > single_box_nodes)
+        cfg.core_taper *= multi_box_taper;
+      return topo::build_fat_tree(cfg);
+    }
+    case TopologyKind::kHypercube: {
+      topo::HypercubeConfig cfg;
+      cfg.num_hosts = nodes;
+      cfg.host_link = host_link;
+      cfg.cube_link = fabric_link;
+      return topo::build_hypercube(cfg);
+    }
+    case TopologyKind::kCrossbar: {
+      topo::CrossbarConfig cfg;
+      cfg.num_hosts = nodes;
+      cfg.host_link = host_link;
+      return topo::build_crossbar(cfg);
+    }
+    case TopologyKind::kClos: {
+      topo::ClosConfig cfg;
+      cfg.num_hosts = nodes;
+      cfg.hosts_per_leaf = clos_hosts_per_leaf;
+      cfg.spines = clos_spines;
+      cfg.host_link = host_link;
+      cfg.up_link = fabric_link;
+      return topo::build_clos(cfg);
+    }
+    case TopologyKind::kTorus: {
+      topo::TorusConfig cfg;
+      cfg.dims = topo::torus_dims_for(nodes, torus_dimensions);
+      cfg.num_hosts = nodes;
+      cfg.host_link = host_link;
+      cfg.torus_link = fabric_link;
+      return topo::build_torus(cfg);
+    }
+  }
+  throw ConfigError("unknown topology kind");
+}
+
+}  // namespace hpcx::mach

@@ -1,0 +1,78 @@
+// Complete machine description: processor + memory + node structure +
+// interconnect. One MachineConfig per paper system (src/machine/registry)
+// plus whatever users define themselves (examples/design_your_cluster).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "machine/memory.hpp"
+#include "machine/processor.hpp"
+#include "netsim/network.hpp"
+#include "topology/graph.hpp"
+
+namespace hpcx::mach {
+
+enum class TopologyKind { kFatTree, kHypercube, kCrossbar, kClos, kTorus };
+
+const char* to_string(TopologyKind kind);
+
+struct MachineConfig {
+  std::string name;        ///< e.g. "NEC SX-8"
+  std::string short_name;  ///< e.g. "sx8" (stable key for the registry)
+  std::string network_name;  ///< e.g. "IXS" (paper Table 2 column)
+  std::string location;    ///< paper Table 2 column
+  std::string vendor;      ///< paper Table 2 column
+
+  ProcessorModel proc;
+  MemoryModel mem;
+  int cpus_per_node = 2;
+  int max_cpus = 512;  ///< largest CPU count the paper measured
+
+  TopologyKind topology = TopologyKind::kFatTree;
+  net::NicParams nic;
+  net::NodeParams node;
+
+  /// Interconnect cable parameters handed to the topology builder.
+  topo::LinkParams host_link;
+  topo::LinkParams fabric_link;
+  /// Fat-tree core taper for blocking cores (1.0 = non-blocking).
+  double core_taper = 1.0;
+  /// Clos structure (used when topology == kClos).
+  int clos_hosts_per_leaf = 8;
+  int clos_spines = 8;
+  /// Torus dimensionality (used when topology == kTorus); ring lengths
+  /// are chosen near-cubic for the node count.
+  int torus_dimensions = 3;
+  /// Hardware/global-memory barrier latency; > 0 makes SimComm's
+  /// barrier a flat-cost hardware synchronisation instead of the
+  /// dissemination algorithm (NEC IXS global memory, Cray X1).
+  double hw_barrier_latency_s = 0;
+  /// Node count above which an extra tapered "multi-box" penalty applies
+  /// (SGI Altix beyond one 512-CPU box); 0 disables. The taper is applied
+  /// to the fat-tree core when exceeded.
+  int single_box_nodes = 0;
+  double multi_box_taper = 1.0;
+
+  double peak_flops_per_node() const {
+    return proc.peak_flops() * cpus_per_node;
+  }
+
+  /// Number of nodes needed for `cpus` ranks (block rank placement).
+  int nodes_for(int cpus) const;
+
+  /// Host (node) index of a given rank under block placement, matching
+  /// how the paper's runs place consecutive ranks on a node.
+  int node_of_rank(int rank) const { return rank / cpus_per_node; }
+
+  /// Build the interconnect graph for `nodes` nodes.
+  topo::Graph build_topology(int nodes) const;
+
+  /// Effective per-CPU STREAM bandwidth with every CPU of a fully
+  /// populated node active (the EP- benchmarks' operating point).
+  double stream_per_cpu_all_active() const {
+    return mem.per_cpu_Bps(cpus_per_node);
+  }
+};
+
+}  // namespace hpcx::mach

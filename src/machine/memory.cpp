@@ -1,0 +1,16 @@
+#include "machine/memory.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpcx::mach {
+
+double MemoryModel::per_cpu_Bps(int active_cpus) const {
+  HPCX_ASSERT(active_cpus >= 1);
+  HPCX_ASSERT(single_cpu_Bps > 0 && node_aggregate_Bps > 0);
+  return std::min(single_cpu_Bps,
+                  node_aggregate_Bps / static_cast<double>(active_cpus));
+}
+
+}  // namespace hpcx::mach

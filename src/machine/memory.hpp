@@ -1,0 +1,19 @@
+// Node memory-subsystem model: how per-CPU STREAM bandwidth degrades as
+// more CPUs on the node are active — the effect behind the paper's
+// Byte/Flop balance analysis (Figs 3-4).
+#pragma once
+
+namespace hpcx::mach {
+
+struct MemoryModel {
+  /// STREAM copy bandwidth of one CPU with the node otherwise idle.
+  double single_cpu_Bps = 2e9;
+  /// Aggregate node memory bandwidth shared by all CPUs of the node.
+  double node_aggregate_Bps = 4e9;
+
+  /// Effective per-CPU STREAM bandwidth with `active` CPUs running the
+  /// benchmark simultaneously (EP-STREAM runs all ranks at once).
+  double per_cpu_Bps(int active_cpus) const;
+};
+
+}  // namespace hpcx::mach

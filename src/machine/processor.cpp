@@ -1,0 +1,35 @@
+#include "machine/processor.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hpcx::mach {
+
+double ProcessorModel::dgemm_seconds(double m, double n, double k) const {
+  HPCX_ASSERT(m >= 0 && n >= 0 && k >= 0);
+  return 2.0 * m * n * k / (peak_flops() * dgemm_efficiency);
+}
+
+double ProcessorModel::hpl_flops_seconds(double flops) const {
+  HPCX_ASSERT(flops >= 0);
+  return flops / (peak_flops() * hpl_kernel_efficiency);
+}
+
+double ProcessorModel::fft_seconds(double n) const {
+  if (n <= 1) return 0.0;
+  const double flops = 5.0 * n * std::log2(n);
+  return flops / (peak_flops() * fft_efficiency);
+}
+
+double ProcessorModel::stream_seconds(double bytes, double effective_Bps) {
+  HPCX_ASSERT(effective_Bps > 0);
+  return bytes / effective_Bps;
+}
+
+double ProcessorModel::random_update_seconds(double updates) const {
+  HPCX_ASSERT(random_update_rate > 0);
+  return updates / random_update_rate;
+}
+
+}  // namespace hpcx::mach

@@ -1,0 +1,61 @@
+// Processor compute-cost model.
+//
+// Kernels running under the simulator charge local computation through
+// this model instead of re-executing the math: the time formulas are the
+// standard flop/byte counts of each HPCC kernel divided by a sustained
+// rate that depends on the architecture class (vector vs cache-based
+// scalar — the axis the paper's analysis revolves around).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpcx::mach {
+
+enum class CpuClass { kScalar, kVector };
+
+struct ProcessorModel {
+  std::string name;
+  CpuClass cpu_class = CpuClass::kScalar;
+  double clock_hz = 1e9;
+  double flops_per_cycle = 2.0;
+
+  /// Sustained fraction of peak for DGEMM-like dense kernels.
+  double dgemm_efficiency = 0.85;
+  /// Sustained fraction of peak for the HPL panel/update mix (slightly
+  /// below DGEMM because of pivoting and triangular solves).
+  double hpl_kernel_efficiency = 0.80;
+  /// Panel (getf2) rate as a fraction of the update rate: the panel is
+  /// latency/memory-bound; vector pipes hide more of it.
+  double hpl_panel_fraction = 0.30;
+  /// Sustained flop rate fraction for power-of-two FFTs (strided access;
+  /// the paper notes the HPCC FFT "does not completely vectorize").
+  double fft_efficiency = 0.12;
+
+  /// STREAM copy bandwidth with a single CPU active on the node.
+  double stream_copy_Bps = 2e9;
+  /// Random 8-byte update rate (GUPS model): updates/second achievable by
+  /// one CPU against its local memory.
+  double random_update_rate = 5e6;
+
+  double peak_flops() const { return clock_hz * flops_per_cycle; }
+
+  /// Seconds for C += A*B with A m-by-k, B k-by-n.
+  double dgemm_seconds(double m, double n, double k) const;
+
+  /// Seconds for the O(n*nb) panel + O(n^2 * nb) update work HPL performs
+  /// per step, folded into one "useful flops at HPL efficiency" charge.
+  double hpl_flops_seconds(double flops) const;
+
+  /// Seconds for an in-cache/memory complex-to-complex FFT of n points
+  /// (5 n log2 n real flops at fft_efficiency * peak).
+  double fft_seconds(double n) const;
+
+  /// Seconds to stream `bytes` at the given effective bandwidth.
+  static double stream_seconds(double bytes, double effective_Bps);
+
+  /// Seconds for `updates` random table updates.
+  double random_update_seconds(double updates) const;
+};
+
+}  // namespace hpcx::mach

@@ -1,0 +1,31 @@
+// The five systems of the paper (plus variants the paper also plots:
+// SGI Altix with NUMALINK3, Cray X1 in SSP mode), parameterised from the
+// paper's Section 2 hardware descriptions, Tables 1-2, and the absolute
+// anchor values quoted in the text (see DESIGN.md §6 for the list).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace hpcx::mach {
+
+MachineConfig altix_bx2();        // SGI Altix BX2, NUMALINK4 fat tree
+MachineConfig altix_numalink3();  // same box, NUMALINK3 (Figs 1-4)
+MachineConfig cray_x1_msp();      // Cray X1, MSP mode, 4D hypercube
+MachineConfig cray_x1_ssp();      // Cray X1, SSP mode
+MachineConfig cray_opteron();     // Cray Opteron Cluster, Myrinet Clos
+MachineConfig dell_xeon();        // Dell Xeon Cluster, InfiniBand fat tree
+MachineConfig nec_sx8();          // NEC SX-8, IXS crossbar
+
+/// The five headline systems in the paper's plotting order.
+std::vector<MachineConfig> paper_machines();
+
+/// The full set including the NUMALINK3 and SSP variants.
+std::vector<MachineConfig> all_machines();
+
+/// Look up by short_name ("altix_bx2", "sx8", ...); throws ConfigError.
+MachineConfig machine_by_name(const std::string& short_name);
+
+}  // namespace hpcx::mach

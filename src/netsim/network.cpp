@@ -1,0 +1,116 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hpcx::net {
+
+Network::Network(des::Simulator& sim, topo::Graph graph, NicParams nic,
+                 NodeParams node)
+    : sim_(&sim),
+      graph_(std::move(graph)),
+      routing_(graph_),
+      nic_(nic),
+      node_(node) {
+  HPCX_REQUIRE(nic_.injection_Bps > 0, "injection bandwidth must be > 0");
+  HPCX_REQUIRE(node_.intranode_Bps > 0, "intranode bandwidth must be > 0");
+  HPCX_REQUIRE(node_.node_mem_Bps > 0, "node memory bandwidth must be > 0");
+  edge_busy_.assign(graph_.num_edges(), des::SimResource(*sim_));
+  edge_stats_.assign(graph_.num_edges(), EdgeStats{});
+  nic_tx_.assign(graph_.num_hosts(), des::SimResource(*sim_));
+  node_mem_.assign(graph_.num_hosts(), des::SimResource(*sim_));
+}
+
+void Network::send(int src, int dst, std::size_t bytes,
+                   std::function<void()> on_delivered) {
+  HPCX_ASSERT(src >= 0 && static_cast<std::size_t>(src) < graph_.num_hosts());
+  HPCX_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < graph_.num_hosts());
+  if (src == dst) {
+    ++intranode_messages_;
+    send_local(src, bytes, std::move(on_delivered));
+  } else {
+    ++internode_messages_;
+    internode_bytes_ += bytes;
+    send_remote(src, dst, bytes, std::move(on_delivered));
+  }
+}
+
+void Network::send_local(int host, std::size_t bytes,
+                         std::function<void()> on_delivered) {
+  // The sending CPU performs the copy: per-transfer effective bandwidth,
+  // stretched if the node's aggregate memory bandwidth is oversubscribed
+  // by concurrent transfers.
+  const double fbytes = static_cast<double>(bytes);
+  const double copy_s = node_.intranode_latency_s + fbytes / node_.intranode_Bps;
+  auto& mem = node_mem_[static_cast<std::size_t>(host)];
+  // Reserve the aggregate memory engine for this transfer's share of
+  // traffic; the transfer cannot finish before either constraint.
+  const double aggregate_end =
+      mem.reserve(sim_->now(), fbytes / node_.node_mem_Bps);
+  const double done = std::max(sim_->now() + copy_s, aggregate_end);
+  sim_->schedule(done - sim_->now(), std::move(on_delivered));
+  sim_->sleep(done - sim_->now());  // sender CPU busy for the copy
+}
+
+void Network::send_remote(int src, int dst, std::size_t bytes,
+                          std::function<void()> on_delivered) {
+  const double fbytes = static_cast<double>(bytes);
+
+  // Send-side software overhead: CPU busy.
+  sim_->sleep(nic_.send_overhead_s);
+
+  // NIC injection behaves like a virtual first link of the cut-through
+  // chain: it serialises the message at injection_Bps (back-pressuring
+  // concurrent senders on the same host adaptor) while the head already
+  // propagates into the fabric — injection and wire serialisation
+  // overlap, as on real cut-through networks.
+  auto& tx = nic_tx_[static_cast<std::size_t>(src)];
+  const double inject_entry = std::max(sim_->now(), tx.next_free());
+  const double inject_end = tx.reserve(
+      inject_entry, nic_.per_message_gap_s + fbytes / nic_.injection_Bps);
+
+  // Walk the routed path reserving each link. The head advances one hop
+  // latency per link and queues behind busy links; serialisation runs
+  // concurrently on all links (cut-through), so arrival is bounded by
+  // the slowest reservation end (injection included).
+  const std::vector<topo::EdgeId> path = routing_.path(src, dst);
+  HPCX_ASSERT(!path.empty());
+  double head = inject_entry + nic_.per_message_gap_s;
+  double arrival = inject_end;
+  for (const topo::EdgeId e : path) {
+    const topo::Edge& edge = graph_.edge(e);
+    auto& busy = edge_busy_[static_cast<std::size_t>(e)];
+    const double free_at = busy.next_free();
+    const double entry = std::max(head + edge.params.latency_s, free_at);
+    const double ser_end =
+        busy.reserve(entry, fbytes / edge.params.bandwidth_Bps);
+    EdgeStats& stats = edge_stats_[static_cast<std::size_t>(e)];
+    ++stats.messages;
+    stats.bytes += bytes;
+    stats.busy_s += fbytes / edge.params.bandwidth_Bps;
+    stats.queued_s += std::max(0.0, free_at - (head + edge.params.latency_s));
+    head = entry;
+    arrival = std::max(arrival, ser_end);
+  }
+
+  sim_->schedule(arrival - sim_->now(), std::move(on_delivered));
+  // Block the sending CPU until its NIC has drained the message.
+  sim_->sleep(inject_end - sim_->now());
+}
+
+std::vector<std::pair<topo::EdgeId, Network::EdgeStats>>
+Network::hottest_edges(std::size_t top_n) const {
+  std::vector<std::pair<topo::EdgeId, EdgeStats>> all;
+  all.reserve(edge_stats_.size());
+  for (std::size_t e = 0; e < edge_stats_.size(); ++e)
+    all.emplace_back(static_cast<topo::EdgeId>(e), edge_stats_[e]);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second.busy_s > b.second.busy_s;
+  });
+  if (all.size() > top_n) all.resize(top_n);
+  return all;
+}
+
+}  // namespace hpcx::net

@@ -1,0 +1,109 @@
+// Message-level network simulator.
+//
+// Sits between the topology (static structure) and the simulated MPI
+// layer (SimComm). A transfer between two ranks maps to either
+//
+//  * an intra-node copy through the node's memory system — modelled with
+//    a per-transfer effective bandwidth plus an aggregate node memory
+//    resource that concurrent transfers on the same node contend for; or
+//
+//  * an inter-node network message: LogGP-style sender overhead and NIC
+//    injection serialisation, then cut-through forwarding along the
+//    routed path with per-link busy reservation (each directed link is
+//    occupied for bytes/bandwidth; heads advance one hop latency at a
+//    time; queueing emerges from the reservations).
+//
+// All decisions are made in event context in deterministic order, so a
+// given workload always produces the same timings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "des/sync.hpp"
+#include "topology/graph.hpp"
+#include "topology/routing.hpp"
+
+namespace hpcx::net {
+
+/// NIC / MPI software stack cost parameters (LogGP-flavoured).
+struct NicParams {
+  double send_overhead_s = 1e-6;   ///< CPU time to initiate a send
+  double recv_overhead_s = 1e-6;   ///< CPU time to complete a receive
+  double injection_Bps = 1e9;      ///< host adaptor serialisation bandwidth
+  double per_message_gap_s = 0.0;  ///< extra per-message NIC gap
+};
+
+/// Intra-node transfer parameters (shared-memory MPI path).
+struct NodeParams {
+  double intranode_Bps = 2e9;      ///< effective single-transfer bandwidth
+  double intranode_latency_s = 5e-7;
+  double node_mem_Bps = 8e9;       ///< aggregate node memory bandwidth cap
+};
+
+class Network {
+ public:
+  Network(des::Simulator& sim, topo::Graph graph, NicParams nic,
+          NodeParams node);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Transfer `bytes` from host `src` to host `dst` (host indices).
+  /// Must be called from a process fiber: the *caller is blocked* for the
+  /// send-side cost (overhead + injection serialisation, or the full copy
+  /// for intra-node). `on_delivered` fires in event context when the last
+  /// byte reaches the destination; the receive overhead is NOT included
+  /// (the communicator charges it to the receiving rank).
+  void send(int src, int dst, std::size_t bytes,
+            std::function<void()> on_delivered);
+
+  double recv_overhead_s() const { return nic_.recv_overhead_s; }
+  const topo::Graph& graph() const { return graph_; }
+  const topo::Routing& routing() const { return routing_; }
+
+  /// Number of messages that crossed node boundaries / stayed local.
+  std::uint64_t internode_messages() const { return internode_messages_; }
+  std::uint64_t intranode_messages() const { return intranode_messages_; }
+  /// Total bytes carried over network links (payload, once per message).
+  std::uint64_t internode_bytes() const { return internode_bytes_; }
+
+  /// Per-directed-edge traffic accounting, for hotspot analysis.
+  struct EdgeStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    double busy_s = 0;     ///< total serialisation time reserved
+    double queued_s = 0;   ///< total head-of-line waiting inflicted
+  };
+  const EdgeStats& edge_stats(topo::EdgeId e) const {
+    return edge_stats_[static_cast<std::size_t>(e)];
+  }
+  /// Edges sorted by busy time, hottest first (index, stats) pairs.
+  std::vector<std::pair<topo::EdgeId, EdgeStats>> hottest_edges(
+      std::size_t top_n) const;
+
+ private:
+  void send_local(int host, std::size_t bytes,
+                  std::function<void()> on_delivered);
+  void send_remote(int src, int dst, std::size_t bytes,
+                   std::function<void()> on_delivered);
+
+  des::Simulator* sim_;
+  topo::Graph graph_;
+  topo::Routing routing_;
+  NicParams nic_;
+  NodeParams node_;
+  std::vector<des::SimResource> edge_busy_;  // per directed edge
+  std::vector<EdgeStats> edge_stats_;        // per directed edge
+  std::vector<des::SimResource> nic_tx_;     // per host
+  std::vector<des::SimResource> node_mem_;   // per host (aggregate memory)
+  std::uint64_t internode_messages_ = 0;
+  std::uint64_t intranode_messages_ = 0;
+  std::uint64_t internode_bytes_ = 0;
+};
+
+}  // namespace hpcx::net

@@ -1,0 +1,136 @@
+#include "report/figures.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "core/units.hpp"
+#include "machine/registry.hpp"
+#include "report/series.hpp"
+
+namespace hpcx::report {
+
+Table imb_figure(const std::string& title, imb::BenchmarkId id,
+                 std::size_t msg_bytes, bool as_bandwidth) {
+  const auto machines = imb_figure_machines();
+
+  // Row set: union of all machines' CPU counts.
+  std::set<int> all_counts;
+  for (const auto& m : machines)
+    for (int p : imb_cpu_counts(m)) all_counts.insert(p);
+
+  Table table(title);
+  std::vector<std::string> header{"CPUs"};
+  for (const auto& m : machines) header.push_back(m.name);
+  table.set_header(std::move(header));
+
+  for (const int p : all_counts) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& m : machines) {
+      const auto counts = imb_cpu_counts(m);
+      if (std::find(counts.begin(), counts.end(), p) == counts.end()) {
+        row.push_back("-");
+        continue;
+      }
+      const imb::ImbResult r = measure_imb(m, p, id, msg_bytes);
+      if (as_bandwidth)
+        row.push_back(format_fixed(r.bandwidth_Bps / 1e6, 1));  // MB/s
+      else
+        row.push_back(format_fixed(r.t_avg_s * 1e6, 2));  // us/call
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_note(as_bandwidth ? "cells: MB/s (higher is better)"
+                              : "cells: us/call (smaller is better)");
+  table.add_note("message size: " + format_bytes(msg_bytes) +
+                 " (per IMB convention of the benchmark)");
+  return table;
+}
+
+namespace {
+constexpr std::size_t kMB = 1 << 20;
+
+void print_figure(std::ostream& os, const std::string& title,
+                  imb::BenchmarkId id, bool as_bandwidth,
+                  std::size_t msg = kMB) {
+  imb_figure(title, id, msg, as_bandwidth).print(os);
+}
+}  // namespace
+
+void print_fig06_barrier(std::ostream& os) {
+  print_figure(os, "Fig 6: IMB Barrier, execution time vs CPUs",
+               imb::BenchmarkId::kBarrier, false, 0);
+}
+void print_fig07_allreduce(std::ostream& os) {
+  print_figure(os, "Fig 7: IMB Allreduce, 1 MB", imb::BenchmarkId::kAllreduce,
+               false);
+}
+void print_fig08_reduce(std::ostream& os) {
+  print_figure(os, "Fig 8: IMB Reduce, 1 MB", imb::BenchmarkId::kReduce,
+               false);
+}
+void print_fig09_reduce_scatter(std::ostream& os) {
+  print_figure(os, "Fig 9: IMB Reduce_scatter, 1 MB",
+               imb::BenchmarkId::kReduceScatter, false);
+}
+void print_fig10_allgather(std::ostream& os) {
+  print_figure(os, "Fig 10: IMB Allgather, 1 MB",
+               imb::BenchmarkId::kAllgather, false);
+}
+void print_fig11_allgatherv(std::ostream& os) {
+  print_figure(os, "Fig 11: IMB Allgatherv, 1 MB",
+               imb::BenchmarkId::kAllgatherv, false);
+}
+void print_fig12_alltoall(std::ostream& os) {
+  print_figure(os, "Fig 12: IMB Alltoall, 1 MB", imb::BenchmarkId::kAlltoall,
+               false);
+}
+void print_fig13_sendrecv(std::ostream& os) {
+  print_figure(os, "Fig 13: IMB Sendrecv bandwidth, 1 MB",
+               imb::BenchmarkId::kSendrecv, true);
+}
+void print_fig14_exchange(std::ostream& os) {
+  print_figure(os, "Fig 14: IMB Exchange bandwidth, 1 MB",
+               imb::BenchmarkId::kExchange, true);
+}
+void print_fig15_bcast(std::ostream& os) {
+  print_figure(os, "Fig 15: IMB Broadcast, 1 MB", imb::BenchmarkId::kBcast,
+               false);
+}
+
+void print_table1_altix(std::ostream& os) {
+  // Architecture parameters of the SGI Altix BX2 (paper Table 1).
+  Table t("Table 1: Architecture parameters of SGI Altix BX2");
+  t.set_header({"Characteristics", "SGI Altix BX2"});
+  t.add_row({"Clock (GHz)", "1.6"});
+  t.add_row({"C-Bricks", "64"});
+  t.add_row({"IX-Bricks", "4"});
+  t.add_row({"Routers", "128"});
+  t.add_row({"Meta Routers", "48"});
+  t.add_row({"CPUs", "512"});
+  t.add_row({"L3-cache (MB)", "9"});
+  t.add_row({"Memory (TB)", "1"});
+  t.add_row({"R-bricks", "48"});
+  t.add_note("values as published; the simulation model uses the clock, "
+             "CPU count and NUMALINK parameters");
+  t.print(os);
+}
+
+void print_table2_systems(std::ostream& os) {
+  Table t("Table 2: System characteristics of the five computing platforms");
+  t.set_header({"Platform", "Type", "CPUs/node", "Clock (GHz)",
+                "Peak/node (Gflop/s)", "Network", "Topology", "Location",
+                "Vendor"});
+  for (const auto& m : mach::paper_machines()) {
+    t.add_row({m.name,
+               m.proc.cpu_class == mach::CpuClass::kVector ? "Vector"
+                                                           : "Scalar",
+               std::to_string(m.cpus_per_node),
+               format_fixed(m.proc.clock_hz / 1e9, 3),
+               format_fixed(m.peak_flops_per_node() / 1e9, 1), m.network_name,
+               to_string(m.topology), m.location, m.vendor});
+  }
+  t.print(os);
+}
+
+}  // namespace hpcx::report

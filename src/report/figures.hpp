@@ -1,0 +1,34 @@
+// Regeneration of every IMB figure of the paper (Figs 6-15) plus the two
+// architecture tables (Tables 1-2). Each function prints one table whose
+// rows/columns mirror the paper's plot: rows = CPU counts, columns = the
+// six machine series, cells = us/call (or MB/s for Sendrecv/Exchange).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "core/table.hpp"
+#include "imb/imb.hpp"
+
+namespace hpcx::report {
+
+/// Generic builder behind the per-figure functions.
+Table imb_figure(const std::string& title, imb::BenchmarkId id,
+                 std::size_t msg_bytes, bool as_bandwidth);
+
+void print_fig06_barrier(std::ostream& os);
+void print_fig07_allreduce(std::ostream& os);
+void print_fig08_reduce(std::ostream& os);
+void print_fig09_reduce_scatter(std::ostream& os);
+void print_fig10_allgather(std::ostream& os);
+void print_fig11_allgatherv(std::ostream& os);
+void print_fig12_alltoall(std::ostream& os);
+void print_fig13_sendrecv(std::ostream& os);
+void print_fig14_exchange(std::ostream& os);
+void print_fig15_bcast(std::ostream& os);
+
+void print_table1_altix(std::ostream& os);
+void print_table2_systems(std::ostream& os);
+
+}  // namespace hpcx::report

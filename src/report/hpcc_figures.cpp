@@ -1,0 +1,160 @@
+#include "report/hpcc_figures.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "core/units.hpp"
+#include "machine/registry.hpp"
+#include "report/series.hpp"
+
+namespace hpcx::report {
+
+namespace {
+
+/// The machines plotted in the paper's Figs 1-4 balance analysis.
+std::vector<mach::MachineConfig> balance_machines() {
+  return {mach::altix_bx2(), mach::altix_numalink3(), mach::cray_opteron(),
+          mach::dell_xeon(), mach::nec_sx8()};
+}
+
+hpcc::HpccParts balance_parts() {
+  hpcc::HpccParts parts;
+  parts.ptrans = false;
+  parts.random_access = false;
+  parts.fft = false;
+  return parts;  // HPL + ring (+ EP values, which are free)
+}
+
+}  // namespace
+
+void print_fig01_02_ring_vs_hpl(std::ostream& os) {
+  Table t(
+      "Figs 1-2: accumulated random-ring bandwidth vs HPL performance, and "
+      "their ratio (B/kFlop)");
+  t.set_header({"Machine", "CPUs", "HPL (Tflop/s)", "AccRingBW (GB/s)",
+                "Ratio (B/kFlop)"});
+  for (const auto& m : balance_machines()) {
+    for (const int p : hpcc_cpu_counts(m)) {
+      const hpcc::HpccReport& r = hpcc_report_cached(m, p, balance_parts());
+      const double acc_bw = r.ring_bw_Bps * p;
+      const double ratio = acc_bw / r.g_hpl_flops * 1000.0;  // B/kFlop
+      t.add_row({m.name, std::to_string(p),
+                 format_fixed(r.g_hpl_flops / 1e12, 4),
+                 format_fixed(acc_bw / 1e9, 2), format_fixed(ratio, 2)});
+    }
+  }
+  t.add_note("Fig 1 plots column 4 against column 3; Fig 2 plots column 5 "
+             "against column 3");
+  t.add_note("paper anchors: Altix NL4 ~203 B/kFlop inside one box, "
+             "~23 at 2024 CPUs; NEC SX-8 ~60; Cray Opteron ~24 at 64 CPUs");
+  t.print(os);
+}
+
+void print_fig03_04_stream_vs_hpl(std::ostream& os) {
+  Table t(
+      "Figs 3-4: accumulated EP-STREAM copy vs HPL performance, and the "
+      "Byte/Flop balance");
+  t.set_header({"Machine", "CPUs", "HPL (Tflop/s)", "AccStream (GB/s)",
+                "Byte/Flop"});
+  for (const auto& m : balance_machines()) {
+    for (const int p : hpcc_cpu_counts(m)) {
+      const hpcc::HpccReport& r = hpcc_report_cached(m, p, balance_parts());
+      const double acc_stream = r.ep_stream_copy_Bps * p;
+      t.add_row({m.name, std::to_string(p),
+                 format_fixed(r.g_hpl_flops / 1e12, 4),
+                 format_fixed(acc_stream / 1e9, 1),
+                 format_fixed(acc_stream / r.g_hpl_flops, 2)});
+    }
+  }
+  t.add_note("paper anchors: NEC SX-8 consistently above 2.67 B/F, Altix "
+             "above 0.36, Cray Opteron between 0.84 and 1.07");
+  t.print(os);
+}
+
+void print_fig05_table3(std::ostream& os) {
+  // Full suite at each machine's largest (2/3/5-smooth) configuration.
+  struct Entry {
+    mach::MachineConfig machine;
+    int cpus;
+    hpcc::HpccReport report;
+  };
+  std::vector<Entry> entries;
+  for (const auto& m : {mach::altix_bx2(), mach::cray_x1_msp(),
+                        mach::cray_opteron(), mach::dell_xeon(),
+                        mach::nec_sx8()}) {
+    // Largest configuration the paper ran the full suite on; the Altix
+    // stays inside one box (512), the SX-8 uses all 576 CPUs.
+    int cpus = std::min(m.max_cpus, 512);
+    if (m.short_name == "sx8") cpus = 576;
+    entries.push_back({m, cpus, hpcc_report_cached(m, cpus)});
+  }
+
+  // The eight ratio columns of Fig 5 (all "per HPL-flop"), computed as
+  // accumulated global values like the paper.
+  struct Column {
+    const char* name;
+    const char* unit;
+    double (*value)(const Entry&);
+  };
+  const Column columns[] = {
+      {"G-HPL", "TF/s",
+       [](const Entry& e) { return e.report.g_hpl_flops / 1e12; }},
+      {"G-EPDGEMM/G-HPL", "",
+       [](const Entry& e) {
+         return e.report.ep_dgemm_flops * e.cpus / e.report.g_hpl_flops;
+       }},
+      {"G-FFTE/G-HPL", "",
+       [](const Entry& e) { return e.report.g_fft_flops / e.report.g_hpl_flops; }},
+      {"G-Ptrans/G-HPL", "B/F",
+       [](const Entry& e) { return e.report.g_ptrans_Bps / e.report.g_hpl_flops; }},
+      {"G-StreamCopy/G-HPL", "B/F",
+       [](const Entry& e) {
+         return e.report.ep_stream_copy_Bps * e.cpus / e.report.g_hpl_flops;
+       }},
+      {"RandRingBW/PP-HPL", "B/F",
+       [](const Entry& e) {
+         return e.report.ring_bw_Bps * e.cpus / e.report.g_hpl_flops;
+       }},
+      {"1/RandRingLatency", "1/us",
+       [](const Entry& e) { return 1.0 / (e.report.ring_latency_s * 1e6); }},
+      {"G-RandomAccess/G-HPL", "Update/F",
+       [](const Entry& e) { return e.report.g_gups / e.report.g_hpl_flops; }},
+  };
+
+  // Table 3: the per-column maxima (the "corresponding absolute ratio
+  // values for 1 in Fig 5").
+  Table t3("Table 3: ratio values corresponding to 1.0 in Fig 5");
+  t3.set_header({"Ratio", "Maximum value"});
+  std::vector<double> maxima;
+  for (const auto& col : columns) {
+    double best = 0;
+    for (const auto& e : entries) best = std::max(best, col.value(e));
+    maxima.push_back(best);
+    t3.add_row({col.name, format_sci(best, 3) + (col.unit[0] ? " " : "") +
+                              col.unit});
+  }
+
+  // Fig 5: every value normalised by its column maximum.
+  Table t5(
+      "Fig 5: all benchmarks normalised with the HPL value, then by column "
+      "maximum (1.00 = best system per column)");
+  std::vector<std::string> header{"Machine", "CPUs"};
+  for (const auto& col : columns) header.push_back(col.name);
+  t5.set_header(std::move(header));
+  for (const auto& e : entries) {
+    std::vector<std::string> row{e.machine.name, std::to_string(e.cpus)};
+    for (std::size_t c = 0; c < std::size(columns); ++c) {
+      const double v = columns[c].value(e);
+      row.push_back(format_fixed(maxima[c] > 0 ? v / maxima[c] : 0.0, 3));
+    }
+    t5.add_row(std::move(row));
+  }
+  t5.add_note("paper: NEC SX-8 leads Ptrans/FFTE/StreamCopy; Cray Opteron "
+              "leads EP-DGEMM/HPL and RandomAccess/HPL; Altix leads the "
+              "latency column");
+  t5.print(os);
+  t3.print(os);
+}
+
+}  // namespace hpcx::report

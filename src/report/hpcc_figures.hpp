@@ -1,0 +1,23 @@
+// Regeneration of the paper's HPCC analysis: Figs 1-4 (random-ring and
+// STREAM balance vs HPL), Fig 5 (all benchmarks normalised by HPL and by
+// column maximum), and Table 3 (the absolute maxima behind Fig 5).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/table.hpp"
+
+namespace hpcx::report {
+
+/// Figs 1-2: accumulated random-ring bandwidth (GB/s) and its ratio to
+/// HPL (B/kFlop) over the HPL sweep of each machine.
+void print_fig01_02_ring_vs_hpl(std::ostream& os);
+
+/// Figs 3-4: accumulated EP-STREAM copy (GB/s) and Byte/Flop balance.
+void print_fig03_04_stream_vs_hpl(std::ostream& os);
+
+/// Fig 5 + Table 3: full-suite ratios at each machine's largest
+/// configuration, normalised like the paper's bar chart.
+void print_fig05_table3(std::ostream& os);
+
+}  // namespace hpcx::report

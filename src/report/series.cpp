@@ -1,0 +1,67 @@
+#include "report/series.hpp"
+
+#include <map>
+#include <string>
+
+#include "machine/registry.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx::report {
+
+std::vector<int> imb_cpu_counts(const mach::MachineConfig& machine) {
+  std::vector<int> counts;
+  for (int p = 2; p <= 512 && p <= machine.max_cpus; p *= 2)
+    counts.push_back(p);
+  if (!counts.empty() && machine.max_cpus > counts.back() &&
+      machine.max_cpus <= 1024 && machine.max_cpus != counts.back() * 2)
+    counts.push_back(machine.max_cpus);
+  return counts;
+}
+
+std::vector<int> hpcc_cpu_counts(const mach::MachineConfig& machine) {
+  std::vector<int> counts;
+  for (int p = 16; p <= machine.max_cpus; p *= 2) counts.push_back(p);
+  if (machine.max_cpus < 16) {
+    counts.push_back(machine.max_cpus);
+  } else if (counts.back() != machine.max_cpus &&
+             machine.max_cpus > counts.back()) {
+    counts.push_back(machine.max_cpus);
+  }
+  return counts;
+}
+
+imb::ImbResult measure_imb(const mach::MachineConfig& machine, int cpus,
+                           imb::BenchmarkId id, std::size_t msg_bytes) {
+  imb::ImbResult out;
+  xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
+    imb::ImbParams params;
+    params.msg_bytes = msg_bytes;
+    params.phantom = true;
+    params.warmup = 1;
+    params.repetitions = 2;
+    const imb::ImbResult r = imb::run_benchmark(id, c, params);
+    if (c.rank() == 0) out = r;
+  });
+  return out;
+}
+
+std::vector<mach::MachineConfig> imb_figure_machines() {
+  return {mach::altix_bx2(),    mach::cray_x1_msp(), mach::cray_x1_ssp(),
+          mach::cray_opteron(), mach::dell_xeon(),   mach::nec_sx8()};
+}
+
+const hpcc::HpccReport& hpcc_report_cached(const mach::MachineConfig& machine,
+                                           int cpus, hpcc::HpccParts parts) {
+  static std::map<std::tuple<std::string, int, int>, hpcc::HpccReport> cache;
+  const int mask = (parts.hpl << 0) | (parts.ptrans << 1) |
+                   (parts.random_access << 2) | (parts.fft << 3) |
+                   (parts.ring << 4);
+  const auto key = std::make_tuple(machine.short_name, cpus, mask);
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, hpcc::run_hpcc_sim(machine, cpus, {}, parts))
+             .first;
+  return it->second;
+}
+
+}  // namespace hpcx::report

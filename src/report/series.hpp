@@ -1,0 +1,40 @@
+// Sweep helpers shared by the figure harnesses: which CPU counts each
+// machine is measured at, and single-point measurement wrappers that run
+// one benchmark on one simulated machine configuration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/machine.hpp"
+
+namespace hpcx::report {
+
+/// Power-of-two CPU counts 2,4,...,512 clipped to the machine's maximum,
+/// with the machine's full size appended when it is not a power of two
+/// (e.g. the NEC SX-8's 576), mirroring the paper's x-axes.
+std::vector<int> imb_cpu_counts(const mach::MachineConfig& machine);
+
+/// CPU counts for the HPCC balance figures (Figs 1-4): coarser than the
+/// IMB sweep, reaching the machine's full size (2024 for the Altix).
+std::vector<int> hpcc_cpu_counts(const mach::MachineConfig& machine);
+
+/// One IMB measurement on the simulated machine (phantom payloads,
+/// deterministic). Returns the full min/avg/max record.
+imb::ImbResult measure_imb(const mach::MachineConfig& machine, int cpus,
+                           imb::BenchmarkId id, std::size_t msg_bytes);
+
+/// The machines of the paper's IMB figures, in plotting order:
+/// Altix BX2, Cray X1 (MSP), Cray X1 (SSP), Cray Opteron, Dell Xeon,
+/// NEC SX-8.
+std::vector<mach::MachineConfig> imb_figure_machines();
+
+/// Cache of HPCC reports per (machine, cpus, parts) within one process,
+/// since Figs 1-5 and Table 3 reuse the same sweeps.
+const hpcc::HpccReport& hpcc_report_cached(const mach::MachineConfig& machine,
+                                           int cpus,
+                                           hpcc::HpccParts parts = {});
+
+}  // namespace hpcx::report

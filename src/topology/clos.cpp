@@ -1,0 +1,45 @@
+#include "topology/clos.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+Graph build_clos(const ClosConfig& config) {
+  HPCX_REQUIRE(config.num_hosts >= 1, "clos needs at least one host");
+  HPCX_REQUIRE(config.hosts_per_leaf >= 1, "hosts_per_leaf must be >= 1");
+  HPCX_REQUIRE(config.spines >= 1, "spines must be >= 1");
+
+  const int leaves =
+      (config.num_hosts + config.hosts_per_leaf - 1) / config.hosts_per_leaf;
+
+  Graph g;
+
+  // A single leaf's worth of hosts needs no spine level at all: the leaf
+  // crossbar alone connects everything.
+  std::vector<VertexId> spine;
+  if (leaves > 1) {
+    spine.reserve(static_cast<std::size_t>(config.spines));
+    for (int s = 0; s < config.spines; ++s)
+      spine.push_back(g.add_switch("spine" + std::to_string(s)));
+  }
+
+  int placed = 0;
+  for (int l = 0; l < leaves; ++l) {
+    const VertexId leaf = g.add_switch("leaf" + std::to_string(l));
+    for (const VertexId s : spine)
+      g.add_duplex_link(leaf, s, config.up_link);
+    for (int h = 0; h < config.hosts_per_leaf && placed < config.num_hosts;
+         ++h) {
+      const VertexId host = g.add_host("h" + std::to_string(placed));
+      g.add_duplex_link(host, leaf, config.host_link);
+      ++placed;
+    }
+  }
+  HPCX_ASSERT(placed == config.num_hosts);
+  return g;
+}
+
+}  // namespace hpcx::topo

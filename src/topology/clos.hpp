@@ -1,0 +1,26 @@
+// Two-level Clos of fixed-radix crossbar switches — the Myrinet fabric
+// of the Cray Opteron Cluster ("Myrinet offers ready to use 8-256 port
+// switches; the 8 and 16 port switches are full crossbars") and an
+// alternative model for blocking InfiniBand stages.
+//
+// Leaves each carry `hosts_per_leaf` hosts and one uplink to every spine;
+// spines are pure crossbars. With spines == hosts_per_leaf the fabric is
+// non-blocking (1:1); fewer spines gives the over-subscription ratio
+// hosts_per_leaf : spines.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+struct ClosConfig {
+  int num_hosts = 0;
+  int hosts_per_leaf = 8;
+  int spines = 8;
+  LinkParams host_link;  ///< host <-> leaf
+  LinkParams up_link;    ///< leaf <-> spine
+};
+
+Graph build_clos(const ClosConfig& config);
+
+}  // namespace hpcx::topo

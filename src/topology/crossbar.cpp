@@ -1,0 +1,20 @@
+#include "topology/crossbar.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+Graph build_crossbar(const CrossbarConfig& config) {
+  HPCX_REQUIRE(config.num_hosts >= 1, "crossbar needs at least one host");
+  Graph g;
+  const VertexId xbar = g.add_switch("ixs");
+  for (int h = 0; h < config.num_hosts; ++h) {
+    const VertexId host = g.add_host("h" + std::to_string(h));
+    g.add_duplex_link(host, xbar, config.host_link);
+  }
+  return g;
+}
+
+}  // namespace hpcx::topo

@@ -1,0 +1,19 @@
+// Full crossbar builder — the NEC SX-8 IXS ("internodes fully cross bar
+// switch with 16 GB/s bidirectional interconnect"; at HLRS a 128x128
+// crossbar). Modelled as one non-blocking switch with one duplex cable
+// per node; the cable bandwidth is the per-node injection limit the
+// paper describes ("the 8 processors inside a node share the bandwidth").
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+struct CrossbarConfig {
+  int num_hosts = 0;
+  LinkParams host_link;  ///< node <-> crossbar, per direction
+};
+
+Graph build_crossbar(const CrossbarConfig& config);
+
+}  // namespace hpcx::topo

@@ -1,0 +1,73 @@
+#include "topology/fat_tree.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+int fat_tree_radix_for(int num_hosts) {
+  HPCX_REQUIRE(num_hosts >= 1, "fat tree needs at least one host");
+  for (int k = 2;; k += 2) {
+    if (static_cast<long long>(k) * k * k / 4 >= num_hosts) return k;
+  }
+}
+
+Graph build_fat_tree(const FatTreeConfig& config) {
+  HPCX_REQUIRE(config.num_hosts >= 1, "fat tree needs at least one host");
+  HPCX_REQUIRE(config.core_taper > 0.0, "core_taper must be positive");
+  const int k = fat_tree_radix_for(config.num_hosts);
+  const int half = k / 2;
+
+  Graph g;
+
+  // Core switches: (k/2)^2, indexed [i][j].
+  std::vector<VertexId> core;
+  core.reserve(static_cast<std::size_t>(half) * half);
+  for (int i = 0; i < half * half; ++i)
+    core.push_back(g.add_switch("core" + std::to_string(i)));
+
+  LinkParams up = config.fabric_link;
+  up.bandwidth_Bps *= config.core_taper;
+
+  int hosts_placed = 0;
+  for (int pod = 0; pod < k && hosts_placed < config.num_hosts; ++pod) {
+    std::vector<VertexId> agg(static_cast<std::size_t>(half));
+    std::vector<VertexId> edge(static_cast<std::size_t>(half));
+    for (int a = 0; a < half; ++a)
+      agg[static_cast<std::size_t>(a)] =
+          g.add_switch("agg" + std::to_string(pod) + "." + std::to_string(a));
+    for (int e = 0; e < half; ++e)
+      edge[static_cast<std::size_t>(e)] =
+          g.add_switch("edge" + std::to_string(pod) + "." + std::to_string(e));
+
+    // Pod-internal full bipartite edge<->agg.
+    for (int e = 0; e < half; ++e)
+      for (int a = 0; a < half; ++a)
+        g.add_duplex_link(edge[static_cast<std::size_t>(e)],
+                          agg[static_cast<std::size_t>(a)],
+                          config.fabric_link);
+
+    // Aggregation a connects to core row a: core[a][0..half).
+    for (int a = 0; a < half; ++a)
+      for (int j = 0; j < half; ++j)
+        g.add_duplex_link(agg[static_cast<std::size_t>(a)],
+                          core[static_cast<std::size_t>(a * half + j)], up);
+
+    // Hosts under edge switches.
+    for (int e = 0; e < half && hosts_placed < config.num_hosts; ++e) {
+      for (int h = 0; h < half && hosts_placed < config.num_hosts; ++h) {
+        const VertexId host = g.add_host("h" + std::to_string(hosts_placed));
+        g.add_duplex_link(host, edge[static_cast<std::size_t>(e)],
+                          config.host_link);
+        ++hosts_placed;
+      }
+    }
+  }
+
+  HPCX_ASSERT(hosts_placed == config.num_hosts);
+  return g;
+}
+
+}  // namespace hpcx::topo

@@ -1,0 +1,29 @@
+// k-ary fat-tree (folded Clos) builder — the topology family of SGI
+// NUMALINK4 and of InfiniBand clusters in the paper ("fat-tree topology
+// ... bisection bandwidth scales linearly with the number of processors").
+//
+// Classic 3-level k-ary fat tree (Al-Fares et al. formulation): k pods,
+// each with k/2 edge and k/2 aggregation switches; (k/2)^2 core switches;
+// k^3/4 host ports. We pick the smallest even k that provides the
+// requested number of hosts and leave surplus ports unused.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+struct FatTreeConfig {
+  int num_hosts = 0;
+  LinkParams host_link;    ///< host <-> edge switch
+  LinkParams fabric_link;  ///< edge <-> aggregation <-> core
+  /// Bandwidth multiplier on aggregation->core cables; < 1 models a
+  /// blocking (tapered) core such as the paper's 3:1 InfiniBand stage.
+  double core_taper = 1.0;
+};
+
+/// Smallest even k with k^3/4 >= num_hosts.
+int fat_tree_radix_for(int num_hosts);
+
+Graph build_fat_tree(const FatTreeConfig& config);
+
+}  // namespace hpcx::topo

@@ -1,0 +1,54 @@
+#include "topology/graph.hpp"
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+VertexId Graph::add_vertex(VertexKind kind, std::string label) {
+  const VertexId v = static_cast<VertexId>(kinds_.size());
+  kinds_.push_back(kind);
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  if (kind == VertexKind::kHost) {
+    host_index_.push_back(static_cast<int>(hosts_.size()));
+    hosts_.push_back(v);
+  } else {
+    host_index_.push_back(-1);
+  }
+  return v;
+}
+
+VertexId Graph::add_host(std::string label) {
+  return add_vertex(VertexKind::kHost, std::move(label));
+}
+
+VertexId Graph::add_switch(std::string label) {
+  return add_vertex(VertexKind::kSwitch, std::move(label));
+}
+
+EdgeId Graph::add_directed_link(VertexId from, VertexId to,
+                                LinkParams params) {
+  HPCX_ASSERT(from >= 0 && static_cast<std::size_t>(from) < num_vertices());
+  HPCX_ASSERT(to >= 0 && static_cast<std::size_t>(to) < num_vertices());
+  HPCX_REQUIRE(params.bandwidth_Bps > 0.0, "link bandwidth must be > 0");
+  HPCX_REQUIRE(params.latency_s >= 0.0, "link latency must be >= 0");
+  const EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, params});
+  out_[static_cast<std::size_t>(from)].push_back(e);
+  return e;
+}
+
+EdgeId Graph::add_duplex_link(VertexId a, VertexId b, LinkParams params) {
+  const EdgeId e = add_directed_link(a, b, params);
+  add_directed_link(b, a, params);
+  return e;
+}
+
+int Graph::host_index(VertexId v) const {
+  HPCX_ASSERT(v >= 0 && static_cast<std::size_t>(v) < num_vertices());
+  const int idx = host_index_[static_cast<std::size_t>(v)];
+  HPCX_ASSERT_MSG(idx >= 0, "vertex is not a host");
+  return idx;
+}
+
+}  // namespace hpcx::topo

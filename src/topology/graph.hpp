@@ -1,0 +1,78 @@
+// Network topology as a directed multigraph of hosts and switches.
+//
+// Every physical cable is entered as a *duplex* link: two directed edges
+// with independent bandwidth, matching full-duplex hardware. Hosts are
+// the attachment points for compute nodes (one host vertex per node);
+// switches only forward.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcx::topo {
+
+using VertexId = std::int32_t;
+using EdgeId = std::int32_t;
+constexpr VertexId kNoVertex = -1;
+constexpr EdgeId kNoEdge = -1;
+
+enum class VertexKind : std::uint8_t { kHost, kSwitch };
+
+struct LinkParams {
+  double bandwidth_Bps = 0.0;  ///< payload bandwidth, bytes/second
+  double latency_s = 0.0;      ///< per-hop propagation + switching latency
+};
+
+struct Edge {
+  VertexId from = kNoVertex;
+  VertexId to = kNoVertex;
+  LinkParams params;
+};
+
+class Graph {
+ public:
+  VertexId add_host(std::string label = {});
+  VertexId add_switch(std::string label = {});
+
+  /// Add a full-duplex cable between a and b; returns the a->b edge id
+  /// (the b->a edge is the next id).
+  EdgeId add_duplex_link(VertexId a, VertexId b, LinkParams params);
+
+  /// Add a single directed edge (rarely needed; duplex is the norm).
+  EdgeId add_directed_link(VertexId from, VertexId to, LinkParams params);
+
+  std::size_t num_vertices() const { return kinds_.size(); }
+  std::size_t num_hosts() const { return hosts_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  VertexKind kind(VertexId v) const { return kinds_[static_cast<std::size_t>(v)]; }
+  const std::string& label(VertexId v) const {
+    return labels_[static_cast<std::size_t>(v)];
+  }
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+
+  /// Hosts in creation order; host index i (used by routing and the
+  /// network simulator) maps to hosts()[i].
+  const std::vector<VertexId>& hosts() const { return hosts_; }
+
+  /// Host index of vertex v (v must be a host).
+  int host_index(VertexId v) const;
+
+  /// Out-edge ids of vertex v.
+  const std::vector<EdgeId>& out_edges(VertexId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  VertexId add_vertex(VertexKind kind, std::string label);
+
+  std::vector<VertexKind> kinds_;
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<VertexId> hosts_;
+  std::vector<int> host_index_;  // per vertex; -1 for switches
+};
+
+}  // namespace hpcx::topo

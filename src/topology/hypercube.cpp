@@ -1,0 +1,44 @@
+#include "topology/hypercube.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+int hypercube_dimensions_for(int num_hosts) {
+  HPCX_REQUIRE(num_hosts >= 1, "hypercube needs at least one host");
+  int d = 0;
+  while ((1 << d) < num_hosts) ++d;
+  return d;
+}
+
+Graph build_hypercube(const HypercubeConfig& config) {
+  const int d = hypercube_dimensions_for(config.num_hosts);
+  const int routers = 1 << d;
+
+  Graph g;
+  std::vector<VertexId> router(static_cast<std::size_t>(routers));
+  for (int r = 0; r < routers; ++r)
+    router[static_cast<std::size_t>(r)] =
+        g.add_switch("r" + std::to_string(r));
+
+  for (int r = 0; r < routers; ++r)
+    for (int dim = 0; dim < d; ++dim) {
+      const int peer = r ^ (1 << dim);
+      if (peer > r)  // add each cable once
+        g.add_duplex_link(router[static_cast<std::size_t>(r)],
+                          router[static_cast<std::size_t>(peer)],
+                          config.cube_link);
+    }
+
+  for (int h = 0; h < config.num_hosts; ++h) {
+    const VertexId host = g.add_host("h" + std::to_string(h));
+    g.add_duplex_link(host, router[static_cast<std::size_t>(h)],
+                      config.host_link);
+  }
+  return g;
+}
+
+}  // namespace hpcx::topo

@@ -1,0 +1,22 @@
+// Binary hypercube builder — the Cray X1's "modified torus, called
+// 4D-hypercube" interconnect. One router per node; routers of the
+// smallest power-of-two count >= num_hosts, connected along each
+// dimension; hosts hang off the first num_hosts routers.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+struct HypercubeConfig {
+  int num_hosts = 0;
+  LinkParams host_link;  ///< node <-> its router
+  LinkParams cube_link;  ///< router <-> router, per dimension
+};
+
+/// Number of dimensions used for `num_hosts` (ceil(log2), min 0).
+int hypercube_dimensions_for(int num_hosts);
+
+Graph build_hypercube(const HypercubeConfig& config);
+
+}  // namespace hpcx::topo

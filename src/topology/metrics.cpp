@@ -1,0 +1,134 @@
+#include "topology/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+namespace {
+
+/// Dinic max-flow on double capacities. Small graphs (a few thousand
+/// vertices) — no need for scaling tricks; a relative epsilon guards the
+/// floating-point comparisons.
+class Dinic {
+ public:
+  explicit Dinic(int n) : head_(static_cast<std::size_t>(n), -1) {}
+
+  void add_edge(int u, int v, double cap) {
+    edges_.push_back({v, head_[static_cast<std::size_t>(u)], cap});
+    head_[static_cast<std::size_t>(u)] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({u, head_[static_cast<std::size_t>(v)], 0.0});
+    head_[static_cast<std::size_t>(v)] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  double max_flow(int s, int t) {
+    double flow = 0.0;
+    while (bfs(s, t)) {
+      iter_ = head_;
+      double f;
+      while ((f = dfs(s, t, std::numeric_limits<double>::max())) > eps_)
+        flow += f;
+    }
+    return flow;
+  }
+
+ private:
+  struct E {
+    int to;
+    int next;
+    double cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(head_.size(), -1);
+    std::queue<int> q;
+    level_[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const auto& ed = edges_[static_cast<std::size_t>(e)];
+        if (ed.cap > eps_ && level_[static_cast<std::size_t>(ed.to)] < 0) {
+          level_[static_cast<std::size_t>(ed.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          q.push(ed.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  double dfs(int u, int t, double pushed) {
+    if (u == t) return pushed;
+    for (int& e = iter_[static_cast<std::size_t>(u)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      auto& ed = edges_[static_cast<std::size_t>(e)];
+      if (ed.cap > eps_ && level_[static_cast<std::size_t>(ed.to)] ==
+                               level_[static_cast<std::size_t>(u)] + 1) {
+        const double f = dfs(ed.to, t, std::min(pushed, ed.cap));
+        if (f > eps_) {
+          ed.cap -= f;
+          edges_[static_cast<std::size_t>(e ^ 1)].cap += f;
+          return f;
+        }
+      }
+    }
+    return 0.0;
+  }
+
+  std::vector<E> edges_;
+  std::vector<int> head_;
+  std::vector<int> iter_;
+  std::vector<int> level_;
+  static constexpr double eps_ = 1e-6;  // far below any real bandwidth
+};
+
+double cut_flow(const Graph& g, const std::vector<int>& side_a,
+                const std::vector<int>& side_b) {
+  const int n = static_cast<int>(g.num_vertices());
+  const int s = n;      // source supervertex
+  const int t = n + 1;  // sink supervertex
+  Dinic dinic(n + 2);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(static_cast<EdgeId>(e));
+    dinic.add_edge(ed.from, ed.to, ed.params.bandwidth_Bps);
+  }
+  constexpr double kInf = 1e30;
+  for (int h : side_a) dinic.add_edge(s, g.hosts()[static_cast<std::size_t>(h)], kInf);
+  for (int h : side_b) dinic.add_edge(g.hosts()[static_cast<std::size_t>(h)], t, kInf);
+  return dinic.max_flow(s, t);
+}
+
+}  // namespace
+
+double bisection_bandwidth(const Graph& graph) {
+  const int nh = static_cast<int>(graph.num_hosts());
+  HPCX_REQUIRE(nh >= 2 && nh % 2 == 0,
+               "bisection requires an even host count >= 2");
+  std::vector<int> a, b;
+  for (int h = 0; h < nh / 2; ++h) a.push_back(h);
+  for (int h = nh / 2; h < nh; ++h) b.push_back(h);
+  return cut_flow(graph, a, b);
+}
+
+double host_cut_bandwidth(const Graph& graph, const std::vector<int>& side_a,
+                          const std::vector<int>& side_b) {
+  HPCX_REQUIRE(!side_a.empty() && !side_b.empty(),
+               "cut sides must be non-empty");
+  return cut_flow(graph, side_a, side_b);
+}
+
+double total_capacity(const Graph& graph) {
+  double sum = 0.0;
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    sum += graph.edge(static_cast<EdgeId>(e)).params.bandwidth_Bps;
+  return sum;
+}
+
+}  // namespace hpcx::topo

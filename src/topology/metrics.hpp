@@ -1,0 +1,30 @@
+// Topology quality metrics.
+//
+// Bisection bandwidth is computed *exactly* as a max-flow (Dinic's
+// algorithm) between the first and second half of the hosts, each half
+// collapsed into a supervertex. This validates the builders against the
+// textbook values the paper leans on (fat tree: full bisection scaling
+// "linearly with the number of processors"; hypercube: N/2 links;
+// crossbar: full).
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+/// Max-flow (bytes/second) between host sets {0..n/2-1} and {n/2..n-1}.
+/// Host links are included, so a 2-host graph reports one host-link's
+/// bandwidth. Requires an even number of hosts >= 2.
+double bisection_bandwidth(const Graph& graph);
+
+/// Max-flow between two arbitrary host sets (indices must be disjoint).
+double host_cut_bandwidth(const Graph& graph,
+                          const std::vector<int>& side_a,
+                          const std::vector<int>& side_b);
+
+/// Sum of bandwidth of all directed edges (a capacity sanity metric).
+double total_capacity(const Graph& graph);
+
+}  // namespace hpcx::topo

@@ -1,0 +1,116 @@
+#include "topology/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+namespace {
+constexpr int kUnreachable = std::numeric_limits<int>::max() / 2;
+
+/// Deterministic mix for ECMP candidate selection (splitmix-style).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Routing::Routing(const Graph& graph) : graph_(&graph) {
+  const std::size_t nv = graph.num_vertices();
+  const std::size_t nh = graph.num_hosts();
+  dist_.assign(nh, {});
+  candidates_.assign(nh, {});
+
+  for (std::size_t d = 0; d < nh; ++d) {
+    auto& dist = dist_[d];
+    dist.assign(nv, kUnreachable);
+    auto& cand = candidates_[d];
+    cand.assign(nv, {});
+
+    // BFS backwards from the destination host. Since every duplex link
+    // contributes symmetric directed edges, exploring out-edges of the
+    // frontier and relaxing their *targets'* reverse direction is
+    // equivalent to a reverse BFS on this graph family; we keep it
+    // simple and exact by BFS over out-edges from d, which for duplex
+    // graphs yields the same hop distances.
+    const VertexId dv = graph.hosts()[d];
+    dist[static_cast<std::size_t>(dv)] = 0;
+    std::deque<VertexId> frontier{dv};
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      const int dv_dist = dist[static_cast<std::size_t>(v)];
+      for (EdgeId e : graph.out_edges(v)) {
+        const VertexId u = graph.edge(e).to;
+        if (dist[static_cast<std::size_t>(u)] == kUnreachable) {
+          dist[static_cast<std::size_t>(u)] = dv_dist + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+
+    // An out-edge v->u is a shortest-path candidate toward d iff
+    // dist[u] == dist[v] - 1.
+    for (VertexId v = 0; static_cast<std::size_t>(v) < nv; ++v) {
+      const int dv_dist = dist[static_cast<std::size_t>(v)];
+      if (dv_dist == kUnreachable || dv_dist == 0) continue;
+      for (EdgeId e : graph.out_edges(v)) {
+        const VertexId u = graph.edge(e).to;
+        if (dist[static_cast<std::size_t>(u)] == dv_dist - 1)
+          cand[static_cast<std::size_t>(v)].push_back(e);
+      }
+    }
+  }
+}
+
+std::vector<EdgeId> Routing::path(int src_host, int dst_host) const {
+  const Graph& g = *graph_;
+  HPCX_ASSERT(src_host >= 0 &&
+              static_cast<std::size_t>(src_host) < g.num_hosts());
+  HPCX_ASSERT(dst_host >= 0 &&
+              static_cast<std::size_t>(dst_host) < g.num_hosts());
+  std::vector<EdgeId> result;
+  if (src_host == dst_host) return result;
+
+  const auto& cand = candidates_[static_cast<std::size_t>(dst_host)];
+  VertexId v = g.hosts()[static_cast<std::size_t>(src_host)];
+  const VertexId dv = g.hosts()[static_cast<std::size_t>(dst_host)];
+  const std::uint64_t flow =
+      mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host))
+           << 32) |
+          static_cast<std::uint32_t>(dst_host));
+  while (v != dv) {
+    const auto& choices = cand[static_cast<std::size_t>(v)];
+    HPCX_ASSERT_MSG(!choices.empty(), "destination unreachable");
+    const std::uint64_t h = mix(flow ^ static_cast<std::uint64_t>(v));
+    const EdgeId e = choices[h % choices.size()];
+    result.push_back(e);
+    v = g.edge(e).to;
+  }
+  return result;
+}
+
+int Routing::distance(int src_host, int dst_host) const {
+  const Graph& g = *graph_;
+  const VertexId sv = g.hosts()[static_cast<std::size_t>(src_host)];
+  const int d =
+      dist_[static_cast<std::size_t>(dst_host)][static_cast<std::size_t>(sv)];
+  HPCX_ASSERT_MSG(d != kUnreachable, "destination unreachable");
+  return d;
+}
+
+int Routing::diameter_hosts() const {
+  int best = 0;
+  const std::size_t nh = graph_->num_hosts();
+  for (std::size_t d = 0; d < nh; ++d)
+    for (std::size_t s = 0; s < nh; ++s)
+      best = std::max(best, distance(static_cast<int>(s), static_cast<int>(d)));
+  return best;
+}
+
+}  // namespace hpcx::topo

@@ -1,0 +1,40 @@
+// Shortest-path routing with deterministic ECMP spreading.
+//
+// For each destination *host* we run one BFS over the (unweighted) graph
+// and record, per vertex, the set of out-edges on shortest paths. A
+// message from s to d follows next-hops chosen by a hash of (vertex,
+// destination, flow) among the equal-cost candidates — deterministic
+// across runs, yet spreading distinct pairs over distinct paths the way
+// oblivious/adaptive hardware routing does on fat trees.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+class Routing {
+ public:
+  /// Precomputes tables; O(hosts * (V + E)).
+  explicit Routing(const Graph& graph);
+
+  /// Edge ids of the path from host index src to host index dst.
+  /// Empty when src == dst (node-local transfer).
+  std::vector<EdgeId> path(int src_host, int dst_host) const;
+
+  /// Shortest hop distance between two host indices.
+  int distance(int src_host, int dst_host) const;
+
+  /// Longest shortest-path over all host pairs.
+  int diameter_hosts() const;
+
+ private:
+  const Graph* graph_;
+  // candidates_[d] : per-vertex list of out-edges lying on a shortest
+  // path toward destination host d; dist_[d][v] = hops from v to d.
+  std::vector<std::vector<std::vector<EdgeId>>> candidates_;
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace hpcx::topo

@@ -1,0 +1,79 @@
+#include "topology/torus.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+std::vector<int> torus_dims_for(int num_hosts, int dimensions) {
+  HPCX_REQUIRE(num_hosts >= 1, "torus needs at least one host");
+  HPCX_REQUIRE(dimensions >= 1 && dimensions <= 6,
+               "torus supports 1..6 dimensions");
+  // Near-cubic: grow dimensions round-robin until capacity suffices.
+  std::vector<int> dims(static_cast<std::size_t>(dimensions), 1);
+  auto capacity = [&] {
+    long long c = 1;
+    for (int d : dims) c *= d;
+    return c;
+  };
+  std::size_t next = 0;
+  while (capacity() < num_hosts) {
+    ++dims[next];
+    next = (next + 1) % dims.size();
+  }
+  return dims;
+}
+
+Graph build_torus(const TorusConfig& config) {
+  HPCX_REQUIRE(!config.dims.empty(), "torus needs at least one dimension");
+  long long routers = 1;
+  for (int d : config.dims) {
+    HPCX_REQUIRE(d >= 1, "torus dimensions must be >= 1");
+    routers *= d;
+  }
+  HPCX_REQUIRE(config.num_hosts >= 1 && config.num_hosts <= routers,
+               "torus host count must be in [1, product(dims)]");
+
+  Graph g;
+  std::vector<VertexId> router(static_cast<std::size_t>(routers));
+  for (long long r = 0; r < routers; ++r)
+    router[static_cast<std::size_t>(r)] =
+        g.add_switch("t" + std::to_string(r));
+
+  // Mixed-radix index: coordinate of router r in dimension k.
+  auto neighbor = [&](long long r, std::size_t k, int step) {
+    long long stride = 1;
+    for (std::size_t i = 0; i < k; ++i) stride *= config.dims[i];
+    const int dim = config.dims[k];
+    const int coord = static_cast<int>((r / stride) % dim);
+    const int next = (coord + step + dim) % dim;
+    return r + static_cast<long long>(next - coord) * stride;
+  };
+
+  for (long long r = 0; r < routers; ++r)
+    for (std::size_t k = 0; k < config.dims.size(); ++k) {
+      const int dim = config.dims[k];
+      if (dim == 1) continue;
+      const long long peer = neighbor(r, k, +1);
+      // Add each ring cable once: the +1 neighbour covers consecutive
+      // cables (peer > r); the wrap-around cable (peer < r, i.e. this is
+      // the last coordinate) only exists for rings longer than 2 — a
+      // 2-ring's "wrap" would duplicate its single cable.
+      if (peer > r || (peer < r && dim > 2))
+        g.add_duplex_link(router[static_cast<std::size_t>(r)],
+                          router[static_cast<std::size_t>(peer)],
+                          config.torus_link);
+    }
+
+  for (int h = 0; h < config.num_hosts; ++h) {
+    const VertexId host = g.add_host("h" + std::to_string(h));
+    g.add_duplex_link(host, router[static_cast<std::size_t>(h)],
+                      config.host_link);
+  }
+  return g;
+}
+
+}  // namespace hpcx::topo

@@ -1,0 +1,30 @@
+// k-ary n-cube (torus) builder. The Cray X1's network is described as a
+// "modified torus, called 4D-hypercube"; the hypercube builder covers
+// the small NASA system, while this generic torus supports the larger
+// X1 installations and the ablation studies (a torus is the classic
+// alternative to fat trees in the paper's era — Cray T3E, X1E, XT3).
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+struct TorusConfig {
+  /// Ring length per dimension, innermost first; e.g. {4, 4, 4} is a
+  /// 4x4x4 3-D torus with 64 routers. A dimension of length 2 gets a
+  /// single cable (not a doubled wrap-around); length 1 dimensions are
+  /// allowed and contribute no links.
+  std::vector<int> dims;
+  int num_hosts = 0;  ///< hosts attached to the first routers, <= product
+  LinkParams host_link;
+  LinkParams torus_link;
+};
+
+/// Routers for `num_hosts` in near-cubic dims for dimension count n.
+std::vector<int> torus_dims_for(int num_hosts, int dimensions);
+
+Graph build_torus(const TorusConfig& config);
+
+}  // namespace hpcx::topo

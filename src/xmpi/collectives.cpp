@@ -1,0 +1,793 @@
+// Collective algorithms, implemented over blocking point-to-point.
+//
+// The algorithm set mirrors what production MPI libraries of the paper's
+// era (MPICH/MVAPICH derivatives, SGI MPT, NEC MPI) select by message
+// size — the paper's collective benchmarks are sensitive to exactly this:
+//
+//   barrier         dissemination
+//   bcast           binomial (short) / van de Geijn scatter+ring (long)
+//   reduce          binomial (short) / Rabenseifner rs+gather (long)
+//   allreduce       recursive doubling (short) / Rabenseifner (long)
+//   gather/scatter  binomial trees in rotated (vrank) space
+//   allgather       Bruck dissemination (short) / ring (long)
+//   allgatherv      ring
+//   alltoall        Bruck (short) / pairwise exchange (long)
+//   reduce_scatter  recursive halving (pow2) / ring (general)
+//
+// Every algorithm works for arbitrary communicator sizes and zero-size
+// contributions, and runs identically with real or phantom payloads
+// (phantom: same messages, no local byte movement or arithmetic).
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/error.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/reduce_ops.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+
+// Reserved tag space for collectives (user tags must stay below this).
+constexpr int kCollTag = 1 << 20;
+constexpr int kTagBarrier = kCollTag + 0;
+constexpr int kTagBcast = kCollTag + 1;
+constexpr int kTagReduce = kCollTag + 2;
+constexpr int kTagAllreduce = kCollTag + 3;
+constexpr int kTagGather = kCollTag + 4;
+constexpr int kTagScatter = kCollTag + 5;
+constexpr int kTagAllgather = kCollTag + 6;
+constexpr int kTagAlltoall = kCollTag + 7;
+constexpr int kTagReduceScatter = kCollTag + 8;
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::size_t elem_size(DType t) { return dtype_size(t); }
+
+CBuf slice(CBuf b, std::size_t off, std::size_t count) {
+  HPCX_ASSERT(off + count <= b.count);
+  if (b.phantom()) return CBuf{nullptr, count, b.dtype};
+  return CBuf{static_cast<const unsigned char*>(b.data) +
+                  off * elem_size(b.dtype),
+              count, b.dtype};
+}
+
+MBuf slice(MBuf b, std::size_t off, std::size_t count) {
+  HPCX_ASSERT(off + count <= b.count);
+  if (b.phantom()) return MBuf{nullptr, count, b.dtype};
+  return MBuf{static_cast<unsigned char*>(b.data) + off * elem_size(b.dtype),
+              count, b.dtype};
+}
+
+void local_copy(CBuf src, MBuf dst) {
+  HPCX_ASSERT(src.count == dst.count);
+  HPCX_ASSERT(src.dtype == dst.dtype);
+  if (src.count == 0 || src.phantom() || dst.phantom()) return;
+  if (src.data == dst.data) return;
+  std::memcpy(dst.data, src.data, src.bytes());
+}
+
+void local_reduce(Comm& c, ROp op, MBuf acc, CBuf in) {
+  HPCX_ASSERT(acc.count == in.count);
+  HPCX_ASSERT(acc.dtype == in.dtype);
+  if (acc.count == 0) return;
+  // Virtual time is charged whether or not payload bytes exist, so
+  // phantom and real runs stay timing-identical.
+  c.charge_reduce_arithmetic(acc.bytes());
+  if (acc.phantom() || in.phantom()) return;
+  apply_rop(op, acc.dtype, acc.data, in.data, acc.count);
+}
+
+/// Scratch buffer that is phantom whenever its prototype is phantom, so
+/// phantom-ness propagates through multi-phase algorithms.
+class Temp {
+ public:
+  Temp(std::size_t count, DType dtype, bool phantom) : dtype_(dtype) {
+    if (!phantom) storage_.resize(count * elem_size(dtype));
+    buf_ = MBuf{phantom ? nullptr : storage_.data(), count, dtype};
+  }
+
+  MBuf buf() { return buf_; }
+  CBuf cbuf() const { return CBuf{buf_.data, buf_.count, buf_.dtype}; }
+
+ private:
+  DType dtype_;
+  std::vector<unsigned char> storage_;
+  MBuf buf_;
+};
+
+/// Split `count` elements into `n` nearly-equal chunks (MPICH's
+/// ceil-sized scatter blocks): chunk i covers [i*seg, ...) with seg =
+/// ceil(count/n); trailing chunks may be empty.
+struct ChunkPlan {
+  std::size_t seg = 0;
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> offsets;
+
+  ChunkPlan(std::size_t count, int n) {
+    seg = (count + static_cast<std::size_t>(n) - 1) /
+          static_cast<std::size_t>(n);
+    if (count == 0) seg = 0;
+    counts.resize(static_cast<std::size_t>(n));
+    offsets.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::size_t off =
+          std::min(count, seg * static_cast<std::size_t>(i));
+      offsets[static_cast<std::size_t>(i)] = off;
+      counts[static_cast<std::size_t>(i)] = std::min(seg, count - off);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------
+
+void bcast_binomial(Comm& c, MBuf buf, int root) {
+  const int n = c.size();
+  const int vr = (c.rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int src = (vr - mask + root) % n;
+      c.recv(src, kTagBcast, buf);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int dst = (vr + mask + root) % n;
+      c.send(dst, kTagBcast, buf.as_cbuf());
+    }
+    mask >>= 1;
+  }
+}
+
+/// van de Geijn: binomial scatter of chunks, then ring allgather.
+void bcast_scatter_ring(Comm& c, MBuf buf, int root) {
+  const int n = c.size();
+  const int r = c.rank();
+  const int vr = (r - root + n) % n;
+  const ChunkPlan plan(buf.count, n);
+
+  // --- Phase 1: binomial scatter in vrank space. After this phase,
+  // vrank v holds chunk v (chunks are indexed by vrank).
+  // curr = number of elements this rank currently holds starting at its
+  // own chunk offset.
+  std::size_t curr = (vr == 0) ? buf.count : 0;
+  {
+    int mask = 1;
+    while (mask < n) {
+      if (vr & mask) {
+        const int src_vr = vr - mask;
+        const std::size_t my_off = plan.offsets[static_cast<std::size_t>(vr)];
+        // Elements this subtree needs: everything from my chunk to the
+        // end, capped at mask chunks' worth.
+        const std::size_t want =
+            std::min(buf.count - my_off,
+                     plan.seg * static_cast<std::size_t>(mask));
+        if (want > 0)
+          c.recv((src_vr + root) % n, kTagBcast, slice(buf, my_off, want));
+        curr = want;
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vr + mask < n) {
+        const int dst_vr = vr + mask;
+        const std::size_t dst_off =
+            plan.offsets[static_cast<std::size_t>(dst_vr)];
+        const std::size_t my_off = plan.offsets[static_cast<std::size_t>(vr)];
+        // Of my `curr` elements, everything beyond the child's offset
+        // belongs to the child's subtree.
+        const std::size_t have_end = my_off + curr;
+        const std::size_t send_cnt =
+            have_end > dst_off ? have_end - dst_off : 0;
+        if (send_cnt > 0) {
+          c.send((dst_vr + root) % n, kTagBcast,
+                 slice(buf.as_cbuf(), dst_off, send_cnt));
+          curr -= send_cnt;
+        }
+      }
+      mask >>= 1;
+    }
+  }
+
+  // --- Phase 2: ring allgather of the chunks (vrank space).
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int sb = (vr - s + n) % n;
+    const int rb = (vr - s - 1 + n) % n;
+    c.sendrecv(right, kTagBcast,
+               slice(buf.as_cbuf(), plan.offsets[static_cast<std::size_t>(sb)],
+                     plan.counts[static_cast<std::size_t>(sb)]),
+               left, kTagBcast,
+               slice(buf, plan.offsets[static_cast<std::size_t>(rb)],
+                     plan.counts[static_cast<std::size_t>(rb)]));
+  }
+}
+
+/// Segmented ring pipeline (HPL's long broadcast): the root pushes
+/// segments to its right neighbour; every rank forwards each segment as
+/// it arrives. Fill time is (P-2) hops, then one segment per hop-time —
+/// bandwidth-optimal for long messages at the cost of O(P) latency.
+void bcast_pipelined_ring(Comm& c, MBuf buf, int root,
+                          std::size_t segment_bytes) {
+  const int n = c.size();
+  const int r = c.rank();
+  const int vr = (r - root + n) % n;
+  const std::size_t elem = elem_size(buf.dtype);
+  const std::size_t seg_elems =
+      std::max<std::size_t>(1, segment_bytes / std::max<std::size_t>(1, elem));
+  const int left = (r - 1 + n) % n;
+  const int right = (r + 1) % n;
+  const bool is_last = vr == n - 1;  // the rank just left of the root
+
+  for (std::size_t off = 0; off < buf.count; off += seg_elems) {
+    const std::size_t cnt = std::min(seg_elems, buf.count - off);
+    if (vr != 0) c.recv(left, kTagBcast, slice(buf, off, cnt));
+    if (!is_last) c.send(right, kTagBcast, slice(buf.as_cbuf(), off, cnt));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Reduce / Allreduce building blocks
+// ---------------------------------------------------------------------
+
+void reduce_binomial(Comm& c, CBuf send, MBuf recv, ROp op, int root) {
+  const int n = c.size();
+  const int vr = (c.rank() - root + n) % n;
+  Temp acc(send.count, send.dtype, send.phantom());
+  local_copy(send, acc.buf());
+  Temp incoming(send.count, send.dtype, send.phantom());
+
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      const int src_vr = vr + mask;
+      if (src_vr < n) {
+        c.recv((src_vr + root) % n, kTagReduce, incoming.buf());
+        local_reduce(c, op, acc.buf(), incoming.cbuf());
+      }
+    } else {
+      const int dst_vr = vr - mask;
+      c.send((dst_vr + root) % n, kTagReduce, acc.cbuf());
+      break;
+    }
+    mask <<= 1;
+  }
+  if (c.rank() == root) local_copy(acc.cbuf(), recv);
+}
+
+/// Ring reduce-scatter over an explicit chunk layout. On return, rank r
+/// holds the fully reduced chunk r in acc (in place, at the chunk's
+/// offset). Works for any communicator size.
+void reduce_scatter_ring_inplace(Comm& c, MBuf acc, ROp op,
+                                 std::span<const std::size_t> counts,
+                                 std::span<const std::size_t> offsets) {
+  const int n = c.size();
+  if (n == 1) return;
+  const int r = c.rank();
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+  std::size_t max_cnt = 0;
+  for (int i = 0; i < n; ++i)
+    max_cnt = std::max(max_cnt, counts[static_cast<std::size_t>(i)]);
+  Temp incoming(max_cnt, acc.dtype, acc.phantom());
+
+  for (int s = 0; s < n - 1; ++s) {
+    const int sb = (r - s - 1 + n) % n;
+    const int rb = (r - s - 2 + n) % n;
+    const std::size_t scnt = counts[static_cast<std::size_t>(sb)];
+    const std::size_t rcnt = counts[static_cast<std::size_t>(rb)];
+    c.sendrecv(right, kTagReduceScatter,
+               slice(acc.as_cbuf(), offsets[static_cast<std::size_t>(sb)],
+                     scnt),
+               left, kTagReduceScatter, slice(incoming.buf(), 0, rcnt));
+    local_reduce(c, op,
+                 slice(acc, offsets[static_cast<std::size_t>(rb)], rcnt),
+                 slice(incoming.cbuf(), 0, rcnt));
+  }
+}
+
+/// Recursive halving reduce-scatter (power-of-two sizes only). On
+/// return, acc's chunk r is fully reduced.
+void reduce_scatter_rhalving_inplace(Comm& c, MBuf acc, ROp op,
+                                     std::span<const std::size_t> counts,
+                                     std::span<const std::size_t> offsets) {
+  const int n = c.size();
+  HPCX_ASSERT(is_pow2(n));
+  const int r = c.rank();
+  int lo = 0, hi = n;
+  int mask = n >> 1;
+  std::size_t total = 0;
+  for (int i = 0; i < n; ++i) total += counts[static_cast<std::size_t>(i)];
+  Temp incoming(total, acc.dtype, acc.phantom());
+
+  auto range_count = [&](int a, int b) {
+    std::size_t cnt = 0;
+    for (int i = a; i < b; ++i) cnt += counts[static_cast<std::size_t>(i)];
+    return cnt;
+  };
+
+  while (mask >= 1) {
+    const int partner = r ^ mask;
+    const int mid = lo + (hi - lo) / 2;
+    int keep_lo, keep_hi, give_lo, give_hi;
+    if (r < partner) {
+      keep_lo = lo;
+      keep_hi = mid;
+      give_lo = mid;
+      give_hi = hi;
+    } else {
+      keep_lo = mid;
+      keep_hi = hi;
+      give_lo = lo;
+      give_hi = mid;
+    }
+    const std::size_t give_cnt = range_count(give_lo, give_hi);
+    const std::size_t keep_cnt = range_count(keep_lo, keep_hi);
+    const std::size_t keep_off = offsets[static_cast<std::size_t>(keep_lo)];
+    const std::size_t give_off = offsets[static_cast<std::size_t>(give_lo)];
+    c.sendrecv(partner, kTagReduceScatter,
+               slice(acc.as_cbuf(), give_off, give_cnt), partner,
+               kTagReduceScatter, slice(incoming.buf(), 0, keep_cnt));
+    local_reduce(c, op, slice(acc, keep_off, keep_cnt),
+                 slice(incoming.cbuf(), 0, keep_cnt));
+    lo = keep_lo;
+    hi = keep_hi;
+    mask >>= 1;
+  }
+  HPCX_ASSERT(lo == r && hi == r + 1);
+}
+
+/// Ring allgather over an explicit chunk layout: chunk i (already in
+/// place on rank i) ends up on every rank.
+void allgather_ring_inplace(Comm& c, MBuf buf,
+                            std::span<const std::size_t> counts,
+                            std::span<const std::size_t> offsets) {
+  const int n = c.size();
+  if (n == 1) return;
+  const int r = c.rank();
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int sb = (r - s + n) % n;
+    const int rb = (r - s - 1 + n) % n;
+    c.sendrecv(right, kTagAllgather,
+               slice(buf.as_cbuf(), offsets[static_cast<std::size_t>(sb)],
+                     counts[static_cast<std::size_t>(sb)]),
+               left, kTagAllgather,
+               slice(buf, offsets[static_cast<std::size_t>(rb)],
+                     counts[static_cast<std::size_t>(rb)]));
+  }
+}
+
+void allreduce_recursive_doubling(Comm& c, MBuf acc, ROp op) {
+  const int n = c.size();
+  const int r = c.rank();
+  const int pof2 = 1 << (31 - __builtin_clz(static_cast<unsigned>(n)));
+  const int rem = n - pof2;
+  Temp incoming(acc.count, acc.dtype, acc.phantom());
+
+  // Fold the surplus ranks into the power-of-two core.
+  int newr = -1;  // -1: not part of the core
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      c.send(r + 1, kTagAllreduce, acc.as_cbuf());
+    } else {
+      c.recv(r - 1, kTagAllreduce, incoming.buf());
+      local_reduce(c, op, acc, incoming.cbuf());
+      newr = r / 2;
+    }
+  } else {
+    newr = r - rem;
+  }
+
+  if (newr >= 0) {
+    auto real_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner = real_rank(newr ^ mask);
+      c.sendrecv(partner, kTagAllreduce, acc.as_cbuf(), partner,
+                 kTagAllreduce, incoming.buf());
+      local_reduce(c, op, acc, incoming.cbuf());
+    }
+  }
+
+  // Unfold: surplus even ranks get the final result from their partner.
+  if (r < 2 * rem) {
+    if (r % 2 == 0)
+      c.recv(r + 1, kTagAllreduce, acc);
+    else
+      c.send(r - 1, kTagAllreduce, acc.as_cbuf());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Public collective entry points
+// ---------------------------------------------------------------------
+
+void Comm::barrier() {
+  const int n = size();
+  if (n == 1) return;
+  const int r = rank();
+  const CBuf nothing{};  // zero-size message
+  MBuf sink{};
+  for (int k = 1; k < n; k <<= 1) {
+    const int dst = (r + k) % n;
+    const int src = (r - k % n + n) % n;
+    sendrecv(dst, kTagBarrier, nothing, src, kTagBarrier, sink);
+  }
+}
+
+void Comm::bcast(MBuf buf, int root) {
+  check_peer(root);
+  if (size() == 1) return;
+  switch (tuning().bcast_alg) {
+    case BcastAlg::kBinomial:
+      bcast_binomial(*this, buf, root);
+      return;
+    case BcastAlg::kScatterRing:
+      bcast_scatter_ring(*this, buf, root);
+      return;
+    case BcastAlg::kPipelinedRing:
+      bcast_pipelined_ring(*this, buf, root, tuning().bcast_segment_bytes);
+      return;
+    case BcastAlg::kAuto:
+      break;
+  }
+  if (buf.bytes() <= tuning().bcast_long_bytes || size() <= 2)
+    bcast_binomial(*this, buf, root);
+  else
+    bcast_scatter_ring(*this, buf, root);
+}
+
+void Comm::reduce(CBuf send, MBuf recv, ROp op, int root) {
+  check_peer(root);
+  if (rank() == root) {
+    HPCX_ASSERT(recv.count == send.count && recv.dtype == send.dtype);
+  }
+  if (size() == 1) {
+    local_copy(send, recv);
+    return;
+  }
+  if (send.bytes() <= tuning().reduce_long_bytes || size() <= 2) {
+    reduce_binomial(*this, send, recv, op, root);
+    return;
+  }
+  // Rabenseifner for long messages: ring reduce-scatter, then the
+  // chunks are sent to the root (linear gather of n-1 chunks; the
+  // bandwidth term is the same as a binomial gather of halving ranges).
+  const int n = size();
+  const int r = rank();
+  const ChunkPlan plan(send.count, n);
+  Temp acc(send.count, send.dtype, send.phantom());
+  local_copy(send, acc.buf());
+  reduce_scatter_ring_inplace(*this, acc.buf(), op, plan.counts,
+                              plan.offsets);
+  const std::size_t my_cnt = plan.counts[static_cast<std::size_t>(r)];
+  const std::size_t my_off = plan.offsets[static_cast<std::size_t>(r)];
+  if (r == root) {
+    local_copy(slice(acc.cbuf(), my_off, my_cnt), slice(recv, my_off, my_cnt));
+    for (int i = 0; i < n; ++i) {
+      if (i == root) continue;
+      const std::size_t cnt = plan.counts[static_cast<std::size_t>(i)];
+      if (cnt > 0)
+        this->recv(i, kTagReduce,
+                   slice(recv, plan.offsets[static_cast<std::size_t>(i)],
+                         cnt));
+    }
+  } else if (my_cnt > 0) {
+    this->send(root, kTagReduce, slice(acc.cbuf(), my_off, my_cnt));
+  }
+}
+
+void Comm::allreduce(CBuf send, MBuf recv, ROp op) {
+  HPCX_ASSERT(recv.count == send.count && recv.dtype == send.dtype);
+  if (size() == 1) {
+    local_copy(send, recv);
+    return;
+  }
+  const AllreduceAlg alg = tuning().allreduce_alg;
+  const bool use_rd =
+      alg == AllreduceAlg::kRecursiveDoubling ||
+      (alg == AllreduceAlg::kAuto &&
+       (send.bytes() <= tuning().allreduce_long_bytes || size() <= 2));
+  if (use_rd) {
+    Temp acc(send.count, send.dtype, send.phantom() || recv.phantom());
+    local_copy(send, acc.buf());
+    allreduce_recursive_doubling(*this, acc.buf(), op);
+    local_copy(acc.cbuf(), recv);
+    return;
+  }
+  // Rabenseifner: ring reduce-scatter + ring allgather, in recv.
+  const ChunkPlan plan(send.count, size());
+  local_copy(send, recv);
+  reduce_scatter_ring_inplace(*this, recv, op, plan.counts, plan.offsets);
+  allgather_ring_inplace(*this, recv, plan.counts, plan.offsets);
+}
+
+void Comm::gather(CBuf send, MBuf recv, int root) {
+  check_peer(root);
+  const int n = size();
+  const int r = rank();
+  const std::size_t bc = send.count;  // block count (elements per rank)
+  if (r == root) {
+    HPCX_ASSERT(recv.count == bc * static_cast<std::size_t>(n) &&
+                recv.dtype == send.dtype);
+  }
+  if (n == 1) {
+    local_copy(send, recv);
+    return;
+  }
+  // Binomial gather in vrank space: tmp[k] holds the block of vrank
+  // (vr + k); the root finally rotates blocks into rank order.
+  const int vr = (r - root + n) % n;
+  const bool phantom = send.phantom() || (r == root && recv.phantom());
+  Temp tmp(bc * static_cast<std::size_t>(n), send.dtype, phantom);
+  local_copy(send, slice(tmp.buf(), 0, bc));
+
+  int held = 1;  // blocks currently held (contiguous from my own)
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      const int src_vr = vr + mask;
+      if (src_vr < n) {
+        const int blocks = std::min(mask, n - src_vr);
+        this->recv((src_vr + root) % n, kTagGather,
+                   slice(tmp.buf(), static_cast<std::size_t>(mask) * bc,
+                         static_cast<std::size_t>(blocks) * bc));
+        held = mask + blocks;
+      }
+    } else {
+      const int dst_vr = vr - mask;
+      this->send((dst_vr + root) % n, kTagGather,
+                 slice(tmp.cbuf(), 0, static_cast<std::size_t>(held) * bc));
+      break;
+    }
+    mask <<= 1;
+  }
+
+  if (r == root) {
+    HPCX_ASSERT(held == n);
+    for (int k = 0; k < n; ++k) {
+      const int src_rank = (vr + k + root) % n;  // vr == 0 at root
+      local_copy(slice(tmp.cbuf(), static_cast<std::size_t>(k) * bc, bc),
+                 slice(recv, static_cast<std::size_t>(src_rank) * bc, bc));
+    }
+  }
+}
+
+void Comm::scatter(CBuf send, MBuf recv, int root) {
+  check_peer(root);
+  const int n = size();
+  const int r = rank();
+  const std::size_t bc = recv.count;
+  if (r == root) {
+    HPCX_ASSERT(send.count == bc * static_cast<std::size_t>(n) &&
+                send.dtype == recv.dtype);
+  }
+  if (n == 1) {
+    local_copy(send, recv);
+    return;
+  }
+  const int vr = (r - root + n) % n;
+  const bool phantom = recv.phantom() || (r == root && send.phantom());
+  Temp tmp(bc * static_cast<std::size_t>(n), recv.dtype, phantom);
+
+  int held = 0;
+  if (r == root) {
+    // Arrange blocks in vrank order: tmp[v] = block for rank (v+root)%n.
+    for (int v = 0; v < n; ++v) {
+      const int dst_rank = (v + root) % n;
+      local_copy(slice(send, static_cast<std::size_t>(dst_rank) * bc, bc),
+                 slice(tmp.buf(), static_cast<std::size_t>(v) * bc, bc));
+    }
+    held = n;
+  }
+
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int src_vr = vr - mask;
+      held = std::min(mask, n - vr);
+      this->recv((src_vr + root) % n, kTagScatter,
+                 slice(tmp.buf(), 0, static_cast<std::size_t>(held) * bc));
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int child_blocks = std::min(mask, n - (vr + mask));
+      this->send(((vr + mask) + root) % n, kTagScatter,
+                 slice(tmp.cbuf(), static_cast<std::size_t>(mask) * bc,
+                       static_cast<std::size_t>(child_blocks) * bc));
+      held -= child_blocks;
+    }
+    mask >>= 1;
+  }
+  local_copy(slice(tmp.cbuf(), 0, bc), recv);
+}
+
+void Comm::allgather(CBuf send, MBuf recv) {
+  const int n = size();
+  const int r = rank();
+  const std::size_t bc = send.count;
+  HPCX_ASSERT(recv.count == bc * static_cast<std::size_t>(n) &&
+              recv.dtype == send.dtype);
+  if (n == 1) {
+    local_copy(send, recv);
+    return;
+  }
+  const AllgatherAlg aalg = tuning().allgather_alg;
+  const bool use_ring =
+      aalg == AllgatherAlg::kRing ||
+      (aalg == AllgatherAlg::kAuto &&
+       send.bytes() > tuning().allgather_long_bytes);
+  if (use_ring) {
+    // Ring, blocks directly in place in recv.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n), bc);
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      offsets[static_cast<std::size_t>(i)] =
+          static_cast<std::size_t>(i) * bc;
+    local_copy(send, slice(recv, static_cast<std::size_t>(r) * bc, bc));
+    allgather_ring_inplace(*this, recv, counts, offsets);
+    return;
+  }
+  // Bruck / circular dissemination: tmp[k] = block of rank (r + k) % n.
+  Temp tmp(bc * static_cast<std::size_t>(n), send.dtype,
+           send.phantom() || recv.phantom());
+  local_copy(send, slice(tmp.buf(), 0, bc));
+  int curr = 1;
+  while (curr < n) {
+    const int cnt = std::min(curr, n - curr);
+    const int dst = (r - curr + n) % n;
+    const int src = (r + curr) % n;
+    sendrecv(dst, kTagAllgather,
+             slice(tmp.cbuf(), 0, static_cast<std::size_t>(cnt) * bc), src,
+             kTagAllgather,
+             slice(tmp.buf(), static_cast<std::size_t>(curr) * bc,
+                   static_cast<std::size_t>(cnt) * bc));
+    curr += cnt;
+  }
+  for (int k = 0; k < n; ++k)
+    local_copy(slice(tmp.cbuf(), static_cast<std::size_t>(k) * bc, bc),
+               slice(recv, static_cast<std::size_t>((r + k) % n) * bc, bc));
+}
+
+void Comm::allgatherv(CBuf send, MBuf recv, std::span<const int> counts) {
+  const int n = size();
+  const int r = rank();
+  HPCX_ASSERT(static_cast<int>(counts.size()) == n);
+  std::vector<std::size_t> cnts(static_cast<std::size_t>(n));
+  std::vector<std::size_t> offs(static_cast<std::size_t>(n));
+  std::size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    HPCX_ASSERT(counts[static_cast<std::size_t>(i)] >= 0);
+    cnts[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(i)]);
+    offs[static_cast<std::size_t>(i)] = total;
+    total += cnts[static_cast<std::size_t>(i)];
+  }
+  HPCX_ASSERT(send.count == cnts[static_cast<std::size_t>(r)]);
+  HPCX_ASSERT(recv.count == total && recv.dtype == send.dtype);
+  local_copy(send, slice(recv, offs[static_cast<std::size_t>(r)],
+                         cnts[static_cast<std::size_t>(r)]));
+  allgather_ring_inplace(*this, recv, cnts, offs);
+}
+
+void Comm::alltoall(CBuf send, MBuf recv) {
+  const int n = size();
+  const int r = rank();
+  HPCX_ASSERT(send.count % static_cast<std::size_t>(n) == 0);
+  const std::size_t bc = send.count / static_cast<std::size_t>(n);
+  HPCX_ASSERT(recv.count == send.count && recv.dtype == send.dtype);
+  if (n == 1) {
+    local_copy(send, recv);
+    return;
+  }
+  // Own block moves locally in both variants.
+  local_copy(slice(send, static_cast<std::size_t>(r) * bc, bc),
+             slice(recv, static_cast<std::size_t>(r) * bc, bc));
+
+  // Pairwise exchange (the long-message algorithm; IMB's 1 MB operating
+  // point always lands here). XOR pairing when the size is a power of
+  // two gives perfectly matched exchange partners.
+  for (int k = 1; k < n; ++k) {
+    int dst, src;
+    if (is_pow2(n)) {
+      dst = src = r ^ k;
+    } else {
+      dst = (r + k) % n;
+      src = (r - k + n) % n;
+    }
+    sendrecv(dst, kTagAlltoall,
+             slice(send, static_cast<std::size_t>(dst) * bc, bc), src,
+             kTagAlltoall, slice(recv, static_cast<std::size_t>(src) * bc, bc));
+  }
+}
+
+void Comm::alltoallv(CBuf send, std::span<const int> send_counts, MBuf recv,
+                     std::span<const int> recv_counts) {
+  const int n = size();
+  const int r = rank();
+  HPCX_ASSERT(static_cast<int>(send_counts.size()) == n);
+  HPCX_ASSERT(static_cast<int>(recv_counts.size()) == n);
+  std::vector<std::size_t> soff(static_cast<std::size_t>(n)),
+      roff(static_cast<std::size_t>(n));
+  std::size_t st = 0, rt = 0;
+  for (int i = 0; i < n; ++i) {
+    soff[static_cast<std::size_t>(i)] = st;
+    roff[static_cast<std::size_t>(i)] = rt;
+    st += static_cast<std::size_t>(send_counts[static_cast<std::size_t>(i)]);
+    rt += static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(i)]);
+  }
+  HPCX_ASSERT(send.count == st && recv.count == rt);
+
+  local_copy(
+      slice(send, soff[static_cast<std::size_t>(r)],
+            static_cast<std::size_t>(send_counts[static_cast<std::size_t>(r)])),
+      slice(recv, roff[static_cast<std::size_t>(r)],
+            static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(r)])));
+  for (int k = 1; k < n; ++k) {
+    const int dst = (r + k) % n;
+    const int src = (r - k + n) % n;
+    sendrecv(
+        dst, kTagAlltoall,
+        slice(send, soff[static_cast<std::size_t>(dst)],
+              static_cast<std::size_t>(
+                  send_counts[static_cast<std::size_t>(dst)])),
+        src, kTagAlltoall,
+        slice(recv, roff[static_cast<std::size_t>(src)],
+              static_cast<std::size_t>(
+                  recv_counts[static_cast<std::size_t>(src)])));
+  }
+}
+
+void Comm::reduce_scatter(CBuf send, MBuf recv, std::span<const int> counts,
+                          ROp op) {
+  const int n = size();
+  const int r = rank();
+  HPCX_ASSERT(static_cast<int>(counts.size()) == n);
+  std::vector<std::size_t> cnts(static_cast<std::size_t>(n));
+  std::vector<std::size_t> offs(static_cast<std::size_t>(n));
+  std::size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    cnts[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(i)]);
+    offs[static_cast<std::size_t>(i)] = total;
+    total += cnts[static_cast<std::size_t>(i)];
+  }
+  HPCX_ASSERT(send.count == total);
+  HPCX_ASSERT(recv.count == cnts[static_cast<std::size_t>(r)] &&
+              recv.dtype == send.dtype);
+  if (n == 1) {
+    local_copy(send, recv);
+    return;
+  }
+
+  Temp acc(total, send.dtype, send.phantom() || recv.phantom());
+  local_copy(send, acc.buf());
+  // Recursive halving is latency- and bandwidth-optimal but needs a
+  // power-of-two size; the ring handles every other case.
+  if (is_pow2(n))
+    reduce_scatter_rhalving_inplace(*this, acc.buf(), op, cnts, offs);
+  else
+    reduce_scatter_ring_inplace(*this, acc.buf(), op, cnts, offs);
+  local_copy(slice(acc.cbuf(), offs[static_cast<std::size_t>(r)],
+                   cnts[static_cast<std::size_t>(r)]),
+             recv);
+}
+
+}  // namespace hpcx::xmpi

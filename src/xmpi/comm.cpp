@@ -1,0 +1,31 @@
+#include "xmpi/comm.hpp"
+
+#include <string>
+
+namespace hpcx::xmpi {
+
+void Comm::check_peer(int peer) const {
+  if (peer < 0 || peer >= size())
+    throw CommError("peer rank " + std::to_string(peer) +
+                    " out of range [0, " + std::to_string(size()) + ")");
+}
+
+void Comm::send(int dst, int tag, CBuf buf) {
+  check_peer(dst);
+  send_impl(dst, tag, buf);
+}
+
+void Comm::recv(int src, int tag, MBuf buf) {
+  check_peer(src);
+  recv_impl(src, tag, buf);
+}
+
+void Comm::sendrecv(int dst, int send_tag, CBuf send_buf, int src,
+                    int recv_tag, MBuf recv_buf) {
+  // Sends are eager (they complete locally without a matching receive),
+  // so send-then-recv cannot deadlock even in fully cyclic patterns.
+  send(dst, send_tag, send_buf);
+  recv(src, recv_tag, recv_buf);
+}
+
+}  // namespace hpcx::xmpi

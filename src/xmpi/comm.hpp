@@ -1,0 +1,222 @@
+// xmpi — the message-passing runtime every benchmark in this repository
+// is written against.
+//
+// Comm is a *blocking* MPI-like interface: typed point-to-point send/recv
+// plus the collective operations the IMB and HPCC suites exercise. Two
+// interchangeable implementations exist:
+//
+//  * ThreadComm (xmpi/thread_comm.hpp) — ranks are host threads, data
+//    really moves, time is wall-clock time;
+//  * SimComm (xmpi/sim_comm.hpp) — ranks are simulator fibers on a
+//    modelled machine, time is virtual.
+//
+// Buffers are typed views (CBuf/MBuf). A buffer with data == nullptr is
+// a *phantom*: it has a size and a type but no storage. Phantom traffic
+// is timed exactly like real traffic but no bytes are copied and no
+// arithmetic is performed — this is how figure sweeps simulate thousands
+// of ranks moving megabytes without hosting the data. Mixing a real
+// payload with a phantom receive (or vice versa) is a CommError.
+//
+// Message matching is (source, tag, context) with FIFO order per pair,
+// like MPI. Collectives use a reserved tag space and the communicator's
+// context id, so they never collide with user point-to-point traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::xmpi {
+
+enum class DType : std::uint8_t { kByte, kF64, kU64, kI32, kC128 };
+
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kByte:
+      return 1;
+    case DType::kF64:
+      return 8;
+    case DType::kU64:
+      return 8;
+    case DType::kI32:
+      return 4;
+    case DType::kC128:  // complex<double>; transfer-only (no reductions)
+      return 16;
+  }
+  return 0;
+}
+
+const char* to_string(DType t);
+
+/// Reduction operators (all commutative and associative).
+enum class ROp : std::uint8_t { kSum, kProd, kMax, kMin };
+
+/// Immutable typed buffer view. data == nullptr means phantom.
+struct CBuf {
+  const void* data = nullptr;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+
+  std::size_t bytes() const { return count * dtype_size(dtype); }
+  bool phantom() const { return data == nullptr; }
+};
+
+/// Mutable typed buffer view. data == nullptr means phantom.
+struct MBuf {
+  void* data = nullptr;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+
+  std::size_t bytes() const { return count * dtype_size(dtype); }
+  bool phantom() const { return data == nullptr; }
+  CBuf as_cbuf() const { return CBuf{data, count, dtype}; }
+};
+
+// --- View construction helpers ---
+
+inline CBuf cbuf(std::span<const double> s) {
+  return CBuf{s.data(), s.size(), DType::kF64};
+}
+inline CBuf cbuf(std::span<const std::uint64_t> s) {
+  return CBuf{s.data(), s.size(), DType::kU64};
+}
+inline CBuf cbuf(std::span<const std::int32_t> s) {
+  return CBuf{s.data(), s.size(), DType::kI32};
+}
+inline CBuf cbuf_bytes(const void* p, std::size_t n) {
+  return CBuf{p, n, DType::kByte};
+}
+inline MBuf mbuf(std::span<double> s) {
+  return MBuf{s.data(), s.size(), DType::kF64};
+}
+inline MBuf mbuf(std::span<std::uint64_t> s) {
+  return MBuf{s.data(), s.size(), DType::kU64};
+}
+inline MBuf mbuf(std::span<std::int32_t> s) {
+  return MBuf{s.data(), s.size(), DType::kI32};
+}
+inline MBuf mbuf_bytes(void* p, std::size_t n) {
+  return MBuf{p, n, DType::kByte};
+}
+/// Phantom views: sized, typed, storage-free.
+inline CBuf phantom_cbuf(std::size_t count, DType t = DType::kByte) {
+  return CBuf{nullptr, count, t};
+}
+inline MBuf phantom_mbuf(std::size_t count, DType t = DType::kByte) {
+  return MBuf{nullptr, count, t};
+}
+
+/// Explicit algorithm choices; kAuto follows the size thresholds below
+/// (the switch points production MPI libraries use).
+enum class BcastAlg : std::uint8_t {
+  kAuto,
+  kBinomial,      ///< log-depth tree (latency-optimal)
+  kScatterRing,   ///< van de Geijn scatter + ring allgather
+  kPipelinedRing  ///< segmented ring pipeline (HPL's "ring" broadcast)
+};
+enum class AllreduceAlg : std::uint8_t {
+  kAuto,
+  kRecursiveDoubling,
+  kRabenseifner  ///< reduce-scatter + allgather
+};
+enum class AllgatherAlg : std::uint8_t { kAuto, kBruck, kRing };
+enum class AlltoallAlg : std::uint8_t { kAuto, kPairwise };
+
+/// Per-communicator thresholds and algorithm overrides steering
+/// collective algorithm selection.
+struct CollectiveTuning {
+  std::size_t bcast_long_bytes = 32 * 1024;     ///< binomial -> van de Geijn
+  std::size_t reduce_long_bytes = 32 * 1024;    ///< binomial -> Rabenseifner
+  std::size_t allreduce_long_bytes = 16 * 1024; ///< rec.doubling -> Rabenseifner
+  std::size_t allgather_long_bytes = 8 * 1024;  ///< Bruck -> ring
+  std::size_t alltoall_long_bytes = 4 * 1024;   ///< Bruck -> pairwise
+  std::size_t reduce_scatter_long_bytes = 16 * 1024;  ///< rec.halving -> ring
+
+  BcastAlg bcast_alg = BcastAlg::kAuto;
+  AllreduceAlg allreduce_alg = AllreduceAlg::kAuto;
+  AllgatherAlg allgather_alg = AllgatherAlg::kAuto;
+  /// Segment size for the pipelined-ring broadcast.
+  std::size_t bcast_segment_bytes = 64 * 1024;
+};
+
+/// Abstract communicator. See file comment for the two implementations.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Monotonic time in seconds — wall-clock for ThreadComm, virtual for
+  /// SimComm. Comparable across ranks of the same run.
+  virtual double now() = 0;
+
+  /// Charge `seconds` of local computation to the calling rank. Under
+  /// simulation this advances the rank's virtual time; on the real
+  /// backend it is a no-op (real kernels do real work instead).
+  virtual void compute(double seconds) = 0;
+
+  // --- Point-to-point (blocking; sends are eager/buffered) ---
+
+  void send(int dst, int tag, CBuf buf);
+  void recv(int src, int tag, MBuf buf);
+
+  /// Combined exchange: both transfers logically in flight together.
+  virtual void sendrecv(int dst, int send_tag, CBuf send_buf, int src,
+                        int recv_tag, MBuf recv_buf);
+
+  // --- Collectives (implemented over p2p; see xmpi/collectives.cpp) ---
+
+  /// Dissemination barrier; SimComm overrides it on machines whose MPI
+  /// uses hardware/global-memory synchronisation (NEC IXS, Cray X1).
+  virtual void barrier();
+  void bcast(MBuf buf, int root);
+  void reduce(CBuf send, MBuf recv, ROp op, int root);  // recv valid at root
+  void allreduce(CBuf send, MBuf recv, ROp op);
+  /// Root gathers size() blocks of send.count elements each.
+  void gather(CBuf send, MBuf recv, int root);
+  /// Root scatters size() blocks of recv.count elements each.
+  void scatter(CBuf send, MBuf recv, int root);
+  void allgather(CBuf send, MBuf recv);
+  /// counts[i] = element count contributed by rank i; recv is the
+  /// concatenation in rank order.
+  void allgatherv(CBuf send, MBuf recv, std::span<const int> counts);
+  void alltoall(CBuf send, MBuf recv);
+  void alltoallv(CBuf send, std::span<const int> send_counts, MBuf recv,
+                 std::span<const int> recv_counts);
+  /// counts[i] = elements rank i receives; send holds sum(counts).
+  void reduce_scatter(CBuf send, MBuf recv, std::span<const int> counts,
+                      ROp op);
+
+  CollectiveTuning& tuning() { return tuning_; }
+  const CollectiveTuning& tuning() const { return tuning_; }
+
+  /// Charge the local arithmetic a collective performs when combining
+  /// `operand_bytes` of reduction operands (called by the collective
+  /// algorithms; the memory-bound combine is what separates vector from
+  /// scalar machines on large reductions). No-op on the real backend —
+  /// the arithmetic actually runs there.
+  virtual void charge_reduce_arithmetic(std::size_t operand_bytes) {
+    (void)operand_bytes;
+  }
+
+ protected:
+  // Implementation hooks. `context` separates communicator instances
+  // (sub-communicators get fresh contexts from the same world).
+  virtual void send_impl(int dst, int tag, CBuf buf) = 0;
+  virtual void recv_impl(int src, int tag, MBuf buf) = 0;
+
+  void check_peer(int peer) const;
+
+ private:
+  CollectiveTuning tuning_;
+};
+
+/// Signature of a rank's main function, shared by both backends.
+using RankFn = std::function<void(Comm&)>;
+
+}  // namespace hpcx::xmpi

@@ -1,0 +1,191 @@
+#include "xmpi/one_sided.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+// Windows consume tags at the top of the user tag range (documented in
+// sub_comm.hpp: user tags < 2^20). Four tags per window: control header,
+// control body, put payload, get reply.
+constexpr int kWindowTagBase = 1 << 19;
+constexpr int kTagsPerWindow = 4;
+
+struct ControlHeader {
+  std::uint64_t nputs = 0;
+  std::uint64_t ngets = 0;
+  std::uint64_t put_bytes = 0;
+};
+}  // namespace
+
+Window::Window(Comm& comm, MBuf region, int window_id)
+    : comm_(&comm),
+      region_(region),
+      base_tag_(kWindowTagBase + window_id * kTagsPerWindow) {
+  HPCX_REQUIRE(window_id >= 1, "window_id must be >= 1");
+  HPCX_REQUIRE(base_tag_ + kTagsPerWindow <= (1 << 20),
+               "window_id exhausts the window tag space");
+  // Window creation is collective (like MPI_Win_create).
+  comm.barrier();
+}
+
+void Window::put(int target, std::size_t target_offset, CBuf data) {
+  HPCX_REQUIRE(target >= 0 && target < comm_->size(),
+               "put target out of range");
+  PendingPut p;
+  p.target = target;
+  p.offset = target_offset;
+  p.bytes = data.bytes();
+  if (!data.phantom() && p.bytes > 0) {
+    p.data.resize(p.bytes);
+    std::memcpy(p.data.data(), data.data, p.bytes);
+  }
+  puts_.push_back(std::move(p));
+}
+
+void Window::get(int target, std::size_t target_offset, MBuf out) {
+  HPCX_REQUIRE(target >= 0 && target < comm_->size(),
+               "get target out of range");
+  gets_.push_back(PendingGet{target, target_offset, out});
+}
+
+void Window::fence() {
+  Comm& c = *comm_;
+  const int n = c.size();
+  const int me = c.rank();
+  const bool phantom = region_.phantom();
+  const int tag_header = base_tag_;
+  const int tag_body = base_tag_ + 1;
+  const int tag_payload = base_tag_ + 2;
+  const int tag_reply = base_tag_ + 3;
+
+  // Apply local accesses directly.
+  auto apply_put = [&](std::size_t off, const unsigned char* src,
+                       std::size_t bytes) {
+    HPCX_REQUIRE(off + bytes <= region_.bytes(), "put outside the window");
+    if (!phantom && src != nullptr)
+      std::memcpy(static_cast<unsigned char*>(region_.data) + off, src,
+                  bytes);
+  };
+  auto read_region = [&](std::size_t off, unsigned char* dst,
+                         std::size_t bytes) {
+    HPCX_REQUIRE(off + bytes <= region_.bytes(), "get outside the window");
+    if (!phantom && dst != nullptr)
+      std::memcpy(dst, static_cast<unsigned char*>(region_.data) + off,
+                  bytes);
+  };
+  for (const PendingPut& p : puts_)
+    if (p.target == me)
+      apply_put(p.offset, p.data.empty() ? nullptr : p.data.data(), p.bytes);
+  for (const PendingGet& g : gets_)
+    if (g.target == me && !g.out.phantom())
+      read_region(g.offset, static_cast<unsigned char*>(g.out.data),
+                  g.out.bytes());
+
+  // Send control + put payloads to every peer (rotation order).
+  for (int k = 1; k < n; ++k) {
+    const int peer = (me + k) % n;
+    ControlHeader hdr;
+    std::vector<std::uint64_t> body;  // [off, len] per put, then per get
+    std::vector<unsigned char> blob;
+    for (const PendingPut& p : puts_) {
+      if (p.target != peer) continue;
+      ++hdr.nputs;
+      hdr.put_bytes += p.bytes;
+      body.push_back(p.offset);
+      body.push_back(p.bytes);
+      if (!phantom) blob.insert(blob.end(), p.data.begin(), p.data.end());
+    }
+    for (const PendingGet& g : gets_) {
+      if (g.target != peer) continue;
+      ++hdr.ngets;
+      body.push_back(g.offset);
+      body.push_back(g.out.bytes());
+    }
+    c.send(peer, tag_header,
+           CBuf{&hdr, sizeof(hdr) / 8, DType::kU64});
+    if (!body.empty())
+      c.send(peer, tag_body, cbuf(std::span<const std::uint64_t>(body)));
+    if (hdr.put_bytes > 0)
+      c.send(peer, tag_payload,
+             phantom ? phantom_cbuf(hdr.put_bytes)
+                     : cbuf_bytes(blob.data(), blob.size()));
+  }
+
+  // Receive from every peer: apply their puts, reply to their gets.
+  for (int k = 1; k < n; ++k) {
+    const int peer = (me - k + n) % n;
+    ControlHeader hdr;
+    c.recv(peer, tag_header, MBuf{&hdr, sizeof(hdr) / 8, DType::kU64});
+    std::vector<std::uint64_t> body(2 * (hdr.nputs + hdr.ngets));
+    if (!body.empty())
+      c.recv(peer, tag_body, mbuf(std::span<std::uint64_t>(body)));
+    std::vector<unsigned char> blob;
+    if (hdr.put_bytes > 0) {
+      if (phantom) {
+        c.recv(peer, tag_payload, phantom_mbuf(hdr.put_bytes));
+      } else {
+        blob.resize(hdr.put_bytes);
+        c.recv(peer, tag_payload, mbuf_bytes(blob.data(), blob.size()));
+      }
+    }
+    std::size_t blob_off = 0;
+    for (std::uint64_t i = 0; i < hdr.nputs; ++i) {
+      const std::size_t off = body[2 * i];
+      const std::size_t len = body[2 * i + 1];
+      apply_put(off, phantom ? nullptr : blob.data() + blob_off, len);
+      blob_off += len;
+    }
+    // Build and send one reply blob covering all of this peer's gets.
+    std::size_t reply_bytes = 0;
+    for (std::uint64_t i = 0; i < hdr.ngets; ++i)
+      reply_bytes += body[2 * (hdr.nputs + i) + 1];
+    if (hdr.ngets > 0) {
+      std::vector<unsigned char> reply;
+      if (!phantom) {
+        reply.resize(reply_bytes);
+        std::size_t off = 0;
+        for (std::uint64_t i = 0; i < hdr.ngets; ++i) {
+          const std::size_t goff = body[2 * (hdr.nputs + i)];
+          const std::size_t glen = body[2 * (hdr.nputs + i) + 1];
+          read_region(goff, reply.data() + off, glen);
+          off += glen;
+        }
+      }
+      c.send(peer, tag_reply,
+             phantom ? phantom_cbuf(reply_bytes)
+                     : cbuf_bytes(reply.data(), reply.size()));
+    }
+  }
+
+  // Collect replies for my gets, per target, in issue order.
+  for (int k = 1; k < n; ++k) {
+    const int peer = (me + k) % n;
+    std::size_t expect = 0;
+    for (const PendingGet& g : gets_)
+      if (g.target == peer) expect += g.out.bytes();
+    if (expect == 0) continue;
+    if (phantom) {
+      c.recv(peer, tag_reply, phantom_mbuf(expect));
+    } else {
+      std::vector<unsigned char> reply(expect);
+      c.recv(peer, tag_reply, mbuf_bytes(reply.data(), reply.size()));
+      std::size_t off = 0;
+      for (PendingGet& g : gets_) {
+        if (g.target != peer) continue;
+        if (!g.out.phantom())
+          std::memcpy(g.out.data, reply.data() + off, g.out.bytes());
+        off += g.out.bytes();
+      }
+    }
+  }
+
+  puts_.clear();
+  gets_.clear();
+  c.barrier();
+}
+
+}  // namespace hpcx::xmpi

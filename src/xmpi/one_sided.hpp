@@ -1,0 +1,69 @@
+// One-sided communication (MPI-2 Get/Put with active-target fence
+// synchronisation) — the paper's future-work item: "we plan to use
+// ... one-sided (GET/PUT) MPI communication functions with three
+// synchronization schemes".
+//
+// Window exposes a region of each rank's memory to every other rank.
+// Puts and gets issued inside an epoch are *queued locally* and carried
+// out at the closing fence(), which is the MPI semantics for
+// fence-synchronised epochs: accesses are only guaranteed complete —
+// and remote data only guaranteed visible — after the fence. The fence
+// exchanges all queued puts (data moves to the targets) and all queued
+// gets (requests travel to the targets, replies come back), so every
+// byte crosses the simulated network exactly as an RDMA engine would
+// move it, batched per target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::xmpi {
+
+class Window {
+ public:
+  /// Collective over `comm`. `region` is this rank's exposed memory
+  /// (phantom regions are allowed for timing-only studies; all ranks
+  /// must then be phantom). `window_id` distinguishes concurrently
+  /// live windows (>= 1, same on all ranks).
+  Window(Comm& comm, MBuf region, int window_id);
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  std::size_t size_bytes() const { return region_.bytes(); }
+
+  /// Queue a put of `data` into `target`'s region at byte offset
+  /// `target_offset`. Completes at the next fence().
+  void put(int target, std::size_t target_offset, CBuf data);
+
+  /// Queue a get from `target`'s region at `target_offset` into `out`.
+  /// `out` is filled by the next fence().
+  void get(int target, std::size_t target_offset, MBuf out);
+
+  /// Close the current epoch: deliver all queued puts, satisfy all
+  /// queued gets, and synchronise all ranks. Collective.
+  void fence();
+
+ private:
+  struct PendingPut {
+    int target;
+    std::size_t offset;
+    std::vector<unsigned char> data;  // empty when phantom
+    std::size_t bytes;
+  };
+  struct PendingGet {
+    int target;
+    std::size_t offset;
+    MBuf out;
+  };
+
+  Comm* comm_;
+  MBuf region_;
+  int base_tag_;
+  std::vector<PendingPut> puts_;
+  std::vector<PendingGet> gets_;
+};
+
+}  // namespace hpcx::xmpi

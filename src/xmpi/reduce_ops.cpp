@@ -1,0 +1,91 @@
+#include "xmpi/reduce_ops.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+
+template <typename T>
+void apply_typed(ROp op, T* inout, const T* in, std::size_t count) {
+  switch (op) {
+    case ROp::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] += in[i];
+      return;
+    case ROp::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] *= in[i];
+      return;
+    case ROp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(inout[i], in[i]);
+      return;
+    case ROp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(inout[i], in[i]);
+      return;
+  }
+  HPCX_ASSERT_MSG(false, "unknown reduction op");
+}
+
+}  // namespace
+
+void apply_rop(ROp op, DType dtype, void* inout, const void* in,
+               std::size_t count) {
+  HPCX_ASSERT(inout != nullptr && in != nullptr);
+  switch (dtype) {
+    case DType::kF64:
+      apply_typed(op, static_cast<double*>(inout),
+                  static_cast<const double*>(in), count);
+      return;
+    case DType::kU64:
+      apply_typed(op, static_cast<std::uint64_t*>(inout),
+                  static_cast<const std::uint64_t*>(in), count);
+      return;
+    case DType::kI32:
+      apply_typed(op, static_cast<std::int32_t*>(inout),
+                  static_cast<const std::int32_t*>(in), count);
+      return;
+    case DType::kByte:
+      apply_typed(op, static_cast<unsigned char*>(inout),
+                  static_cast<const unsigned char*>(in), count);
+      return;
+    case DType::kC128:
+      throw CommError("reductions over complex are not defined");
+  }
+  HPCX_ASSERT_MSG(false, "unknown dtype");
+}
+
+const char* to_string(ROp op) {
+  switch (op) {
+    case ROp::kSum:
+      return "sum";
+    case ROp::kProd:
+      return "prod";
+    case ROp::kMax:
+      return "max";
+    case ROp::kMin:
+      return "min";
+  }
+  return "?";
+}
+
+const char* to_string(DType t) {
+  switch (t) {
+    case DType::kByte:
+      return "byte";
+    case DType::kF64:
+      return "f64";
+    case DType::kU64:
+      return "u64";
+    case DType::kI32:
+      return "i32";
+    case DType::kC128:
+      return "c128";
+  }
+  return "?";
+}
+
+}  // namespace hpcx::xmpi

@@ -1,0 +1,17 @@
+// Element-wise reduction kernels for the collective operations.
+#pragma once
+
+#include <cstddef>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::xmpi {
+
+/// inout[i] = op(inout[i], in[i]) for count elements of dtype.
+/// kByte supports kSum/kMax/kMin (treated as unsigned chars).
+void apply_rop(ROp op, DType dtype, void* inout, const void* in,
+               std::size_t count);
+
+const char* to_string(ROp op);
+
+}  // namespace hpcx::xmpi

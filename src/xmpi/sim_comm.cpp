@@ -1,0 +1,190 @@
+#include "xmpi/sim_comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "des/simulator.hpp"
+#include "des/sync.hpp"
+#include "netsim/network.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+
+struct Envelope {
+  int src = -1;
+  int src_node = -1;
+  int tag = 0;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+  bool phantom = false;
+  std::vector<unsigned char> payload;
+};
+
+struct RankState {
+  std::deque<Envelope> inbox;
+  std::unique_ptr<des::WaitQueue> wq;
+  double finish_time = 0.0;
+};
+
+struct World {
+  World(const mach::MachineConfig& machine, int nranks,
+        des::Simulator& simulator)
+      : config(&machine),
+        nranks(nranks),
+        sim(&simulator),
+        network(simulator, machine.build_topology(machine.nodes_for(nranks)),
+                machine.nic, machine.node),
+        ranks(static_cast<std::size_t>(nranks)),
+        barrier_wq(simulator) {
+    for (auto& r : ranks) r.wq = std::make_unique<des::WaitQueue>(simulator);
+  }
+
+  const mach::MachineConfig* config;
+  int nranks;
+  des::Simulator* sim;
+  net::Network network;
+  std::vector<RankState> ranks;
+  // Hardware-barrier rendezvous state (machines with hw_barrier_latency_s).
+  des::WaitQueue barrier_wq;
+  int barrier_arrived = 0;
+};
+
+void validate_match(const Envelope& env, const MBuf& buf) {
+  if (env.count != buf.count || env.dtype != buf.dtype)
+    throw CommError("recv size/type mismatch (sim backend)");
+  if (buf.count > 0 && env.phantom != buf.phantom())
+    throw CommError("phantom/real payload mismatch between send and recv");
+}
+
+class SimComm final : public Comm {
+ public:
+  SimComm(World& world, int rank)
+      : world_(&world),
+        rank_(rank),
+        node_(world.config->node_of_rank(rank)) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_->nranks; }
+  double now() override { return world_->sim->now(); }
+  void compute(double seconds) override { world_->sim->sleep(seconds); }
+
+  void charge_reduce_arithmetic(std::size_t operand_bytes) override {
+    // The combine streams operand + accumulator in and writes the
+    // accumulator back: ~3 memory touches per operand byte, at the
+    // node's contended STREAM rate.
+    world_->sim->sleep(3.0 * static_cast<double>(operand_bytes) /
+                       world_->config->stream_per_cpu_all_active());
+  }
+
+  void barrier() override {
+    const double hw = world_->config->hw_barrier_latency_s;
+    if (hw <= 0.0 || world_->nranks == 1) {
+      Comm::barrier();
+      return;
+    }
+    // Hardware global synchronisation: everyone blocks until the last
+    // rank arrives; all release together one hw-latency later. The
+    // arrival counter resets before the wake-ups are issued, so
+    // back-to-back barriers cannot mix generations.
+    World& w = *world_;
+    if (++w.barrier_arrived < w.nranks) {
+      w.barrier_wq.wait();
+    } else {
+      w.barrier_arrived = 0;
+      w.sim->schedule(hw, [&w] { w.barrier_wq.notify_all(); });
+      w.sim->sleep(hw);
+    }
+  }
+
+ protected:
+  void send_impl(int dst, int tag, CBuf buf) override {
+    auto env = std::make_shared<Envelope>();
+    env->src = rank_;
+    env->src_node = node_;
+    env->tag = tag;
+    env->count = buf.count;
+    env->dtype = buf.dtype;
+    env->phantom = buf.phantom();
+    if (!buf.phantom() && buf.count > 0) {
+      env->payload.resize(buf.bytes());
+      std::memcpy(env->payload.data(), buf.data, buf.bytes());
+    }
+    World* w = world_;
+    const int dst_node = w->config->node_of_rank(dst);
+    w->network.send(node_, dst_node, buf.bytes(), [w, dst, env] {
+      RankState& rs = w->ranks[static_cast<std::size_t>(dst)];
+      rs.inbox.push_back(std::move(*env));
+      rs.wq->notify_one();
+    });
+  }
+
+  void recv_impl(int src, int tag, MBuf buf) override {
+    RankState& rs = world_->ranks[static_cast<std::size_t>(rank_)];
+    for (;;) {
+      for (auto it = rs.inbox.begin(); it != rs.inbox.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Envelope env = std::move(*it);
+          rs.inbox.erase(it);
+          // Receive-side software overhead applies to messages that
+          // crossed the network; node-local deliveries already paid the
+          // intra-node latency.
+          if (env.src_node != node_)
+            world_->sim->sleep(world_->network.recv_overhead_s());
+          validate_match(env, buf);
+          if (!buf.phantom() && buf.count > 0)
+            std::memcpy(buf.data, env.payload.data(), buf.bytes());
+          return;
+        }
+      }
+      rs.wq->wait();
+    }
+  }
+
+ private:
+  World* world_;
+  int rank_;
+  int node_;
+};
+
+}  // namespace
+
+SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
+                            const RankFn& fn, SimRunOptions options) {
+  HPCX_REQUIRE(nranks >= 1, "need at least one rank");
+  des::Simulator sim;
+  World world(machine, nranks, sim);
+  for (int r = 0; r < nranks; ++r) {
+    sim.spawn(
+        [&world, &fn, r] {
+          SimComm comm(world, r);
+          fn(comm);
+          world.ranks[static_cast<std::size_t>(r)].finish_time =
+              world.sim->now();
+        },
+        options.fiber_stack_bytes);
+  }
+  sim.run();
+
+  SimRunResult result;
+  for (const auto& rs : world.ranks)
+    result.makespan_s = std::max(result.makespan_s, rs.finish_time);
+  result.internode_messages = world.network.internode_messages();
+  result.intranode_messages = world.network.intranode_messages();
+  result.internode_bytes = world.network.internode_bytes();
+  for (const auto& [edge_id, stats] : world.network.hottest_edges(16)) {
+    if (stats.messages == 0) break;
+    const topo::Edge& e = world.network.graph().edge(edge_id);
+    result.hottest_links.push_back(LinkUsage{
+        world.network.graph().label(e.from),
+        world.network.graph().label(e.to), stats.messages, stats.bytes,
+        stats.busy_s, stats.queued_s});
+  }
+  return result;
+}
+
+}  // namespace hpcx::xmpi

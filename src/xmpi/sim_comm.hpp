@@ -1,0 +1,45 @@
+// Simulated-machine backend: every rank is a simulator fiber placed on a
+// node of a modelled machine (block placement: consecutive ranks share a
+// node, as the paper's runs do). Point-to-point traffic goes through the
+// netsim network; time is virtual. The same RankFn that runs on threads
+// runs here unmodified.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "xmpi/comm.hpp"
+
+namespace hpcx::xmpi {
+
+/// One network link's traffic during a run (hotspot analysis).
+struct LinkUsage {
+  std::string from;      ///< vertex label, e.g. "h3" or "spine1"
+  std::string to;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double busy_s = 0;
+  double queued_s = 0;
+};
+
+struct SimRunResult {
+  double makespan_s = 0.0;  ///< virtual time when the last rank finished
+  std::uint64_t internode_messages = 0;
+  std::uint64_t intranode_messages = 0;
+  std::uint64_t internode_bytes = 0;
+  /// The busiest links of the run, hottest first (up to 16).
+  std::vector<LinkUsage> hottest_links;
+};
+
+struct SimRunOptions {
+  std::size_t fiber_stack_bytes = 256 * 1024;
+};
+
+/// Run `fn` on `nranks` simulated ranks of `machine`. Deterministic:
+/// identical inputs produce bit-identical results.
+SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
+                            const RankFn& fn, SimRunOptions options = {});
+
+}  // namespace hpcx::xmpi

@@ -1,0 +1,48 @@
+#include "xmpi/sub_comm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+// Each context owns a [user | collective] tag block of this size.
+constexpr int kContextStride = kMaxUserTag * 2;
+// Keep the shifted tag inside a signed 32-bit int.
+constexpr int kMaxContexts = (std::numeric_limits<int>::max() / kContextStride) - 1;
+}  // namespace
+
+SubComm::SubComm(Comm& parent, std::vector<int> members, int context_id)
+    : parent_(&parent), members_(std::move(members)), context_id_(context_id) {
+  HPCX_REQUIRE(!members_.empty(), "sub-communicator needs members");
+  HPCX_REQUIRE(context_id >= 1 && context_id <= kMaxContexts,
+               "sub-communicator context_id out of range");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const int m = members_[i];
+    HPCX_REQUIRE(m >= 0 && m < parent.size(),
+                 "sub-communicator member out of parent range");
+    if (m == parent.rank()) my_rank_ = static_cast<int>(i);
+  }
+  HPCX_REQUIRE(my_rank_ >= 0,
+               "calling rank is not a member of the sub-communicator");
+}
+
+int SubComm::translate_tag(int tag) const {
+  HPCX_ASSERT_MSG(tag >= 0 && tag < kContextStride,
+                  "tag outside the per-context tag block");
+  return context_id_ * kContextStride + tag;
+}
+
+void SubComm::send_impl(int dst, int tag, CBuf buf) {
+  parent_->send(members_[static_cast<std::size_t>(dst)], translate_tag(tag),
+                buf);
+}
+
+void SubComm::recv_impl(int src, int tag, MBuf buf) {
+  parent_->recv(members_[static_cast<std::size_t>(src)], translate_tag(tag),
+                buf);
+}
+
+}  // namespace hpcx::xmpi

@@ -1,0 +1,55 @@
+// Sub-communicators: a Comm view over a subset of a parent communicator's
+// ranks (MPI_Comm_split analogue). Used by the 2D-grid algorithms (HPL,
+// PTRANS) for row/column collectives.
+//
+// Implementation: rank translation plus a tag-space offset per context.
+// User tags must be < kMaxUserTag; each nesting context shifts the whole
+// collective+user tag block, so traffic in different sub-communicators of
+// the same world can never match across contexts.
+#pragma once
+
+#include <vector>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::xmpi {
+
+/// Highest user tag usable with Comm::send/recv (collectives use
+/// [kMaxUserTag, 2*kMaxUserTag) of each context block).
+constexpr int kMaxUserTag = 1 << 20;
+
+class SubComm final : public Comm {
+ public:
+  /// `members` lists the parent ranks in this communicator, in rank
+  /// order; the calling parent rank must appear in it. `context_id` must
+  /// be unique among communicators live at the same time over the same
+  /// parent (0 is the parent's own context; start at 1).
+  SubComm(Comm& parent, std::vector<int> members, int context_id);
+
+  int rank() const override { return my_rank_; }
+  int size() const override { return static_cast<int>(members_.size()); }
+  double now() override { return parent_->now(); }
+  void compute(double seconds) override { parent_->compute(seconds); }
+
+  int parent_rank_of(int sub_rank) const {
+    return members_[static_cast<std::size_t>(sub_rank)];
+  }
+
+  void charge_reduce_arithmetic(std::size_t operand_bytes) override {
+    parent_->charge_reduce_arithmetic(operand_bytes);
+  }
+
+ protected:
+  void send_impl(int dst, int tag, CBuf buf) override;
+  void recv_impl(int src, int tag, MBuf buf) override;
+
+ private:
+  int translate_tag(int tag) const;
+
+  Comm* parent_;
+  std::vector<int> members_;
+  int my_rank_ = -1;
+  int context_id_ = 0;
+};
+
+}  // namespace hpcx::xmpi

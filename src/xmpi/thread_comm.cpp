@@ -1,0 +1,148 @@
+#include "xmpi/thread_comm.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+
+struct Envelope {
+  int src = -1;
+  int tag = 0;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+  bool phantom = false;
+  std::vector<unsigned char> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Envelope> queue;
+};
+
+struct World {
+  explicit World(int nranks)
+      : nranks(nranks),
+        mailboxes(static_cast<std::size_t>(nranks)),
+        epoch(std::chrono::steady_clock::now()) {}
+
+  int nranks;
+  std::vector<Mailbox> mailboxes;  // Mailbox is not movable; sized once
+  std::chrono::steady_clock::time_point epoch;
+};
+
+void validate_match(const Envelope& env, const MBuf& buf) {
+  if (env.count != buf.count || env.dtype != buf.dtype)
+    throw CommError("recv size/type mismatch: expected " +
+                    std::to_string(buf.count) + " x " +
+                    std::string(to_string(buf.dtype)) + ", got " +
+                    std::to_string(env.count) + " x " +
+                    std::string(to_string(env.dtype)));
+  if (buf.count > 0 && env.phantom != buf.phantom())
+    throw CommError("phantom/real payload mismatch between send and recv");
+}
+
+class ThreadComm final : public Comm {
+ public:
+  ThreadComm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_->nranks; }
+
+  double now() override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         world_->epoch)
+        .count();
+  }
+
+  void compute(double seconds) override {
+    // Real kernels do real work; this hook only matters when modelled
+    // kernels run on the real backend (hybrid experiments) — honour the
+    // charge with a sleep so relative timings stay meaningful.
+    if (seconds > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
+ protected:
+  void send_impl(int dst, int tag, CBuf buf) override {
+    Envelope env;
+    env.src = rank_;
+    env.tag = tag;
+    env.count = buf.count;
+    env.dtype = buf.dtype;
+    env.phantom = buf.phantom();
+    if (!buf.phantom() && buf.count > 0) {
+      env.payload.resize(buf.bytes());
+      std::memcpy(env.payload.data(), buf.data, buf.bytes());
+    }
+    Mailbox& mb = world_->mailboxes[static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(mb.mutex);
+      mb.queue.push_back(std::move(env));
+    }
+    mb.cv.notify_one();
+  }
+
+  void recv_impl(int src, int tag, MBuf buf) override {
+    Mailbox& mb = world_->mailboxes[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lock(mb.mutex);
+    for (;;) {
+      for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Envelope env = std::move(*it);
+          mb.queue.erase(it);
+          lock.unlock();
+          validate_match(env, buf);
+          if (!buf.phantom() && buf.count > 0)
+            std::memcpy(buf.data, env.payload.data(), buf.bytes());
+          return;
+        }
+      }
+      mb.cv.wait(lock);
+    }
+  }
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+}  // namespace
+
+ThreadRunResult run_on_threads(int nranks, const RankFn& fn) {
+  HPCX_REQUIRE(nranks >= 1, "need at least one rank");
+  World world(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  const auto start = std::chrono::steady_clock::now();
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      try {
+        ThreadComm comm(world, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  ThreadRunResult result;
+  result.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return result;
+}
+
+}  // namespace hpcx::xmpi

@@ -1,0 +1,22 @@
+// Real-execution backend: every rank is a host thread, messages really
+// move through shared memory, time is wall-clock. This is the substrate
+// on which all kernels and collectives are validated for correctness and
+// on which the host micro-benchmarks (bench/bench_collectives) run.
+#pragma once
+
+#include <memory>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx::xmpi {
+
+struct ThreadRunResult {
+  double elapsed_s = 0.0;  ///< wall-clock duration of the parallel region
+};
+
+/// Run `fn` on `nranks` threads, each with its own Comm. Blocks until all
+/// ranks return. The first exception thrown by any rank is re-thrown
+/// after all threads have been joined.
+ThreadRunResult run_on_threads(int nranks, const RankFn& fn);
+
+}  // namespace hpcx::xmpi

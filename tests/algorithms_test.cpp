@@ -1,0 +1,134 @@
+// Explicit collective-algorithm selection: every selectable algorithm
+// must produce identical results, and the pipelined-ring broadcast must
+// show its bandwidth-optimal signature under simulation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "machine/registry.hpp"
+#include "test_util.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx::xmpi {
+namespace {
+
+using test::Backend;
+using test::run_world;
+using test::test_value;
+
+std::string alg_param_name(
+    const ::testing::TestParamInfo<std::tuple<Backend, int, BcastAlg>>&
+        info) {
+  const auto [backend, n, alg] = info.param;
+  const char* alg_name =
+      alg == BcastAlg::kBinomial
+          ? "binomial"
+          : (alg == BcastAlg::kScatterRing ? "scatter_ring"
+                                           : "pipelined_ring");
+  return std::string(test::to_string(backend)) + "_n" + std::to_string(n) +
+         "_" + alg_name;
+}
+
+class BcastAlgTest
+    : public ::testing::TestWithParam<std::tuple<Backend, int, BcastAlg>> {};
+
+TEST_P(BcastAlgTest, EveryAlgorithmDeliversTheData) {
+  const auto [backend, n, alg] = GetParam();
+  for (const std::size_t count : {std::size_t{3}, std::size_t{5000}}) {
+    run_world(backend, n, [&, alg = alg](Comm& c) {
+      c.tuning().bcast_alg = alg;
+      c.tuning().bcast_segment_bytes = 1024;  // force multiple segments
+      std::vector<double> buf(count);
+      const int root = c.size() / 2;
+      if (c.rank() == root)
+        for (std::size_t i = 0; i < count; ++i) buf[i] = test_value(root, i);
+      c.bcast(mbuf(std::span<double>(buf)), root);
+      for (std::size_t i = 0; i < count; ++i)
+        ASSERT_DOUBLE_EQ(test_value(root, i), buf[i]) << "i=" << i;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BcastAlgTest,
+    ::testing::Combine(::testing::Values(Backend::kThreads, Backend::kSim),
+                       ::testing::Values(2, 3, 5, 8, 13),
+                       ::testing::Values(BcastAlg::kBinomial,
+                                         BcastAlg::kScatterRing,
+                                         BcastAlg::kPipelinedRing)),
+    alg_param_name);
+
+TEST(AllreduceAlg, BothAlgorithmsAgree) {
+  for (const auto alg :
+       {AllreduceAlg::kRecursiveDoubling, AllreduceAlg::kRabenseifner}) {
+    run_world(Backend::kThreads, 6, [alg](Comm& c) {
+      c.tuning().allreduce_alg = alg;
+      std::vector<double> send(4000), recv(4000);
+      for (std::size_t i = 0; i < send.size(); ++i)
+        send[i] = test_value(c.rank(), i);
+      c.allreduce(cbuf(std::span<const double>(send)),
+                  mbuf(std::span<double>(recv)), ROp::kSum);
+      for (std::size_t i = 0; i < recv.size(); ++i) {
+        double expected = 0;
+        for (int r = 0; r < 6; ++r) expected += test_value(r, i);
+        ASSERT_DOUBLE_EQ(expected, recv[i]);
+      }
+    });
+  }
+}
+
+TEST(AllgatherAlg, RingAndBruckAgree) {
+  for (const auto alg : {AllgatherAlg::kBruck, AllgatherAlg::kRing}) {
+    run_world(Backend::kSim, 5, [alg](Comm& c) {
+      c.tuning().allgather_alg = alg;
+      std::vector<double> send(7);
+      for (std::size_t i = 0; i < send.size(); ++i)
+        send[i] = test_value(c.rank(), i);
+      std::vector<double> recv(7 * 5, -1);
+      c.allgather(cbuf(std::span<const double>(send)),
+                  mbuf(std::span<double>(recv)));
+      for (int r = 0; r < 5; ++r)
+        for (std::size_t i = 0; i < 7; ++i)
+          ASSERT_DOUBLE_EQ(test_value(r, i),
+                           recv[static_cast<std::size_t>(r) * 7 + i]);
+    });
+  }
+}
+
+double bcast_time(BcastAlg alg, int cpus, std::size_t bytes) {
+  double t = 0;
+  xmpi::run_on_machine(mach::dell_xeon(), cpus, [&](Comm& c) {
+    c.tuning().bcast_alg = alg;
+    auto op = [&] { c.bcast(phantom_mbuf(bytes), 0); };
+    op();
+    c.barrier();
+    const double t0 = c.now();
+    op();
+    // The root returns as soon as its sends are injected; close the
+    // epoch with a barrier so the time covers full delivery (the same
+    // constant barrier cost is paid by both algorithms).
+    c.barrier();
+    if (c.rank() == 0) t = c.now() - t0;
+  });
+  return t;
+}
+
+TEST(BcastAlgSim, PipelineBeatsBinomialForLongMessages) {
+  // Binomial re-sends the full message log2(P) times from the root's
+  // subtree; the segmented ring streams it once. At 8 MB x 32 ranks the
+  // pipeline must win clearly.
+  const std::size_t big = 8u << 20;
+  EXPECT_LT(bcast_time(BcastAlg::kPipelinedRing, 32, big),
+            bcast_time(BcastAlg::kBinomial, 32, big));
+}
+
+TEST(BcastAlgSim, BinomialBeatsPipelineForShortMessages) {
+  // 64 B across 32 ranks: log2(32) hops vs 31 hops.
+  EXPECT_LT(bcast_time(BcastAlg::kBinomial, 32, 64),
+            bcast_time(BcastAlg::kPipelinedRing, 32, 64));
+}
+
+}  // namespace
+}  // namespace hpcx::xmpi

@@ -1,0 +1,342 @@
+// Correctness of every collective algorithm, on both backends, across
+// communicator sizes (power-of-two and not) and message sizes straddling
+// every short/long algorithm switch point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "test_util.hpp"
+#include "xmpi/comm.hpp"
+
+namespace hpcx {
+namespace {
+
+using test::Backend;
+using test::run_world;
+using test::test_value;
+using xmpi::cbuf;
+using xmpi::Comm;
+using xmpi::mbuf;
+using xmpi::ROp;
+
+// (backend, nranks, element count). Counts are chosen to hit both the
+// short- and long-message algorithm of each collective (thresholds are
+// 4-32 KiB; 8 B and 80 KB-1.6 MB land on opposite sides).
+using Param = std::tuple<Backend, int, std::size_t>;
+
+class CollectivesTest : public ::testing::TestWithParam<Param> {
+ protected:
+  Backend backend() const { return std::get<0>(GetParam()); }
+  int nranks() const { return std::get<1>(GetParam()); }
+  std::size_t count() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(CollectivesTest, AllreduceSum) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  run_world(backend(), n, [cnt, n](Comm& c) {
+    std::vector<double> send(cnt), recv(cnt, -1.0);
+    for (std::size_t i = 0; i < cnt; ++i)
+      send[i] = test_value(c.rank(), i);
+    c.allreduce(cbuf(std::span<const double>(send)),
+                mbuf(std::span<double>(recv)), ROp::kSum);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      double expected = 0;
+      for (int r = 0; r < n; ++r) expected += test_value(r, i);
+      ASSERT_DOUBLE_EQ(expected, recv[i]) << "i=" << i << " rank=" << c.rank();
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceMax) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  run_world(backend(), n, [cnt, n](Comm& c) {
+    std::vector<double> send(cnt), recv(cnt);
+    for (std::size_t i = 0; i < cnt; ++i)
+      send[i] = test_value((c.rank() * 7 + static_cast<int>(i)) % n, i);
+    c.allreduce(cbuf(std::span<const double>(send)),
+                mbuf(std::span<double>(recv)), ROp::kMax);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      double expected = 0;
+      for (int r = 0; r < n; ++r)
+        expected = std::max(expected,
+                            test_value((r * 7 + static_cast<int>(i)) % n, i));
+      ASSERT_DOUBLE_EQ(expected, recv[i]);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BcastFromEveryInterestingRoot) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  for (const int root : {0, n - 1, n / 2}) {
+    run_world(backend(), n, [cnt, root](Comm& c) {
+      std::vector<double> buf(cnt);
+      if (c.rank() == root)
+        for (std::size_t i = 0; i < cnt; ++i) buf[i] = test_value(root, i);
+      c.bcast(mbuf(std::span<double>(buf)), root);
+      for (std::size_t i = 0; i < cnt; ++i)
+        ASSERT_DOUBLE_EQ(test_value(root, i), buf[i])
+            << "rank=" << c.rank() << " root=" << root << " i=" << i;
+    });
+  }
+}
+
+TEST_P(CollectivesTest, ReduceSumAtRoot) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  for (const int root : {0, n - 1}) {
+    run_world(backend(), n, [cnt, n, root](Comm& c) {
+      std::vector<double> send(cnt), recv(cnt, -1.0);
+      for (std::size_t i = 0; i < cnt; ++i)
+        send[i] = test_value(c.rank(), i);
+      c.reduce(cbuf(std::span<const double>(send)),
+               mbuf(std::span<double>(recv)), ROp::kSum, root);
+      if (c.rank() == root) {
+        for (std::size_t i = 0; i < cnt; ++i) {
+          double expected = 0;
+          for (int r = 0; r < n; ++r) expected += test_value(r, i);
+          ASSERT_DOUBLE_EQ(expected, recv[i]);
+        }
+      }
+    });
+  }
+}
+
+TEST_P(CollectivesTest, GatherToRoot) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  for (const int root : {0, n / 2}) {
+    run_world(backend(), n, [cnt, n, root](Comm& c) {
+      std::vector<double> send(cnt);
+      for (std::size_t i = 0; i < cnt; ++i)
+        send[i] = test_value(c.rank(), i);
+      std::vector<double> recv;
+      if (c.rank() == root) recv.assign(cnt * static_cast<std::size_t>(n), -1);
+      c.gather(cbuf(std::span<const double>(send)),
+               c.rank() == root
+                   ? mbuf(std::span<double>(recv))
+                   : xmpi::MBuf{nullptr, cnt * static_cast<std::size_t>(n),
+                                xmpi::DType::kF64},
+               root);
+      if (c.rank() == root) {
+        for (int r = 0; r < n; ++r)
+          for (std::size_t i = 0; i < cnt; ++i)
+            ASSERT_DOUBLE_EQ(test_value(r, i),
+                             recv[static_cast<std::size_t>(r) * cnt + i])
+                << "r=" << r << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST_P(CollectivesTest, ScatterFromRoot) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  for (const int root : {0, n - 1}) {
+    run_world(backend(), n, [cnt, n, root](Comm& c) {
+      std::vector<double> send;
+      if (c.rank() == root) {
+        send.assign(cnt * static_cast<std::size_t>(n), 0);
+        for (int r = 0; r < n; ++r)
+          for (std::size_t i = 0; i < cnt; ++i)
+            send[static_cast<std::size_t>(r) * cnt + i] = test_value(r, i);
+      }
+      std::vector<double> recv(cnt, -1.0);
+      c.scatter(c.rank() == root
+                    ? cbuf(std::span<const double>(send))
+                    : xmpi::CBuf{nullptr, cnt * static_cast<std::size_t>(n),
+                                 xmpi::DType::kF64},
+                mbuf(std::span<double>(recv)), root);
+      for (std::size_t i = 0; i < cnt; ++i)
+        ASSERT_DOUBLE_EQ(test_value(c.rank(), i), recv[i]);
+    });
+  }
+}
+
+TEST_P(CollectivesTest, Allgather) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  run_world(backend(), n, [cnt, n](Comm& c) {
+    std::vector<double> send(cnt);
+    for (std::size_t i = 0; i < cnt; ++i) send[i] = test_value(c.rank(), i);
+    std::vector<double> recv(cnt * static_cast<std::size_t>(n), -1.0);
+    c.allgather(cbuf(std::span<const double>(send)),
+                mbuf(std::span<double>(recv)));
+    for (int r = 0; r < n; ++r)
+      for (std::size_t i = 0; i < cnt; ++i)
+        ASSERT_DOUBLE_EQ(test_value(r, i),
+                         recv[static_cast<std::size_t>(r) * cnt + i])
+            << "rank=" << c.rank() << " r=" << r << " i=" << i;
+  });
+}
+
+TEST_P(CollectivesTest, AllgathervUnequalCounts) {
+  const int n = nranks();
+  const std::size_t base = count();
+  run_world(backend(), n, [base, n](Comm& c) {
+    // Rank r contributes base + r elements (rank n-1 may contribute 0 if
+    // base == 0 — exercised by the zero-size parameter).
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<int>(base) + (r % 3);
+      total += static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+    }
+    const std::size_t mine =
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(c.rank())]);
+    std::vector<double> send(mine);
+    for (std::size_t i = 0; i < mine; ++i) send[i] = test_value(c.rank(), i);
+    std::vector<double> recv(total, -1.0);
+    c.allgatherv(cbuf(std::span<const double>(send)),
+                 mbuf(std::span<double>(recv)), counts);
+    std::size_t off = 0;
+    for (int r = 0; r < n; ++r) {
+      for (int i = 0; i < counts[static_cast<std::size_t>(r)]; ++i)
+        ASSERT_DOUBLE_EQ(test_value(r, static_cast<std::size_t>(i)),
+                         recv[off + static_cast<std::size_t>(i)]);
+      off += static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, Alltoall) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  run_world(backend(), n, [cnt, n](Comm& c) {
+    const std::size_t total = cnt * static_cast<std::size_t>(n);
+    std::vector<double> send(total), recv(total, -1.0);
+    for (int j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < cnt; ++i)
+        send[static_cast<std::size_t>(j) * cnt + i] =
+            test_value(c.rank() * n + j, i);
+    c.alltoall(cbuf(std::span<const double>(send)),
+               mbuf(std::span<double>(recv)));
+    for (int r = 0; r < n; ++r)
+      for (std::size_t i = 0; i < cnt; ++i)
+        ASSERT_DOUBLE_EQ(test_value(r * n + c.rank(), i),
+                         recv[static_cast<std::size_t>(r) * cnt + i])
+            << "rank=" << c.rank() << " from=" << r;
+  });
+}
+
+TEST_P(CollectivesTest, AlltoallvUnequalCounts) {
+  const int n = nranks();
+  const std::size_t base = count();
+  run_world(backend(), n, [base, n](Comm& c) {
+    // Rank r sends base + (r+j)%2 elements to rank j.
+    auto count_for = [&](int from, int to) {
+      return static_cast<int>(base) + (from + to) % 2;
+    };
+    std::vector<int> scnt(static_cast<std::size_t>(n)),
+        rcnt(static_cast<std::size_t>(n));
+    std::size_t stot = 0, rtot = 0;
+    for (int j = 0; j < n; ++j) {
+      scnt[static_cast<std::size_t>(j)] = count_for(c.rank(), j);
+      rcnt[static_cast<std::size_t>(j)] = count_for(j, c.rank());
+      stot += static_cast<std::size_t>(scnt[static_cast<std::size_t>(j)]);
+      rtot += static_cast<std::size_t>(rcnt[static_cast<std::size_t>(j)]);
+    }
+    std::vector<double> send(stot), recv(rtot, -1.0);
+    std::size_t off = 0;
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < scnt[static_cast<std::size_t>(j)]; ++i)
+        send[off++] = test_value(c.rank() * n + j, static_cast<std::size_t>(i));
+    c.alltoallv(cbuf(std::span<const double>(send)), scnt,
+                mbuf(std::span<double>(recv)), rcnt);
+    off = 0;
+    for (int r = 0; r < n; ++r)
+      for (int i = 0; i < rcnt[static_cast<std::size_t>(r)]; ++i) {
+        ASSERT_DOUBLE_EQ(test_value(r * n + c.rank(),
+                                    static_cast<std::size_t>(i)),
+                         recv[off]);
+        ++off;
+      }
+  });
+}
+
+TEST_P(CollectivesTest, ReduceScatterEqualCounts) {
+  const int n = nranks();
+  const std::size_t cnt = count();
+  run_world(backend(), n, [cnt, n](Comm& c) {
+    const std::size_t total = cnt * static_cast<std::size_t>(n);
+    std::vector<double> send(total);
+    for (std::size_t i = 0; i < total; ++i) send[i] = test_value(c.rank(), i);
+    std::vector<int> counts(static_cast<std::size_t>(n),
+                            static_cast<int>(cnt));
+    std::vector<double> recv(cnt, -1.0);
+    c.reduce_scatter(cbuf(std::span<const double>(send)),
+                     mbuf(std::span<double>(recv)), counts, ROp::kSum);
+    const std::size_t my_off = static_cast<std::size_t>(c.rank()) * cnt;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      double expected = 0;
+      for (int r = 0; r < n; ++r) expected += test_value(r, my_off + i);
+      ASSERT_DOUBLE_EQ(expected, recv[i]) << "rank=" << c.rank() << " i=" << i;
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BarrierCompletes) {
+  run_world(backend(), nranks(), [](Comm& c) {
+    for (int iter = 0; iter < 3; ++iter) c.barrier();
+  });
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(test::to_string(std::get<0>(info.param))) + "_n" +
+         std::to_string(std::get<1>(info.param)) + "_c" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectivesTest,
+    ::testing::Combine(::testing::Values(Backend::kThreads, Backend::kSim),
+                       ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16),
+                       ::testing::Values(std::size_t{1}, std::size_t{5},
+                                         std::size_t{1000},
+                                         std::size_t{10000})),
+    param_name);
+
+// Zero-size contributions must be legal everywhere.
+TEST(CollectivesEdge, ZeroCountAllreduce) {
+  run_world(Backend::kThreads, 4, [](Comm& c) {
+    c.allreduce(xmpi::CBuf{nullptr, 0, xmpi::DType::kF64},
+                xmpi::MBuf{nullptr, 0, xmpi::DType::kF64}, ROp::kSum);
+  });
+}
+
+TEST(CollectivesEdge, SelfCommunicatorEverything) {
+  run_world(Backend::kSim, 1, [](Comm& c) {
+    std::vector<double> a{1, 2, 3}, b(3, 0.0);
+    c.allreduce(cbuf(std::span<const double>(a)), mbuf(std::span<double>(b)),
+                ROp::kSum);
+    EXPECT_EQ(b, a);
+    c.barrier();
+    c.bcast(mbuf(std::span<double>(b)), 0);
+    std::vector<double> r(3, 0.0);
+    c.alltoall(cbuf(std::span<const double>(a)), mbuf(std::span<double>(r)));
+    EXPECT_EQ(r, a);
+  });
+}
+
+// Large communicator smoke test on the simulator (beyond what the thread
+// backend can comfortably host): 64 ranks, real payloads.
+TEST(CollectivesScale, Sim64RankAllreduce) {
+  xmpi::run_on_machine(mach::nec_sx8(), 64, [](Comm& c) {
+    std::vector<double> send{static_cast<double>(c.rank())};
+    std::vector<double> recv{-1.0};
+    c.allreduce(cbuf(std::span<const double>(send)),
+                mbuf(std::span<double>(recv)), ROp::kSum);
+    const double expected = 64.0 * 63.0 / 2.0;
+    ASSERT_DOUBLE_EQ(expected, recv[0]);
+  });
+}
+
+}  // namespace
+}  // namespace hpcx

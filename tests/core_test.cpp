@@ -1,0 +1,141 @@
+// Core utilities: RNG (including the official HPCC sequence), stats,
+// units, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace hpcx {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(3);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  r.shuffle(v);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(100u, seen.size());
+}
+
+TEST(HpccRandom, StartsMatchesIteration) {
+  // starts(n) must equal n steps of the recurrence from starts(0) == 1.
+  HpccRandom seq(0);
+  EXPECT_EQ(1ull, seq.value());
+  for (int n = 1; n <= 200; ++n) {
+    seq.next();
+    EXPECT_EQ(seq.value(), HpccRandom::starts(n)) << "n=" << n;
+  }
+}
+
+TEST(HpccRandom, JumpAheadFarPosition) {
+  // Jumping to position 10000 equals iterating 10000 times.
+  HpccRandom it(0);
+  for (int i = 0; i < 10000; ++i) it.next();
+  EXPECT_EQ(it.value(), HpccRandom::starts(10000));
+}
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(8u, s.count());
+  EXPECT_DOUBLE_EQ(2.0, s.min());
+  EXPECT_DOUBLE_EQ(9.0, s.max());
+  EXPECT_DOUBLE_EQ(5.0, s.mean());
+  EXPECT_NEAR(2.138, s.stddev(), 1e-3);
+  EXPECT_DOUBLE_EQ(40.0, s.sum());
+}
+
+TEST(Stats, PercentileNearestRank) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(1.0, percentile(v, 0));
+  EXPECT_DOUBLE_EQ(5.0, percentile(v, 50));
+  EXPECT_DOUBLE_EQ(10.0, percentile(v, 100));
+  EXPECT_DOUBLE_EQ(9.0, percentile(v, 90));
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(4.0, geomean({2.0, 8.0}));
+  EXPECT_NEAR(3.0, geomean({3.0, 3.0, 3.0}), 1e-12);
+}
+
+TEST(Units, TimeFormatting) {
+  EXPECT_EQ("1.500 us", format_time(1.5e-6));
+  EXPECT_EQ("2.000 ms", format_time(2e-3));
+  EXPECT_EQ("3.000 s", format_time(3.0));
+}
+
+TEST(Units, BandwidthFormatting) {
+  EXPECT_EQ("841.00 MB/s", format_bandwidth(841e6));
+  EXPECT_EQ("16.00 GB/s", format_bandwidth(16e9));
+}
+
+TEST(Units, ByteLabels) {
+  EXPECT_EQ("1 MB", format_bytes(1 << 20));
+  EXPECT_EQ("4 KB", format_bytes(4096));
+  EXPECT_EQ("17 B", format_bytes(17));
+}
+
+TEST(Table, AlignedPrinting) {
+  Table t("demo");
+  t.set_header({"a", "long_header"});
+  t.add_row({"1", "2"});
+  t.add_note("n1");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(std::string::npos, s.find("demo"));
+  EXPECT_NE(std::string::npos, s.find("long_header"));
+  EXPECT_NE(std::string::npos, s.find("note: n1"));
+}
+
+TEST(Table, CsvQuoting) {
+  Table t("demo");
+  t.set_header({"x"});
+  t.add_row({"a,b\"c"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ("x\n\"a,b\"\"c\"\n", os.str());
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+}  // namespace
+}  // namespace hpcx

@@ -1,0 +1,201 @@
+// Discrete-event engine: event ordering, fibers, processes, sync.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "des/event_queue.hpp"
+#include "des/fiber.hpp"
+#include "des/simulator.hpp"
+#include "des/sync.hpp"
+
+namespace hpcx::des {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(2.0, [&] { fired.push_back(2); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  while (!q.empty()) {
+    SimTime t;
+    q.pop(&t)();
+  }
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), fired);
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i)
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop(nullptr)();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(i, fired[static_cast<size_t>(i)]);
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue q;
+  q.push(7.5, [] {});
+  EXPECT_DOUBLE_EQ(7.5, q.next_time());
+  EXPECT_EQ(1u, q.size());
+}
+
+TEST(Fiber, RunsToCompletion) {
+  int state = 0;
+  Fiber f([&] { state = 1; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(1, state);
+}
+
+TEST(Fiber, YieldAndResume) {
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+    Fiber::yield();
+    order.push_back(5);
+  });
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  order.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ((std::vector<int>{1, 2, 3, 4, 5}), order);
+}
+
+TEST(Fiber, ExceptionPropagatesToResumer) {
+  Fiber f([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  EXPECT_EQ(nullptr, Fiber::current());
+  Fiber* seen = nullptr;
+  Fiber f([&] { seen = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(&f, seen);
+  EXPECT_EQ(nullptr, Fiber::current());
+}
+
+TEST(Fiber, DeepStackUsageWithinLimit) {
+  // Touch ~64 KiB of a 128 KiB stack; the guard page protects overflow.
+  bool done = false;
+  Fiber f([&] {
+    volatile char buf[64 * 1024];
+    buf[0] = 1;
+    buf[sizeof(buf) - 1] = 2;
+    done = buf[0] + buf[sizeof(buf) - 1] == 3;
+  });
+  f.resume();
+  EXPECT_TRUE(done);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1.5, [&] { times.push_back(sim.now()); });
+  sim.schedule(0.5, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ((std::vector<double>{0.5, 1.5}), times);
+  EXPECT_DOUBLE_EQ(1.5, sim.now());
+}
+
+TEST(Simulator, ProcessSleepAdvancesVirtualTime) {
+  Simulator sim;
+  double woke_at = -1;
+  sim.spawn([&] {
+    sim.sleep(2.0);
+    sim.sleep(3.0);
+    woke_at = sim.now();
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(5.0, woke_at);
+  EXPECT_EQ(0u, sim.live_processes());
+}
+
+TEST(Simulator, BlockAndWakeHandshake) {
+  Simulator sim;
+  std::vector<int> order;
+  ProcessId waiter = sim.spawn([&] {
+    order.push_back(1);
+    sim.block();
+    order.push_back(3);
+  });
+  sim.spawn([&] {
+    sim.sleep(1.0);
+    order.push_back(2);
+    sim.wake(waiter);
+  });
+  sim.run();
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+}
+
+TEST(Simulator, DeadlockIsDetected) {
+  Simulator sim;
+  sim.spawn([&] { sim.block(); });  // nobody will wake it
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(Simulator, ManyProcessesDeterministicOrder) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i)
+      sim.spawn([&sim, &order, i] {
+        sim.sleep(static_cast<double>((i * 7) % 13));
+        order.push_back(i);
+      });
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(WaitQueue, FifoNotify) {
+  Simulator sim;
+  WaitQueue wq(sim);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i)
+    sim.spawn([&, i] {
+      sim.sleep(static_cast<double>(i));  // enqueue in order 0,1,2
+      wq.wait();
+      order.push_back(i);
+    });
+  sim.spawn([&] {
+    sim.sleep(10.0);
+    wq.notify_one();
+    wq.notify_all();
+  });
+  sim.run();
+  EXPECT_EQ((std::vector<int>{0, 1, 2}), order);
+}
+
+TEST(SimResource, SerialisesOverlappingAcquires) {
+  Simulator sim;
+  SimResource res(sim);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i)
+    sim.spawn([&] {
+      res.acquire(2.0);
+      done.push_back(sim.now());
+    });
+  sim.run();
+  EXPECT_EQ((std::vector<double>{2.0, 4.0, 6.0}), done);
+}
+
+TEST(SimResource, ReserveHonoursEarliest) {
+  Simulator sim;
+  SimResource res(sim);
+  EXPECT_DOUBLE_EQ(7.0, res.reserve(5.0, 2.0));
+  // Second reservation queues behind the first even if requested earlier.
+  EXPECT_DOUBLE_EQ(8.0, res.reserve(1.0, 1.0));
+}
+
+}  // namespace
+}  // namespace hpcx::des

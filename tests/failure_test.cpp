@@ -1,0 +1,107 @@
+// Failure injection: the library must fail loudly and precisely —
+// deadlocks detected, misuse rejected, exceptions propagated across
+// fibers and threads without corrupting the runtime.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/error.hpp"
+#include "hpcc/fft_dist.hpp"
+#include "hpcc/hpl_dist.hpp"
+#include "machine/registry.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/sub_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+using xmpi::Comm;
+
+TEST(Failure, SimDetectsReceiveWithNoSender) {
+  // A rank waiting for a message nobody sends must surface as a
+  // simulation deadlock, not a hang.
+  EXPECT_THROW(xmpi::run_on_machine(mach::dell_xeon(), 2,
+                                    [](Comm& c) {
+                                      if (c.rank() == 0)
+                                        c.recv(1, 9,
+                                               xmpi::phantom_mbuf(16));
+                                    }),
+               Error);
+}
+
+TEST(Failure, SimDetectsMismatchedBarrier) {
+  EXPECT_THROW(xmpi::run_on_machine(mach::dell_xeon(), 4,
+                                    [](Comm& c) {
+                                      if (c.rank() != 2) c.barrier();
+                                    }),
+               Error);
+}
+
+TEST(Failure, UserExceptionPropagatesFromFiber) {
+  EXPECT_THROW(xmpi::run_on_machine(mach::nec_sx8(), 4,
+                                    [](Comm& c) {
+                                      if (c.rank() == 3)
+                                        throw std::runtime_error("rank 3");
+                                    }),
+               std::runtime_error);
+}
+
+TEST(Failure, UserExceptionPropagatesFromThread) {
+  EXPECT_THROW(xmpi::run_on_threads(3,
+                                    [](Comm& c) {
+                                      if (c.rank() == 1)
+                                        throw std::runtime_error("rank 1");
+                                    }),
+               std::runtime_error);
+}
+
+TEST(Failure, RunnerRejectsBadRankCounts) {
+  EXPECT_THROW(xmpi::run_on_threads(0, [](Comm&) {}), ConfigError);
+  EXPECT_THROW(xmpi::run_on_machine(mach::nec_sx8(), -1, [](Comm&) {}),
+               ConfigError);
+}
+
+TEST(Failure, HplRejectsBadConfig) {
+  xmpi::run_on_threads(2, [](Comm& c) {
+    hpcc::HplDistConfig cfg;
+    cfg.n = 0;
+    EXPECT_THROW(hpcc::run_hpl_dist(c, cfg), ConfigError);
+    cfg.n = 16;
+    cfg.nb = 0;
+    EXPECT_THROW(hpcc::run_hpl_dist(c, cfg), ConfigError);
+  });
+}
+
+TEST(Failure, FftRejectsIndivisibleDims) {
+  xmpi::run_on_threads(3, [](Comm& c) {
+    EXPECT_THROW(hpcc::run_fft_dist(c, 8, 8), ConfigError);   // 3 !| 8
+    EXPECT_THROW(hpcc::run_fft_dist(c, 7, 21), ConfigError);  // 7-smooth
+  });
+}
+
+TEST(Failure, SubCommRejectsBadContextAndMembers) {
+  xmpi::run_on_threads(2, [](Comm& c) {
+    EXPECT_THROW(xmpi::SubComm(c, {0, 1}, 0), ConfigError);   // context 0
+    EXPECT_THROW(xmpi::SubComm(c, {}, 1), ConfigError);       // empty
+    EXPECT_THROW(xmpi::SubComm(c, {0, 5}, 1), ConfigError);   // out of range
+  });
+}
+
+TEST(Failure, SimWorldSurvivesAfterFailedRun) {
+  // A failed simulation must not poison subsequent runs (fiber-local
+  // state fully cleaned up).
+  try {
+    xmpi::run_on_machine(mach::altix_bx2(), 2, [](Comm& c) {
+      if (c.rank() == 0) throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  const auto r = xmpi::run_on_machine(mach::altix_bx2(), 2,
+                                      [](Comm& c) { c.barrier(); });
+  EXPECT_GT(r.makespan_s, 0.0);
+}
+
+}  // namespace
+}  // namespace hpcx

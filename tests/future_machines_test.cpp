@@ -1,0 +1,84 @@
+// The five projected future systems (paper's conclusion): models build,
+// run the suites, and behave according to their architecture class.
+#include <gtest/gtest.h>
+
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/future.hpp"
+#include "machine/registry.hpp"
+#include "topology/metrics.hpp"
+#include "topology/routing.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx::mach {
+namespace {
+
+TEST(FutureMachines, AllFiveBuildAndRoute) {
+  const auto machines = future_machines();
+  ASSERT_EQ(5u, machines.size());
+  for (const auto& m : machines) {
+    const int nodes = m.nodes_for(std::min(m.max_cpus, 64));
+    const topo::Graph g = m.build_topology(nodes);
+    EXPECT_EQ(static_cast<std::size_t>(nodes), g.num_hosts()) << m.name;
+    const topo::Routing routing(g);
+    if (nodes >= 2) {
+      EXPECT_GT(routing.distance(0, nodes - 1), 0) << m.name;
+    }
+  }
+}
+
+TEST(FutureMachines, TorusMachinesUseTorusTopology) {
+  EXPECT_EQ(TopologyKind::kTorus, bluegene_p().topology);
+  EXPECT_EQ(TopologyKind::kTorus, cray_xt4().topology);
+  // A 64-node 3-D torus slice: bisection is 2 * 4 * 4 ring cuts.
+  const topo::Graph g = cray_xt4().build_topology(64);
+  EXPECT_GT(topo::bisection_bandwidth(g), 0.0);
+}
+
+TEST(FutureMachines, SuitesRunOnEveryFutureSystem) {
+  for (const auto& m : future_machines()) {
+    const int cpus = std::min(m.max_cpus, 32);
+    double us = 0;
+    xmpi::run_on_machine(m, cpus, [&](xmpi::Comm& c) {
+      imb::ImbParams p;
+      p.msg_bytes = 1 << 16;
+      p.phantom = true;
+      p.repetitions = 2;
+      const auto r = imb::run_benchmark(imb::BenchmarkId::kAllreduce, c, p);
+      if (c.rank() == 0) us = r.t_avg_s * 1e6;
+    });
+    EXPECT_GT(us, 0.0) << m.name;
+  }
+}
+
+TEST(FutureMachines, GigEIsTheSlowFloorAndXt4BeatsOldOpteron) {
+  auto allreduce_us = [](const MachineConfig& m) {
+    double us = 0;
+    xmpi::run_on_machine(m, 64, [&](xmpi::Comm& c) {
+      imb::ImbParams p;
+      p.msg_bytes = 1 << 20;
+      p.phantom = true;
+      p.repetitions = 2;
+      const auto r = imb::run_benchmark(imb::BenchmarkId::kAllreduce, c, p);
+      if (c.rank() == 0) us = r.t_avg_s * 1e6;
+    });
+    return us;
+  };
+  const double gige = allreduce_us(gige_cluster());
+  const double xt4 = allreduce_us(cray_xt4());
+  const double old_opteron = allreduce_us(cray_opteron());
+  EXPECT_GT(gige, old_opteron);  // GigE is worse than even Myrinet
+  EXPECT_LT(xt4, old_opteron);   // SeaStar2 beats the 2004 Myrinet cluster
+}
+
+TEST(FutureMachines, X1eOutrunsX1) {
+  // Same family, higher clock and density: X1E must beat the X1 on HPL.
+  hpcc::HpccParts parts;
+  parts.ptrans = parts.random_access = parts.fft = parts.ring = false;
+  const auto x1 = hpcc::run_hpcc_sim(cray_x1_msp(), 16, {}, parts);
+  const auto x1e = hpcc::run_hpcc_sim(cray_x1e(), 16, {}, parts);
+  EXPECT_GT(x1e.g_hpl_flops, x1.g_hpl_flops);
+}
+
+}  // namespace
+}  // namespace hpcx::mach

@@ -1,0 +1,252 @@
+// Distributed HPCC benchmarks: HPL, PTRANS, G-FFT, RandomAccess, rings,
+// and the full-suite driver — verified on real threads, and exercised in
+// model (phantom) mode on the simulated machines.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hpcc/driver.hpp"
+#include "hpcc/fft_dist.hpp"
+#include "hpcc/hpl_dist.hpp"
+#include "hpcc/ptrans.hpp"
+#include "hpcc/random_access.hpp"
+#include "hpcc/ring.hpp"
+#include "machine/registry.hpp"
+#include "test_util.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::hpcc {
+namespace {
+
+using test::Backend;
+using test::run_world;
+
+std::string name_pnnb(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  const auto [np, n, nb] = info.param;
+  return "p" + std::to_string(np) + "n" + std::to_string(n) + "nb" +
+         std::to_string(nb);
+}
+
+std::string name_pn(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const auto [np, n] = info.param;
+  return "p" + std::to_string(np) + "n" + std::to_string(n);
+}
+
+std::string name_pn1n2(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  const auto [np, n1, n2] = info.param;
+  return "p" + std::to_string(np) + "n1x" + std::to_string(n1) + "n2x" +
+         std::to_string(n2);
+}
+
+class HplDist : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HplDist, FactorsAndVerifies) {
+  const auto [np, n, nb] = GetParam();
+  xmpi::run_on_threads(np, [&](xmpi::Comm& c) {
+    HplDistConfig cfg;
+    cfg.n = n;
+    cfg.nb = nb;
+    const HplDistResult r = run_hpl_dist(c, cfg);
+    EXPECT_TRUE(r.passed) << "residual=" << r.residual;
+    EXPECT_LT(r.residual, 16.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HplDist,
+    ::testing::Values(std::make_tuple(1, 32, 8), std::make_tuple(2, 64, 16),
+                      std::make_tuple(3, 65, 16), std::make_tuple(4, 64, 8),
+                      std::make_tuple(4, 100, 32), std::make_tuple(5, 47, 8)),
+    name_pnnb);
+
+TEST(HplDist, SameAnswerOnSimBackend) {
+  xmpi::run_on_machine(mach::nec_sx8(), 4, [](xmpi::Comm& c) {
+    HplDistConfig cfg;
+    cfg.n = 48;
+    cfg.nb = 8;
+    const HplDistResult r = run_hpl_dist(c, cfg);
+    EXPECT_TRUE(r.passed) << "residual=" << r.residual;
+  });
+}
+
+TEST(HplDist, ModelModeProducesFiniteRate) {
+  HplModel model;
+  model.update_seconds_per_flop = 1.0 / 10e9;
+  model.panel_seconds_per_flop = 1.0 / 3e9;
+  double gflops = 0;
+  xmpi::run_on_machine(mach::dell_xeon(), 16, [&](xmpi::Comm& c) {
+    HplDistConfig cfg;
+    cfg.n = 4096;
+    cfg.nb = 256;
+    const HplDistResult r = run_hpl_dist(c, cfg, &model);
+    if (c.rank() == 0) gflops = r.gflops;
+  });
+  EXPECT_GT(gflops, 0.0);
+  // Cannot beat 16 CPUs at the modelled 10 Gflop/s update rate.
+  EXPECT_LT(gflops, 160.0);
+}
+
+TEST(HplDist, EfficiencyDeclinesWithScaleInModelMode) {
+  auto eff = [](int cpus) {
+    const mach::MachineConfig m = mach::cray_opteron();
+    HplModel model;
+    const double peak =
+        m.proc.peak_flops() * m.proc.hpl_kernel_efficiency;
+    model.update_seconds_per_flop = 1.0 / peak;
+    model.panel_seconds_per_flop = 3.0 / peak;
+    double gflops = 0;
+    xmpi::run_on_machine(m, cpus, [&](xmpi::Comm& c) {
+      c.tuning().bcast_long_bytes = static_cast<std::size_t>(-1);
+      HplDistConfig cfg;
+      cfg.n = 2048;
+      cfg.nb = 128;
+      const HplDistResult r = run_hpl_dist(c, cfg, &model);
+      if (c.rank() == 0) gflops = r.gflops;
+    });
+    return gflops * 1e9 / (m.proc.peak_flops() * cpus);
+  };
+  const double e4 = eff(4);
+  const double e32 = eff(32);
+  EXPECT_GT(e4, e32);  // fixed n: efficiency must fall with more CPUs
+}
+
+class PtransDist : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PtransDist, TransposesCorrectly) {
+  const auto [np, n] = GetParam();
+  xmpi::run_on_threads(np, [&](xmpi::Comm& c) {
+    const PtransResult r = run_ptrans(c, n);
+    EXPECT_TRUE(r.passed);
+    EXPECT_GT(r.bytes_per_s, 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PtransDist,
+                         ::testing::Values(std::make_tuple(1, 8), std::make_tuple(2, 16),
+                                           std::make_tuple(3, 27),
+                                           std::make_tuple(4, 32),
+                                           std::make_tuple(6, 36)),
+                         name_pn);
+
+TEST(PtransDist, RequiresDivisibility) {
+  xmpi::run_on_threads(2, [](xmpi::Comm& c) {
+    EXPECT_THROW(run_ptrans(c, 7), ConfigError);
+  });
+}
+
+class FftDist : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FftDist, MatchesSerialFft) {
+  const auto [np, n1, n2] = GetParam();
+  xmpi::run_on_threads(np, [&](xmpi::Comm& c) {
+    const FftDistResult r = run_fft_dist(c, static_cast<std::size_t>(n1),
+                                         static_cast<std::size_t>(n2));
+    EXPECT_TRUE(r.passed) << "max_error=" << r.max_error;
+    EXPECT_GT(r.flops_per_s, 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FftDist,
+    ::testing::Values(std::make_tuple(1, 8, 8), std::make_tuple(2, 8, 16),
+                      std::make_tuple(2, 6, 10), std::make_tuple(4, 16, 16),
+                      std::make_tuple(4, 12, 20), std::make_tuple(3, 9, 15),
+                      std::make_tuple(8, 16, 32)),
+    name_pn1n2);
+
+TEST(RandomAccessDist, VerifiesOnThreads) {
+  for (const int np : {1, 2, 3, 4}) {
+    xmpi::run_on_threads(np, [](xmpi::Comm& c) {
+      const GupsResult r = run_random_access_dist(c, 10, 64);
+      EXPECT_EQ(0u, r.errors);
+      EXPECT_TRUE(r.passed);
+    });
+  }
+}
+
+TEST(RandomAccessDist, PhantomModeOnSim) {
+  GupsModel model;
+  model.seconds_per_update = 1e-7;
+  double gups = 0;
+  xmpi::run_on_machine(mach::altix_bx2(), 8, [&](xmpi::Comm& c) {
+    const GupsResult r = run_random_access_dist(c, 14, 512, &model);
+    if (c.rank() == 0) gups = r.gups;
+  });
+  EXPECT_GT(gups, 0.0);
+}
+
+TEST(Ring, NaturalAndRandomOnThreads) {
+  xmpi::run_on_threads(4, [](xmpi::Comm& c) {
+    const RingResult nat = run_natural_ring(c, 4096, 2);
+    const RingResult rnd = run_random_ring(c, 4096, 2, 2);
+    EXPECT_GT(nat.bandwidth_per_cpu_Bps, 0.0);
+    EXPECT_GT(rnd.bandwidth_per_cpu_Bps, 0.0);
+    EXPECT_GT(nat.latency_s, 0.0);
+    EXPECT_GT(rnd.latency_s, 0.0);
+  });
+}
+
+TEST(Ring, RandomRingSlowerThanNaturalOnSim) {
+  // On the simulated Xeon cluster, the natural ring keeps half the
+  // traffic inside nodes; a random ring crosses the network almost
+  // always, so its per-CPU bandwidth must be lower.
+  double nat_bw = 0, rnd_bw = 0;
+  xmpi::run_on_machine(mach::dell_xeon(), 32, [&](xmpi::Comm& c) {
+    const RingResult nat =
+        run_natural_ring(c, 1 << 20, 2, /*phantom=*/true);
+    const RingResult rnd =
+        run_random_ring(c, 1 << 20, 2, 2, 0xB0EFF, /*phantom=*/true);
+    if (c.rank() == 0) {
+      nat_bw = nat.bandwidth_per_cpu_Bps;
+      rnd_bw = rnd.bandwidth_per_cpu_Bps;
+    }
+  });
+  EXPECT_GT(nat_bw, rnd_bw);
+}
+
+TEST(Driver, RealSuiteRunsAndVerifies) {
+  const HpccReport r = run_hpcc_real(4);
+  EXPECT_GT(r.g_hpl_flops, 0.0);
+  EXPECT_GT(r.g_ptrans_Bps, 0.0);
+  EXPECT_GT(r.g_gups, 0.0);
+  EXPECT_GT(r.g_fft_flops, 0.0);
+  EXPECT_GT(r.ep_stream_copy_Bps, 0.0);
+  EXPECT_GT(r.ep_dgemm_flops, 0.0);
+  EXPECT_GT(r.ring_bw_Bps, 0.0);
+  EXPECT_GT(r.ring_latency_s, 0.0);
+}
+
+TEST(Driver, SimSuiteProducesPaperScaleMetrics) {
+  HpccConfig cfg;
+  cfg.hpl_n = 8192;
+  cfg.hpl_nb = 512;
+  cfg.ptrans_n = 2048;
+  cfg.ra_log2 = 16;
+  cfg.fft_n1 = 256;
+  cfg.fft_n2 = 256;
+  const HpccReport r = run_hpcc_sim(mach::nec_sx8(), 16, cfg);
+  EXPECT_GT(r.g_hpl_flops, 0.0);
+  // 16 SX-8 CPUs peak at 256 Gflop/s; HPL must stay below peak.
+  EXPECT_LT(r.g_hpl_flops, 16 * 16e9);
+  EXPECT_GT(r.g_ptrans_Bps, 0.0);
+  EXPECT_GT(r.g_gups, 0.0);
+  EXPECT_GT(r.g_fft_flops, 0.0);
+  EXPECT_DOUBLE_EQ(41e9, r.ep_stream_copy_Bps);
+  EXPECT_GT(r.ring_bw_Bps, 0.0);
+}
+
+TEST(Driver, AutoConfigScalesWithCpus) {
+  const HpccConfig small = auto_config(4);
+  const HpccConfig large = auto_config(256);
+  EXPECT_LT(small.hpl_n, large.hpl_n);
+  EXPECT_EQ(0, large.ptrans_n % 256);
+  EXPECT_GT(large.fft_n1, 0u);
+  // Non-smooth CPU counts cannot run the six-step FFT.
+  EXPECT_EQ(0u, auto_config(506).fft_n1);
+}
+
+}  // namespace
+}  // namespace hpcx::hpcc

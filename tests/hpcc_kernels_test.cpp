@@ -1,0 +1,226 @@
+// Serial HPCC kernels: STREAM, DGEMM, FFT, RandomAccess, HPL.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "hpcc/dgemm.hpp"
+#include "hpcc/fft.hpp"
+#include "hpcc/hpl.hpp"
+#include "hpcc/random_access.hpp"
+#include "hpcc/stream.hpp"
+
+namespace hpcx::hpcc {
+namespace {
+
+TEST(Stream, ProducesVerifiedRates) {
+  StreamResult r;
+  ASSERT_TRUE(run_stream_checked(1 << 16, 3, &r));
+  EXPECT_GT(r.copy_Bps, 0);
+  EXPECT_GT(r.scale_Bps, 0);
+  EXPECT_GT(r.add_Bps, 0);
+  EXPECT_GT(r.triad_Bps, 0);
+}
+
+TEST(Stream, RejectsDegenerateInput) {
+  EXPECT_THROW(run_stream(1, 1), ConfigError);
+  EXPECT_THROW(run_stream(100, 0), ConfigError);
+}
+
+std::string name_mnk(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  const auto [m, n, k] = info.param;
+  return "m" + std::to_string(m) + "n" + std::to_string(n) + "k" +
+         std::to_string(k);
+}
+
+std::string name_nnb(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const auto [n, nb] = info.param;
+  return "n" + std::to_string(n) + "nb" + std::to_string(nb);
+}
+
+class DgemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DgemmShapes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(99);
+  const std::size_t um = static_cast<std::size_t>(m);
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t uk = static_cast<std::size_t>(k);
+  std::vector<double> a(um * uk), b(uk * un), c1(um * un), c2;
+  for (auto& x : a) x = rng.next_double() - 0.5;
+  for (auto& x : b) x = rng.next_double() - 0.5;
+  for (auto& x : c1) x = rng.next_double() - 0.5;
+  c2 = c1;
+  dgemm(a.data(), uk, b.data(), un, c1.data(), un, um, un, uk);
+  dgemm_naive(a.data(), uk, b.data(), un, c2.data(), un, um, un, uk);
+  for (std::size_t i = 0; i < c1.size(); ++i)
+    ASSERT_NEAR(c2[i], c1[i], 1e-10 * static_cast<double>(k) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(17, 5, 9), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 70, 130), std::make_tuple(129, 257, 31),
+                      std::make_tuple(300, 7, 300)),
+    name_mnk);
+
+TEST(Dgemm, RespectsLeadingDimensions) {
+  // Operate on a sub-block of a larger matrix.
+  const std::size_t lda = 10, ldb = 12, ldc = 11;
+  std::vector<double> a(5 * lda, 1.0), b(4 * ldb, 2.0), c(5 * ldc, 0.0);
+  dgemm(a.data(), lda, b.data(), ldb, c.data(), ldc, 5, 6, 4);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_DOUBLE_EQ(8.0, c[i * ldc + j]);
+  // Cells outside the C block must be untouched.
+  EXPECT_DOUBLE_EQ(0.0, c[0 * ldc + 7]);
+}
+
+TEST(Dgemm, FlopsRatePositive) { EXPECT_GT(dgemm_flops(64, 2), 0.0); }
+
+TEST(Fft, SupportedSizePredicate) {
+  EXPECT_TRUE(fft_supported_size(1));
+  EXPECT_TRUE(fft_supported_size(2));
+  EXPECT_TRUE(fft_supported_size(360));     // 2^3 * 3^2 * 5
+  EXPECT_TRUE(fft_supported_size(1 << 20));
+  EXPECT_FALSE(fft_supported_size(0));
+  EXPECT_FALSE(fft_supported_size(7));
+  EXPECT_FALSE(fft_supported_size(22));
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& v : x)
+    v = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  const std::vector<Complex> expected = dft_naive(x);
+  std::vector<Complex> got = x;
+  fft(got);
+  const double tol = 1e-10 * std::sqrt(static_cast<double>(n)) + 1e-12;
+  for (std::size_t k = 0; k < n; ++k)
+    ASSERT_LT(std::abs(got[k] - expected[k]), tol) << "k=" << k << " n=" << n;
+}
+
+TEST_P(FftSizes, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31);
+  std::vector<Complex> x(n);
+  for (auto& v : x)
+    v = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  std::vector<Complex> y = x;
+  fft(y);
+  ifft(y);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_LT(std::abs(y[i] - x[i]), 1e-11 + 1e-12 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 10, 12,
+                                           15, 16, 20, 24, 25, 27, 30, 32,
+                                           45, 60, 81, 100, 120, 125, 128,
+                                           135, 240, 243, 256, 625, 729,
+                                           1000, 1024),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(64, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  fft(x);
+  for (const auto& v : x) ASSERT_LT(std::abs(v - Complex(1, 0)), 1e-12);
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 360;
+  Rng rng(5);
+  std::vector<Complex> x(n);
+  double time_energy = 0;
+  for (auto& v : x) {
+    v = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+    time_energy += std::norm(v);
+  }
+  fft(x);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(time_energy * static_cast<double>(n), freq_energy,
+              1e-8 * freq_energy);
+}
+
+TEST(Fft, UnsupportedSizeThrows) {
+  std::vector<Complex> x(7);
+  EXPECT_THROW(fft(x), ConfigError);
+}
+
+TEST(RandomAccess, SerialPassesVerification) {
+  const GupsResult r = run_random_access(12);
+  EXPECT_EQ(0u, r.errors);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(4u << 12, r.updates);
+  EXPECT_GT(r.gups, 0.0);
+}
+
+TEST(Hpl, EntryGeneratorIsDeterministicAndCentred) {
+  EXPECT_DOUBLE_EQ(hpl_entry(1, 3, 4), hpl_entry(1, 3, 4));
+  EXPECT_NE(hpl_entry(1, 3, 4), hpl_entry(1, 4, 3));
+  EXPECT_NE(hpl_entry(1, 3, 4), hpl_entry(2, 3, 4));
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i)
+    sum += hpl_entry(9, static_cast<std::uint64_t>(i), 17);
+  EXPECT_LT(std::fabs(sum / 1000.0), 0.05);
+}
+
+TEST(Hpl, SolveKnownSystem) {
+  // A = [[2, 1], [1, 3]], b = [5, 10] -> x = [1, 3].
+  std::vector<double> a{2, 1, 1, 3};
+  std::vector<int> piv;
+  lu_factor(a.data(), 2, 2, 1, piv);
+  std::vector<double> b{5, 10};
+  lu_solve(a.data(), 2, 2, piv, b.data());
+  EXPECT_NEAR(1.0, b[0], 1e-12);
+  EXPECT_NEAR(3.0, b[1], 1e-12);
+}
+
+class HplSerial : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HplSerial, ResidualWithinHplBound) {
+  const auto [n, nb] = GetParam();
+  const HplSerialResult r = run_hpl_serial(n, nb);
+  EXPECT_TRUE(r.passed) << "residual=" << r.residual;
+  EXPECT_LT(r.residual, 16.0);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HplSerial,
+                         ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                                           std::make_tuple(5, 2), std::make_tuple(16, 4),
+                                           std::make_tuple(33, 8),
+                                           std::make_tuple(64, 16),
+                                           std::make_tuple(97, 32),
+                                           std::make_tuple(128, 64),
+                                           std::make_tuple(150, 128)),
+                         name_nnb);
+
+TEST(Hpl, PivotingHandlesZeroLeadingElement) {
+  // Leading 0 forces a pivot swap immediately.
+  std::vector<double> a{0, 1, 1, 0};
+  std::vector<int> piv;
+  lu_factor(a.data(), 2, 2, 2, piv);
+  std::vector<double> b{3, 7};
+  lu_solve(a.data(), 2, 2, piv, b.data());
+  EXPECT_NEAR(7.0, b[0], 1e-12);
+  EXPECT_NEAR(3.0, b[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcx::hpcc

@@ -1,0 +1,76 @@
+// IMB "-multi" mode: concurrent disjoint groups share the fabric.
+#include <gtest/gtest.h>
+
+#include "imb/imb.hpp"
+#include "machine/registry.hpp"
+#include "test_util.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::imb {
+namespace {
+
+using test::Backend;
+using test::run_world;
+
+TEST(ImbMulti, RunsOnBothBackends) {
+  for (const auto backend : {Backend::kThreads, Backend::kSim}) {
+    run_world(backend, 8, [](xmpi::Comm& c) {
+      ImbParams p;
+      p.msg_bytes = 4096;
+      p.repetitions = 2;
+      p.groups = 4;
+      const ImbResult r = run_benchmark(BenchmarkId::kAllreduce, c, p);
+      EXPECT_GT(r.t_max_s, 0.0);
+    });
+  }
+}
+
+TEST(ImbMulti, RejectsIndivisibleGroups) {
+  run_world(Backend::kThreads, 6, [](xmpi::Comm& c) {
+    ImbParams p;
+    p.groups = 4;  // 6 % 4 != 0
+    EXPECT_THROW(run_benchmark(BenchmarkId::kBarrier, c, p), ConfigError);
+  });
+}
+
+double alltoall_us(int groups, int cpus) {
+  double us = 0;
+  xmpi::run_on_machine(mach::dell_xeon(), cpus, [&](xmpi::Comm& c) {
+    ImbParams p;
+    p.msg_bytes = 1 << 20;
+    p.phantom = true;
+    p.repetitions = 2;
+    p.groups = groups;
+    const ImbResult r = run_benchmark(BenchmarkId::kAlltoall, c, p);
+    if (c.rank() == 0) us = r.t_avg_s * 1e6;
+  });
+  return us;
+}
+
+TEST(ImbMulti, ConcurrentGroupsContendOnTheFabric) {
+  // Four concurrent 16-rank alltoalls on 64 CPUs must be slower per
+  // group than one isolated 16-rank alltoall (they share the blocking
+  // core), but far faster than the full 64-rank alltoall.
+  const double isolated16 = alltoall_us(1, 16);
+  const double grouped16_of_64 = alltoall_us(4, 64);
+  const double full64 = alltoall_us(1, 64);
+  EXPECT_GT(grouped16_of_64, isolated16);
+  EXPECT_LT(grouped16_of_64, full64);
+}
+
+TEST(ImbMulti, GroupsEqualSizeBehavesLikeSingle) {
+  // groups == size is degenerate but legal for collectives: every group
+  // is one rank, so collectives complete locally.
+  run_world(Backend::kSim, 4, [](xmpi::Comm& c) {
+    ImbParams p;
+    p.msg_bytes = 1024;
+    p.repetitions = 2;
+    p.groups = 4;
+    const ImbResult r = run_benchmark(BenchmarkId::kBcast, c, p);
+    EXPECT_GE(r.t_max_s, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace hpcx::imb

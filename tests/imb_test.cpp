@@ -1,0 +1,184 @@
+// IMB benchmark framework: every benchmark runs on both backends, the
+// timing conventions hold, and the simulated timings behave physically
+// (more ranks / bigger messages => more time).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "imb/imb.hpp"
+#include "machine/registry.hpp"
+#include "test_util.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::imb {
+namespace {
+
+using test::Backend;
+using test::run_world;
+
+TEST(ImbMeta, NamesAndSets) {
+  EXPECT_EQ(12u, all_benchmarks().size());
+  EXPECT_EQ(10u, paper_benchmarks().size());
+  EXPECT_STREQ("Reduce_scatter", to_string(BenchmarkId::kReduceScatter));
+  EXPECT_STREQ("PingPong", to_string(BenchmarkId::kPingPong));
+}
+
+class ImbAll
+    : public ::testing::TestWithParam<std::tuple<Backend, BenchmarkId>> {};
+
+TEST_P(ImbAll, RunsAndReportsSaneTimings) {
+  const auto [backend, id] = GetParam();
+  run_world(backend, 4, [id](xmpi::Comm& c) {
+    ImbParams params;
+    params.msg_bytes = 4096;
+    params.repetitions = 3;
+    const ImbResult r = run_benchmark(id, c, params);
+    EXPECT_GT(r.t_max_s, 0.0);
+    EXPECT_LE(r.t_min_s, r.t_avg_s + 1e-15);
+    EXPECT_LE(r.t_avg_s, r.t_max_s + 1e-15);
+    EXPECT_EQ(3, r.repetitions);
+  });
+}
+
+std::string imb_param_name(
+    const ::testing::TestParamInfo<std::tuple<Backend, BenchmarkId>>& info) {
+  return std::string(test::to_string(std::get<0>(info.param))) + "_" +
+         to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImbAll,
+    ::testing::Combine(::testing::Values(Backend::kThreads, Backend::kSim),
+                       ::testing::ValuesIn(all_benchmarks())),
+    imb_param_name);
+
+TEST(Imb, TransferBenchmarksReportBandwidth) {
+  run_world(Backend::kSim, 4, [](xmpi::Comm& c) {
+    ImbParams params;
+    params.msg_bytes = 1 << 20;
+    params.phantom = true;
+    for (const auto id : {BenchmarkId::kPingPong, BenchmarkId::kPingPing,
+                          BenchmarkId::kSendrecv, BenchmarkId::kExchange}) {
+      const ImbResult r = run_benchmark(id, c, params);
+      EXPECT_GT(r.bandwidth_Bps, 0.0) << to_string(id);
+    }
+    const ImbResult b =
+        run_benchmark(BenchmarkId::kBarrier, c, params);
+    EXPECT_DOUBLE_EQ(0.0, b.bandwidth_Bps);
+  });
+}
+
+TEST(Imb, AutoRepetitionsShrinkWithMessageSize) {
+  run_world(Backend::kThreads, 2, [](xmpi::Comm& c) {
+    ImbParams small;
+    small.msg_bytes = 1024;
+    ImbParams big;
+    big.msg_bytes = 4 << 20;
+    const ImbResult rs = run_benchmark(BenchmarkId::kSendrecv, c, small);
+    const ImbResult rb = run_benchmark(BenchmarkId::kSendrecv, c, big);
+    EXPECT_GT(rs.repetitions, rb.repetitions);
+  });
+}
+
+double sim_time_us(const mach::MachineConfig& m, int cpus, BenchmarkId id,
+                   std::size_t msg) {
+  double us = 0;
+  xmpi::run_on_machine(m, cpus, [&](xmpi::Comm& c) {
+    ImbParams params;
+    params.msg_bytes = msg;
+    params.phantom = true;
+    const ImbResult r = run_benchmark(id, c, params);
+    if (c.rank() == 0) us = r.t_avg_s * 1e6;
+  });
+  return us;
+}
+
+TEST(ImbSim, CollectiveTimeGrowsWithRanks) {
+  const auto m = mach::dell_xeon();
+  for (const auto id : {BenchmarkId::kAllreduce, BenchmarkId::kAlltoall,
+                        BenchmarkId::kBcast, BenchmarkId::kBarrier}) {
+    const double t8 = sim_time_us(m, 8, id, 1 << 20);
+    const double t64 = sim_time_us(m, 64, id, 1 << 20);
+    EXPECT_LT(t8, t64) << to_string(id);
+  }
+}
+
+TEST(ImbSim, TimeGrowsWithMessageSize) {
+  const auto m = mach::nec_sx8();
+  for (const auto id :
+       {BenchmarkId::kAllreduce, BenchmarkId::kAllgather}) {
+    EXPECT_LT(sim_time_us(m, 16, id, 1 << 14),
+              sim_time_us(m, 16, id, 1 << 20))
+        << to_string(id);
+  }
+}
+
+TEST(ImbSim, DeterministicTimings) {
+  const auto m = mach::cray_opteron();
+  const double a = sim_time_us(m, 16, BenchmarkId::kAllreduce, 1 << 20);
+  const double b = sim_time_us(m, 16, BenchmarkId::kAllreduce, 1 << 20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ImbSim, PhantomAndRealAgreeOnSimulatedTime) {
+  // The simulator must charge identical time whether or not payload
+  // bytes are really carried.
+  const auto m = mach::altix_bx2();
+  auto run_mode = [&](bool phantom) {
+    double us = 0;
+    xmpi::run_on_machine(m, 8, [&](xmpi::Comm& c) {
+      ImbParams params;
+      params.msg_bytes = 1 << 16;
+      params.phantom = phantom;
+      params.repetitions = 2;
+      const ImbResult r = run_benchmark(BenchmarkId::kAllgather, c, params);
+      if (c.rank() == 0) us = r.t_avg_s;
+    });
+    return us;
+  };
+  EXPECT_DOUBLE_EQ(run_mode(true), run_mode(false));
+}
+
+double internode_latency_us(const mach::MachineConfig& m) {
+  // Half round trip of a zero-byte message between the first two nodes
+  // (ranks 0 and cpus_per_node), the paper's "MPI latency".
+  double us = 0;
+  const int peer = m.cpus_per_node;
+  xmpi::run_on_machine(m, m.cpus_per_node * 2, [&](xmpi::Comm& c) {
+    constexpr int kIters = 4;
+    if (c.rank() == 0) {
+      const double t0 = c.now();
+      for (int i = 0; i < kIters; ++i) {
+        c.send(peer, 1, xmpi::phantom_cbuf(0));
+        c.recv(peer, 2, xmpi::phantom_mbuf(0));
+      }
+      us = (c.now() - t0) / kIters / 2 * 1e6;
+    } else if (c.rank() == peer) {
+      for (int i = 0; i < kIters; ++i) {
+        c.recv(0, 1, xmpi::phantom_mbuf(0));
+        c.send(0, 2, xmpi::phantom_cbuf(0));
+      }
+    }
+  });
+  return us;
+}
+
+TEST(ImbSim, InternodeLatencyNearPaperAnchors) {
+  // Paper quotes: InfiniBand 6.8 us, Myrinet 6.7 us, NEC ~5 us, and the
+  // Altix NUMALINK as the best of all systems.
+  const double xeon = internode_latency_us(mach::dell_xeon());
+  EXPECT_NEAR(6.8, xeon, 2.5);
+  const double myrinet = internode_latency_us(mach::cray_opteron());
+  EXPECT_NEAR(6.7, myrinet, 2.5);
+  const double sx8 = internode_latency_us(mach::nec_sx8());
+  EXPECT_NEAR(5.0, sx8, 2.0);
+  const double altix = internode_latency_us(mach::altix_bx2());
+  EXPECT_LT(altix, xeon);
+  EXPECT_LT(altix, myrinet);
+  EXPECT_LT(altix, sx8);  // best latency of all (paper §5.1)
+  EXPECT_LT(altix, 3.0);
+}
+
+}  // namespace
+}  // namespace hpcx::imb

@@ -1,0 +1,174 @@
+// Cross-cutting property tests: traffic conservation, algorithm-
+// independent volume invariants, link accounting, and timing sanity
+// bounds that must hold for any machine and any collective.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "machine/registry.hpp"
+#include "netsim/network.hpp"
+#include "topology/crossbar.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+using xmpi::Comm;
+
+xmpi::SimRunResult run(const mach::MachineConfig& m, int cpus,
+                       const xmpi::RankFn& fn) {
+  return xmpi::run_on_machine(m, cpus, fn);
+}
+
+TEST(Invariants, AlltoallWireVolumeMatchesFormula) {
+  // Pairwise alltoall: every rank sends one block to every other rank;
+  // blocks between co-located ranks stay off the wire. With 2 ranks per
+  // node, each rank has exactly one node-local peer.
+  const auto m = mach::cray_opteron();  // 2 CPUs/node
+  const int cpus = 16;
+  const std::size_t block = 1 << 12;
+  const auto r = run(m, cpus, [&](Comm& c) {
+    const std::size_t total = block * static_cast<std::size_t>(c.size());
+    c.alltoall(xmpi::phantom_cbuf(total), xmpi::phantom_mbuf(total));
+  });
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(cpus) * (cpus - 2) * block;
+  EXPECT_EQ(expected, r.internode_bytes);
+}
+
+TEST(Invariants, RingAllgatherVolumeIndependentOfStartRank) {
+  // Ring allgather moves (P-1) blocks through every rank regardless of
+  // where blocks originate: total wire volume is P*(P-1)*block minus the
+  // hops that stay on-node.
+  const auto m = mach::dell_xeon();
+  const std::size_t block = 4096;
+  const auto r = run(m, 8, [&](Comm& c) {
+    c.tuning().allgather_alg = xmpi::AllgatherAlg::kRing;
+    c.allgather(xmpi::phantom_cbuf(block),
+                xmpi::phantom_mbuf(block * static_cast<std::size_t>(8)));
+  });
+  // 8 ranks in a ring, 2 per node: half of the 8 ring edges are
+  // node-internal, so 4 wire crossings x 7 rounds x block bytes.
+  EXPECT_EQ(4u * 7u * block, r.internode_bytes);
+}
+
+TEST(Invariants, MakespanNeverBelowBandwidthBound) {
+  // No schedule can beat volume / bisection. Check alltoall against the
+  // per-node injection limit.
+  const auto m = mach::dell_xeon();
+  const int cpus = 16;
+  const std::size_t block = 1 << 16;
+  const auto r = run(m, cpus, [&](Comm& c) {
+    const std::size_t total = block * static_cast<std::size_t>(c.size());
+    c.barrier();
+    c.alltoall(xmpi::phantom_cbuf(total), xmpi::phantom_mbuf(total));
+  });
+  // Each 2-CPU node must inject 2*(cpus-2)*block bytes at 0.841 GB/s.
+  const double min_time =
+      2.0 * (cpus - 2) * static_cast<double>(block) / 0.841e9;
+  EXPECT_GE(r.makespan_s, min_time * 0.999);
+}
+
+TEST(Invariants, HottestLinksAccountingConsistent) {
+  const auto m = mach::cray_opteron();
+  const auto r = run(m, 16, [&](Comm& c) {
+    const std::size_t total = (1u << 14) * static_cast<std::size_t>(c.size());
+    c.alltoall(xmpi::phantom_cbuf(total), xmpi::phantom_mbuf(total));
+  });
+  ASSERT_FALSE(r.hottest_links.empty());
+  // Sorted hottest-first by busy time; all entries carry traffic.
+  for (std::size_t i = 0; i + 1 < r.hottest_links.size(); ++i)
+    EXPECT_GE(r.hottest_links[i].busy_s, r.hottest_links[i + 1].busy_s);
+  for (const auto& l : r.hottest_links) {
+    EXPECT_GT(l.messages, 0u);
+    EXPECT_GT(l.bytes, 0u);
+    EXPECT_FALSE(l.from.empty());
+    EXPECT_FALSE(l.to.empty());
+  }
+}
+
+TEST(Invariants, EdgeStatsMatchSingleTransfer) {
+  des::Simulator sim;
+  topo::CrossbarConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.host_link = topo::LinkParams{1e9, 1e-6};
+  net::Network net(sim, topo::build_crossbar(cfg), net::NicParams{},
+                   net::NodeParams{});
+  sim.spawn([&] { net.send(0, 1, 1 << 20, [] {}); });
+  sim.run();
+  const auto hottest = net.hottest_edges(4);
+  ASSERT_GE(hottest.size(), 2u);
+  EXPECT_EQ(1u, hottest[0].second.messages);
+  EXPECT_EQ(1u << 20, hottest[0].second.bytes);
+  EXPECT_NEAR(static_cast<double>(1 << 20) / 1e9, hottest[0].second.busy_s,
+              1e-9);
+  EXPECT_DOUBLE_EQ(0.0, hottest[0].second.queued_s);  // empty network
+}
+
+TEST(Invariants, CollectiveTimeMonotoneInMessageSize) {
+  const auto m = mach::altix_bx2();
+  double prev = 0;
+  for (const std::size_t bytes : {1u << 10, 1u << 14, 1u << 18, 1u << 22}) {
+    const auto r = run(m, 16, [&](Comm& c) {
+      c.allreduce(xmpi::phantom_cbuf(bytes / 8, xmpi::DType::kF64),
+                  xmpi::phantom_mbuf(bytes / 8, xmpi::DType::kF64),
+                  xmpi::ROp::kSum);
+    });
+    EXPECT_GT(r.makespan_s, prev) << bytes;
+    prev = r.makespan_s;
+  }
+}
+
+TEST(Invariants, PhantomRunsMoveNoHostPayload) {
+  // Phantom traffic must carry its nominal size on the wire while
+  // allocating nothing: 1 GB of phantom alltoall completes instantly in
+  // host terms and reports the full simulated volume.
+  const auto m = mach::nec_sx8();
+  const std::size_t giant = 1u << 30;
+  const auto r = run(m, 16, [&](Comm& c) {
+    if (c.rank() == 0)
+      c.send(8, 1, xmpi::phantom_cbuf(giant));  // cross-node
+    else if (c.rank() == 8)
+      c.recv(0, 1, xmpi::phantom_mbuf(giant));
+  });
+  EXPECT_EQ(giant, r.internode_bytes);
+  EXPECT_GT(r.makespan_s, static_cast<double>(giant) / 16e9 * 0.99);
+}
+
+TEST(Invariants, BarrierIsGloballySynchronising) {
+  // After a barrier, no rank's pre-barrier timestamp may exceed any
+  // rank's post-barrier timestamp.
+  const auto m = mach::dell_xeon();
+  std::vector<double> before(16), after(16);
+  run(m, 16, [&](Comm& c) {
+    // Stagger arrival times.
+    c.compute(1e-6 * static_cast<double>(c.rank() + 1));
+    before[static_cast<std::size_t>(c.rank())] = c.now();
+    c.barrier();
+    after[static_cast<std::size_t>(c.rank())] = c.now();
+  });
+  const double max_before = *std::max_element(before.begin(), before.end());
+  const double min_after = *std::min_element(after.begin(), after.end());
+  EXPECT_GE(min_after, max_before);
+}
+
+TEST(Invariants, HwBarrierAlsoGloballySynchronising) {
+  const auto m = mach::nec_sx8();  // hardware barrier path
+  std::vector<double> before(16), after(16);
+  run(m, 16, [&](Comm& c) {
+    c.compute(1e-6 * static_cast<double>(16 - c.rank()));
+    before[static_cast<std::size_t>(c.rank())] = c.now();
+    c.barrier();
+    after[static_cast<std::size_t>(c.rank())] = c.now();
+  });
+  const double max_before = *std::max_element(before.begin(), before.end());
+  const double min_after = *std::min_element(after.begin(), after.end());
+  EXPECT_GE(min_after, max_before);
+  // All ranks release at the same instant.
+  for (double a : after) EXPECT_DOUBLE_EQ(after[0], a);
+}
+
+}  // namespace
+}  // namespace hpcx

@@ -1,0 +1,119 @@
+// Machine models and the five paper systems: peak rates, balance values
+// the paper quotes, topology construction.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "machine/machine.hpp"
+#include "machine/registry.hpp"
+#include "topology/metrics.hpp"
+#include "topology/routing.hpp"
+
+namespace hpcx::mach {
+namespace {
+
+TEST(ProcessorModel, PeakAndDgemmTime) {
+  ProcessorModel p;
+  p.clock_hz = 2e9;
+  p.flops_per_cycle = 8.0;
+  p.dgemm_efficiency = 0.5;
+  EXPECT_DOUBLE_EQ(16e9, p.peak_flops());
+  // 2*m*n*k flops at 8 Gflop/s sustained.
+  EXPECT_DOUBLE_EQ(2.0 * 100 * 100 * 100 / 8e9, p.dgemm_seconds(100, 100, 100));
+}
+
+TEST(ProcessorModel, FftTimeGrowsNLogN) {
+  ProcessorModel p;
+  const double t1 = p.fft_seconds(1 << 10);
+  const double t2 = p.fft_seconds(1 << 11);
+  EXPECT_GT(t2, 2.0 * t1);          // superlinear
+  EXPECT_LT(t2, 2.5 * t1);          // but barely
+  EXPECT_DOUBLE_EQ(0.0, p.fft_seconds(1));
+}
+
+TEST(MemoryModel, ContentionSharesAggregate) {
+  MemoryModel m;
+  m.single_cpu_Bps = 3e9;
+  m.node_aggregate_Bps = 4e9;
+  EXPECT_DOUBLE_EQ(3e9, m.per_cpu_Bps(1));
+  EXPECT_DOUBLE_EQ(2e9, m.per_cpu_Bps(2));
+  EXPECT_DOUBLE_EQ(1e9, m.per_cpu_Bps(4));
+}
+
+TEST(Registry, FiveSystemsWithPaperPeaks) {
+  const auto machines = paper_machines();
+  ASSERT_EQ(5u, machines.size());
+  // Table 2 peak/node values (the Altix is modelled per 8-CPU C-brick,
+  // its interconnect unit per Section 2.1, i.e. 4x the per-FSB-pair
+  // figure Table 2 lists): 12.8*4, 12.8, 8.0, 14.4, 128 Gflop/s.
+  EXPECT_DOUBLE_EQ(51.2e9, machine_by_name("altix_bx2").peak_flops_per_node());
+  EXPECT_DOUBLE_EQ(51.2e9, machine_by_name("cray_x1_msp").peak_flops_per_node());
+  EXPECT_DOUBLE_EQ(8.0e9, machine_by_name("cray_opteron").peak_flops_per_node());
+  EXPECT_DOUBLE_EQ(14.4e9, machine_by_name("dell_xeon").peak_flops_per_node());
+  EXPECT_DOUBLE_EQ(128e9, machine_by_name("sx8").peak_flops_per_node());
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(machine_by_name("cray_t3e"), ConfigError);
+}
+
+TEST(Registry, VectorMachinesHaveVectorClassAndHighBalance) {
+  for (const auto& m : all_machines()) {
+    const double bf = m.stream_per_cpu_all_active() /
+                      (m.proc.peak_flops() * m.proc.hpl_kernel_efficiency);
+    if (m.proc.cpu_class == CpuClass::kVector) {
+      EXPECT_GT(bf, 1.0) << m.name;
+    } else {
+      EXPECT_LT(bf, 1.2) << m.name;
+    }
+  }
+  // NEC SX-8 balance anchor from the paper: consistently above 2.67 B/F.
+  const auto sx8 = machine_by_name("sx8");
+  EXPECT_GT(sx8.stream_per_cpu_all_active() /
+                (sx8.proc.peak_flops() * sx8.proc.hpl_kernel_efficiency),
+            2.67);
+}
+
+TEST(Registry, NodeMapping) {
+  const auto sx8 = machine_by_name("sx8");
+  EXPECT_EQ(0, sx8.node_of_rank(0));
+  EXPECT_EQ(0, sx8.node_of_rank(7));
+  EXPECT_EQ(1, sx8.node_of_rank(8));
+  EXPECT_EQ(9, sx8.nodes_for(65));
+  EXPECT_EQ(72, sx8.nodes_for(576));
+}
+
+TEST(Registry, TopologiesBuildForPaperScales) {
+  for (const auto& m : all_machines()) {
+    const int nodes = m.nodes_for(std::min(m.max_cpus, 128));
+    const topo::Graph g = m.build_topology(nodes);
+    EXPECT_EQ(static_cast<std::size_t>(nodes), g.num_hosts()) << m.name;
+    const topo::Routing routing(g);
+    if (nodes > 1) {
+      EXPECT_GT(routing.diameter_hosts(), 0) << m.name;
+    }
+  }
+}
+
+TEST(Registry, AltixMultiBoxTaperKicksInBeyondOneBox) {
+  const auto altix = machine_by_name("altix_bx2");
+  const topo::Graph one_box = altix.build_topology(64);
+  const topo::Graph two_boxes = altix.build_topology(128);
+  const double b1 = topo::bisection_bandwidth(one_box);
+  const double b2 = topo::bisection_bandwidth(two_boxes);
+  // Twice the nodes but a tapered core: bisection must NOT double.
+  EXPECT_LT(b2, 1.2 * b1);
+}
+
+TEST(Registry, TopologyKindsMatchPaperTable2) {
+  EXPECT_EQ(TopologyKind::kFatTree, machine_by_name("altix_bx2").topology);
+  EXPECT_EQ(TopologyKind::kHypercube,
+            machine_by_name("cray_x1_msp").topology);
+  EXPECT_EQ(TopologyKind::kClos, machine_by_name("cray_opteron").topology);
+  // The Xeon cluster models the paper's "groups of 18 nodes 1:1 with
+  // 3:1 blocking through the core" as a two-level Clos.
+  EXPECT_EQ(TopologyKind::kClos, machine_by_name("dell_xeon").topology);
+  EXPECT_EQ(TopologyKind::kCrossbar, machine_by_name("sx8").topology);
+}
+
+}  // namespace
+}  // namespace hpcx::mach

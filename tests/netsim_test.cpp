@@ -1,0 +1,179 @@
+// Network simulator timing properties: latency, serialisation,
+// contention, intra-node vs inter-node paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "netsim/network.hpp"
+#include "topology/crossbar.hpp"
+
+namespace hpcx::net {
+namespace {
+
+// Two hosts on a crossbar with 1 GB/s links and 1 us per-hop latency.
+topo::Graph two_hosts() {
+  topo::CrossbarConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.host_link = topo::LinkParams{1e9, 1e-6};
+  return topo::build_crossbar(cfg);
+}
+
+NicParams fast_nic() {
+  NicParams nic;
+  nic.send_overhead_s = 1e-6;
+  nic.recv_overhead_s = 1e-6;
+  nic.injection_Bps = 1e9;
+  nic.per_message_gap_s = 0.0;
+  return nic;
+}
+
+NodeParams plain_node() {
+  NodeParams node;
+  node.intranode_Bps = 2e9;
+  node.intranode_latency_s = 0.5e-6;
+  node.node_mem_Bps = 4e9;
+  return node;
+}
+
+struct Delivery {
+  double time = -1.0;
+};
+
+TEST(Network, ZeroByteMessageCostsLatencyOnly) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  Delivery d;
+  sim.spawn([&] { net.send(0, 1, 0, [&] { d.time = sim.now(); }); });
+  sim.run();
+  // o_send (1 us) + 2 hops x 1 us = 3 us; no serialisation.
+  EXPECT_NEAR(3e-6, d.time, 1e-12);
+}
+
+TEST(Network, LargeMessageIsBandwidthBound) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  Delivery d;
+  const std::size_t mb = 1 << 20;
+  sim.spawn([&] { net.send(0, 1, mb, [&] { d.time = sim.now(); }); });
+  sim.run();
+  // Dominated by ~1 MiB / 1 GB/s ~= 1.05 ms; latency terms are noise.
+  EXPECT_NEAR(static_cast<double>(mb) / 1e9, d.time, 20e-6);
+}
+
+TEST(Network, SenderBlockedForInjection) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  double sender_done = -1;
+  const std::size_t mb = 1 << 20;
+  sim.spawn([&] {
+    net.send(0, 1, mb, [] {});
+    sender_done = sim.now();
+  });
+  sim.run();
+  // o_send + bytes/injection_Bps.
+  EXPECT_NEAR(1e-6 + static_cast<double>(mb) / 1e9, sender_done, 1e-9);
+}
+
+TEST(Network, BackToBackMessagesSerialiseOnLink) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  std::vector<double> deliveries;
+  const std::size_t mb = 1 << 20;
+  sim.spawn([&] {
+    net.send(0, 1, mb, [&] { deliveries.push_back(sim.now()); });
+    net.send(0, 1, mb, [&] { deliveries.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(2u, deliveries.size());
+  const double gap = deliveries[1] - deliveries[0];
+  // Second message cannot beat the first's serialisation time.
+  EXPECT_GE(gap, static_cast<double>(mb) / 1e9 * 0.99);
+}
+
+TEST(Network, CrossTrafficContendsOnSharedLink) {
+  // Hosts 0 and 1 both send to host 2: host 2's downlink serialises.
+  topo::CrossbarConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.host_link = topo::LinkParams{1e9, 1e-6};
+  des::Simulator sim;
+  Network net(sim, topo::build_crossbar(cfg), fast_nic(), plain_node());
+  std::vector<double> deliveries;
+  const std::size_t mb = 1 << 20;
+  for (int src : {0, 1})
+    sim.spawn([&, src] {
+      net.send(src, 2, mb, [&] { deliveries.push_back(sim.now()); });
+    });
+  sim.run();
+  ASSERT_EQ(2u, deliveries.size());
+  const double later = std::max(deliveries[0], deliveries[1]);
+  // Two megabytes through one 1 GB/s downlink: >= 2 ms.
+  EXPECT_GE(later, 2.0 * static_cast<double>(mb) / 1e9 * 0.99);
+}
+
+TEST(Network, IntranodeBypassesNetwork) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  Delivery d;
+  const std::size_t mb = 1 << 20;
+  sim.spawn([&] { net.send(1, 1, mb, [&] { d.time = sim.now(); }); });
+  sim.run();
+  // intranode latency + bytes / intranode 2 GB/s — faster than the wire.
+  EXPECT_NEAR(0.5e-6 + static_cast<double>(mb) / 2e9, d.time, 1e-9);
+  EXPECT_EQ(1u, net.intranode_messages());
+  EXPECT_EQ(0u, net.internode_messages());
+}
+
+TEST(Network, NodeMemoryContentionStretchesConcurrentCopies) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  std::vector<double> deliveries;
+  const std::size_t big = 8 << 20;
+  for (int i = 0; i < 4; ++i)
+    sim.spawn([&] {
+      net.send(0, 0, big, [&] { deliveries.push_back(sim.now()); });
+    });
+  sim.run();
+  ASSERT_EQ(4u, deliveries.size());
+  // 4 copies x 8 MiB through a 4 GB/s aggregate: >= 8 MiB / 1 GB/s each
+  // on average; the last one finishes no earlier than 32 MiB / 4 GB/s.
+  const double last = *std::max_element(deliveries.begin(), deliveries.end());
+  EXPECT_GE(last, 4.0 * static_cast<double>(big) / 4e9 * 0.99);
+}
+
+TEST(Network, MessageCountersAccumulate) {
+  des::Simulator sim;
+  Network net(sim, two_hosts(), fast_nic(), plain_node());
+  sim.spawn([&] {
+    net.send(0, 1, 100, [] {});
+    net.send(0, 1, 200, [] {});
+    net.send(0, 0, 300, [] {});
+  });
+  sim.run();
+  EXPECT_EQ(2u, net.internode_messages());
+  EXPECT_EQ(1u, net.intranode_messages());
+  EXPECT_EQ(300u, net.internode_bytes());
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    des::Simulator sim;
+    topo::CrossbarConfig cfg;
+    cfg.num_hosts = 8;
+    cfg.host_link = topo::LinkParams{1e9, 1e-6};
+    Network net(sim, topo::build_crossbar(cfg), fast_nic(), plain_node());
+    std::vector<double> deliveries;
+    for (int s = 0; s < 8; ++s)
+      sim.spawn([&, s] {
+        for (int k = 1; k < 8; ++k)
+          net.send(s, (s + k) % 8, 4096u * static_cast<unsigned>(k),
+                   [&] { deliveries.push_back(sim.now()); });
+      });
+    sim.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hpcx::net

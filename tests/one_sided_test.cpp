@@ -1,0 +1,141 @@
+// One-sided communication (Window put/get/fence) on both backends.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "test_util.hpp"
+#include "xmpi/one_sided.hpp"
+
+namespace hpcx::xmpi {
+namespace {
+
+using test::Backend;
+using test::run_world;
+
+class OneSidedTest : public ::testing::TestWithParam<test::Backend> {};
+
+TEST_P(OneSidedTest, PutIntoRightNeighbour) {
+  run_world(GetParam(), 4, [](Comm& c) {
+    std::vector<double> region(8, -1.0);
+    Window win(c, mbuf(std::span<double>(region)), 1);
+    const int right = (c.rank() + 1) % c.size();
+    std::vector<double> data{c.rank() + 0.25, c.rank() + 0.5};
+    win.put(right, 2 * 8 /* byte offset */, cbuf(std::span<const double>(data)));
+    win.fence();
+    const int left = (c.rank() + c.size() - 1) % c.size();
+    EXPECT_DOUBLE_EQ(left + 0.25, region[2]);
+    EXPECT_DOUBLE_EQ(left + 0.5, region[3]);
+    EXPECT_DOUBLE_EQ(-1.0, region[0]);  // untouched bytes stay
+  });
+}
+
+TEST_P(OneSidedTest, GetFromEveryRank) {
+  run_world(GetParam(), 5, [](Comm& c) {
+    std::vector<double> region{static_cast<double>(c.rank() * 100)};
+    Window win(c, mbuf(std::span<double>(region)), 1);
+    win.fence();  // expose the initialised region
+    std::vector<double> collected(static_cast<std::size_t>(c.size()), -1);
+    for (int t = 0; t < c.size(); ++t)
+      win.get(t, 0,
+              MBuf{&collected[static_cast<std::size_t>(t)], 1, DType::kF64});
+    win.fence();
+    for (int t = 0; t < c.size(); ++t)
+      EXPECT_DOUBLE_EQ(t * 100.0, collected[static_cast<std::size_t>(t)]);
+  });
+}
+
+TEST_P(OneSidedTest, PutGetSelfWorks) {
+  run_world(GetParam(), 2, [](Comm& c) {
+    std::vector<double> region(2, 0.0);
+    Window win(c, mbuf(std::span<double>(region)), 1);
+    std::vector<double> v{7.5};
+    win.put(c.rank(), 8, cbuf(std::span<const double>(v)));
+    double out = 0;
+    win.fence();
+    win.get(c.rank(), 8, MBuf{&out, 1, DType::kF64});
+    win.fence();
+    EXPECT_DOUBLE_EQ(7.5, out);
+  });
+}
+
+TEST_P(OneSidedTest, EpochsAreOrdered) {
+  // A put in epoch 1 must be visible to a get in epoch 2.
+  run_world(GetParam(), 3, [](Comm& c) {
+    std::vector<double> region(1, 0.0);
+    Window win(c, mbuf(std::span<double>(region)), 1);
+    if (c.rank() == 0) {
+      std::vector<double> v{42.0};
+      win.put(2, 0, cbuf(std::span<const double>(v)));
+    }
+    win.fence();
+    double seen = 0;
+    win.get(2, 0, MBuf{&seen, 1, DType::kF64});
+    win.fence();
+    EXPECT_DOUBLE_EQ(42.0, seen);
+  });
+}
+
+TEST_P(OneSidedTest, EmptyEpochIsJustASync) {
+  run_world(GetParam(), 4, [](Comm& c) {
+    std::vector<double> region(1, 0.0);
+    Window win(c, mbuf(std::span<double>(region)), 1);
+    for (int i = 0; i < 3; ++i) win.fence();
+  });
+}
+
+TEST_P(OneSidedTest, ManySmallPutsBatchCorrectly) {
+  run_world(GetParam(), 3, [](Comm& c) {
+    constexpr int kSlots = 16;
+    std::vector<double> region(kSlots * 3, -1.0);
+    Window win(c, mbuf(std::span<double>(region)), 1);
+    // Every rank writes its id into its own slot band on every rank.
+    for (int t = 0; t < c.size(); ++t)
+      for (int s = 0; s < kSlots; ++s) {
+        const double v = c.rank() * 1000 + s;
+        win.put(t, (static_cast<std::size_t>(c.rank()) * kSlots +
+                    static_cast<std::size_t>(s)) *
+                       8,
+                CBuf{&v, 1, DType::kF64});
+      }
+    win.fence();
+    for (int r = 0; r < c.size(); ++r)
+      for (int s = 0; s < kSlots; ++s)
+        EXPECT_DOUBLE_EQ(r * 1000 + s,
+                         region[static_cast<std::size_t>(r) * kSlots +
+                                static_cast<std::size_t>(s)]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, OneSidedTest,
+                         ::testing::Values(Backend::kThreads, Backend::kSim),
+                         [](const auto& info) {
+                           return std::string(test::to_string(info.param));
+                         });
+
+TEST(OneSided, OutOfWindowAccessThrows) {
+  EXPECT_THROW(run_world(Backend::kThreads, 2,
+                         [](Comm& c) {
+                           std::vector<double> region(1, 0.0);
+                           Window win(c, mbuf(std::span<double>(region)), 1);
+                           std::vector<double> v{1.0};
+                           win.put((c.rank() + 1) % 2, 8,
+                                   cbuf(std::span<const double>(v)));
+                           win.fence();
+                         }),
+               ConfigError);
+}
+
+TEST(OneSided, PhantomTimingOnSimulatedMachine) {
+  const auto r = xmpi::run_on_machine(mach::nec_sx8(), 16, [](Comm& c) {
+    Window win(c, phantom_mbuf(1 << 20), 1);
+    win.put((c.rank() + 1) % c.size(), 0, phantom_cbuf(1 << 16));
+    win.get((c.rank() + 3) % c.size(), 0, phantom_mbuf(1 << 16));
+    win.fence();
+  });
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_GT(r.internode_messages, 0u);
+}
+
+}  // namespace
+}  // namespace hpcx::xmpi

@@ -1,0 +1,227 @@
+// Paper-shape acceptance tests: the qualitative claims of Saini et al.
+// (orderings, factors, crossovers) encoded as assertions against the
+// simulated machines. These are the "does the reproduction reproduce"
+// tests; EXPERIMENTS.md records the corresponding quantitative tables.
+#include <gtest/gtest.h>
+
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/registry.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+double imb_us(const mach::MachineConfig& m, int cpus, imb::BenchmarkId id,
+              std::size_t msg = 1 << 20) {
+  double us = 0;
+  xmpi::run_on_machine(m, cpus, [&](xmpi::Comm& c) {
+    imb::ImbParams p;
+    p.msg_bytes = msg;
+    p.phantom = true;
+    p.repetitions = 2;
+    const auto r = imb::run_benchmark(id, c, p);
+    if (c.rank() == 0) us = r.t_avg_s * 1e6;
+  });
+  return us;
+}
+
+double imb_bw(const mach::MachineConfig& m, int cpus, imb::BenchmarkId id) {
+  double bw = 0;
+  xmpi::run_on_machine(m, cpus, [&](xmpi::Comm& c) {
+    imb::ImbParams p;
+    p.msg_bytes = 1 << 20;
+    p.phantom = true;
+    p.repetitions = 2;
+    const auto r = imb::run_benchmark(id, c, p);
+    if (c.rank() == 0) bw = r.bandwidth_Bps;
+  });
+  return bw;
+}
+
+// --- Section 5.2: "performance of NEC SX-8 > Cray X1 > SGI Altix BX2 >
+// Dell Xeon Cluster > Cray Opteron Cluster" on the IMB collectives. ---
+
+TEST(PaperShapes, CollectiveOrderingAt16Cpus) {
+  // Reductions: the strict NEC > X1 > Altix > Opteron ordering of the
+  // conclusions holds wherever the memory-bound combine matters.
+  for (const auto id :
+       {imb::BenchmarkId::kAllreduce, imb::BenchmarkId::kReduce}) {
+    const double nec = imb_us(mach::nec_sx8(), 16, id);
+    const double x1 = imb_us(mach::cray_x1_msp(), 16, id);
+    const double altix = imb_us(mach::altix_bx2(), 16, id);
+    const double opteron = imb_us(mach::cray_opteron(), 16, id);
+    EXPECT_LT(nec, x1) << to_string(id);
+    EXPECT_LT(x1, altix) << to_string(id);
+    EXPECT_LT(altix, opteron) << to_string(id);
+  }
+}
+
+TEST(PaperShapes, Fig7AllreduceScalarOrderingAt64) {
+  // "Performance of Altix BX2 is better than Dell Xeon Cluster"; "worst
+  // performance is that of Cray Opteron Cluster".
+  const double altix = imb_us(mach::altix_bx2(), 64,
+                              imb::BenchmarkId::kAllreduce);
+  const double xeon = imb_us(mach::dell_xeon(), 64,
+                             imb::BenchmarkId::kAllreduce);
+  const double opteron = imb_us(mach::cray_opteron(), 64,
+                                imb::BenchmarkId::kAllreduce);
+  const double nec = imb_us(mach::nec_sx8(), 64,
+                            imb::BenchmarkId::kAllreduce);
+  EXPECT_LT(altix, xeon);
+  EXPECT_LT(xeon, opteron);
+  EXPECT_LT(nec, altix);
+}
+
+TEST(PaperShapes, Fig8ReduceVectorScalarGap) {
+  // "Performance of vector systems is an order of magnitude better than
+  // scalar systems" (Reduce, 1 MB).
+  const double nec = imb_us(mach::nec_sx8(), 16, imb::BenchmarkId::kReduce);
+  const double x1 = imb_us(mach::cray_x1_msp(), 16,
+                           imb::BenchmarkId::kReduce);
+  for (const auto& scalar :
+       {mach::altix_bx2(), mach::dell_xeon(), mach::cray_opteron()}) {
+    const double t = imb_us(scalar, 16, imb::BenchmarkId::kReduce);
+    EXPECT_GT(t, 4.0 * nec) << scalar.name;
+    EXPECT_GT(t, 2.0 * x1) << scalar.name;
+  }
+}
+
+TEST(PaperShapes, Fig6BarrierAltixBestSmallNecBestLarge) {
+  // "For less than 16 processors, SGI Altix BX2 is the fastest"; "for
+  // large CPU counts, NEC SX-8 has the best barrier time".
+  for (const auto& other : {mach::cray_x1_msp(), mach::cray_opteron(),
+                            mach::dell_xeon(), mach::nec_sx8()}) {
+    EXPECT_LT(imb_us(mach::altix_bx2(), 8, imb::BenchmarkId::kBarrier, 0),
+              imb_us(other, 8, imb::BenchmarkId::kBarrier, 0))
+        << other.name;
+  }
+  EXPECT_LT(imb_us(mach::nec_sx8(), 512, imb::BenchmarkId::kBarrier, 0),
+            imb_us(mach::altix_bx2(), 512, imb::BenchmarkId::kBarrier, 0));
+  EXPECT_LT(imb_us(mach::nec_sx8(), 512, imb::BenchmarkId::kBarrier, 0),
+            imb_us(mach::dell_xeon(), 512, imb::BenchmarkId::kBarrier, 0));
+}
+
+TEST(PaperShapes, Fig13SendrecvIntraNodeAnchors) {
+  // "On the NEC SX-8 ... the IMB Sendreceive bandwidth for 2 processors
+  // is 47.4 GB/s. Whereas for the Cray X1 (SSP) ... only 7.6 GB/s."
+  const double nec = imb_bw(mach::nec_sx8(), 2, imb::BenchmarkId::kSendrecv);
+  EXPECT_NEAR(47.4e9, nec, 0.2 * 47.4e9);
+  const double ssp = imb_bw(mach::cray_x1_ssp(), 2,
+                            imb::BenchmarkId::kSendrecv);
+  EXPECT_NEAR(7.6e9, ssp, 0.2 * 7.6e9);
+  // "systems perform the best when running 2 processors"
+  EXPECT_GT(nec, imb_bw(mach::nec_sx8(), 32, imb::BenchmarkId::kSendrecv));
+}
+
+TEST(PaperShapes, Fig14ExchangeNecWinsXeonSecondAtScale) {
+  const double nec = imb_bw(mach::nec_sx8(), 128,
+                            imb::BenchmarkId::kExchange);
+  const double xeon = imb_bw(mach::dell_xeon(), 128,
+                             imb::BenchmarkId::kExchange);
+  const double opteron = imb_bw(mach::cray_opteron(), 64,
+                                imb::BenchmarkId::kExchange);
+  EXPECT_GT(nec, xeon);
+  // "the performance of Cray Opteron Cluster is the lowest"
+  EXPECT_GT(imb_bw(mach::dell_xeon(), 64, imb::BenchmarkId::kExchange),
+            opteron);
+}
+
+TEST(PaperShapes, Fig12AlltoallFullOrdering) {
+  // "NEC SX-8 (IXS) > Cray X1 > SGI Altix BX2 (NUMALINK4) > Dell Xeon
+  // Cluster (InfiniBand) > Cray Opteron Cluster (Myrinet)"; the paper
+  // also notes X1 and Altix are "very close", with Altix ahead only up
+  // to eight processors.
+  const double nec = imb_us(mach::nec_sx8(), 32, imb::BenchmarkId::kAlltoall);
+  const double x1 = imb_us(mach::cray_x1_ssp(), 32,
+                           imb::BenchmarkId::kAlltoall);
+  const double altix = imb_us(mach::altix_bx2(), 32,
+                              imb::BenchmarkId::kAlltoall);
+  const double xeon = imb_us(mach::dell_xeon(), 32,
+                             imb::BenchmarkId::kAlltoall);
+  const double opteron = imb_us(mach::cray_opteron(), 32,
+                                imb::BenchmarkId::kAlltoall);
+  EXPECT_LT(nec, x1);
+  EXPECT_LT(nec, altix);
+  EXPECT_LT(x1, 2.0 * altix);   // "very close"
+  EXPECT_LT(altix, 2.0 * x1);
+  EXPECT_LT(altix, xeon);
+  EXPECT_LT(xeon, opteron);
+  // Known divergence (see EXPERIMENTS.md): the paper has Altix ahead of
+  // the X1 below 8 processors; in our model the X1's single fat-memory
+  // node wins that regime, so only the "very close" relation is checked.
+}
+
+// --- Figs 1-4 balance analysis ---
+
+TEST(PaperShapes, Fig2AltixMultiBoxDeclineAndCrossover) {
+  hpcc::HpccParts parts;
+  parts.ptrans = parts.random_access = parts.fft = false;
+  auto ratio = [&](const mach::MachineConfig& m, int cpus) {
+    const auto r = hpcc::run_hpcc_sim(m, cpus, {}, parts);
+    return r.ring_bw_Bps * cpus / r.g_hpl_flops * 1000.0;  // B/kFlop
+  };
+  const double altix_box = ratio(mach::altix_bx2(), 256);
+  const double altix_multi = ratio(mach::altix_bx2(), 1024);
+  // "A steep decrease in the B/KFlop value ... above 512 CPUs runs
+  // (203.12 ... to 23.18)": roughly an order of magnitude.
+  EXPECT_GT(altix_box, 4.0 * altix_multi);
+  // "This can also be noticed from the cross over of the ratio curves
+  // between Altix and the NEC SX-8."
+  const double nec = ratio(mach::nec_sx8(), 256);
+  EXPECT_GT(altix_box, nec);
+  EXPECT_LT(altix_multi, nec);
+}
+
+TEST(PaperShapes, Fig2Numalink4BeatsNumalink3) {
+  hpcc::HpccParts parts;
+  parts.ptrans = parts.random_access = parts.fft = false;
+  const auto nl4 = hpcc::run_hpcc_sim(mach::altix_bx2(), 128, {}, parts);
+  const auto nl3 = hpcc::run_hpcc_sim(mach::altix_numalink3(), 128, {},
+                                      parts);
+  EXPECT_GT(nl4.ring_bw_Bps, 1.5 * nl3.ring_bw_Bps);
+}
+
+TEST(PaperShapes, Fig4ByteFlopAnchors) {
+  hpcc::HpccParts parts;
+  parts.ptrans = parts.random_access = parts.fft = parts.ring = false;
+  auto byte_per_flop = [&](const mach::MachineConfig& m, int cpus) {
+    const auto r = hpcc::run_hpcc_sim(m, cpus, {}, parts);
+    return r.ep_stream_copy_Bps * cpus / r.g_hpl_flops;
+  };
+  // "The Byte/Flop for NEC SX-8 is consistently above 2.67."
+  EXPECT_GT(byte_per_flop(mach::nec_sx8(), 64), 2.67);
+  // "for SGI Altix ... above 0.36"
+  EXPECT_GT(byte_per_flop(mach::altix_bx2(), 64), 0.36);
+  // "Cray Opteron is between 0.84 and 1.07" — allow a generous band.
+  const double opteron = byte_per_flop(mach::cray_opteron(), 64);
+  EXPECT_GT(opteron, 0.5);
+  EXPECT_LT(opteron, 1.4);
+}
+
+TEST(PaperShapes, Fig5OpteronWinsDgemmToHplRatio) {
+  // "the Cray Opteron performs best in EP DGEMM because of its lower HPL
+  // efficiency when compared to the other systems".
+  hpcc::HpccParts parts;
+  parts.ptrans = parts.random_access = parts.fft = parts.ring = false;
+  auto dgemm_ratio = [&](const mach::MachineConfig& m, int cpus) {
+    const auto r = hpcc::run_hpcc_sim(m, cpus, {}, parts);
+    return r.ep_dgemm_flops * cpus / r.g_hpl_flops;
+  };
+  const double opteron = dgemm_ratio(mach::cray_opteron(), 64);
+  EXPECT_GT(opteron, dgemm_ratio(mach::altix_bx2(), 128));
+  EXPECT_GT(opteron, dgemm_ratio(mach::nec_sx8(), 128));
+  EXPECT_GT(opteron, dgemm_ratio(mach::dell_xeon(), 128));
+}
+
+TEST(PaperShapes, VectorMachinesLeadStreamPerCpu) {
+  // Fig 3 and the conclusions: "the high memory bandwidth available on
+  // the NEC SX-8 can clearly be seen with the stream benchmark".
+  const double nec = mach::nec_sx8().stream_per_cpu_all_active();
+  for (const auto& m : {mach::altix_bx2(), mach::dell_xeon(),
+                        mach::cray_opteron()})
+    EXPECT_GT(nec, 10.0 * m.stream_per_cpu_all_active()) << m.name;
+}
+
+}  // namespace
+}  // namespace hpcx

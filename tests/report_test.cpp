@@ -1,0 +1,89 @@
+// Report/harness layer: sweep definitions, figure table structure, and
+// the per-process report cache.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "machine/registry.hpp"
+#include "report/figures.hpp"
+#include "report/hpcc_figures.hpp"
+#include "report/series.hpp"
+
+namespace hpcx::report {
+namespace {
+
+TEST(Series, ImbCpuCountsFollowPaperAxes) {
+  const auto sx8 = imb_cpu_counts(mach::nec_sx8());
+  ASSERT_FALSE(sx8.empty());
+  EXPECT_EQ(2, sx8.front());
+  EXPECT_EQ(576, sx8.back());  // the paper's 568/576-CPU full runs
+  const auto x1 = imb_cpu_counts(mach::cray_x1_msp());
+  EXPECT_EQ((std::vector<int>{2, 4, 8, 16}), x1);
+  const auto xeon = imb_cpu_counts(mach::dell_xeon());
+  EXPECT_EQ(512, xeon.back());
+  const auto opteron = imb_cpu_counts(mach::cray_opteron());
+  EXPECT_EQ(64, opteron.back());
+}
+
+TEST(Series, HpccCpuCountsReachMachineMax) {
+  const auto altix = hpcc_cpu_counts(mach::altix_bx2());
+  EXPECT_EQ(2024, altix.back());
+  EXPECT_GE(altix.size(), 4u);
+  const auto x1 = hpcc_cpu_counts(mach::cray_x1_msp());
+  EXPECT_EQ(16, x1.back());
+}
+
+TEST(Series, SixMachineSeriesInPaperOrder) {
+  const auto machines = imb_figure_machines();
+  ASSERT_EQ(6u, machines.size());
+  EXPECT_EQ("altix_bx2", machines[0].short_name);
+  EXPECT_EQ("sx8", machines[5].short_name);
+}
+
+TEST(Series, MeasureImbReturnsConsistentRecord) {
+  const auto r = measure_imb(mach::dell_xeon(), 8,
+                             imb::BenchmarkId::kAllreduce, 1 << 16);
+  EXPECT_GT(r.t_max_s, 0.0);
+  EXPECT_LE(r.t_min_s, r.t_max_s);
+}
+
+TEST(Series, ReportCacheReturnsSameObject) {
+  hpcc::HpccParts parts;
+  parts.hpl = false;
+  parts.ptrans = false;
+  parts.random_access = false;
+  parts.fft = false;
+  const auto& a = hpcc_report_cached(mach::cray_opteron(), 8, parts);
+  const auto& b = hpcc_report_cached(mach::cray_opteron(), 8, parts);
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.ring_bw_Bps, 0.0);
+}
+
+TEST(Figures, ImbFigureTableShape) {
+  const Table t = imb_figure("test", imb::BenchmarkId::kBarrier, 0, false);
+  EXPECT_EQ(7u, t.cols());  // CPUs + six machines
+  EXPECT_GE(t.rows(), 9u);  // 2..512 plus 48/576 odd sizes
+  // Row "2" must have a value for every machine; row "576" only for SX-8.
+  const auto& first = t.row(0);
+  EXPECT_EQ("2", first[0]);
+  for (std::size_t c = 1; c < first.size(); ++c) EXPECT_NE("-", first[c]);
+  const auto& last = t.row(t.rows() - 1);
+  EXPECT_EQ("576", last[0]);
+  EXPECT_NE("-", last[6]);
+  EXPECT_EQ("-", last[1]);
+}
+
+TEST(Figures, StaticTablesPrint) {
+  std::ostringstream os;
+  print_table1_altix(os);
+  print_table2_systems(os);
+  const std::string s = os.str();
+  EXPECT_NE(std::string::npos, s.find("NUMALINK4"));
+  EXPECT_NE(std::string::npos, s.find("IXS"));
+  EXPECT_NE(std::string::npos, s.find("Myrinet"));
+  EXPECT_NE(std::string::npos, s.find("InfiniBand"));
+  EXPECT_NE(std::string::npos, s.find("hypercube"));
+}
+
+}  // namespace
+}  // namespace hpcx::report

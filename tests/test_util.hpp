@@ -1,0 +1,36 @@
+// Shared helpers for tests that run the same rank function on both
+// backends (real threads and the simulated machine).
+#pragma once
+
+#include <string>
+
+#include "machine/registry.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::test {
+
+enum class Backend { kThreads, kSim };
+
+inline const char* to_string(Backend b) {
+  return b == Backend::kThreads ? "threads" : "sim";
+}
+
+/// Run `fn` on `nranks` ranks of the chosen backend. The sim backend uses
+/// the Dell Xeon model (2 CPUs/node: exercises both intra- and inter-node
+/// paths from 3 ranks up).
+inline void run_world(Backend backend, int nranks, const xmpi::RankFn& fn) {
+  if (backend == Backend::kThreads) {
+    xmpi::run_on_threads(nranks, fn);
+  } else {
+    xmpi::run_on_machine(mach::dell_xeon(), nranks, fn);
+  }
+}
+
+/// Deterministic per-(rank, index) test payload.
+inline double test_value(int rank, std::size_t i) {
+  return static_cast<double>(rank + 1) * 1000.0 + static_cast<double>(i % 997);
+}
+
+}  // namespace hpcx::test

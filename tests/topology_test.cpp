@@ -1,0 +1,212 @@
+// Topology builders, routing, and exact bisection bandwidth.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "topology/clos.hpp"
+#include "topology/crossbar.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/graph.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/metrics.hpp"
+#include "topology/routing.hpp"
+
+namespace hpcx::topo {
+namespace {
+
+constexpr double kGB = 1e9;
+
+LinkParams link(double gbps) { return LinkParams{gbps * kGB, 1e-7}; }
+
+TEST(Graph, HostAndSwitchBookkeeping) {
+  Graph g;
+  const VertexId h0 = g.add_host("h0");
+  const VertexId s = g.add_switch("s");
+  const VertexId h1 = g.add_host("h1");
+  g.add_duplex_link(h0, s, link(1));
+  g.add_duplex_link(h1, s, link(1));
+  EXPECT_EQ(3u, g.num_vertices());
+  EXPECT_EQ(2u, g.num_hosts());
+  EXPECT_EQ(4u, g.num_edges());  // two duplex cables = four directed edges
+  EXPECT_EQ(0, g.host_index(h0));
+  EXPECT_EQ(1, g.host_index(h1));
+  EXPECT_EQ(VertexKind::kSwitch, g.kind(s));
+}
+
+TEST(Graph, RejectsNonPositiveBandwidth) {
+  Graph g;
+  const VertexId a = g.add_host();
+  const VertexId b = g.add_host();
+  EXPECT_THROW(g.add_duplex_link(a, b, LinkParams{0.0, 1e-7}), ConfigError);
+}
+
+TEST(FatTree, RadixSelection) {
+  EXPECT_EQ(2, fat_tree_radix_for(1));
+  EXPECT_EQ(2, fat_tree_radix_for(2));
+  EXPECT_EQ(4, fat_tree_radix_for(3));
+  EXPECT_EQ(4, fat_tree_radix_for(16));
+  EXPECT_EQ(8, fat_tree_radix_for(128));
+  EXPECT_EQ(12, fat_tree_radix_for(256));
+  EXPECT_EQ(16, fat_tree_radix_for(1024));
+}
+
+TEST(FatTree, FullBisectionWhenUntapered) {
+  FatTreeConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.host_link = link(1);
+  cfg.fabric_link = link(1);
+  const Graph g = build_fat_tree(cfg);
+  EXPECT_EQ(16u, g.num_hosts());
+  // Non-blocking fat tree: bisection limited only by the 8 host links of
+  // one side.
+  EXPECT_NEAR(8.0 * kGB, bisection_bandwidth(g), 1e-3);
+}
+
+TEST(FatTree, TaperReducesBisection) {
+  FatTreeConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.host_link = link(1);
+  cfg.fabric_link = link(1);
+  cfg.core_taper = 0.5;
+  const Graph untapered = [&] {
+    FatTreeConfig c2 = cfg;
+    c2.core_taper = 1.0;
+    return build_fat_tree(c2);
+  }();
+  const Graph tapered = build_fat_tree(cfg);
+  EXPECT_LT(bisection_bandwidth(tapered), bisection_bandwidth(untapered));
+}
+
+TEST(FatTree, AllPairsReachableWithBoundedHops) {
+  FatTreeConfig cfg;
+  cfg.num_hosts = 20;  // partially filled pods
+  cfg.host_link = link(1);
+  cfg.fabric_link = link(1);
+  const Graph g = build_fat_tree(cfg);
+  const Routing routing(g);
+  // 3-level fat tree: host-edge-agg-core-agg-edge-host = 6 hops max.
+  EXPECT_LE(routing.diameter_hosts(), 6);
+  for (int a = 0; a < 20; ++a)
+    for (int b = 0; b < 20; ++b) {
+      if (a == b) continue;
+      const auto path = routing.path(a, b);
+      ASSERT_FALSE(path.empty());
+      // Path must start at a's host vertex and end at b's.
+      EXPECT_EQ(g.hosts()[static_cast<size_t>(a)], g.edge(path.front()).from);
+      EXPECT_EQ(g.hosts()[static_cast<size_t>(b)], g.edge(path.back()).to);
+    }
+}
+
+TEST(Hypercube, DimensionCount) {
+  EXPECT_EQ(0, hypercube_dimensions_for(1));
+  EXPECT_EQ(1, hypercube_dimensions_for(2));
+  EXPECT_EQ(2, hypercube_dimensions_for(4));
+  EXPECT_EQ(4, hypercube_dimensions_for(16));
+  EXPECT_EQ(5, hypercube_dimensions_for(17));
+}
+
+TEST(Hypercube, BisectionIsHalfTheLinks) {
+  HypercubeConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.host_link = link(10);  // ample host links; cube is the bottleneck
+  cfg.cube_link = link(1);
+  const Graph g = build_hypercube(cfg);
+  // A d-cube with N=2^d routers has N/2 links across any dimension cut.
+  // Host indices 0..7 vs 8..15 split exactly along the top dimension.
+  EXPECT_NEAR(8.0 * kGB, bisection_bandwidth(g), 1e-3);
+}
+
+TEST(Hypercube, RoutingDistanceIsHammingPlusHostHops) {
+  HypercubeConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.host_link = link(1);
+  cfg.cube_link = link(1);
+  const Graph g = build_hypercube(cfg);
+  const Routing routing(g);
+  EXPECT_EQ(2 + 1, routing.distance(0, 1));  // 1 cube hop + 2 host hops
+  EXPECT_EQ(2 + 3, routing.distance(0, 7));  // 0b000 -> 0b111
+}
+
+TEST(Crossbar, FullBisectionAndTwoHops) {
+  CrossbarConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.host_link = link(16);
+  const Graph g = build_crossbar(cfg);
+  const Routing routing(g);
+  EXPECT_EQ(2, routing.diameter_hosts());
+  EXPECT_NEAR(4 * 16.0 * kGB, bisection_bandwidth(g), 1e-3);
+}
+
+TEST(Clos, OversubscriptionShowsInBisection) {
+  ClosConfig cfg;
+  cfg.num_hosts = 32;
+  cfg.hosts_per_leaf = 8;
+  cfg.host_link = link(1);
+  cfg.up_link = link(1);
+  cfg.spines = 8;  // 1:1
+  const double full = bisection_bandwidth(build_clos(cfg));
+  cfg.spines = 2;  // 4:1
+  const double blocked = bisection_bandwidth(build_clos(cfg));
+  EXPECT_NEAR(16.0 * kGB, full, 1e-3);
+  EXPECT_NEAR(4.0 * kGB, blocked, 1e-3);
+}
+
+TEST(Clos, SingleLeafNeedsNoSpine) {
+  ClosConfig cfg;
+  cfg.num_hosts = 6;
+  cfg.hosts_per_leaf = 8;
+  cfg.host_link = link(1);
+  cfg.up_link = link(1);
+  const Graph g = build_clos(cfg);
+  const Routing routing(g);
+  EXPECT_EQ(2, routing.diameter_hosts());
+}
+
+TEST(Routing, EcmpSpreadsFlows) {
+  // 4-host fat tree with 2 cores: different host pairs should not all
+  // share one core switch.
+  FatTreeConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.host_link = link(1);
+  cfg.fabric_link = link(1);
+  const Graph g = build_fat_tree(cfg);
+  const Routing routing(g);
+  // Collect the set of second-hop edges used by flows from different
+  // sources in pod 0 to hosts in other pods; ECMP hashing should use
+  // more than one distinct uplink overall.
+  std::set<EdgeId> uplinks;
+  for (int src = 0; src < 4; ++src)
+    for (int dst = 8; dst < 16; ++dst) {
+      const auto path = routing.path(src, dst);
+      ASSERT_GE(path.size(), 3u);
+      uplinks.insert(path[1]);
+    }
+  EXPECT_GT(uplinks.size(), 1u);
+}
+
+TEST(Routing, DeterministicPaths) {
+  FatTreeConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.host_link = link(1);
+  cfg.fabric_link = link(1);
+  const Graph g = build_fat_tree(cfg);
+  const Routing r1(g);
+  const Routing r2(g);
+  for (int a = 0; a < 16; ++a)
+    for (int b = 0; b < 16; ++b)
+      if (a != b) {
+        EXPECT_EQ(r1.path(a, b), r2.path(a, b));
+      }
+}
+
+TEST(Metrics, TotalCapacityCountsDirectedEdges) {
+  Graph g;
+  const VertexId a = g.add_host();
+  const VertexId b = g.add_host();
+  g.add_duplex_link(a, b, link(2));
+  EXPECT_NEAR(4.0 * kGB, total_capacity(g), 1e-3);
+}
+
+}  // namespace
+}  // namespace hpcx::topo

@@ -1,0 +1,89 @@
+// k-ary n-cube torus builder: structure, routing distances, bisection.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "topology/metrics.hpp"
+#include "topology/routing.hpp"
+#include "topology/torus.hpp"
+
+namespace hpcx::topo {
+namespace {
+
+LinkParams link(double gbps) { return LinkParams{gbps * 1e9, 1e-7}; }
+
+TEST(Torus, DimsForNearCubic) {
+  EXPECT_EQ((std::vector<int>{1, 1, 1}), torus_dims_for(1, 3));
+  EXPECT_EQ((std::vector<int>{2, 2, 2}), torus_dims_for(8, 3));
+  EXPECT_EQ((std::vector<int>{3, 2, 2}), torus_dims_for(9, 3));
+  EXPECT_EQ((std::vector<int>{4, 4, 4, 4}), torus_dims_for(256, 4));
+  EXPECT_EQ((std::vector<int>{16}), torus_dims_for(16, 1));
+}
+
+TEST(Torus, RingCableCount) {
+  // A k-ring has k cables for k > 2, one cable for k == 2.
+  TorusConfig cfg;
+  cfg.dims = {5};
+  cfg.num_hosts = 5;
+  cfg.host_link = link(1);
+  cfg.torus_link = link(1);
+  const Graph ring5 = build_torus(cfg);
+  // 5 ring cables + 5 host cables, each duplex = 2 directed edges.
+  EXPECT_EQ(2u * (5 + 5), ring5.num_edges());
+
+  cfg.dims = {2};
+  cfg.num_hosts = 2;
+  const Graph ring2 = build_torus(cfg);
+  EXPECT_EQ(2u * (1 + 2), ring2.num_edges());
+}
+
+TEST(Torus, RoutingUsesWrapAround) {
+  // On an 8-ring, host 0 -> host 7 is one hop via the wrap cable, not 7.
+  TorusConfig cfg;
+  cfg.dims = {8};
+  cfg.num_hosts = 8;
+  cfg.host_link = link(1);
+  cfg.torus_link = link(1);
+  const Graph g = build_torus(cfg);
+  const Routing routing(g);
+  EXPECT_EQ(2 + 1, routing.distance(0, 7));
+  EXPECT_EQ(2 + 4, routing.distance(0, 4));  // antipode
+}
+
+TEST(Torus, ThreeDimensionalDistances) {
+  TorusConfig cfg;
+  cfg.dims = {4, 4, 4};
+  cfg.num_hosts = 64;
+  cfg.host_link = link(10);
+  cfg.torus_link = link(1);
+  const Graph g = build_torus(cfg);
+  const Routing routing(g);
+  // Manhattan-with-wrap distance plus the two host hops.
+  EXPECT_EQ(2 + 1, routing.distance(0, 1));
+  EXPECT_EQ(2 + 2, routing.distance(0, 2));   // wrap or direct: 2 hops
+  EXPECT_EQ(2 + 6, routing.distance(0, 42));  // coords (2,2,2): 2 hops/dim
+}
+
+TEST(Torus, BisectionOfRingIsTwoLinks) {
+  TorusConfig cfg;
+  cfg.dims = {8};
+  cfg.num_hosts = 8;
+  cfg.host_link = link(10);
+  cfg.torus_link = link(1);
+  // Cutting a ring severs exactly two cables (duplex: 2 GB/s across).
+  EXPECT_NEAR(2e9, bisection_bandwidth(build_torus(cfg)), 1e-3);
+}
+
+TEST(Torus, RejectsBadConfig) {
+  TorusConfig cfg;
+  cfg.dims = {};
+  cfg.num_hosts = 1;
+  cfg.host_link = link(1);
+  cfg.torus_link = link(1);
+  EXPECT_THROW(build_torus(cfg), ConfigError);
+  cfg.dims = {2, 2};
+  cfg.num_hosts = 5;  // more hosts than routers
+  EXPECT_THROW(build_torus(cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace hpcx::topo

@@ -1,0 +1,115 @@
+// dist_transpose (the communication core of PTRANS and the six-step
+// FFT), plus hpl_grid factorisation.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <tuple>
+#include <vector>
+
+#include "hpcc/hpl_dist.hpp"
+#include "hpcc/transpose.hpp"
+#include "test_util.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::hpcc {
+namespace {
+
+std::string name_prc(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  const auto [np, r, c] = info.param;
+  return "p" + std::to_string(np) + "r" + std::to_string(r) + "c" +
+         std::to_string(c);
+}
+
+class TransposeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TransposeTest, RoundTripAndElementPlacement) {
+  const auto [np, rows, cols] = GetParam();
+  xmpi::run_on_threads(np, [&, rows = rows, cols = cols](xmpi::Comm& comm) {
+    const std::size_t ur = static_cast<std::size_t>(rows);
+    const std::size_t uc = static_cast<std::size_t>(cols);
+    const std::size_t lr = ur / static_cast<std::size_t>(comm.size());
+    const std::size_t row0 = lr * static_cast<std::size_t>(comm.rank());
+    // in[r][c] = 1000*r + c (global indices).
+    std::vector<double> in(lr * uc);
+    for (std::size_t r = 0; r < lr; ++r)
+      for (std::size_t c = 0; c < uc; ++c)
+        in[r * uc + c] = 1000.0 * static_cast<double>(row0 + r) +
+                         static_cast<double>(c);
+    std::vector<double> out;
+    dist_transpose(comm, in, out, ur, uc);
+    // out holds rows of the transpose: out[c][r] = in[r][c].
+    const std::size_t lc = uc / static_cast<std::size_t>(comm.size());
+    const std::size_t col0 = lc * static_cast<std::size_t>(comm.rank());
+    ASSERT_EQ(lc * ur, out.size());
+    for (std::size_t c = 0; c < lc; ++c)
+      for (std::size_t r = 0; r < ur; ++r)
+        ASSERT_DOUBLE_EQ(1000.0 * static_cast<double>(r) +
+                             static_cast<double>(col0 + c),
+                         out[c * ur + r]);
+    // Transposing back must reproduce the input.
+    std::vector<double> back;
+    dist_transpose(comm, out, back, uc, ur);
+    ASSERT_EQ(in.size(), back.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      ASSERT_DOUBLE_EQ(in[i], back[i]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeTest,
+    ::testing::Values(std::make_tuple(1, 4, 4), std::make_tuple(2, 4, 6),
+                      std::make_tuple(2, 8, 2), std::make_tuple(3, 6, 9),
+                      std::make_tuple(4, 8, 8), std::make_tuple(4, 16, 4)),
+    name_prc);
+
+TEST(Transpose, ComplexElementsSupported) {
+  xmpi::run_on_threads(2, [](xmpi::Comm& comm) {
+    using C = std::complex<double>;
+    const std::size_t lr = 2, cols = 4, rows = 4;
+    const std::size_t row0 = lr * static_cast<std::size_t>(comm.rank());
+    std::vector<C> in(lr * cols);
+    for (std::size_t r = 0; r < lr; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        in[r * cols + c] = C(static_cast<double>(row0 + r),
+                             static_cast<double>(c));
+    std::vector<C> out;
+    dist_transpose(comm, in, out, rows, cols);
+    const std::size_t lc = cols / 2;
+    const std::size_t col0 = lc * static_cast<std::size_t>(comm.rank());
+    for (std::size_t c = 0; c < lc; ++c)
+      for (std::size_t r = 0; r < rows; ++r)
+        ASSERT_EQ(C(static_cast<double>(r), static_cast<double>(col0 + c)),
+                  out[c * rows + r]);
+  });
+}
+
+TEST(Transpose, IndivisibleDimsThrow) {
+  xmpi::run_on_threads(3, [](xmpi::Comm& comm) {
+    std::vector<double> in, out;
+    EXPECT_THROW(dist_transpose(comm, in, out, 4, 6), ConfigError);
+  });
+}
+
+TEST(HplGrid, NearSquareFactorisation) {
+  EXPECT_EQ(std::make_pair(1, 1), hpl_grid(1));
+  EXPECT_EQ(std::make_pair(1, 2), hpl_grid(2));
+  EXPECT_EQ(std::make_pair(2, 2), hpl_grid(4));
+  EXPECT_EQ(std::make_pair(1, 7), hpl_grid(7));  // prime: 1 x p
+  EXPECT_EQ(std::make_pair(8, 8), hpl_grid(64));
+  EXPECT_EQ(std::make_pair(16, 32), hpl_grid(512));
+  EXPECT_EQ(std::make_pair(24, 24), hpl_grid(576));
+  EXPECT_EQ(std::make_pair(44, 46), hpl_grid(2024));
+}
+
+TEST(HplGrid, AlwaysMultipliesBack) {
+  for (int np = 1; np <= 600; ++np) {
+    const auto [pr, pc] = hpl_grid(np);
+    EXPECT_EQ(np, pr * pc) << np;
+    EXPECT_LE(pr, pc) << np;
+  }
+}
+
+}  // namespace
+}  // namespace hpcx::hpcc

@@ -1,0 +1,225 @@
+// Point-to-point semantics, phantom payloads, sub-communicators, and
+// simulator determinism at the xmpi level.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "machine/registry.hpp"
+#include "test_util.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/sub_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+using test::Backend;
+using test::run_world;
+using xmpi::cbuf;
+using xmpi::Comm;
+using xmpi::mbuf;
+
+class P2PTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(P2PTest, SendRecvMovesData) {
+  run_world(GetParam(), 2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data{1.5, 2.5, 3.5};
+      c.send(1, 7, cbuf(std::span<const double>(data)));
+    } else {
+      std::vector<double> data(3, 0.0);
+      c.recv(0, 7, mbuf(std::span<double>(data)));
+      EXPECT_EQ((std::vector<double>{1.5, 2.5, 3.5}), data);
+    }
+  });
+}
+
+TEST_P(P2PTest, FifoOrderPerSourceAndTag) {
+  run_world(GetParam(), 2, [](Comm& c) {
+    constexpr int kN = 20;
+    if (c.rank() == 0) {
+      for (std::int32_t i = 0; i < kN; ++i)
+        c.send(1, 3, cbuf(std::span<const std::int32_t>(&i, 1)));
+    } else {
+      for (std::int32_t i = 0; i < kN; ++i) {
+        std::int32_t got = -1;
+        c.recv(0, 3, mbuf(std::span<std::int32_t>(&got, 1)));
+        EXPECT_EQ(i, got);
+      }
+    }
+  });
+}
+
+TEST_P(P2PTest, TagsSelectMessagesOutOfOrder) {
+  run_world(GetParam(), 2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::int32_t a = 10, b = 20;
+      c.send(1, 1, cbuf(std::span<const std::int32_t>(&a, 1)));
+      c.send(1, 2, cbuf(std::span<const std::int32_t>(&b, 1)));
+    } else {
+      std::int32_t x = 0, y = 0;
+      c.recv(0, 2, mbuf(std::span<std::int32_t>(&y, 1)));  // tag 2 first
+      c.recv(0, 1, mbuf(std::span<std::int32_t>(&x, 1)));
+      EXPECT_EQ(10, x);
+      EXPECT_EQ(20, y);
+    }
+  });
+}
+
+TEST_P(P2PTest, SendrecvRingDoesNotDeadlock) {
+  run_world(GetParam(), 5, [](Comm& c) {
+    const int n = c.size();
+    const std::int32_t mine = c.rank();
+    std::int32_t got = -1;
+    c.sendrecv((c.rank() + 1) % n, 9, cbuf(std::span<const std::int32_t>(&mine, 1)),
+               (c.rank() + n - 1) % n, 9, mbuf(std::span<std::int32_t>(&got, 1)));
+    EXPECT_EQ((c.rank() + n - 1) % n, got);
+  });
+}
+
+TEST_P(P2PTest, SizeMismatchThrows) {
+  EXPECT_THROW(
+      run_world(GetParam(), 2,
+                [](Comm& c) {
+                  if (c.rank() == 0) {
+                    std::vector<double> d(4, 1.0);
+                    c.send(1, 0, cbuf(std::span<const double>(d)));
+                  } else {
+                    std::vector<double> d(3, 0.0);
+                    c.recv(0, 0, mbuf(std::span<double>(d)));
+                  }
+                }),
+      CommError);
+}
+
+TEST_P(P2PTest, PhantomRealMixThrows) {
+  EXPECT_THROW(
+      run_world(GetParam(), 2,
+                [](Comm& c) {
+                  if (c.rank() == 0) {
+                    c.send(1, 0, xmpi::phantom_cbuf(64));
+                  } else {
+                    std::vector<unsigned char> d(64);
+                    c.recv(0, 0, xmpi::mbuf_bytes(d.data(), d.size()));
+                  }
+                }),
+      CommError);
+}
+
+TEST_P(P2PTest, InvalidPeerThrows) {
+  EXPECT_THROW(run_world(GetParam(), 2,
+                         [](Comm& c) {
+                           if (c.rank() == 0)
+                             c.send(5, 0, xmpi::phantom_cbuf(1));
+                         }),
+               CommError);
+}
+
+TEST_P(P2PTest, PhantomTrafficFlows) {
+  run_world(GetParam(), 2, [](Comm& c) {
+    if (c.rank() == 0)
+      c.send(1, 0, xmpi::phantom_cbuf(1 << 20));
+    else
+      c.recv(0, 0, xmpi::phantom_mbuf(1 << 20));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, P2PTest,
+                         ::testing::Values(Backend::kThreads, Backend::kSim),
+                         [](const auto& info) {
+                           return std::string(test::to_string(info.param));
+                         });
+
+TEST(SubComm, RowColumnGridCollectives) {
+  // 2x3 grid: rows {0,1,2},{3,4,5}; columns {0,3},{1,4},{2,5}.
+  run_world(Backend::kThreads, 6, [](Comm& c) {
+    const int row = c.rank() / 3;
+    const int col = c.rank() % 3;
+    std::vector<int> row_members, col_members;
+    for (int j = 0; j < 3; ++j) row_members.push_back(row * 3 + j);
+    for (int i = 0; i < 2; ++i) col_members.push_back(i * 3 + col);
+    xmpi::SubComm row_comm(c, row_members, 1 + row);
+    xmpi::SubComm col_comm(c, col_members, 3 + col);
+    EXPECT_EQ(col, row_comm.rank());
+    EXPECT_EQ(row, col_comm.rank());
+
+    double v = static_cast<double>(c.rank());
+    double row_sum = 0, col_sum = 0;
+    row_comm.allreduce(cbuf(std::span<const double>(&v, 1)),
+                       mbuf(std::span<double>(&row_sum, 1)), xmpi::ROp::kSum);
+    col_comm.allreduce(cbuf(std::span<const double>(&v, 1)),
+                       mbuf(std::span<double>(&col_sum, 1)), xmpi::ROp::kSum);
+    EXPECT_DOUBLE_EQ(row == 0 ? 3.0 : 12.0, row_sum);
+    EXPECT_DOUBLE_EQ(static_cast<double>(col + col + 3), col_sum);
+  });
+}
+
+TEST(SubComm, NonMemberConstructionThrows) {
+  run_world(Backend::kThreads, 2, [](Comm& c) {
+    if (c.rank() == 1) {
+      EXPECT_THROW(xmpi::SubComm(c, {0}, 1), ConfigError);
+    } else {
+      xmpi::SubComm self(c, {0}, 1);
+      EXPECT_EQ(1, self.size());
+    }
+  });
+}
+
+TEST(SimBackend, DeterministicMakespan) {
+  auto once = [] {
+    return xmpi::run_on_machine(mach::nec_sx8(), 32, [](Comm& c) {
+      std::vector<double> s(1000, static_cast<double>(c.rank()));
+      std::vector<double> r(1000);
+      for (int i = 0; i < 3; ++i)
+        c.allreduce(cbuf(std::span<const double>(s)),
+                    mbuf(std::span<double>(r)), xmpi::ROp::kSum);
+    });
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // bit-identical
+  EXPECT_EQ(a.internode_messages, b.internode_messages);
+  EXPECT_GT(a.makespan_s, 0.0);
+  EXPECT_GT(a.internode_messages, 0u);
+}
+
+TEST(SimBackend, ComputeAdvancesVirtualTime) {
+  const auto r = xmpi::run_on_machine(mach::dell_xeon(), 1, [](Comm& c) {
+    const double t0 = c.now();
+    c.compute(1.25);
+    EXPECT_DOUBLE_EQ(t0 + 1.25, c.now());
+  });
+  EXPECT_DOUBLE_EQ(1.25, r.makespan_s);
+}
+
+TEST(SimBackend, IntraNodeCheaperThanInterNode) {
+  // Ranks 0,1 share a Dell Xeon node; ranks 0,2 do not.
+  auto ping = [](int peer) {
+    return xmpi::run_on_machine(mach::dell_xeon(), 4, [peer](Comm& c) {
+      std::vector<unsigned char> buf(1 << 20);
+      if (c.rank() == 0) {
+        c.send(peer, 0, xmpi::cbuf_bytes(buf.data(), buf.size()));
+        c.recv(peer, 1, xmpi::mbuf_bytes(buf.data(), buf.size()));
+      } else if (c.rank() == peer) {
+        c.recv(0, 0, xmpi::mbuf_bytes(buf.data(), buf.size()));
+        c.send(0, 1, xmpi::cbuf_bytes(buf.data(), buf.size()));
+      }
+    });
+  };
+  EXPECT_LT(ping(1).makespan_s, ping(2).makespan_s);
+}
+
+TEST(SimBackend, MoreRanksMoreBarrierTime) {
+  auto barrier_time = [](int n) {
+    const auto r = xmpi::run_on_machine(mach::dell_xeon(), n,
+                                        [](Comm& c) { c.barrier(); });
+    return r.makespan_s;
+  };
+  EXPECT_LT(barrier_time(2), barrier_time(8));
+  EXPECT_LT(barrier_time(8), barrier_time(64));
+}
+
+}  // namespace
+}  // namespace hpcx

@@ -1,0 +1,190 @@
+// hpcx — command-line front end: run any benchmark of either suite on
+// any modelled machine (or on real host threads) without writing code.
+//
+//   hpcx_cli --list-machines
+//   hpcx_cli --machine sx8 --cpus 64 --suite hpcc
+//   hpcx_cli --machine altix_bx2 --cpus 128 --suite imb --benchmark Alltoall
+//   hpcx_cli --machine dell_xeon --cpus 32 --suite imb --msg-bytes 65536
+//   hpcx_cli --threads 4 --suite hpcc            # real execution
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/future.hpp"
+#include "machine/registry.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace {
+
+using namespace hpcx;
+
+void usage() {
+  std::printf(
+      "usage: hpcx_cli [options]\n"
+      "  --list-machines          list modelled machines and exit\n"
+      "  --machine <name>         simulated machine (default: sx8)\n"
+      "  --cpus <n>               CPU count (default: 64)\n"
+      "  --threads <n>            run for REAL on n host threads instead\n"
+      "  --suite hpcc|imb         which suite (default: imb)\n"
+      "  --benchmark <name>       one IMB benchmark (default: all)\n"
+      "  --msg-bytes <n>          IMB message size (default: 1048576)\n");
+}
+
+std::vector<mach::MachineConfig> every_machine() {
+  auto all = mach::all_machines();
+  for (auto& m : mach::future_machines()) all.push_back(std::move(m));
+  return all;
+}
+
+mach::MachineConfig find_machine(const std::string& key) {
+  for (auto& m : every_machine())
+    if (m.short_name == key) return m;
+  throw ConfigError("unknown machine: " + key +
+                    " (try --list-machines)");
+}
+
+int list_machines() {
+  Table t("Modelled machines (paper systems, variants, and the paper's "
+          "projected future systems)");
+  t.set_header({"key", "name", "network", "CPUs/node", "max CPUs",
+                "peak/CPU"});
+  for (const auto& m : every_machine())
+    t.add_row({m.short_name, m.name, m.network_name,
+               std::to_string(m.cpus_per_node), std::to_string(m.max_cpus),
+               format_flops(m.proc.peak_flops())});
+  t.print(std::cout);
+  return 0;
+}
+
+std::optional<imb::BenchmarkId> benchmark_by_name(const std::string& name) {
+  for (const auto id : imb::all_benchmarks())
+    if (name == imb::to_string(id)) return id;
+  return std::nullopt;
+}
+
+int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
+            const std::optional<imb::BenchmarkId>& only,
+            std::size_t msg_bytes) {
+  const std::string where =
+      machine ? machine->name : std::to_string(cpus) + " host threads";
+  Table t("IMB (" + std::string(format_bytes(msg_bytes)) + ") on " + where +
+          ", " + std::to_string(cpus) + " CPUs");
+  t.set_header({"benchmark", "t_min", "t_avg", "t_max", "bandwidth"});
+  for (const auto id : imb::all_benchmarks()) {
+    if (only && id != *only) continue;
+    imb::ImbResult r;
+    auto body = [&](xmpi::Comm& c) {
+      imb::ImbParams params;
+      params.msg_bytes = id == imb::BenchmarkId::kBarrier ? 0 : msg_bytes;
+      params.phantom = machine.has_value();
+      const auto res = imb::run_benchmark(id, c, params);
+      if (c.rank() == 0) r = res;
+    };
+    if (machine)
+      xmpi::run_on_machine(*machine, cpus, body);
+    else
+      xmpi::run_on_threads(cpus, body);
+    t.add_row({imb::to_string(id), format_time(r.t_min_s),
+               format_time(r.t_avg_s), format_time(r.t_max_s),
+               r.bandwidth_Bps > 0 ? format_bandwidth(r.bandwidth_Bps)
+                                   : std::string("-")});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int run_hpcc(const std::optional<mach::MachineConfig>& machine, int cpus) {
+  const hpcc::HpccReport r = machine ? hpcc::run_hpcc_sim(*machine, cpus)
+                                     : hpcc::run_hpcc_real(cpus);
+  const std::string where =
+      machine ? machine->name : std::to_string(cpus) + " host threads";
+  Table t("HPC Challenge on " + where + ", " + std::to_string(cpus) +
+          " CPUs");
+  t.set_header({"metric", "value"});
+  t.add_row({"G-HPL", format_flops(r.g_hpl_flops)});
+  t.add_row({"G-PTRANS", format_bandwidth(r.g_ptrans_Bps)});
+  t.add_row({"G-RandomAccess",
+             format_fixed(r.g_gups / 1e9, 4) + " GUP/s"});
+  t.add_row({"G-FFT", format_flops(r.g_fft_flops)});
+  t.add_row({"EP-STREAM copy (per CPU)",
+             format_bandwidth(r.ep_stream_copy_Bps)});
+  t.add_row({"EP-DGEMM (per CPU)", format_flops(r.ep_dgemm_flops)});
+  t.add_row({"RandomRing BW (per CPU)", format_bandwidth(r.ring_bw_Bps)});
+  t.add_row({"RandomRing latency", format_time(r.ring_latency_s)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine_name = "sx8";
+  std::string suite = "imb";
+  std::string benchmark;
+  int cpus = 64;
+  bool real_threads = false;
+  std::size_t msg_bytes = 1 << 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-machines") return list_machines();
+    if (arg == "--machine") {
+      machine_name = next();
+    } else if (arg == "--cpus") {
+      cpus = std::atoi(next());
+    } else if (arg == "--threads") {
+      cpus = std::atoi(next());
+      real_threads = true;
+    } else if (arg == "--suite") {
+      suite = next();
+    } else if (arg == "--benchmark") {
+      benchmark = next();
+    } else if (arg == "--msg-bytes") {
+      msg_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    std::optional<hpcx::mach::MachineConfig> machine;
+    if (!real_threads) machine = find_machine(machine_name);
+    if (suite == "hpcc") return run_hpcc(machine, cpus);
+    if (suite == "imb") {
+      std::optional<hpcx::imb::BenchmarkId> only;
+      if (!benchmark.empty()) {
+        only = benchmark_by_name(benchmark);
+        if (!only) {
+          std::fprintf(stderr, "unknown IMB benchmark: %s\n",
+                       benchmark.c_str());
+          return 2;
+        }
+      }
+      return run_imb(machine, cpus, only, msg_bytes);
+    }
+    std::fprintf(stderr, "unknown suite: %s\n", suite.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
