@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_future_machines.dir/ext_future_machines.cpp.o"
+  "CMakeFiles/ext_future_machines.dir/ext_future_machines.cpp.o.d"
+  "ext_future_machines"
+  "ext_future_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_future_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

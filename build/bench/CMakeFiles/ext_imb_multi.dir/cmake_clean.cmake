@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_imb_multi.dir/ext_imb_multi.cpp.o"
+  "CMakeFiles/ext_imb_multi.dir/ext_imb_multi.cpp.o.d"
+  "ext_imb_multi"
+  "ext_imb_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_imb_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

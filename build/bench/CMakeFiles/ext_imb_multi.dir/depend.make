@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_imb_multi.
+# This may be replaced when dependencies are built.

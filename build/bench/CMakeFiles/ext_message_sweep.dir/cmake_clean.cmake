@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_message_sweep.dir/ext_message_sweep.cpp.o"
+  "CMakeFiles/ext_message_sweep.dir/ext_message_sweep.cpp.o.d"
+  "ext_message_sweep"
+  "ext_message_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_message_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

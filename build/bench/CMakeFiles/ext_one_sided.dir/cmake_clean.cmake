@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_one_sided.dir/ext_one_sided.cpp.o"
+  "CMakeFiles/ext_one_sided.dir/ext_one_sided.cpp.o.d"
+  "ext_one_sided"
+  "ext_one_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_one_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_one_sided.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_ring_vs_hpl.dir/fig01_02_ring_vs_hpl.cpp.o"
+  "CMakeFiles/fig01_02_ring_vs_hpl.dir/fig01_02_ring_vs_hpl.cpp.o.d"
+  "fig01_02_ring_vs_hpl"
+  "fig01_02_ring_vs_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_ring_vs_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

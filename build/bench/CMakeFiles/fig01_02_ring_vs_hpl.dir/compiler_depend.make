@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_02_ring_vs_hpl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_04_stream_vs_hpl.dir/fig03_04_stream_vs_hpl.cpp.o"
+  "CMakeFiles/fig03_04_stream_vs_hpl.dir/fig03_04_stream_vs_hpl.cpp.o.d"
+  "fig03_04_stream_vs_hpl"
+  "fig03_04_stream_vs_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_04_stream_vs_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

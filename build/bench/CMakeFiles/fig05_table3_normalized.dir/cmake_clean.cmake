@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_table3_normalized.dir/fig05_table3_normalized.cpp.o"
+  "CMakeFiles/fig05_table3_normalized.dir/fig05_table3_normalized.cpp.o.d"
+  "fig05_table3_normalized"
+  "fig05_table3_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_table3_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_allreduce.dir/fig07_allreduce.cpp.o"
+  "CMakeFiles/fig07_allreduce.dir/fig07_allreduce.cpp.o.d"
+  "fig07_allreduce"
+  "fig07_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

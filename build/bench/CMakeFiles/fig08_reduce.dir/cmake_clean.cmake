@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_reduce.dir/fig08_reduce.cpp.o"
+  "CMakeFiles/fig08_reduce.dir/fig08_reduce.cpp.o.d"
+  "fig08_reduce"
+  "fig08_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

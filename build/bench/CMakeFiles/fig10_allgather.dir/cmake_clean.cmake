@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_allgather.dir/fig10_allgather.cpp.o"
+  "CMakeFiles/fig10_allgather.dir/fig10_allgather.cpp.o.d"
+  "fig10_allgather"
+  "fig10_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_allgatherv.dir/fig11_allgatherv.cpp.o"
+  "CMakeFiles/fig11_allgatherv.dir/fig11_allgatherv.cpp.o.d"
+  "fig11_allgatherv"
+  "fig11_allgatherv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_allgatherv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

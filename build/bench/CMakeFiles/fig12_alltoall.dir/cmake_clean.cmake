@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_alltoall.dir/fig12_alltoall.cpp.o"
+  "CMakeFiles/fig12_alltoall.dir/fig12_alltoall.cpp.o.d"
+  "fig12_alltoall"
+  "fig12_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

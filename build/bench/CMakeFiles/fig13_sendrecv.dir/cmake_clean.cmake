@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sendrecv.dir/fig13_sendrecv.cpp.o"
+  "CMakeFiles/fig13_sendrecv.dir/fig13_sendrecv.cpp.o.d"
+  "fig13_sendrecv"
+  "fig13_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_exchange.dir/fig14_exchange.cpp.o"
+  "CMakeFiles/fig14_exchange.dir/fig14_exchange.cpp.o.d"
+  "fig14_exchange"
+  "fig14_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

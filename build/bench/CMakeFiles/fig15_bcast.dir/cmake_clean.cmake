@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bcast.dir/fig15_bcast.cpp.o"
+  "CMakeFiles/fig15_bcast.dir/fig15_bcast.cpp.o.d"
+  "fig15_bcast"
+  "fig15_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_your_cluster.dir/design_your_cluster.cpp.o"
+  "CMakeFiles/design_your_cluster.dir/design_your_cluster.cpp.o.d"
+  "design_your_cluster"
+  "design_your_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_your_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_poisson.dir/fft_poisson.cpp.o"
+  "CMakeFiles/fft_poisson.dir/fft_poisson.cpp.o.d"
+  "fft_poisson"
+  "fft_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/hpcx.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/hpcx.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/CMakeFiles/hpcx.dir/core/table.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/core/table.cpp.o.d"
+  "/root/repo/src/core/units.cpp" "src/CMakeFiles/hpcx.dir/core/units.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/core/units.cpp.o.d"
+  "/root/repo/src/des/event_queue.cpp" "src/CMakeFiles/hpcx.dir/des/event_queue.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/des/event_queue.cpp.o.d"
+  "/root/repo/src/des/fiber.cpp" "src/CMakeFiles/hpcx.dir/des/fiber.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/des/fiber.cpp.o.d"
+  "/root/repo/src/des/simulator.cpp" "src/CMakeFiles/hpcx.dir/des/simulator.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/des/simulator.cpp.o.d"
+  "/root/repo/src/des/sync.cpp" "src/CMakeFiles/hpcx.dir/des/sync.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/des/sync.cpp.o.d"
+  "/root/repo/src/hpcc/dgemm.cpp" "src/CMakeFiles/hpcx.dir/hpcc/dgemm.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/dgemm.cpp.o.d"
+  "/root/repo/src/hpcc/driver.cpp" "src/CMakeFiles/hpcx.dir/hpcc/driver.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/driver.cpp.o.d"
+  "/root/repo/src/hpcc/fft.cpp" "src/CMakeFiles/hpcx.dir/hpcc/fft.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/fft.cpp.o.d"
+  "/root/repo/src/hpcc/fft_dist.cpp" "src/CMakeFiles/hpcx.dir/hpcc/fft_dist.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/fft_dist.cpp.o.d"
+  "/root/repo/src/hpcc/hpl.cpp" "src/CMakeFiles/hpcx.dir/hpcc/hpl.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/hpl.cpp.o.d"
+  "/root/repo/src/hpcc/hpl_dist.cpp" "src/CMakeFiles/hpcx.dir/hpcc/hpl_dist.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/hpl_dist.cpp.o.d"
+  "/root/repo/src/hpcc/ptrans.cpp" "src/CMakeFiles/hpcx.dir/hpcc/ptrans.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/ptrans.cpp.o.d"
+  "/root/repo/src/hpcc/random_access.cpp" "src/CMakeFiles/hpcx.dir/hpcc/random_access.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/random_access.cpp.o.d"
+  "/root/repo/src/hpcc/ring.cpp" "src/CMakeFiles/hpcx.dir/hpcc/ring.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/ring.cpp.o.d"
+  "/root/repo/src/hpcc/stream.cpp" "src/CMakeFiles/hpcx.dir/hpcc/stream.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/hpcc/stream.cpp.o.d"
+  "/root/repo/src/imb/benchmarks.cpp" "src/CMakeFiles/hpcx.dir/imb/benchmarks.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/imb/benchmarks.cpp.o.d"
+  "/root/repo/src/imb/imb.cpp" "src/CMakeFiles/hpcx.dir/imb/imb.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/imb/imb.cpp.o.d"
+  "/root/repo/src/machine/future.cpp" "src/CMakeFiles/hpcx.dir/machine/future.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/machine/future.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/hpcx.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/memory.cpp" "src/CMakeFiles/hpcx.dir/machine/memory.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/machine/memory.cpp.o.d"
+  "/root/repo/src/machine/processor.cpp" "src/CMakeFiles/hpcx.dir/machine/processor.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/machine/processor.cpp.o.d"
+  "/root/repo/src/machine/registry.cpp" "src/CMakeFiles/hpcx.dir/machine/registry.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/machine/registry.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/CMakeFiles/hpcx.dir/netsim/network.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/netsim/network.cpp.o.d"
+  "/root/repo/src/report/figures.cpp" "src/CMakeFiles/hpcx.dir/report/figures.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/report/figures.cpp.o.d"
+  "/root/repo/src/report/hpcc_figures.cpp" "src/CMakeFiles/hpcx.dir/report/hpcc_figures.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/report/hpcc_figures.cpp.o.d"
+  "/root/repo/src/report/series.cpp" "src/CMakeFiles/hpcx.dir/report/series.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/report/series.cpp.o.d"
+  "/root/repo/src/topology/clos.cpp" "src/CMakeFiles/hpcx.dir/topology/clos.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/clos.cpp.o.d"
+  "/root/repo/src/topology/crossbar.cpp" "src/CMakeFiles/hpcx.dir/topology/crossbar.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/crossbar.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/CMakeFiles/hpcx.dir/topology/fat_tree.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/hpcx.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/hpcx.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/metrics.cpp" "src/CMakeFiles/hpcx.dir/topology/metrics.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/metrics.cpp.o.d"
+  "/root/repo/src/topology/routing.cpp" "src/CMakeFiles/hpcx.dir/topology/routing.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/routing.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/CMakeFiles/hpcx.dir/topology/torus.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/topology/torus.cpp.o.d"
+  "/root/repo/src/xmpi/collectives.cpp" "src/CMakeFiles/hpcx.dir/xmpi/collectives.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/collectives.cpp.o.d"
+  "/root/repo/src/xmpi/comm.cpp" "src/CMakeFiles/hpcx.dir/xmpi/comm.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/comm.cpp.o.d"
+  "/root/repo/src/xmpi/one_sided.cpp" "src/CMakeFiles/hpcx.dir/xmpi/one_sided.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/one_sided.cpp.o.d"
+  "/root/repo/src/xmpi/reduce_ops.cpp" "src/CMakeFiles/hpcx.dir/xmpi/reduce_ops.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/reduce_ops.cpp.o.d"
+  "/root/repo/src/xmpi/sim_comm.cpp" "src/CMakeFiles/hpcx.dir/xmpi/sim_comm.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/sim_comm.cpp.o.d"
+  "/root/repo/src/xmpi/sub_comm.cpp" "src/CMakeFiles/hpcx.dir/xmpi/sub_comm.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/sub_comm.cpp.o.d"
+  "/root/repo/src/xmpi/thread_comm.cpp" "src/CMakeFiles/hpcx.dir/xmpi/thread_comm.cpp.o" "gcc" "src/CMakeFiles/hpcx.dir/xmpi/thread_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_machines_test.dir/future_machines_test.cpp.o"
+  "CMakeFiles/future_machines_test.dir/future_machines_test.cpp.o.d"
+  "future_machines_test"
+  "future_machines_test.pdb"
+  "future_machines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_machines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

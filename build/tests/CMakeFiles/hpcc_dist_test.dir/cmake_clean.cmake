@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_dist_test.dir/hpcc_dist_test.cpp.o"
+  "CMakeFiles/hpcc_dist_test.dir/hpcc_dist_test.cpp.o.d"
+  "hpcc_dist_test"
+  "hpcc_dist_test.pdb"
+  "hpcc_dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_kernels_test.dir/hpcc_kernels_test.cpp.o"
+  "CMakeFiles/hpcc_kernels_test.dir/hpcc_kernels_test.cpp.o.d"
+  "hpcc_kernels_test"
+  "hpcc_kernels_test.pdb"
+  "hpcc_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

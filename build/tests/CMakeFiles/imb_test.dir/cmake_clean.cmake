@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imb_test.dir/imb_test.cpp.o"
+  "CMakeFiles/imb_test.dir/imb_test.cpp.o.d"
+  "imb_test"
+  "imb_test.pdb"
+  "imb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

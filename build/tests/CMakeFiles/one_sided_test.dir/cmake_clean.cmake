@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_sided_test.dir/one_sided_test.cpp.o"
+  "CMakeFiles/one_sided_test.dir/one_sided_test.cpp.o.d"
+  "one_sided_test"
+  "one_sided_test.pdb"
+  "one_sided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_sided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_test.dir/torus_test.cpp.o"
+  "CMakeFiles/torus_test.dir/torus_test.cpp.o.d"
+  "torus_test"
+  "torus_test.pdb"
+  "torus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

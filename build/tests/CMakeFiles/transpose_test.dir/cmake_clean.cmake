@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_test.dir/transpose_test.cpp.o"
+  "CMakeFiles/transpose_test.dir/transpose_test.cpp.o.d"
+  "transpose_test"
+  "transpose_test.pdb"
+  "transpose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcx_cli.dir/hpcx_cli.cpp.o"
+  "CMakeFiles/hpcx_cli.dir/hpcx_cli.cpp.o.d"
+  "hpcx_cli"
+  "hpcx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
