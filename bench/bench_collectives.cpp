@@ -1,73 +1,129 @@
-// Real-execution collective benchmarks over the thread backend: measures
-// this host's shared-memory runtime (useful as a sanity floor and as a
-// demonstration that the same code path the simulator times also runs
-// for real).
-#include <benchmark/benchmark.h>
-
+// Collective micro-benchmarks over the thread backend: measures this
+// host's shared-memory runtime (a sanity floor, and a demonstration that
+// the same code path the simulator times also runs for real). With
+// --machine the same measurements run on the simulated machine instead,
+// in virtual time. --trace-out writes a Chrome/Perfetto trace of one
+// combined run at the largest measured rank count.
+#include <algorithm>
+#include <functional>
+#include <span>
 #include <vector>
 
+#include "core/units.hpp"
+#include "harness.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
 #include "xmpi/thread_comm.hpp"
 
 namespace {
 
 using hpcx::xmpi::Comm;
 
-void run_collective(benchmark::State& state, int ranks,
-                    const std::function<void(Comm&, std::vector<double>&,
-                                             std::vector<double>&)>& op,
-                    std::size_t count) {
-  for (auto _ : state) {
-    hpcx::xmpi::run_on_threads(ranks, [&](Comm& c) {
-      std::vector<double> send(count, static_cast<double>(c.rank()));
-      std::vector<double> recv(count *
-                               static_cast<std::size_t>(c.size()));
-      for (int i = 0; i < 4; ++i) op(c, send, recv);
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * 4);
+constexpr std::size_t kAllreduceCount = 8192;  // doubles
+constexpr std::size_t kAlltoallBlock = 4096;   // doubles per rank pair
+
+struct Op {
+  const char* name;
+  std::function<void(Comm&)> body;
+};
+
+std::vector<Op> make_ops() {
+  return {
+      {"Allreduce 64 KB",
+       [](Comm& c) {
+         std::vector<double> send(kAllreduceCount,
+                                  static_cast<double>(c.rank()));
+         std::vector<double> recv(kAllreduceCount);
+         c.allreduce(hpcx::xmpi::cbuf(std::span<const double>(send)),
+                     hpcx::xmpi::mbuf(std::span<double>(recv)),
+                     hpcx::xmpi::ROp::kSum);
+       }},
+      {"Alltoall 32 KB/block",
+       [](Comm& c) {
+         const std::size_t total =
+             kAlltoallBlock * static_cast<std::size_t>(c.size());
+         std::vector<double> send(total, 1.0);
+         std::vector<double> recv(total);
+         c.alltoall(hpcx::xmpi::cbuf(std::span<const double>(send)),
+                    hpcx::xmpi::mbuf(std::span<double>(recv)));
+       }},
+      {"Barrier", [](Comm& c) { c.barrier(); }},
+  };
 }
 
-void BM_ThreadAllreduce(benchmark::State& state) {
-  run_collective(
-      state, static_cast<int>(state.range(0)),
-      [](Comm& c, std::vector<double>& s, std::vector<double>& r) {
-        c.allreduce(hpcx::xmpi::cbuf(std::span<const double>(s)),
-                    hpcx::xmpi::mbuf(std::span<double>(r.data(), s.size())),
-                    hpcx::xmpi::ROp::kSum);
-      },
-      8192);
+/// Per-rank body: warm up once, then time `repeats` calls between two
+/// barriers. Works identically in wall-clock and virtual time.
+double timed_run(Comm& c, const Op& op, int repeats) {
+  op.body(c);
+  c.barrier();
+  const double t0 = c.now();
+  for (int i = 0; i < repeats; ++i) op.body(c);
+  c.barrier();
+  return (c.now() - t0) / repeats;
 }
-BENCHMARK(BM_ThreadAllreduce)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_ThreadAlltoall(benchmark::State& state) {
-  const int ranks = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    hpcx::xmpi::run_on_threads(ranks, [&](Comm& c) {
-      const std::size_t per = 4096;
-      std::vector<double> send(per * static_cast<std::size_t>(c.size()),
-                               1.0);
-      std::vector<double> recv(send.size());
-      for (int i = 0; i < 4; ++i)
-        c.alltoall(hpcx::xmpi::cbuf(std::span<const double>(send)),
-                   hpcx::xmpi::mbuf(std::span<double>(recv)));
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * 4);
-}
-BENCHMARK(BM_ThreadAlltoall)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_ThreadBarrier(benchmark::State& state) {
-  const int ranks = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    hpcx::xmpi::run_on_threads(ranks, [](Comm& c) {
-      for (int i = 0; i < 16; ++i) c.barrier();
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * 16);
-}
-BENCHMARK(BM_ThreadBarrier)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(
+      argc, argv,
+      "Collective micro-benchmarks (thread backend; --machine simulates)");
+  const auto& options = runner.options();
+  const bool simulated = runner.has_machine();
+
+  std::vector<int> rank_counts =
+      options.cpus > 0 ? std::vector<int>{options.cpus}
+                       : std::vector<int>{2, 4, 8};
+  const int repeats = std::max(4, options.repeats);
+  const auto ops = make_ops();
+
+  hpcx::Table table(simulated
+                        ? "Collectives on " + runner.machine().name +
+                              " (virtual time)"
+                        : "Collectives on host threads (wall-clock)");
+  std::vector<std::string> header{"ranks"};
+  for (const auto& op : ops) header.push_back(op.name);
+  table.set_header(std::move(header));
+
+  for (const int ranks : rank_counts) {
+    std::vector<double> per_call(ops.size(), 0.0);
+    auto body = [&](Comm& c) {
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const double t = timed_run(c, ops[i], repeats);
+        if (c.rank() == 0) per_call[i] = t;
+      }
+    };
+    if (simulated)
+      hpcx::xmpi::run_on_machine(runner.machine(), ranks, body);
+    else
+      hpcx::xmpi::run_on_threads(ranks, body);
+    std::vector<std::string> row{std::to_string(ranks)};
+    for (const double t : per_call)
+      row.push_back(hpcx::format_fixed(t * 1e6, 2));
+    table.add_row(std::move(row));
+  }
+  table.add_note("cells: us/call, averaged over " + std::to_string(repeats) +
+                 " calls");
+  runner.emit(table);
+
+  if (runner.wants_trace()) {
+    // One combined traced pass at the largest measured rank count.
+    const int ranks = rank_counts.back();
+    hpcx::trace::Recorder recorder(ranks);
+    auto body = [&](Comm& c) {
+      for (const auto& op : ops) timed_run(c, op, repeats);
+    };
+    if (simulated) {
+      hpcx::xmpi::SimRunOptions sim_options;
+      sim_options.recorder = &recorder;
+      hpcx::xmpi::run_on_machine(runner.machine(), ranks, body, sim_options);
+    } else {
+      hpcx::xmpi::ThreadRunOptions thread_options;
+      thread_options.recorder = &recorder;
+      hpcx::xmpi::run_on_threads(ranks, body, thread_options);
+    }
+    runner.write_trace(recorder);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/error.hpp"
+#include "machine/future.hpp"
+#include "machine/registry.hpp"
+#include "report/figures.hpp"
+#include "report/series.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
+
+namespace hpcx::bench {
+
+namespace {
+
+void usage(const std::string& what) {
+  std::printf(
+      "%s\n"
+      "  --machine <name>    one modelled machine (see hpcx_cli "
+      "--list-machines)\n"
+      "  --cpus <n>          one CPU count instead of the default sweep\n"
+      "  --repeats <n>       repetitions per measurement (default 2)\n"
+      "  --csv <file>        also write emitted tables as CSV\n"
+      "  --trace-out <file>  write a Chrome/Perfetto trace of one traced "
+      "run\n"
+      "  --help              this message\n",
+      what.c_str());
+}
+
+}  // namespace
+
+Runner::Runner(int argc, char** argv, std::string what)
+    : what_(std::move(what)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        usage(what_);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--machine") {
+      options_.machine = next();
+    } else if (arg == "--cpus") {
+      options_.cpus = std::atoi(next());
+    } else if (arg == "--repeats") {
+      options_.repeats = std::atoi(next());
+    } else if (arg == "--csv") {
+      options_.csv_path = next();
+    } else if (arg == "--trace-out") {
+      options_.trace_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(what_);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(what_);
+      std::exit(2);
+    }
+  }
+  if (options_.repeats < 1) options_.repeats = 1;
+  if (has_machine()) {
+    try {
+      (void)machine();  // fail fast on a typo'd --machine name
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+  }
+}
+
+mach::MachineConfig Runner::machine() const {
+  for (auto& m : mach::all_machines())
+    if (m.short_name == options_.machine) return m;
+  for (auto& m : mach::future_machines())
+    if (m.short_name == options_.machine) return m;
+  throw ConfigError("unknown machine: " + options_.machine +
+                    " (try hpcx_cli --list-machines)");
+}
+
+void Runner::emit(const Table& table) const {
+  table.print(std::cout);
+  if (options_.csv_path.empty()) return;
+  std::ofstream csv(options_.csv_path, std::ios::app);
+  if (!csv) throw ConfigError("cannot open CSV file: " + options_.csv_path);
+  table.print_csv(csv);
+}
+
+void Runner::write_trace(const trace::Recorder& recorder) const {
+  std::ofstream out(options_.trace_path);
+  if (!out)
+    throw ConfigError("cannot open trace file: " + options_.trace_path);
+  trace::write_chrome_trace(out, recorder);
+  std::cout << "trace written to " << options_.trace_path << "\n";
+}
+
+int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
+                           std::size_t msg_bytes, bool as_bandwidth) const {
+  report::FigureOptions figure_options;
+  figure_options.machine = options_.machine;
+  figure_options.cpus = options_.cpus;
+  figure_options.repetitions = options_.repeats;
+  emit(report::imb_figure(title, id, msg_bytes, as_bandwidth,
+                          figure_options));
+
+  if (!wants_trace()) return 0;
+  // Trace one representative operating point rather than the whole
+  // sweep: the selected machine (or the figure's first) at --cpus (or a
+  // small default the machine can host).
+  const mach::MachineConfig m =
+      has_machine() ? machine() : report::imb_figure_machines().front();
+  const int cpus =
+      options_.cpus > 0 ? options_.cpus : std::min(16, m.max_cpus);
+  trace::Recorder recorder(cpus);
+  report::MeasureOptions measure_options;
+  measure_options.repetitions = options_.repeats;
+  measure_options.recorder = &recorder;
+  measure_imb(m, cpus, id, msg_bytes, measure_options);
+  write_trace(recorder);
+  return 0;
+}
+
+}  // namespace hpcx::bench

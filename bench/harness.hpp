@@ -1,0 +1,75 @@
+// Shared command-line harness for the figure and micro-bench binaries.
+//
+// Every binary built on bench::Runner understands the same flags:
+//
+//   --machine <name>    restrict to one modelled machine (short name;
+//                       paper systems, variants and future projections)
+//   --cpus <n>          restrict to one CPU count instead of the sweep
+//   --repeats <n>       repetitions per measurement (default 2)
+//   --csv <file>        also write every emitted table as CSV
+//   --trace-out <file>  write a Chrome/Perfetto trace of one
+//                       representative traced run
+//   --help              print the flag summary and exit
+//
+// so `fig07_allreduce` with no arguments still reproduces the paper
+// figure, while `fig07_allreduce --machine sx8 --cpus 64 --trace-out
+// t.json` zooms into a single operating point and traces it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/table.hpp"
+#include "imb/imb.hpp"
+#include "machine/machine.hpp"
+
+namespace hpcx::trace {
+class Recorder;
+}  // namespace hpcx::trace
+
+namespace hpcx::bench {
+
+struct Options {
+  std::string machine;     ///< short_name; empty = binary's default set
+  int cpus = 0;            ///< 0 = binary's default sweep
+  int repeats = 2;
+  std::string csv_path;    ///< empty = no CSV
+  std::string trace_path;  ///< empty = no trace
+};
+
+class Runner {
+ public:
+  /// Parses the shared flags. Prints usage and exits(0) on --help,
+  /// exits(2) on an unknown flag or a missing value. `what` is the one
+  /// line describing the binary in --help output.
+  Runner(int argc, char** argv, std::string what);
+
+  const Options& options() const { return options_; }
+
+  /// Resolve --machine against the registry (including the projected
+  /// future machines); throws ConfigError for unknown names.
+  mach::MachineConfig machine() const;
+  bool has_machine() const { return !options_.machine.empty(); }
+
+  bool wants_trace() const { return !options_.trace_path.empty(); }
+
+  /// Print the table to stdout and, with --csv, append it to the file.
+  void emit(const Table& table) const;
+
+  /// Write the recorder as Chrome trace-event JSON to --trace-out.
+  void write_trace(const trace::Recorder& recorder) const;
+
+  /// Run one of the paper's IMB figures under these options and emit the
+  /// table. With --trace-out, additionally re-runs one representative
+  /// operating point (the selected machine or the figure's first, at
+  /// --cpus or min(16, max)) with tracing on and writes the trace.
+  /// Returns a main()-ready exit code.
+  int run_imb_figure(const std::string& title, imb::BenchmarkId id,
+                     std::size_t msg_bytes, bool as_bandwidth) const;
+
+ private:
+  Options options_;
+  std::string what_;
+};
+
+}  // namespace hpcx::bench

@@ -1,0 +1,15 @@
+// Minimal JSON well-formedness checker (RFC 8259 grammar, no DOM).
+// Used to validate emitted trace files in tests and by tools/json_check.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hpcx {
+
+/// True when `text` is exactly one well-formed JSON value (plus
+/// whitespace). On failure, fills `*error` (if given) with a message
+/// including the byte offset of the problem.
+bool json_well_formed(std::string_view text, std::string* error = nullptr);
+
+}  // namespace hpcx

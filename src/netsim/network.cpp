@@ -91,6 +91,15 @@ void Network::send_remote(int src, int dst, std::size_t bytes,
     stats.bytes += bytes;
     stats.busy_s += fbytes / edge.params.bandwidth_Bps;
     stats.queued_s += std::max(0.0, free_at - (head + edge.params.latency_s));
+    if (sampling_ && link_samples_.size() < sample_cap_) {
+      double& last = last_sample_t_[static_cast<std::size_t>(e)];
+      const double t = sim_->now();
+      if (last < 0.0 || t - last >= sample_min_interval_s_) {
+        last = t;
+        link_samples_.push_back(
+            LinkSample{t, e, stats.busy_s, std::max(0.0, ser_end - t)});
+      }
+    }
     head = entry;
     arrival = std::max(arrival, ser_end);
   }
@@ -98,6 +107,16 @@ void Network::send_remote(int src, int dst, std::size_t bytes,
   sim_->schedule(arrival - sim_->now(), std::move(on_delivered));
   // Block the sending CPU until its NIC has drained the message.
   sim_->sleep(inject_end - sim_->now());
+}
+
+void Network::enable_link_sampling(double min_interval_s,
+                                   std::size_t max_samples) {
+  sampling_ = true;
+  sample_min_interval_s_ = min_interval_s;
+  sample_cap_ = max_samples;
+  last_sample_t_.assign(graph_.num_edges(), -1.0);
+  link_samples_.clear();
+  link_samples_.reserve(std::min<std::size_t>(max_samples, 4096));
 }
 
 std::vector<std::pair<topo::EdgeId, Network::EdgeStats>>

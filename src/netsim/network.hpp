@@ -86,6 +86,22 @@ class Network {
   std::vector<std::pair<topo::EdgeId, EdgeStats>> hottest_edges(
       std::size_t top_n) const;
 
+  /// One utilisation sample of a directed link, taken as a message
+  /// traverses it. Sampling is event-driven (no periodic timers), so it
+  /// never keeps the simulation alive after the ranks finish.
+  struct LinkSample {
+    double t = 0;          ///< virtual time of the sample
+    topo::EdgeId edge{};
+    double busy_s = 0;     ///< cumulative serialisation time up to t
+    double backlog_s = 0;  ///< reserved link time still outstanding at t
+  };
+  /// Start recording LinkSamples. `min_interval_s` rate-limits samples
+  /// per link (0 = every traversal); `max_samples` caps the total so a
+  /// long run cannot grow the sample vector unboundedly.
+  void enable_link_sampling(double min_interval_s = 0.0,
+                            std::size_t max_samples = std::size_t{1} << 20);
+  const std::vector<LinkSample>& link_samples() const { return link_samples_; }
+
  private:
   void send_local(int host, std::size_t bytes,
                   std::function<void()> on_delivered);
@@ -104,6 +120,11 @@ class Network {
   std::uint64_t internode_messages_ = 0;
   std::uint64_t intranode_messages_ = 0;
   std::uint64_t internode_bytes_ = 0;
+  bool sampling_ = false;
+  double sample_min_interval_s_ = 0.0;
+  std::size_t sample_cap_ = 0;
+  std::vector<double> last_sample_t_;  // per directed edge; -1 = never
+  std::vector<LinkSample> link_samples_;
 };
 
 }  // namespace hpcx::net

@@ -11,28 +11,45 @@
 namespace hpcx::report {
 
 Table imb_figure(const std::string& title, imb::BenchmarkId id,
-                 std::size_t msg_bytes, bool as_bandwidth) {
-  const auto machines = imb_figure_machines();
+                 std::size_t msg_bytes, bool as_bandwidth,
+                 const FigureOptions& options) {
+  auto machines = imb_figure_machines();
+  if (!options.machine.empty())
+    std::erase_if(machines, [&](const mach::MachineConfig& m) {
+      return m.short_name != options.machine;
+    });
 
   // Row set: union of all machines' CPU counts.
   std::set<int> all_counts;
-  for (const auto& m : machines)
-    for (int p : imb_cpu_counts(m)) all_counts.insert(p);
+  if (options.cpus > 0) {
+    all_counts.insert(options.cpus);
+  } else {
+    for (const auto& m : machines)
+      for (int p : imb_cpu_counts(m)) all_counts.insert(p);
+  }
 
   Table table(title);
   std::vector<std::string> header{"CPUs"};
   for (const auto& m : machines) header.push_back(m.name);
   table.set_header(std::move(header));
 
+  MeasureOptions measure_options;
+  measure_options.repetitions = options.repetitions;
   for (const int p : all_counts) {
     std::vector<std::string> row{std::to_string(p)};
     for (const auto& m : machines) {
       const auto counts = imb_cpu_counts(m);
-      if (std::find(counts.begin(), counts.end(), p) == counts.end()) {
+      if (options.cpus == 0 &&
+          std::find(counts.begin(), counts.end(), p) == counts.end()) {
         row.push_back("-");
         continue;
       }
-      const imb::ImbResult r = measure_imb(m, p, id, msg_bytes);
+      if (p > m.max_cpus) {
+        row.push_back("-");
+        continue;
+      }
+      const imb::ImbResult r =
+          measure_imb(m, p, id, msg_bytes, measure_options);
       if (as_bandwidth)
         row.push_back(format_fixed(r.bandwidth_Bps / 1e6, 1));  // MB/s
       else

@@ -13,9 +13,18 @@
 
 namespace hpcx::report {
 
+/// Narrowing knobs for imb_figure, used by the bench harness to restrict
+/// the sweep from the command line. Defaults reproduce the paper figure.
+struct FigureOptions {
+  std::string machine;  ///< short_name; empty = all six figure machines
+  int cpus = 0;         ///< a single CPU count; 0 = the full sweep
+  int repetitions = 2;
+};
+
 /// Generic builder behind the per-figure functions.
 Table imb_figure(const std::string& title, imb::BenchmarkId id,
-                 std::size_t msg_bytes, bool as_bandwidth);
+                 std::size_t msg_bytes, bool as_bandwidth,
+                 const FigureOptions& options = {});
 
 void print_fig06_barrier(std::ostream& os);
 void print_fig07_allreduce(std::ostream& os);

@@ -31,17 +31,23 @@ std::vector<int> hpcc_cpu_counts(const mach::MachineConfig& machine) {
 }
 
 imb::ImbResult measure_imb(const mach::MachineConfig& machine, int cpus,
-                           imb::BenchmarkId id, std::size_t msg_bytes) {
+                           imb::BenchmarkId id, std::size_t msg_bytes,
+                           const MeasureOptions& options) {
   imb::ImbResult out;
-  xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
-    imb::ImbParams params;
-    params.msg_bytes = msg_bytes;
-    params.phantom = true;
-    params.warmup = 1;
-    params.repetitions = 2;
-    const imb::ImbResult r = imb::run_benchmark(id, c, params);
-    if (c.rank() == 0) out = r;
-  });
+  xmpi::SimRunOptions run_options;
+  run_options.recorder = options.recorder;
+  xmpi::run_on_machine(
+      machine, cpus,
+      [&](xmpi::Comm& c) {
+        imb::ImbParams params;
+        params.msg_bytes = msg_bytes;
+        params.phantom = true;
+        params.warmup = options.warmup;
+        params.repetitions = options.repetitions;
+        const imb::ImbResult r = imb::run_benchmark(id, c, params);
+        if (c.rank() == 0) out = r;
+      },
+      run_options);
   return out;
 }
 

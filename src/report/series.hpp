@@ -10,6 +10,10 @@
 #include "imb/imb.hpp"
 #include "machine/machine.hpp"
 
+namespace hpcx::trace {
+class Recorder;
+}  // namespace hpcx::trace
+
 namespace hpcx::report {
 
 /// Power-of-two CPU counts 2,4,...,512 clipped to the machine's maximum,
@@ -21,10 +25,19 @@ std::vector<int> imb_cpu_counts(const mach::MachineConfig& machine);
 /// IMB sweep, reaching the machine's full size (2024 for the Altix).
 std::vector<int> hpcc_cpu_counts(const mach::MachineConfig& machine);
 
+struct MeasureOptions {
+  int repetitions = 2;
+  int warmup = 1;
+  /// When set, the run records into the recorder (which must have been
+  /// built with at least `cpus` ranks).
+  trace::Recorder* recorder = nullptr;
+};
+
 /// One IMB measurement on the simulated machine (phantom payloads,
 /// deterministic). Returns the full min/avg/max record.
 imb::ImbResult measure_imb(const mach::MachineConfig& machine, int cpus,
-                           imb::BenchmarkId id, std::size_t msg_bytes);
+                           imb::BenchmarkId id, std::size_t msg_bytes,
+                           const MeasureOptions& options = {});
 
 /// The machines of the paper's IMB figures, in plotting order:
 /// Altix BX2, Cray X1 (MSP), Cray X1 (SSP), Cray Opteron, Dell Xeon,

@@ -1,0 +1,143 @@
+#include "trace/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hpcx::trace {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emits one event object per line; tracks the need for a separating
+/// comma so the events array stays valid JSON.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(&os) {}
+
+  std::ostream& begin() {
+    *os_ << (first_ ? "\n  " : ",\n  ");
+    first_ = false;
+    return *os_;
+  }
+
+ private:
+  std::ostream* os_;
+  bool first_ = true;
+};
+
+double us(double seconds) { return seconds * 1e6; }
+
+void write_meta(EventWriter& w, int pid, int tid, const char* what,
+                const std::string& name) {
+  w.begin() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+            << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+            << json_escape(name) << "\"}}";
+}
+
+void write_span(EventWriter& w, int rank, const Event& e) {
+  std::string name;
+  switch (e.kind) {
+    case EventKind::kSend:
+      name = "send->" + std::to_string(e.peer);
+      break;
+    case EventKind::kRecv:
+      name = "recv<-" + std::to_string(e.peer);
+      break;
+    case EventKind::kCollective:
+      name = to_string(e.coll_op());
+      break;
+    case EventKind::kCompute:
+      name = "compute";
+      break;
+  }
+  auto& os = w.begin();
+  os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << rank << ",\"ts\":" << us(e.t_begin)
+     << ",\"dur\":" << us(e.t_end - e.t_begin) << ",\"name\":\""
+     << json_escape(name) << "\",\"args\":{";
+  os << "\"bytes\":" << e.bytes;
+  if (e.kind == EventKind::kCollective) {
+    os << ",\"alg\":\"" << to_string(e.alg_id()) << "\"";
+    if (e.peer >= 0) os << ",\"root\":" << e.peer;
+  } else if (e.kind == EventKind::kSend || e.kind == EventKind::kRecv) {
+    os << ",\"peer\":" << e.peer << ",\"tag\":" << e.tag;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Recorder& rec) {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(15);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\""
+     << (rec.virtual_time() ? "virtual" : "wall") << "\"},\"traceEvents\":[";
+  EventWriter w(os);
+  write_meta(w, 0, 0, "process_name", "hpcx ranks");
+  if (!rec.link_tracks().empty())
+    write_meta(w, 1, 0, "process_name", "hpcx network");
+
+  for (int r = 0; r < rec.nranks(); ++r) {
+    write_meta(w, 0, r, "thread_name", "rank " + std::to_string(r));
+    std::vector<Event> events = rec.rank(r).events();
+    // Perfetto nests complete events by containment; ties on the begin
+    // timestamp must emit the enclosing (longer) span first.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.t_begin != b.t_begin) return a.t_begin < b.t_begin;
+                       return a.t_end > b.t_end;
+                     });
+    for (const Event& e : events) write_span(w, r, e);
+  }
+
+  for (const LinkTrack& link : rec.link_tracks()) {
+    for (const LinkPoint& p : link.points) {
+      w.begin() << "{\"ph\":\"C\",\"pid\":1,\"ts\":" << us(p.t)
+                << ",\"name\":\"link " << json_escape(link.name)
+                << "\",\"args\":{\"busy_s\":" << p.busy_s
+                << ",\"backlog_s\":" << p.backlog_s << "}}";
+    }
+  }
+  os << "\n]}\n";
+
+  os.flags(flags);
+  os.precision(precision);
+}
+
+}  // namespace hpcx::trace

@@ -1,0 +1,19 @@
+// Chrome trace-event JSON exporter for trace::Recorder contents.
+//
+// The output is the classic "JSON object format" understood by Perfetto
+// (ui.perfetto.dev) and chrome://tracing: one "X" complete event per
+// recorded span (pid 0 = the ranks, one tid per rank) and one "C"
+// counter event per link-utilization sample (pid 1 = the network).
+// Timestamps are microseconds; whether they are virtual or wall-clock
+// seconds at source is stamped into otherData.clock.
+#pragma once
+
+#include <iosfwd>
+
+namespace hpcx::trace {
+
+class Recorder;
+
+void write_chrome_trace(std::ostream& os, const Recorder& rec);
+
+}  // namespace hpcx::trace

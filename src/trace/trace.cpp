@@ -1,0 +1,198 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace hpcx::trace {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kSend:
+      return "send";
+    case EventKind::kRecv:
+      return "recv";
+    case EventKind::kCollective:
+      return "collective";
+    case EventKind::kCompute:
+      return "compute";
+  }
+  return "?";
+}
+
+const char* to_string(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier:
+      return "Barrier";
+    case CollOp::kBcast:
+      return "Bcast";
+    case CollOp::kReduce:
+      return "Reduce";
+    case CollOp::kAllreduce:
+      return "Allreduce";
+    case CollOp::kGather:
+      return "Gather";
+    case CollOp::kScatter:
+      return "Scatter";
+    case CollOp::kAllgather:
+      return "Allgather";
+    case CollOp::kAllgatherv:
+      return "Allgatherv";
+    case CollOp::kAlltoall:
+      return "Alltoall";
+    case CollOp::kAlltoallv:
+      return "Alltoallv";
+    case CollOp::kReduceScatter:
+      return "Reduce_scatter";
+  }
+  return "?";
+}
+
+const char* to_string(AlgId a) {
+  switch (a) {
+    case AlgId::kNone:
+      return "none";
+    case AlgId::kBinomial:
+      return "binomial";
+    case AlgId::kScatterRing:
+      return "scatter-ring";
+    case AlgId::kPipelinedRing:
+      return "pipelined-ring";
+    case AlgId::kRecursiveDoubling:
+      return "recursive-doubling";
+    case AlgId::kRabenseifner:
+      return "rabenseifner";
+    case AlgId::kBruck:
+      return "bruck";
+    case AlgId::kRing:
+      return "ring";
+    case AlgId::kPairwise:
+      return "pairwise";
+    case AlgId::kRecursiveHalving:
+      return "recursive-halving";
+    case AlgId::kDissemination:
+      return "dissemination";
+    case AlgId::kHardware:
+      return "hardware";
+  }
+  return "?";
+}
+
+std::size_t size_class(std::uint64_t bytes) {
+  return static_cast<std::size_t>(std::bit_width(bytes));
+}
+
+std::string size_class_label(std::size_t cls) {
+  if (cls == 0) return "0 B";
+  const std::uint64_t lo = 1ull << (cls - 1);
+  return "[" + format_bytes(lo) + ", " + format_bytes(lo * 2) + ")";
+}
+
+void Counters::merge(const Counters& other) {
+  sends += other.sends;
+  recvs += other.recvs;
+  collectives += other.collectives;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  compute_s += other.compute_s;
+  for (std::size_t i = 0; i < send_size_hist.size(); ++i)
+    send_size_hist[i] += other.send_size_hist[i];
+  for (std::size_t i = 0; i < reduce_bytes.size(); ++i)
+    reduce_bytes[i] += other.reduce_bytes[i];
+}
+
+RankTrace::RankTrace(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void RankTrace::record(const Event& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<Event> RankTrace::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest surviving slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+Recorder::Recorder(int nranks, std::size_t events_per_rank) {
+  HPCX_REQUIRE(nranks >= 1, "trace recorder needs at least one rank");
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) ranks_.emplace_back(events_per_rank);
+}
+
+RankTrace& Recorder::rank(int r) {
+  HPCX_ASSERT(r >= 0 && r < nranks());
+  return ranks_[static_cast<std::size_t>(r)];
+}
+
+const RankTrace& Recorder::rank(int r) const {
+  HPCX_ASSERT(r >= 0 && r < nranks());
+  return ranks_[static_cast<std::size_t>(r)];
+}
+
+Counters Recorder::total() const {
+  Counters sum;
+  for (const auto& rt : ranks_) sum.merge(rt.counters());
+  return sum;
+}
+
+Table Recorder::summary_table() const {
+  Table t(std::string("Trace summary (") +
+          (virtual_time_ ? "virtual" : "wall-clock") + " time)");
+  t.set_header({"rank", "sends", "recvs", "colls", "bytes sent",
+                "bytes recvd", "compute", "events", "dropped"});
+  auto row = [&](const std::string& label, const Counters& c,
+                 std::uint64_t recorded, std::uint64_t dropped) {
+    t.add_row({label, std::to_string(c.sends), std::to_string(c.recvs),
+               std::to_string(c.collectives), format_bytes(c.bytes_sent),
+               format_bytes(c.bytes_received), format_time(c.compute_s),
+               std::to_string(recorded), std::to_string(dropped)});
+  };
+  std::uint64_t recorded = 0, dropped = 0;
+  for (int r = 0; r < nranks(); ++r) {
+    const RankTrace& rt = rank(r);
+    row(std::to_string(r), rt.counters(), rt.recorded(), rt.dropped());
+    recorded += rt.recorded();
+    dropped += rt.dropped();
+  }
+  row("total", total(), recorded, dropped);
+  const Counters sum = total();
+  for (std::size_t cls = 0; cls < kSizeClasses; ++cls)
+    if (sum.send_size_hist[cls] > 0)
+      t.add_note("sends " + size_class_label(cls) + ": " +
+                 std::to_string(sum.send_size_hist[cls]));
+  return t;
+}
+
+Table Recorder::link_table(std::size_t top_n) const {
+  Table t("Link utilization (busiest first)");
+  t.set_header({"link", "messages", "bytes", "busy", "queued"});
+  std::vector<const LinkTrack*> sorted;
+  sorted.reserve(links_.size());
+  for (const auto& l : links_) sorted.push_back(&l);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LinkTrack* a, const LinkTrack* b) {
+              return a->busy_s > b->busy_s;
+            });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+  for (const LinkTrack* l : sorted)
+    t.add_row({l->name, std::to_string(l->messages), format_bytes(l->bytes),
+               format_time(l->busy_s), format_time(l->queued_s)});
+  return t;
+}
+
+}  // namespace hpcx::trace

@@ -1,0 +1,205 @@
+// hpcx::trace — low-overhead per-rank event tracing and counters.
+//
+// Every Comm can carry a RankTrace sink (see Comm::set_trace). While a
+// sink is attached, the runtime records
+//
+//  * point-to-point transfers (kSend/kRecv, with peer, tag and bytes),
+//  * collective spans (kCollective, tagged with the entry point and the
+//    algorithm that actually ran — kAuto selections resolve to the
+//    concrete choice), and
+//  * compute() charges (kCompute),
+//
+// into a fixed-capacity single-writer ring of POD events, plus running
+// counters (message/byte totals, a power-of-two message-size histogram,
+// per-ROp reduction bytes). Overflowing the ring drops the *oldest*
+// events and counts the drops; counters never saturate.
+//
+// Overhead contract: with no sink attached every hook is a single
+// pointer test — no clock reads, no allocation, no stores — so traced
+// and untraced builds are the same binary and untraced timings do not
+// shift. With a sink attached each event costs two Comm::now() reads
+// and one ring store; the ring is preallocated up front.
+//
+// Timestamps come from Comm::now(): *virtual* seconds under SimComm
+// (deterministic, comparable across ranks) and wall-clock seconds under
+// ThreadComm. Recorder::virtual_time() says which a run used; the
+// Chrome exporter (trace/chrome_trace.hpp) stamps it into the file.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcx {
+class Table;
+}
+
+namespace hpcx::trace {
+
+enum class EventKind : std::uint8_t { kSend, kRecv, kCollective, kCompute };
+
+/// Which collective entry point a span covers.
+enum class CollOp : std::uint8_t {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+  kAllgatherv,
+  kAlltoall,
+  kAlltoallv,
+  kReduceScatter,
+};
+
+/// The algorithm a collective actually executed, recorded on its span.
+enum class AlgId : std::uint8_t {
+  kNone,
+  kBinomial,
+  kScatterRing,
+  kPipelinedRing,
+  kRecursiveDoubling,
+  kRabenseifner,
+  kBruck,
+  kRing,
+  kPairwise,
+  kRecursiveHalving,
+  kDissemination,
+  kHardware,
+};
+
+const char* to_string(EventKind k);
+const char* to_string(CollOp op);
+const char* to_string(AlgId a);
+
+/// One trace record. POD so the ring is a flat preallocated array.
+struct Event {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  EventKind kind = EventKind::kSend;
+  std::uint8_t op = 0;     ///< CollOp when kind == kCollective
+  std::uint8_t alg = 0;    ///< AlgId when kind == kCollective
+  std::int32_t peer = -1;  ///< p2p peer rank, or collective root (-1: none)
+  std::int32_t tag = 0;    ///< p2p tag
+  std::uint64_t bytes = 0;
+
+  CollOp coll_op() const { return static_cast<CollOp>(op); }
+  AlgId alg_id() const { return static_cast<AlgId>(alg); }
+};
+
+/// Power-of-two message-size classes: class 0 is the empty message,
+/// class k >= 1 covers [2^(k-1), 2^k) bytes.
+constexpr std::size_t kSizeClasses = 65;
+std::size_t size_class(std::uint64_t bytes);
+std::string size_class_label(std::size_t cls);
+
+/// Running per-rank totals, accumulated while a sink is attached.
+struct Counters {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t collectives = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  double compute_s = 0.0;
+  std::array<std::uint64_t, kSizeClasses> send_size_hist{};
+  /// Reduction operand bytes by xmpi::ROp value (Sum/Prod/Max/Min).
+  std::array<std::uint64_t, 4> reduce_bytes{};
+
+  void note_send(std::uint64_t bytes) {
+    ++sends;
+    bytes_sent += bytes;
+    ++send_size_hist[size_class(bytes)];
+  }
+  void note_recv(std::uint64_t bytes) {
+    ++recvs;
+    bytes_received += bytes;
+  }
+  void merge(const Counters& other);
+};
+
+/// Fixed-capacity ring of events plus counters for one rank. Strictly
+/// single-writer: each rank records only into its own ring, so no
+/// synchronisation is needed on either backend.
+class RankTrace {
+ public:
+  explicit RankTrace(std::size_t capacity = 1 << 15);
+
+  /// Append an event, overwriting the oldest once full.
+  void record(const Event& e);
+
+  /// Events in record order (oldest surviving first).
+  std::vector<Event> events() const;
+
+  std::uint64_t recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > capacity_ ? total_ - capacity_ : 0;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;  ///< overwrite cursor once the ring is full
+  std::uint64_t total_ = 0;
+  Counters counters_;
+};
+
+/// One utilization sample of a directed network link (SimComm runs).
+struct LinkPoint {
+  double t = 0.0;
+  double busy_s = 0.0;     ///< cumulative serialisation time reserved
+  double backlog_s = 0.0;  ///< reserved-but-unserviced time (queue depth)
+};
+
+/// Per-directed-link utilization track with end-of-run totals.
+struct LinkTrack {
+  std::string name;  ///< "h0->spine1" (topology vertex labels)
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double busy_s = 0.0;
+  double queued_s = 0.0;
+  std::vector<LinkPoint> points;
+};
+
+/// Aggregates the per-rank rings of one run plus (for simulated runs)
+/// the network's link-utilization tracks. Create one per run and hand it
+/// to run_on_machine / run_on_threads via their options structs.
+class Recorder {
+ public:
+  explicit Recorder(int nranks, std::size_t events_per_rank = 1 << 15);
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+  RankTrace& rank(int r);
+  const RankTrace& rank(int r) const;
+
+  /// True when timestamps are virtual (SimComm); false for wall-clock.
+  bool virtual_time() const { return virtual_time_; }
+  void set_virtual_time(bool v) { virtual_time_ = v; }
+
+  void set_link_tracks(std::vector<LinkTrack> tracks) {
+    links_ = std::move(tracks);
+  }
+  const std::vector<LinkTrack>& link_tracks() const { return links_; }
+
+  /// Counters summed over all ranks.
+  Counters total() const;
+
+  /// Per-rank counter summary (core/table formatted).
+  Table summary_table() const;
+
+  /// Busiest links, hottest first (empty table for thread runs).
+  Table link_table(std::size_t top_n = 16) const;
+
+ private:
+  std::vector<RankTrace> ranks_;
+  std::vector<LinkTrack> links_;
+  bool virtual_time_ = false;
+};
+
+}  // namespace hpcx::trace

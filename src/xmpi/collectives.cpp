@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/comm.hpp"
 #include "xmpi/reduce_ops.hpp"
 
@@ -409,15 +410,59 @@ void allreduce_recursive_doubling(Comm& c, MBuf acc, ROp op) {
   }
 }
 
+/// RAII collective span: snapshots the begin time on entry (only when
+/// the communicator has a trace sink) and records one kCollective event
+/// tagged with the algorithm the entry point resolved to.
+class CollScope {
+ public:
+  CollScope(Comm& c, trace::CollOp op, std::uint64_t bytes, int root = -1)
+      : comm_(&c), sink_(c.trace()), op_(op), bytes_(bytes), root_(root) {
+    if (sink_) t_begin_ = c.now();
+  }
+
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+
+  void set_alg(trace::AlgId alg) { alg_ = alg; }
+
+  ~CollScope() {
+    if (!sink_) return;
+    trace::Event e;
+    e.t_begin = t_begin_;
+    e.t_end = comm_->now();
+    e.kind = trace::EventKind::kCollective;
+    e.op = static_cast<std::uint8_t>(op_);
+    e.alg = static_cast<std::uint8_t>(alg_);
+    e.peer = root_;
+    e.bytes = bytes_;
+    sink_->record(e);
+    ++sink_->counters().collectives;
+  }
+
+ private:
+  Comm* comm_;
+  trace::RankTrace* sink_;
+  trace::CollOp op_;
+  trace::AlgId alg_ = trace::AlgId::kNone;
+  std::uint64_t bytes_;
+  double t_begin_ = 0.0;
+  int root_;
+};
+
+/// Reduction-operand byte counter (reduce/allreduce/reduce_scatter).
+void count_reduce_bytes(Comm& c, ROp op, std::size_t bytes) {
+  if (c.trace())
+    c.trace()->counters().reduce_bytes[static_cast<std::size_t>(op)] += bytes;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
 // Public collective entry points
 // ---------------------------------------------------------------------
 
-void Comm::barrier() {
+trace::AlgId Comm::barrier_impl() {
   const int n = size();
-  if (n == 1) return;
   const int r = rank();
   const CBuf nothing{};  // zero-size message
   MBuf sink{};
@@ -426,28 +471,40 @@ void Comm::barrier() {
     const int src = (r - k % n + n) % n;
     sendrecv(dst, kTagBarrier, nothing, src, kTagBarrier, sink);
   }
+  return trace::AlgId::kDissemination;
+}
+
+void Comm::barrier() {
+  if (size() == 1) return;
+  CollScope scope(*this, trace::CollOp::kBarrier, 0);
+  scope.set_alg(barrier_impl());
 }
 
 void Comm::bcast(MBuf buf, int root) {
   check_peer(root);
   if (size() == 1) return;
-  switch (tuning().bcast_alg) {
+  BcastAlg alg = tuning().bcast_alg;
+  if (alg == BcastAlg::kAuto)
+    alg = (buf.bytes() <= tuning().bcast_long_bytes || size() <= 2)
+              ? BcastAlg::kBinomial
+              : BcastAlg::kScatterRing;
+  CollScope scope(*this, trace::CollOp::kBcast, buf.bytes(), root);
+  switch (alg) {
     case BcastAlg::kBinomial:
+      scope.set_alg(trace::AlgId::kBinomial);
       bcast_binomial(*this, buf, root);
       return;
     case BcastAlg::kScatterRing:
+      scope.set_alg(trace::AlgId::kScatterRing);
       bcast_scatter_ring(*this, buf, root);
       return;
     case BcastAlg::kPipelinedRing:
+      scope.set_alg(trace::AlgId::kPipelinedRing);
       bcast_pipelined_ring(*this, buf, root, tuning().bcast_segment_bytes);
       return;
     case BcastAlg::kAuto:
-      break;
+      break;  // unreachable: resolved above
   }
-  if (buf.bytes() <= tuning().bcast_long_bytes || size() <= 2)
-    bcast_binomial(*this, buf, root);
-  else
-    bcast_scatter_ring(*this, buf, root);
 }
 
 void Comm::reduce(CBuf send, MBuf recv, ROp op, int root) {
@@ -459,13 +516,17 @@ void Comm::reduce(CBuf send, MBuf recv, ROp op, int root) {
     local_copy(send, recv);
     return;
   }
+  count_reduce_bytes(*this, op, send.bytes());
+  CollScope scope(*this, trace::CollOp::kReduce, send.bytes(), root);
   if (send.bytes() <= tuning().reduce_long_bytes || size() <= 2) {
+    scope.set_alg(trace::AlgId::kBinomial);
     reduce_binomial(*this, send, recv, op, root);
     return;
   }
   // Rabenseifner for long messages: ring reduce-scatter, then the
   // chunks are sent to the root (linear gather of n-1 chunks; the
   // bandwidth term is the same as a binomial gather of halving ranges).
+  scope.set_alg(trace::AlgId::kRabenseifner);
   const int n = size();
   const int r = rank();
   const ChunkPlan plan(send.count, n);
@@ -496,12 +557,15 @@ void Comm::allreduce(CBuf send, MBuf recv, ROp op) {
     local_copy(send, recv);
     return;
   }
+  count_reduce_bytes(*this, op, send.bytes());
   const AllreduceAlg alg = tuning().allreduce_alg;
   const bool use_rd =
       alg == AllreduceAlg::kRecursiveDoubling ||
       (alg == AllreduceAlg::kAuto &&
        (send.bytes() <= tuning().allreduce_long_bytes || size() <= 2));
+  CollScope scope(*this, trace::CollOp::kAllreduce, send.bytes());
   if (use_rd) {
+    scope.set_alg(trace::AlgId::kRecursiveDoubling);
     Temp acc(send.count, send.dtype, send.phantom() || recv.phantom());
     local_copy(send, acc.buf());
     allreduce_recursive_doubling(*this, acc.buf(), op);
@@ -509,6 +573,7 @@ void Comm::allreduce(CBuf send, MBuf recv, ROp op) {
     return;
   }
   // Rabenseifner: ring reduce-scatter + ring allgather, in recv.
+  scope.set_alg(trace::AlgId::kRabenseifner);
   const ChunkPlan plan(send.count, size());
   local_copy(send, recv);
   reduce_scatter_ring_inplace(*this, recv, op, plan.counts, plan.offsets);
@@ -528,6 +593,8 @@ void Comm::gather(CBuf send, MBuf recv, int root) {
     local_copy(send, recv);
     return;
   }
+  CollScope scope(*this, trace::CollOp::kGather, send.bytes(), root);
+  scope.set_alg(trace::AlgId::kBinomial);
   // Binomial gather in vrank space: tmp[k] holds the block of vrank
   // (vr + k); the root finally rotates blocks into rank order.
   const int vr = (r - root + n) % n;
@@ -579,6 +646,8 @@ void Comm::scatter(CBuf send, MBuf recv, int root) {
     local_copy(send, recv);
     return;
   }
+  CollScope scope(*this, trace::CollOp::kScatter, recv.bytes(), root);
+  scope.set_alg(trace::AlgId::kBinomial);
   const int vr = (r - root + n) % n;
   const bool phantom = recv.phantom() || (r == root && send.phantom());
   Temp tmp(bc * static_cast<std::size_t>(n), recv.dtype, phantom);
@@ -634,6 +703,8 @@ void Comm::allgather(CBuf send, MBuf recv) {
       aalg == AllgatherAlg::kRing ||
       (aalg == AllgatherAlg::kAuto &&
        send.bytes() > tuning().allgather_long_bytes);
+  CollScope scope(*this, trace::CollOp::kAllgather, send.bytes());
+  scope.set_alg(use_ring ? trace::AlgId::kRing : trace::AlgId::kBruck);
   if (use_ring) {
     // Ring, blocks directly in place in recv.
     std::vector<std::size_t> counts(static_cast<std::size_t>(n), bc);
@@ -669,19 +740,34 @@ void Comm::allgather(CBuf send, MBuf recv) {
 void Comm::allgatherv(CBuf send, MBuf recv, std::span<const int> counts) {
   const int n = size();
   const int r = rank();
-  HPCX_ASSERT(static_cast<int>(counts.size()) == n);
+  if (static_cast<int>(counts.size()) != n)
+    throw CommError("allgatherv: counts has " +
+                    std::to_string(counts.size()) + " entries for " +
+                    std::to_string(n) + " ranks");
   std::vector<std::size_t> cnts(static_cast<std::size_t>(n));
   std::vector<std::size_t> offs(static_cast<std::size_t>(n));
   std::size_t total = 0;
   for (int i = 0; i < n; ++i) {
-    HPCX_ASSERT(counts[static_cast<std::size_t>(i)] >= 0);
-    cnts[static_cast<std::size_t>(i)] =
-        static_cast<std::size_t>(counts[static_cast<std::size_t>(i)]);
+    const int c = counts[static_cast<std::size_t>(i)];
+    if (c < 0)
+      throw CommError("allgatherv: negative count " + std::to_string(c) +
+                      " for rank " + std::to_string(i));
+    cnts[static_cast<std::size_t>(i)] = static_cast<std::size_t>(c);
     offs[static_cast<std::size_t>(i)] = total;
-    total += cnts[static_cast<std::size_t>(i)];
+    total += static_cast<std::size_t>(c);
   }
-  HPCX_ASSERT(send.count == cnts[static_cast<std::size_t>(r)]);
-  HPCX_ASSERT(recv.count == total && recv.dtype == send.dtype);
+  if (send.count != cnts[static_cast<std::size_t>(r)])
+    throw CommError("allgatherv: rank " + std::to_string(r) + " sends " +
+                    std::to_string(send.count) + " elements but counts[" +
+                    std::to_string(r) + "] = " +
+                    std::to_string(cnts[static_cast<std::size_t>(r)]));
+  if (recv.count != total || recv.dtype != send.dtype)
+    throw CommError("allgatherv: recv buffer holds " +
+                    std::to_string(recv.count) +
+                    " elements but counts sum to " + std::to_string(total) +
+                    " (rank " + std::to_string(r) + ")");
+  CollScope scope(*this, trace::CollOp::kAllgatherv, send.bytes());
+  scope.set_alg(trace::AlgId::kRing);
   local_copy(send, slice(recv, offs[static_cast<std::size_t>(r)],
                          cnts[static_cast<std::size_t>(r)]));
   allgather_ring_inplace(*this, recv, cnts, offs);
@@ -697,13 +783,17 @@ void Comm::alltoall(CBuf send, MBuf recv) {
     local_copy(send, recv);
     return;
   }
+  CollScope scope(*this, trace::CollOp::kAlltoall,
+                  bc * dtype_size(send.dtype));
+  scope.set_alg(trace::AlgId::kPairwise);
   // Own block moves locally in both variants.
   local_copy(slice(send, static_cast<std::size_t>(r) * bc, bc),
              slice(recv, static_cast<std::size_t>(r) * bc, bc));
 
   // Pairwise exchange (the long-message algorithm; IMB's 1 MB operating
-  // point always lands here). XOR pairing when the size is a power of
-  // two gives perfectly matched exchange partners.
+  // point always lands here; tuning().alltoall_alg currently offers no
+  // alternative). XOR pairing when the size is a power of two gives
+  // perfectly matched exchange partners.
   for (int k = 1; k < n; ++k) {
     int dst, src;
     if (is_pow2(n)) {
@@ -722,18 +812,36 @@ void Comm::alltoallv(CBuf send, std::span<const int> send_counts, MBuf recv,
                      std::span<const int> recv_counts) {
   const int n = size();
   const int r = rank();
-  HPCX_ASSERT(static_cast<int>(send_counts.size()) == n);
-  HPCX_ASSERT(static_cast<int>(recv_counts.size()) == n);
+  if (static_cast<int>(send_counts.size()) != n ||
+      static_cast<int>(recv_counts.size()) != n)
+    throw CommError("alltoallv: counts arrays have " +
+                    std::to_string(send_counts.size()) + "/" +
+                    std::to_string(recv_counts.size()) + " entries for " +
+                    std::to_string(n) + " ranks");
   std::vector<std::size_t> soff(static_cast<std::size_t>(n)),
       roff(static_cast<std::size_t>(n));
   std::size_t st = 0, rt = 0;
   for (int i = 0; i < n; ++i) {
+    const int sc = send_counts[static_cast<std::size_t>(i)];
+    const int rc = recv_counts[static_cast<std::size_t>(i)];
+    if (sc < 0 || rc < 0)
+      throw CommError("alltoallv: negative count for rank " +
+                      std::to_string(i));
     soff[static_cast<std::size_t>(i)] = st;
     roff[static_cast<std::size_t>(i)] = rt;
-    st += static_cast<std::size_t>(send_counts[static_cast<std::size_t>(i)]);
-    rt += static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(i)]);
+    st += static_cast<std::size_t>(sc);
+    rt += static_cast<std::size_t>(rc);
   }
-  HPCX_ASSERT(send.count == st && recv.count == rt);
+  if (send.count != st)
+    throw CommError("alltoallv: rank " + std::to_string(r) +
+                    " send buffer holds " + std::to_string(send.count) +
+                    " elements but send_counts sum to " + std::to_string(st));
+  if (recv.count != rt)
+    throw CommError("alltoallv: rank " + std::to_string(r) +
+                    " recv buffer holds " + std::to_string(recv.count) +
+                    " elements but recv_counts sum to " + std::to_string(rt));
+  CollScope scope(*this, trace::CollOp::kAlltoallv, send.bytes());
+  scope.set_alg(trace::AlgId::kPairwise);
 
   local_copy(
       slice(send, soff[static_cast<std::size_t>(r)],
@@ -759,23 +867,41 @@ void Comm::reduce_scatter(CBuf send, MBuf recv, std::span<const int> counts,
                           ROp op) {
   const int n = size();
   const int r = rank();
-  HPCX_ASSERT(static_cast<int>(counts.size()) == n);
+  if (static_cast<int>(counts.size()) != n)
+    throw CommError("reduce_scatter: counts has " +
+                    std::to_string(counts.size()) + " entries for " +
+                    std::to_string(n) + " ranks");
   std::vector<std::size_t> cnts(static_cast<std::size_t>(n));
   std::vector<std::size_t> offs(static_cast<std::size_t>(n));
   std::size_t total = 0;
   for (int i = 0; i < n; ++i) {
-    cnts[static_cast<std::size_t>(i)] =
-        static_cast<std::size_t>(counts[static_cast<std::size_t>(i)]);
+    const int c = counts[static_cast<std::size_t>(i)];
+    if (c < 0)
+      throw CommError("reduce_scatter: negative count " + std::to_string(c) +
+                      " for rank " + std::to_string(i));
+    cnts[static_cast<std::size_t>(i)] = static_cast<std::size_t>(c);
     offs[static_cast<std::size_t>(i)] = total;
-    total += cnts[static_cast<std::size_t>(i)];
+    total += static_cast<std::size_t>(c);
   }
-  HPCX_ASSERT(send.count == total);
-  HPCX_ASSERT(recv.count == cnts[static_cast<std::size_t>(r)] &&
-              recv.dtype == send.dtype);
+  if (send.count != total)
+    throw CommError("reduce_scatter: send buffer holds " +
+                    std::to_string(send.count) +
+                    " elements but counts sum to " + std::to_string(total) +
+                    " (rank " + std::to_string(r) + ")");
+  if (recv.count != cnts[static_cast<std::size_t>(r)] ||
+      recv.dtype != send.dtype)
+    throw CommError("reduce_scatter: rank " + std::to_string(r) +
+                    " recv buffer holds " + std::to_string(recv.count) +
+                    " elements but counts[" + std::to_string(r) + "] = " +
+                    std::to_string(cnts[static_cast<std::size_t>(r)]));
+  count_reduce_bytes(*this, op, send.bytes());
   if (n == 1) {
     local_copy(send, recv);
     return;
   }
+  CollScope scope(*this, trace::CollOp::kReduceScatter, send.bytes());
+  scope.set_alg(is_pow2(n) ? trace::AlgId::kRecursiveHalving
+                           : trace::AlgId::kRing);
 
   Temp acc(total, send.dtype, send.phantom() || recv.phantom());
   local_copy(send, acc.buf());

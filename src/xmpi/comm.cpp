@@ -2,7 +2,98 @@
 
 #include <string>
 
+#include "trace/trace.hpp"
+
 namespace hpcx::xmpi {
+
+const char* to_string(BcastAlg a) {
+  switch (a) {
+    case BcastAlg::kAuto:
+      return "auto";
+    case BcastAlg::kBinomial:
+      return "binomial";
+    case BcastAlg::kScatterRing:
+      return "scatter-ring";
+    case BcastAlg::kPipelinedRing:
+      return "pipelined-ring";
+  }
+  return "?";
+}
+
+const char* to_string(AllreduceAlg a) {
+  switch (a) {
+    case AllreduceAlg::kAuto:
+      return "auto";
+    case AllreduceAlg::kRecursiveDoubling:
+      return "recursive-doubling";
+    case AllreduceAlg::kRabenseifner:
+      return "rabenseifner";
+  }
+  return "?";
+}
+
+const char* to_string(AllgatherAlg a) {
+  switch (a) {
+    case AllgatherAlg::kAuto:
+      return "auto";
+    case AllgatherAlg::kBruck:
+      return "bruck";
+    case AllgatherAlg::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+const char* to_string(AlltoallAlg a) {
+  switch (a) {
+    case AlltoallAlg::kAuto:
+      return "auto";
+    case AlltoallAlg::kPairwise:
+      return "pairwise";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Matches `name` against to_string() of every enumerator in `all`.
+template <typename Alg, std::size_t N>
+bool parse_alg(std::string_view name, const Alg (&all)[N], Alg& out) {
+  for (const Alg a : all) {
+    if (name == to_string(a)) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse(std::string_view name, BcastAlg& out) {
+  constexpr BcastAlg all[] = {BcastAlg::kAuto, BcastAlg::kBinomial,
+                              BcastAlg::kScatterRing,
+                              BcastAlg::kPipelinedRing};
+  return parse_alg(name, all, out);
+}
+
+bool parse(std::string_view name, AllreduceAlg& out) {
+  constexpr AllreduceAlg all[] = {AllreduceAlg::kAuto,
+                                  AllreduceAlg::kRecursiveDoubling,
+                                  AllreduceAlg::kRabenseifner};
+  return parse_alg(name, all, out);
+}
+
+bool parse(std::string_view name, AllgatherAlg& out) {
+  constexpr AllgatherAlg all[] = {AllgatherAlg::kAuto, AllgatherAlg::kBruck,
+                                  AllgatherAlg::kRing};
+  return parse_alg(name, all, out);
+}
+
+bool parse(std::string_view name, AlltoallAlg& out) {
+  constexpr AlltoallAlg all[] = {AlltoallAlg::kAuto, AlltoallAlg::kPairwise};
+  return parse_alg(name, all, out);
+}
 
 void Comm::check_peer(int peer) const {
   if (peer < 0 || peer >= size())
@@ -10,14 +101,58 @@ void Comm::check_peer(int peer) const {
                     " out of range [0, " + std::to_string(size()) + ")");
 }
 
+const trace::Counters* Comm::stats() const {
+  return trace_ ? &trace_->counters() : nullptr;
+}
+
 void Comm::send(int dst, int tag, CBuf buf) {
   check_peer(dst);
+  if (trace_ == nullptr) {
+    send_impl(dst, tag, buf);
+    return;
+  }
+  trace::Event e;
+  e.t_begin = now();
   send_impl(dst, tag, buf);
+  e.t_end = now();
+  e.kind = trace::EventKind::kSend;
+  e.peer = dst;
+  e.tag = tag;
+  e.bytes = buf.bytes();
+  trace_->record(e);
+  trace_->counters().note_send(buf.bytes());
 }
 
 void Comm::recv(int src, int tag, MBuf buf) {
   check_peer(src);
+  if (trace_ == nullptr) {
+    recv_impl(src, tag, buf);
+    return;
+  }
+  trace::Event e;
+  e.t_begin = now();
   recv_impl(src, tag, buf);
+  e.t_end = now();
+  e.kind = trace::EventKind::kRecv;
+  e.peer = src;
+  e.tag = tag;
+  e.bytes = buf.bytes();
+  trace_->record(e);
+  trace_->counters().note_recv(buf.bytes());
+}
+
+void Comm::compute(double seconds) {
+  if (trace_ == nullptr) {
+    compute_impl(seconds);
+    return;
+  }
+  trace::Event e;
+  e.t_begin = now();
+  compute_impl(seconds);
+  e.t_end = now();
+  e.kind = trace::EventKind::kCompute;
+  trace_->record(e);
+  trace_->counters().compute_s += seconds;
 }
 
 void Comm::sendrecv(int dst, int send_tag, CBuf send_buf, int src,

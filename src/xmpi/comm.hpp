@@ -26,9 +26,16 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/error.hpp"
+
+namespace hpcx::trace {
+class RankTrace;
+struct Counters;
+enum class AlgId : std::uint8_t;
+}  // namespace hpcx::trace
 
 namespace hpcx::xmpi {
 
@@ -126,6 +133,18 @@ enum class AllreduceAlg : std::uint8_t {
 enum class AllgatherAlg : std::uint8_t { kAuto, kBruck, kRing };
 enum class AlltoallAlg : std::uint8_t { kAuto, kPairwise };
 
+// CLI-style names for the algorithm choices ("auto", "binomial",
+// "scatter-ring", ...). parse() is the inverse of to_string(); it
+// returns false and leaves `out` untouched for unknown names.
+const char* to_string(BcastAlg a);
+const char* to_string(AllreduceAlg a);
+const char* to_string(AllgatherAlg a);
+const char* to_string(AlltoallAlg a);
+bool parse(std::string_view name, BcastAlg& out);
+bool parse(std::string_view name, AllreduceAlg& out);
+bool parse(std::string_view name, AllgatherAlg& out);
+bool parse(std::string_view name, AlltoallAlg& out);
+
 /// Per-communicator thresholds and algorithm overrides steering
 /// collective algorithm selection.
 struct CollectiveTuning {
@@ -139,6 +158,7 @@ struct CollectiveTuning {
   BcastAlg bcast_alg = BcastAlg::kAuto;
   AllreduceAlg allreduce_alg = AllreduceAlg::kAuto;
   AllgatherAlg allgather_alg = AllgatherAlg::kAuto;
+  AlltoallAlg alltoall_alg = AlltoallAlg::kAuto;
   /// Segment size for the pipelined-ring broadcast.
   std::size_t bcast_segment_bytes = 64 * 1024;
 };
@@ -157,8 +177,8 @@ class Comm {
 
   /// Charge `seconds` of local computation to the calling rank. Under
   /// simulation this advances the rank's virtual time; on the real
-  /// backend it is a no-op (real kernels do real work instead).
-  virtual void compute(double seconds) = 0;
+  /// backend the charge is honoured with a sleep.
+  void compute(double seconds);
 
   // --- Point-to-point (blocking; sends are eager/buffered) ---
 
@@ -171,9 +191,7 @@ class Comm {
 
   // --- Collectives (implemented over p2p; see xmpi/collectives.cpp) ---
 
-  /// Dissemination barrier; SimComm overrides it on machines whose MPI
-  /// uses hardware/global-memory synchronisation (NEC IXS, Cray X1).
-  virtual void barrier();
+  void barrier();
   void bcast(MBuf buf, int root);
   void reduce(CBuf send, MBuf recv, ROp op, int root);  // recv valid at root
   void allreduce(CBuf send, MBuf recv, ROp op);
@@ -195,6 +213,20 @@ class Comm {
   CollectiveTuning& tuning() { return tuning_; }
   const CollectiveTuning& tuning() const { return tuning_; }
 
+  // --- Tracing & counters (see trace/trace.hpp) ---
+
+  /// Attach a per-rank trace sink (not owned; nullptr detaches). While
+  /// attached, every p2p transfer, collective span and compute charge is
+  /// recorded and the sink's counters accumulate. Detached — the default
+  /// — every hook is a single pointer test, so untraced timings do not
+  /// shift.
+  void set_trace(trace::RankTrace* sink) { trace_ = sink; }
+  trace::RankTrace* trace() const { return trace_; }
+
+  /// Counters accumulated while a trace sink is attached; nullptr when
+  /// tracing is off.
+  const trace::Counters* stats() const;
+
   /// Charge the local arithmetic a collective performs when combining
   /// `operand_bytes` of reduction operands (called by the collective
   /// algorithms; the memory-bound combine is what separates vector from
@@ -210,10 +242,31 @@ class Comm {
   virtual void send_impl(int dst, int tag, CBuf buf) = 0;
   virtual void recv_impl(int src, int tag, MBuf buf) = 0;
 
+  /// Charge the compute time (sim: advance virtual time; real: sleep).
+  virtual void compute_impl(double seconds) = 0;
+
+  /// Dissemination barrier by default; SimComm overrides it on machines
+  /// whose MPI uses hardware/global-memory synchronisation (NEC IXS,
+  /// Cray X1). Returns the algorithm used, for the trace span.
+  virtual trace::AlgId barrier_impl();
+
+  // Let a subclass reach another communicator's impl hooks. SubComm
+  // forwards to its parent through these so each transfer/charge is
+  // recorded exactly once (at the sub-communicator wrapper), never again
+  // by the parent's own public wrappers.
+  static void compute_on(Comm& c, double seconds) { c.compute_impl(seconds); }
+  static void send_on(Comm& c, int dst, int tag, CBuf buf) {
+    c.send_impl(dst, tag, buf);
+  }
+  static void recv_on(Comm& c, int src, int tag, MBuf buf) {
+    c.recv_impl(src, tag, buf);
+  }
+
   void check_peer(int peer) const;
 
  private:
   CollectiveTuning tuning_;
+  trace::RankTrace* trace_ = nullptr;
 };
 
 /// Signature of a rank's main function, shared by both backends.

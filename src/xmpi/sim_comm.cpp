@@ -10,6 +10,7 @@
 #include "des/simulator.hpp"
 #include "des/sync.hpp"
 #include "netsim/network.hpp"
+#include "trace/trace.hpp"
 
 namespace hpcx::xmpi {
 
@@ -71,7 +72,6 @@ class SimComm final : public Comm {
   int rank() const override { return rank_; }
   int size() const override { return world_->nranks; }
   double now() override { return world_->sim->now(); }
-  void compute(double seconds) override { world_->sim->sleep(seconds); }
 
   void charge_reduce_arithmetic(std::size_t operand_bytes) override {
     // The combine streams operand + accumulator in and writes the
@@ -81,12 +81,12 @@ class SimComm final : public Comm {
                        world_->config->stream_per_cpu_all_active());
   }
 
-  void barrier() override {
+ protected:
+  void compute_impl(double seconds) override { world_->sim->sleep(seconds); }
+
+  trace::AlgId barrier_impl() override {
     const double hw = world_->config->hw_barrier_latency_s;
-    if (hw <= 0.0 || world_->nranks == 1) {
-      Comm::barrier();
-      return;
-    }
+    if (hw <= 0.0 || world_->nranks == 1) return Comm::barrier_impl();
     // Hardware global synchronisation: everyone blocks until the last
     // rank arrives; all release together one hw-latency later. The
     // arrival counter resets before the wake-ups are issued, so
@@ -99,9 +99,9 @@ class SimComm final : public Comm {
       w.sim->schedule(hw, [&w] { w.barrier_wq.notify_all(); });
       w.sim->sleep(hw);
     }
+    return trace::AlgId::kHardware;
   }
 
- protected:
   void send_impl(int dst, int tag, CBuf buf) override {
     auto env = std::make_shared<Envelope>();
     env->src = rank_;
@@ -158,10 +158,16 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
   HPCX_REQUIRE(nranks >= 1, "need at least one rank");
   des::Simulator sim;
   World world(machine, nranks, sim);
+  trace::Recorder* recorder = options.recorder;
+  if (recorder) {
+    recorder->set_virtual_time(true);
+    world.network.enable_link_sampling(options.link_sample_interval_s);
+  }
   for (int r = 0; r < nranks; ++r) {
     sim.spawn(
-        [&world, &fn, r] {
+        [&world, &fn, recorder, r] {
           SimComm comm(world, r);
+          if (recorder) comm.set_trace(&recorder->rank(r));
           fn(comm);
           world.ranks[static_cast<std::size_t>(r)].finish_time =
               world.sim->now();
@@ -169,6 +175,33 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
         options.fiber_stack_bytes);
   }
   sim.run();
+
+  if (recorder) {
+    // Fold the per-edge totals and the time-series samples into
+    // LinkTracks, skipping edges nothing crossed.
+    std::vector<trace::LinkTrack> tracks;
+    std::vector<int> track_of(world.network.graph().num_edges(), -1);
+    for (std::size_t e = 0; e < world.network.graph().num_edges(); ++e) {
+      const auto& stats =
+          world.network.edge_stats(static_cast<topo::EdgeId>(e));
+      if (stats.messages == 0) continue;
+      const topo::Edge& edge =
+          world.network.graph().edge(static_cast<topo::EdgeId>(e));
+      track_of[e] = static_cast<int>(tracks.size());
+      tracks.push_back(trace::LinkTrack{
+          world.network.graph().label(edge.from) + "->" +
+              world.network.graph().label(edge.to),
+          stats.messages, stats.bytes, stats.busy_s, stats.queued_s,
+          {}});
+    }
+    for (const auto& s : world.network.link_samples()) {
+      const int t = track_of[static_cast<std::size_t>(s.edge)];
+      if (t >= 0)
+        tracks[static_cast<std::size_t>(t)].points.push_back(
+            trace::LinkPoint{s.t, s.busy_s, s.backlog_s});
+    }
+    recorder->set_link_tracks(std::move(tracks));
+  }
 
   SimRunResult result;
   for (const auto& rs : world.ranks)

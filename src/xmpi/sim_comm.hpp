@@ -12,6 +12,10 @@
 #include "machine/machine.hpp"
 #include "xmpi/comm.hpp"
 
+namespace hpcx::trace {
+class Recorder;
+}  // namespace hpcx::trace
+
 namespace hpcx::xmpi {
 
 /// One network link's traffic during a run (hotspot analysis).
@@ -35,6 +39,14 @@ struct SimRunResult {
 
 struct SimRunOptions {
   std::size_t fiber_stack_bytes = 256 * 1024;
+  /// When set, rank r records into recorder->rank(r) (the recorder must
+  /// have been built with at least `nranks` ranks). Timestamps are
+  /// virtual seconds. Network link utilisation is sampled and attached
+  /// to the recorder as LinkTracks.
+  trace::Recorder* recorder = nullptr;
+  /// Minimum virtual time between two utilisation samples of the same
+  /// link while a recorder is attached (0 = sample every traversal).
+  double link_sample_interval_s = 0.0;
 };
 
 /// Run `fn` on `nranks` simulated ranks of `machine`. Deterministic:

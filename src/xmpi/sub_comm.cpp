@@ -27,6 +27,7 @@ SubComm::SubComm(Comm& parent, std::vector<int> members, int context_id)
   }
   HPCX_REQUIRE(my_rank_ >= 0,
                "calling rank is not a member of the sub-communicator");
+  set_trace(parent.trace());
 }
 
 int SubComm::translate_tag(int tag) const {
@@ -36,13 +37,16 @@ int SubComm::translate_tag(int tag) const {
 }
 
 void SubComm::send_impl(int dst, int tag, CBuf buf) {
-  parent_->send(members_[static_cast<std::size_t>(dst)], translate_tag(tag),
-                buf);
+  // Straight to the parent's impl hook: this transfer was already
+  // recorded by our own public wrapper (shared sink), and the member
+  // rank is valid by construction.
+  send_on(*parent_, members_[static_cast<std::size_t>(dst)],
+          translate_tag(tag), buf);
 }
 
 void SubComm::recv_impl(int src, int tag, MBuf buf) {
-  parent_->recv(members_[static_cast<std::size_t>(src)], translate_tag(tag),
-                buf);
+  recv_on(*parent_, members_[static_cast<std::size_t>(src)],
+          translate_tag(tag), buf);
 }
 
 }  // namespace hpcx::xmpi

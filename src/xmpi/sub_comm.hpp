@@ -24,12 +24,15 @@ class SubComm final : public Comm {
   /// order; the calling parent rank must appear in it. `context_id` must
   /// be unique among communicators live at the same time over the same
   /// parent (0 is the parent's own context; start at 1).
+  ///
+  /// Inherits the parent's trace sink (if one is attached at
+  /// construction), so traffic on row/column communicators shows up in
+  /// the rank's trace; peers in those events are sub-communicator ranks.
   SubComm(Comm& parent, std::vector<int> members, int context_id);
 
   int rank() const override { return my_rank_; }
   int size() const override { return static_cast<int>(members_.size()); }
   double now() override { return parent_->now(); }
-  void compute(double seconds) override { parent_->compute(seconds); }
 
   int parent_rank_of(int sub_rank) const {
     return members_[static_cast<std::size_t>(sub_rank)];
@@ -42,6 +45,9 @@ class SubComm final : public Comm {
  protected:
   void send_impl(int dst, int tag, CBuf buf) override;
   void recv_impl(int src, int tag, MBuf buf) override;
+  void compute_impl(double seconds) override {
+    compute_on(*parent_, seconds);
+  }
 
  private:
   int translate_tag(int tag) const;

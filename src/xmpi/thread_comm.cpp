@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "trace/trace.hpp"
 
 namespace hpcx::xmpi {
 
@@ -64,7 +65,8 @@ class ThreadComm final : public Comm {
         .count();
   }
 
-  void compute(double seconds) override {
+ protected:
+  void compute_impl(double seconds) override {
     // Real kernels do real work; this hook only matters when modelled
     // kernels run on the real backend (hybrid experiments) — honour the
     // charge with a sleep so relative timings stay meaningful.
@@ -72,7 +74,6 @@ class ThreadComm final : public Comm {
       std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   }
 
- protected:
   void send_impl(int dst, int tag, CBuf buf) override {
     Envelope env;
     env.src = rank_;
@@ -118,17 +119,21 @@ class ThreadComm final : public Comm {
 
 }  // namespace
 
-ThreadRunResult run_on_threads(int nranks, const RankFn& fn) {
+ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
+                               ThreadRunOptions options) {
   HPCX_REQUIRE(nranks >= 1, "need at least one rank");
+  trace::Recorder* recorder = options.recorder;
+  if (recorder) recorder->set_virtual_time(false);
   World world(nranks);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   const auto start = std::chrono::steady_clock::now();
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &fn, &errors, r] {
+    threads.emplace_back([&world, &fn, &errors, recorder, r] {
       try {
         ThreadComm comm(world, r);
+        if (recorder) comm.set_trace(&recorder->rank(r));
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();

@@ -8,15 +8,27 @@
 
 #include "xmpi/comm.hpp"
 
+namespace hpcx::trace {
+class Recorder;
+}  // namespace hpcx::trace
+
 namespace hpcx::xmpi {
 
 struct ThreadRunResult {
   double elapsed_s = 0.0;  ///< wall-clock duration of the parallel region
 };
 
+struct ThreadRunOptions {
+  /// When set, rank r records into recorder->rank(r) (the recorder must
+  /// have been built with at least `nranks` ranks). Timestamps are
+  /// wall-clock seconds since the parallel region started.
+  trace::Recorder* recorder = nullptr;
+};
+
 /// Run `fn` on `nranks` threads, each with its own Comm. Blocks until all
 /// ranks return. The first exception thrown by any rank is re-thrown
 /// after all threads have been joined.
-ThreadRunResult run_on_threads(int nranks, const RankFn& fn);
+ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
+                               ThreadRunOptions options = {});
 
 }  // namespace hpcx::xmpi

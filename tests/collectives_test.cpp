@@ -325,6 +325,82 @@ TEST(CollectivesEdge, SelfCommunicatorEverything) {
   });
 }
 
+// Mismatched counts arrays must be rejected up front with a CommError
+// that names the offending rank, not corrupt memory or hang.
+TEST(CollectivesValidation, AllgathervRejectsBadCounts) {
+  run_world(Backend::kThreads, 3, [](Comm& c) {
+    // counts sums to 11, recv holds 12; every rank's own contribution is
+    // consistent, so the sum check is what fires everywhere.
+    const std::vector<int> short_counts{4, 4, 3};
+    std::vector<double> send(
+        static_cast<std::size_t>(short_counts[c.rank()]), 1.0);
+    std::vector<double> recv(12);
+    try {
+      c.allgatherv(cbuf(std::span<const double>(send)),
+                   mbuf(std::span<double>(recv)), short_counts);
+      FAIL() << "allgatherv accepted a counts sum != recv.count";
+    } catch (const CommError& e) {
+      EXPECT_NE(std::string(e.what()).find("counts sum to 11"),
+                std::string::npos)
+          << e.what();
+    }
+    // Wrong number of entries.
+    const std::vector<int> two_counts{4, 4};
+    EXPECT_THROW(c.allgatherv(cbuf(std::span<const double>(send)),
+                              mbuf(std::span<double>(recv)), two_counts),
+                 CommError);
+    // Negative contribution, naming rank 1.
+    const std::vector<int> negative{4, -1, 4};
+    try {
+      c.allgatherv(cbuf(std::span<const double>(send)),
+                   mbuf(std::span<double>(recv)), negative);
+      FAIL() << "allgatherv accepted a negative count";
+    } catch (const CommError& e) {
+      EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos)
+          << e.what();
+    }
+  });
+}
+
+TEST(CollectivesValidation, AlltoallvRejectsMismatchedTotals) {
+  run_world(Backend::kThreads, 2, [](Comm& c) {
+    std::vector<double> send(8, 1.0);
+    std::vector<double> recv(8);
+    const std::vector<int> good{4, 4};
+    const std::vector<int> bad{4, 5};  // sums to 9, buffers hold 8
+    EXPECT_THROW(c.alltoallv(cbuf(std::span<const double>(send)), bad,
+                             mbuf(std::span<double>(recv)), good),
+                 CommError);
+    EXPECT_THROW(c.alltoallv(cbuf(std::span<const double>(send)), good,
+                             mbuf(std::span<double>(recv)), bad),
+                 CommError);
+    const std::vector<int> wrong_len{8};
+    EXPECT_THROW(c.alltoallv(cbuf(std::span<const double>(send)), wrong_len,
+                             mbuf(std::span<double>(recv)), good),
+                 CommError);
+    // The valid call still works after the rejected ones.
+    c.alltoallv(cbuf(std::span<const double>(send)), good,
+                mbuf(std::span<double>(recv)), good);
+  });
+}
+
+TEST(CollectivesValidation, ReduceScatterRejectsBadCounts) {
+  run_world(Backend::kThreads, 2, [](Comm& c) {
+    std::vector<double> send(8, 1.0);
+    std::vector<double> recv(4);
+    const std::vector<int> bad_sum{4, 5};  // sums to 9, send holds 8
+    EXPECT_THROW(c.reduce_scatter(cbuf(std::span<const double>(send)),
+                                  mbuf(std::span<double>(recv)), bad_sum,
+                                  ROp::kSum),
+                 CommError);
+    const std::vector<int> bad_recv{3, 5};  // recv holds 4, counts[0] = 3
+    EXPECT_THROW(c.reduce_scatter(cbuf(std::span<const double>(send)),
+                                  mbuf(std::span<double>(recv)), bad_recv,
+                                  ROp::kSum),
+                 CommError);
+  });
+}
+
 // Large communicator smoke test on the simulator (beyond what the thread
 // backend can comfortably host): 64 ranks, real payloads.
 TEST(CollectivesScale, Sim64RankAllreduce) {

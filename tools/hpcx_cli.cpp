@@ -8,6 +8,7 @@
 //   hpcx_cli --threads 4 --suite hpcc            # real execution
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -18,6 +19,8 @@
 #include "imb/imb.hpp"
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
 #include "xmpi/thread_comm.hpp"
 
@@ -34,7 +37,19 @@ void usage() {
       "  --threads <n>            run for REAL on n host threads instead\n"
       "  --suite hpcc|imb         which suite (default: imb)\n"
       "  --benchmark <name>       one IMB benchmark (default: all)\n"
-      "  --msg-bytes <n>          IMB message size (default: 1048576)\n");
+      "  --msg-bytes <n>          IMB message size (default: 1048576)\n"
+      "  --bcast-alg <name>       force the broadcast algorithm\n"
+      "                           (auto|binomial|scatter-ring|pipelined-ring)\n"
+      "  --allreduce-alg <name>   force the allreduce algorithm\n"
+      "                           (auto|recursive-doubling|rabenseifner)\n"
+      "  --allgather-alg <name>   force the allgather algorithm\n"
+      "                           (auto|bruck|ring)\n"
+      "  --alltoall-alg <name>    force the alltoall algorithm\n"
+      "                           (auto|pairwise)\n"
+      "  --trace-out <file>       write a Chrome/Perfetto trace of the run\n"
+      "                           (imb suite, needs --benchmark)\n"
+      "  --stats                  print per-rank traffic counters and the\n"
+      "                           busiest links after the run\n");
 }
 
 std::vector<mach::MachineConfig> every_machine() {
@@ -69,34 +84,73 @@ std::optional<imb::BenchmarkId> benchmark_by_name(const std::string& name) {
   return std::nullopt;
 }
 
+/// IMB-mode options beyond machine/cpus: benchmark selection, forced
+/// collective algorithms, and trace/stats output.
+struct ImbCliOptions {
+  std::optional<imb::BenchmarkId> only;
+  std::size_t msg_bytes = 1 << 20;
+  xmpi::BcastAlg bcast_alg = xmpi::BcastAlg::kAuto;
+  xmpi::AllreduceAlg allreduce_alg = xmpi::AllreduceAlg::kAuto;
+  xmpi::AllgatherAlg allgather_alg = xmpi::AllgatherAlg::kAuto;
+  xmpi::AlltoallAlg alltoall_alg = xmpi::AlltoallAlg::kAuto;
+  std::string trace_path;
+  bool stats = false;
+};
+
 int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
-            const std::optional<imb::BenchmarkId>& only,
-            std::size_t msg_bytes) {
+            const ImbCliOptions& opts) {
   const std::string where =
       machine ? machine->name : std::to_string(cpus) + " host threads";
-  Table t("IMB (" + std::string(format_bytes(msg_bytes)) + ") on " + where +
-          ", " + std::to_string(cpus) + " CPUs");
+  Table t("IMB (" + std::string(format_bytes(opts.msg_bytes)) + ") on " +
+          where + ", " + std::to_string(cpus) + " CPUs");
   t.set_header({"benchmark", "t_min", "t_avg", "t_max", "bandwidth"});
+  const bool traced = !opts.trace_path.empty() || opts.stats;
+  std::optional<trace::Recorder> recorder;
+  if (traced) recorder.emplace(cpus);
   for (const auto id : imb::all_benchmarks()) {
-    if (only && id != *only) continue;
+    if (opts.only && id != *opts.only) continue;
     imb::ImbResult r;
     auto body = [&](xmpi::Comm& c) {
+      c.tuning().bcast_alg = opts.bcast_alg;
+      c.tuning().allreduce_alg = opts.allreduce_alg;
+      c.tuning().allgather_alg = opts.allgather_alg;
+      c.tuning().alltoall_alg = opts.alltoall_alg;
       imb::ImbParams params;
-      params.msg_bytes = id == imb::BenchmarkId::kBarrier ? 0 : msg_bytes;
+      params.msg_bytes = id == imb::BenchmarkId::kBarrier ? 0 : opts.msg_bytes;
       params.phantom = machine.has_value();
       const auto res = imb::run_benchmark(id, c, params);
       if (c.rank() == 0) r = res;
     };
-    if (machine)
-      xmpi::run_on_machine(*machine, cpus, body);
-    else
-      xmpi::run_on_threads(cpus, body);
+    if (machine) {
+      xmpi::SimRunOptions run_options;
+      run_options.recorder = recorder ? &*recorder : nullptr;
+      xmpi::run_on_machine(*machine, cpus, body, run_options);
+    } else {
+      xmpi::ThreadRunOptions run_options;
+      run_options.recorder = recorder ? &*recorder : nullptr;
+      xmpi::run_on_threads(cpus, body, run_options);
+    }
     t.add_row({imb::to_string(id), format_time(r.t_min_s),
                format_time(r.t_avg_s), format_time(r.t_max_s),
                r.bandwidth_Bps > 0 ? format_bandwidth(r.bandwidth_Bps)
                                    : std::string("-")});
   }
   t.print(std::cout);
+  if (opts.stats && recorder) {
+    recorder->summary_table().print(std::cout);
+    if (!recorder->link_tracks().empty())
+      recorder->link_table().print(std::cout);
+  }
+  if (!opts.trace_path.empty() && recorder) {
+    std::ofstream out(opts.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file: %s\n",
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    trace::write_chrome_trace(out, *recorder);
+    std::cout << "trace written to " << opts.trace_path << "\n";
+  }
   return 0;
 }
 
@@ -130,7 +184,7 @@ int main(int argc, char** argv) {
   std::string benchmark;
   int cpus = 64;
   bool real_threads = false;
-  std::size_t msg_bytes = 1 << 20;
+  ImbCliOptions imb_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +194,14 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    auto parse_alg = [&](auto& out) {
+      const char* name = next();
+      if (!hpcx::xmpi::parse(name, out)) {
+        std::fprintf(stderr, "unknown algorithm for %s: %s\n", arg.c_str(),
+                     name);
+        std::exit(2);
+      }
     };
     if (arg == "--list-machines") return list_machines();
     if (arg == "--machine") {
@@ -154,7 +216,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--benchmark") {
       benchmark = next();
     } else if (arg == "--msg-bytes") {
-      msg_bytes = static_cast<std::size_t>(std::atoll(next()));
+      imb_options.msg_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--bcast-alg") {
+      parse_alg(imb_options.bcast_alg);
+    } else if (arg == "--allreduce-alg") {
+      parse_alg(imb_options.allreduce_alg);
+    } else if (arg == "--allgather-alg") {
+      parse_alg(imb_options.allgather_alg);
+    } else if (arg == "--alltoall-alg") {
+      parse_alg(imb_options.alltoall_alg);
+    } else if (arg == "--trace-out") {
+      imb_options.trace_path = next();
+    } else if (arg == "--stats") {
+      imb_options.stats = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -168,18 +242,30 @@ int main(int argc, char** argv) {
   try {
     std::optional<hpcx::mach::MachineConfig> machine;
     if (!real_threads) machine = find_machine(machine_name);
-    if (suite == "hpcc") return run_hpcc(machine, cpus);
+    if (suite == "hpcc") {
+      if (!imb_options.trace_path.empty() || imb_options.stats) {
+        std::fprintf(stderr,
+                     "--trace-out/--stats only apply to the imb suite\n");
+        return 2;
+      }
+      return run_hpcc(machine, cpus);
+    }
     if (suite == "imb") {
-      std::optional<hpcx::imb::BenchmarkId> only;
       if (!benchmark.empty()) {
-        only = benchmark_by_name(benchmark);
-        if (!only) {
+        imb_options.only = benchmark_by_name(benchmark);
+        if (!imb_options.only) {
           std::fprintf(stderr, "unknown IMB benchmark: %s\n",
                        benchmark.c_str());
           return 2;
         }
       }
-      return run_imb(machine, cpus, only, msg_bytes);
+      if (!imb_options.trace_path.empty() && !imb_options.only) {
+        std::fprintf(stderr,
+                     "--trace-out needs --benchmark (one trace file covers "
+                     "one benchmark run)\n");
+        return 2;
+      }
+      return run_imb(machine, cpus, imb_options);
     }
     std::fprintf(stderr, "unknown suite: %s\n", suite.c_str());
     return 2;

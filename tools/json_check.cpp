@@ -1,0 +1,29 @@
+// json_check <file> — exit 0 when the file is well-formed JSON, 1 with a
+// diagnostic otherwise. Used by the ctest case that validates the trace
+// files hpcx_cli emits.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/jsonlint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: json_check <file>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!hpcx::json_well_formed(buffer.str(), &error)) {
+    std::fprintf(stderr, "json_check: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  return 0;
+}
