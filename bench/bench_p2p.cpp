@@ -1,0 +1,103 @@
+// Point-to-point transport microbenchmark (real execution): PingPong
+// half-roundtrip latency and bandwidth on ThreadComm across message
+// sizes, best-of-repeats. This is the before/after yardstick for the
+// shared-memory transport (eager/rendezvous, posted receives); numbers
+// from this binary are recorded in EXPERIMENTS.md.
+//
+//   bench_p2p                      # default size sweep
+//   bench_p2p --repeats 5 --csv p2p.csv
+//   bench_p2p --eager-max 4096     # move the rendezvous threshold
+#include <algorithm>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "harness.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace {
+
+using namespace hpcx;
+
+constexpr int kTagPing = 1;
+constexpr int kTagPong = 2;
+
+int reps_for(std::size_t msg) {
+  if (msg <= 1024) return 20000;
+  if (msg <= 65536) return 5000;
+  return 400;
+}
+
+/// One PingPong run on two ranks; returns the half-roundtrip seconds.
+double pingpong(std::size_t msg, const xmpi::TransportTuning& tuning) {
+  const int reps = reps_for(msg);
+  double t = 0;
+  xmpi::ThreadRunOptions options;
+  options.transport = tuning;
+  xmpi::run_on_threads(
+      2,
+      [&](xmpi::Comm& c) {
+        std::vector<unsigned char> sbuf(std::max<std::size_t>(msg, 1), 0x5a);
+        std::vector<unsigned char> rbuf(std::max<std::size_t>(msg, 1), 0);
+        const xmpi::CBuf s = xmpi::cbuf_bytes(sbuf.data(), msg);
+        const xmpi::MBuf r = xmpi::mbuf_bytes(rbuf.data(), msg);
+        // Loops are split per rank so the timed region is just
+        // send/recv plus the loop counter — no rank branch inside.
+        if (c.rank() == 0) {
+          for (int w = 0; w < 50; ++w) {
+            c.send(1, kTagPing, s);
+            c.recv(1, kTagPong, r);
+          }
+          const double t0 = c.now();
+          for (int i = 0; i < reps; ++i) {
+            c.send(1, kTagPing, s);
+            c.recv(1, kTagPong, r);
+          }
+          t = (c.now() - t0) / reps / 2.0;
+        } else {
+          for (int w = 0; w < 50; ++w) {
+            c.recv(0, kTagPing, r);
+            c.send(0, kTagPong, s);
+          }
+          for (int i = 0; i < reps; ++i) {
+            c.recv(0, kTagPing, r);
+            c.send(0, kTagPong, s);
+          }
+        }
+      },
+      options);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Runner runner(argc, argv,
+                       "bench_p2p — ThreadComm PingPong latency/bandwidth "
+                       "across message sizes");
+  xmpi::TransportTuning tuning;
+  if (runner.options().eager_max_bytes > 0)
+    tuning.eager_max_bytes = runner.options().eager_max_bytes;
+
+  const std::size_t sizes[] = {0,    8,     64,      1024,    4096,
+                               16384, 65536, 262144, 1 << 20, 4 << 20};
+  Table t("ThreadComm p2p (PingPong, best of " +
+          std::to_string(runner.options().repeats) + ", eager-max " +
+          std::string(format_bytes(tuning.eager_max_bytes)) + ")");
+  t.set_header({"size", "protocol", "half-roundtrip", "bandwidth"});
+  for (const std::size_t msg : sizes) {
+    double best = 1e99;
+    for (int rep = 0; rep < runner.options().repeats; ++rep)
+      best = std::min(best, pingpong(msg, tuning));
+    const char* proto =
+        msg <= tuning.eager_max_bytes ? "eager" : "rendezvous";
+    t.add_row({std::string(format_bytes(msg)), proto, format_time(best),
+               msg > 0 && best > 0
+                   ? std::string(format_bandwidth(
+                         static_cast<double>(msg) / best))
+                   : std::string("-")});
+  }
+  runner.emit(t);
+  return 0;
+}

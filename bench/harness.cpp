@@ -28,6 +28,8 @@ void usage(const std::string& what) {
       "  --csv <file>        also write emitted tables as CSV\n"
       "  --trace-out <file>  write a Chrome/Perfetto trace of one traced "
       "run\n"
+      "  --eager-max <bytes> thread-transport eager/rendezvous threshold\n"
+      "                      for real-execution benches (0 = default)\n"
       "  --help              this message\n",
       what.c_str());
 }
@@ -56,6 +58,8 @@ Runner::Runner(int argc, char** argv, std::string what)
       options_.csv_path = next();
     } else if (arg == "--trace-out") {
       options_.trace_path = next();
+    } else if (arg == "--eager-max") {
+      options_.eager_max_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
       usage(what_);
       std::exit(0);

@@ -35,6 +35,9 @@ struct Options {
   int repeats = 2;
   std::string csv_path;    ///< empty = no CSV
   std::string trace_path;  ///< empty = no trace
+  /// Thread-transport eager/rendezvous threshold for real-execution
+  /// benches (0 = the transport default; see xmpi::TransportTuning).
+  std::size_t eager_max_bytes = 0;
 };
 
 class Runner {

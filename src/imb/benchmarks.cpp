@@ -128,18 +128,19 @@ ImbResult dispatch_benchmark(BenchmarkId id, Comm& comm,
     }
     case BenchmarkId::kPingPing: {
       // Both directions launched before either receive: the messages
-      // obstruct each other, which is the point of the benchmark.
+      // obstruct each other, which is the point of the benchmark. The
+      // sends are nonblocking (as in IMB, MPI_Isend) so the pattern
+      // stays deadlock-free above the rendezvous threshold.
       Buffers buf(ph, msg, msg);
+      auto ping = [&](int peer) {
+        xmpi::SendRequest req =
+            comm.isend(peer, kTagPing, buf.send_view(msg));
+        comm.recv(peer, kTagPing, buf.recv_view(msg));
+        comm.wait(req);
+      };
       return measure_pair(
           comm, params.warmup, reps, msg, /*time_divisor=*/1.0,
-          [&] {
-            comm.send(1, kTagPing, buf.send_view(msg));
-            comm.recv(1, kTagPing, buf.recv_view(msg));
-          },
-          [&] {
-            comm.send(0, kTagPing, buf.send_view(msg));
-            comm.recv(0, kTagPing, buf.recv_view(msg));
-          });
+          [&] { ping(1); }, [&] { ping(0); });
     }
     case BenchmarkId::kSendrecv: {
       Buffers buf(ph, msg, msg);
@@ -149,12 +150,18 @@ ImbResult dispatch_benchmark(BenchmarkId id, Comm& comm,
       });
     }
     case BenchmarkId::kExchange: {
+      // Both neighbour sends in flight before either receive (IMB uses
+      // MPI_Isend here for the same reason: the ring is fully cyclic).
       Buffers buf(ph, msg, 2 * msg);
       return measure(comm, params.warmup, reps, 4 * msg, [&](int) {
-        comm.send(left, kTagLeftward, buf.send_view(msg));
-        comm.send(right, kTagRightward, buf.send_view(msg));
+        xmpi::SendRequest to_left =
+            comm.isend(left, kTagLeftward, buf.send_view(msg));
+        xmpi::SendRequest to_right =
+            comm.isend(right, kTagRightward, buf.send_view(msg));
         comm.recv(left, kTagRightward, buf.recv_view(msg, 0));
         comm.recv(right, kTagLeftward, buf.recv_view(msg, msg));
+        comm.wait(to_left);
+        comm.wait(to_right);
       });
     }
     case BenchmarkId::kBarrier: {

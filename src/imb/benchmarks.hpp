@@ -13,6 +13,12 @@ int auto_repetitions(BenchmarkId id, std::size_t msg_bytes, bool phantom);
 ImbResult reduce_timings(xmpi::Comm& comm, double per_rank_avg_s,
                          std::size_t bytes_per_call, int reps);
 
+/// Cross-group merge for IMB "-multi" runs (IMB 2.3 semantics): t_min is
+/// the true minimum over all ranks, t_avg/t_max come from the slowest
+/// group — the number an application sharing the fabric would see.
+/// Bandwidth is rescaled from `mine` to the slowest group's time.
+ImbResult reduce_group_results(xmpi::Comm& comm, const ImbResult& mine);
+
 ImbResult dispatch_benchmark(BenchmarkId id, xmpi::Comm& comm,
                              const ImbParams& params, int reps);
 

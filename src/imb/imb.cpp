@@ -91,6 +91,30 @@ ImbResult reduce_timings(xmpi::Comm& comm, double per_rank_avg_s,
   return r;
 }
 
+ImbResult reduce_group_results(xmpi::Comm& comm, const ImbResult& mine) {
+  // t_min reduces with min across ranks (IMB 2.3); t_avg/t_max keep max
+  // so the slowest group dominates the headline numbers.
+  double mn = mine.t_min_s;
+  double tmp = 0;
+  comm.allreduce(xmpi::CBuf{&mn, 1, xmpi::DType::kF64},
+                 xmpi::MBuf{&tmp, 1, xmpi::DType::kF64}, xmpi::ROp::kMin);
+  mn = tmp;
+  double vals[2] = {mine.t_avg_s, mine.t_max_s};
+  double mx[2] = {0, 0};
+  comm.allreduce(xmpi::CBuf{vals, 2, xmpi::DType::kF64},
+                 xmpi::MBuf{mx, 2, xmpi::DType::kF64}, xmpi::ROp::kMax);
+  ImbResult out;
+  out.t_min_s = mn;
+  out.t_avg_s = mx[0];
+  out.t_max_s = mx[1];
+  out.repetitions = mine.repetitions;
+  if (mine.bandwidth_Bps > 0 && out.t_max_s > 0) {
+    // Recompute from the slowest group's time with the same byte count.
+    out.bandwidth_Bps = mine.bandwidth_Bps * mine.t_max_s / out.t_max_s;
+  }
+  return out;
+}
+
 }  // namespace detail
 
 ImbResult run_benchmark(BenchmarkId id, xmpi::Comm& comm,
@@ -122,21 +146,7 @@ ImbResult run_benchmark(BenchmarkId id, xmpi::Comm& comm,
   comm.barrier();  // launch all groups together
   const ImbResult mine = detail::dispatch_benchmark(id, sub, inner, reps);
 
-  // Reduce across the whole communicator: slowest group dominates.
-  double vals[3] = {mine.t_min_s, mine.t_avg_s, mine.t_max_s};
-  double mx[3] = {0, 0, 0};
-  comm.allreduce(xmpi::CBuf{vals, 3, xmpi::DType::kF64},
-                 xmpi::MBuf{mx, 3, xmpi::DType::kF64}, xmpi::ROp::kMax);
-  ImbResult out;
-  out.t_min_s = mx[0];
-  out.t_avg_s = mx[1];
-  out.t_max_s = mx[2];
-  out.repetitions = reps;
-  if (mine.bandwidth_Bps > 0 && out.t_max_s > 0) {
-    // Recompute from the slowest group's time with the same byte count.
-    out.bandwidth_Bps = mine.bandwidth_Bps * mine.t_max_s / out.t_max_s;
-  }
-  return out;
+  return detail::reduce_group_results(comm, mine);
 }
 
 }  // namespace hpcx::imb

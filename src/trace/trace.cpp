@@ -102,6 +102,13 @@ void Counters::merge(const Counters& other) {
     send_size_hist[i] += other.send_size_hist[i];
   for (std::size_t i = 0; i < reduce_bytes.size(); ++i)
     reduce_bytes[i] += other.reduce_bytes[i];
+  eager_sends += other.eager_sends;
+  rendezvous_sends += other.rendezvous_sends;
+  payload_copies += other.payload_copies;
+  for (std::size_t i = 0; i < eager_size_hist.size(); ++i)
+    eager_size_hist[i] += other.eager_size_hist[i];
+  for (std::size_t i = 0; i < rendezvous_size_hist.size(); ++i)
+    rendezvous_size_hist[i] += other.rendezvous_size_hist[i];
 }
 
 RankTrace::RankTrace(std::size_t capacity)
@@ -154,13 +161,17 @@ Table Recorder::summary_table() const {
   Table t(std::string("Trace summary (") +
           (virtual_time_ ? "virtual" : "wall-clock") + " time)");
   t.set_header({"rank", "sends", "recvs", "colls", "bytes sent",
-                "bytes recvd", "compute", "events", "dropped"});
+                "bytes recvd", "compute", "eager", "rdv", "copies",
+                "events", "dropped"});
   auto row = [&](const std::string& label, const Counters& c,
                  std::uint64_t recorded, std::uint64_t dropped) {
     t.add_row({label, std::to_string(c.sends), std::to_string(c.recvs),
                std::to_string(c.collectives), format_bytes(c.bytes_sent),
                format_bytes(c.bytes_received), format_time(c.compute_s),
-               std::to_string(recorded), std::to_string(dropped)});
+               std::to_string(c.eager_sends),
+               std::to_string(c.rendezvous_sends),
+               std::to_string(c.payload_copies), std::to_string(recorded),
+               std::to_string(dropped)});
   };
   std::uint64_t recorded = 0, dropped = 0;
   for (int r = 0; r < nranks(); ++r) {
@@ -175,6 +186,14 @@ Table Recorder::summary_table() const {
     if (sum.send_size_hist[cls] > 0)
       t.add_note("sends " + size_class_label(cls) + ": " +
                  std::to_string(sum.send_size_hist[cls]));
+  for (std::size_t cls = 0; cls < kSizeClasses; ++cls) {
+    const std::uint64_t e = sum.eager_size_hist[cls];
+    const std::uint64_t r = sum.rendezvous_size_hist[cls];
+    if (e + r > 0)
+      t.add_note("transport " + size_class_label(cls) + ": " +
+                 std::to_string(e) + " eager, " + std::to_string(r) +
+                 " rendezvous");
+  }
   return t;
 }
 

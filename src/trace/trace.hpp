@@ -108,6 +108,17 @@ struct Counters {
   /// Reduction operand bytes by xmpi::ROp value (Sum/Prod/Max/Min).
   std::array<std::uint64_t, 4> reduce_bytes{};
 
+  // Transport-level protocol counters (ThreadComm fills these; they
+  // cover *every* message the transport moves, including the p2p
+  // traffic inside collectives). Classification is by the channel's
+  // eager threshold; payload_copies counts actual memcpys, so a posted
+  // receive shows up as one copy where a staged eager message costs two.
+  std::uint64_t eager_sends = 0;
+  std::uint64_t rendezvous_sends = 0;
+  std::uint64_t payload_copies = 0;
+  std::array<std::uint64_t, kSizeClasses> eager_size_hist{};
+  std::array<std::uint64_t, kSizeClasses> rendezvous_size_hist{};
+
   void note_send(std::uint64_t bytes) {
     ++sends;
     bytes_sent += bytes;

@@ -95,10 +95,10 @@ bool parse(std::string_view name, AlltoallAlg& out) {
   return parse_alg(name, all, out);
 }
 
-void Comm::check_peer(int peer) const {
-  if (peer < 0 || peer >= size())
-    throw CommError("peer rank " + std::to_string(peer) +
-                    " out of range [0, " + std::to_string(size()) + ")");
+void Comm::check_peer_slow(int peer) const {
+  if (peer_limit_ < 0 && peer >= 0 && peer < size()) return;
+  throw CommError("peer rank " + std::to_string(peer) +
+                  " out of range [0, " + std::to_string(size()) + ")");
 }
 
 const trace::Counters* Comm::stats() const {
@@ -141,6 +141,28 @@ void Comm::recv(int src, int tag, MBuf buf) {
   trace_->counters().note_recv(buf.bytes());
 }
 
+SendRequest Comm::isend(int dst, int tag, CBuf buf) {
+  check_peer(dst);
+  if (trace_ == nullptr) return isend_impl(dst, tag, buf);
+  trace::Event e;
+  e.t_begin = now();
+  SendRequest req = isend_impl(dst, tag, buf);
+  e.t_end = now();
+  e.kind = trace::EventKind::kSend;
+  e.peer = dst;
+  e.tag = tag;
+  e.bytes = buf.bytes();
+  trace_->record(e);
+  trace_->counters().note_send(buf.bytes());
+  return req;
+}
+
+void Comm::wait(SendRequest& req) {
+  if (!req.pending()) return;
+  wait_impl(req);
+  req = SendRequest{};
+}
+
 void Comm::compute(double seconds) {
   if (trace_ == nullptr) {
     compute_impl(seconds);
@@ -157,10 +179,12 @@ void Comm::compute(double seconds) {
 
 void Comm::sendrecv(int dst, int send_tag, CBuf send_buf, int src,
                     int recv_tag, MBuf recv_buf) {
-  // Sends are eager (they complete locally without a matching receive),
-  // so send-then-recv cannot deadlock even in fully cyclic patterns.
-  send(dst, send_tag, send_buf);
+  // The send is started nonblocking and completed after the receive:
+  // even when the message is large enough for the rendezvous protocol,
+  // fully cyclic exchange patterns cannot deadlock.
+  SendRequest req = isend(dst, send_tag, send_buf);
   recv(src, recv_tag, recv_buf);
+  wait(req);
 }
 
 }  // namespace hpcx::xmpi

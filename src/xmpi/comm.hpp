@@ -20,11 +20,19 @@
 // Message matching is (source, tag, context) with FIFO order per pair,
 // like MPI. Collectives use a reserved tag space and the communicator's
 // context id, so they never collide with user point-to-point traffic.
+//
+// Send completion: small messages are eager (send returns once the
+// payload is buffered), but a backend may switch to a rendezvous
+// protocol above its eager threshold, where a blocking send does not
+// return until the receiver has taken the data. Cyclic exchange
+// patterns must therefore use sendrecv() or isend()/wait() — exactly
+// the rule real MPI programs live by.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -163,6 +171,23 @@ struct CollectiveTuning {
   std::size_t bcast_segment_bytes = 64 * 1024;
 };
 
+class Comm;
+
+/// Handle for an in-flight nonblocking send, completed by Comm::wait.
+/// The send buffer must stay valid until the wait returns. A
+/// default-constructed (or already-waited) request is complete.
+class SendRequest {
+ public:
+  SendRequest() = default;
+  bool pending() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  explicit SendRequest(std::shared_ptr<void> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<void> state_;
+};
+
 /// Abstract communicator. See file comment for the two implementations.
 class Comm {
  public:
@@ -180,12 +205,24 @@ class Comm {
   /// backend the charge is honoured with a sleep.
   void compute(double seconds);
 
-  // --- Point-to-point (blocking; sends are eager/buffered) ---
+  // --- Point-to-point ---
+  //
+  // send() blocks until the send buffer is reusable; above the
+  // backend's eager threshold that means until the receiver has copied
+  // the data (rendezvous). recv() blocks until the message arrived.
 
   void send(int dst, int tag, CBuf buf);
   void recv(int src, int tag, MBuf buf);
 
+  /// Start a send without waiting for its completion; `buf` must stay
+  /// valid until wait() returns. Use for patterns where both sides
+  /// transmit before either receives (PingPing, Exchange).
+  SendRequest isend(int dst, int tag, CBuf buf);
+  /// Complete an isend; the request becomes complete (idempotent).
+  void wait(SendRequest& req);
+
   /// Combined exchange: both transfers logically in flight together.
+  /// Built on isend + recv, so it is deadlock-free in cyclic patterns.
   virtual void sendrecv(int dst, int send_tag, CBuf send_buf, int src,
                         int recv_tag, MBuf recv_buf);
 
@@ -242,6 +279,24 @@ class Comm {
   virtual void send_impl(int dst, int tag, CBuf buf) = 0;
   virtual void recv_impl(int src, int tag, MBuf buf) = 0;
 
+  /// Nonblocking-send hooks. The default treats every send as eager
+  /// (correct for backends whose send_impl already buffers, like
+  /// SimComm); a backend with a rendezvous protocol overrides both.
+  virtual SendRequest isend_impl(int dst, int tag, CBuf buf) {
+    send_impl(dst, tag, buf);
+    return SendRequest{};
+  }
+  virtual void wait_impl(SendRequest& req) { (void)req; }
+
+  /// For backends overriding the isend hooks: wrap/unwrap the opaque
+  /// per-request state (SendRequest's constructor is private).
+  static SendRequest make_request(std::shared_ptr<void> state) {
+    return SendRequest{std::move(state)};
+  }
+  static const std::shared_ptr<void>& request_state(const SendRequest& r) {
+    return r.state_;
+  }
+
   /// Charge the compute time (sim: advance virtual time; real: sleep).
   virtual void compute_impl(double seconds) = 0;
 
@@ -261,12 +316,28 @@ class Comm {
   static void recv_on(Comm& c, int src, int tag, MBuf buf) {
     c.recv_impl(src, tag, buf);
   }
+  static SendRequest isend_on(Comm& c, int dst, int tag, CBuf buf) {
+    return c.isend_impl(dst, tag, buf);
+  }
+  static void wait_on(Comm& c, SendRequest& req) { c.wait_impl(req); }
 
-  void check_peer(int peer) const;
+  /// Range-check a peer rank. Backends that know their size at
+  /// construction call set_peer_limit() so this compiles to an inline
+  /// compare — send/recv are latency-critical and a virtual size() call
+  /// here is measurable on the fast path.
+  void check_peer(int peer) const {
+    if (peer >= 0 && peer < peer_limit_) [[likely]]
+      return;
+    check_peer_slow(peer);
+  }
+  void set_peer_limit(int n) { peer_limit_ = n; }
 
  private:
+  void check_peer_slow(int peer) const;
+
   CollectiveTuning tuning_;
   trace::RankTrace* trace_ = nullptr;
+  int peer_limit_ = -1;  // -1: unset, check_peer_slow falls back to size()
 };
 
 /// Signature of a rank's main function, shared by both backends.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <vector>
 
 #include "core/error.hpp"
 
@@ -85,34 +87,46 @@ void Window::fence() {
       read_region(g.offset, static_cast<unsigned char*>(g.out.data),
                   g.out.bytes());
 
-  // Send control + put payloads to every peer (rotation order).
-  for (int k = 1; k < n; ++k) {
-    const int peer = (me + k) % n;
+  // Send control + put payloads to every peer (rotation order). The
+  // pattern is all-to-all — every rank sends before it receives — so
+  // the sends are nonblocking; the staging buffers live in `outbound`
+  // (a deque: elements never move) until the requests complete.
+  struct Outbound {
     ControlHeader hdr;
     std::vector<std::uint64_t> body;  // [off, len] per put, then per get
     std::vector<unsigned char> blob;
+  };
+  std::deque<Outbound> outbound;
+  std::vector<SendRequest> requests;
+  for (int k = 1; k < n; ++k) {
+    const int peer = (me + k) % n;
+    Outbound& out = outbound.emplace_back();
+    ControlHeader& hdr = out.hdr;
     for (const PendingPut& p : puts_) {
       if (p.target != peer) continue;
       ++hdr.nputs;
       hdr.put_bytes += p.bytes;
-      body.push_back(p.offset);
-      body.push_back(p.bytes);
-      if (!phantom) blob.insert(blob.end(), p.data.begin(), p.data.end());
+      out.body.push_back(p.offset);
+      out.body.push_back(p.bytes);
+      if (!phantom)
+        out.blob.insert(out.blob.end(), p.data.begin(), p.data.end());
     }
     for (const PendingGet& g : gets_) {
       if (g.target != peer) continue;
       ++hdr.ngets;
-      body.push_back(g.offset);
-      body.push_back(g.out.bytes());
+      out.body.push_back(g.offset);
+      out.body.push_back(g.out.bytes());
     }
-    c.send(peer, tag_header,
-           CBuf{&hdr, sizeof(hdr) / 8, DType::kU64});
-    if (!body.empty())
-      c.send(peer, tag_body, cbuf(std::span<const std::uint64_t>(body)));
+    requests.push_back(c.isend(peer, tag_header,
+                               CBuf{&hdr, sizeof(hdr) / 8, DType::kU64}));
+    if (!out.body.empty())
+      requests.push_back(c.isend(
+          peer, tag_body, cbuf(std::span<const std::uint64_t>(out.body))));
     if (hdr.put_bytes > 0)
-      c.send(peer, tag_payload,
-             phantom ? phantom_cbuf(hdr.put_bytes)
-                     : cbuf_bytes(blob.data(), blob.size()));
+      requests.push_back(
+          c.isend(peer, tag_payload,
+                  phantom ? phantom_cbuf(hdr.put_bytes)
+                          : cbuf_bytes(out.blob.data(), out.blob.size())));
   }
 
   // Receive from every peer: apply their puts, reply to their gets.
@@ -144,20 +158,21 @@ void Window::fence() {
     for (std::uint64_t i = 0; i < hdr.ngets; ++i)
       reply_bytes += body[2 * (hdr.nputs + i) + 1];
     if (hdr.ngets > 0) {
-      std::vector<unsigned char> reply;
+      Outbound& out = outbound.emplace_back();
       if (!phantom) {
-        reply.resize(reply_bytes);
+        out.blob.resize(reply_bytes);
         std::size_t off = 0;
         for (std::uint64_t i = 0; i < hdr.ngets; ++i) {
           const std::size_t goff = body[2 * (hdr.nputs + i)];
           const std::size_t glen = body[2 * (hdr.nputs + i) + 1];
-          read_region(goff, reply.data() + off, glen);
+          read_region(goff, out.blob.data() + off, glen);
           off += glen;
         }
       }
-      c.send(peer, tag_reply,
-             phantom ? phantom_cbuf(reply_bytes)
-                     : cbuf_bytes(reply.data(), reply.size()));
+      requests.push_back(
+          c.isend(peer, tag_reply,
+                  phantom ? phantom_cbuf(reply_bytes)
+                          : cbuf_bytes(out.blob.data(), out.blob.size())));
     }
   }
 
@@ -183,6 +198,7 @@ void Window::fence() {
     }
   }
 
+  for (SendRequest& r : requests) c.wait(r);
   puts_.clear();
   gets_.clear();
   c.barrier();

@@ -55,11 +55,21 @@ struct World {
   int barrier_arrived = 0;
 };
 
+// Same validation contract as the thread backend: check *before* the
+// envelope leaves the inbox, so a mismatch keeps the message intact and
+// the error names exactly what is queued.
 void validate_match(const Envelope& env, const MBuf& buf) {
   if (env.count != buf.count || env.dtype != buf.dtype)
-    throw CommError("recv size/type mismatch (sim backend)");
+    throw CommError(
+        "recv size/type mismatch from rank " + std::to_string(env.src) +
+        " tag " + std::to_string(env.tag) + ": expected " +
+        std::to_string(buf.count) + " x " + std::string(to_string(buf.dtype)) +
+        ", got " + std::to_string(env.count) + " x " +
+        std::string(to_string(env.dtype)) + " (message left queued)");
   if (buf.count > 0 && env.phantom != buf.phantom())
-    throw CommError("phantom/real payload mismatch between send and recv");
+    throw CommError("phantom/real payload mismatch from rank " +
+                    std::to_string(env.src) + " tag " +
+                    std::to_string(env.tag) + " (message left queued)");
 }
 
 class SimComm final : public Comm {
@@ -67,7 +77,9 @@ class SimComm final : public Comm {
   SimComm(World& world, int rank)
       : world_(&world),
         rank_(rank),
-        node_(world.config->node_of_rank(rank)) {}
+        node_(world.config->node_of_rank(rank)) {
+    set_peer_limit(world.nranks);
+  }
 
   int rank() const override { return rank_; }
   int size() const override { return world_->nranks; }
@@ -128,6 +140,7 @@ class SimComm final : public Comm {
     for (;;) {
       for (auto it = rs.inbox.begin(); it != rs.inbox.end(); ++it) {
         if (it->src == src && it->tag == tag) {
+          validate_match(*it, buf);
           Envelope env = std::move(*it);
           rs.inbox.erase(it);
           // Receive-side software overhead applies to messages that
@@ -135,7 +148,6 @@ class SimComm final : public Comm {
           // intra-node latency.
           if (env.src_node != node_)
             world_->sim->sleep(world_->network.recv_overhead_s());
-          validate_match(env, buf);
           if (!buf.phantom() && buf.count > 0)
             std::memcpy(buf.data, env.payload.data(), buf.bytes());
           return;

@@ -27,6 +27,7 @@ SubComm::SubComm(Comm& parent, std::vector<int> members, int context_id)
   }
   HPCX_REQUIRE(my_rank_ >= 0,
                "calling rank is not a member of the sub-communicator");
+  set_peer_limit(static_cast<int>(members_.size()));
   set_trace(parent.trace());
 }
 
@@ -48,5 +49,12 @@ void SubComm::recv_impl(int src, int tag, MBuf buf) {
   recv_on(*parent_, members_[static_cast<std::size_t>(src)],
           translate_tag(tag), buf);
 }
+
+SendRequest SubComm::isend_impl(int dst, int tag, CBuf buf) {
+  return isend_on(*parent_, members_[static_cast<std::size_t>(dst)],
+                  translate_tag(tag), buf);
+}
+
+void SubComm::wait_impl(SendRequest& req) { wait_on(*parent_, req); }
 
 }  // namespace hpcx::xmpi

@@ -45,6 +45,8 @@ class SubComm final : public Comm {
  protected:
   void send_impl(int dst, int tag, CBuf buf) override;
   void recv_impl(int src, int tag, MBuf buf) override;
+  SendRequest isend_impl(int dst, int tag, CBuf buf) override;
+  void wait_impl(SendRequest& req) override;
   void compute_impl(double seconds) override {
     compute_on(*parent_, seconds);
   }

@@ -1,10 +1,13 @@
 #include "xmpi/thread_comm.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,46 +18,164 @@ namespace hpcx::xmpi {
 
 namespace {
 
+using std::memory_order_acquire;
+using std::memory_order_relaxed;
+using std::memory_order_release;
+
+// How long a parked waiter sleeps per tick. Ticked waits make every
+// park self-healing: a missed notify (the wake-up protocol is lock-free
+// on the fast path) or a world abort is observed at the next tick, so
+// no waiter registration is needed anywhere.
+constexpr auto kParkTick = std::chrono::milliseconds(1);
+
+/// Recycled eager payload storage. Blocks live in the channel's pool:
+/// the sender pops one, the receiver pushes it back after copy-out, so
+/// a steady p2p stream allocates only on its first few messages.
+struct Block {
+  std::unique_ptr<unsigned char[]> data;
+  std::size_t cap = 0;
+};
+
+/// Handshake between a rendezvous sender (parked in send/wait) and the
+/// receiver that will copy straight out of its buffer.
+struct RdvState {
+  std::atomic<bool> done{false};
+  std::atomic<bool> tx_parked{false};
+  std::mutex m;
+  std::condition_variable cv;
+};
+
 struct Envelope {
-  int src = -1;
   int tag = 0;
   std::size_t count = 0;
   DType dtype = DType::kByte;
   bool phantom = false;
-  std::vector<unsigned char> payload;
+  bool rendezvous = false;
+  Block block;                     // eager payload (empty for rdv/phantom)
+  const void* rdv_data = nullptr;  // sender's buffer (rendezvous only)
+  std::shared_ptr<RdvState> rdv;
 };
 
-struct Mailbox {
-  std::mutex mutex;
+/// Posted-receive handshake states (Channel::posted_state).
+enum : int {
+  kEmpty = 0,    // no receive posted
+  kPosted,       // receiver published posted_tag/posted_buf and is waiting
+  kClaimed,      // sender won the CAS and is inspecting the post
+  kDone,         // sender delivered straight into the posted buffer
+  kPushed,       // sender enqueued instead (tag/shape mismatch): rescan
+};
+
+/// One direction of one rank pair (SPSC: exactly one producer thread —
+/// the source rank — and one consumer — the destination). The posted-
+/// receive path is lock-free; the queue path takes the per-channel
+/// mutex, never any global lock.
+struct alignas(64) Channel {
+  // -- lock-free posted-receive handshake --
+  std::atomic<int> posted_state{kEmpty};
+  int posted_tag = 0;   // stable while kPosted/kClaimed
+  MBuf posted_buf{};    // stable while kPosted/kClaimed
+  // -- producer-consumer queue --
+  std::atomic<std::uint64_t> seq{0};     // bumped on every enqueue
+  std::atomic<std::uint32_t> q_count{0}; // envelopes in q (not deferred)
+  std::mutex m;
+  std::deque<Envelope> q;
+  // -- receiver parking --
+  std::atomic<bool> rx_parked{false};
   std::condition_variable cv;
-  std::deque<Envelope> queue;
+  // -- receiver-private: arrived-but-unmatched, in arrival order, so
+  //    (src, tag) FIFO holds across tag-selective receives --
+  std::deque<Envelope> deferred;
+  // -- eager block recycling --
+  std::mutex pool_m;
+  std::vector<Block> pool;
 };
 
 struct World {
-  explicit World(int nranks)
+  World(int nranks, TransportTuning tuning)
       : nranks(nranks),
-        mailboxes(static_cast<std::size_t>(nranks)),
-        epoch(std::chrono::steady_clock::now()) {}
+        tuning(tuning),
+        channels(static_cast<std::size_t>(nranks) *
+                 static_cast<std::size_t>(nranks)),
+        epoch(std::chrono::steady_clock::now()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    oversubscribed = hw != 0 && hw < static_cast<unsigned>(nranks) + 1;
+    if (tuning.spin_iters > 0)
+      spin_iters = tuning.spin_iters;
+    else
+      spin_iters = oversubscribed ? 512 : 16384;
+  }
+
+  Channel& channel(int src, int dst) {
+    return channels[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(nranks) +
+                    static_cast<std::size_t>(dst)];
+  }
+
+  /// First failure wins; later failures keep their own exception but do
+  /// not change which rank the world blames.
+  void abort(int rank) {
+    int expected = -1;
+    failed_rank.compare_exchange_strong(expected, rank);
+    aborted.store(true, memory_order_release);
+  }
 
   int nranks;
-  std::vector<Mailbox> mailboxes;  // Mailbox is not movable; sized once
+  TransportTuning tuning;
+  bool oversubscribed = false;
+  int spin_iters = 0;
+  std::vector<Channel> channels;  // Channel is not movable; sized once
   std::chrono::steady_clock::time_point epoch;
+  std::atomic<bool> aborted{false};
+  std::atomic<int> failed_rank{-1};
 };
 
-void validate_match(const Envelope& env, const MBuf& buf) {
+// Spin-wait convention (wait_posted / finish_send): on an oversubscribed
+// host the peer cannot make progress unless we give up the core, so the
+// waiter yields every iteration; otherwise it burns 256 polls between
+// yields.
+
+[[noreturn]] void throw_peer_failed(const World& w) {
+  throw CommError("peer rank " + std::to_string(w.failed_rank.load()) +
+                  " failed");
+}
+
+/// Mismatch diagnostics name the offending envelope; the caller leaves
+/// the message queued so a corrected receive can still match it.
+[[noreturn]] void throw_mismatch(const Envelope& env, int src,
+                                 const MBuf& buf) {
   if (env.count != buf.count || env.dtype != buf.dtype)
-    throw CommError("recv size/type mismatch: expected " +
-                    std::to_string(buf.count) + " x " +
-                    std::string(to_string(buf.dtype)) + ", got " +
-                    std::to_string(env.count) + " x " +
-                    std::string(to_string(env.dtype)));
-  if (buf.count > 0 && env.phantom != buf.phantom())
-    throw CommError("phantom/real payload mismatch between send and recv");
+    throw CommError(
+        "recv size/type mismatch from rank " + std::to_string(src) +
+        " tag " + std::to_string(env.tag) + ": expected " +
+        std::to_string(buf.count) + " x " + std::string(to_string(buf.dtype)) +
+        ", got " + std::to_string(env.count) + " x " +
+        std::string(to_string(env.dtype)) + " (message left queued)");
+  throw CommError("phantom/real payload mismatch from rank " +
+                  std::to_string(src) + " tag " + std::to_string(env.tag) +
+                  " (message left queued)");
+}
+
+/// memcpy with an inline fast path for the word-sized payloads that
+/// dominate latency-bound traffic (glibc's runtime-size dispatch costs
+/// more than the copy itself at 8 bytes).
+inline void copy_bytes(void* dst, const void* src, std::size_t n) {
+  if (n == 8) {
+    std::memcpy(dst, src, 8);  // two movs after inlining
+    return;
+  }
+  std::memcpy(dst, src, n);
+}
+
+bool matches_shape(const Envelope& env, const MBuf& buf) {
+  if (env.count != buf.count || env.dtype != buf.dtype) return false;
+  return buf.count == 0 || env.phantom == buf.phantom();
 }
 
 class ThreadComm final : public Comm {
  public:
-  ThreadComm(World& world, int rank) : world_(&world), rank_(rank) {}
+  ThreadComm(World& world, int rank) : world_(&world), rank_(rank) {
+    set_peer_limit(world.nranks);
+  }
 
   int rank() const override { return rank_; }
   int size() const override { return world_->nranks; }
@@ -75,44 +196,294 @@ class ThreadComm final : public Comm {
   }
 
   void send_impl(int dst, int tag, CBuf buf) override {
-    Envelope env;
-    env.src = rank_;
-    env.tag = tag;
-    env.count = buf.count;
-    env.dtype = buf.dtype;
-    env.phantom = buf.phantom();
-    if (!buf.phantom() && buf.count > 0) {
-      env.payload.resize(buf.bytes());
-      std::memcpy(env.payload.data(), buf.data, buf.bytes());
-    }
-    Mailbox& mb = world_->mailboxes[static_cast<std::size_t>(dst)];
-    {
-      std::lock_guard<std::mutex> lock(mb.mutex);
-      mb.queue.push_back(std::move(env));
-    }
-    mb.cv.notify_one();
+    std::shared_ptr<RdvState> rdv = start_send(dst, tag, buf);
+    if (rdv) finish_send(*rdv);
+  }
+
+  SendRequest isend_impl(int dst, int tag, CBuf buf) override {
+    return make_request(start_send(dst, tag, buf));
+  }
+
+  void wait_impl(SendRequest& req) override {
+    finish_send(*std::static_pointer_cast<RdvState>(request_state(req)));
   }
 
   void recv_impl(int src, int tag, MBuf buf) override {
-    Mailbox& mb = world_->mailboxes[static_cast<std::size_t>(rank_)];
-    std::unique_lock<std::mutex> lock(mb.mutex);
+    Channel& ch = world_->channel(src, rank_);
+
+    // 1. A matching message may already sit in the deferred list …
+    if (!ch.deferred.empty() && consume_deferred(ch, src, tag, buf)) return;
+    // 2. … or in the queue.
+    if (ch.q_count.load(memory_order_acquire) != 0) {
+      drain(ch);
+      if (consume_deferred(ch, src, tag, buf)) return;
+    }
+
+    // 3. Post the receive so the sender can deliver straight into `buf`
+    //    (zero staging copy), and wait: spin first, then park.
     for (;;) {
-      for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
-        if (it->src == src && it->tag == tag) {
-          Envelope env = std::move(*it);
-          mb.queue.erase(it);
-          lock.unlock();
-          validate_match(env, buf);
-          if (!buf.phantom() && buf.count > 0)
-            std::memcpy(buf.data, env.payload.data(), buf.bytes());
-          return;
-        }
+      const std::uint64_t seen = ch.seq.load(memory_order_acquire);
+      ch.posted_tag = tag;
+      ch.posted_buf = buf;
+      ch.posted_state.store(kPosted, memory_order_release);
+
+      int outcome = wait_posted(ch, seen);
+      if (outcome == kDone) {
+        ch.posted_state.store(kEmpty, memory_order_relaxed);
+        if (auto* t = trace())
+          if (!buf.phantom() && buf.count > 0) ++t->counters().payload_copies;
+        return;
       }
-      mb.cv.wait(lock);
+      // kPushed, or new traffic on the queue: rescan. unpost() already
+      // resolved any in-flight claim.
+      drain(ch);
+      if (consume_deferred(ch, src, tag, buf)) return;
+      if (world_->aborted.load(memory_order_acquire)) throw_peer_failed(*world_);
     }
   }
 
  private:
+  /// Enqueue or directly deliver a message on channel (rank_ -> dst).
+  /// Returns the rendezvous handshake to complete, or nullptr when the
+  /// send already completed (eager / direct delivery).
+  std::shared_ptr<RdvState> start_send(int dst, int tag, CBuf buf) {
+    World& w = *world_;
+    if (w.aborted.load(memory_order_acquire)) throw_peer_failed(w);
+    Channel& ch = w.channel(rank_, dst);
+    const std::size_t bytes = buf.bytes();
+
+    if (trace::RankTrace* t = trace()) {
+      trace::Counters& c = t->counters();
+      const std::size_t cls = trace::size_class(bytes);
+      if (bytes <= w.tuning.eager_max_bytes || buf.phantom()) {
+        ++c.eager_sends;
+        ++c.eager_size_hist[cls];
+      } else {
+        ++c.rendezvous_sends;
+        ++c.rendezvous_size_hist[cls];
+      }
+    }
+
+    // Fast path: the receiver posted a matching buffer and the channel
+    // queue is empty (we are the only producer, so a zero q_count
+    // guarantees no earlier message can be overtaken) — deliver with a
+    // single copy, no lock, no queue traffic.
+    if (ch.q_count.load(memory_order_relaxed) == 0 &&
+        ch.posted_state.load(memory_order_acquire) == kPosted) {
+      int expected = kPosted;
+      if (ch.posted_state.compare_exchange_strong(expected, kClaimed,
+                                                  std::memory_order_acq_rel)) {
+        const MBuf& pb = ch.posted_buf;
+        if (ch.posted_tag == tag && pb.count == buf.count &&
+            pb.dtype == buf.dtype &&
+            (buf.count == 0 || pb.phantom() == buf.phantom())) {
+          if (!buf.phantom() && bytes > 0)
+            copy_bytes(pb.data, buf.data, bytes);
+          ch.posted_state.store(kDone, memory_order_release);
+          wake_receiver(ch);
+          return nullptr;
+        }
+        // Different tag or mismatched shape: fall back to the queue and
+        // tell the receiver to rescan (it reports mismatches itself,
+        // with the envelope kept intact).
+        Envelope env = make_envelope(ch, tag, buf, is_eager(dst, buf, bytes));
+        std::shared_ptr<RdvState> rdv = env.rdv;
+        enqueue(ch, std::move(env));
+        ch.posted_state.store(kPushed, memory_order_release);
+        wake_receiver(ch);
+        return rdv;
+      }
+    }
+
+    Envelope env = make_envelope(ch, tag, buf, is_eager(dst, buf, bytes));
+    std::shared_ptr<RdvState> rdv = env.rdv;
+    enqueue(ch, std::move(env));
+    wake_receiver(ch);
+    return rdv;
+  }
+
+  /// Eager = staged copy (no parking); a self-send must always be eager
+  /// because the one thread cannot both park and deliver.
+  bool is_eager(int dst, CBuf buf, std::size_t bytes) const {
+    return bytes <= world_->tuning.eager_max_bytes || buf.phantom() ||
+           dst == rank_;
+  }
+
+  Envelope make_envelope(Channel& ch, int tag, CBuf buf, bool eager) {
+    Envelope env;
+    env.tag = tag;
+    env.count = buf.count;
+    env.dtype = buf.dtype;
+    env.phantom = buf.phantom();
+    const std::size_t bytes = buf.bytes();
+    if (eager) {
+      if (!buf.phantom() && bytes > 0) {
+        env.block = acquire_block(ch, bytes);
+        std::memcpy(env.block.data.get(), buf.data, bytes);
+        if (auto* t = trace()) ++t->counters().payload_copies;
+      }
+    } else {
+      env.rendezvous = true;
+      env.rdv_data = buf.data;
+      env.rdv = std::make_shared<RdvState>();
+    }
+    return env;
+  }
+
+  void enqueue(Channel& ch, Envelope env) {
+    std::lock_guard<std::mutex> lock(ch.m);
+    ch.q.push_back(std::move(env));
+    ch.q_count.fetch_add(1, memory_order_relaxed);
+    ch.seq.fetch_add(1, memory_order_release);
+  }
+
+  void wake_receiver(Channel& ch) {
+    if (!ch.rx_parked.load(memory_order_acquire)) return;
+    // Empty critical section: serialise with the receiver's predicate
+    // re-check so the notify cannot slip between check and wait. (A
+    // miss would only cost one kParkTick anyway.)
+    { std::lock_guard<std::mutex> lock(ch.m); }
+    ch.cv.notify_one();
+  }
+
+  /// Sender side of the rendezvous: spin, then park, until the receiver
+  /// copied the payload — or the world died.
+  void finish_send(RdvState& rdv) {
+    World& w = *world_;
+    const int spin = w.spin_iters;
+    const bool oversub = w.oversubscribed;
+    for (int i = 0; i < spin; ++i) {
+      if (rdv.done.load(memory_order_acquire)) return;
+      if (oversub || (i & 255) == 255) std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(rdv.m);
+    for (;;) {
+      if (rdv.done.load(memory_order_acquire)) return;
+      if (w.aborted.load(memory_order_acquire)) throw_peer_failed(w);
+      rdv.tx_parked.store(true, memory_order_release);
+      rdv.cv.wait_for(lock, kParkTick);
+      rdv.tx_parked.store(false, memory_order_relaxed);
+    }
+  }
+
+  /// Move everything from the queue into the receiver-private deferred
+  /// list (arrival order preserved).
+  void drain(Channel& ch) {
+    std::lock_guard<std::mutex> lock(ch.m);
+    while (!ch.q.empty()) {
+      ch.deferred.push_back(std::move(ch.q.front()));
+      ch.q.pop_front();
+      ch.q_count.fetch_sub(1, memory_order_relaxed);
+    }
+  }
+
+  /// Find the oldest deferred message with this tag; validate *before*
+  /// removing it, so a mismatch leaves the message intact and the error
+  /// can name exactly what is queued.
+  bool consume_deferred(Channel& ch, int src, int tag, MBuf buf) {
+    for (auto it = ch.deferred.begin(); it != ch.deferred.end(); ++it) {
+      if (it->tag != tag) continue;
+      if (!matches_shape(*it, buf)) throw_mismatch(*it, src, buf);
+      Envelope env = std::move(*it);
+      ch.deferred.erase(it);
+      deliver(ch, env, buf);
+      return true;
+    }
+    return false;
+  }
+
+  void deliver(Channel& ch, Envelope& env, MBuf buf) {
+    const std::size_t bytes = buf.bytes();
+    if (env.rendezvous) {
+      if (!buf.phantom() && bytes > 0) {
+        std::memcpy(buf.data, env.rdv_data, bytes);
+        if (auto* t = trace()) ++t->counters().payload_copies;
+      }
+      env.rdv->done.store(true, memory_order_release);
+      if (env.rdv->tx_parked.load(memory_order_acquire)) {
+        { std::lock_guard<std::mutex> lock(env.rdv->m); }
+        env.rdv->cv.notify_one();
+      }
+      return;
+    }
+    if (!buf.phantom() && bytes > 0) {
+      std::memcpy(buf.data, env.block.data.get(), bytes);
+      if (auto* t = trace()) ++t->counters().payload_copies;
+      release_block(ch, std::move(env.block));
+    }
+  }
+
+  Block acquire_block(Channel& ch, std::size_t bytes) {
+    {
+      std::lock_guard<std::mutex> lock(ch.pool_m);
+      if (!ch.pool.empty()) {
+        Block b = std::move(ch.pool.back());
+        ch.pool.pop_back();
+        if (b.cap >= bytes) return b;
+      }
+    }
+    Block b;
+    b.data = std::make_unique<unsigned char[]>(bytes);
+    b.cap = bytes;
+    return b;
+  }
+
+  void release_block(Channel& ch, Block b) {
+    std::lock_guard<std::mutex> lock(ch.pool_m);
+    if (ch.pool.size() < 8) ch.pool.push_back(std::move(b));
+  }
+
+  /// Wait while our receive is posted. Returns kDone when the sender
+  /// delivered directly, kPushed/kEmpty when the post was retracted and
+  /// the queue should be rescanned.
+  int wait_posted(Channel& ch, std::uint64_t seen) {
+    World& w = *world_;
+    const int spin = w.spin_iters;
+    const bool oversub = w.oversubscribed;
+    for (int i = 0;; ++i) {
+      const int s = ch.posted_state.load(memory_order_acquire);
+      if (s == kDone) return kDone;
+      if (s == kPushed) return unpost(ch);
+      if (ch.seq.load(memory_order_acquire) != seen) return unpost(ch);
+      if (i < spin) {
+        if (oversub || (i & 255) == 255) std::this_thread::yield();
+        continue;
+      }
+      if (w.aborted.load(memory_order_acquire)) {
+        const int r = unpost(ch);
+        if (r == kDone) return kDone;  // delivery raced the abort
+        return r;                      // rescan; recv_impl rethrows
+      }
+      // Park. The re-check inside the lock pairs with wake_receiver().
+      ch.rx_parked.store(true, memory_order_release);
+      {
+        std::unique_lock<std::mutex> lock(ch.m);
+        if (ch.posted_state.load(memory_order_acquire) == kPosted &&
+            ch.seq.load(memory_order_acquire) == seen)
+          ch.cv.wait_for(lock, kParkTick);
+      }
+      ch.rx_parked.store(false, memory_order_relaxed);
+    }
+  }
+
+  /// Retract a posted receive. If the sender is mid-claim, wait for its
+  /// verdict (a few instructions at most).
+  int unpost(Channel& ch) {
+    int expected = kPosted;
+    if (ch.posted_state.compare_exchange_strong(expected, kEmpty,
+                                                std::memory_order_acq_rel))
+      return kEmpty;
+    for (;;) {
+      const int s = ch.posted_state.load(memory_order_acquire);
+      if (s == kDone) return kDone;
+      if (s == kPushed) {
+        ch.posted_state.store(kEmpty, memory_order_relaxed);
+        return kPushed;
+      }
+      std::this_thread::yield();
+    }
+  }
+
   World* world_;
   int rank_;
 };
@@ -124,7 +495,7 @@ ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
   HPCX_REQUIRE(nranks >= 1, "need at least one rank");
   trace::Recorder* recorder = options.recorder;
   if (recorder) recorder->set_virtual_time(false);
-  World world(nranks);
+  World world(nranks, options.transport);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   const auto start = std::chrono::steady_clock::now();
@@ -137,10 +508,18 @@ ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Poison the world: ranks blocked on this one throw "peer rank
+        // N failed" instead of hanging, so the join below terminates.
+        world.abort(r);
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Blame the first failure: later errors are usually just the ripple
+  // ("peer rank N failed") of the original one.
+  const int failed = world.failed_rank.load();
+  if (failed >= 0 && errors[static_cast<std::size_t>(failed)])
+    std::rethrow_exception(errors[static_cast<std::size_t>(failed)]);
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
   ThreadRunResult result;

@@ -18,16 +18,34 @@ struct ThreadRunResult {
   double elapsed_s = 0.0;  ///< wall-clock duration of the parallel region
 };
 
+/// Knobs of the shared-memory transport (see DESIGN.md, "ThreadComm
+/// transport"). The defaults are right for the host benchmarks; the CLI
+/// surface exposes --eager-max for threshold sweeps.
+struct TransportTuning {
+  /// Largest message sent eagerly (staged through a pooled block).
+  /// Larger messages use the rendezvous protocol: the send blocks until
+  /// the receiver has copied straight out of the sender's buffer.
+  std::size_t eager_max_bytes = 32 * 1024;
+  /// Spin budget (iterations) before a waiting rank parks on its
+  /// condition variable. 0 = auto: a small yield-based budget when the
+  /// host is oversubscribed (ranks > hardware threads), a larger
+  /// pause-based budget otherwise.
+  int spin_iters = 0;
+};
+
 struct ThreadRunOptions {
   /// When set, rank r records into recorder->rank(r) (the recorder must
   /// have been built with at least `nranks` ranks). Timestamps are
   /// wall-clock seconds since the parallel region started.
   trace::Recorder* recorder = nullptr;
+  TransportTuning transport;
 };
 
 /// Run `fn` on `nranks` threads, each with its own Comm. Blocks until all
-/// ranks return. The first exception thrown by any rank is re-thrown
-/// after all threads have been joined.
+/// ranks return. When a rank throws, the world is poisoned: every rank
+/// blocked (or subsequently blocking) in the transport throws
+/// CommError("peer rank N failed"), so the join always completes, and
+/// the *original* exception is re-thrown to the caller.
 ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
                                ThreadRunOptions options = {});
 

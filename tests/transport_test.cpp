@@ -1,0 +1,350 @@
+// Regression tests for the ThreadComm shared-memory transport: world
+// poisoning on rank failure (no hangs), eager/rendezvous protocol
+// selection, posted-receive delivery, matching diagnostics, and the IMB
+// cross-group reduction semantics the transport work uncovered.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "imb/benchmarks.hpp"
+#include "imb/imb.hpp"
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/one_sided.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+using test::Backend;
+using xmpi::CBuf;
+using xmpi::Comm;
+using xmpi::MBuf;
+
+/// Distinct from every library exception type, so a test can prove the
+/// *original* user exception (not the ripple CommErrors of the world
+/// abort) is what run_on_threads rethrows.
+struct Boom : std::exception {
+  const char* what() const noexcept override { return "boom"; }
+};
+
+/// Run `fn` under a deadline. A transport regression that reintroduces
+/// the join() hang would otherwise stall the whole test binary, so on
+/// timeout we fail loudly and exit: the blocked worker thread can never
+/// be joined.
+void with_watchdog(const std::function<void()>& fn, int timeout_s = 60) {
+  auto fut = std::async(std::launch::async, fn);
+  if (fut.wait_for(std::chrono::seconds(timeout_s)) !=
+      std::future_status::ready) {
+    ADD_FAILURE() << "watchdog: parallel region did not terminate within "
+                  << timeout_s << "s";
+    std::fflush(nullptr);
+    std::_Exit(3);
+  }
+  fut.get();
+}
+
+TEST(Abort, ThrowingRankTerminatesBlockedReceivers) {
+  // Ranks 0 and 2 block in recv on rank 1, which throws: the world must
+  // be poisoned so join() returns, and the original exception must win.
+  with_watchdog([] {
+    EXPECT_THROW(xmpi::run_on_threads(3,
+                                      [](Comm& c) {
+                                        if (c.rank() == 1) throw Boom{};
+                                        double x = 0;
+                                        c.recv(1, 5,
+                                               MBuf{&x, 1,
+                                                    xmpi::DType::kF64});
+                                      }),
+                 Boom);
+  });
+}
+
+TEST(Abort, ThrowingRankUnparksRendezvousSender) {
+  // Rank 0's send is above the eager threshold, so it parks waiting for
+  // rank 1 to copy — and rank 1 dies instead.
+  with_watchdog([] {
+    EXPECT_THROW(
+        xmpi::run_on_threads(2,
+                             [](Comm& c) {
+                               if (c.rank() == 1) throw Boom{};
+                               std::vector<unsigned char> buf(256 * 1024);
+                               c.send(1, 5,
+                                      xmpi::cbuf_bytes(buf.data(),
+                                                       buf.size()));
+                             }),
+        Boom);
+  });
+}
+
+TEST(Abort, SurvivorsSeePeerFailedError) {
+  // The poisoned transport must throw a CommError naming the failed
+  // rank at the survivors, not hang or crash them.
+  with_watchdog([] {
+    std::string survivor_error;
+    try {
+      xmpi::run_on_threads(2, [&](Comm& c) {
+        if (c.rank() == 1) throw Boom{};
+        double x = 0;
+        try {
+          c.recv(1, 5, MBuf{&x, 1, xmpi::DType::kF64});
+        } catch (const CommError& e) {
+          survivor_error = e.what();
+          throw;
+        }
+      });
+      FAIL() << "expected the world to rethrow";
+    } catch (const Boom&) {
+      // original exception wins even though rank 0 threw CommError too
+    }
+    EXPECT_NE(survivor_error.find("peer rank 1 failed"), std::string::npos)
+        << survivor_error;
+  });
+}
+
+class BothBackends : public ::testing::TestWithParam<Backend> {};
+INSTANTIATE_TEST_SUITE_P(Transport, BothBackends,
+                         ::testing::Values(Backend::kThreads, Backend::kSim),
+                         [](const auto& info) {
+                           return std::string(test::to_string(info.param));
+                         });
+
+TEST_P(BothBackends, MismatchNamesSourceAndTagAndKeepsMessage) {
+  test::run_world(GetParam(), 2, [](Comm& c) {
+    const int kTag = 7;
+    if (c.rank() == 0) {
+      double vals[4] = {1, 2, 3, 4};
+      c.send(1, kTag, CBuf{vals, 4, xmpi::DType::kF64});
+    } else if (c.rank() == 1) {
+      double out[4] = {0, 0, 0, 0};
+      try {
+        c.recv(0, kTag, MBuf{out, 2, xmpi::DType::kF64});  // wrong count
+        FAIL() << "mismatched recv did not throw";
+      } catch (const CommError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("tag 7"), std::string::npos) << what;
+      }
+      // The message must still be matchable by a corrected receive.
+      c.recv(0, kTag, MBuf{out, 4, xmpi::DType::kF64});
+      EXPECT_DOUBLE_EQ(out[0], 1);
+      EXPECT_DOUBLE_EQ(out[3], 4);
+    }
+  });
+}
+
+TEST_P(BothBackends, MultiGroupTMinReducesWithMin) {
+  // Synthetic per-rank timings through the cross-group merge: t_min must
+  // be the true minimum over ranks (IMB 2.3), t_avg/t_max the maximum
+  // (slowest group dominates).
+  test::run_world(GetParam(), 4, [](Comm& c) {
+    imb::ImbResult mine;
+    mine.t_min_s = 10.0 + c.rank();
+    mine.t_avg_s = 20.0 + c.rank();
+    mine.t_max_s = 30.0 + c.rank();
+    mine.repetitions = 7;
+    const imb::ImbResult out = imb::detail::reduce_group_results(c, mine);
+    EXPECT_DOUBLE_EQ(out.t_min_s, 10.0);
+    EXPECT_DOUBLE_EQ(out.t_avg_s, 23.0);
+    EXPECT_DOUBLE_EQ(out.t_max_s, 33.0);
+    EXPECT_EQ(out.repetitions, 7);
+  });
+}
+
+TEST_P(BothBackends, MultiGroupEndToEndKeepsOrdering) {
+  test::run_world(GetParam(), 4, [](Comm& c) {
+    imb::ImbParams params;
+    params.msg_bytes = 1024;
+    params.repetitions = 4;
+    params.groups = 2;
+    params.phantom = false;
+    const imb::ImbResult r =
+        imb::run_benchmark(imb::BenchmarkId::kSendrecv, c, params);
+    EXPECT_LE(r.t_min_s, r.t_avg_s + 1e-12);
+    EXPECT_LE(r.t_avg_s, r.t_max_s + 1e-12);
+  });
+}
+
+TEST(Transport, ManyTagsFifoStress) {
+  // Every rank floods every other rank on several tags, then drains the
+  // tags in reverse order: per-(src, tag) FIFO must survive the
+  // deferred-list machinery under real concurrency.
+  constexpr int kRanks = 4;
+  constexpr int kTags = 6;
+  constexpr int kMsgs = 25;
+  auto value = [](int src, int tag, int i) {
+    return static_cast<std::int32_t>(src * 100000 + tag * 1000 + i);
+  };
+  with_watchdog([&] {
+    xmpi::run_on_threads(kRanks, [&](Comm& c) {
+      for (int i = 0; i < kMsgs; ++i)
+        for (int tag = 0; tag < kTags; ++tag)
+          for (int dst = 0; dst < kRanks; ++dst) {
+            if (dst == c.rank()) continue;
+            const std::int32_t v = value(c.rank(), tag, i);
+            c.send(dst, tag, CBuf{&v, 1, xmpi::DType::kI32});
+          }
+      for (int src = 0; src < kRanks; ++src) {
+        if (src == c.rank()) continue;
+        for (int tag = kTags - 1; tag >= 0; --tag)
+          for (int i = 0; i < kMsgs; ++i) {
+            std::int32_t v = -1;
+            c.recv(src, tag, MBuf{&v, 1, xmpi::DType::kI32});
+            EXPECT_EQ(v, value(src, tag, i))
+                << "src " << src << " tag " << tag << " msg " << i;
+          }
+      }
+    });
+  });
+}
+
+TEST(Transport, EagerRendezvousBoundary) {
+  // Sizes threshold-1 / threshold / threshold+1 around a 4 KiB eager
+  // threshold: exactly the first two are eager, the third rendezvous,
+  // and every payload must arrive intact either way.
+  constexpr std::size_t kThreshold = 4096;
+  const std::size_t sizes[3] = {kThreshold - 1, kThreshold, kThreshold + 1};
+  trace::Recorder recorder(2);
+  xmpi::ThreadRunOptions options;
+  options.recorder = &recorder;
+  options.transport.eager_max_bytes = kThreshold;
+  with_watchdog([&] {
+    xmpi::run_on_threads(
+        2,
+        [&](Comm& c) {
+          for (int k = 0; k < 3; ++k) {
+            std::vector<unsigned char> buf(sizes[k]);
+            if (c.rank() == 0) {
+              for (std::size_t i = 0; i < buf.size(); ++i)
+                buf[i] = static_cast<unsigned char>((i + k) & 0xff);
+              c.send(1, 40 + k, xmpi::cbuf_bytes(buf.data(), buf.size()));
+            } else {
+              c.recv(0, 40 + k, xmpi::mbuf_bytes(buf.data(), buf.size()));
+              for (std::size_t i = 0; i < buf.size(); i += 97)
+                ASSERT_EQ(buf[i], static_cast<unsigned char>((i + k) & 0xff));
+            }
+          }
+        },
+        options);
+  });
+  const trace::Counters& c0 = recorder.rank(0).counters();
+  EXPECT_EQ(c0.eager_sends, 2u);
+  EXPECT_EQ(c0.rendezvous_sends, 1u);
+  EXPECT_EQ(c0.eager_size_hist[trace::size_class(kThreshold - 1)], 1u);
+  EXPECT_EQ(c0.eager_size_hist[trace::size_class(kThreshold)], 1u);
+  EXPECT_EQ(c0.rendezvous_size_hist[trace::size_class(kThreshold + 1)], 1u);
+  // Copy accounting: each message costs 1 copy (posted-direct or
+  // rendezvous) or 2 (staged eager), summed over both ranks' counters.
+  const trace::Counters total = recorder.total();
+  EXPECT_GE(total.payload_copies, 3u);
+  EXPECT_LE(total.payload_copies, 5u);
+}
+
+TEST(Transport, SelfSendStaysEagerAtAnySize) {
+  // A rank sending to itself above the rendezvous threshold must buffer
+  // eagerly — a parked self-send could never be matched.
+  with_watchdog([] {
+    xmpi::run_on_threads(1, [](Comm& c) {
+      std::vector<std::uint64_t> src(1 << 17), dst(1 << 17);
+      std::iota(src.begin(), src.end(), 0);
+      c.send(0, 3, xmpi::cbuf(std::span<const std::uint64_t>(src)));
+      c.recv(0, 3, xmpi::mbuf(std::span<std::uint64_t>(dst)));
+      EXPECT_EQ(dst.back(), src.back());
+    });
+  });
+}
+
+TEST(Transport, LargeSendrecvRingAboveThreshold) {
+  // Fully cyclic exchange at a rendezvous size: sendrecv must stay
+  // deadlock-free (isend under the hood) and deliver correct data.
+  constexpr std::size_t kBytes = 256 * 1024;
+  with_watchdog([] {
+    xmpi::run_on_threads(4, [](Comm& c) {
+      const int right = (c.rank() + 1) % c.size();
+      const int left = (c.rank() + c.size() - 1) % c.size();
+      std::vector<unsigned char> out(kBytes,
+                                     static_cast<unsigned char>(c.rank()));
+      std::vector<unsigned char> in(kBytes, 0xff);
+      c.sendrecv(right, 9, xmpi::cbuf_bytes(out.data(), out.size()), left, 9,
+                 xmpi::mbuf_bytes(in.data(), in.size()));
+      EXPECT_EQ(in[0], static_cast<unsigned char>(left));
+      EXPECT_EQ(in[kBytes - 1], static_cast<unsigned char>(left));
+    });
+  });
+}
+
+TEST(Transport, PingPingAndExchangeAboveThreshold) {
+  // Both-sides-send-first IMB patterns at a rendezvous size: only
+  // possible because they isend.
+  with_watchdog([] {
+    xmpi::run_on_threads(2, [](Comm& c) {
+      imb::ImbParams params;
+      params.msg_bytes = 256 * 1024;
+      params.repetitions = 3;
+      params.warmup = 1;
+      (void)imb::run_benchmark(imb::BenchmarkId::kPingPing, c, params);
+    });
+    xmpi::run_on_threads(4, [](Comm& c) {
+      imb::ImbParams params;
+      params.msg_bytes = 256 * 1024;
+      params.repetitions = 3;
+      params.warmup = 1;
+      (void)imb::run_benchmark(imb::BenchmarkId::kExchange, c, params);
+    });
+  });
+}
+
+TEST(Transport, OneSidedFenceAboveThreshold) {
+  // The fence's all-to-all control/payload exchange is isend-based now;
+  // a rendezvous-size put must complete and land correctly.
+  constexpr std::size_t kBytes = 200 * 1024;
+  with_watchdog([] {
+    xmpi::run_on_threads(3, [](Comm& c) {
+      std::vector<unsigned char> region(kBytes, 0);
+      xmpi::Window win(c, xmpi::mbuf_bytes(region.data(), region.size()), 1);
+      const int target = (c.rank() + 1) % c.size();
+      std::vector<unsigned char> payload(kBytes,
+                                         static_cast<unsigned char>(c.rank()));
+      win.put(target, 0, xmpi::cbuf_bytes(payload.data(), payload.size()));
+      win.fence();
+      const int expect = (c.rank() + c.size() - 1) % c.size();
+      EXPECT_EQ(region[0], static_cast<unsigned char>(expect));
+      EXPECT_EQ(region[kBytes - 1], static_cast<unsigned char>(expect));
+    });
+  });
+}
+
+TEST(Transport, IsendWaitIsIdempotentAndOrdered) {
+  with_watchdog([] {
+    xmpi::run_on_threads(2, [](Comm& c) {
+      if (c.rank() == 0) {
+        std::vector<unsigned char> a(64, 0xaa), b(128 * 1024, 0xbb);
+        xmpi::SendRequest ra =
+            c.isend(1, 1, xmpi::cbuf_bytes(a.data(), a.size()));
+        xmpi::SendRequest rb =
+            c.isend(1, 2, xmpi::cbuf_bytes(b.data(), b.size()));
+        c.wait(ra);
+        c.wait(rb);
+        c.wait(rb);  // idempotent
+        EXPECT_FALSE(rb.pending());
+      } else {
+        std::vector<unsigned char> a(64), b(128 * 1024);
+        c.recv(0, 1, xmpi::mbuf_bytes(a.data(), a.size()));
+        c.recv(0, 2, xmpi::mbuf_bytes(b.data(), b.size()));
+        EXPECT_EQ(a[63], 0xaa);
+        EXPECT_EQ(b[0], 0xbb);
+      }
+    });
+  });
+}
+
+}  // namespace
+}  // namespace hpcx

@@ -35,6 +35,8 @@ void usage() {
       "  --machine <name>         simulated machine (default: sx8)\n"
       "  --cpus <n>               CPU count (default: 64)\n"
       "  --threads <n>            run for REAL on n host threads instead\n"
+      "  --eager-max <bytes>      thread-transport eager/rendezvous\n"
+      "                           threshold (default: 32768; --threads only)\n"
       "  --suite hpcc|imb         which suite (default: imb)\n"
       "  --benchmark <name>       one IMB benchmark (default: all)\n"
       "  --msg-bytes <n>          IMB message size (default: 1048576)\n"
@@ -95,6 +97,7 @@ struct ImbCliOptions {
   xmpi::AlltoallAlg alltoall_alg = xmpi::AlltoallAlg::kAuto;
   std::string trace_path;
   bool stats = false;
+  xmpi::TransportTuning transport;  ///< --threads runs only
 };
 
 int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
@@ -128,6 +131,7 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
     } else {
       xmpi::ThreadRunOptions run_options;
       run_options.recorder = recorder ? &*recorder : nullptr;
+      run_options.transport = opts.transport;
       xmpi::run_on_threads(cpus, body, run_options);
     }
     t.add_row({imb::to_string(id), format_time(r.t_min_s),
@@ -211,6 +215,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       cpus = std::atoi(next());
       real_threads = true;
+    } else if (arg == "--eager-max") {
+      imb_options.transport.eager_max_bytes =
+          static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--suite") {
       suite = next();
     } else if (arg == "--benchmark") {
