@@ -2,26 +2,36 @@
 // promised to evaluate ("Linux clusters with different networks, IBM
 // Blue Gene/P, Cray XT4, Cray X1E and a cluster of IBM POWER5+"),
 // run through the same IMB 1 MB battery and the HPCC balance metrics.
-#include <iostream>
+// See harness.hpp for the shared flags.
+#include <algorithm>
 
-#include "core/table.hpp"
 #include "core/units.hpp"
+#include "harness.hpp"
 #include "hpcc/driver.hpp"
 #include "imb/imb.hpp"
 #include "machine/future.hpp"
 #include "report/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcx;
-  constexpr int kCpus = 128;
+  bench::Runner runner(argc, argv,
+                       "Future systems: IMB battery + HPCC balance");
+  const int kCpus = runner.options().cpus > 0 ? runner.options().cpus : 128;
+
+  std::vector<mach::MachineConfig> machines = mach::future_machines();
+  if (runner.has_machine())
+    std::erase_if(machines, [&](const mach::MachineConfig& m) {
+      return m.short_name != runner.options().machine;
+    });
 
   // IMB 1 MB battery.
   Table imb_table("Future systems: IMB at 1 MB, " + std::to_string(kCpus) +
                   " CPUs");
   std::vector<std::string> header{"Benchmark"};
-  const auto machines = mach::future_machines();
   for (const auto& m : machines) header.push_back(m.name);
   imb_table.set_header(std::move(header));
+  report::MeasureOptions measure_options;
+  measure_options.repetitions = runner.options().repeats;
   for (const auto id :
        {imb::BenchmarkId::kBarrier, imb::BenchmarkId::kAllreduce,
         imb::BenchmarkId::kAlltoall, imb::BenchmarkId::kBcast,
@@ -30,7 +40,8 @@ int main() {
     for (const auto& m : machines) {
       const int cpus = std::min(kCpus, m.max_cpus);
       const auto r = report::measure_imb(
-          m, cpus, id, id == imb::BenchmarkId::kBarrier ? 0 : (1 << 20));
+          m, cpus, id, id == imb::BenchmarkId::kBarrier ? 0 : (1 << 20),
+          measure_options);
       if (id == imb::BenchmarkId::kSendrecv)
         row.push_back(format_bandwidth(r.bandwidth_Bps));
       else
@@ -38,7 +49,7 @@ int main() {
     }
     imb_table.add_row(std::move(row));
   }
-  imb_table.print(std::cout);
+  runner.emit(imb_table);
 
   // HPCC balance view (the paper's Figs 2/4 analysis on the new set).
   Table bal("Future systems: HPCC balance at " + std::to_string(kCpus) +
@@ -58,6 +69,6 @@ int main() {
   bal.add_note("torus machines (BG/P, XT4) trade bisection for cost and "
                "scale; the GigE cluster anchors the low end — the same "
                "balance story the paper tells for the 2006 set");
-  bal.print(std::cout);
+  runner.emit(bal);
   return 0;
 }

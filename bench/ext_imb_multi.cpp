@@ -1,24 +1,24 @@
 // Extension: IMB "-multi" mode — the same collective run concurrently by
 // disjoint groups sharing the fabric. Shows how much of each machine's
 // headline (single-group) number survives when the network is shared,
-// which is the regime real mixed workloads operate in.
-#include <iostream>
-
-#include "core/table.hpp"
+// which is the regime real mixed workloads operate in. See harness.hpp
+// for the shared flags.
 #include "core/units.hpp"
+#include "harness.hpp"
 #include "imb/imb.hpp"
 #include "machine/registry.hpp"
 #include "xmpi/sim_comm.hpp"
 
 namespace {
 
-double alltoall_us(const hpcx::mach::MachineConfig& m, int cpus, int groups) {
+double alltoall_us(const hpcx::mach::MachineConfig& m, int cpus, int groups,
+                   int repetitions) {
   double us = 0;
   hpcx::xmpi::run_on_machine(m, cpus, [&](hpcx::xmpi::Comm& c) {
     hpcx::imb::ImbParams p;
     p.msg_bytes = 1 << 20;
     p.phantom = true;
-    p.repetitions = 2;
+    p.repetitions = repetitions;
     p.groups = groups;
     const auto r =
         hpcx::imb::run_benchmark(hpcx::imb::BenchmarkId::kAlltoall, c, p);
@@ -29,23 +29,29 @@ double alltoall_us(const hpcx::mach::MachineConfig& m, int cpus, int groups) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcx;
   constexpr int kCpus = 64;
+  bench::Runner runner(argc, argv,
+                       "IMB -multi: shared-fabric Alltoall penalty");
   Table t("IMB -multi: Alltoall 1 MB on 16-rank groups, isolated vs 4 "
           "concurrent groups on 64 CPUs (us/call)");
   t.set_header({"Machine", "isolated (16 CPUs)", "4 groups of 16",
                 "sharing penalty"});
   for (const auto& m : mach::paper_machines()) {
     if (m.max_cpus < kCpus) continue;
-    const double isolated = alltoall_us(m, 16, 1);
-    const double shared = alltoall_us(m, kCpus, 4);
-    t.add_row({m.name, format_fixed(isolated, 1), format_fixed(shared, 1),
+    if (runner.has_machine() && m.short_name != runner.options().machine)
+      continue;
+    const int reps = runner.options().repeats;
+    const double isolated = alltoall_us(m, 16, 1, reps);
+    const double shared = alltoall_us(m, kCpus, 4, reps);
+    t.add_row({m.name, format_fixed(isolated, 1) + " us",
+               format_fixed(shared, 1) + " us",
                format_fixed(shared / isolated, 2) + "x"});
   }
   t.add_note("contiguous 16-rank groups mostly fit inside a leaf/brick, "
              "so well-provisioned fabrics isolate them; the Xeon's 3:1 "
              "blocking core is the one that charges for sharing");
-  t.print(std::cout);
+  runner.emit(t);
   return 0;
 }

@@ -3,26 +3,53 @@
 // topology saturates (tapered Clos spines on the Xeon, node downlinks on
 // the crossbar, core links on the fat tree). This is the diagnostic view
 // behind the paper's "total communications capacity" discussion.
-#include <cstdio>
-#include <iostream>
-
-#include "core/table.hpp"
+//
+// With --trace-out the selected machine's run (or the first paper
+// machine's) is recorded and the per-link utilisation/backlog curves are
+// exported as Perfetto counter tracks.
 #include "core/units.hpp"
+#include "harness.hpp"
 #include "machine/registry.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcx;
-  constexpr int kCpus = 64;
+  bench::Runner runner(argc, argv,
+                       "Hottest links per machine, Alltoall 1 MB");
+  const int cpus = runner.options().cpus > 0 ? runner.options().cpus : 64;
+  bool traced = false;
   for (const auto& m : mach::paper_machines()) {
-    if (m.max_cpus < kCpus) continue;
-    const auto run = xmpi::run_on_machine(m, kCpus, [](xmpi::Comm& c) {
+    if (m.max_cpus < cpus) continue;
+    if (runner.has_machine() && m.short_name != runner.options().machine)
+      continue;
+    const auto rank_fn = [](xmpi::Comm& c) {
       const std::size_t total =
           (std::size_t{1} << 20) * static_cast<std::size_t>(c.size());
       c.alltoall(xmpi::phantom_cbuf(total), xmpi::phantom_mbuf(total));
-    });
+    };
+    xmpi::SimRunOptions sim_options;
+    trace::Recorder recorder(cpus);
+    // Trace the first qualifying machine (or the --machine selection):
+    // its link busy/backlog counters become Perfetto counter tracks.
+    const bool trace_this =
+        (runner.wants_trace() || runner.wants_metrics()) && !traced;
+    if (trace_this) sim_options.recorder = &recorder;
+    const auto run = xmpi::run_on_machine(m, cpus, rank_fn, sim_options);
+    if (trace_this) {
+      traced = true;
+      if (runner.wants_metrics()) {
+        runner.record().env.clock = "virtual";
+        runner.record().set_rank_buckets(recorder);
+        runner.record().add_metric("alltoall 1MB x" + std::to_string(cpus) +
+                                       "/" + m.short_name + "/makespan",
+                                   run.makespan_s, "s",
+                                   metrics::Better::kLower);
+      }
+      if (runner.wants_trace()) runner.write_trace(recorder);
+    }
     Table t("Hottest links: " + m.name + " (" + m.network_name +
-            "), Alltoall 1 MB x " + std::to_string(kCpus) + " CPUs");
+            "), Alltoall 1 MB x " + std::to_string(cpus) + " CPUs");
     t.set_header({"link", "messages", "volume", "busy", "queued"});
     std::size_t shown = 0;
     for (const auto& l : run.hottest_links) {
@@ -34,7 +61,7 @@ int main() {
     t.add_note("makespan " + format_time(run.makespan_s) + ", " +
                std::to_string(run.internode_messages) +
                " inter-node messages");
-    t.print(std::cout);
+    runner.emit(t);
   }
   return 0;
 }

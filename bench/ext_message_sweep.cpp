@@ -2,41 +2,50 @@
 // a function of varying message sizes starting from 1 byte to 2 MB for
 // all 11 benchmarks". One table per benchmark: rows = message sizes
 // 1 B .. 2 MB (powers of four), columns = the five machines at 64 CPUs.
-#include <iostream>
-
-#include "core/table.hpp"
+// See harness.hpp for the shared flags (--machine/--cpus/--csv/...).
 #include "core/units.hpp"
-#include "imb/imb.hpp"
+#include "harness.hpp"
 #include "machine/registry.hpp"
 #include "report/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcx;
-  constexpr int kCpus = 64;
+  bench::Runner runner(argc, argv,
+                       "Message-size sweep: 1 B .. 2 MB for each benchmark");
+  const int cpus =
+      runner.options().cpus > 0 ? runner.options().cpus : 64;
 
   std::vector<std::size_t> sizes;
   for (std::size_t s = 1; s <= (2u << 20); s *= 4) sizes.push_back(s);
   sizes.push_back(2u << 20);
 
+  report::MeasureOptions measure_options;
+  measure_options.repetitions = runner.options().repeats;
+
   for (const auto id : imb::paper_benchmarks()) {
     if (id == imb::BenchmarkId::kBarrier) continue;  // size-independent
-    Table t(std::string("Message-size sweep: IMB ") + to_string(id) +
-            ", 64 CPUs (us/call)");
+    Table t(std::string("Message-size sweep: IMB ") + to_string(id) + ", " +
+            std::to_string(cpus) + " CPUs (us/call)");
     std::vector<std::string> header{"bytes"};
     std::vector<mach::MachineConfig> machines;
-    for (const auto& m : mach::paper_machines())
-      if (m.max_cpus >= kCpus) machines.push_back(m);
+    for (const auto& m : mach::paper_machines()) {
+      if (m.max_cpus < cpus) continue;
+      if (runner.has_machine() &&
+          m.short_name != runner.options().machine)
+        continue;
+      machines.push_back(m);
+    }
     for (const auto& m : machines) header.push_back(m.name);
     t.set_header(std::move(header));
     for (const std::size_t s : sizes) {
       std::vector<std::string> row{format_bytes(s)};
       for (const auto& m : machines) {
-        const auto r = report::measure_imb(m, kCpus, id, s);
-        row.push_back(format_fixed(r.t_avg_s * 1e6, 2));
+        const auto r = report::measure_imb(m, cpus, id, s, measure_options);
+        row.push_back(format_fixed(r.t_avg_s * 1e6, 2) + " us");
       }
       t.add_row(std::move(row));
     }
-    t.print(std::cout);
+    runner.emit(t);
   }
   return 0;
 }

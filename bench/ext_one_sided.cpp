@@ -1,24 +1,28 @@
 // Extension (the paper's stated future work): one-sided GET/PUT
 // performance with fence synchronisation, across the five machines —
 // unidirectional put and get bandwidth between two nodes, plus the cost
-// of an empty fence epoch.
-#include <iostream>
+// of an empty fence epoch. See harness.hpp for the shared flags.
+#include <algorithm>
 
-#include "core/table.hpp"
 #include "core/units.hpp"
+#include "harness.hpp"
 #include "machine/registry.hpp"
 #include "xmpi/one_sided.hpp"
 #include "xmpi/sim_comm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcx;
   using xmpi::Comm;
   constexpr std::size_t kMsg = 1 << 20;
+  bench::Runner runner(argc, argv,
+                       "One-sided put/get bandwidth and fence cost");
 
   Table t("One-sided (fence sync): 1 MB put/get between two nodes, and "
           "empty-fence cost (16 CPUs)");
   t.set_header({"Machine", "Put bandwidth", "Get bandwidth", "Fence time"});
   for (const auto& m : mach::paper_machines()) {
+    if (runner.has_machine() && m.short_name != runner.options().machine)
+      continue;
     const int cpus = std::min(16, m.max_cpus);
     const int peer = std::min(m.cpus_per_node, cpus - 1);  // first off-node
     double put_bw = 0, get_bw = 0, fence_us = 0;
@@ -55,6 +59,6 @@ int main() {
   t.add_note("get pays one extra network traversal (request + reply), so "
              "its effective bandwidth trails put — matching the MPI-2 "
              "measurements the paper planned to add");
-  t.print(std::cout);
+  runner.emit(t);
   return 0;
 }

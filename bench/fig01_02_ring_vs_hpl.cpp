@@ -1,11 +1,16 @@
 // Regenerates the paper's Figs 1-2: accumulated random-ring bandwidth
 // and its B/kFlop ratio over the HPL sweep of each machine (including
-// the Altix NUMALINK3 variant and the beyond-one-box decline).
-#include <iostream>
-
+// the Altix NUMALINK3 variant and the beyond-one-box decline). See
+// harness.hpp for the shared flags (--machine/--cpus/--csv/...).
+#include "harness.hpp"
 #include "report/hpcc_figures.hpp"
 
-int main() {
-  hpcx::report::print_fig01_02_ring_vs_hpl(std::cout);
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(
+      argc, argv, "Figs 1-2: accumulated random-ring bandwidth vs HPL");
+  hpcx::report::FigureOptions options;
+  options.machine = runner.options().machine;
+  options.cpus = runner.options().cpus;
+  runner.emit(hpcx::report::fig01_02_table(options));
   return 0;
 }

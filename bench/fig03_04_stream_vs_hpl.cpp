@@ -1,10 +1,15 @@
 // Regenerates the paper's Figs 3-4: accumulated EP-STREAM copy and the
-// Byte/Flop balance over the HPL sweep of each machine.
-#include <iostream>
-
+// Byte/Flop balance over the HPL sweep of each machine. See harness.hpp
+// for the shared flags (--machine/--cpus/--csv/...).
+#include "harness.hpp"
 #include "report/hpcc_figures.hpp"
 
-int main() {
-  hpcx::report::print_fig03_04_stream_vs_hpl(std::cout);
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv,
+                             "Figs 3-4: accumulated EP-STREAM copy vs HPL");
+  hpcx::report::FigureOptions options;
+  options.machine = runner.options().machine;
+  options.cpus = runner.options().cpus;
+  runner.emit(hpcx::report::fig03_04_table(options));
   return 0;
 }

@@ -1,10 +1,15 @@
 // Regenerates the paper's Fig 5 (all HPCC benchmarks normalised by HPL
-// and by column maximum) and Table 3 (the absolute ratio maxima).
-#include <iostream>
-
+// and by column maximum) and Table 3 (the absolute ratio maxima). See
+// harness.hpp for the shared flags (--machine/--csv/...).
+#include "harness.hpp"
 #include "report/hpcc_figures.hpp"
 
-int main() {
-  hpcx::report::print_fig05_table3(std::cout);
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv,
+                             "Fig 5 + Table 3: normalised HPCC ratios");
+  hpcx::report::FigureOptions options;
+  options.machine = runner.options().machine;
+  for (const hpcx::Table& t : hpcx::report::fig05_table3_tables(options))
+    runner.emit(t);
   return 0;
 }

@@ -1,10 +1,10 @@
 // Regenerates the paper's barrier figure series on the simulated
 // machines. See DESIGN.md for the experiment index.
-#include <iostream>
+#include "harness.hpp"
 
-#include "report/figures.hpp"
-
-int main() {
-  hpcx::report::print_fig06_barrier(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv,
+                             "Fig 6: IMB Barrier, execution time vs CPUs");
+  return runner.run_imb_figure("Fig 6: IMB Barrier, execution time vs CPUs",
+                               hpcx::imb::BenchmarkId::kBarrier, 0, false);
 }

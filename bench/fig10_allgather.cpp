@@ -1,10 +1,11 @@
 // Regenerates the paper's allgather figure series on the simulated
-// machines. See DESIGN.md for the experiment index.
-#include <iostream>
+// machines. See DESIGN.md for the experiment index; see harness.hpp for
+// the shared flags (--machine/--cpus/--repeats/--csv/--trace-out).
+#include "harness.hpp"
 
-#include "report/figures.hpp"
-
-int main() {
-  hpcx::report::print_fig10_allgather(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv, "Fig 10: IMB Allgather, 1 MB");
+  return runner.run_imb_figure("Fig 10: IMB Allgather, 1 MB",
+                               hpcx::imb::BenchmarkId::kAllgather, 1 << 20,
+                               /*as_bandwidth=*/false);
 }

@@ -1,10 +1,12 @@
-// Regenerates the paper's exchange figure series on the simulated
-// machines. See DESIGN.md for the experiment index.
-#include <iostream>
+// Regenerates the paper's exchange bandwidth figure on the simulated
+// machines. See DESIGN.md for the experiment index; see harness.hpp for
+// the shared flags (--machine/--cpus/--repeats/--csv/--trace-out).
+#include "harness.hpp"
 
-#include "report/figures.hpp"
-
-int main() {
-  hpcx::report::print_fig14_exchange(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv,
+                             "Fig 14: IMB Exchange bandwidth, 1 MB");
+  return runner.run_imb_figure("Fig 14: IMB Exchange bandwidth, 1 MB",
+                               hpcx::imb::BenchmarkId::kExchange, 1 << 20,
+                               /*as_bandwidth=*/true);
 }

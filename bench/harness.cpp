@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/error.hpp"
+#include "core/stats.hpp"
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
 #include "report/figures.hpp"
@@ -28,6 +29,7 @@ void usage(const std::string& what) {
       "  --csv <file>        also write emitted tables as CSV\n"
       "  --trace-out <file>  write a Chrome/Perfetto trace of one traced "
       "run\n"
+      "  --metrics-out <file> write a JSON run record (see hpcx_compare)\n"
       "  --eager-max <bytes> thread-transport eager/rendezvous threshold\n"
       "                      for real-execution benches (0 = default)\n"
       "  --help              this message\n",
@@ -38,6 +40,11 @@ void usage(const std::string& what) {
 
 Runner::Runner(int argc, char** argv, std::string what)
     : what_(std::move(what)) {
+  if (argc > 0 && argv[0] != nullptr) {
+    tool_ = argv[0];
+    const std::size_t slash = tool_.find_last_of('/');
+    if (slash != std::string::npos) tool_ = tool_.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -58,6 +65,8 @@ Runner::Runner(int argc, char** argv, std::string what)
       options_.csv_path = next();
     } else if (arg == "--trace-out") {
       options_.trace_path = next();
+    } else if (arg == "--metrics-out") {
+      options_.metrics_path = next();
     } else if (arg == "--eager-max") {
       options_.eager_max_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
@@ -80,6 +89,33 @@ Runner::Runner(int argc, char** argv, std::string what)
   }
 }
 
+Runner::~Runner() {
+  if (!wants_metrics() || record_ == nullptr) return;
+  try {
+    record_->write_json(options_.metrics_path);
+    std::cout << "run record written to " << options_.metrics_path << " ("
+              << record_->metrics.size() << " metrics; timer overhead "
+              << record_->timer.overhead_s * 1e9 << " ns, resolution "
+              << record_->timer.resolution_s * 1e9 << " ns)\n";
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to write run record: %s\n", e.what());
+  }
+}
+
+metrics::RunRecord& Runner::record() const {
+  if (record_ == nullptr) {
+    record_ = std::make_unique<metrics::RunRecord>();
+    record_->tool = tool_.empty() ? what_ : tool_;
+    record_->machine = options_.machine;  // may be empty: default sweep
+    record_->cpus = options_.cpus;
+    record_->env = metrics::capture_environment();
+    record_->env.eager_max_bytes = options_.eager_max_bytes;
+    record_->env.repeats = options_.repeats;
+    record_->timer = metrics::calibrate_timer();
+  }
+  return *record_;
+}
+
 mach::MachineConfig Runner::machine() const {
   for (auto& m : mach::all_machines())
     if (m.short_name == options_.machine) return m;
@@ -91,6 +127,7 @@ mach::MachineConfig Runner::machine() const {
 
 void Runner::emit(const Table& table) const {
   table.print(std::cout);
+  if (wants_metrics()) record().add_table_metrics(table);
   if (options_.csv_path.empty()) return;
   std::ofstream csv(options_.csv_path, std::ios::app);
   if (!csv) throw ConfigError("cannot open CSV file: " + options_.csv_path);
@@ -114,10 +151,13 @@ int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
   emit(report::imb_figure(title, id, msg_bytes, as_bandwidth,
                           figure_options));
 
-  if (!wants_trace()) return 0;
+  if (!wants_trace() && !wants_metrics()) return 0;
   // Trace one representative operating point rather than the whole
   // sweep: the selected machine (or the figure's first) at --cpus (or a
-  // small default the machine can host).
+  // small default the machine can host). With --metrics-out the point
+  // is measured --repeats times so the record carries min/avg/max/CoV
+  // across repeats, and the recorder's accumulated per-rank time
+  // buckets land in the record.
   const mach::MachineConfig m =
       has_machine() ? machine() : report::imb_figure_machines().front();
   const int cpus =
@@ -126,8 +166,32 @@ int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
   report::MeasureOptions measure_options;
   measure_options.repetitions = options_.repeats;
   measure_options.recorder = &recorder;
-  measure_imb(m, cpus, id, msg_bytes, measure_options);
-  write_trace(recorder);
+  Stats t_avg;
+  imb::ImbResult last{};
+  const int reps = wants_metrics() ? options_.repeats : 1;
+  for (int rep = 0; rep < reps; ++rep) {
+    last = measure_imb(m, cpus, id, msg_bytes, measure_options);
+    t_avg.add(last.t_avg_s);
+  }
+  if (wants_metrics()) {
+    metrics::RunRecord& rec = record();
+    rec.env.clock = recorder.virtual_time() ? "virtual" : "wall";
+    rec.set_rank_buckets(recorder);
+    const std::string base =
+        title + "/repr " + m.short_name + " x" + std::to_string(cpus);
+    metrics::Metric& t = rec.add_metric(base + "/t_avg", t_avg.mean(), "s",
+                                        metrics::Better::kLower);
+    t.repeats = t_avg.count();
+    t.min = t_avg.min();
+    t.max = t_avg.max();
+    t.cov = t_avg.mean() > 0.0 ? t_avg.stddev() / t_avg.mean() : 0.0;
+    rec.add_metric(base + "/t_max", last.t_max_s, "s",
+                   metrics::Better::kLower);
+    if (last.bandwidth_Bps > 0.0)
+      rec.add_metric(base + "/bandwidth", last.bandwidth_Bps, "B/s",
+                     metrics::Better::kHigher);
+  }
+  if (wants_trace()) write_trace(recorder);
   return 0;
 }
 

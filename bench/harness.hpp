@@ -9,6 +9,9 @@
 //   --csv <file>        also write every emitted table as CSV
 //   --trace-out <file>  write a Chrome/Perfetto trace of one
 //                       representative traced run
+//   --metrics-out <f>   write a JSON run record (metrics/run_record.hpp)
+//                       harvesting every emitted table, plus per-rank
+//                       time buckets of one representative traced run
 //   --help              print the flag summary and exit
 //
 // so `fig07_allreduce` with no arguments still reproduces the paper
@@ -17,11 +20,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "core/table.hpp"
 #include "imb/imb.hpp"
 #include "machine/machine.hpp"
+#include "metrics/run_record.hpp"
 
 namespace hpcx::trace {
 class Recorder;
@@ -33,8 +38,9 @@ struct Options {
   std::string machine;     ///< short_name; empty = binary's default set
   int cpus = 0;            ///< 0 = binary's default sweep
   int repeats = 2;
-  std::string csv_path;    ///< empty = no CSV
-  std::string trace_path;  ///< empty = no trace
+  std::string csv_path;      ///< empty = no CSV
+  std::string trace_path;    ///< empty = no trace
+  std::string metrics_path;  ///< empty = no run record
   /// Thread-transport eager/rendezvous threshold for real-execution
   /// benches (0 = the transport default; see xmpi::TransportTuning).
   std::size_t eager_max_bytes = 0;
@@ -47,6 +53,10 @@ class Runner {
   /// line describing the binary in --help output.
   Runner(int argc, char** argv, std::string what);
 
+  /// Writes the --metrics-out run record, if one was requested and any
+  /// metrics accumulated (failures are reported, not thrown).
+  ~Runner();
+
   const Options& options() const { return options_; }
 
   /// Resolve --machine against the registry (including the projected
@@ -55,24 +65,35 @@ class Runner {
   bool has_machine() const { return !options_.machine.empty(); }
 
   bool wants_trace() const { return !options_.trace_path.empty(); }
+  bool wants_metrics() const { return !options_.metrics_path.empty(); }
 
-  /// Print the table to stdout and, with --csv, append it to the file.
+  /// The run record being built for --metrics-out (created lazily with
+  /// environment capture and timer calibration). Valid to call even
+  /// without --metrics-out — the record is simply never written.
+  metrics::RunRecord& record() const;
+
+  /// Print the table to stdout, with --csv append it to the file, and
+  /// with --metrics-out harvest its cells into the run record.
   void emit(const Table& table) const;
 
   /// Write the recorder as Chrome trace-event JSON to --trace-out.
   void write_trace(const trace::Recorder& recorder) const;
 
   /// Run one of the paper's IMB figures under these options and emit the
-  /// table. With --trace-out, additionally re-runs one representative
-  /// operating point (the selected machine or the figure's first, at
-  /// --cpus or min(16, max)) with tracing on and writes the trace.
-  /// Returns a main()-ready exit code.
+  /// table. With --trace-out or --metrics-out, additionally re-runs one
+  /// representative operating point (the selected machine or the
+  /// figure's first, at --cpus or min(16, max)) with tracing on; the
+  /// trace is written to --trace-out and the per-rank time buckets plus
+  /// across-repeat statistics land in the run record. Returns a
+  /// main()-ready exit code.
   int run_imb_figure(const std::string& title, imb::BenchmarkId id,
                      std::size_t msg_bytes, bool as_bandwidth) const;
 
  private:
   Options options_;
   std::string what_;
+  std::string tool_;  ///< argv[0] basename, stamped into the record
+  mutable std::unique_ptr<metrics::RunRecord> record_;
 };
 
 }  // namespace hpcx::bench

@@ -1,11 +1,13 @@
 // Prints the paper's Tables 1-2: the published architecture parameters
-// and the five-system characteristics as modelled by the registry.
-#include <iostream>
-
+// and the five-system characteristics as modelled by the registry. See
+// harness.hpp for the shared flags (--csv/--metrics-out/...).
+#include "harness.hpp"
 #include "report/figures.hpp"
 
-int main() {
-  hpcx::report::print_table1_altix(std::cout);
-  hpcx::report::print_table2_systems(std::cout);
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv,
+                             "Tables 1-2: system characteristics");
+  runner.emit(hpcx::report::table1_altix());
+  runner.emit(hpcx::report::table2_systems());
   return 0;
 }

@@ -1,0 +1,276 @@
+#include "core/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hpcx {
+
+JsonValue& JsonObject::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_)
+    if (k == key) return v;
+  entries_.emplace_back(key, JsonValue{});
+  return entries_.back().second;
+}
+
+const JsonValue* JsonObject::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content");
+    return true;
+  }
+
+ private:
+  // Matches the nesting limit jsonlint uses; records are ~4 deep.
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (error_)
+      *error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        out = JsonValue(true);
+        return literal("true");
+      case 'f':
+        out = JsonValue(false);
+        return literal("false");
+      case 'n':
+        out = JsonValue{};
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    JsonObject& obj = out.make_object();
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      if (!parse_value(obj[key], depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    std::vector<JsonValue>& arr = out.make_array();
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      arr.emplace_back();
+      if (!parse_value(arr.back(), depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // recombined — record content is ASCII in practice).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("invalid number");
+    // Grammar check (leading zeros, dot/exponent shape) then strtod.
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required after decimal point");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required in exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = JsonValue(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  Parser p(text, error);
+  return p.parse(out);
+}
+
+}  // namespace hpcx

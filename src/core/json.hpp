@@ -1,0 +1,91 @@
+// Minimal JSON document model (RFC 8259) with a recursive-descent
+// parser. Complements core/jsonlint.hpp (validation only): the metrics
+// layer needs to *read* run records back — hpcx_compare diffs two of
+// them — so this provides a small owning DOM. Numbers are doubles
+// (adequate for metric values; we never round-trip 64-bit integers
+// through records), object keys keep insertion order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcx {
+
+class JsonValue;
+
+/// Object preserving insertion order (records are written in a stable
+/// order; diffs and round-trip tests want to see the same order back).
+class JsonObject {
+ public:
+  JsonValue& operator[](const std::string& key);
+  const JsonValue* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  std::size_t size() const { return entries_.size(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, JsonValue>> entries_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<JsonValue>& as_array() const { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+
+  std::vector<JsonValue>& make_array() {
+    kind_ = Kind::kArray;
+    return arr_;
+  }
+  JsonObject& make_object() {
+    kind_ = Kind::kObject;
+    return obj_;
+  }
+
+  /// Object member lookup; nullptr when not an object or key missing.
+  const JsonValue* find(std::string_view key) const {
+    return is_object() ? obj_.find(key) : nullptr;
+  }
+
+  /// Convenience: member's number/string with a fallback when the key
+  /// is absent or the wrong kind.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  JsonObject obj_;
+};
+
+/// Parse exactly one JSON value (plus surrounding whitespace). On
+/// failure returns false and fills *error (if given) with a message
+/// including the byte offset of the problem.
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
+
+}  // namespace hpcx

@@ -59,7 +59,8 @@ HpccConfig auto_config(int cpus) {
 }
 
 HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
-                        HpccConfig cfg, HpccParts parts) {
+                        HpccConfig cfg, HpccParts parts,
+                        trace::Recorder* recorder) {
   HPCX_REQUIRE(cpus >= 1, "need at least one CPU");
   const HpccConfig def = auto_config(cpus);
   if (cfg.hpl_n == 0) cfg.hpl_n = def.hpl_n;
@@ -71,6 +72,12 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
 
   HpccReport report;
   report.cpus = cpus;
+
+  // One recorder threads through all component runs: counters, phase
+  // buckets and link tracks accumulate suite-wide (the last run's link
+  // tracks win, which is fine — they are per-run snapshots).
+  xmpi::SimRunOptions sim_options;
+  sim_options.recorder = recorder;
 
   // EP- metrics come straight from the node model: every CPU of a fully
   // populated node runs the kernel simultaneously.
@@ -103,7 +110,7 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
     xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
       const HplDistResult r = run_hpl_dist(c, hc, &model);
       if (c.rank() == 0) gflops = r.gflops;
-    });
+    }, sim_options);
     report.g_hpl_flops = gflops * 1e9;
   }
 
@@ -115,7 +122,7 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
     xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
       const PtransResult r = run_ptrans(c, cfg.ptrans_n, &model);
       if (c.rank() == 0) bps = r.bytes_per_s;
-    });
+    }, sim_options);
     report.g_ptrans_Bps = bps;
   }
 
@@ -129,7 +136,7 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
       const GupsResult r =
           run_random_access_dist(c, cfg.ra_log2, look_ahead, &model);
       if (c.rank() == 0) gups = r.gups;
-    });
+    }, sim_options);
     report.g_gups = gups * 1e9;  // stored as updates/s
   }
 
@@ -141,7 +148,7 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
     xmpi::run_on_machine(machine, cpus, [&](xmpi::Comm& c) {
       const FftDistResult r = run_fft_dist(c, cfg.fft_n1, cfg.fft_n2, &model);
       if (c.rank() == 0) fps = r.flops_per_s;
-    });
+    }, sim_options);
     report.g_fft_flops = fps;
   }
 
@@ -156,7 +163,7 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
         bw = r.bandwidth_per_cpu_Bps;
         lat = r.latency_s;
       }
-    });
+    }, sim_options);
     report.ring_bw_Bps = bw;
     report.ring_latency_s = lat;
   }
@@ -164,7 +171,8 @@ HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
   return report;
 }
 
-HpccReport run_hpcc_real(int nranks, HpccConfig cfg) {
+HpccReport run_hpcc_real(int nranks, HpccConfig cfg,
+                         trace::Recorder* recorder) {
   HPCX_REQUIRE(nranks >= 1, "need at least one rank");
   // Correctness-grade sizes.
   if (cfg.hpl_n == 0) cfg.hpl_n = 96;
@@ -213,7 +221,7 @@ HpccReport run_hpcc_real(int nranks, HpccConfig cfg) {
       report.ring_bw_Bps = ring.bandwidth_per_cpu_Bps;
       report.ring_latency_s = ring.latency_s;
     }
-  });
+  }, xmpi::ThreadRunOptions{recorder, {}});
   return report;
 }
 

@@ -17,6 +17,10 @@
 #include "machine/machine.hpp"
 #include "xmpi/comm.hpp"
 
+namespace hpcx::trace {
+class Recorder;
+}
+
 namespace hpcx::hpcc {
 
 struct HpccConfig {
@@ -55,11 +59,16 @@ struct HpccParts {
 };
 
 /// Paper operating point: HPCC on `cpus` CPUs of the modelled machine.
+/// With `recorder` set (built for >= cpus ranks) every component run
+/// traces into it, so the per-rank time buckets and kernel phase spans
+/// accumulate across the whole suite.
 HpccReport run_hpcc_sim(const mach::MachineConfig& machine, int cpus,
-                        HpccConfig config = {}, HpccParts parts = {});
+                        HpccConfig config = {}, HpccParts parts = {},
+                        trace::Recorder* recorder = nullptr);
 
 /// Correctness-grade run on host threads (all benchmarks real).
-HpccReport run_hpcc_real(int nranks, HpccConfig config = {});
+HpccReport run_hpcc_real(int nranks, HpccConfig config = {},
+                         trace::Recorder* recorder = nullptr);
 
 /// The auto-scaled configuration run_hpcc_sim would use (exposed for
 /// tests and documentation).

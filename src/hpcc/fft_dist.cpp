@@ -8,6 +8,7 @@
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "hpcc/transpose.hpp"
+#include "trace/trace.hpp"
 
 namespace hpcx::hpcc {
 
@@ -70,41 +71,56 @@ FftDistResult run_fft_dist(xmpi::Comm& comm, std::size_t n1, std::size_t n2,
 
   std::vector<Complex> work;
   // Step 1: transpose to n1 x n2 (strips of n1/P rows).
-  dist_transpose(comm, strip, work, n2, n1, phantom);
-  if (phantom) {
-    comm.compute(static_cast<double>(n1) / unp *
-                 fft_flop_count(static_cast<double>(n2)) / n2 * n2 *
-                 model->seconds_per_flop);
-  } else {
-    // Step 2: length-n2 row FFTs; Step 3: twiddle by e^{-2 pi i j1 k2/n}.
-    const std::size_t lr1 = n1 / unp;
-    fft_rows(work, lr1, n2);
-    const std::size_t j1_base = static_cast<std::size_t>(rank) * lr1;
-    constexpr double kTau = 2.0 * std::numbers::pi;
-    for (std::size_t r = 0; r < lr1; ++r) {
-      const double j1 = static_cast<double>(j1_base + r);
-      for (std::size_t k2 = 0; k2 < n2; ++k2) {
-        const double angle =
-            -kTau * j1 * static_cast<double>(k2) / static_cast<double>(n);
-        work[r * n2 + k2] *= Complex(std::cos(angle), std::sin(angle));
+  {
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kFftTranspose);
+    dist_transpose(comm, strip, work, n2, n1, phantom);
+  }
+  {
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kFftCompute);
+    if (phantom) {
+      comm.compute(static_cast<double>(n1) / unp *
+                   fft_flop_count(static_cast<double>(n2)) / n2 * n2 *
+                   model->seconds_per_flop);
+    } else {
+      // Step 2: length-n2 row FFTs; Step 3: twiddle by e^{-2 pi i j1 k2/n}.
+      const std::size_t lr1 = n1 / unp;
+      fft_rows(work, lr1, n2);
+      const std::size_t j1_base = static_cast<std::size_t>(rank) * lr1;
+      constexpr double kTau = 2.0 * std::numbers::pi;
+      for (std::size_t r = 0; r < lr1; ++r) {
+        const double j1 = static_cast<double>(j1_base + r);
+        for (std::size_t k2 = 0; k2 < n2; ++k2) {
+          const double angle =
+              -kTau * j1 * static_cast<double>(k2) / static_cast<double>(n);
+          work[r * n2 + k2] *= Complex(std::cos(angle), std::sin(angle));
+        }
       }
     }
   }
 
   // Step 4: transpose to n2 x n1.
-  dist_transpose(comm, work, strip, n1, n2, phantom);
-  if (phantom) {
-    comm.compute((static_cast<double>(n2) / unp *
-                      fft_flop_count(static_cast<double>(n1)) / n1 * n1 +
-                  6.0 * static_cast<double>(n) / unp) *
-                 model->seconds_per_flop);
-  } else {
-    // Step 5: length-n1 row FFTs.
-    fft_rows(strip, n2 / unp, n1);
+  {
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kFftTranspose);
+    dist_transpose(comm, work, strip, n1, n2, phantom);
+  }
+  {
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kFftCompute);
+    if (phantom) {
+      comm.compute((static_cast<double>(n2) / unp *
+                        fft_flop_count(static_cast<double>(n1)) / n1 * n1 +
+                    6.0 * static_cast<double>(n) / unp) *
+                   model->seconds_per_flop);
+    } else {
+      // Step 5: length-n1 row FFTs.
+      fft_rows(strip, n2 / unp, n1);
+    }
   }
 
   // Step 6: transpose to the natural-order result (n1 x n2 strips).
-  dist_transpose(comm, strip, work, n2, n1, phantom);
+  {
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kFftTranspose);
+    dist_transpose(comm, strip, work, n2, n1, phantom);
+  }
 
   comm.barrier();
   const double dt = comm.now() - t0;

@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "hpcc/dgemm.hpp"
 #include "hpcc/hpl.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/sub_comm.hpp"
 
 namespace hpcx::hpcc {
@@ -143,6 +144,7 @@ HplDistResult run_model(Comm& comm, const HplDistConfig& cfg,
     const int prow = k % pr;  // grid row owning the diagonal block
 
     if (mycol == pcol) {
+      xmpi::PhaseScope phase(comm, trace::PhaseId::kHplFactor);
       // Cooperative panel factorisation: compute split down the column,
       // one pivot max-exchange per eliminated column.
       const double panel_flops = static_cast<double>(kb) * kb * mloc;
@@ -155,18 +157,25 @@ HplDistResult run_model(Comm& comm, const HplDistConfig& cfg,
           xmpi::ROp::kMax);
     }
 
-    // Panel broadcast along process rows.
-    row_comm.bcast(
-        xmpi::phantom_mbuf(static_cast<std::size_t>(mloc * kb) + 1,
-                           xmpi::DType::kF64),
-        pcol);
+    {
+      xmpi::PhaseScope phase(comm, trace::PhaseId::kHplBcast);
+      // Panel broadcast along process rows.
+      row_comm.bcast(
+          xmpi::phantom_mbuf(static_cast<std::size_t>(mloc * kb) + 1,
+                             xmpi::DType::kF64),
+          pcol);
+    }
 
     // Row interchanges + U broadcast down process columns.
     if (nloc >= 1.0) {
-      col_comm.bcast(
-          xmpi::phantom_mbuf(static_cast<std::size_t>(kb * nloc) + 1,
-                             xmpi::DType::kF64),
-          prow);
+      {
+        xmpi::PhaseScope phase(comm, trace::PhaseId::kHplBcast);
+        col_comm.bcast(
+            xmpi::phantom_mbuf(static_cast<std::size_t>(kb * nloc) + 1,
+                               xmpi::DType::kF64),
+            prow);
+      }
+      xmpi::PhaseScope phase(comm, trace::PhaseId::kHplUpdate);
       // Trailing update: dtrsm + rank-kb DGEMM on the local block.
       const double update_flops =
           2.0 * (m - kb) / pr * kb * nloc + static_cast<double>(kb) * kb * nloc;
@@ -233,6 +242,7 @@ HplDistResult run_hpl_dist(Comm& comm, const HplDistConfig& cfg,
 
     panel.assign(static_cast<std::size_t>(m) * kb, 0.0);
     if (comm.rank() == root) {
+      xmpi::PhaseScope phase(comm, trace::PhaseId::kHplFactor);
       const int lc0 = lay.local_offset(k);
       panel_factor_local(a.data(), n, lda, k0, lc0, kb, piv);
       for (int i = 0; i < m; ++i)
@@ -240,10 +250,14 @@ HplDistResult run_hpl_dist(Comm& comm, const HplDistConfig& cfg,
           panel[static_cast<std::size_t>(i) * kb + c] =
               a[static_cast<std::size_t>(k0 + i) * lda + (lc0 + c)];
     }
-    comm.bcast(xmpi::mbuf(std::span<double>(panel)), root);
-    comm.bcast(xmpi::MBuf{piv.data() + k0, static_cast<std::size_t>(kb),
-                          xmpi::DType::kI32},
-               root);
+    {
+      xmpi::PhaseScope phase(comm, trace::PhaseId::kHplBcast);
+      comm.bcast(xmpi::mbuf(std::span<double>(panel)), root);
+      comm.bcast(xmpi::MBuf{piv.data() + k0, static_cast<std::size_t>(kb),
+                            xmpi::DType::kI32},
+                 root);
+    }
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kHplUpdate);
     if (comm.rank() != root && lay.local_cols() > 0)
       apply_row_swaps(a.data(), lda, k0, kb, piv);
 

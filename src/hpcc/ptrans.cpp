@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "hpcc/transpose.hpp"
+#include "trace/trace.hpp"
 
 namespace hpcx::hpcc {
 
@@ -42,7 +43,10 @@ PtransResult run_ptrans(xmpi::Comm& comm, int n, const PtransModel* model,
 
   comm.barrier();
   const double t0 = comm.now();
-  dist_transpose(comm, b, bt, un, un, phantom);
+  {
+    xmpi::PhaseScope phase(comm, trace::PhaseId::kPtransTranspose);
+    dist_transpose(comm, b, bt, un, un, phantom);
+  }
   if (phantom) {
     // Local A += B^T pass: 3 x 8 bytes touched per element.
     comm.compute(static_cast<double>(lr * un) * 24.0 *

@@ -1,0 +1,118 @@
+#include "metrics/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace hpcx::metrics {
+
+namespace {
+
+/// Render a value in its metric's unit (SI base), readably.
+std::string format_value(double v, const std::string& unit) {
+  if (unit == "s") return format_time(v);
+  if (unit == "B/s") return format_bandwidth(v);
+  if (unit == "flop/s") return format_flops(v);
+  return format_sci(v, 4) + (unit.empty() ? "" : " " + unit);
+}
+
+std::string format_percent(double rel) {
+  return (rel >= 0 ? "+" : "") + format_fixed(rel * 100.0, 2) + "%";
+}
+
+}  // namespace
+
+CompareResult compare(const RunRecord& baseline, const RunRecord& candidate,
+                      CompareOptions options) {
+  CompareResult result;
+  for (const Metric& base : baseline.metrics) {
+    const Metric* cand = candidate.find(base.name);
+    if (cand == nullptr) {
+      ++result.baseline_only;
+      continue;
+    }
+    ++result.compared;
+    if (base.value == 0.0 && cand->value == 0.0) continue;
+    const double denom = std::fabs(base.value);
+    // A metric appearing from / collapsing to exactly zero is treated
+    // as an infinite move: always past tolerance, sign by direction.
+    const double rel = denom > 0.0
+                           ? (cand->value - base.value) / denom
+                           : (cand->value > 0.0 ? 1e9 : -1e9);
+    const double tolerance =
+        std::max(options.rel_threshold,
+                 options.cov_multiple * std::max(base.cov, cand->cov));
+    // "Worse" is direction-dependent: times regress upward, rates
+    // downward.
+    const bool worse = base.better == Better::kLower ? rel > tolerance
+                                                     : rel < -tolerance;
+    const bool improved = base.better == Better::kLower ? rel < -tolerance
+                                                        : rel > tolerance;
+    if (!worse && !improved) continue;
+    Delta d{base.name,  base.unit,   base.better, base.value,
+            cand->value, rel,        tolerance};
+    if (worse)
+      result.regressions.push_back(std::move(d));
+    else if (options.report_improvements)
+      result.improvements.push_back(std::move(d));
+  }
+  for (const Metric& m : candidate.metrics)
+    if (baseline.find(m.name) == nullptr) ++result.candidate_only;
+
+  // Worst offender first.
+  auto severity = [](const Delta& d) { return std::fabs(d.rel_change); };
+  std::sort(result.regressions.begin(), result.regressions.end(),
+            [&](const Delta& a, const Delta& b) {
+              return severity(a) > severity(b);
+            });
+  std::sort(result.improvements.begin(), result.improvements.end(),
+            [&](const Delta& a, const Delta& b) {
+              return severity(a) > severity(b);
+            });
+  return result;
+}
+
+Table compare_table(const CompareResult& result) {
+  Table t(result.pass()
+              ? "Run-record comparison: PASS"
+              : "Run-record comparison: " +
+                    std::to_string(result.regressions.size()) +
+                    " regression(s)");
+  t.set_header(
+      {"metric", "baseline", "candidate", "change", "tolerance", "verdict"});
+  auto add = [&](const Delta& d, const char* verdict) {
+    t.add_row({d.name, format_value(d.baseline, d.unit),
+               format_value(d.candidate, d.unit), format_percent(d.rel_change),
+               "±" + format_fixed(d.tolerance * 100.0, 1) + "%", verdict});
+  };
+  for (const Delta& d : result.regressions) add(d, "REGRESSED");
+  for (const Delta& d : result.improvements) add(d, "improved");
+  t.add_note(std::to_string(result.compared) + " metric(s) compared, " +
+             std::to_string(result.regressions.size()) + " regressed, " +
+             std::to_string(result.improvements.size()) + " improved");
+  if (result.baseline_only > 0)
+    t.add_note(std::to_string(result.baseline_only) +
+               " metric(s) only in the baseline record");
+  if (result.candidate_only > 0)
+    t.add_note(std::to_string(result.candidate_only) +
+               " metric(s) only in the candidate record");
+  return t;
+}
+
+void perturb(RunRecord& record, double factor) {
+  for (Metric& m : record.metrics) {
+    const double f = m.better == Better::kLower ? factor : 1.0 / factor;
+    m.value *= f;
+    m.min *= f;
+    m.max *= f;
+  }
+  // Keep the time buckets consistent with the slowdown story.
+  for (RankBuckets& b : record.ranks) {
+    b.wait_s *= factor;
+    b.elapsed_s *= factor;
+  }
+}
+
+}  // namespace hpcx::metrics

@@ -1,0 +1,67 @@
+// Run-record regression comparison (tools/hpcx_compare's engine).
+//
+// compare() walks every metric the two records share by name and flags
+// the ones that moved in their *worse* direction by more than the
+// per-metric tolerance. The tolerance is the larger of the caller's
+// relative threshold and a noise floor derived from the records' own
+// repeat statistics (kCovMultiple × the worse CoV of the two runs), so
+// a noisy wall-clock metric does not produce false regressions that a
+// deterministic simulated metric would catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_record.hpp"
+
+namespace hpcx {
+class Table;
+}
+
+namespace hpcx::metrics {
+
+struct CompareOptions {
+  /// Relative change that counts as a regression (0.05 = 5%).
+  double rel_threshold = 0.05;
+  /// Noise floor: tolerance is at least this multiple of the larger
+  /// CoV reported by either record for the metric.
+  double cov_multiple = 3.0;
+  /// Also list metrics that *improved* past the threshold (informational).
+  bool report_improvements = true;
+};
+
+/// One metric that moved past its tolerance.
+struct Delta {
+  std::string name;
+  std::string unit;
+  Better better = Better::kLower;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  ///< (candidate - baseline) / |baseline|
+  double tolerance = 0.0;   ///< the effective threshold applied
+};
+
+struct CompareResult {
+  std::vector<Delta> regressions;
+  std::vector<Delta> improvements;
+  std::size_t compared = 0;       ///< metrics present in both records
+  std::size_t baseline_only = 0;  ///< dropped from the candidate
+  std::size_t candidate_only = 0; ///< new in the candidate
+
+  bool pass() const { return regressions.empty(); }
+};
+
+CompareResult compare(const RunRecord& baseline, const RunRecord& candidate,
+                      CompareOptions options = {});
+
+/// Human-readable verdict: offender table (worst first) plus coverage
+/// notes. Empty regression list renders as a pass summary.
+Table compare_table(const CompareResult& result);
+
+/// Worsen every metric of `record` by `factor` (≥ 1): lower-is-better
+/// values are multiplied, higher-is-better divided. Used by the ctest
+/// fixture (and available for threshold experiments) to synthesise a
+/// known regression.
+void perturb(RunRecord& record, double factor);
+
+}  // namespace hpcx::metrics

@@ -1,0 +1,392 @@
+#include "metrics/run_record.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "core/table.hpp"
+#include "hpcc/driver.hpp"
+#include "trace/trace.hpp"
+
+// Build-time git revision, injected by src/CMakeLists.txt on this
+// translation unit only (so a sha change rebuilds one file).
+#ifndef HPCX_GIT_SHA
+#define HPCX_GIT_SHA "unknown"
+#endif
+
+namespace hpcx::metrics {
+
+const char* to_string(Better b) {
+  return b == Better::kLower ? "lower" : "higher";
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip representation (JSON has no NaN/Inf; clamp to 0
+/// so a pathological value cannot produce an unparseable record).
+std::string json_number(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct Suffix {
+  const char* text;
+  double scale;
+  const char* unit;
+  Better better;
+};
+
+// The inverse of core/units.hpp formatting. Bare byte sizes are binary
+// (format_bytes), bandwidths decimal (format_bandwidth, as the paper).
+constexpr Suffix kSuffixes[] = {
+    {"ps", 1e-12, "s", Better::kLower},
+    {"ns", 1e-9, "s", Better::kLower},
+    {"us", 1e-6, "s", Better::kLower},
+    {"ms", 1e-3, "s", Better::kLower},
+    {"s", 1.0, "s", Better::kLower},
+    {"B/s", 1.0, "B/s", Better::kHigher},
+    {"KB/s", 1e3, "B/s", Better::kHigher},
+    {"MB/s", 1e6, "B/s", Better::kHigher},
+    {"GB/s", 1e9, "B/s", Better::kHigher},
+    {"Kflop/s", 1e3, "flop/s", Better::kHigher},
+    {"Mflop/s", 1e6, "flop/s", Better::kHigher},
+    {"Gflop/s", 1e9, "flop/s", Better::kHigher},
+    {"Tflop/s", 1e12, "flop/s", Better::kHigher},
+    {"GUP/s", 1e9, "up/s", Better::kHigher},
+    {"MUP/s", 1e6, "up/s", Better::kHigher},
+    {"up/s", 1.0, "up/s", Better::kHigher},
+    {"B", 1.0, "B", Better::kLower},
+    {"KB", 1024.0, "B", Better::kLower},
+    {"MB", 1024.0 * 1024.0, "B", Better::kLower},
+    {"GB", 1024.0 * 1024.0 * 1024.0, "B", Better::kLower},
+};
+
+}  // namespace
+
+std::optional<ParsedCell> parse_cell(std::string_view cell) {
+  // Strip leading/trailing blanks.
+  while (!cell.empty() && cell.front() == ' ') cell.remove_prefix(1);
+  while (!cell.empty() && cell.back() == ' ') cell.remove_suffix(1);
+  if (cell.empty()) return std::nullopt;
+
+  const std::string text(cell);
+  char* end = nullptr;
+  const double raw = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return std::nullopt;  // no leading number
+  std::string_view rest = std::string_view(text).substr(
+      static_cast<std::size_t>(end - text.c_str()));
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+  if (rest.empty())
+    return ParsedCell{raw, "", Better::kHigher};  // dimensionless
+  for (const Suffix& s : kSuffixes)
+    if (rest == s.text) return ParsedCell{raw * s.scale, s.unit, s.better};
+  return std::nullopt;  // number with an unknown annotation: not a metric
+}
+
+Metric& RunRecord::add_metric(std::string name, double value,
+                              std::string unit, Better better) {
+  for (Metric& m : metrics) {
+    if (m.name == name) {
+      m = Metric{std::move(name), value, std::move(unit), better, 1,
+                 value, value, 0.0};
+      return m;
+    }
+  }
+  metrics.push_back(Metric{std::move(name), value, std::move(unit), better,
+                           1, value, value, 0.0});
+  return metrics.back();
+}
+
+void RunRecord::add_table_metrics(const Table& table) {
+  // Column 0 is the row key (message size, CPU count, machine name) —
+  // part of the metric's *name*, never a value.
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const auto& row = table.row(r);
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      const auto parsed = parse_cell(row[c]);
+      if (!parsed) continue;
+      const std::string col =
+          c < table.header().size() ? table.header()[c] : std::to_string(c);
+      add_metric(table.title() + "/" + row[0] + "/" + col, parsed->value,
+                 parsed->unit, parsed->better);
+    }
+  }
+}
+
+void RunRecord::set_rank_buckets(const trace::Recorder& recorder) {
+  ranks.clear();
+  phase_s.fill(0.0);
+  for (int r = 0; r < recorder.nranks(); ++r) {
+    const trace::Counters& c = recorder.rank(r).counters();
+    ranks.push_back(
+        RankBuckets{r, c.compute_s, c.wait_s, c.copy_s, c.elapsed_s});
+    for (std::size_t p = 0; p < trace::kNumPhases; ++p)
+      phase_s[p] += c.phase_s[p];
+  }
+}
+
+const Metric* RunRecord::find(std::string_view name) const {
+  for (const Metric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::string RunRecord::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"hpcx-run-record/1\",\n";
+  os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
+  os << "  \"machine\": \"" << json_escape(machine) << "\",\n";
+  os << "  \"cpus\": " << cpus << ",\n";
+  os << "  \"environment\": {\"host\": \"" << json_escape(env.host)
+     << "\", \"hardware_concurrency\": " << env.hardware_concurrency
+     << ", \"git_sha\": \"" << json_escape(env.git_sha)
+     << "\", \"timestamp\": \"" << json_escape(env.timestamp)
+     << "\", \"clock\": \"" << json_escape(env.clock)
+     << "\", \"eager_max_bytes\": " << env.eager_max_bytes
+     << ", \"alg_overrides\": \"" << json_escape(env.alg_overrides)
+     << "\", \"repeats\": " << env.repeats << "},\n";
+  os << "  \"timer\": {\"overhead_s\": " << json_number(timer.overhead_s)
+     << ", \"resolution_s\": " << json_number(timer.resolution_s) << "},\n";
+  os << "  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << json_escape(m.name) << "\", \"value\": "
+       << json_number(m.value) << ", \"unit\": \"" << json_escape(m.unit)
+       << "\", \"better\": \"" << to_string(m.better)
+       << "\", \"repeats\": " << m.repeats << ", \"min\": "
+       << json_number(m.min) << ", \"max\": " << json_number(m.max)
+       << ", \"cov\": " << json_number(m.cov) << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"ranks\": [";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankBuckets& b = ranks[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rank\": " << b.rank << ", \"compute_s\": "
+       << json_number(b.compute_s) << ", \"wait_s\": "
+       << json_number(b.wait_s) << ", \"copy_s\": " << json_number(b.copy_s)
+       << ", \"elapsed_s\": " << json_number(b.elapsed_s) << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"phases\": {";
+  bool first = true;
+  for (std::size_t p = 0; p < trace::kNumPhases; ++p) {
+    if (phase_s[p] == 0.0) continue;
+    os << (first ? "" : ", ") << "\""
+       << to_string(static_cast<trace::PhaseId>(p))
+       << "\": " << json_number(phase_s[p]);
+    first = false;
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+void RunRecord::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open metrics output file: " + path);
+  f << to_json();
+  f.flush();
+  if (!f) throw Error("failed writing metrics output file: " + path);
+}
+
+bool RunRecord::from_json(std::string_view text, RunRecord& out,
+                          std::string* error) {
+  JsonValue doc;
+  if (!json_parse(text, doc, error)) return false;
+  if (!doc.is_object()) {
+    if (error) *error = "run record must be a JSON object";
+    return false;
+  }
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "hpcx-run-record/1") {
+    if (error) *error = "unrecognised schema \"" + schema + "\"";
+    return false;
+  }
+  out = RunRecord{};
+  out.tool = doc.string_or("tool", "");
+  out.machine = doc.string_or("machine", "");
+  out.cpus = static_cast<int>(doc.number_or("cpus", 0));
+  if (const JsonValue* e = doc.find("environment"); e && e->is_object()) {
+    out.env.host = e->string_or("host", "");
+    out.env.hardware_concurrency =
+        static_cast<int>(e->number_or("hardware_concurrency", 0));
+    out.env.git_sha = e->string_or("git_sha", "unknown");
+    out.env.timestamp = e->string_or("timestamp", "");
+    out.env.clock = e->string_or("clock", "");
+    out.env.eager_max_bytes =
+        static_cast<std::size_t>(e->number_or("eager_max_bytes", 0));
+    out.env.alg_overrides = e->string_or("alg_overrides", "");
+    out.env.repeats = static_cast<int>(e->number_or("repeats", 1));
+  }
+  if (const JsonValue* t = doc.find("timer"); t && t->is_object()) {
+    out.timer.overhead_s = t->number_or("overhead_s", 0.0);
+    out.timer.resolution_s = t->number_or("resolution_s", 0.0);
+  }
+  if (const JsonValue* ms = doc.find("metrics"); ms && ms->is_array()) {
+    for (const JsonValue& jm : ms->as_array()) {
+      if (!jm.is_object()) continue;
+      Metric m;
+      m.name = jm.string_or("name", "");
+      m.value = jm.number_or("value", 0.0);
+      m.unit = jm.string_or("unit", "");
+      m.better = jm.string_or("better", "lower") == "higher"
+                     ? Better::kHigher
+                     : Better::kLower;
+      m.repeats = static_cast<std::size_t>(jm.number_or("repeats", 1));
+      m.min = jm.number_or("min", m.value);
+      m.max = jm.number_or("max", m.value);
+      m.cov = jm.number_or("cov", 0.0);
+      out.metrics.push_back(std::move(m));
+    }
+  }
+  if (const JsonValue* rs = doc.find("ranks"); rs && rs->is_array()) {
+    for (const JsonValue& jr : rs->as_array()) {
+      if (!jr.is_object()) continue;
+      out.ranks.push_back(RankBuckets{
+          static_cast<int>(jr.number_or("rank", 0)),
+          jr.number_or("compute_s", 0.0), jr.number_or("wait_s", 0.0),
+          jr.number_or("copy_s", 0.0), jr.number_or("elapsed_s", 0.0)});
+    }
+  }
+  if (const JsonValue* ph = doc.find("phases"); ph && ph->is_object()) {
+    for (std::size_t p = 0; p < trace::kNumPhases; ++p)
+      out.phase_s[p] =
+          ph->number_or(to_string(static_cast<trace::PhaseId>(p)), 0.0);
+  }
+  return true;
+}
+
+RunRecord RunRecord::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open run record: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  RunRecord rec;
+  std::string err;
+  if (!from_json(buf.str(), rec, &err))
+    throw Error("invalid run record " + path + ": " + err);
+  return rec;
+}
+
+Environment capture_environment() {
+  Environment env;
+  char host[256] = {0};
+  if (::gethostname(host, sizeof host - 1) == 0 && host[0] != '\0')
+    env.host = host;
+  else
+    env.host = "unknown";
+  env.hardware_concurrency =
+      static_cast<int>(std::thread::hardware_concurrency());
+  env.git_sha = HPCX_GIT_SHA;
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char ts[32];
+  std::strftime(ts, sizeof ts, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  env.timestamp = ts;
+  return env;
+}
+
+TimerCalibration calibrate_timer() {
+  using clock = std::chrono::steady_clock;
+  TimerCalibration cal;
+
+  // Overhead: time a batch of back-to-back reads.
+  constexpr int kReads = 4096;
+  const auto t0 = clock::now();
+  clock::time_point sink = t0;
+  for (int i = 0; i < kReads; ++i) sink = clock::now();
+  cal.overhead_s =
+      std::chrono::duration<double>(sink - t0).count() / kReads;
+
+  // Resolution: smallest nonzero delta between consecutive reads.
+  double best = 1.0;
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto a = clock::now();
+    auto b = clock::now();
+    while (b == a) b = clock::now();
+    best = std::min(best, std::chrono::duration<double>(b - a).count());
+  }
+  cal.resolution_s = best;
+  return cal;
+}
+
+void add_hpcc_metrics(RunRecord& record, const hpcc::HpccReport& report) {
+  record.add_metric("hpcc/g_hpl", report.g_hpl_flops, "flop/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/g_ptrans", report.g_ptrans_Bps, "B/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/g_random_access", report.g_gups, "up/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/g_fft", report.g_fft_flops, "flop/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/ep_stream_copy", report.ep_stream_copy_Bps, "B/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/ep_dgemm", report.ep_dgemm_flops, "flop/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/ring_bandwidth", report.ring_bw_Bps, "B/s",
+                    Better::kHigher);
+  record.add_metric("hpcc/ring_latency", report.ring_latency_s, "s",
+                    Better::kLower);
+  // The paper's balance ratios. Interconnect bytes moved per computed
+  // flop (GB/s per GFlop/s == B/flop): how much network the machine
+  // gives each unit of compute. Latency·bandwidth product: the message
+  // size at which the random ring transitions latency- to
+  // bandwidth-bound (smaller = snappier network).
+  if (report.ep_dgemm_flops > 0.0)
+    record.add_metric("hpcc/ring_bw_per_dgemm_flop",
+                      report.ring_bw_Bps / report.ep_dgemm_flops, "B/flop",
+                      Better::kHigher);
+  if (report.g_hpl_flops > 0.0)
+    record.add_metric("hpcc/ptrans_per_hpl_flop",
+                      report.g_ptrans_Bps / report.g_hpl_flops, "B/flop",
+                      Better::kHigher);
+  record.add_metric("hpcc/ring_latency_bw_product",
+                    report.ring_latency_s * report.ring_bw_Bps, "B",
+                    Better::kLower);
+}
+
+}  // namespace hpcx::metrics

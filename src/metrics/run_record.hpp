@@ -1,0 +1,165 @@
+// hpcx::metrics — machine-readable run records.
+//
+// A RunRecord is the structured result of one benchmark execution: the
+// scalar metrics the run produced (each with a unit, an improvement
+// direction and repeat statistics), the per-rank compute/copy/wait time
+// buckets the backends accumulate while traced (trace::Counters), the
+// per-phase kernel timings, and enough environment capture (host, core
+// count, git sha, eager threshold, timer calibration) to interpret
+// wall-clock numbers from a different machine or a different commit.
+//
+// Records serialise to JSON (schema "hpcx-run-record/1", documented in
+// DESIGN.md) via to_json()/write_json() and load back with from_json(),
+// so tools/hpcx_compare can diff two runs and CI can gate on the result.
+//
+// Metric harvesting: benchmark output in this repo is core/table Tables
+// of *formatted* cells ("12.34 us", "1.50 GB/s"). add_table_metrics()
+// parses every such cell back to SI base units and names it
+// "<table>/<row label>/<column>", which keeps the record in lock-step
+// with what the benches print — a bench cannot print a number that the
+// record misses. The improvement direction is inferred from the unit
+// (times regress upward, rates regress downward).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hpcx {
+class Table;
+}
+namespace hpcx::trace {
+class Recorder;
+}
+namespace hpcx::hpcc {
+struct HpccReport;
+}
+
+namespace hpcx::metrics {
+
+/// Which direction of change is an improvement for a metric.
+enum class Better : std::uint8_t {
+  kLower,   ///< times, latencies, byte counts
+  kHigher,  ///< bandwidths, flop rates, ratios
+};
+
+const char* to_string(Better b);
+
+/// One scalar result. `value` is in SI base units of `unit` ("s",
+/// "B/s", "flop/s", "up/s", "B", "" for dimensionless). When the
+/// measurement was repeated, min/max/cov describe the spread (cov =
+/// stddev / mean, the paper's statistical-quality control; 0 for
+/// deterministic simulated runs).
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  Better better = Better::kLower;
+  std::size_t repeats = 1;
+  double min = 0.0;
+  double max = 0.0;
+  double cov = 0.0;
+};
+
+/// Where one rank's time went (seconds; virtual under simulation).
+/// Filled from trace::Counters — see the bucket contract there.
+struct RankBuckets {
+  int rank = 0;
+  double compute_s = 0.0;
+  double wait_s = 0.0;
+  double copy_s = 0.0;
+  double elapsed_s = 0.0;
+
+  /// Elapsed time not attributed to any bucket: application work on the
+  /// thread backend (real kernels run for real there), ~0 under
+  /// simulation where every virtual-time advance is attributed.
+  double other_s() const {
+    const double attributed = compute_s + wait_s + copy_s;
+    return elapsed_s > attributed ? elapsed_s - attributed : 0.0;
+  }
+};
+
+/// Cost model of the clock the numbers were taken with, so sub-µs
+/// results from different hosts are interpretable.
+struct TimerCalibration {
+  double overhead_s = 0.0;    ///< mean cost of one steady_clock read
+  double resolution_s = 0.0;  ///< smallest observed nonzero increment
+};
+
+/// Reproducibility metadata captured at record creation.
+struct Environment {
+  std::string host;
+  int hardware_concurrency = 0;
+  std::string git_sha;      ///< build-time sha ("unknown" outside git)
+  std::string timestamp;    ///< ISO 8601 UTC at record creation
+  std::string clock;        ///< "wall" (ThreadComm) or "virtual" (SimComm)
+  std::size_t eager_max_bytes = 0;  ///< 0 = transport default
+  std::string alg_overrides;        ///< "bcast=binomial,..." or empty
+  int repeats = 1;
+};
+
+class RunRecord {
+ public:
+  std::string tool;     ///< emitting binary ("fig07_allreduce", ...)
+  std::string machine;  ///< modelled machine short name, or "host"
+  int cpus = 0;
+  Environment env;
+  TimerCalibration timer;
+  std::vector<Metric> metrics;
+  std::vector<RankBuckets> ranks;
+  /// Kernel phase seconds summed over ranks, indexed by trace::PhaseId.
+  std::array<double, trace::kNumPhases> phase_s{};
+
+  /// Append a scalar metric (overwrites an existing one of that name so
+  /// re-emitted tables stay single-valued).
+  Metric& add_metric(std::string name, double value, std::string unit,
+                     Better better);
+
+  /// Harvest every parseable numeric cell of `table` (see file
+  /// comment). Cells that do not parse as a number — labels, machine
+  /// names — are skipped.
+  void add_table_metrics(const Table& table);
+
+  /// Copy the per-rank time buckets and phase totals out of a recorder.
+  void set_rank_buckets(const trace::Recorder& recorder);
+
+  const Metric* find(std::string_view name) const;
+
+  std::string to_json() const;
+  /// Write to_json() to `path`; throws core Error on I/O failure.
+  void write_json(const std::string& path) const;
+
+  static bool from_json(std::string_view text, RunRecord& out,
+                        std::string* error = nullptr);
+  /// Load a record file; throws core Error on I/O or parse failure.
+  static RunRecord load(const std::string& path);
+};
+
+/// A table cell parsed back to SI units ("12.34 us" -> 12.34e-6, "s",
+/// kLower). Dimensionless numbers report unit "" and kHigher (the
+/// repo's dimensionless table cells are normalized rates and balance
+/// ratios, where larger is better).
+struct ParsedCell {
+  double value = 0.0;
+  std::string unit;
+  Better better = Better::kHigher;
+};
+std::optional<ParsedCell> parse_cell(std::string_view cell);
+
+/// Host name, core count, build sha, UTC timestamp.
+Environment capture_environment();
+
+/// Measure steady_clock read overhead and resolution (~a few µs total).
+TimerCalibration calibrate_timer();
+
+/// Add the HPCC report's eight quantities plus the paper's derived
+/// balance ratios (interconnect bytes per computed flop, random-ring
+/// latency·bandwidth product) to `record`.
+void add_hpcc_metrics(RunRecord& record, const hpcc::HpccReport& report);
+
+}  // namespace hpcx::metrics

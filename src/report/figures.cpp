@@ -51,9 +51,9 @@ Table imb_figure(const std::string& title, imb::BenchmarkId id,
       const imb::ImbResult r =
           measure_imb(m, p, id, msg_bytes, measure_options);
       if (as_bandwidth)
-        row.push_back(format_fixed(r.bandwidth_Bps / 1e6, 1));  // MB/s
+        row.push_back(format_fixed(r.bandwidth_Bps / 1e6, 1) + " MB/s");
       else
-        row.push_back(format_fixed(r.t_avg_s * 1e6, 2));  // us/call
+        row.push_back(format_fixed(r.t_avg_s * 1e6, 2) + " us");
     }
     table.add_row(std::move(row));
   }
@@ -115,7 +115,7 @@ void print_fig15_bcast(std::ostream& os) {
                false);
 }
 
-void print_table1_altix(std::ostream& os) {
+Table table1_altix() {
   // Architecture parameters of the SGI Altix BX2 (paper Table 1).
   Table t("Table 1: Architecture parameters of SGI Altix BX2");
   t.set_header({"Characteristics", "SGI Altix BX2"});
@@ -130,10 +130,10 @@ void print_table1_altix(std::ostream& os) {
   t.add_row({"R-bricks", "48"});
   t.add_note("values as published; the simulation model uses the clock, "
              "CPU count and NUMALINK parameters");
-  t.print(os);
+  return t;
 }
 
-void print_table2_systems(std::ostream& os) {
+Table table2_systems() {
   Table t("Table 2: System characteristics of the five computing platforms");
   t.set_header({"Platform", "Type", "CPUs/node", "Clock (GHz)",
                 "Peak/node (Gflop/s)", "Network", "Topology", "Location",
@@ -147,7 +147,10 @@ void print_table2_systems(std::ostream& os) {
                format_fixed(m.peak_flops_per_node() / 1e9, 1), m.network_name,
                to_string(m.topology), m.location, m.vendor});
   }
-  t.print(os);
+  return t;
 }
+
+void print_table1_altix(std::ostream& os) { table1_altix().print(os); }
+void print_table2_systems(std::ostream& os) { table2_systems().print(os); }
 
 }  // namespace hpcx::report

@@ -37,6 +37,10 @@ void print_fig13_sendrecv(std::ostream& os);
 void print_fig14_exchange(std::ostream& os);
 void print_fig15_bcast(std::ostream& os);
 
+/// Tables 1-2 as data (the print_* forms below render these).
+Table table1_altix();
+Table table2_systems();
+
 void print_table1_altix(std::ostream& os);
 void print_table2_systems(std::ostream& os);
 

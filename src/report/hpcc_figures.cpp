@@ -13,9 +13,25 @@ namespace hpcx::report {
 namespace {
 
 /// The machines plotted in the paper's Figs 1-4 balance analysis.
-std::vector<mach::MachineConfig> balance_machines() {
-  return {mach::altix_bx2(), mach::altix_numalink3(), mach::cray_opteron(),
-          mach::dell_xeon(), mach::nec_sx8()};
+std::vector<mach::MachineConfig> balance_machines(
+    const FigureOptions& options) {
+  std::vector<mach::MachineConfig> machines = {
+      mach::altix_bx2(), mach::altix_numalink3(), mach::cray_opteron(),
+      mach::dell_xeon(), mach::nec_sx8()};
+  if (!options.machine.empty())
+    std::erase_if(machines, [&](const mach::MachineConfig& m) {
+      return m.short_name != options.machine;
+    });
+  return machines;
+}
+
+std::vector<int> sweep_counts(const mach::MachineConfig& m,
+                              const FigureOptions& options) {
+  if (options.cpus > 0) {
+    if (options.cpus > m.max_cpus) return {};
+    return {options.cpus};
+  }
+  return hpcc_cpu_counts(m);
 }
 
 hpcc::HpccParts balance_parts() {
@@ -28,14 +44,14 @@ hpcc::HpccParts balance_parts() {
 
 }  // namespace
 
-void print_fig01_02_ring_vs_hpl(std::ostream& os) {
+Table fig01_02_table(const FigureOptions& options) {
   Table t(
       "Figs 1-2: accumulated random-ring bandwidth vs HPL performance, and "
       "their ratio (B/kFlop)");
   t.set_header({"Machine", "CPUs", "HPL (Tflop/s)", "AccRingBW (GB/s)",
                 "Ratio (B/kFlop)"});
-  for (const auto& m : balance_machines()) {
-    for (const int p : hpcc_cpu_counts(m)) {
+  for (const auto& m : balance_machines(options)) {
+    for (const int p : sweep_counts(m, options)) {
       const hpcc::HpccReport& r = hpcc_report_cached(m, p, balance_parts());
       const double acc_bw = r.ring_bw_Bps * p;
       const double ratio = acc_bw / r.g_hpl_flops * 1000.0;  // B/kFlop
@@ -48,17 +64,17 @@ void print_fig01_02_ring_vs_hpl(std::ostream& os) {
              "against column 3");
   t.add_note("paper anchors: Altix NL4 ~203 B/kFlop inside one box, "
              "~23 at 2024 CPUs; NEC SX-8 ~60; Cray Opteron ~24 at 64 CPUs");
-  t.print(os);
+  return t;
 }
 
-void print_fig03_04_stream_vs_hpl(std::ostream& os) {
+Table fig03_04_table(const FigureOptions& options) {
   Table t(
       "Figs 3-4: accumulated EP-STREAM copy vs HPL performance, and the "
       "Byte/Flop balance");
   t.set_header({"Machine", "CPUs", "HPL (Tflop/s)", "AccStream (GB/s)",
                 "Byte/Flop"});
-  for (const auto& m : balance_machines()) {
-    for (const int p : hpcc_cpu_counts(m)) {
+  for (const auto& m : balance_machines(options)) {
+    for (const int p : sweep_counts(m, options)) {
       const hpcc::HpccReport& r = hpcc_report_cached(m, p, balance_parts());
       const double acc_stream = r.ep_stream_copy_Bps * p;
       t.add_row({m.name, std::to_string(p),
@@ -69,10 +85,10 @@ void print_fig03_04_stream_vs_hpl(std::ostream& os) {
   }
   t.add_note("paper anchors: NEC SX-8 consistently above 2.67 B/F, Altix "
              "above 0.36, Cray Opteron between 0.84 and 1.07");
-  t.print(os);
+  return t;
 }
 
-void print_fig05_table3(std::ostream& os) {
+std::vector<Table> fig05_table3_tables(const FigureOptions& options) {
   // Full suite at each machine's largest (2/3/5-smooth) configuration.
   struct Entry {
     mach::MachineConfig machine;
@@ -83,6 +99,8 @@ void print_fig05_table3(std::ostream& os) {
   for (const auto& m : {mach::altix_bx2(), mach::cray_x1_msp(),
                         mach::cray_opteron(), mach::dell_xeon(),
                         mach::nec_sx8()}) {
+    if (!options.machine.empty() && m.short_name != options.machine)
+      continue;
     // Largest configuration the paper ran the full suite on; the Altix
     // stays inside one box (512), the SX-8 uses all 576 CPUs.
     int cpus = std::min(m.max_cpus, 512);
@@ -153,8 +171,22 @@ void print_fig05_table3(std::ostream& os) {
   t5.add_note("paper: NEC SX-8 leads Ptrans/FFTE/StreamCopy; Cray Opteron "
               "leads EP-DGEMM/HPL and RandomAccess/HPL; Altix leads the "
               "latency column");
-  t5.print(os);
-  t3.print(os);
+  std::vector<Table> tables;
+  tables.push_back(std::move(t5));
+  tables.push_back(std::move(t3));
+  return tables;
+}
+
+void print_fig01_02_ring_vs_hpl(std::ostream& os) {
+  fig01_02_table().print(os);
+}
+
+void print_fig03_04_stream_vs_hpl(std::ostream& os) {
+  fig03_04_table().print(os);
+}
+
+void print_fig05_table3(std::ostream& os) {
+  for (const Table& t : fig05_table3_tables()) t.print(os);
 }
 
 }  // namespace hpcx::report

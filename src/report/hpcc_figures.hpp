@@ -4,20 +4,29 @@
 #pragma once
 
 #include <iosfwd>
+#include <vector>
 
 #include "core/table.hpp"
+#include "report/figures.hpp"
 
 namespace hpcx::report {
 
 /// Figs 1-2: accumulated random-ring bandwidth (GB/s) and its ratio to
-/// HPL (B/kFlop) over the HPL sweep of each machine.
-void print_fig01_02_ring_vs_hpl(std::ostream& os);
+/// HPL (B/kFlop) over the HPL sweep of each machine. `options` narrows
+/// the machine set / CPU sweep like the IMB figures.
+Table fig01_02_table(const FigureOptions& options = {});
 
 /// Figs 3-4: accumulated EP-STREAM copy (GB/s) and Byte/Flop balance.
-void print_fig03_04_stream_vs_hpl(std::ostream& os);
+Table fig03_04_table(const FigureOptions& options = {});
 
-/// Fig 5 + Table 3: full-suite ratios at each machine's largest
-/// configuration, normalised like the paper's bar chart.
+/// Fig 5 + Table 3 (in that order): full-suite ratios at each machine's
+/// largest configuration, normalised like the paper's bar chart. Only
+/// the machine filter of `options` applies — the paper fixes the CPU
+/// count per machine.
+std::vector<Table> fig05_table3_tables(const FigureOptions& options = {});
+
+void print_fig01_02_ring_vs_hpl(std::ostream& os);
+void print_fig03_04_stream_vs_hpl(std::ostream& os);
 void print_fig05_table3(std::ostream& os);
 
 }  // namespace hpcx::report

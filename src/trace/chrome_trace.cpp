@@ -84,6 +84,9 @@ void write_span(EventWriter& w, int rank, const Event& e) {
     case EventKind::kCompute:
       name = "compute";
       break;
+    case EventKind::kPhase:
+      name = to_string(e.phase_id());
+      break;
   }
   auto& os = w.begin();
   os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << rank << ",\"ts\":" << us(e.t_begin)
@@ -126,12 +129,23 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec) {
     for (const Event& e : events) write_span(w, r, e);
   }
 
+  // Link tracks become counter series. LinkPoint carries *cumulative*
+  // busy seconds; Perfetto wants instantaneous values, so each sample
+  // emits the utilization of the interval since the previous sample
+  // (fraction of wall/virtual time the link spent serialising) plus the
+  // backlog — queued-but-unserviced seconds — at the sample instant.
   for (const LinkTrack& link : rec.link_tracks()) {
+    double prev_t = 0.0, prev_busy = 0.0;
     for (const LinkPoint& p : link.points) {
+      const double dt = p.t - prev_t;
+      const double util =
+          dt > 0.0 ? std::clamp((p.busy_s - prev_busy) / dt, 0.0, 1.0) : 0.0;
       w.begin() << "{\"ph\":\"C\",\"pid\":1,\"ts\":" << us(p.t)
                 << ",\"name\":\"link " << json_escape(link.name)
-                << "\",\"args\":{\"busy_s\":" << p.busy_s
+                << "\",\"args\":{\"utilization\":" << util
                 << ",\"backlog_s\":" << p.backlog_s << "}}";
+      prev_t = p.t;
+      prev_busy = p.busy_s;
     }
   }
   os << "\n]}\n";

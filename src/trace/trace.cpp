@@ -19,6 +19,26 @@ const char* to_string(EventKind k) {
       return "collective";
     case EventKind::kCompute:
       return "compute";
+    case EventKind::kPhase:
+      return "phase";
+  }
+  return "?";
+}
+
+const char* to_string(PhaseId p) {
+  switch (p) {
+    case PhaseId::kHplFactor:
+      return "hpl.factor";
+    case PhaseId::kHplBcast:
+      return "hpl.bcast";
+    case PhaseId::kHplUpdate:
+      return "hpl.update";
+    case PhaseId::kFftCompute:
+      return "fft.compute";
+    case PhaseId::kFftTranspose:
+      return "fft.transpose";
+    case PhaseId::kPtransTranspose:
+      return "ptrans.transpose";
   }
   return "?";
 }
@@ -98,6 +118,11 @@ void Counters::merge(const Counters& other) {
   bytes_sent += other.bytes_sent;
   bytes_received += other.bytes_received;
   compute_s += other.compute_s;
+  wait_s += other.wait_s;
+  copy_s += other.copy_s;
+  elapsed_s += other.elapsed_s;
+  for (std::size_t i = 0; i < phase_s.size(); ++i)
+    phase_s[i] += other.phase_s[i];
   for (std::size_t i = 0; i < send_size_hist.size(); ++i)
     send_size_hist[i] += other.send_size_hist[i];
   for (std::size_t i = 0; i < reduce_bytes.size(); ++i)
@@ -161,13 +186,14 @@ Table Recorder::summary_table() const {
   Table t(std::string("Trace summary (") +
           (virtual_time_ ? "virtual" : "wall-clock") + " time)");
   t.set_header({"rank", "sends", "recvs", "colls", "bytes sent",
-                "bytes recvd", "compute", "eager", "rdv", "copies",
-                "events", "dropped"});
+                "bytes recvd", "compute", "wait", "copy", "eager", "rdv",
+                "copies", "events", "dropped"});
   auto row = [&](const std::string& label, const Counters& c,
                  std::uint64_t recorded, std::uint64_t dropped) {
     t.add_row({label, std::to_string(c.sends), std::to_string(c.recvs),
                std::to_string(c.collectives), format_bytes(c.bytes_sent),
                format_bytes(c.bytes_received), format_time(c.compute_s),
+               format_time(c.wait_s), format_time(c.copy_s),
                std::to_string(c.eager_sends),
                std::to_string(c.rendezvous_sends),
                std::to_string(c.payload_copies), std::to_string(recorded),
@@ -182,18 +208,37 @@ Table Recorder::summary_table() const {
   }
   row("total", total(), recorded, dropped);
   const Counters sum = total();
-  for (std::size_t cls = 0; cls < kSizeClasses; ++cls)
-    if (sum.send_size_hist[cls] > 0)
-      t.add_note("sends " + size_class_label(cls) + ": " +
-                 std::to_string(sum.send_size_hist[cls]));
+  for (std::size_t p = 0; p < kNumPhases; ++p)
+    if (sum.phase_s[p] > 0.0)
+      t.add_note(std::string("phase ") + to_string(static_cast<PhaseId>(p)) +
+                 ": " + format_time(sum.phase_s[p]) + " (all ranks)");
+  return t;
+}
+
+Table Recorder::histogram_table() const {
+  Table t("Send size-class histogram (all ranks)");
+  t.set_header({"size class", "sends", "eager", "rendezvous"});
+  const Counters sum = total();
   for (std::size_t cls = 0; cls < kSizeClasses; ++cls) {
+    const std::uint64_t s = sum.send_size_hist[cls];
     const std::uint64_t e = sum.eager_size_hist[cls];
     const std::uint64_t r = sum.rendezvous_size_hist[cls];
-    if (e + r > 0)
-      t.add_note("transport " + size_class_label(cls) + ": " +
-                 std::to_string(e) + " eager, " + std::to_string(r) +
-                 " rendezvous");
+    if (s + e + r == 0) continue;
+    t.add_row({size_class_label(cls), std::to_string(s), std::to_string(e),
+               std::to_string(r)});
   }
+  std::uint64_t dropped = 0;
+  for (int r = 0; r < nranks(); ++r) {
+    const RankTrace& rt = rank(r);
+    if (rt.dropped() > 0) {
+      t.add_note("rank " + std::to_string(r) + " dropped " +
+                 std::to_string(rt.dropped()) + " of " +
+                 std::to_string(rt.recorded()) + " events (ring capacity " +
+                 std::to_string(rt.capacity()) + ")");
+      dropped += rt.dropped();
+    }
+  }
+  if (dropped == 0) t.add_note("no events dropped on any rank");
   return t;
 }
 

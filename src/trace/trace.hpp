@@ -38,7 +38,27 @@ class Table;
 
 namespace hpcx::trace {
 
-enum class EventKind : std::uint8_t { kSend, kRecv, kCollective, kCompute };
+enum class EventKind : std::uint8_t {
+  kSend,
+  kRecv,
+  kCollective,
+  kCompute,
+  kPhase,  ///< benchmark-defined kernel phase (see PhaseId)
+};
+
+/// Benchmark-defined kernel phases, recorded as kPhase spans via
+/// xmpi::PhaseScope. Durations also accumulate in Counters::phase_s, so
+/// a run record can say where an HPCC kernel's time went without
+/// replaying the event ring.
+enum class PhaseId : std::uint8_t {
+  kHplFactor,        ///< HPL panel factorisation (incl. pivot exchange)
+  kHplBcast,         ///< HPL panel / U broadcasts
+  kHplUpdate,        ///< HPL trailing dtrsm + DGEMM update
+  kFftCompute,       ///< six-step FFT row FFTs + twiddle
+  kFftTranspose,     ///< six-step FFT distributed transposes
+  kPtransTranspose,  ///< PTRANS distributed transpose
+};
+constexpr std::size_t kNumPhases = 6;
 
 /// Which collective entry point a span covers.
 enum class CollOp : std::uint8_t {
@@ -74,13 +94,14 @@ enum class AlgId : std::uint8_t {
 const char* to_string(EventKind k);
 const char* to_string(CollOp op);
 const char* to_string(AlgId a);
+const char* to_string(PhaseId p);
 
 /// One trace record. POD so the ring is a flat preallocated array.
 struct Event {
   double t_begin = 0.0;
   double t_end = 0.0;
   EventKind kind = EventKind::kSend;
-  std::uint8_t op = 0;     ///< CollOp when kind == kCollective
+  std::uint8_t op = 0;     ///< CollOp (kCollective) or PhaseId (kPhase)
   std::uint8_t alg = 0;    ///< AlgId when kind == kCollective
   std::int32_t peer = -1;  ///< p2p peer rank, or collective root (-1: none)
   std::int32_t tag = 0;    ///< p2p tag
@@ -88,6 +109,7 @@ struct Event {
 
   CollOp coll_op() const { return static_cast<CollOp>(op); }
   AlgId alg_id() const { return static_cast<AlgId>(alg); }
+  PhaseId phase_id() const { return static_cast<PhaseId>(op); }
 };
 
 /// Power-of-two message-size classes: class 0 is the empty message,
@@ -104,6 +126,23 @@ struct Counters {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   double compute_s = 0.0;
+
+  // Wait-state attribution (the backends fill these while a sink is
+  // attached). Together with compute_s they decompose a rank's elapsed
+  // time: wait_s is measured blocked time (posted-receive spin/park,
+  // rendezvous completion, barrier entry; virtual recv/barrier waits
+  // under simulation), copy_s is payload movement (staged/direct
+  // memcpys on the thread backend; send-side injection serialisation
+  // and receive software overhead under simulation). Time in neither
+  // bucket is application work — see metrics::RankBuckets::other_s().
+  double wait_s = 0.0;
+  double copy_s = 0.0;
+  /// Duration of the rank's main function, set once by the runners
+  /// (wall-clock or virtual seconds; += so multi-run recorders
+  /// accumulate consistently with the other buckets).
+  double elapsed_s = 0.0;
+  /// Benchmark-defined phase spans by PhaseId (see xmpi::PhaseScope).
+  std::array<double, kNumPhases> phase_s{};
   std::array<std::uint64_t, kSizeClasses> send_size_hist{};
   /// Reduction operand bytes by xmpi::ROp value (Sum/Prod/Max/Min).
   std::array<std::uint64_t, 4> reduce_bytes{};
@@ -203,6 +242,11 @@ class Recorder {
 
   /// Per-rank counter summary (core/table formatted).
   Table summary_table() const;
+
+  /// Send size-class histogram with the eager/rendezvous transport
+  /// split, plus per-rank event-ring drop counts as footnotes (drops
+  /// mean the ring wrapped and the oldest events were lost).
+  Table histogram_table() const;
 
   /// Busiest links, hottest first (empty table for thread runs).
   Table link_table(std::size_t top_n = 16) const;

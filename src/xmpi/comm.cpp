@@ -177,6 +177,24 @@ void Comm::compute(double seconds) {
   trace_->counters().compute_s += seconds;
 }
 
+PhaseScope::PhaseScope(Comm& comm, trace::PhaseId phase)
+    : comm_(&comm), phase_(phase) {
+  if (comm_->trace() != nullptr) t_begin_ = comm_->now();
+}
+
+PhaseScope::~PhaseScope() {
+  trace::RankTrace* sink = comm_->trace();
+  if (sink == nullptr) return;
+  trace::Event e;
+  e.t_begin = t_begin_;
+  e.t_end = comm_->now();
+  e.kind = trace::EventKind::kPhase;
+  e.op = static_cast<std::uint8_t>(phase_);
+  sink->record(e);
+  sink->counters().phase_s[static_cast<std::size_t>(phase_)] +=
+      e.t_end - e.t_begin;
+}
+
 void Comm::sendrecv(int dst, int send_tag, CBuf send_buf, int src,
                     int recv_tag, MBuf recv_buf) {
   // The send is started nonblocking and completed after the receive:

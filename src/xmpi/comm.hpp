@@ -43,6 +43,7 @@ namespace hpcx::trace {
 class RankTrace;
 struct Counters;
 enum class AlgId : std::uint8_t;
+enum class PhaseId : std::uint8_t;
 }  // namespace hpcx::trace
 
 namespace hpcx::xmpi {
@@ -342,5 +343,24 @@ class Comm {
 
 /// Signature of a rank's main function, shared by both backends.
 using RankFn = std::function<void(Comm&)>;
+
+/// RAII span marking a benchmark-defined kernel phase (HPL panel
+/// factorisation, FFT transpose, ...). On destruction it records a
+/// trace::EventKind::kPhase event and adds the duration to the rank's
+/// Counters::phase_s bucket. With no trace sink attached, construction
+/// and destruction are a single pointer test each — kernels can mark
+/// their phases unconditionally.
+class PhaseScope {
+ public:
+  PhaseScope(Comm& comm, trace::PhaseId phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Comm* comm_;
+  trace::PhaseId phase_;
+  double t_begin_ = 0.0;
+};
 
 }  // namespace hpcx::xmpi

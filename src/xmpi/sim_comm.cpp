@@ -89,8 +89,10 @@ class SimComm final : public Comm {
     // The combine streams operand + accumulator in and writes the
     // accumulator back: ~3 memory touches per operand byte, at the
     // node's contended STREAM rate.
-    world_->sim->sleep(3.0 * static_cast<double>(operand_bytes) /
-                       world_->config->stream_per_cpu_all_active());
+    const double cost = 3.0 * static_cast<double>(operand_bytes) /
+                        world_->config->stream_per_cpu_all_active();
+    world_->sim->sleep(cost);
+    if (trace::RankTrace* t = trace()) t->counters().compute_s += cost;
   }
 
  protected:
@@ -104,6 +106,7 @@ class SimComm final : public Comm {
     // arrival counter resets before the wake-ups are issued, so
     // back-to-back barriers cannot mix generations.
     World& w = *world_;
+    const double t0 = w.sim->now();
     if (++w.barrier_arrived < w.nranks) {
       w.barrier_wq.wait();
     } else {
@@ -111,6 +114,8 @@ class SimComm final : public Comm {
       w.sim->schedule(hw, [&w] { w.barrier_wq.notify_all(); });
       w.sim->sleep(hw);
     }
+    if (trace::RankTrace* t = trace())
+      t->counters().wait_s += w.sim->now() - t0;
     return trace::AlgId::kHardware;
   }
 
@@ -128,11 +133,17 @@ class SimComm final : public Comm {
     }
     World* w = world_;
     const int dst_node = w->config->node_of_rank(dst);
+    // network.send blocks the caller for the send-side software
+    // overhead plus injection serialisation — the sender is moving
+    // bytes, so the charge goes to the copy bucket.
+    const double t0 = w->sim->now();
     w->network.send(node_, dst_node, buf.bytes(), [w, dst, env] {
       RankState& rs = w->ranks[static_cast<std::size_t>(dst)];
       rs.inbox.push_back(std::move(*env));
       rs.wq->notify_one();
     });
+    if (trace::RankTrace* t = trace())
+      t->counters().copy_s += w->sim->now() - t0;
   }
 
   void recv_impl(int src, int tag, MBuf buf) override {
@@ -146,14 +157,20 @@ class SimComm final : public Comm {
           // Receive-side software overhead applies to messages that
           // crossed the network; node-local deliveries already paid the
           // intra-node latency.
-          if (env.src_node != node_)
-            world_->sim->sleep(world_->network.recv_overhead_s());
+          if (env.src_node != node_) {
+            const double oh = world_->network.recv_overhead_s();
+            world_->sim->sleep(oh);
+            if (trace::RankTrace* t = trace()) t->counters().copy_s += oh;
+          }
           if (!buf.phantom() && buf.count > 0)
             std::memcpy(buf.data, env.payload.data(), buf.bytes());
           return;
         }
       }
+      const double t0 = world_->sim->now();
       rs.wq->wait();
+      if (trace::RankTrace* t = trace())
+        t->counters().wait_s += world_->sim->now() - t0;
     }
   }
 
@@ -180,9 +197,13 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
         [&world, &fn, recorder, r] {
           SimComm comm(world, r);
           if (recorder) comm.set_trace(&recorder->rank(r));
+          const double t0 = world.sim->now();
           fn(comm);
           world.ranks[static_cast<std::size_t>(r)].finish_time =
               world.sim->now();
+          if (recorder)
+            recorder->rank(r).counters().elapsed_s +=
+                world.sim->now() - t0;
         },
         options.fiber_stack_bytes);
   }

@@ -171,6 +171,28 @@ bool matches_shape(const Envelope& env, const MBuf& buf) {
   return buf.count == 0 || env.phantom == buf.phantom();
 }
 
+/// Accumulates the scope's duration into the rank's wait_s bucket when a
+/// trace sink is attached (no clock reads otherwise). RAII so blocked
+/// paths that exit by throwing — a poisoned world — still get charged.
+class WaitTimer {
+ public:
+  explicit WaitTimer(trace::RankTrace* t) : t_(t) {
+    if (t_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~WaitTimer() {
+    if (t_)
+      t_->counters().wait_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+              .count();
+  }
+  WaitTimer(const WaitTimer&) = delete;
+  WaitTimer& operator=(const WaitTimer&) = delete;
+
+ private:
+  trace::RankTrace* t_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 class ThreadComm final : public Comm {
  public:
   ThreadComm(World& world, int rank) : world_(&world), rank_(rank) {
@@ -243,6 +265,23 @@ class ThreadComm final : public Comm {
   }
 
  private:
+  /// Payload copy charged to the rank's copy_s bucket when traced.
+  /// (payload_copies stays counted at its historical sites — receiver
+  /// side for direct deliveries — so only the *time* is attributed to
+  /// the thread that physically moves the bytes.)
+  void charged_copy(void* dst, const void* src, std::size_t n) {
+    trace::RankTrace* t = trace();
+    if (t == nullptr) {
+      copy_bytes(dst, src, n);
+      return;
+    }
+    const auto c0 = std::chrono::steady_clock::now();
+    copy_bytes(dst, src, n);
+    t->counters().copy_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+            .count();
+  }
+
   /// Enqueue or directly deliver a message on channel (rank_ -> dst).
   /// Returns the rendezvous handshake to complete, or nullptr when the
   /// send already completed (eager / direct delivery).
@@ -278,7 +317,7 @@ class ThreadComm final : public Comm {
             pb.dtype == buf.dtype &&
             (buf.count == 0 || pb.phantom() == buf.phantom())) {
           if (!buf.phantom() && bytes > 0)
-            copy_bytes(pb.data, buf.data, bytes);
+            charged_copy(pb.data, buf.data, bytes);
           ch.posted_state.store(kDone, memory_order_release);
           wake_receiver(ch);
           return nullptr;
@@ -319,7 +358,7 @@ class ThreadComm final : public Comm {
     if (eager) {
       if (!buf.phantom() && bytes > 0) {
         env.block = acquire_block(ch, bytes);
-        std::memcpy(env.block.data.get(), buf.data, bytes);
+        charged_copy(env.block.data.get(), buf.data, bytes);
         if (auto* t = trace()) ++t->counters().payload_copies;
       }
     } else {
@@ -350,6 +389,7 @@ class ThreadComm final : public Comm {
   /// copied the payload — or the world died.
   void finish_send(RdvState& rdv) {
     World& w = *world_;
+    WaitTimer timer(trace());  // charges wait_s even on a poisoned throw
     const int spin = w.spin_iters;
     const bool oversub = w.oversubscribed;
     for (int i = 0; i < spin; ++i) {
@@ -396,7 +436,7 @@ class ThreadComm final : public Comm {
     const std::size_t bytes = buf.bytes();
     if (env.rendezvous) {
       if (!buf.phantom() && bytes > 0) {
-        std::memcpy(buf.data, env.rdv_data, bytes);
+        charged_copy(buf.data, env.rdv_data, bytes);
         if (auto* t = trace()) ++t->counters().payload_copies;
       }
       env.rdv->done.store(true, memory_order_release);
@@ -407,7 +447,7 @@ class ThreadComm final : public Comm {
       return;
     }
     if (!buf.phantom() && bytes > 0) {
-      std::memcpy(buf.data, env.block.data.get(), bytes);
+      charged_copy(buf.data, env.block.data.get(), bytes);
       if (auto* t = trace()) ++t->counters().payload_copies;
       release_block(ch, std::move(env.block));
     }
@@ -438,6 +478,7 @@ class ThreadComm final : public Comm {
   /// the queue should be rescanned.
   int wait_posted(Channel& ch, std::uint64_t seen) {
     World& w = *world_;
+    WaitTimer timer(trace());
     const int spin = w.spin_iters;
     const bool oversub = w.oversubscribed;
     for (int i = 0;; ++i) {
@@ -505,7 +546,10 @@ ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
       try {
         ThreadComm comm(world, r);
         if (recorder) comm.set_trace(&recorder->rank(r));
+        const double t0 = comm.now();
         fn(comm);
+        if (recorder)
+          recorder->rank(r).counters().elapsed_s += comm.now() - t0;
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Poison the world: ranks blocked on this one throw "peer rank

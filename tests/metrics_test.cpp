@@ -1,0 +1,393 @@
+// Metrics layer: the JSON DOM parser, run-record serialisation
+// round-trip, table-cell harvesting, wait-state bucket attribution on
+// both backends, kernel phase spans, timer calibration, and the
+// regression comparator behind tools/hpcx_compare.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/json.hpp"
+#include "core/jsonlint.hpp"
+#include "core/table.hpp"
+#include "hpcc/driver.hpp"
+#include "machine/registry.hpp"
+#include "metrics/compare.hpp"
+#include "metrics/run_record.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace {
+
+using namespace hpcx;
+
+// ---------------------------------------------------------------- JSON DOM
+
+TEST(Json, ParsesScalarsAndContainers) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("{\"a\": [1, 2.5, -3e2], \"b\": \"x\\ny\", "
+                         "\"c\": true, \"d\": null}",
+                         v));
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), -300.0);
+  EXPECT_EQ(v.find("b")->as_string(), "x\ny");
+  EXPECT_TRUE(v.find("c")->as_bool());
+  EXPECT_TRUE(v.find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, PreservesObjectInsertionOrder) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("{\"z\": 1, \"a\": 2, \"m\": 3}", v));
+  const JsonObject& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj.begin()->first, "z");
+  EXPECT_EQ((obj.begin() + 2)->first, "m");
+}
+
+TEST(Json, DecodesUnicodeEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("\"caf\\u00e9\"", v));
+  EXPECT_EQ(v.as_string(), "caf\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "nulll", "01",
+                          "[1] x", "\"\\q\""}) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(json_parse(bad, v, &error)) << bad;
+    EXPECT_NE(error.find("byte"), std::string::npos) << error;
+  }
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  JsonValue v;
+  EXPECT_FALSE(json_parse(deep, v));
+}
+
+// ----------------------------------------------------------- cell parsing
+
+TEST(ParseCell, NormalisesUnitsToSi) {
+  auto cell = metrics::parse_cell("12.34 us");
+  ASSERT_TRUE(cell);
+  EXPECT_NEAR(cell->value, 12.34e-6, 1e-12);
+  EXPECT_EQ(cell->unit, "s");
+  EXPECT_EQ(cell->better, metrics::Better::kLower);
+
+  cell = metrics::parse_cell("1.50 GB/s");
+  ASSERT_TRUE(cell);
+  EXPECT_DOUBLE_EQ(cell->value, 1.5e9);
+  EXPECT_EQ(cell->unit, "B/s");
+  EXPECT_EQ(cell->better, metrics::Better::kHigher);
+
+  cell = metrics::parse_cell("2.5 Tflop/s");
+  ASSERT_TRUE(cell);
+  EXPECT_DOUBLE_EQ(cell->value, 2.5e12);
+  EXPECT_EQ(cell->unit, "flop/s");
+
+  cell = metrics::parse_cell("0.0040 GUP/s");
+  ASSERT_TRUE(cell);
+  EXPECT_NEAR(cell->value, 4e6, 1e-6);
+  EXPECT_EQ(cell->unit, "up/s");
+
+  cell = metrics::parse_cell("2 KB");
+  ASSERT_TRUE(cell);
+  EXPECT_DOUBLE_EQ(cell->value, 2048.0);  // binary, like format_bytes
+  EXPECT_EQ(cell->unit, "B");
+  EXPECT_EQ(cell->better, metrics::Better::kLower);
+}
+
+TEST(ParseCell, DimensionlessAndUnparseable) {
+  auto cell = metrics::parse_cell("0.873");
+  ASSERT_TRUE(cell);
+  EXPECT_DOUBLE_EQ(cell->value, 0.873);
+  EXPECT_EQ(cell->unit, "");
+  EXPECT_EQ(cell->better, metrics::Better::kHigher);
+
+  EXPECT_FALSE(metrics::parse_cell("-"));
+  EXPECT_FALSE(metrics::parse_cell("NEC SX-8"));
+  EXPECT_FALSE(metrics::parse_cell("2.05x"));  // unknown suffix
+  EXPECT_FALSE(metrics::parse_cell(""));
+}
+
+TEST(RunRecord, HarvestsTableCellsWithQualifiedNames) {
+  Table t("Fig X: test");
+  t.set_header({"CPUs", "Machine A", "Machine B"});
+  t.add_row({"16", "10.00 us", "-"});
+  t.add_row({"32", "20.00 us", "1.50 GB/s"});
+  metrics::RunRecord rec;
+  rec.add_table_metrics(t);
+  ASSERT_EQ(rec.metrics.size(), 3u);
+  const metrics::Metric* m = rec.find("Fig X: test/16/Machine A");
+  ASSERT_NE(m, nullptr);
+  EXPECT_NEAR(m->value, 10e-6, 1e-12);
+  EXPECT_EQ(m->better, metrics::Better::kLower);
+  EXPECT_NE(rec.find("Fig X: test/32/Machine B"), nullptr);
+  // Column 0 is the row key, never a metric.
+  EXPECT_EQ(rec.find("Fig X: test/16/CPUs"), nullptr);
+}
+
+// ------------------------------------------------------- JSON round-trip
+
+metrics::RunRecord sample_record() {
+  metrics::RunRecord rec;
+  rec.tool = "metrics_test";
+  rec.machine = "sx8";
+  rec.cpus = 16;
+  rec.env = metrics::capture_environment();
+  rec.env.clock = "virtual";
+  rec.env.eager_max_bytes = 32768;
+  rec.env.alg_overrides = "bcast=binomial";
+  rec.env.repeats = 3;
+  rec.timer = metrics::calibrate_timer();
+  metrics::Metric& m =
+      rec.add_metric("imb/Allreduce/t_avg", 1.25e-3, "s",
+                     metrics::Better::kLower);
+  m.repeats = 3;
+  m.min = 1.2e-3;
+  m.max = 1.3e-3;
+  m.cov = 0.04;
+  rec.add_metric("imb/Sendrecv/bandwidth", 8.5e8, "B/s",
+                 metrics::Better::kHigher);
+  rec.ranks.push_back(metrics::RankBuckets{0, 0.5, 0.25, 0.1, 1.0});
+  rec.ranks.push_back(metrics::RankBuckets{1, 0.4, 0.35, 0.1, 1.0});
+  rec.phase_s[static_cast<std::size_t>(trace::PhaseId::kHplFactor)] = 0.125;
+  return rec;
+}
+
+TEST(RunRecord, JsonRoundTripPreservesEverything) {
+  const metrics::RunRecord rec = sample_record();
+  const std::string json = rec.to_json();
+  std::string error;
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+
+  metrics::RunRecord back;
+  ASSERT_TRUE(metrics::RunRecord::from_json(json, back, &error)) << error;
+  EXPECT_EQ(back.tool, "metrics_test");
+  EXPECT_EQ(back.machine, "sx8");
+  EXPECT_EQ(back.cpus, 16);
+  EXPECT_EQ(back.env.clock, "virtual");
+  EXPECT_EQ(back.env.eager_max_bytes, 32768u);
+  EXPECT_EQ(back.env.alg_overrides, "bcast=binomial");
+  EXPECT_EQ(back.env.repeats, 3);
+  EXPECT_EQ(back.env.host, rec.env.host);
+  ASSERT_EQ(back.metrics.size(), 2u);
+  const metrics::Metric* m = back.find("imb/Allreduce/t_avg");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 1.25e-3);
+  EXPECT_EQ(m->unit, "s");
+  EXPECT_EQ(m->better, metrics::Better::kLower);
+  EXPECT_EQ(m->repeats, 3u);
+  EXPECT_DOUBLE_EQ(m->min, 1.2e-3);
+  EXPECT_DOUBLE_EQ(m->max, 1.3e-3);
+  EXPECT_DOUBLE_EQ(m->cov, 0.04);
+  ASSERT_EQ(back.ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.ranks[1].wait_s, 0.35);
+  EXPECT_DOUBLE_EQ(back.ranks[1].elapsed_s, 1.0);
+  EXPECT_DOUBLE_EQ(
+      back.phase_s[static_cast<std::size_t>(trace::PhaseId::kHplFactor)],
+      0.125);
+}
+
+TEST(RunRecord, FromJsonRejectsWrongSchema) {
+  metrics::RunRecord out;
+  std::string error;
+  EXPECT_FALSE(metrics::RunRecord::from_json("{\"schema\": \"nope/9\"}", out,
+                                             &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(metrics::RunRecord::from_json("[1,2]", out, &error));
+}
+
+TEST(RunRecord, EnvironmentCaptureIsPlausible) {
+  const metrics::Environment env = metrics::capture_environment();
+  EXPECT_FALSE(env.host.empty());
+  EXPECT_GT(env.hardware_concurrency, 0);
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_NE(env.timestamp.find('T'), std::string::npos);
+}
+
+TEST(RunRecord, TimerCalibrationIsSane) {
+  const metrics::TimerCalibration cal = metrics::calibrate_timer();
+  EXPECT_GE(cal.overhead_s, 0.0);
+  EXPECT_LT(cal.overhead_s, 1e-4);  // a clock read is well under 100 us
+  EXPECT_GT(cal.resolution_s, 0.0);
+  EXPECT_LT(cal.resolution_s, 1e-3);
+}
+
+// --------------------------------------------------- bucket attribution
+
+TEST(Buckets, SimBucketsSumExactlyToElapsed) {
+  trace::Recorder recorder(8);
+  xmpi::SimRunOptions options;
+  options.recorder = &recorder;
+  xmpi::run_on_machine(
+      mach::dell_xeon(), 8,
+      [](xmpi::Comm& c) {
+        c.compute(1e-4);
+        std::vector<double> send(4096, 1.0);
+        std::vector<double> recv(send.size() * 8);
+        c.allgather(xmpi::cbuf(std::span<const double>(send)),
+                    xmpi::mbuf(std::span<double>(recv)));
+        c.barrier();
+      },
+      options);
+  metrics::RunRecord rec;
+  rec.set_rank_buckets(recorder);
+  ASSERT_EQ(rec.ranks.size(), 8u);
+  for (const metrics::RankBuckets& b : rec.ranks) {
+    EXPECT_GT(b.elapsed_s, 0.0) << "rank " << b.rank;
+    EXPECT_GE(b.compute_s, 1e-4) << "rank " << b.rank;
+    // Virtual time only advances through attributed operations, so the
+    // decomposition is exact up to floating-point accumulation.
+    const double sum = b.compute_s + b.wait_s + b.copy_s;
+    EXPECT_NEAR(sum, b.elapsed_s, 1e-9 + 1e-6 * b.elapsed_s)
+        << "rank " << b.rank;
+    EXPECT_LT(b.other_s(), 1e-6);
+  }
+}
+
+TEST(Buckets, ThreadBucketsStayWithinElapsed) {
+  trace::Recorder recorder(4);
+  xmpi::ThreadRunOptions options;
+  options.recorder = &recorder;
+  xmpi::run_on_threads(
+      4,
+      [](xmpi::Comm& c) {
+        std::vector<double> buf(1 << 14, 1.0);
+        std::vector<double> out(buf.size());
+        c.allreduce(xmpi::cbuf(std::span<const double>(buf)),
+                    xmpi::mbuf(std::span<double>(out)), xmpi::ROp::kSum);
+        c.barrier();
+      },
+      options);
+  metrics::RunRecord rec;
+  rec.set_rank_buckets(recorder);
+  for (const metrics::RankBuckets& b : rec.ranks) {
+    EXPECT_GT(b.elapsed_s, 0.0);
+    EXPECT_GE(b.wait_s, 0.0);
+    EXPECT_GE(b.copy_s, 0.0);
+    // Wall-clock buckets are measured inside the elapsed window; allow
+    // timer-overhead slack on very short runs.
+    EXPECT_LE(b.compute_s + b.wait_s + b.copy_s, b.elapsed_s * 1.5 + 1e-3)
+        << "rank " << b.rank;
+    EXPECT_GE(b.other_s(), 0.0);
+  }
+}
+
+TEST(Buckets, HpccSuitePopulatesKernelPhases) {
+  trace::Recorder recorder(4);
+  hpcc::HpccConfig config;
+  config.hpl_n = 64;
+  config.hpl_nb = 16;
+  config.ptrans_n = 32;
+  config.ra_log2 = 10;
+  config.fft_n1 = 16;
+  config.fft_n2 = 16;
+  config.ring_bytes = 4096;
+  config.ring_iterations = 1;
+  config.ring_patterns = 1;
+  hpcc::run_hpcc_sim(mach::dell_xeon(), 4, config, {}, &recorder);
+  metrics::RunRecord rec;
+  rec.set_rank_buckets(recorder);
+  for (const auto phase :
+       {trace::PhaseId::kHplFactor, trace::PhaseId::kHplBcast,
+        trace::PhaseId::kHplUpdate, trace::PhaseId::kFftCompute,
+        trace::PhaseId::kFftTranspose, trace::PhaseId::kPtransTranspose}) {
+    EXPECT_GT(rec.phase_s[static_cast<std::size_t>(phase)], 0.0)
+        << to_string(phase);
+  }
+}
+
+// ------------------------------------------------------------ comparison
+
+TEST(Compare, IdenticalRecordsPass) {
+  const metrics::RunRecord rec = sample_record();
+  const metrics::CompareResult result = metrics::compare(rec, rec);
+  EXPECT_TRUE(result.pass());
+  EXPECT_EQ(result.compared, 2u);
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_TRUE(result.improvements.empty());
+}
+
+TEST(Compare, PerturbedRecordFailsInBothDirections) {
+  const metrics::RunRecord base = sample_record();
+  metrics::RunRecord worse = sample_record();
+  // The t_avg metric reports cov 0.04, so its noise floor is 3 x 4% =
+  // 12%; a 10% perturbation only trips the deterministic bandwidth
+  // metric, a 20% one trips both directions.
+  metrics::perturb(worse, 1.10);
+  const metrics::CompareResult mild = metrics::compare(base, worse);
+  EXPECT_FALSE(mild.pass());
+  EXPECT_EQ(mild.regressions.size(), 1u);
+  EXPECT_EQ(mild.regressions[0].name, "imb/Sendrecv/bandwidth");
+
+  worse = sample_record();
+  metrics::perturb(worse, 1.20);
+  const metrics::CompareResult result = metrics::compare(base, worse);
+  EXPECT_FALSE(result.pass());
+  EXPECT_EQ(result.regressions.size(), 2u);
+  // And the reverse comparison reports improvements, not regressions.
+  const metrics::CompareResult reverse = metrics::compare(worse, base);
+  EXPECT_TRUE(reverse.pass());
+  EXPECT_EQ(reverse.improvements.size(), 2u);
+}
+
+TEST(Compare, CovNoiseFloorSuppressesNoisyMetric) {
+  metrics::RunRecord base;
+  metrics::Metric& m =
+      base.add_metric("noisy/t", 1.0, "s", metrics::Better::kLower);
+  m.cov = 0.05;  // 5% run-to-run noise
+  metrics::RunRecord cand = base;
+  cand.metrics[0].value = 1.10;  // +10% — inside 3 x 5% noise floor
+  EXPECT_TRUE(metrics::compare(base, cand).pass());
+  cand.metrics[0].value = 1.20;  // +20% — beyond the floor
+  EXPECT_FALSE(metrics::compare(base, cand).pass());
+}
+
+TEST(Compare, ThresholdOptionWidensTolerance) {
+  metrics::RunRecord base;
+  base.add_metric("t", 1.0, "s", metrics::Better::kLower);
+  metrics::RunRecord cand = base;
+  cand.metrics[0].value = 1.08;
+  EXPECT_FALSE(metrics::compare(base, cand).pass());
+  metrics::CompareOptions options;
+  options.rel_threshold = 0.10;
+  EXPECT_TRUE(metrics::compare(base, cand, options).pass());
+}
+
+TEST(Compare, CountsDisjointMetrics) {
+  metrics::RunRecord base;
+  base.add_metric("shared", 1.0, "s", metrics::Better::kLower);
+  base.add_metric("only-base", 1.0, "s", metrics::Better::kLower);
+  metrics::RunRecord cand;
+  cand.add_metric("shared", 1.0, "s", metrics::Better::kLower);
+  cand.add_metric("only-cand", 1.0, "s", metrics::Better::kLower);
+  const metrics::CompareResult result = metrics::compare(base, cand);
+  EXPECT_EQ(result.compared, 1u);
+  EXPECT_EQ(result.baseline_only, 1u);
+  EXPECT_EQ(result.candidate_only, 1u);
+}
+
+TEST(Compare, TableRendersVerdict) {
+  const metrics::RunRecord base = sample_record();
+  metrics::RunRecord worse = sample_record();
+  metrics::perturb(worse, 1.25);
+  std::ostringstream pass_os, fail_os;
+  metrics::compare_table(metrics::compare(base, base)).print(pass_os);
+  metrics::compare_table(metrics::compare(base, worse)).print(fail_os);
+  EXPECT_NE(pass_os.str().find("PASS"), std::string::npos);
+  EXPECT_NE(fail_os.str().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(fail_os.str().find("imb/Allreduce/t_avg"), std::string::npos);
+}
+
+}  // namespace

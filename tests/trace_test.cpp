@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/jsonlint.hpp"
+#include "core/table.hpp"
 #include "machine/registry.hpp"
 #include "test_util.hpp"
 #include "trace/chrome_trace.hpp"
@@ -54,6 +55,107 @@ TEST(RankTrace, OverwritesOldestAndCountsDrops) {
   // Oldest surviving first: 6, 7, 8, 9.
   for (int i = 0; i < 4; ++i)
     EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].t_begin, 6 + i);
+}
+
+TEST(TraceCounters, MergeSumsEveryField) {
+  trace::Counters a, b;
+  a.sends = 3;
+  a.recvs = 2;
+  a.collectives = 1;
+  a.bytes_sent = 100;
+  a.bytes_received = 80;
+  a.compute_s = 0.5;
+  a.wait_s = 0.25;
+  a.copy_s = 0.125;
+  a.elapsed_s = 1.0;
+  a.phase_s[0] = 0.1;
+  a.send_size_hist[7] = 3;
+  a.reduce_bytes[0] = 64;
+  a.eager_sends = 2;
+  a.rendezvous_sends = 1;
+  a.payload_copies = 4;
+  a.eager_size_hist[7] = 2;
+  a.rendezvous_size_hist[20] = 1;
+  b = a;
+  b.phase_s[5] = 0.3;
+  a.merge(b);
+  EXPECT_EQ(a.sends, 6u);
+  EXPECT_EQ(a.recvs, 4u);
+  EXPECT_EQ(a.collectives, 2u);
+  EXPECT_EQ(a.bytes_sent, 200u);
+  EXPECT_EQ(a.bytes_received, 160u);
+  EXPECT_DOUBLE_EQ(a.compute_s, 1.0);
+  EXPECT_DOUBLE_EQ(a.wait_s, 0.5);
+  EXPECT_DOUBLE_EQ(a.copy_s, 0.25);
+  EXPECT_DOUBLE_EQ(a.elapsed_s, 2.0);
+  EXPECT_DOUBLE_EQ(a.phase_s[0], 0.2);
+  EXPECT_DOUBLE_EQ(a.phase_s[5], 0.3);
+  EXPECT_EQ(a.send_size_hist[7], 6u);
+  EXPECT_EQ(a.reduce_bytes[0], 128u);
+  EXPECT_EQ(a.eager_sends, 4u);
+  EXPECT_EQ(a.rendezvous_sends, 2u);
+  EXPECT_EQ(a.payload_copies, 8u);
+  EXPECT_EQ(a.eager_size_hist[7], 4u);
+  EXPECT_EQ(a.rendezvous_size_hist[20], 2u);
+}
+
+TEST(TraceRecorder, HistogramTableSplitsEagerAndRendezvous) {
+  // 1 KiB messages stay eager; 64 KiB crosses the default 32 KiB
+  // threshold and goes rendezvous.
+  trace::Recorder recorder(2);
+  xmpi::ThreadRunOptions options;
+  options.recorder = &recorder;
+  xmpi::run_on_threads(
+      2,
+      [](xmpi::Comm& c) {
+        std::vector<double> small(128, 1.0), big(8192, 2.0);
+        std::vector<double> rs(small.size()), rb(big.size());
+        const int peer = 1 - c.rank();
+        if (c.rank() == 0) {
+          c.send(peer, 1, xmpi::cbuf(std::span<const double>(small)));
+          c.send(peer, 2, xmpi::cbuf(std::span<const double>(big)));
+        } else {
+          c.recv(peer, 1, xmpi::mbuf(std::span<double>(rs)));
+          c.recv(peer, 2, xmpi::mbuf(std::span<double>(rb)));
+        }
+      },
+      options);
+  const trace::Counters total = recorder.total();
+  EXPECT_GE(total.eager_sends, 1u);
+  EXPECT_GE(total.rendezvous_sends, 1u);
+  std::ostringstream os;
+  recorder.histogram_table().print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1 KB"), std::string::npos) << s;
+  EXPECT_NE(s.find("64 KB"), std::string::npos) << s;
+  EXPECT_NE(s.find("no events dropped"), std::string::npos) << s;
+}
+
+TEST(TraceRecorder, HistogramTableReportsRingDrops) {
+  // A 4-event ring cannot hold a 16-message run: the histogram table
+  // must carry a per-rank drop footnote with the ring capacity.
+  trace::Recorder recorder(2, /*events_per_rank=*/4);
+  xmpi::ThreadRunOptions options;
+  options.recorder = &recorder;
+  xmpi::run_on_threads(
+      2,
+      [](xmpi::Comm& c) {
+        std::vector<double> buf(64, 1.0), out(64);
+        const int peer = 1 - c.rank();
+        for (int i = 0; i < 16; ++i) {
+          if (c.rank() == 0)
+            c.send(peer, i, xmpi::cbuf(std::span<const double>(buf)));
+          else
+            c.recv(peer, i, xmpi::mbuf(std::span<double>(out)));
+        }
+      },
+      options);
+  EXPECT_GT(recorder.rank(0).dropped(), 0u);
+  std::ostringstream os;
+  recorder.histogram_table().print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("dropped"), std::string::npos) << s;
+  EXPECT_NE(s.find("ring capacity 4"), std::string::npos) << s;
 }
 
 TEST(TraceCounters, KnownAlltoallByteTotals) {

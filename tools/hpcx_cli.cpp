@@ -6,6 +6,7 @@
 //   hpcx_cli --machine altix_bx2 --cpus 128 --suite imb --benchmark Alltoall
 //   hpcx_cli --machine dell_xeon --cpus 32 --suite imb --msg-bytes 65536
 //   hpcx_cli --threads 4 --suite hpcc            # real execution
+//   hpcx_cli --machine sx8 --suite hpcc --metrics-out run.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,12 +14,14 @@
 #include <optional>
 #include <string>
 
+#include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
 #include "hpcc/driver.hpp"
 #include "imb/imb.hpp"
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
+#include "metrics/run_record.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
@@ -40,6 +43,8 @@ void usage() {
       "  --suite hpcc|imb         which suite (default: imb)\n"
       "  --benchmark <name>       one IMB benchmark (default: all)\n"
       "  --msg-bytes <n>          IMB message size (default: 1048576)\n"
+      "  --repeats <n>            measurement repetitions for --metrics-out\n"
+      "                           statistics (default: 1)\n"
       "  --bcast-alg <name>       force the broadcast algorithm\n"
       "                           (auto|binomial|scatter-ring|pipelined-ring)\n"
       "  --allreduce-alg <name>   force the allreduce algorithm\n"
@@ -50,8 +55,12 @@ void usage() {
       "                           (auto|pairwise)\n"
       "  --trace-out <file>       write a Chrome/Perfetto trace of the run\n"
       "                           (imb suite, needs --benchmark)\n"
-      "  --stats                  print per-rank traffic counters and the\n"
-      "                           busiest links after the run\n");
+      "  --metrics-out <file>     write a JSON run record of the results,\n"
+      "                           per-rank time buckets and environment\n"
+      "                           (diff two records with hpcx_compare)\n"
+      "  --stats                  print per-rank traffic counters, the send\n"
+      "                           size-class histogram and the busiest\n"
+      "                           links after the run\n");
 }
 
 std::vector<mach::MachineConfig> every_machine() {
@@ -87,7 +96,7 @@ std::optional<imb::BenchmarkId> benchmark_by_name(const std::string& name) {
 }
 
 /// IMB-mode options beyond machine/cpus: benchmark selection, forced
-/// collective algorithms, and trace/stats output.
+/// collective algorithms, and trace/stats/metrics output.
 struct ImbCliOptions {
   std::optional<imb::BenchmarkId> only;
   std::size_t msg_bytes = 1 << 20;
@@ -96,9 +105,67 @@ struct ImbCliOptions {
   xmpi::AllgatherAlg allgather_alg = xmpi::AllgatherAlg::kAuto;
   xmpi::AlltoallAlg alltoall_alg = xmpi::AlltoallAlg::kAuto;
   std::string trace_path;
+  std::string metrics_path;
+  int repeats = 1;
   bool stats = false;
   xmpi::TransportTuning transport;  ///< --threads runs only
 };
+
+/// Forced (non-auto) algorithm overrides as "bcast=binomial,..." for the
+/// record's environment block.
+std::string alg_overrides(const ImbCliOptions& opts) {
+  std::string out;
+  auto append = [&](const char* knob, const char* alg) {
+    if (!out.empty()) out += ',';
+    out += knob;
+    out += '=';
+    out += alg;
+  };
+  if (opts.bcast_alg != xmpi::BcastAlg::kAuto)
+    append("bcast", xmpi::to_string(opts.bcast_alg));
+  if (opts.allreduce_alg != xmpi::AllreduceAlg::kAuto)
+    append("allreduce", xmpi::to_string(opts.allreduce_alg));
+  if (opts.allgather_alg != xmpi::AllgatherAlg::kAuto)
+    append("allgather", xmpi::to_string(opts.allgather_alg));
+  if (opts.alltoall_alg != xmpi::AlltoallAlg::kAuto)
+    append("alltoall", xmpi::to_string(opts.alltoall_alg));
+  return out;
+}
+
+metrics::RunRecord make_record(const ImbCliOptions& opts,
+                               const std::optional<mach::MachineConfig>& m,
+                               int cpus) {
+  metrics::RunRecord rec;
+  rec.tool = "hpcx_cli";
+  rec.machine = m ? m->short_name : "host-threads";
+  rec.cpus = cpus;
+  rec.env = metrics::capture_environment();
+  rec.env.clock = m ? "virtual" : "wall";
+  rec.env.eager_max_bytes = opts.transport.eager_max_bytes;
+  rec.env.alg_overrides = alg_overrides(opts);
+  rec.env.repeats = opts.repeats;
+  rec.timer = metrics::calibrate_timer();
+  return rec;
+}
+
+int write_record(const metrics::RunRecord& rec, const std::string& path) {
+  try {
+    rec.write_json(path);
+    std::cout << "run record written to " << path << " ("
+              << rec.metrics.size() << " metrics)\n";
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to write run record: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+void print_stats(const trace::Recorder& recorder) {
+  recorder.summary_table().print(std::cout);
+  recorder.histogram_table().print(std::cout);
+  if (!recorder.link_tracks().empty())
+    recorder.link_table().print(std::cout);
+}
 
 int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
             const ImbCliOptions& opts) {
@@ -107,9 +174,12 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
   Table t("IMB (" + std::string(format_bytes(opts.msg_bytes)) + ") on " +
           where + ", " + std::to_string(cpus) + " CPUs");
   t.set_header({"benchmark", "t_min", "t_avg", "t_max", "bandwidth"});
-  const bool traced = !opts.trace_path.empty() || opts.stats;
+  const bool wants_metrics = !opts.metrics_path.empty();
+  const bool traced = !opts.trace_path.empty() || opts.stats || wants_metrics;
   std::optional<trace::Recorder> recorder;
   if (traced) recorder.emplace(cpus);
+  std::optional<metrics::RunRecord> record;
+  if (wants_metrics) record = make_record(opts, machine, cpus);
   for (const auto id : imb::all_benchmarks()) {
     if (opts.only && id != *opts.only) continue;
     imb::ImbResult r;
@@ -124,15 +194,37 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
       const auto res = imb::run_benchmark(id, c, params);
       if (c.rank() == 0) r = res;
     };
-    if (machine) {
-      xmpi::SimRunOptions run_options;
-      run_options.recorder = recorder ? &*recorder : nullptr;
-      xmpi::run_on_machine(*machine, cpus, body, run_options);
-    } else {
-      xmpi::ThreadRunOptions run_options;
-      run_options.recorder = recorder ? &*recorder : nullptr;
-      run_options.transport = opts.transport;
-      xmpi::run_on_threads(cpus, body, run_options);
+    auto run_once = [&] {
+      if (machine) {
+        xmpi::SimRunOptions run_options;
+        run_options.recorder = recorder ? &*recorder : nullptr;
+        xmpi::run_on_machine(*machine, cpus, body, run_options);
+      } else {
+        xmpi::ThreadRunOptions run_options;
+        run_options.recorder = recorder ? &*recorder : nullptr;
+        run_options.transport = opts.transport;
+        xmpi::run_on_threads(cpus, body, run_options);
+      }
+    };
+    Stats t_avg;
+    const int reps = wants_metrics ? std::max(1, opts.repeats) : 1;
+    for (int rep = 0; rep < reps; ++rep) {
+      run_once();
+      t_avg.add(r.t_avg_s);
+    }
+    if (record) {
+      const std::string base = std::string("imb/") + imb::to_string(id);
+      metrics::Metric& avg = record->add_metric(
+          base + "/t_avg", t_avg.mean(), "s", metrics::Better::kLower);
+      avg.repeats = static_cast<int>(t_avg.count());
+      avg.min = t_avg.min();
+      avg.max = t_avg.max();
+      avg.cov = t_avg.mean() > 0.0 ? t_avg.stddev() / t_avg.mean() : 0.0;
+      record->add_metric(base + "/t_max", r.t_max_s, "s",
+                         metrics::Better::kLower);
+      if (r.bandwidth_Bps > 0)
+        record->add_metric(base + "/bandwidth", r.bandwidth_Bps, "B/s",
+                           metrics::Better::kHigher);
     }
     t.add_row({imb::to_string(id), format_time(r.t_min_s),
                format_time(r.t_avg_s), format_time(r.t_max_s),
@@ -140,11 +232,7 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
                                    : std::string("-")});
   }
   t.print(std::cout);
-  if (opts.stats && recorder) {
-    recorder->summary_table().print(std::cout);
-    if (!recorder->link_tracks().empty())
-      recorder->link_table().print(std::cout);
-  }
+  if (opts.stats && recorder) print_stats(*recorder);
   if (!opts.trace_path.empty() && recorder) {
     std::ofstream out(opts.trace_path);
     if (!out) {
@@ -155,12 +243,23 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
     trace::write_chrome_trace(out, *recorder);
     std::cout << "trace written to " << opts.trace_path << "\n";
   }
+  if (record) {
+    if (recorder) record->set_rank_buckets(*recorder);
+    return write_record(*record, opts.metrics_path);
+  }
   return 0;
 }
 
-int run_hpcc(const std::optional<mach::MachineConfig>& machine, int cpus) {
-  const hpcc::HpccReport r = machine ? hpcc::run_hpcc_sim(*machine, cpus)
-                                     : hpcc::run_hpcc_real(cpus);
+int run_hpcc(const std::optional<mach::MachineConfig>& machine, int cpus,
+             const ImbCliOptions& opts) {
+  const bool wants_metrics = !opts.metrics_path.empty();
+  std::optional<trace::Recorder> recorder;
+  if (wants_metrics || opts.stats) recorder.emplace(cpus);
+  trace::Recorder* rec_ptr = recorder ? &*recorder : nullptr;
+  const hpcc::HpccReport r = machine
+                                 ? hpcc::run_hpcc_sim(*machine, cpus, {}, {},
+                                                      rec_ptr)
+                                 : hpcc::run_hpcc_real(cpus, {}, rec_ptr);
   const std::string where =
       machine ? machine->name : std::to_string(cpus) + " host threads";
   Table t("HPC Challenge on " + where + ", " + std::to_string(cpus) +
@@ -177,6 +276,13 @@ int run_hpcc(const std::optional<mach::MachineConfig>& machine, int cpus) {
   t.add_row({"RandomRing BW (per CPU)", format_bandwidth(r.ring_bw_Bps)});
   t.add_row({"RandomRing latency", format_time(r.ring_latency_s)});
   t.print(std::cout);
+  if (opts.stats && recorder) print_stats(*recorder);
+  if (wants_metrics) {
+    metrics::RunRecord record = make_record(opts, machine, cpus);
+    metrics::add_hpcc_metrics(record, r);
+    if (recorder) record.set_rank_buckets(*recorder);
+    return write_record(record, opts.metrics_path);
+  }
   return 0;
 }
 
@@ -224,6 +330,8 @@ int main(int argc, char** argv) {
       benchmark = next();
     } else if (arg == "--msg-bytes") {
       imb_options.msg_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--repeats") {
+      imb_options.repeats = std::max(1, std::atoi(next()));
     } else if (arg == "--bcast-alg") {
       parse_alg(imb_options.bcast_alg);
     } else if (arg == "--allreduce-alg") {
@@ -234,6 +342,8 @@ int main(int argc, char** argv) {
       parse_alg(imb_options.alltoall_alg);
     } else if (arg == "--trace-out") {
       imb_options.trace_path = next();
+    } else if (arg == "--metrics-out") {
+      imb_options.metrics_path = next();
     } else if (arg == "--stats") {
       imb_options.stats = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -250,12 +360,11 @@ int main(int argc, char** argv) {
     std::optional<hpcx::mach::MachineConfig> machine;
     if (!real_threads) machine = find_machine(machine_name);
     if (suite == "hpcc") {
-      if (!imb_options.trace_path.empty() || imb_options.stats) {
-        std::fprintf(stderr,
-                     "--trace-out/--stats only apply to the imb suite\n");
+      if (!imb_options.trace_path.empty()) {
+        std::fprintf(stderr, "--trace-out only applies to the imb suite\n");
         return 2;
       }
-      return run_hpcc(machine, cpus);
+      return run_hpcc(machine, cpus, imb_options);
     }
     if (suite == "imb") {
       if (!benchmark.empty()) {

@@ -1,0 +1,119 @@
+// hpcx_compare — diff two run records written with --metrics-out.
+//
+//   hpcx_compare baseline.json candidate.json        # exit 1 on regression
+//   hpcx_compare baseline.json candidate.json --threshold 0.10
+//   hpcx_compare --perturb 1.10 in.json out.json     # synthesise a known
+//                                                    # regression (testing)
+//
+// Every metric present in both records is compared in its own "better"
+// direction; the per-metric tolerance is the larger of --threshold and
+// the noise floor derived from the records' repeat statistics. See
+// src/metrics/compare.hpp for the engine.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "metrics/compare.hpp"
+#include "metrics/run_record.hpp"
+
+namespace {
+
+using namespace hpcx;
+
+void usage() {
+  std::printf(
+      "usage: hpcx_compare <baseline.json> <candidate.json> [options]\n"
+      "       hpcx_compare --perturb <factor> <in.json> <out.json>\n"
+      "  --threshold <f>     relative regression threshold (default 0.05)\n"
+      "  --cov-multiple <f>  noise floor as a multiple of the repeat CoV\n"
+      "                      (default 3.0)\n"
+      "  --quiet             only print the verdict line\n"
+      "exit status: 0 = no regression, 1 = regression, 2 = usage/IO error\n");
+}
+
+int perturb_mode(int argc, char** argv) {
+  if (argc != 5) {
+    usage();
+    return 2;
+  }
+  const double factor = std::atof(argv[2]);
+  if (factor < 1.0) {
+    std::fprintf(stderr, "--perturb factor must be >= 1 (got %s)\n",
+                 argv[2]);
+    return 2;
+  }
+  try {
+    metrics::RunRecord rec = metrics::RunRecord::load(argv[3]);
+    metrics::perturb(rec, factor);
+    rec.write_json(argv[4]);
+    std::cout << "wrote " << argv[4] << " with every metric worsened by x"
+              << factor << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--perturb") == 0)
+    return perturb_mode(argc, argv);
+
+  std::vector<std::string> paths;
+  metrics::CompareOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threshold") {
+      options.rel_threshold = std::atof(next());
+    } else if (arg == "--cov-multiple") {
+      options.cov_multiple = std::atof(next());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const metrics::RunRecord baseline = metrics::RunRecord::load(paths[0]);
+    const metrics::RunRecord candidate = metrics::RunRecord::load(paths[1]);
+    const metrics::CompareResult result =
+        metrics::compare(baseline, candidate, options);
+    if (quiet) {
+      std::cout << (result.pass() ? "PASS" : "FAIL") << ": "
+                << result.regressions.size() << " regression(s) across "
+                << result.compared << " shared metric(s)\n";
+    } else {
+      metrics::compare_table(result).print(std::cout);
+    }
+    return result.pass() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
