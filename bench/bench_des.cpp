@@ -23,6 +23,30 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_EventQueueSameTime(benchmark::State& state) {
+  // All events at one timestamp: exercises the same-time FIFO bucket
+  // (ring scan, no heap sifting) that zero-delay wake-up storms hit.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hpcx::des::EventQueue q;
+    for (int i = 0; i < n; ++i) q.push(1.0, [] {});
+    while (!q.empty()) q.pop(nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueSameTime)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FiberSpawn(benchmark::State& state) {
+  // Create/run/destroy cost, dominated by stack acquisition — measures
+  // the thread-local stack pool (first iteration mmaps, the rest reuse).
+  for (auto _ : state) {
+    hpcx::des::Fiber fiber([] {});
+    fiber.resume();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberSpawn);
+
 void BM_FiberSwitch(benchmark::State& state) {
   hpcx::des::Fiber fiber([] {
     for (;;) hpcx::des::Fiber::yield();

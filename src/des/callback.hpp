@@ -1,0 +1,156 @@
+// Small-buffer-optimised, move-only callable for engine events.
+//
+// Every closure the engine itself schedules (process resumes, wakes,
+// message-delivery continuations) fits the inline buffer, so the hot
+// path never touches the heap. Larger or non-trivially-copyable
+// callables transparently fall back to a pooled overflow node: a
+// thread-local freelist of fixed-size blocks, so even the slow path
+// stops allocating once the working set is warm.
+//
+// The inline path requires the callable to be trivially copyable; that
+// makes a Callback (and therefore a heap Entry holding one) movable by
+// plain memcpy, which is what lets the 4-ary event heap shuffle entries
+// without touching vtables or allocators.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hpcx::des {
+
+namespace detail {
+
+/// Fixed block size of the overflow pool. Anything larger goes straight
+/// to operator new/delete (rare: engine closures are a few words).
+inline constexpr std::size_t kOverflowBlockBytes = 64;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+inline thread_local FreeBlock* g_overflow_free = nullptr;
+
+inline void* overflow_alloc(std::size_t bytes) {
+  if (bytes <= kOverflowBlockBytes) {
+    if (FreeBlock* b = g_overflow_free) {
+      g_overflow_free = b->next;
+      return b;
+    }
+    return ::operator new(kOverflowBlockBytes);
+  }
+  return ::operator new(bytes);
+}
+
+inline void overflow_free(void* p, std::size_t bytes) {
+  if (bytes <= kOverflowBlockBytes) {
+    auto* b = static_cast<FreeBlock*>(p);
+    b->next = g_overflow_free;
+    g_overflow_free = b;
+  } else {
+    ::operator delete(p);
+  }
+}
+
+}  // namespace detail
+
+class Callback {
+ public:
+  /// Inline capacity. Sized for the largest closure the engine schedules
+  /// — the message-delivery continuation {World*, rank, Envelope*} at 24
+  /// bytes — and kept tight so a heap Entry {time, seq, Callback} stays
+  /// at 56 bytes (heap throughput is cache-capacity-bound at depth).
+  static constexpr std::size_t kInlineBytes = 24;
+
+  Callback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function
+  Callback(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  std::is_trivially_copyable_v<D> &&
+                  alignof(D) <= alignof(Storage)) {
+      ::new (static_cast<void*>(storage_.bytes)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      // Trivially copyable implies trivially destructible: no destroy_.
+    } else {
+      void* node = detail::overflow_alloc(sizeof(D));
+      ::new (node) D(std::forward<F>(f));
+      std::memcpy(storage_.bytes, &node, sizeof(node));
+      invoke_ = &invoke_overflow<D>;
+      destroy_ = &destroy_overflow<D>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept
+      : invoke_(other.invoke_), destroy_(other.destroy_) {
+    storage_ = other.storage_;
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      if (destroy_) destroy_(storage_.bytes);
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      storage_ = other.storage_;
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() {
+    if (destroy_) destroy_(storage_.bytes);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  bool operator==(std::nullptr_t) const { return invoke_ == nullptr; }
+  bool operator!=(std::nullptr_t) const { return invoke_ != nullptr; }
+
+  /// Invoke the callable (it stays alive until the Callback is destroyed).
+  void operator()() { invoke_(storage_.bytes); }
+
+ private:
+  struct Storage {
+    alignas(alignof(void*)) unsigned char bytes[kInlineBytes];
+  };
+  using InvokeFn = void (*)(unsigned char*);
+  using DestroyFn = void (*)(unsigned char*);
+
+  template <typename D>
+  static void invoke_inline(unsigned char* s) {
+    (*std::launder(reinterpret_cast<D*>(s)))();
+  }
+  template <typename D>
+  static void invoke_overflow(unsigned char* s) {
+    void* node;
+    std::memcpy(&node, s, sizeof(node));
+    (*static_cast<D*>(node))();
+  }
+  template <typename D>
+  static void destroy_overflow(unsigned char* s) {
+    void* node;
+    std::memcpy(&node, s, sizeof(node));
+    static_cast<D*>(node)->~D();
+    detail::overflow_free(node, sizeof(D));
+  }
+
+  InvokeFn invoke_ = nullptr;
+  DestroyFn destroy_ = nullptr;
+  Storage storage_{};
+};
+
+}  // namespace hpcx::des

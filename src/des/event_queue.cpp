@@ -1,6 +1,6 @@
 #include "des/event_queue.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "core/error.hpp"
 
@@ -8,22 +8,85 @@ namespace hpcx::des {
 
 void EventQueue::push(SimTime t, Callback cb) {
   HPCX_ASSERT(cb != nullptr);
-  heap_.push_back(Entry{t, next_seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const std::uint64_t seq = next_seq_++;
+  // Fast path: an event at exactly the time being popped fires after
+  // everything already queued for that time (its seq is the largest), so
+  // FIFO order in the bucket is heap order.
+  if (bucket_active_ && t == bucket_time_) {
+    bucket_.push_back(Entry{t, seq, std::move(cb)});
+    return;
+  }
+  heap_push(Entry{t, seq, std::move(cb)});
 }
 
 SimTime EventQueue::next_time() const {
-  HPCX_ASSERT(!heap_.empty());
-  return heap_.front().time;
+  HPCX_ASSERT(!empty());
+  if (bucket_empty()) return heap_.front().time;
+  if (heap_.empty()) return bucket_time_;
+  // Same-time heap entries have smaller seqs and pop first, but the
+  // *time* of the next event is simply the minimum.
+  return heap_.front().time < bucket_time_ ? heap_.front().time
+                                           : bucket_time_;
 }
 
 EventQueue::Callback EventQueue::pop(SimTime* time_out) {
-  HPCX_ASSERT(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
+  HPCX_ASSERT(!empty());
+  // Heap entries at bucket_time_ were pushed before the bucket opened
+  // (smaller seq), so on a time tie the heap pops first.
+  const bool from_heap =
+      bucket_empty() ||
+      (!heap_.empty() && heap_.front().time <= bucket_time_);
+  Entry e = from_heap ? heap_pop() : std::move(bucket_[bucket_head_++]);
+  if (!from_heap && bucket_empty()) {
+    bucket_.clear();
+    bucket_head_ = 0;
+  }
+  // (Re)open the bucket at the popped time once it has drained; while it
+  // still holds entries its time must not change.
+  if (bucket_empty()) {
+    bucket_time_ = e.time;
+    bucket_active_ = true;
+  }
   if (time_out) *time_out = e.time;
   return std::move(e.cb);
+}
+
+void EventQueue::heap_push(Entry e) {
+  heap_.push_back(std::move(e));
+  // Sift up with a hole: move parents down until e's slot is found.
+  std::size_t i = heap_.size() - 1;
+  Entry v = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (before(heap_[parent].time, heap_[parent].seq, v)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(v);
+}
+
+EventQueue::Entry EventQueue::heap_pop() {
+  Entry top = std::move(heap_.front());
+  Entry last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c].time, heap_[c].seq, heap_[best])) best = c;
+      }
+      if (!before(heap_[best].time, heap_[best].seq, last)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(last);
+  }
+  return top;
 }
 
 }  // namespace hpcx::des

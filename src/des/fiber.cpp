@@ -3,12 +3,30 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
 #include "core/error.hpp"
+
+#ifndef HPCX_UCONTEXT_FIBERS
+extern "C" {
+// src/des/fiber_switch.S — see the frame-layout contract there.
+void hpcx_fiber_switch(void** save_sp, void* restore_sp);
+void hpcx_fiber_entry();
+}
+#endif
 
 namespace hpcx::des {
 
 namespace {
 thread_local Fiber* g_current_fiber = nullptr;
+
+// Thrown into a suspended fiber by ~Fiber so stack-resident destructors
+// run. Deliberately not derived from std::exception: a fiber body's
+// catch (const std::exception&) handlers won't swallow it. (A catch (...)
+// that doesn't rethrow still can — the usual caveat of forced unwinding.)
+struct ForcedUnwind {};
 
 std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
@@ -18,39 +36,152 @@ std::size_t page_size() {
 std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
 }
+
+// Thread-local pool of guard-paged fiber stacks. Release decommits the
+// usable pages with madvise(MADV_DONTNEED) — the kernel reclaims the
+// memory, but the mapping (and its guard page) survives, so reacquiring
+// a stack is free of mmap/mprotect/munmap and their VMA + TLB churn.
+class StackPool {
+ public:
+  ~StackPool() {
+    for (const Item& item : free_) munmap(item.base, item.size);
+  }
+
+  void* acquire(std::size_t size) {
+    for (std::size_t i = free_.size(); i-- > 0;) {
+      if (free_[i].size == size) {
+        void* base = free_[i].base;
+        free_[i] = free_.back();
+        free_.pop_back();
+        ++reuses_;
+        return base;
+      }
+    }
+    const std::size_t ps = page_size();
+    void* base = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    HPCX_ASSERT_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+    // Guard page at the low end (stacks grow down on every ABI we target).
+    HPCX_ASSERT(mprotect(base, ps, PROT_NONE) == 0);
+    return base;
+  }
+
+  void release(void* base, std::size_t size) {
+    if (free_.size() >= kMaxPooled) {
+      munmap(base, size);
+      return;
+    }
+    const std::size_t ps = page_size();
+    madvise(static_cast<char*>(base) + ps, size - ps, MADV_DONTNEED);
+    free_.push_back(Item{base, size});
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+  std::size_t reuses() const { return reuses_; }
+
+  void trim() {
+    for (const Item& item : free_) munmap(item.base, item.size);
+    free_.clear();
+  }
+
+ private:
+  struct Item {
+    void* base;
+    std::size_t size;
+  };
+  // Enough for the largest sweeps we run (thousands of ranks); pooled
+  // stacks hold address space, not memory, so the cap is generous.
+  static constexpr std::size_t kMaxPooled = 8192;
+
+  std::vector<Item> free_;
+  std::size_t reuses_ = 0;
+};
+
+thread_local StackPool g_stack_pool;
 }  // namespace
+
+std::size_t Fiber::pooled_stacks() { return g_stack_pool.pooled(); }
+std::size_t Fiber::stack_pool_reuses() { return g_stack_pool.reuses(); }
+void Fiber::trim_stack_pool() { g_stack_pool.trim(); }
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)) {
   HPCX_ASSERT(body_ != nullptr);
   const std::size_t ps = page_size();
   stack_size_ = round_up(stack_bytes, ps) + ps;  // +1 guard page
-  stack_base_ = mmap(nullptr, stack_size_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  HPCX_ASSERT_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
-  // Guard page at the low end (stacks grow down on every ABI we target).
-  HPCX_ASSERT(mprotect(stack_base_, ps, PROT_NONE) == 0);
+  stack_base_ = g_stack_pool.acquire(stack_size_);
 
+#ifdef HPCX_UCONTEXT_FIBERS
   HPCX_ASSERT(getcontext(&context_) == 0);
   context_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + ps;
   context_.uc_stack.ss_size = stack_size_ - ps;
   context_.uc_link = &return_context_;
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+#elif defined(__x86_64__)
+  // Seed a switch frame (layout contract: fiber_switch.S) whose restore
+  // "returns" into hpcx_fiber_entry with this Fiber* in r15.
+  struct Frame {
+    std::uint32_t mxcsr;
+    std::uint16_t fcw;
+    std::uint16_t pad;
+    std::uint64_t r15, r14, r13, r12, rbx, rbp;
+    void* rip;
+  };
+  static_assert(sizeof(Frame) == 64);
+  char* top = static_cast<char*>(stack_base_) + stack_size_;
+  top -= reinterpret_cast<std::uintptr_t>(top) & 15;  // 16-align
+  auto* f = reinterpret_cast<Frame*>(top - sizeof(Frame));
+  std::memset(f, 0, sizeof(Frame));
+  asm volatile("stmxcsr %0" : "=m"(f->mxcsr));
+  asm volatile("fnstcw %0" : "=m"(f->fcw));
+  f->r15 = reinterpret_cast<std::uint64_t>(this);
+  f->rip = reinterpret_cast<void*>(&hpcx_fiber_entry);
+  fiber_sp_ = f;
+#elif defined(__aarch64__)
+  // Seed a switch frame (layout contract: fiber_switch.S) whose restore
+  // "returns" into hpcx_fiber_entry with this Fiber* in x19.
+  struct Frame {
+    std::uint64_t x19, x20, x21, x22, x23, x24, x25, x26, x27, x28;
+    std::uint64_t x29;
+    void* x30;
+    std::uint64_t d[8];
+    std::uint64_t pad[2];
+  };
+  static_assert(sizeof(Frame) == 176);
+  char* top = static_cast<char*>(stack_base_) + stack_size_;
+  top -= reinterpret_cast<std::uintptr_t>(top) & 15;  // 16-align
+  auto* f = reinterpret_cast<Frame*>(top - sizeof(Frame));
+  std::memset(f, 0, sizeof(Frame));
+  f->x19 = reinterpret_cast<std::uint64_t>(this);
+  f->x30 = reinterpret_cast<void*>(&hpcx_fiber_entry);
+  fiber_sp_ = f;
+#endif
 }
 
 Fiber::~Fiber() {
-  // Destroying a suspended fiber would leak whatever RAII state lives on
-  // its stack; the simulator never does this (it drains all processes),
-  // but a user might, so we simply release the stack. Destructors of
-  // objects on the fiber stack do NOT run in that case.
-  if (stack_base_ != nullptr) munmap(stack_base_, stack_size_);
+  // A suspended fiber still has live frames — RAII objects on its stack
+  // would leak if we just dropped the memory. Resume it one last time
+  // with unwinding_ set: yield() throws ForcedUnwind at the suspension
+  // point, destructors run as the stack unwinds, and the trampoline
+  // catches the marker and finishes normally. (Skipped if we are
+  // ourselves inside a fiber: a nested resume is not possible.)
+  if (state_ == State::kSuspended && g_current_fiber == nullptr) {
+    unwinding_ = true;
+    resume();
+    HPCX_ASSERT(state_ == State::kFinished);
+  }
+  if (stack_base_ != nullptr) g_stack_pool.release(stack_base_, stack_size_);
 }
+
+#ifdef HPCX_UCONTEXT_FIBERS
 
 void Fiber::trampoline() {
   Fiber* self = g_current_fiber;
   HPCX_ASSERT(self != nullptr);
   try {
     self->body_();
+  } catch (const ForcedUnwind&) {
+    // Destructor-driven unwind: not an error, nothing to re-throw.
   } catch (...) {
     self->pending_exception_ = std::current_exception();
   }
@@ -84,8 +215,62 @@ void Fiber::yield() {
   HPCX_ASSERT(swapcontext(&self->context_, &self->return_context_) == 0);
   g_current_fiber = self;
   self->state_ = State::kRunning;
+  if (self->unwinding_) throw ForcedUnwind{};
 }
+
+#else  // hand-written switch
+
+void Fiber::resume() {
+  HPCX_ASSERT_MSG(g_current_fiber == nullptr,
+                  "nested Fiber::resume from inside a fiber");
+  HPCX_ASSERT_MSG(state_ == State::kReady || state_ == State::kSuspended,
+                  "resume of finished/running fiber");
+  g_current_fiber = this;
+  state_ = State::kRunning;
+  hpcx_fiber_switch(&return_sp_, fiber_sp_);
+  g_current_fiber = nullptr;
+  if (state_ == State::kRunning) state_ = State::kSuspended;
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  HPCX_ASSERT_MSG(self != nullptr, "Fiber::yield outside any fiber");
+  // Mark suspended *before* switching so resume() sees a consistent state.
+  self->state_ = State::kSuspended;
+  g_current_fiber = nullptr;
+  hpcx_fiber_switch(&self->fiber_sp_, self->return_sp_);
+  g_current_fiber = self;
+  self->state_ = State::kRunning;
+  if (self->unwinding_) throw ForcedUnwind{};
+}
+
+#endif
 
 Fiber* Fiber::current() { return g_current_fiber; }
 
 }  // namespace hpcx::des
+
+#ifndef HPCX_UCONTEXT_FIBERS
+extern "C" void hpcx_fiber_trampoline(void* fiber) {
+  using hpcx::des::Fiber;
+  auto* self = static_cast<Fiber*>(fiber);
+  HPCX_ASSERT(self == hpcx::des::g_current_fiber);
+  try {
+    self->body_();
+  } catch (const hpcx::des::ForcedUnwind&) {
+    // Destructor-driven unwind: not an error, nothing to re-throw.
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = Fiber::State::kFinished;
+  // Final switch back to the resumer; this frame is never re-entered.
+  void* dead_sp;
+  hpcx_fiber_switch(&dead_sp, self->return_sp_);
+  __builtin_unreachable();
+}
+#endif

@@ -1,4 +1,4 @@
-// Stackful cooperative fibers built on POSIX ucontext.
+// Stackful cooperative fibers with a syscall-free context switch.
 //
 // The simulator runs every simulated MPI rank as a fiber, so ordinary
 // *blocking* code (the same collective algorithms and benchmark kernels
@@ -6,21 +6,42 @@
 // blocking operation suspends the fiber and hands control back to the
 // scheduler, which later resumes it at the simulated completion instant.
 //
-// Switching costs ~100 ns, letting a single host core simulate thousands
-// of ranks. Stacks are mmap'd with a guard page so an overflow faults
-// instead of silently corrupting a neighbouring fiber.
+// On x86-64 and aarch64 the switch is a hand-written callee-saved
+// register save/restore (src/des/fiber_switch.S) that costs tens of
+// nanoseconds and never enters the kernel; POSIX ucontext (which pays an
+// rt_sigprocmask syscall per swapcontext) remains available as a
+// portability fallback via -DHPCX_UCONTEXT_FIBERS (CMake option of the
+// same name). Stacks are mmap'd with a low guard page so an overflow
+// faults instead of silently corrupting a neighbouring fiber, and are
+// recycled through a thread-local pool (madvise(MADV_DONTNEED) on
+// release) so fiber churn — thousands of ranks per run_on_machine call,
+// many calls per sweep — costs no mmap/munmap traffic after warm-up.
 //
 // Constraints (checked where possible):
 //  * Fibers are cooperative and confined to the thread that created them.
 //  * Exceptions must not propagate out of a fiber body; the trampoline
 //    catches them and re-throws on the scheduler side.
+//  * Destroying a *suspended* fiber unwinds its stack first (a forced-
+//    unwind exception runs the destructors of stack-resident objects),
+//    so RAII state on fiber stacks is never leaked.
 #pragma once
-
-#include <ucontext.h>
 
 #include <cstddef>
 #include <exception>
 #include <functional>
+
+#if !defined(HPCX_UCONTEXT_FIBERS) && \
+    !(defined(__x86_64__) || defined(__aarch64__))
+#define HPCX_UCONTEXT_FIBERS 1  // unsupported ISA: fall back to ucontext
+#endif
+
+#ifdef HPCX_UCONTEXT_FIBERS
+#include <ucontext.h>
+#endif
+
+#ifndef HPCX_UCONTEXT_FIBERS
+extern "C" void hpcx_fiber_trampoline(void* fiber);
+#endif
 
 namespace hpcx::des {
 
@@ -31,6 +52,9 @@ class Fiber {
   /// Create a fiber that will run `body` when first resumed.
   explicit Fiber(std::function<void()> body,
                  std::size_t stack_bytes = kDefaultStackBytes);
+
+  /// If the fiber is suspended, its stack is unwound first (see above);
+  /// the stack then returns to the thread-local pool.
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -54,16 +78,35 @@ class Fiber {
 
   static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
 
+  // --- stack-pool observability / maintenance (thread-local pool) ---
+
+  /// Stacks currently parked in this thread's pool.
+  static std::size_t pooled_stacks();
+  /// Times a Fiber on this thread reused a pooled stack instead of mmap'ing.
+  static std::size_t stack_pool_reuses();
+  /// Unmap every pooled stack (e.g. between unrelated sweeps).
+  static void trim_stack_pool();
+
  private:
+#ifdef HPCX_UCONTEXT_FIBERS
   static void trampoline();
+#else
+  friend void ::hpcx_fiber_trampoline(void* fiber);
+#endif
 
   std::function<void()> body_;
   void* stack_base_ = nullptr;   // mmap'd region including guard page
   std::size_t stack_size_ = 0;   // total mapped size
+#ifdef HPCX_UCONTEXT_FIBERS
   ucontext_t context_{};
   ucontext_t return_context_{};  // where resume() was called from
+#else
+  void* fiber_sp_ = nullptr;     // fiber's saved stack pointer
+  void* return_sp_ = nullptr;    // resumer's saved stack pointer
+#endif
   std::exception_ptr pending_exception_;
   State state_ = State::kReady;
+  bool unwinding_ = false;       // destructor-driven forced unwind
 };
 
 }  // namespace hpcx::des

@@ -6,7 +6,7 @@
 
 namespace hpcx::des {
 
-void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+void Simulator::schedule(SimTime delay, Callback fn) {
   HPCX_ASSERT_MSG(delay >= 0.0, "negative event delay");
   queue_.push(now_ + delay, std::move(fn));
 }
@@ -14,9 +14,7 @@ void Simulator::schedule(SimTime delay, std::function<void()> fn) {
 ProcessId Simulator::spawn(std::function<void()> body,
                            std::size_t stack_bytes) {
   const ProcessId pid = static_cast<ProcessId>(processes_.size());
-  Process p;
-  p.fiber = std::make_unique<Fiber>(std::move(body), stack_bytes);
-  processes_.push_back(std::move(p));
+  processes_.emplace_back(std::move(body), stack_bytes);
   ++live_processes_;
   queue_.push(now_, [this, pid] { resume_process(pid); });
   return pid;
@@ -25,16 +23,16 @@ ProcessId Simulator::spawn(std::function<void()> body,
 void Simulator::resume_process(ProcessId pid) {
   HPCX_ASSERT(pid < processes_.size());
   Process& p = processes_[pid];
-  HPCX_ASSERT_MSG(!p.fiber->finished(), "resume of finished process");
+  HPCX_ASSERT_MSG(!p.fiber.finished(), "resume of finished process");
   p.blocked = false;
   p.wake_pending = false;
   const ProcessId prev = running_;
   HPCX_ASSERT_MSG(prev == kNoProcess,
                   "process resumed from inside another process");
   running_ = pid;
-  p.fiber->resume();  // re-throws any exception from the process body
+  p.fiber.resume();  // re-throws any exception from the process body
   running_ = kNoProcess;
-  if (p.fiber->finished()) {
+  if (p.fiber.finished()) {
     HPCX_ASSERT(live_processes_ > 0);
     --live_processes_;
   }

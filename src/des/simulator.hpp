@@ -15,10 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "des/event_queue.hpp"
 #include "des/fiber.hpp"
@@ -36,7 +35,9 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule a plain event `delay` seconds from now (delay >= 0).
-  void schedule(SimTime delay, std::function<void()> fn);
+  /// Callbacks with small trivially-copyable captures are stored inline
+  /// (see des::Callback) — the engine's own events never allocate.
+  void schedule(SimTime delay, Callback fn);
 
   /// Create a process; it starts when the simulation reaches the current
   /// time's event horizon (i.e. it is scheduled like an event at now()).
@@ -70,7 +71,9 @@ class Simulator {
 
  private:
   struct Process {
-    std::unique_ptr<Fiber> fiber;
+    Process(std::function<void()> body, std::size_t stack_bytes)
+        : fiber(std::move(body), stack_bytes) {}
+    Fiber fiber;
     bool blocked = false;   // waiting for wake()
     bool wake_pending = false;
   };
@@ -79,7 +82,9 @@ class Simulator {
 
   EventQueue queue_;
   SimTime now_ = 0.0;
-  std::vector<Process> processes_;
+  // deque: stable addresses (a fiber may be mid-execution while another
+  // spawn() grows the table) without a per-process heap allocation.
+  std::deque<Process> processes_;
   ProcessId running_ = kNoProcess;
   std::size_t live_processes_ = 0;
   bool in_run_ = false;

@@ -8,19 +8,22 @@ namespace hpcx::des {
 
 void WaitQueue::wait() {
   const ProcessId pid = sim_->current_process();
+  if (head_ == waiters_.size()) {  // drained: recycle the storage
+    waiters_.clear();
+    head_ = 0;
+  }
   waiters_.push_back(pid);
   sim_->block();
 }
 
 void WaitQueue::notify_one() {
-  if (waiters_.empty()) return;
-  const ProcessId pid = waiters_.front();
-  waiters_.pop_front();
+  if (head_ == waiters_.size()) return;
+  const ProcessId pid = waiters_[head_++];
   sim_->wake(pid);
 }
 
 void WaitQueue::notify_all() {
-  while (!waiters_.empty()) notify_one();
+  while (head_ != waiters_.size()) notify_one();
 }
 
 void SimResource::acquire(SimTime hold) {

@@ -9,7 +9,7 @@
 // the resource's next-free time, then advances it by `hold` seconds.
 #pragma once
 
-#include <deque>
+#include <vector>
 
 #include "des/simulator.hpp"
 
@@ -28,11 +28,14 @@ class WaitQueue {
   /// Wake every waiting process.
   void notify_all();
 
-  std::size_t waiting() const { return waiters_.size(); }
+  std::size_t waiting() const { return waiters_.size() - head_; }
 
  private:
   Simulator* sim_;
-  std::deque<ProcessId> waiters_;
+  // FIFO ring over a flat vector (compacted when drained): after warm-up
+  // a wait/notify cycle performs no allocation.
+  std::vector<ProcessId> waiters_;
+  std::size_t head_ = 0;
 };
 
 /// A serially-reusable resource under virtual time. Rather than queueing

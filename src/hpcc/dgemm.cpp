@@ -20,13 +20,54 @@ void micro_kernel(const double* __restrict a, std::size_t lda,
                   const double* __restrict b, std::size_t ldb,
                   double* __restrict c, std::size_t ldc, std::size_t m,
                   std::size_t n, std::size_t k) {
-  // i-k-j: the j loop over a contiguous C/B row vectorises.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aip = a[i * lda + p];
+  // 2x4 register-blocked rank-1 updates: each pass over a C panel fuses
+  // two rows by four k steps, so the eight A scalars stay in registers,
+  // every B element loaded is reused across both rows, and each C
+  // vector is loaded and stored once per four k steps instead of once
+  // per step. The j loop stays long and contiguous, which is what lets
+  // the compiler vectorise it; the paired products sum as a balanced
+  // tree, keeping the per-element accumulator chain short.
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const double* __restrict a0 = &a[i * lda];
+    const double* __restrict a1 = a0 + lda;
+    double* __restrict c0 = &c[i * ldc];
+    double* __restrict c1 = c0 + ldc;
+    std::size_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const double a00 = a0[p], a01 = a0[p + 1];
+      const double a02 = a0[p + 2], a03 = a0[p + 3];
+      const double a10 = a1[p], a11 = a1[p + 1];
+      const double a12 = a1[p + 2], a13 = a1[p + 3];
+      const double* __restrict br0 = &b[p * ldb];
+      const double* __restrict br1 = br0 + ldb;
+      const double* __restrict br2 = br1 + ldb;
+      const double* __restrict br3 = br2 + ldb;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double b0 = br0[j], b1 = br1[j];
+        const double b2 = br2[j], b3 = br3[j];
+        c0[j] += (a00 * b0 + a01 * b1) + (a02 * b2 + a03 * b3);
+        c1[j] += (a10 * b0 + a11 * b1) + (a12 * b2 + a13 * b3);
+      }
+    }
+    for (; p < k; ++p) {  // k remainder, still two rows per pass
+      const double a0p = a0[p];
+      const double a1p = a1[p];
       const double* __restrict brow = &b[p * ldb];
-      double* __restrict crow = &c[i * ldc];
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double bv = brow[j];
+        c0[j] += a0p * bv;
+        c1[j] += a1p * bv;
+      }
+    }
+  }
+  if (i < m) {  // odd final row: plain single-row rank-1 updates
+    const double* __restrict a0 = &a[i * lda];
+    double* __restrict c0 = &c[i * ldc];
+    for (std::size_t p = 0; p < k; ++p) {
+      const double a0p = a0[p];
+      const double* __restrict brow = &b[p * ldb];
+      for (std::size_t j = 0; j < n; ++j) c0[j] += a0p * brow[j];
     }
   }
 }

@@ -21,10 +21,30 @@ Network::Network(des::Simulator& sim, topo::Graph graph, NicParams nic,
   edge_stats_.assign(graph_.num_edges(), EdgeStats{});
   nic_tx_.assign(graph_.num_hosts(), des::SimResource(*sim_));
   node_mem_.assign(graph_.num_hosts(), des::SimResource(*sim_));
+  path_cache_.resize(graph_.num_hosts());
+}
+
+const Network::PathRef& Network::cached_path(int src, int dst) {
+  std::vector<PathRef>& row = path_cache_[static_cast<std::size_t>(src)];
+  if (row.empty()) row.resize(graph_.num_hosts());
+  PathRef& ref = row[static_cast<std::size_t>(dst)];
+  if (!ref.cached) {
+    const std::vector<topo::EdgeId> path = routing_.path(src, dst);
+    HPCX_ASSERT(!path.empty());
+    ref.offset = static_cast<std::uint32_t>(hop_arena_.size());
+    ref.hops = static_cast<std::uint32_t>(path.size());
+    ref.cached = true;
+    for (const topo::EdgeId e : path) {
+      const topo::Edge& edge = graph_.edge(e);
+      hop_arena_.push_back(
+          PathHop{e, edge.params.latency_s, edge.params.bandwidth_Bps});
+    }
+  }
+  return ref;
 }
 
 void Network::send(int src, int dst, std::size_t bytes,
-                   std::function<void()> on_delivered) {
+                   des::Callback on_delivered) {
   HPCX_ASSERT(src >= 0 && static_cast<std::size_t>(src) < graph_.num_hosts());
   HPCX_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < graph_.num_hosts());
   if (src == dst) {
@@ -38,7 +58,7 @@ void Network::send(int src, int dst, std::size_t bytes,
 }
 
 void Network::send_local(int host, std::size_t bytes,
-                         std::function<void()> on_delivered) {
+                         des::Callback on_delivered) {
   // The sending CPU performs the copy: per-transfer effective bandwidth,
   // stretched if the node's aggregate memory bandwidth is oversubscribed
   // by concurrent transfers.
@@ -55,7 +75,7 @@ void Network::send_local(int host, std::size_t bytes,
 }
 
 void Network::send_remote(int src, int dst, std::size_t bytes,
-                          std::function<void()> on_delivered) {
+                          des::Callback on_delivered) {
   const double fbytes = static_cast<double>(bytes);
 
   // Send-side software overhead: CPU busy.
@@ -74,30 +94,31 @@ void Network::send_remote(int src, int dst, std::size_t bytes,
   // Walk the routed path reserving each link. The head advances one hop
   // latency per link and queues behind busy links; serialisation runs
   // concurrently on all links (cut-through), so arrival is bounded by
-  // the slowest reservation end (injection included).
-  const std::vector<topo::EdgeId> path = routing_.path(src, dst);
-  HPCX_ASSERT(!path.empty());
+  // the slowest reservation end (injection included). The route itself
+  // comes from the per-pair cache: no per-message path allocation, no
+  // repeated ECMP hashing, no graph edge lookups.
+  const PathRef ref = cached_path(src, dst);
+  const PathHop* hops = hop_arena_.data() + ref.offset;
   double head = inject_entry + nic_.per_message_gap_s;
   double arrival = inject_end;
-  for (const topo::EdgeId e : path) {
-    const topo::Edge& edge = graph_.edge(e);
-    auto& busy = edge_busy_[static_cast<std::size_t>(e)];
+  for (std::uint32_t h = 0; h < ref.hops; ++h) {
+    const PathHop& hop = hops[h];
+    auto& busy = edge_busy_[static_cast<std::size_t>(hop.edge)];
     const double free_at = busy.next_free();
-    const double entry = std::max(head + edge.params.latency_s, free_at);
-    const double ser_end =
-        busy.reserve(entry, fbytes / edge.params.bandwidth_Bps);
-    EdgeStats& stats = edge_stats_[static_cast<std::size_t>(e)];
+    const double entry = std::max(head + hop.latency_s, free_at);
+    const double ser_end = busy.reserve(entry, fbytes / hop.bandwidth_Bps);
+    EdgeStats& stats = edge_stats_[static_cast<std::size_t>(hop.edge)];
     ++stats.messages;
     stats.bytes += bytes;
-    stats.busy_s += fbytes / edge.params.bandwidth_Bps;
-    stats.queued_s += std::max(0.0, free_at - (head + edge.params.latency_s));
+    stats.busy_s += fbytes / hop.bandwidth_Bps;
+    stats.queued_s += std::max(0.0, free_at - (head + hop.latency_s));
     if (sampling_ && link_samples_.size() < sample_cap_) {
-      double& last = last_sample_t_[static_cast<std::size_t>(e)];
+      double& last = last_sample_t_[static_cast<std::size_t>(hop.edge)];
       const double t = sim_->now();
       if (last < 0.0 || t - last >= sample_min_interval_s_) {
         last = t;
         link_samples_.push_back(
-            LinkSample{t, e, stats.busy_s, std::max(0.0, ser_end - t)});
+            LinkSample{t, hop.edge, stats.busy_s, std::max(0.0, ser_end - t)});
       }
     }
     head = entry;

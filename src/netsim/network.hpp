@@ -19,7 +19,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -58,9 +57,11 @@ class Network {
   /// send-side cost (overhead + injection serialisation, or the full copy
   /// for intra-node). `on_delivered` fires in event context when the last
   /// byte reaches the destination; the receive overhead is NOT included
-  /// (the communicator charges it to the receiving rank).
-  void send(int src, int dst, std::size_t bytes,
-            std::function<void()> on_delivered);
+  /// (the communicator charges it to the receiving rank). The callback is
+  /// threaded to the event queue as-is (no re-wrapping), so a small
+  /// trivially-copyable capture — e.g. a pooled envelope pointer — makes
+  /// the whole delivery path allocation-free.
+  void send(int src, int dst, std::size_t bytes, des::Callback on_delivered);
 
   double recv_overhead_s() const { return nic_.recv_overhead_s; }
   const topo::Graph& graph() const { return graph_; }
@@ -103,10 +104,27 @@ class Network {
   const std::vector<LinkSample>& link_samples() const { return link_samples_; }
 
  private:
-  void send_local(int host, std::size_t bytes,
-                  std::function<void()> on_delivered);
+  void send_local(int host, std::size_t bytes, des::Callback on_delivered);
   void send_remote(int src, int dst, std::size_t bytes,
-                   std::function<void()> on_delivered);
+                   des::Callback on_delivered);
+
+  // One hop of a cached route: the edge id plus the per-edge parameters
+  // the inner send loop needs, so it touches neither the routing tables
+  // nor the graph's edge array.
+  struct PathHop {
+    topo::EdgeId edge;
+    double latency_s;
+    double bandwidth_Bps;
+  };
+  struct PathRef {
+    std::uint32_t offset = 0;
+    std::uint32_t hops = 0;
+    bool cached = false;
+  };
+  /// The routed path src -> dst, computed once per (src, dst) pair and
+  /// served from a flat arena afterwards. ECMP selection depends only on
+  /// the pair (deterministic flow hash), so caching is exact.
+  const PathRef& cached_path(int src, int dst);
 
   des::Simulator* sim_;
   topo::Graph graph_;
@@ -115,6 +133,8 @@ class Network {
   NodeParams node_;
   std::vector<des::SimResource> edge_busy_;  // per directed edge
   std::vector<EdgeStats> edge_stats_;        // per directed edge
+  std::vector<std::vector<PathRef>> path_cache_;  // [src][dst], rows lazy
+  std::vector<PathHop> hop_arena_;           // backing store for PathRefs
   std::vector<des::SimResource> nic_tx_;     // per host
   std::vector<des::SimResource> node_mem_;   // per host (aggregate memory)
   std::uint64_t internode_messages_ = 0;

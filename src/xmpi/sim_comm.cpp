@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -16,6 +15,11 @@ namespace hpcx::xmpi {
 
 namespace {
 
+// Message envelopes are pooled: a send takes a node from the world's
+// freelist, the matching recv returns it. The payload vector keeps its
+// capacity across reuses, so steady-state traffic performs no heap
+// allocation at all. Envelopes are threaded through intrusive `next`
+// links — the same field serves as freelist link and inbox FIFO link.
 struct Envelope {
   int src = -1;
   int src_node = -1;
@@ -24,10 +28,37 @@ struct Envelope {
   DType dtype = DType::kByte;
   bool phantom = false;
   std::vector<unsigned char> payload;
+  Envelope* next = nullptr;
+};
+
+class EnvelopePool {
+ public:
+  Envelope* acquire() {
+    if (Envelope* env = free_head_) {
+      free_head_ = env->next;
+      env->next = nullptr;
+      return env;
+    }
+    owned_.push_back(std::make_unique<Envelope>());
+    return owned_.back().get();
+  }
+
+  void release(Envelope* env) {
+    env->payload.clear();  // keeps capacity for the next reuse
+    env->next = free_head_;
+    free_head_ = env;
+  }
+
+ private:
+  Envelope* free_head_ = nullptr;
+  std::vector<std::unique_ptr<Envelope>> owned_;  // for destruction only
 };
 
 struct RankState {
-  std::deque<Envelope> inbox;
+  // Intrusive FIFO of pending envelopes (append at tail, match scans
+  // from head, the order a deque gave).
+  Envelope* inbox_head = nullptr;
+  Envelope* inbox_tail = nullptr;
   std::unique_ptr<des::WaitQueue> wq;
   double finish_time = 0.0;
 };
@@ -50,6 +81,7 @@ struct World {
   des::Simulator* sim;
   net::Network network;
   std::vector<RankState> ranks;
+  EnvelopePool pool;
   // Hardware-barrier rendezvous state (machines with hw_barrier_latency_s).
   des::WaitQueue barrier_wq;
   int barrier_arrived = 0;
@@ -120,7 +152,8 @@ class SimComm final : public Comm {
   }
 
   void send_impl(int dst, int tag, CBuf buf) override {
-    auto env = std::make_shared<Envelope>();
+    World* w = world_;
+    Envelope* env = w->pool.acquire();
     env->src = rank_;
     env->src_node = node_;
     env->tag = tag;
@@ -131,15 +164,21 @@ class SimComm final : public Comm {
       env->payload.resize(buf.bytes());
       std::memcpy(env->payload.data(), buf.data, buf.bytes());
     }
-    World* w = world_;
     const int dst_node = w->config->node_of_rank(dst);
     // network.send blocks the caller for the send-side software
     // overhead plus injection serialisation — the sender is moving
-    // bytes, so the charge goes to the copy bucket.
+    // bytes, so the charge goes to the copy bucket. The delivery
+    // continuation is three words (stored inline in the event), and the
+    // envelope node rides along by pointer: no allocation per message.
     const double t0 = w->sim->now();
     w->network.send(node_, dst_node, buf.bytes(), [w, dst, env] {
       RankState& rs = w->ranks[static_cast<std::size_t>(dst)];
-      rs.inbox.push_back(std::move(*env));
+      if (rs.inbox_tail == nullptr) {
+        rs.inbox_head = env;
+      } else {
+        rs.inbox_tail->next = env;
+      }
+      rs.inbox_tail = env;
       rs.wq->notify_one();
     });
     if (trace::RankTrace* t = trace())
@@ -149,21 +188,30 @@ class SimComm final : public Comm {
   void recv_impl(int src, int tag, MBuf buf) override {
     RankState& rs = world_->ranks[static_cast<std::size_t>(rank_)];
     for (;;) {
-      for (auto it = rs.inbox.begin(); it != rs.inbox.end(); ++it) {
-        if (it->src == src && it->tag == tag) {
-          validate_match(*it, buf);
-          Envelope env = std::move(*it);
-          rs.inbox.erase(it);
+      Envelope* prev = nullptr;
+      for (Envelope* env = rs.inbox_head; env != nullptr;
+           prev = env, env = env->next) {
+        if (env->src == src && env->tag == tag) {
+          validate_match(*env, buf);
+          // Unlink only after validation, so a mismatch keeps the
+          // message queued (same contract as the thread backend).
+          if (prev == nullptr) {
+            rs.inbox_head = env->next;
+          } else {
+            prev->next = env->next;
+          }
+          if (rs.inbox_tail == env) rs.inbox_tail = prev;
           // Receive-side software overhead applies to messages that
           // crossed the network; node-local deliveries already paid the
           // intra-node latency.
-          if (env.src_node != node_) {
+          if (env->src_node != node_) {
             const double oh = world_->network.recv_overhead_s();
             world_->sim->sleep(oh);
             if (trace::RankTrace* t = trace()) t->counters().copy_s += oh;
           }
           if (!buf.phantom() && buf.count > 0)
-            std::memcpy(buf.data, env.payload.data(), buf.bytes());
+            std::memcpy(buf.data, env->payload.data(), buf.bytes());
+          world_->pool.release(env);
           return;
         }
       }

@@ -1,9 +1,12 @@
 // Discrete-event engine: event ordering, fibers, processes, sync.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "core/error.hpp"
+#include "des/callback.hpp"
 #include "des/event_queue.hpp"
 #include "des/fiber.hpp"
 #include "des/simulator.hpp"
@@ -94,6 +97,81 @@ TEST(Fiber, DeepStackUsageWithinLimit) {
   });
   f.resume();
   EXPECT_TRUE(done);
+}
+
+TEST(EventQueue, SameTimePushesDuringPopRunFifo) {
+  // Handlers frequently schedule zero-delay follow-ups (notify_one,
+  // message hand-offs). Events pushed *while draining* a timestamp must
+  // run after everything already queued at that timestamp, in push
+  // order — that is the (time, seq) total order determinism rests on.
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1.0, [&] {
+    fired.push_back(0);
+    q.push(1.0, [&] { fired.push_back(2); });
+    q.push(1.0, [&] { fired.push_back(3); });
+  });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(4); });
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ((std::vector<int>{0, 1, 2, 3, 4}), fired);
+}
+
+TEST(Callback, OverflowCallableRunsAndDestroys) {
+  // A capture too large (and non-trivially-copyable) for the inline
+  // buffer takes the pooled overflow path; it must still run correctly
+  // after moves and release its captured state exactly once.
+  auto counter = std::make_shared<int>(0);
+  std::array<double, 8> weights{};
+  weights[7] = 35.0;
+  Callback cb([counter, weights, v = std::vector<int>{1, 2, 4}]() mutable {
+    *counter += static_cast<int>(weights[7]);
+    for (int x : v) *counter += x;
+  });
+  EXPECT_EQ(2, counter.use_count());  // captured copy alive inside cb
+  Callback moved(std::move(cb));
+  EXPECT_FALSE(static_cast<bool>(cb));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(42, *counter);
+  { Callback discarded(std::move(moved)); }  // destroyed without invoking
+  EXPECT_EQ(1, counter.use_count());         // capture released exactly once
+}
+
+TEST(Fiber, DestructorUnwindsSuspendedStack) {
+  // Destroying a suspended fiber must run the destructors of objects
+  // living on its stack (forced unwind), not leak them.
+  auto tracker = std::make_shared<int>(7);
+  bool resumed_after_yield = false;
+  {
+    Fiber f([tracker, &resumed_after_yield] {
+      auto on_stack = tracker;  // RAII state on the fiber stack
+      Fiber::yield();
+      resumed_after_yield = true;  // must NOT run during unwind
+    });
+    f.resume();
+    EXPECT_EQ(Fiber::State::kSuspended, f.state());
+    EXPECT_EQ(3, tracker.use_count());  // body copy + on_stack copy
+  }  // ~Fiber unwinds: on_stack and the body's capture are released
+  EXPECT_FALSE(resumed_after_yield);
+  EXPECT_EQ(1, tracker.use_count());
+}
+
+TEST(Fiber, StackPoolRecyclesStacks) {
+  Fiber::trim_stack_pool();
+  const std::size_t reuses0 = Fiber::stack_pool_reuses();
+  {
+    Fiber f([] {});
+    f.resume();
+  }  // stack parked in the thread-local pool
+  EXPECT_EQ(1u, Fiber::pooled_stacks());
+  {
+    Fiber f([] {});
+    f.resume();
+  }
+  EXPECT_EQ(reuses0 + 1, Fiber::stack_pool_reuses());
+  EXPECT_EQ(1u, Fiber::pooled_stacks());
+  Fiber::trim_stack_pool();
+  EXPECT_EQ(0u, Fiber::pooled_stacks());
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {

@@ -1,0 +1,91 @@
+// Golden-makespan determinism: the simulator must be bit-reproducible.
+//
+// The engine orders events by (time, seq) and performs a fixed sequence
+// of floating-point operations per run, so the simulated makespan of a
+// fixed workload is a *bit-identical* double across runs, build modes,
+// and engine refactors. These goldens pin that contract for all five
+// paper machines: any engine change that reorders events or perturbs a
+// single FP rounding (e.g. replacing a division by a multiplication
+// with a precomputed inverse) shows up here as a one-ulp mismatch long
+// before it would be visible in a plotted figure.
+//
+// If a change *intentionally* alters the simulated timing model, the
+// goldens must be re-captured (run this workload and print the bit
+// patterns) and the change called out in review — never silently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "machine/registry.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+// 32 ranks: allreduce(16 KiB doubles) -> barrier -> alltoall(256 B per
+// peer). Touches the tree/ring collective schedules, the hardware
+// barrier path on machines that model one, and per-message network
+// serialisation — a broad slice of the engine in a sub-second run.
+double simulate_workload(const mach::MachineConfig& machine) {
+  constexpr int kRanks = 32;
+  const auto result = xmpi::run_on_machine(machine, kRanks, [](xmpi::Comm& c) {
+    c.allreduce(xmpi::phantom_cbuf(16384, xmpi::DType::kF64),
+                xmpi::phantom_mbuf(16384, xmpi::DType::kF64),
+                xmpi::ROp::kSum);
+    c.barrier();
+    c.alltoall(xmpi::phantom_cbuf(kRanks * 256, xmpi::DType::kByte),
+               xmpi::phantom_mbuf(kRanks * 256, xmpi::DType::kByte));
+  });
+  return result.makespan_s;
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+struct Golden {
+  const char* name;
+  mach::MachineConfig (*machine)();
+  std::uint64_t makespan_bits;
+};
+
+// Captured from the seed engine (pre fast-path rewrite) and verified
+// unchanged after it. The comments give the decoded seconds for humans;
+// the assertions compare raw bits.
+constexpr Golden kGoldens[] = {
+    {"altix_bx2", mach::altix_bx2, 0x3f39eeaf0ef2dda4ULL},     // 395.696 us
+    {"cray_x1_msp", mach::cray_x1_msp, 0x3f4649bc8e45904aULL}, // 680.177 us
+    {"cray_opteron", mach::cray_opteron,
+     0x3f53990823adbb1eULL},                                   // 1196.154 us
+    {"dell_xeon", mach::dell_xeon, 0x3f4e4f0c2637b1b1ULL},     // 924.951 us
+    {"nec_sx8", mach::nec_sx8, 0x3f350efe5e61be77ULL},         // 321.328 us
+};
+
+class EngineDeterminism : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(EngineDeterminism, MakespanMatchesGoldenBits) {
+  const Golden& g = GetParam();
+  const double makespan = simulate_workload(g.machine());
+  EXPECT_EQ(g.makespan_bits, bits_of(makespan))
+      << g.name << ": got " << makespan << " (bits 0x" << std::hex
+      << bits_of(makespan) << "), golden bits 0x" << g.makespan_bits;
+}
+
+TEST_P(EngineDeterminism, RepeatedRunsAreBitIdentical) {
+  const Golden& g = GetParam();
+  const double first = simulate_workload(g.machine());
+  const double second = simulate_workload(g.machine());
+  EXPECT_EQ(bits_of(first), bits_of(second)) << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, EngineDeterminism,
+                         ::testing::ValuesIn(kGoldens),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace hpcx

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate the engine micro-benchmark baseline committed at the repo
+# root. Run from the repo root after building; pass the build dir as $1
+# if it is not ./build. Diff against the committed BENCH_engine.json
+# (the seed-engine baseline) to quantify engine perf changes.
+exec "${1:-build}/bench/bench_des" --benchmark_min_time=0.2 \
+  --benchmark_out=BENCH_engine.json --benchmark_out_format=json
