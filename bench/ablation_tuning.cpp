@@ -1,0 +1,46 @@
+// Ablation: empirical autotuning vs the static size thresholds. For
+// each paper machine the xmpi autotuner (src/xmpi/tuner) searches the
+// full algorithm space per CPU count, then the tuned table and the
+// default heuristic time the same collective back to back. The paper's
+// two most shape-sensitive collectives are probed: Allreduce at 16 KiB
+// (the crossover region between recursive doubling and Rabenseifner)
+// and Alltoall at 256 B blocks (where Bruck's log-round packing can
+// beat pairwise exchange).
+//
+//   ablation_tuning                      # all five paper machines
+//   ablation_tuning --machine sx8        # one machine
+//   ablation_tuning --machine sx8 --cpus 16 --csv tuning.csv
+#include "harness.hpp"
+#include "machine/registry.hpp"
+#include "report/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcx;
+  bench::Runner runner(argc, argv,
+                       "tuned-vs-untuned collective times per machine "
+                       "(empirical autotuner ablation)");
+  const auto& options = runner.options();
+
+  std::vector<mach::MachineConfig> machines;
+  if (runner.has_machine())
+    machines.push_back(runner.machine());
+  else
+    machines = mach::paper_machines();
+
+  std::vector<int> counts;
+  if (options.cpus > 0) counts.push_back(options.cpus);
+
+  struct Probe {
+    const char* collective;
+    std::size_t msg_bytes;
+  };
+  const Probe probes[] = {
+      {"allreduce", std::size_t{16} * 1024},
+      {"alltoall", 256},
+  };
+  for (const auto& m : machines)
+    for (const Probe& p : probes)
+      runner.emit(report::tuning_ablation_table(m.short_name, p.collective,
+                                                p.msg_bytes, counts));
+  return 0;
+}

@@ -186,6 +186,7 @@ std::string RunRecord::to_json() const {
      << "\", \"clock\": \"" << json_escape(env.clock)
      << "\", \"eager_max_bytes\": " << env.eager_max_bytes
      << ", \"alg_overrides\": \"" << json_escape(env.alg_overrides)
+     << "\", \"tuning\": \"" << json_escape(env.tuning)
      << "\", \"repeats\": " << env.repeats << "},\n";
   os << "  \"timer\": {\"overhead_s\": " << json_number(timer.overhead_s)
      << ", \"resolution_s\": " << json_number(timer.resolution_s) << "},\n";
@@ -259,6 +260,7 @@ bool RunRecord::from_json(std::string_view text, RunRecord& out,
     out.env.eager_max_bytes =
         static_cast<std::size_t>(e->number_or("eager_max_bytes", 0));
     out.env.alg_overrides = e->string_or("alg_overrides", "");
+    out.env.tuning = e->string_or("tuning", "");
     out.env.repeats = static_cast<int>(e->number_or("repeats", 1));
   }
   if (const JsonValue* t = doc.find("timer"); t && t->is_object()) {

@@ -100,6 +100,7 @@ struct Environment {
   std::string clock;        ///< "wall" (ThreadComm) or "virtual" (SimComm)
   std::size_t eager_max_bytes = 0;  ///< 0 = transport default
   std::string alg_overrides;        ///< "bcast=binomial,..." or empty
+  std::string tuning;               ///< tuning-table path (--tuning) or empty
   int repeats = 1;
 };
 

@@ -1,12 +1,17 @@
 #include "report/figures.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <set>
+
+#include "core/error.hpp"
 
 #include "core/units.hpp"
 #include "machine/registry.hpp"
 #include "report/series.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/tuner/autotune.hpp"
 
 namespace hpcx::report {
 
@@ -61,6 +66,60 @@ Table imb_figure(const std::string& title, imb::BenchmarkId id,
                               : "cells: us/call (smaller is better)");
   table.add_note("message size: " + format_bytes(msg_bytes) +
                  " (per IMB convention of the benchmark)");
+  return table;
+}
+
+Table tuning_ablation_table(const std::string& machine,
+                            const std::string& collective,
+                            std::size_t msg_bytes,
+                            std::vector<int> cpu_counts) {
+  namespace tuner = xmpi::tuner;
+  const mach::MachineConfig m = mach::machine_by_name(machine);
+  tuner::Collective coll;
+  if (!tuner::parse(collective, coll))
+    throw ConfigError("unknown collective: " + collective);
+  if (cpu_counts.empty()) {
+    for (const int p : {4, 8, 16, 32})
+      if (p <= m.max_cpus) cpu_counts.push_back(p);
+  }
+
+  Table table("Tuning ablation: " + collective + " (" +
+              std::string(format_bytes(msg_bytes)) + ") on " + m.name);
+  table.set_header({"CPUs", "untuned", "tuned", "tuned algorithm",
+                    "speedup"});
+  for (const int np : cpu_counts) {
+    // Restrict the search to this collective around the probed size so
+    // the sweep stays cheap; the table still covers the lookup point.
+    tuner::TuneOptions opts;
+    opts.collectives = {coll};
+    opts.min_bytes = std::max<std::size_t>(1, msg_bytes / 4);
+    opts.max_bytes = std::max<std::size_t>(msg_bytes, 2);
+    const auto table_sp = std::make_shared<const tuner::TuningTable>(
+        tuner::autotune(m, np, opts));
+    const tuner::Cell* cell = table_sp->lookup(coll, np, msg_bytes);
+
+    double untuned_s = 0.0;
+    double tuned_s = 0.0;
+    xmpi::run_on_machine(m, np, [&](xmpi::Comm& c) {
+      c.tuning().table = nullptr;  // static thresholds only
+      const double a =
+          tuner::measure_collective(c, coll, msg_bytes, 1, /*phantom=*/true);
+      c.tuning().table = table_sp;
+      const double b =
+          tuner::measure_collective(c, coll, msg_bytes, 1, /*phantom=*/true);
+      if (c.rank() == 0) {
+        untuned_s = a;
+        tuned_s = b;
+      }
+    });
+    table.add_row({std::to_string(np), format_time(untuned_s),
+                   format_time(tuned_s),
+                   cell != nullptr ? cell->alg : std::string("-"),
+                   tuned_s > 0.0 ? format_fixed(untuned_s / tuned_s, 2) + "x"
+                                 : std::string("-")});
+  }
+  table.add_note("untuned: kAuto via the static size thresholds; tuned: "
+                 "kAuto via the empirical table of xmpi/tuner");
   return table;
 }
 

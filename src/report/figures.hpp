@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/table.hpp"
 #include "imb/imb.hpp"
@@ -36,6 +37,19 @@ void print_fig12_alltoall(std::ostream& os);
 void print_fig13_sendrecv(std::ostream& os);
 void print_fig14_exchange(std::ostream& os);
 void print_fig15_bcast(std::ostream& os);
+
+/// Tuned-vs-untuned scaling comparison for one collective on one
+/// modelled machine: per CPU count, autotune the machine empirically
+/// (xmpi/tuner), then time the collective under the default static
+/// thresholds and under the tuned table, reporting both times, the
+/// tuned winner's name and the speedup. `collective` is a tuner name
+/// (bcast|allreduce|allgather|alltoall|reduce_scatter); throws
+/// ConfigError on unknown names. Empty `cpu_counts` sweeps {4,8,16,32}
+/// clipped to the machine's max.
+Table tuning_ablation_table(const std::string& machine,
+                            const std::string& collective,
+                            std::size_t msg_bytes,
+                            std::vector<int> cpu_counts = {});
 
 /// Tables 1-2 as data (the print_* forms below render these).
 Table table1_altix();

@@ -97,6 +97,10 @@ const char* to_string(AlgId a) {
       return "dissemination";
     case AlgId::kHardware:
       return "hardware";
+    case AlgId::kBinomialSegmented:
+      return "binomial-segmented";
+    case AlgId::kGatherBcast:
+      return "gather-bcast";
   }
   return "?";
 }
@@ -127,6 +131,9 @@ void Counters::merge(const Counters& other) {
     send_size_hist[i] += other.send_size_hist[i];
   for (std::size_t i = 0; i < reduce_bytes.size(); ++i)
     reduce_bytes[i] += other.reduce_bytes[i];
+  for (std::size_t op = 0; op < alg_dispatch.size(); ++op)
+    for (std::size_t a = 0; a < alg_dispatch[op].size(); ++a)
+      alg_dispatch[op][a] += other.alg_dispatch[op][a];
   eager_sends += other.eager_sends;
   rendezvous_sends += other.rendezvous_sends;
   payload_copies += other.payload_copies;
@@ -239,6 +246,19 @@ Table Recorder::histogram_table() const {
     }
   }
   if (dropped == 0) t.add_note("no events dropped on any rank");
+  return t;
+}
+
+Table Recorder::alg_table() const {
+  Table t("Collective algorithm dispatch (all ranks)");
+  t.set_header({"collective", "algorithm", "calls"});
+  const Counters sum = total();
+  for (std::size_t op = 0; op < kNumCollOps; ++op)
+    for (std::size_t a = 0; a < kNumAlgIds; ++a)
+      if (sum.alg_dispatch[op][a] > 0)
+        t.add_row({to_string(static_cast<CollOp>(op)),
+                   to_string(static_cast<AlgId>(a)),
+                   std::to_string(sum.alg_dispatch[op][a])});
   return t;
 }
 

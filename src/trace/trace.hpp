@@ -74,6 +74,7 @@ enum class CollOp : std::uint8_t {
   kAlltoallv,
   kReduceScatter,
 };
+constexpr std::size_t kNumCollOps = 11;
 
 /// The algorithm a collective actually executed, recorded on its span.
 enum class AlgId : std::uint8_t {
@@ -89,7 +90,10 @@ enum class AlgId : std::uint8_t {
   kRecursiveHalving,
   kDissemination,
   kHardware,
+  kBinomialSegmented,
+  kGatherBcast,
 };
+constexpr std::size_t kNumAlgIds = 14;
 
 const char* to_string(EventKind k);
 const char* to_string(CollOp op);
@@ -146,6 +150,11 @@ struct Counters {
   std::array<std::uint64_t, kSizeClasses> send_size_hist{};
   /// Reduction operand bytes by xmpi::ROp value (Sum/Prod/Max/Min).
   std::array<std::uint64_t, 4> reduce_bytes{};
+  /// Collective dispatch counts by (CollOp, AlgId): which algorithm each
+  /// entry point actually ran — kAuto selections resolve to the concrete
+  /// choice, so a tuning table's effect is directly observable here.
+  std::array<std::array<std::uint64_t, kNumAlgIds>, kNumCollOps>
+      alg_dispatch{};
 
   // Transport-level protocol counters (ThreadComm fills these; they
   // cover *every* message the transport moves, including the p2p
@@ -250,6 +259,9 @@ class Recorder {
 
   /// Busiest links, hottest first (empty table for thread runs).
   Table link_table(std::size_t top_n = 16) const;
+
+  /// Nonzero (collective, algorithm) dispatch counts summed over ranks.
+  Table alg_table() const;
 
  private:
   std::vector<RankTrace> ranks_;

@@ -5,18 +5,24 @@
 // size — the paper's collective benchmarks are sensitive to exactly this:
 //
 //   barrier         dissemination
-//   bcast           binomial (short) / van de Geijn scatter+ring (long)
+//   bcast           binomial (short) / van de Geijn scatter+ring (long),
+//                   plus segmented binomial (explicit / tuned)
 //   reduce          binomial (short) / Rabenseifner rs+gather (long)
 //   allreduce       recursive doubling (short) / Rabenseifner (long)
 //   gather/scatter  binomial trees in rotated (vrank) space
-//   allgather       Bruck dissemination (short) / ring (long)
+//   allgather       Bruck dissemination (short) / ring (long),
+//                   plus gather+bcast (explicit / tuned)
 //   allgatherv      ring
-//   alltoall        Bruck (short) / pairwise exchange (long)
-//   reduce_scatter  recursive halving (pow2) / ring (general)
+//   alltoall        pairwise exchange, plus Bruck (explicit / tuned)
+//   reduce_scatter  recursive halving (pow2) / ring (general),
+//                   plus pairwise and non-pow2 halving (explicit / tuned)
 //
-// Every algorithm works for arbitrary communicator sizes and zero-size
-// contributions, and runs identically with real or phantom payloads
-// (phantom: same messages, no local byte movement or arithmetic).
+// kAuto resolves per call: an explicit CollectiveTuning override wins,
+// else a loaded tuning table (xmpi/tuner) is consulted, else the static
+// size thresholds above decide. Every algorithm works for arbitrary
+// communicator sizes and zero-size contributions, and runs identically
+// with real or phantom payloads (phantom: same messages, no local byte
+// movement or arithmetic).
 #include <algorithm>
 #include <cstring>
 #include <vector>
@@ -25,6 +31,7 @@
 #include "trace/trace.hpp"
 #include "xmpi/comm.hpp"
 #include "xmpi/reduce_ops.hpp"
+#include "xmpi/tuner/tuning_table.hpp"
 
 namespace hpcx::xmpi {
 
@@ -237,6 +244,38 @@ void bcast_pipelined_ring(Comm& c, MBuf buf, int root,
   }
 }
 
+/// Segment-pipelined binomial tree: log-depth like the plain binomial,
+/// but each rank forwards segment k to its subtree while segment k+1 is
+/// still in flight from its parent. Unlike scatter-ring this never
+/// assumes the chunk layout divides evenly, so it is the long-message
+/// choice the tuner can pick at any communicator size.
+void bcast_binomial_segmented(Comm& c, MBuf buf, int root,
+                              std::size_t segment_bytes) {
+  const int n = c.size();
+  const int vr = (c.rank() - root + n) % n;
+  const std::size_t elem = elem_size(buf.dtype);
+  const std::size_t seg_elems =
+      std::max<std::size_t>(1, segment_bytes / std::max<std::size_t>(1, elem));
+  int parent = -1;
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      parent = (vr - mask + root) % n;
+      break;
+    }
+    mask <<= 1;
+  }
+  std::vector<int> children;
+  for (int m = mask >> 1; m > 0; m >>= 1)
+    if (vr + m < n) children.push_back((vr + m + root) % n);
+  for (std::size_t off = 0; off < buf.count; off += seg_elems) {
+    const std::size_t cnt = std::min(seg_elems, buf.count - off);
+    if (parent >= 0) c.recv(parent, kTagBcast, slice(buf, off, cnt));
+    for (const int dst : children)
+      c.send(dst, kTagBcast, slice(buf.as_cbuf(), off, cnt));
+  }
+}
+
 // ---------------------------------------------------------------------
 // Reduce / Allreduce building blocks
 // ---------------------------------------------------------------------
@@ -370,6 +409,207 @@ void allgather_ring_inplace(Comm& c, MBuf buf,
   }
 }
 
+/// Binomial gather of the blocks to rank 0 followed by a binomial
+/// broadcast of the assembled vector. Latency-bound like Bruck but with
+/// contiguous block placement (no final rotation), and safe at any
+/// communicator size — the non-power-of-two alternative the tuner can
+/// weigh against Bruck and ring.
+void allgather_gather_bcast(Comm& c, CBuf send, MBuf recv, std::size_t bc) {
+  const int n = c.size();
+  const int r = c.rank();
+  local_copy(send, slice(recv, static_cast<std::size_t>(r) * bc, bc));
+  // Binomial gather with rank 0 as root: rank r accumulates the
+  // contiguous blocks [r, r + held) directly at their final offsets.
+  int held = 1;
+  int mask = 1;
+  while (mask < n) {
+    if ((r & mask) == 0) {
+      const int src = r + mask;
+      if (src < n) {
+        const int blocks = std::min(mask, n - src);
+        c.recv(src, kTagAllgather,
+               slice(recv, static_cast<std::size_t>(src) * bc,
+                     static_cast<std::size_t>(blocks) * bc));
+        held = mask + blocks;
+      }
+    } else {
+      c.send(r - mask, kTagAllgather,
+             slice(recv.as_cbuf(), static_cast<std::size_t>(r) * bc,
+                   static_cast<std::size_t>(held) * bc));
+      break;
+    }
+    mask <<= 1;
+  }
+  bcast_binomial(c, recv, 0);
+}
+
+/// Bruck store-and-forward alltoall: log-depth, so it beats pairwise's
+/// n-1 rounds for short blocks at the cost of forwarding each block
+/// through intermediate ranks. After the local rotation, slot j holds
+/// the block that must travel j hops forward; round k moves every slot
+/// with bit k set k ranks ahead, and the final inverse rotation puts
+/// block j (now the contribution of rank (r - j) mod n) into place.
+void alltoall_bruck(Comm& c, CBuf send, MBuf recv, std::size_t bc) {
+  const int n = c.size();
+  const int r = c.rank();
+  const bool phantom = send.phantom() || recv.phantom();
+  Temp work(bc * static_cast<std::size_t>(n), send.dtype, phantom);
+  for (int j = 0; j < n; ++j)
+    local_copy(slice(send, static_cast<std::size_t>((r + j) % n) * bc, bc),
+               slice(work.buf(), static_cast<std::size_t>(j) * bc, bc));
+  const std::size_t half = static_cast<std::size_t>((n + 1) / 2);
+  Temp pack(bc * half, send.dtype, phantom);
+  Temp unpack(bc * half, send.dtype, phantom);
+  for (int k = 1; k < n; k <<= 1) {
+    std::size_t m = 0;
+    for (int j = 0; j < n; ++j)
+      if (j & k)
+        local_copy(slice(work.cbuf(), static_cast<std::size_t>(j) * bc, bc),
+                   slice(pack.buf(), (m++) * bc, bc));
+    c.sendrecv((r + k) % n, kTagAlltoall, slice(pack.cbuf(), 0, m * bc),
+               (r - k + n) % n, kTagAlltoall, slice(unpack.buf(), 0, m * bc));
+    m = 0;
+    for (int j = 0; j < n; ++j)
+      if (j & k)
+        local_copy(slice(unpack.cbuf(), (m++) * bc, bc),
+                   slice(work.buf(), static_cast<std::size_t>(j) * bc, bc));
+  }
+  for (int j = 0; j < n; ++j)
+    local_copy(slice(work.cbuf(), static_cast<std::size_t>(j) * bc, bc),
+               slice(recv, static_cast<std::size_t>((r - j + n) % n) * bc, bc));
+}
+
+/// Pairwise-exchange reduce_scatter: every rank sends each peer's slice
+/// directly and reduces what it receives into its own. n-1 rounds of
+/// one slice each — no forwarding of other ranks' data, so for long
+/// vectors its bandwidth term (total - own slice) undercuts the ring's
+/// when slices are uneven.
+void reduce_scatter_pairwise(Comm& c, CBuf send, MBuf recv, ROp op,
+                             std::span<const std::size_t> counts,
+                             std::span<const std::size_t> offsets) {
+  const int n = c.size();
+  const int r = c.rank();
+  const std::size_t my_cnt = counts[static_cast<std::size_t>(r)];
+  const std::size_t my_off = offsets[static_cast<std::size_t>(r)];
+  const bool phantom = send.phantom() || recv.phantom();
+  Temp acc(my_cnt, send.dtype, phantom);
+  local_copy(slice(send, my_off, my_cnt), acc.buf());
+  Temp incoming(my_cnt, send.dtype, phantom);
+  for (int k = 1; k < n; ++k) {
+    const int dst = (r + k) % n;
+    const int src = (r - k + n) % n;
+    c.sendrecv(dst, kTagReduceScatter,
+               slice(send, offsets[static_cast<std::size_t>(dst)],
+                     counts[static_cast<std::size_t>(dst)]),
+               src, kTagReduceScatter, incoming.buf());
+    local_reduce(c, op, acc.buf(), incoming.cbuf());
+  }
+  local_copy(acc.cbuf(), recv);
+}
+
+/// Recursive halving for *any* communicator size: surplus ranks fold
+/// their vectors into a power-of-two core (as in the recursive-doubling
+/// allreduce), the core halves over the n chunk indices, and a final
+/// distribution round delivers each reduced chunk to its owner. The
+/// power-of-two case keeps using reduce_scatter_rhalving_inplace, whose
+/// message schedule is pinned by the determinism goldens.
+void reduce_scatter_rhalving_general(Comm& c, MBuf acc, MBuf recv, ROp op,
+                                     std::span<const std::size_t> counts,
+                                     std::span<const std::size_t> offsets) {
+  const int n = c.size();
+  const int r = c.rank();
+  const int pof2 = 1 << (31 - __builtin_clz(static_cast<unsigned>(n)));
+  const int rem = n - pof2;
+  std::size_t total = 0;
+  for (int i = 0; i < n; ++i) total += counts[static_cast<std::size_t>(i)];
+  Temp incoming(total, acc.dtype, acc.phantom());
+
+  // Fold the surplus ranks into the core.
+  int newr = -1;  // -1: folded out until the distribution round
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      c.send(r + 1, kTagReduceScatter, acc.as_cbuf());
+    } else {
+      c.recv(r - 1, kTagReduceScatter, incoming.buf());
+      local_reduce(c, op, acc, incoming.cbuf());
+      newr = r / 2;
+    }
+  } else {
+    newr = r - rem;
+  }
+  auto real_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+
+  // Core: halve the chunk-index range [0, n). Final ranges hold one or
+  // two chunks (n < 2 * pof2), never zero.
+  int lo = 0, hi = n;
+  if (newr >= 0) {
+    auto range_count = [&](int a, int b) {
+      std::size_t cnt = 0;
+      for (int i = a; i < b; ++i) cnt += counts[static_cast<std::size_t>(i)];
+      return cnt;
+    };
+    for (int mask = pof2 >> 1; mask >= 1; mask >>= 1) {
+      const int partner = real_rank(newr ^ mask);
+      const int mid = lo + (hi - lo) / 2;
+      const bool keep_low = (newr & mask) == 0;
+      const int keep_lo = keep_low ? lo : mid;
+      const int keep_hi = keep_low ? mid : hi;
+      const int give_lo = keep_low ? mid : lo;
+      const int give_hi = keep_low ? hi : mid;
+      const std::size_t give_cnt = range_count(give_lo, give_hi);
+      const std::size_t keep_cnt = range_count(keep_lo, keep_hi);
+      c.sendrecv(partner, kTagReduceScatter,
+                 slice(acc.as_cbuf(),
+                       offsets[static_cast<std::size_t>(give_lo)], give_cnt),
+                 partner, kTagReduceScatter,
+                 slice(incoming.buf(), 0, keep_cnt));
+      local_reduce(c, op,
+                   slice(acc, offsets[static_cast<std::size_t>(keep_lo)],
+                         keep_cnt),
+                   slice(incoming.cbuf(), 0, keep_cnt));
+      lo = keep_lo;
+      hi = keep_hi;
+    }
+  }
+
+  // Which core rank ends up holding chunk i: replay the halving splits.
+  auto owner_of = [&](int chunk) {
+    int a = 0, b = n, nr = 0;
+    for (int mask = pof2 >> 1; mask >= 1; mask >>= 1) {
+      const int mid = a + (b - a) / 2;
+      if (chunk < mid) {
+        b = mid;
+      } else {
+        a = mid;
+        nr |= mask;
+      }
+    }
+    return real_rank(nr);
+  };
+
+  // Distribution: owners push each held chunk to its destination rank.
+  // isend keeps the many-to-many pattern cycle-free under rendezvous.
+  std::vector<SendRequest> reqs;
+  if (newr >= 0) {
+    for (int i = lo; i < hi; ++i) {
+      const std::size_t cnt = counts[static_cast<std::size_t>(i)];
+      if (i == r) {
+        local_copy(slice(acc.as_cbuf(),
+                         offsets[static_cast<std::size_t>(i)], cnt),
+                   recv);
+      } else if (cnt > 0) {
+        reqs.push_back(c.isend(
+            i, kTagReduceScatter,
+            slice(acc.as_cbuf(), offsets[static_cast<std::size_t>(i)],
+                  cnt)));
+      }
+    }
+  }
+  if (owner_of(r) != r && counts[static_cast<std::size_t>(r)] > 0)
+    c.recv(owner_of(r), kTagReduceScatter, recv);
+  for (SendRequest& req : reqs) c.wait(req);
+}
+
 void allreduce_recursive_doubling(Comm& c, MBuf acc, ROp op) {
   const int n = c.size();
   const int r = c.rank();
@@ -437,6 +677,8 @@ class CollScope {
     e.bytes = bytes_;
     sink_->record(e);
     ++sink_->counters().collectives;
+    ++sink_->counters().alg_dispatch[static_cast<std::size_t>(op_)]
+                                    [static_cast<std::size_t>(alg_)];
   }
 
  private:
@@ -484,6 +726,9 @@ void Comm::bcast(MBuf buf, int root) {
   check_peer(root);
   if (size() == 1) return;
   BcastAlg alg = tuning().bcast_alg;
+  if (alg == BcastAlg::kAuto && tuning().table)
+    if (auto tuned = tuning().table->bcast(size(), buf.bytes()))
+      alg = *tuned;
   if (alg == BcastAlg::kAuto)
     alg = (buf.bytes() <= tuning().bcast_long_bytes || size() <= 2)
               ? BcastAlg::kBinomial
@@ -501,6 +746,11 @@ void Comm::bcast(MBuf buf, int root) {
     case BcastAlg::kPipelinedRing:
       scope.set_alg(trace::AlgId::kPipelinedRing);
       bcast_pipelined_ring(*this, buf, root, tuning().bcast_segment_bytes);
+      return;
+    case BcastAlg::kBinomialSegmented:
+      scope.set_alg(trace::AlgId::kBinomialSegmented);
+      bcast_binomial_segmented(*this, buf, root,
+                               tuning().bcast_segment_bytes);
       return;
     case BcastAlg::kAuto:
       break;  // unreachable: resolved above
@@ -558,7 +808,10 @@ void Comm::allreduce(CBuf send, MBuf recv, ROp op) {
     return;
   }
   count_reduce_bytes(*this, op, send.bytes());
-  const AllreduceAlg alg = tuning().allreduce_alg;
+  AllreduceAlg alg = tuning().allreduce_alg;
+  if (alg == AllreduceAlg::kAuto && tuning().table)
+    if (auto tuned = tuning().table->allreduce(size(), send.bytes()))
+      alg = *tuned;
   const bool use_rd =
       alg == AllreduceAlg::kRecursiveDoubling ||
       (alg == AllreduceAlg::kAuto &&
@@ -698,14 +951,22 @@ void Comm::allgather(CBuf send, MBuf recv) {
     local_copy(send, recv);
     return;
   }
-  const AllgatherAlg aalg = tuning().allgather_alg;
-  const bool use_ring =
-      aalg == AllgatherAlg::kRing ||
-      (aalg == AllgatherAlg::kAuto &&
-       send.bytes() > tuning().allgather_long_bytes);
+  AllgatherAlg aalg = tuning().allgather_alg;
+  if (aalg == AllgatherAlg::kAuto && tuning().table)
+    if (auto tuned = tuning().table->allgather(n, send.bytes()))
+      aalg = *tuned;
+  if (aalg == AllgatherAlg::kAuto)
+    aalg = send.bytes() > tuning().allgather_long_bytes
+               ? AllgatherAlg::kRing
+               : AllgatherAlg::kBruck;
   CollScope scope(*this, trace::CollOp::kAllgather, send.bytes());
-  scope.set_alg(use_ring ? trace::AlgId::kRing : trace::AlgId::kBruck);
-  if (use_ring) {
+  if (aalg == AllgatherAlg::kGatherBcast) {
+    scope.set_alg(trace::AlgId::kGatherBcast);
+    allgather_gather_bcast(*this, send, recv, bc);
+    return;
+  }
+  if (aalg == AllgatherAlg::kRing) {
+    scope.set_alg(trace::AlgId::kRing);
     // Ring, blocks directly in place in recv.
     std::vector<std::size_t> counts(static_cast<std::size_t>(n), bc);
     std::vector<std::size_t> offsets(static_cast<std::size_t>(n));
@@ -716,6 +977,7 @@ void Comm::allgather(CBuf send, MBuf recv) {
     allgather_ring_inplace(*this, recv, counts, offsets);
     return;
   }
+  scope.set_alg(trace::AlgId::kBruck);
   // Bruck / circular dissemination: tmp[k] = block of rank (r + k) % n.
   Temp tmp(bc * static_cast<std::size_t>(n), send.dtype,
            send.phantom() || recv.phantom());
@@ -783,17 +1045,28 @@ void Comm::alltoall(CBuf send, MBuf recv) {
     local_copy(send, recv);
     return;
   }
+  AlltoallAlg alg = tuning().alltoall_alg;
+  if (alg == AlltoallAlg::kAuto && tuning().table)
+    if (auto tuned =
+            tuning().table->alltoall(n, bc * dtype_size(send.dtype)))
+      alg = *tuned;
+  // Untuned kAuto stays pairwise at every size: IMB's 1 MB operating
+  // point lands there anyway, and the determinism goldens pin the
+  // schedule. Bruck is reachable via explicit choice or a tuning table.
   CollScope scope(*this, trace::CollOp::kAlltoall,
                   bc * dtype_size(send.dtype));
+  if (alg == AlltoallAlg::kBruck) {
+    scope.set_alg(trace::AlgId::kBruck);
+    alltoall_bruck(*this, send, recv, bc);
+    return;
+  }
   scope.set_alg(trace::AlgId::kPairwise);
   // Own block moves locally in both variants.
   local_copy(slice(send, static_cast<std::size_t>(r) * bc, bc),
              slice(recv, static_cast<std::size_t>(r) * bc, bc));
 
-  // Pairwise exchange (the long-message algorithm; IMB's 1 MB operating
-  // point always lands here; tuning().alltoall_alg currently offers no
-  // alternative). XOR pairing when the size is a power of two gives
-  // perfectly matched exchange partners.
+  // Pairwise exchange. XOR pairing when the size is a power of two
+  // gives perfectly matched exchange partners.
   for (int k = 1; k < n; ++k) {
     int dst, src;
     if (is_pow2(n)) {
@@ -899,18 +1172,37 @@ void Comm::reduce_scatter(CBuf send, MBuf recv, std::span<const int> counts,
     local_copy(send, recv);
     return;
   }
+  ReduceScatterAlg alg = tuning().reduce_scatter_alg;
+  if (alg == ReduceScatterAlg::kAuto && tuning().table)
+    if (auto tuned = tuning().table->reduce_scatter(n, send.bytes()))
+      alg = *tuned;
+  if (alg == ReduceScatterAlg::kAuto)
+    alg = is_pow2(n) ? ReduceScatterAlg::kRecursiveHalving
+                     : ReduceScatterAlg::kRing;
   CollScope scope(*this, trace::CollOp::kReduceScatter, send.bytes());
-  scope.set_alg(is_pow2(n) ? trace::AlgId::kRecursiveHalving
-                           : trace::AlgId::kRing);
 
+  if (alg == ReduceScatterAlg::kPairwise) {
+    scope.set_alg(trace::AlgId::kPairwise);
+    reduce_scatter_pairwise(*this, send, recv, op, cnts, offs);
+    return;
+  }
   Temp acc(total, send.dtype, send.phantom() || recv.phantom());
   local_copy(send, acc.buf());
-  // Recursive halving is latency- and bandwidth-optimal but needs a
-  // power-of-two size; the ring handles every other case.
-  if (is_pow2(n))
-    reduce_scatter_rhalving_inplace(*this, acc.buf(), op, cnts, offs);
-  else
+  if (alg == ReduceScatterAlg::kRecursiveHalving) {
+    scope.set_alg(trace::AlgId::kRecursiveHalving);
+    // The power-of-two schedule is pinned by the determinism goldens;
+    // the general variant folds surplus ranks first.
+    if (is_pow2(n)) {
+      reduce_scatter_rhalving_inplace(*this, acc.buf(), op, cnts, offs);
+    } else {
+      reduce_scatter_rhalving_general(*this, acc.buf(), recv, op, cnts,
+                                      offs);
+      return;
+    }
+  } else {
+    scope.set_alg(trace::AlgId::kRing);
     reduce_scatter_ring_inplace(*this, acc.buf(), op, cnts, offs);
+  }
   local_copy(slice(acc.cbuf(), offs[static_cast<std::size_t>(r)],
                    cnts[static_cast<std::size_t>(r)]),
              recv);

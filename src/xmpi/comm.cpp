@@ -3,6 +3,7 @@
 #include <string>
 
 #include "trace/trace.hpp"
+#include "xmpi/tuner/tuning_table.hpp"
 
 namespace hpcx::xmpi {
 
@@ -16,6 +17,8 @@ const char* to_string(BcastAlg a) {
       return "scatter-ring";
     case BcastAlg::kPipelinedRing:
       return "pipelined-ring";
+    case BcastAlg::kBinomialSegmented:
+      return "binomial-segmented";
   }
   return "?";
 }
@@ -40,6 +43,8 @@ const char* to_string(AllgatherAlg a) {
       return "bruck";
     case AllgatherAlg::kRing:
       return "ring";
+    case AllgatherAlg::kGatherBcast:
+      return "gather-bcast";
   }
   return "?";
 }
@@ -49,6 +54,22 @@ const char* to_string(AlltoallAlg a) {
     case AlltoallAlg::kAuto:
       return "auto";
     case AlltoallAlg::kPairwise:
+      return "pairwise";
+    case AlltoallAlg::kBruck:
+      return "bruck";
+  }
+  return "?";
+}
+
+const char* to_string(ReduceScatterAlg a) {
+  switch (a) {
+    case ReduceScatterAlg::kAuto:
+      return "auto";
+    case ReduceScatterAlg::kRecursiveHalving:
+      return "recursive-halving";
+    case ReduceScatterAlg::kRing:
+      return "ring";
+    case ReduceScatterAlg::kPairwise:
       return "pairwise";
   }
   return "?";
@@ -73,7 +94,8 @@ bool parse_alg(std::string_view name, const Alg (&all)[N], Alg& out) {
 bool parse(std::string_view name, BcastAlg& out) {
   constexpr BcastAlg all[] = {BcastAlg::kAuto, BcastAlg::kBinomial,
                               BcastAlg::kScatterRing,
-                              BcastAlg::kPipelinedRing};
+                              BcastAlg::kPipelinedRing,
+                              BcastAlg::kBinomialSegmented};
   return parse_alg(name, all, out);
 }
 
@@ -86,14 +108,25 @@ bool parse(std::string_view name, AllreduceAlg& out) {
 
 bool parse(std::string_view name, AllgatherAlg& out) {
   constexpr AllgatherAlg all[] = {AllgatherAlg::kAuto, AllgatherAlg::kBruck,
-                                  AllgatherAlg::kRing};
+                                  AllgatherAlg::kRing,
+                                  AllgatherAlg::kGatherBcast};
   return parse_alg(name, all, out);
 }
 
 bool parse(std::string_view name, AlltoallAlg& out) {
-  constexpr AlltoallAlg all[] = {AlltoallAlg::kAuto, AlltoallAlg::kPairwise};
+  constexpr AlltoallAlg all[] = {AlltoallAlg::kAuto, AlltoallAlg::kPairwise,
+                                 AlltoallAlg::kBruck};
   return parse_alg(name, all, out);
 }
+
+bool parse(std::string_view name, ReduceScatterAlg& out) {
+  constexpr ReduceScatterAlg all[] = {
+      ReduceScatterAlg::kAuto, ReduceScatterAlg::kRecursiveHalving,
+      ReduceScatterAlg::kRing, ReduceScatterAlg::kPairwise};
+  return parse_alg(name, all, out);
+}
+
+Comm::Comm() { tuning_.table = tuner::default_table(); }
 
 void Comm::check_peer_slow(int peer) const {
   if (peer_limit_ < 0 && peer >= 0 && peer < size()) return;

@@ -130,17 +130,33 @@ inline MBuf phantom_mbuf(std::size_t count, DType t = DType::kByte) {
 /// (the switch points production MPI libraries use).
 enum class BcastAlg : std::uint8_t {
   kAuto,
-  kBinomial,      ///< log-depth tree (latency-optimal)
-  kScatterRing,   ///< van de Geijn scatter + ring allgather
-  kPipelinedRing  ///< segmented ring pipeline (HPL's "ring" broadcast)
+  kBinomial,           ///< log-depth tree (latency-optimal)
+  kScatterRing,        ///< van de Geijn scatter + ring allgather
+  kPipelinedRing,      ///< segmented ring pipeline (HPL's "ring" broadcast)
+  kBinomialSegmented,  ///< binomial tree, segment-pipelined (any np)
 };
 enum class AllreduceAlg : std::uint8_t {
   kAuto,
   kRecursiveDoubling,
   kRabenseifner  ///< reduce-scatter + allgather
 };
-enum class AllgatherAlg : std::uint8_t { kAuto, kBruck, kRing };
-enum class AlltoallAlg : std::uint8_t { kAuto, kPairwise };
+enum class AllgatherAlg : std::uint8_t {
+  kAuto,
+  kBruck,
+  kRing,
+  kGatherBcast,  ///< binomial gather to 0 + binomial bcast (any np)
+};
+enum class AlltoallAlg : std::uint8_t {
+  kAuto,
+  kPairwise,
+  kBruck,  ///< log-depth store-and-forward (latency-optimal, any np)
+};
+enum class ReduceScatterAlg : std::uint8_t {
+  kAuto,
+  kRecursiveHalving,
+  kRing,
+  kPairwise,  ///< each rank exchanges directly with every peer
+};
 
 // CLI-style names for the algorithm choices ("auto", "binomial",
 // "scatter-ring", ...). parse() is the inverse of to_string(); it
@@ -149,10 +165,16 @@ const char* to_string(BcastAlg a);
 const char* to_string(AllreduceAlg a);
 const char* to_string(AllgatherAlg a);
 const char* to_string(AlltoallAlg a);
+const char* to_string(ReduceScatterAlg a);
 bool parse(std::string_view name, BcastAlg& out);
 bool parse(std::string_view name, AllreduceAlg& out);
 bool parse(std::string_view name, AllgatherAlg& out);
 bool parse(std::string_view name, AlltoallAlg& out);
+bool parse(std::string_view name, ReduceScatterAlg& out);
+
+namespace tuner {
+class TuningTable;
+}
 
 /// Per-communicator thresholds and algorithm overrides steering
 /// collective algorithm selection.
@@ -168,8 +190,15 @@ struct CollectiveTuning {
   AllreduceAlg allreduce_alg = AllreduceAlg::kAuto;
   AllgatherAlg allgather_alg = AllgatherAlg::kAuto;
   AlltoallAlg alltoall_alg = AlltoallAlg::kAuto;
+  ReduceScatterAlg reduce_scatter_alg = ReduceScatterAlg::kAuto;
   /// Segment size for the pipelined-ring broadcast.
   std::size_t bcast_segment_bytes = 64 * 1024;
+
+  /// Empirical per-(collective, np, size-class) tuning table consulted by
+  /// kAuto before the thresholds above (see xmpi/tuner/tuning_table.hpp).
+  /// Comm's constructor seeds this with tuner::default_table(); nullptr
+  /// means thresholds only.
+  std::shared_ptr<const tuner::TuningTable> table;
 };
 
 class Comm;
@@ -192,6 +221,10 @@ class SendRequest {
 /// Abstract communicator. See file comment for the two implementations.
 class Comm {
  public:
+  /// Seeds tuning().table from tuner::default_table() so a process-wide
+  /// tuning table (hpcx_tune output, --tuning flag) reaches every
+  /// communicator without per-call plumbing.
+  Comm();
   virtual ~Comm() = default;
 
   virtual int rank() const = 0;

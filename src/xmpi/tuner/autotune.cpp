@@ -1,0 +1,228 @@
+#include "xmpi/tuner/autotune.hpp"
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx::xmpi::tuner {
+
+namespace {
+
+const std::vector<Collective>& all_collectives() {
+  static const std::vector<Collective> all = {
+      Collective::kBcast, Collective::kAllreduce, Collective::kAllgather,
+      Collective::kAlltoall, Collective::kReduceScatter};
+  return all;
+}
+
+/// The concrete (non-auto) algorithms the tuner races per collective.
+std::vector<std::string> algorithms_for(Collective c) {
+  switch (c) {
+    case Collective::kBcast:
+      return {"binomial", "scatter-ring", "pipelined-ring",
+              "binomial-segmented"};
+    case Collective::kAllreduce:
+      return {"recursive-doubling", "rabenseifner"};
+    case Collective::kAllgather:
+      return {"bruck", "ring", "gather-bcast"};
+    case Collective::kAlltoall:
+      return {"pairwise", "bruck"};
+    case Collective::kReduceScatter:
+      return {"recursive-halving", "ring", "pairwise"};
+  }
+  return {};
+}
+
+/// Force `c` to run `name` for `coll` (the names come from
+/// algorithms_for, so parse cannot fail).
+void set_explicit_alg(Comm& c, Collective coll, const std::string& name) {
+  bool ok = false;
+  switch (coll) {
+    case Collective::kBcast:
+      ok = xmpi::parse(name, c.tuning().bcast_alg);
+      break;
+    case Collective::kAllreduce:
+      ok = xmpi::parse(name, c.tuning().allreduce_alg);
+      break;
+    case Collective::kAllgather:
+      ok = xmpi::parse(name, c.tuning().allgather_alg);
+      break;
+    case Collective::kAlltoall:
+      ok = xmpi::parse(name, c.tuning().alltoall_alg);
+      break;
+    case Collective::kReduceScatter:
+      ok = xmpi::parse(name, c.tuning().reduce_scatter_alg);
+      break;
+  }
+  HPCX_ASSERT(ok);
+}
+
+/// One measurement target: every rank runs the identical schedule;
+/// rank 0 collects the timings.
+struct Measurement {
+  std::size_t bytes = 0;
+  std::string alg;
+  std::vector<double> times_s;  // written by rank 0 only
+};
+
+TuningTable tune_on(const std::string& machine_name, const std::string& clock,
+                    int nranks, const TuneOptions& opts, bool phantom,
+                    int default_iters, int default_repeats,
+                    const std::function<void(const RankFn&)>& run_world) {
+  HPCX_REQUIRE(nranks >= 1, "autotune needs at least one rank");
+  HPCX_REQUIRE(opts.min_bytes >= 1 && opts.min_bytes <= opts.max_bytes,
+               "autotune: need 1 <= min_bytes <= max_bytes");
+  const int iters = opts.iters > 0 ? opts.iters : default_iters;
+  const int repeats = opts.repeats > 0 ? opts.repeats : default_repeats;
+  const std::vector<Collective>& colls =
+      opts.collectives.empty() ? all_collectives() : opts.collectives;
+
+  TuningTable table;
+  table.machine = machine_name;
+  table.clock = clock;
+
+  for (const Collective coll : colls) {
+    std::vector<Measurement> plan;
+    for (std::size_t bytes = opts.min_bytes; bytes <= opts.max_bytes;
+         bytes *= 2) {
+      for (const std::string& alg : algorithms_for(coll))
+        plan.push_back({bytes, alg, {}});
+      if (bytes > opts.max_bytes / 2) break;  // overflow guard
+    }
+
+    // One world per collective: every rank walks the identical plan so
+    // the collectives stay matched; only rank 0 stores timings.
+    run_world([&](Comm& c) {
+      // A process-wide default table must not steer the very runs that
+      // are producing the next table.
+      c.tuning().table = nullptr;
+      for (Measurement& m : plan) {
+        set_explicit_alg(c, coll, m.alg);
+        for (int rep = 0; rep < repeats; ++rep) {
+          const double t = measure_collective(c, coll, m.bytes, iters,
+                                              phantom);
+          if (c.rank() == 0) m.times_s.push_back(t);
+        }
+      }
+    });
+
+    // Winner per size: smallest mean time.
+    for (std::size_t i = 0; i < plan.size();) {
+      const std::size_t bytes = plan[i].bytes;
+      const Measurement* best = nullptr;
+      double best_mean = 0.0, best_cov = 0.0;
+      for (; i < plan.size() && plan[i].bytes == bytes; ++i) {
+        Stats s;
+        for (const double t : plan[i].times_s) s.add(t);
+        const double mean = s.mean();
+        const double cov = mean > 0.0 ? s.stddev() / mean : 0.0;
+        if (best == nullptr || mean < best_mean) {
+          best = &plan[i];
+          best_mean = mean;
+          best_cov = cov;
+        }
+      }
+      Cell cell;
+      cell.coll = coll;
+      cell.np = nranks;
+      cell.size_class = static_cast<int>(trace::size_class(bytes));
+      cell.alg = best->alg;
+      cell.t_s = best_mean;
+      cell.cov = best_cov;
+      table.add(cell);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+double measure_collective(Comm& c, Collective coll, std::size_t msg_bytes,
+                          int iters, bool phantom) {
+  const int n = c.size();
+  const int r = c.rank();
+  HPCX_REQUIRE(iters >= 1, "measure_collective: iters >= 1");
+
+  std::vector<unsigned char> send_store, recv_store;
+  std::vector<int> counts;
+  std::function<void()> op;
+  auto make_cbuf = [&](std::size_t count) {
+    if (phantom) return phantom_cbuf(count);
+    send_store.assign(count, 1);
+    return cbuf_bytes(send_store.data(), count);
+  };
+  auto make_mbuf = [&](std::size_t count) {
+    if (phantom) return phantom_mbuf(count);
+    recv_store.assign(count, 0);
+    return mbuf_bytes(recv_store.data(), count);
+  };
+
+  switch (coll) {
+    case Collective::kBcast: {
+      MBuf buf = make_mbuf(msg_bytes);
+      op = [&c, buf] { c.bcast(buf, 0); };
+      break;
+    }
+    case Collective::kAllreduce: {
+      CBuf send = make_cbuf(msg_bytes);
+      MBuf recv = make_mbuf(msg_bytes);
+      op = [&c, send, recv] { c.allreduce(send, recv, ROp::kSum); };
+      break;
+    }
+    case Collective::kAllgather: {
+      CBuf send = make_cbuf(msg_bytes);
+      MBuf recv = make_mbuf(msg_bytes * static_cast<std::size_t>(n));
+      op = [&c, send, recv] { c.allgather(send, recv); };
+      break;
+    }
+    case Collective::kAlltoall: {
+      CBuf send = make_cbuf(msg_bytes * static_cast<std::size_t>(n));
+      MBuf recv = make_mbuf(msg_bytes * static_cast<std::size_t>(n));
+      op = [&c, send, recv] { c.alltoall(send, recv); };
+      break;
+    }
+    case Collective::kReduceScatter: {
+      counts.resize(static_cast<std::size_t>(n));
+      const std::size_t per = msg_bytes / static_cast<std::size_t>(n);
+      const std::size_t extra = msg_bytes % static_cast<std::size_t>(n);
+      for (int i = 0; i < n; ++i)
+        counts[static_cast<std::size_t>(i)] =
+            static_cast<int>(per + (static_cast<std::size_t>(i) < extra));
+      CBuf send = make_cbuf(msg_bytes);
+      MBuf recv = make_mbuf(
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+      op = [&c, send, recv, &counts] {
+        c.reduce_scatter(send, recv, counts, ROp::kSum);
+      };
+      break;
+    }
+  }
+
+  op();  // warm-up (channels, pools, branch predictors)
+  c.barrier();
+  const double t0 = c.now();
+  for (int i = 0; i < iters; ++i) op();
+  c.barrier();
+  return (c.now() - t0) / iters;
+}
+
+TuningTable autotune(const mach::MachineConfig& m, int nranks,
+                     const TuneOptions& opts) {
+  return tune_on(m.short_name, "virtual", nranks, opts, /*phantom=*/true,
+                 /*default_iters=*/1, /*default_repeats=*/1,
+                 [&](const RankFn& fn) { run_on_machine(m, nranks, fn); });
+}
+
+TuningTable autotune_threads(int nranks, const TuneOptions& opts) {
+  return tune_on("threads", "wall", nranks, opts, /*phantom=*/false,
+                 /*default_iters=*/8, /*default_repeats=*/3,
+                 [&](const RankFn& fn) { run_on_threads(nranks, fn); });
+}
+
+}  // namespace hpcx::xmpi::tuner

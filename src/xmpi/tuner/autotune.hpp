@@ -1,0 +1,51 @@
+// Empirical autotuner: benchmark every registered algorithm of each
+// collective over a sweep of message sizes and record the winner per
+// (collective, np, size class) in a TuningTable.
+//
+// Two substrates, same search:
+//  * autotune() runs on SimComm for a modelled machine — virtual time,
+//    phantom payloads, deterministic (one repeat suffices, cov = 0);
+//  * autotune_threads() runs on ThreadComm — wall-clock time, real
+//    payloads, several repeats to average scheduler noise.
+//
+// The measurement is barrier-closed: warm-up op, barrier, `iters` ops,
+// barrier, elapsed/iters at rank 0. The barrier cost is a constant
+// additive term per cell, identical across the algorithms being ranked,
+// so it never changes a winner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "xmpi/tuner/tuning_table.hpp"
+
+namespace hpcx::xmpi::tuner {
+
+struct TuneOptions {
+  std::size_t min_bytes = 8;
+  std::size_t max_bytes = 1 << 20;  ///< sweep doubles from min to max
+  int iters = 0;    ///< ops per timing; 0 = substrate default (sim 1, threads 8)
+  int repeats = 0;  ///< timings per cell; 0 = default (sim 1, threads 3)
+  std::vector<Collective> collectives;  ///< empty = all five
+};
+
+/// Tune on `nranks` simulated ranks of machine `m`.
+TuningTable autotune(const mach::MachineConfig& m, int nranks,
+                     const TuneOptions& opts = {});
+
+/// Tune on `nranks` host threads.
+TuningTable autotune_threads(int nranks, const TuneOptions& opts = {});
+
+/// Time one collective on `c` with its *current* tuning: warm-up op,
+/// then barrier-closed mean seconds per op over `iters` executions.
+/// `msg_bytes` is the collective's tuner-relevant size (full buffer for
+/// bcast/allreduce, per-rank block for allgather, per-destination block
+/// for alltoall, total send vector for reduce_scatter) — the same
+/// quantity kAuto uses for table lookup. With `phantom`, buffers are
+/// storage-free (timed identically, nothing moves). Every rank must
+/// call this collectively; each returns its own elapsed time.
+double measure_collective(Comm& c, Collective coll, std::size_t msg_bytes,
+                          int iters, bool phantom);
+
+}  // namespace hpcx::xmpi::tuner

@@ -1,0 +1,304 @@
+#include "xmpi/tuner/tuning_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "trace/trace.hpp"
+
+namespace hpcx::xmpi::tuner {
+
+const char* to_string(Collective c) {
+  switch (c) {
+    case Collective::kBcast:
+      return "bcast";
+    case Collective::kAllreduce:
+      return "allreduce";
+    case Collective::kAllgather:
+      return "allgather";
+    case Collective::kAlltoall:
+      return "alltoall";
+    case Collective::kReduceScatter:
+      return "reduce_scatter";
+  }
+  return "?";
+}
+
+bool parse(std::string_view name, Collective& out) {
+  for (std::size_t i = 0; i < kNumCollectives; ++i) {
+    const auto c = static_cast<Collective>(i);
+    if (name == to_string(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Parse an algorithm name, mapping "auto" and unknown strings to
+/// nullopt so the caller falls back to the threshold heuristic.
+template <typename Alg>
+std::optional<Alg> parse_tuned(const TuningTable& t, Collective c, int np,
+                               std::size_t bytes) {
+  const Cell* cell = t.lookup(c, np, bytes);
+  if (cell == nullptr) return std::nullopt;
+  Alg a{};
+  if (!xmpi::parse(cell->alg, a) || a == Alg::kAuto) return std::nullopt;
+  return a;
+}
+
+}  // namespace
+
+void TuningTable::add(const Cell& cell) {
+  for (Cell& c : cells_) {
+    if (c.coll == cell.coll && c.np == cell.np &&
+        c.size_class == cell.size_class) {
+      c = cell;
+      return;
+    }
+  }
+  cells_.push_back(cell);
+}
+
+const Cell* TuningTable::lookup(Collective coll, int np,
+                                std::size_t bytes) const {
+  const int cls = static_cast<int>(trace::size_class(bytes));
+  const Cell* best = nullptr;
+  for (const Cell& c : cells_) {
+    if (c.coll != coll) continue;
+    if (best == nullptr) {
+      best = &c;
+      continue;
+    }
+    const int dnp_c = std::abs(c.np - np);
+    const int dnp_b = std::abs(best->np - np);
+    if (dnp_c != dnp_b) {
+      if (dnp_c < dnp_b) best = &c;
+      continue;
+    }
+    if (c.np != best->np) {
+      if (c.np < best->np) best = &c;
+      continue;
+    }
+    const int dcl_c = std::abs(c.size_class - cls);
+    const int dcl_b = std::abs(best->size_class - cls);
+    if (dcl_c != dcl_b) {
+      if (dcl_c < dcl_b) best = &c;
+      continue;
+    }
+    if (c.size_class < best->size_class) best = &c;
+  }
+  return best;
+}
+
+std::optional<BcastAlg> TuningTable::bcast(int np, std::size_t bytes) const {
+  return parse_tuned<BcastAlg>(*this, Collective::kBcast, np, bytes);
+}
+std::optional<AllreduceAlg> TuningTable::allreduce(int np,
+                                                   std::size_t bytes) const {
+  return parse_tuned<AllreduceAlg>(*this, Collective::kAllreduce, np, bytes);
+}
+std::optional<AllgatherAlg> TuningTable::allgather(int np,
+                                                   std::size_t bytes) const {
+  return parse_tuned<AllgatherAlg>(*this, Collective::kAllgather, np, bytes);
+}
+std::optional<AlltoallAlg> TuningTable::alltoall(int np,
+                                                 std::size_t bytes) const {
+  return parse_tuned<AlltoallAlg>(*this, Collective::kAlltoall, np, bytes);
+}
+std::optional<ReduceScatterAlg> TuningTable::reduce_scatter(
+    int np, std::size_t bytes) const {
+  return parse_tuned<ReduceScatterAlg>(*this, Collective::kReduceScatter, np,
+                                       bytes);
+}
+
+std::string TuningTable::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"hpcx-tuning/1\",\n";
+  os << "  \"machine\": \"" << json_escape(machine) << "\",\n";
+  os << "  \"clock\": \"" << json_escape(clock) << "\",\n";
+  os << "  \"created\": \"" << json_escape(created) << "\",\n";
+  os << "  \"cells\": [";
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"collective\": \"" << to_string(c.coll)
+       << "\", \"np\": " << c.np << ", \"size_class\": " << c.size_class
+       << ", \"alg\": \"" << json_escape(c.alg)
+       << "\", \"t_s\": " << json_number(c.t_s)
+       << ", \"cov\": " << json_number(c.cov) << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+void TuningTable::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw ConfigError("cannot write tuning table: " + path);
+  os << to_json();
+}
+
+TuningTable TuningTable::from_json(std::string_view text) {
+  JsonValue doc;
+  std::string err;
+  if (!json_parse(text, doc, &err))
+    throw ConfigError("tuning table parse error: " + err);
+  if (!doc.is_object()) throw ConfigError("tuning table: not a JSON object");
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "hpcx-tuning/1")
+    throw ConfigError("tuning table: unexpected schema \"" + schema + "\"");
+  TuningTable t;
+  t.machine = doc.string_or("machine", "");
+  t.clock = doc.string_or("clock", "");
+  t.created = doc.string_or("created", "");
+  const JsonValue* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array())
+    throw ConfigError("tuning table: missing \"cells\" array");
+  for (const JsonValue& v : cells->as_array()) {
+    if (!v.is_object()) throw ConfigError("tuning table: cell not an object");
+    Cell c;
+    const std::string coll = v.string_or("collective", "");
+    if (!parse(coll, c.coll))
+      throw ConfigError("tuning table: unknown collective \"" + coll + "\"");
+    c.np = static_cast<int>(v.number_or("np", 0));
+    c.size_class = static_cast<int>(v.number_or("size_class", 0));
+    c.alg = v.string_or("alg", "auto");
+    c.t_s = v.number_or("t_s", 0.0);
+    c.cov = v.number_or("cov", 0.0);
+    if (c.np < 1) throw ConfigError("tuning table: cell with np < 1");
+    t.add(c);
+  }
+  return t;
+}
+
+TuningTable TuningTable::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ConfigError("cannot read tuning table: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return from_json(buf.str());
+}
+
+hpcx::Table TuningTable::summary_table() const {
+  hpcx::Table t("Tuning table (" + machine + ", " + clock + " clock)");
+  t.set_header({"collective", "np", "size class", "algorithm", "time", "cov"});
+  std::vector<const Cell*> sorted;
+  sorted.reserve(cells_.size());
+  for (const Cell& c : cells_) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(), [](const Cell* a, const Cell* b) {
+    if (a->coll != b->coll) return a->coll < b->coll;
+    if (a->np != b->np) return a->np < b->np;
+    return a->size_class < b->size_class;
+  });
+  for (const Cell* c : sorted) {
+    char cov[32];
+    std::snprintf(cov, sizeof cov, "%.3f", c->cov);
+    t.add_row({to_string(c->coll), std::to_string(c->np),
+               trace::size_class_label(static_cast<std::size_t>(c->size_class)),
+               c->alg, format_time(c->t_s), cov});
+  }
+  return t;
+}
+
+namespace {
+std::mutex g_default_mutex;
+std::shared_ptr<const TuningTable> g_default_table;
+}  // namespace
+
+void set_default_table(std::shared_ptr<const TuningTable> table) {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  g_default_table = std::move(table);
+}
+
+std::shared_ptr<const TuningTable> default_table() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  return g_default_table;
+}
+
+TuningDiff diff_tables(const TuningTable& baseline,
+                       const TuningTable& candidate, double rel_threshold,
+                       double cov_multiple) {
+  TuningDiff diff;
+  auto key_eq = [](const Cell& a, const Cell& b) {
+    return a.coll == b.coll && a.np == b.np && a.size_class == b.size_class;
+  };
+  for (const Cell& b : baseline.cells()) {
+    const Cell* c = nullptr;
+    for (const Cell& cc : candidate.cells())
+      if (key_eq(b, cc)) {
+        c = &cc;
+        break;
+      }
+    if (c == nullptr) {
+      ++diff.only_baseline;
+      continue;
+    }
+    ++diff.compared;
+    DiffEntry e;
+    e.baseline = b;
+    e.candidate = *c;
+    e.alg_changed = b.alg != c->alg;
+    e.rel_delta = b.t_s > 0.0 ? (c->t_s - b.t_s) / b.t_s : 0.0;
+    const double tol = std::max(rel_threshold, cov_multiple * b.cov);
+    e.regressed = e.rel_delta > tol;
+    if (e.alg_changed || e.regressed) diff.entries.push_back(e);
+  }
+  for (const Cell& c : candidate.cells()) {
+    bool found = false;
+    for (const Cell& b : baseline.cells())
+      if (key_eq(b, c)) {
+        found = true;
+        break;
+      }
+    if (!found) ++diff.only_candidate;
+  }
+  return diff;
+}
+
+}  // namespace hpcx::xmpi::tuner

@@ -1,0 +1,152 @@
+// xmpi::tuner — persistent empirical tuning tables for collective
+// algorithm selection (schema "hpcx-tuning/1").
+//
+// A TuningTable maps (collective, np, message-size class) to the
+// algorithm that measured fastest on a target machine, together with
+// the measured time and its coefficient of variation. Tables are
+// produced by the autotuner (xmpi/tuner/autotune.hpp, tools/hpcx_tune),
+// serialised as JSON, and consulted by Comm's kAuto dispatch *before*
+// the static CollectiveTuning thresholds: table hit -> threshold
+// heuristic -> hard-coded default.
+//
+// Size classes reuse trace::size_class (power-of-two buckets: class 0
+// is the empty message, class k covers [2^(k-1), 2^k) bytes). Lookup is
+// nearest-neighbour in (np, size class) so a table tuned at np = 8 and
+// 1 KiB still steers an np = 6, 700 B call — tuning tables are sparse
+// by construction and the nearest measured cell is a better guess than
+// falling back to one global threshold.
+//
+// The byte quantity used for lookup matches what the tuner varies per
+// collective: bcast/allreduce use the full buffer, allgather the
+// per-rank contribution, alltoall the per-destination block, and
+// reduce_scatter the total send vector. Comm's dispatch and the
+// autotuner agree on this by construction (both call the helpers here).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmpi/comm.hpp"
+
+namespace hpcx {
+class Table;
+}
+
+namespace hpcx::xmpi::tuner {
+
+/// The five tunable collective entry points. (Barrier and the rooted
+/// gather/scatter have a single algorithm each; the v-variants follow
+/// their fixed-count siblings.)
+enum class Collective : std::uint8_t {
+  kBcast,
+  kAllreduce,
+  kAllgather,
+  kAlltoall,
+  kReduceScatter,
+};
+constexpr std::size_t kNumCollectives = 5;
+
+const char* to_string(Collective c);
+bool parse(std::string_view name, Collective& out);
+
+/// One tuned cell: the winning algorithm for (collective, np, size
+/// class) plus its measured mean time and coefficient of variation
+/// (cov = stddev / mean over the measurement repeats; 0 for single-shot
+/// deterministic simulation runs).
+struct Cell {
+  Collective coll = Collective::kBcast;
+  int np = 0;
+  int size_class = 0;  ///< trace::size_class of the collective's bytes
+  std::string alg;     ///< xmpi to_string name of the winner
+  double t_s = 0.0;
+  double cov = 0.0;
+};
+
+/// In-memory tuning table with JSON (de)serialisation.
+class TuningTable {
+ public:
+  /// Provenance, stamped by the tuner and carried through the JSON.
+  std::string machine;  ///< machine short name, or "threads"
+  std::string clock;    ///< "virtual" (SimComm) or "wall" (ThreadComm)
+  std::string created;  ///< ISO-8601 timestamp ("" when not stamped)
+
+  /// Insert a cell, replacing any existing cell with the same
+  /// (collective, np, size_class) key.
+  void add(const Cell& cell);
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  bool empty() const { return cells_.empty(); }
+
+  /// Nearest measured cell for (coll, np, bytes): minimise |np - cell.np|
+  /// first (ties -> smaller np), then |size_class(bytes) - cell class|
+  /// (ties -> smaller class). nullptr when no cell for `coll` exists.
+  const Cell* lookup(Collective coll, int np, std::size_t bytes) const;
+
+  // Typed lookups for Comm's kAuto dispatch: the winning algorithm for
+  // the nearest cell, or nullopt when the table has no cell for the
+  // collective or the recorded name is "auto"/unparseable (then the
+  // threshold heuristic decides).
+  std::optional<BcastAlg> bcast(int np, std::size_t bytes) const;
+  std::optional<AllreduceAlg> allreduce(int np, std::size_t bytes) const;
+  std::optional<AllgatherAlg> allgather(int np, std::size_t bytes) const;
+  std::optional<AlltoallAlg> alltoall(int np, std::size_t bytes) const;
+  std::optional<ReduceScatterAlg> reduce_scatter(int np,
+                                                 std::size_t bytes) const;
+
+  /// Serialise as schema "hpcx-tuning/1" JSON.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Parse a table back. Throws ConfigError on malformed input or a
+  /// schema mismatch.
+  static TuningTable from_json(std::string_view text);
+  static TuningTable load(const std::string& path);
+
+  /// Human-readable cell listing (core/table).
+  hpcx::Table summary_table() const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+/// Process-wide default table, seeded into every Comm's tuning() at
+/// construction (nullptr by default: thresholds only). hpcx_tune
+/// --verify and the CLI's --tuning flag install a loaded table here.
+void set_default_table(std::shared_ptr<const TuningTable> table);
+std::shared_ptr<const TuningTable> default_table();
+
+/// One differing cell between two tables (hpcx_compare).
+struct DiffEntry {
+  Cell baseline;
+  Cell candidate;
+  bool alg_changed = false;
+  bool regressed = false;  ///< candidate slower beyond tolerance
+  double rel_delta = 0.0;  ///< (candidate.t_s - baseline.t_s) / baseline.t_s
+};
+
+struct TuningDiff {
+  std::vector<DiffEntry> entries;  ///< cells that changed alg or regressed
+  std::size_t compared = 0;        ///< keys present in both tables
+  std::size_t only_baseline = 0;
+  std::size_t only_candidate = 0;
+  bool regression() const {
+    for (const auto& e : entries)
+      if (e.regressed) return true;
+    return false;
+  }
+};
+
+/// Diff two tuning tables key by key. A time regression is flagged when
+/// the candidate is slower by more than max(rel_threshold,
+/// cov_multiple * baseline.cov); an algorithm change is always
+/// reported but only counts as a regression if the time regressed too.
+TuningDiff diff_tables(const TuningTable& baseline,
+                       const TuningTable& candidate,
+                       double rel_threshold = 0.05,
+                       double cov_multiple = 3.0);
+
+}  // namespace hpcx::xmpi::tuner

@@ -97,6 +97,94 @@ TEST(AllgatherAlg, RingAndBruckAgree) {
   }
 }
 
+// Non-power-of-two rank counts are where the fold-to-pow2 preludes of
+// recursive doubling / recursive halving and Bruck's log-round rotation
+// earn their keep; np = 3, 5, 6, 7 at sizes below and above the
+// *_long_bytes switch points pin them on both backends.
+class NonPow2Test
+    : public ::testing::TestWithParam<std::tuple<Backend, int>> {};
+
+TEST_P(NonPow2Test, RecursiveDoublingAllreduce) {
+  const auto [backend, n] = GetParam();
+  // 100 f64 = 800 B (short path) and 3000 f64 = ~23 KB (above the
+  // 16 KiB allreduce threshold, so also the kAuto long path).
+  for (const std::size_t count : {std::size_t{100}, std::size_t{3000}}) {
+    run_world(backend, n, [&, n = n](Comm& c) {
+      c.tuning().allreduce_alg = AllreduceAlg::kRecursiveDoubling;
+      std::vector<double> send(count), recv(count, -1);
+      for (std::size_t i = 0; i < count; ++i)
+        send[i] = test_value(c.rank(), i);
+      c.allreduce(cbuf(std::span<const double>(send)),
+                  mbuf(std::span<double>(recv)), ROp::kSum);
+      for (std::size_t i = 0; i < count; ++i) {
+        double expected = 0;
+        for (int r = 0; r < n; ++r) expected += test_value(r, i);
+        ASSERT_DOUBLE_EQ(expected, recv[i]) << "count=" << count;
+      }
+    });
+  }
+}
+
+TEST_P(NonPow2Test, BruckAllgather) {
+  const auto [backend, n] = GetParam();
+  // 13 f64 = 104 B (short) and 1201 f64 = ~9.4 KB per rank (above the
+  // 8 KiB allgather threshold).
+  for (const std::size_t count : {std::size_t{13}, std::size_t{1201}}) {
+    run_world(backend, n, [&, n = n](Comm& c) {
+      c.tuning().allgather_alg = AllgatherAlg::kBruck;
+      std::vector<double> send(count);
+      for (std::size_t i = 0; i < count; ++i)
+        send[i] = test_value(c.rank(), i);
+      std::vector<double> recv(count * static_cast<std::size_t>(n), -1);
+      c.allgather(cbuf(std::span<const double>(send)),
+                  mbuf(std::span<double>(recv)));
+      for (int r = 0; r < n; ++r)
+        for (std::size_t i = 0; i < count; ++i)
+          ASSERT_DOUBLE_EQ(test_value(r, i),
+                           recv[static_cast<std::size_t>(r) * count + i])
+              << "count=" << count;
+    });
+  }
+}
+
+TEST_P(NonPow2Test, RecursiveHalvingReduceScatter) {
+  const auto [backend, n] = GetParam();
+  // Uneven per-rank counts, short and long totals.
+  for (const std::size_t base : {std::size_t{5}, std::size_t{700}}) {
+    run_world(backend, n, [&, n = n](Comm& c) {
+      c.tuning().reduce_scatter_alg = ReduceScatterAlg::kRecursiveHalving;
+      std::vector<int> counts(static_cast<std::size_t>(n));
+      std::size_t total = 0, my_off = 0;
+      for (int r = 0; r < n; ++r) {
+        counts[static_cast<std::size_t>(r)] = static_cast<int>(base) + r;
+        if (r < c.rank()) my_off += base + static_cast<std::size_t>(r);
+        total += base + static_cast<std::size_t>(r);
+      }
+      const auto mine = static_cast<std::size_t>(
+          counts[static_cast<std::size_t>(c.rank())]);
+      std::vector<double> send(total), recv(mine, -1);
+      for (std::size_t i = 0; i < total; ++i)
+        send[i] = test_value(c.rank(), i);
+      c.reduce_scatter(cbuf(std::span<const double>(send)),
+                       mbuf(std::span<double>(recv)), counts, ROp::kSum);
+      for (std::size_t i = 0; i < mine; ++i) {
+        double expected = 0;
+        for (int r = 0; r < n; ++r) expected += test_value(r, my_off + i);
+        ASSERT_DOUBLE_EQ(expected, recv[i]) << "base=" << base;
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NonPow2Test,
+    ::testing::Combine(::testing::Values(Backend::kThreads, Backend::kSim),
+                       ::testing::Values(3, 5, 6, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<Backend, int>>& info) {
+      return std::string(test::to_string(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
 double bcast_time(BcastAlg alg, int cpus, std::size_t bytes) {
   double t = 0;
   xmpi::run_on_machine(mach::dell_xeon(), cpus, [&](Comm& c) {

@@ -1,0 +1,502 @@
+// Randomized differential conformance suite: every collective, every
+// selectable algorithm, on both substrates (ThreadComm and SimComm),
+// checked bit-identically against a serial reference.
+//
+// Each case draws its shape — element count (including 0, 1, odd sizes
+// crossing the *_long_bytes thresholds), dtype, reduction operator,
+// root, per-rank counts with holes — from a seeded deterministic RNG,
+// and every rank regenerates any rank's input locally, so the expected
+// output is computed serially (apply_rop folds in rank order) without
+// touching the communication layer under test. Values are chosen so
+// every reduction is exact in any association order (u64 wraparound,
+// small-integer f64/i32, u8 bytes): a single flipped bit in any rank's
+// buffer is a schedule bug, not roundoff.
+//
+// On mismatch the failure message carries the full case shape plus the
+// master seed (override via HPCX_CONFORMANCE_SEED; case volume via
+// HPCX_CONFORMANCE_CASES) so any failure replays exactly.
+//
+// Case volume: ranks 1-8 x HPCX_CONFORMANCE_CASES (default 80) cases
+// per rank count x 2 substrates = 1280 randomized cases per collective,
+// before multiplying by the per-collective algorithm sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "test_util.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/reduce_ops.hpp"
+
+namespace hpcx::xmpi {
+namespace {
+
+using test::Backend;
+using test::run_world;
+
+constexpr int kMaxRanks = 8;
+
+std::uint64_t master_seed() {
+  if (const char* env = std::getenv("HPCX_CONFORMANCE_SEED"))
+    return std::strtoull(env, nullptr, 0);
+  return 0x00C0FFEE0DDF00DULL;
+}
+
+int cases_per_np() {
+  if (const char* env = std::getenv("HPCX_CONFORMANCE_CASES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 80;
+}
+
+/// One randomized collective invocation shape. `count` is the
+/// collective's natural block count (bcast/reduce: whole buffer;
+/// gather/scatter/allgather: per-rank block; alltoall: per-destination
+/// block); the v-variants and reduce_scatter use `counts`/`matrix`.
+struct Case {
+  std::uint64_t seed = 0;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+  ROp op = ROp::kSum;
+  int root = 0;
+  std::vector<int> counts;            ///< per-rank counts (holes allowed)
+  std::vector<std::vector<int>> matrix;  ///< alltoallv: [src][dst] counts
+};
+
+/// Counts crossing the *_long_bytes switch points in both directions
+/// (e.g. 4999 f64 = ~40 KB, above every threshold; 17 f64 below all).
+std::size_t pick_count(Rng& rng, bool small_blocks) {
+  static constexpr std::size_t kBig[] = {0,   1,    2,    3,    5,    7,
+                                         17,  97,   513,  1023, 2049, 4999};
+  static constexpr std::size_t kSmall[] = {0, 1, 2, 3, 7, 17, 33, 97};
+  if (small_blocks) {
+    const std::size_t base = kSmall[rng.next_below(std::size(kSmall))];
+    return rng.next_below(4) == 0 ? rng.next_below(98) : base;
+  }
+  const std::size_t base = kBig[rng.next_below(std::size(kBig))];
+  return rng.next_below(4) == 0 ? rng.next_below(5000) | 1 : base;
+}
+
+DType pick_dtype(Rng& rng, bool reduction) {
+  static constexpr DType kReduce[] = {DType::kByte, DType::kF64, DType::kU64,
+                                      DType::kI32};
+  static constexpr DType kMove[] = {DType::kByte, DType::kF64, DType::kU64,
+                                    DType::kI32, DType::kC128};
+  return reduction ? kReduce[rng.next_below(std::size(kReduce))]
+                   : kMove[rng.next_below(std::size(kMove))];
+}
+
+ROp pick_op(Rng& rng, DType dtype) {
+  // u64 wraparound makes kProd exact; everywhere else stick to the ops
+  // whose result is independent of association order for our values.
+  if (dtype == DType::kU64) {
+    static constexpr ROp kAll[] = {ROp::kSum, ROp::kProd, ROp::kMax,
+                                   ROp::kMin};
+    return kAll[rng.next_below(std::size(kAll))];
+  }
+  static constexpr ROp kExact[] = {ROp::kSum, ROp::kMax, ROp::kMin};
+  return kExact[rng.next_below(std::size(kExact))];
+}
+
+std::vector<Case> make_cases(std::uint64_t tag, int np, bool reduction,
+                             bool small_blocks) {
+  SplitMix64 seeder(master_seed() ^ (tag * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(np) << 56));
+  std::vector<Case> cases(static_cast<std::size_t>(cases_per_np()));
+  for (Case& cs : cases) {
+    cs.seed = seeder.next();
+    Rng rng(cs.seed);
+    cs.count = pick_count(rng, small_blocks);
+    cs.dtype = pick_dtype(rng, reduction);
+    cs.op = pick_op(rng, cs.dtype);
+    cs.root = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(np)));
+    cs.counts.resize(static_cast<std::size_t>(np));
+    for (int& c : cs.counts)
+      c = rng.next_below(5) == 0 ? 0
+                                 : static_cast<int>(rng.next_below(98));
+    cs.matrix.assign(static_cast<std::size_t>(np),
+                     std::vector<int>(static_cast<std::size_t>(np)));
+    for (auto& row : cs.matrix)
+      for (int& c : row)
+        c = rng.next_below(5) == 0 ? 0
+                                   : static_cast<int>(rng.next_below(34));
+  }
+  return cases;
+}
+
+/// Deterministic input of `rank` for this case — every rank can
+/// regenerate every other rank's buffer, which is what makes the serial
+/// reference independent of the communication layer.
+std::vector<unsigned char> rank_input(const Case& cs, int rank,
+                                      std::size_t count) {
+  std::vector<unsigned char> buf(count * dtype_size(cs.dtype));
+  Rng rng(cs.seed ^
+          (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(rank + 1)));
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned char* p = buf.data() + i * dtype_size(cs.dtype);
+    switch (cs.dtype) {
+      case DType::kByte:
+        *p = static_cast<unsigned char>(rng.next_below(256));
+        break;
+      case DType::kF64: {
+        const double v = static_cast<double>(rng.next_below(17)) - 8.0;
+        std::memcpy(p, &v, sizeof v);
+        break;
+      }
+      case DType::kU64: {
+        const std::uint64_t v = rng.next_u64();
+        std::memcpy(p, &v, sizeof v);
+        break;
+      }
+      case DType::kI32: {
+        const std::int32_t v =
+            static_cast<std::int32_t>(rng.next_below(19)) - 9;
+        std::memcpy(p, &v, sizeof v);
+        break;
+      }
+      case DType::kC128: {
+        const double re = static_cast<double>(rng.next_below(17)) - 8.0;
+        const double im = static_cast<double>(rng.next_below(17)) - 8.0;
+        std::memcpy(p, &re, sizeof re);
+        std::memcpy(p + sizeof re, &im, sizeof im);
+        break;
+      }
+    }
+  }
+  return buf;
+}
+
+/// Serial reference reduction: fold every rank's input in rank order.
+std::vector<unsigned char> reduced_input(const Case& cs, int np,
+                                         std::size_t count) {
+  std::vector<unsigned char> acc = rank_input(cs, 0, count);
+  for (int r = 1; r < np; ++r) {
+    const std::vector<unsigned char> in = rank_input(cs, r, count);
+    if (count > 0) apply_rop(cs.op, cs.dtype, acc.data(), in.data(), count);
+  }
+  return acc;
+}
+
+/// Non-null pointer for zero-length buffers: data == nullptr means
+/// *phantom* to xmpi, which is not what an empty real vector means.
+unsigned char* ptr(std::vector<unsigned char>& v) {
+  static unsigned char dummy;
+  return v.empty() ? &dummy : v.data();
+}
+
+void check(Backend backend, int np, std::size_t case_idx, const Case& cs,
+           const char* coll, const char* alg, int rank,
+           const std::vector<unsigned char>& got,
+           const std::vector<unsigned char>& want, std::string& fail) {
+  if (!fail.empty() || got == want) return;  // keep the first failure
+  std::size_t i = 0;
+  while (i < got.size() && i < want.size() && got[i] == want[i]) ++i;
+  std::ostringstream os;
+  os << coll << " mismatch on " << test::to_string(backend) << ": np=" << np
+     << " case=" << case_idx << " alg=" << alg
+     << " dtype=" << to_string(cs.dtype) << " op=" << to_string(cs.op)
+     << " count=" << cs.count << " root=" << cs.root << " rank=" << rank
+     << " first-bad-byte=" << i << "/" << want.size()
+     << "; repro: HPCX_CONFORMANCE_SEED=0x" << std::hex << master_seed()
+     << " (case seed 0x" << cs.seed << ")";
+  fail = os.str();
+}
+
+/// Run `body(comm, case, failure-slot)` for every case on every rank
+/// count, then surface per-rank failures. Each rank writes only its own
+/// slot and never skips a collective call (ranks must stay in lockstep
+/// even after a recorded mismatch).
+template <typename Body>
+void sweep(Backend backend, std::uint64_t tag, bool reduction,
+           bool small_blocks, const Body& body) {
+  for (int np = 1; np <= kMaxRanks; ++np) {
+    const std::vector<Case> cases =
+        make_cases(tag, np, reduction, small_blocks);
+    std::vector<std::string> fails(static_cast<std::size_t>(np));
+    run_world(backend, np, [&](Comm& c) {
+      c.tuning().table = nullptr;  // conformance tests the raw dispatch
+      for (std::size_t k = 0; k < cases.size(); ++k)
+        body(c, cases[k], k, fails[static_cast<std::size_t>(c.rank())]);
+    });
+    for (int r = 0; r < np; ++r)
+      EXPECT_TRUE(fails[static_cast<std::size_t>(r)].empty())
+          << fails[static_cast<std::size_t>(r)];
+  }
+}
+
+class Conformance : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(Conformance, Bcast) {
+  const Backend backend = GetParam();
+  sweep(backend, 1, false, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          for (const BcastAlg alg :
+               {BcastAlg::kAuto, BcastAlg::kBinomial, BcastAlg::kScatterRing,
+                BcastAlg::kPipelinedRing, BcastAlg::kBinomialSegmented}) {
+            c.tuning().bcast_alg = alg;
+            c.tuning().bcast_segment_bytes = 512;  // force many segments
+            std::vector<unsigned char> want =
+                rank_input(cs, cs.root, cs.count);
+            std::vector<unsigned char> buf =
+                c.rank() == cs.root
+                    ? want
+                    : std::vector<unsigned char>(want.size(), 0xAA);
+            c.bcast(MBuf{ptr(buf), cs.count, cs.dtype}, cs.root);
+            check(backend, c.size(), k, cs, "bcast", to_string(alg),
+                  c.rank(), buf, want, fail);
+          }
+        });
+}
+
+TEST_P(Conformance, Reduce) {
+  const Backend backend = GetParam();
+  sweep(backend, 2, true, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          std::vector<unsigned char> send =
+              rank_input(cs, c.rank(), cs.count);
+          std::vector<unsigned char> recv(send.size(), 0xAA);
+          c.reduce(CBuf{ptr(send), cs.count, cs.dtype},
+                   MBuf{ptr(recv), cs.count, cs.dtype}, cs.op, cs.root);
+          if (c.rank() == cs.root)
+            check(backend, c.size(), k, cs, "reduce", "auto", c.rank(), recv,
+                  reduced_input(cs, c.size(), cs.count), fail);
+        });
+}
+
+TEST_P(Conformance, Allreduce) {
+  const Backend backend = GetParam();
+  sweep(backend, 3, true, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          for (const AllreduceAlg alg :
+               {AllreduceAlg::kAuto, AllreduceAlg::kRecursiveDoubling,
+                AllreduceAlg::kRabenseifner}) {
+            c.tuning().allreduce_alg = alg;
+            std::vector<unsigned char> send =
+                rank_input(cs, c.rank(), cs.count);
+            std::vector<unsigned char> recv(send.size(), 0xAA);
+            c.allreduce(CBuf{ptr(send), cs.count, cs.dtype},
+                        MBuf{ptr(recv), cs.count, cs.dtype}, cs.op);
+            check(backend, c.size(), k, cs, "allreduce", to_string(alg),
+                  c.rank(), recv, reduced_input(cs, c.size(), cs.count),
+                  fail);
+          }
+        });
+}
+
+TEST_P(Conformance, Gather) {
+  const Backend backend = GetParam();
+  sweep(backend, 4, false, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          const std::size_t n = static_cast<std::size_t>(c.size());
+          std::vector<unsigned char> send =
+              rank_input(cs, c.rank(), cs.count);
+          std::vector<unsigned char> recv(send.size() * n, 0xAA);
+          c.gather(CBuf{ptr(send), cs.count, cs.dtype},
+                   MBuf{ptr(recv), cs.count * n, cs.dtype}, cs.root);
+          if (c.rank() == cs.root) {
+            std::vector<unsigned char> want;
+            for (int r = 0; r < c.size(); ++r) {
+              const auto in = rank_input(cs, r, cs.count);
+              want.insert(want.end(), in.begin(), in.end());
+            }
+            check(backend, c.size(), k, cs, "gather", "binomial", c.rank(),
+                  recv, want, fail);
+          }
+        });
+}
+
+TEST_P(Conformance, Scatter) {
+  const Backend backend = GetParam();
+  sweep(backend, 5, false, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          const std::size_t n = static_cast<std::size_t>(c.size());
+          const std::size_t es = dtype_size(cs.dtype);
+          std::vector<unsigned char> send =
+              rank_input(cs, cs.root, cs.count * n);
+          std::vector<unsigned char> recv(cs.count * es, 0xAA);
+          c.scatter(CBuf{ptr(send), cs.count * n, cs.dtype},
+                    MBuf{ptr(recv), cs.count, cs.dtype}, cs.root);
+          const std::size_t off =
+              static_cast<std::size_t>(c.rank()) * cs.count * es;
+          const std::vector<unsigned char> want(
+              send.begin() + static_cast<std::ptrdiff_t>(off),
+              send.begin() + static_cast<std::ptrdiff_t>(off + cs.count * es));
+          check(backend, c.size(), k, cs, "scatter", "binomial", c.rank(),
+                recv, want, fail);
+        });
+}
+
+TEST_P(Conformance, Allgather) {
+  const Backend backend = GetParam();
+  sweep(backend, 6, false, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          for (const AllgatherAlg alg :
+               {AllgatherAlg::kAuto, AllgatherAlg::kBruck, AllgatherAlg::kRing,
+                AllgatherAlg::kGatherBcast}) {
+            c.tuning().allgather_alg = alg;
+            const std::size_t n = static_cast<std::size_t>(c.size());
+            std::vector<unsigned char> send =
+                rank_input(cs, c.rank(), cs.count);
+            std::vector<unsigned char> recv(send.size() * n, 0xAA);
+            c.allgather(CBuf{ptr(send), cs.count, cs.dtype},
+                        MBuf{ptr(recv), cs.count * n, cs.dtype});
+            std::vector<unsigned char> want;
+            for (int r = 0; r < c.size(); ++r) {
+              const auto in = rank_input(cs, r, cs.count);
+              want.insert(want.end(), in.begin(), in.end());
+            }
+            check(backend, c.size(), k, cs, "allgather", to_string(alg),
+                  c.rank(), recv, want, fail);
+          }
+        });
+}
+
+TEST_P(Conformance, Allgatherv) {
+  const Backend backend = GetParam();
+  sweep(backend, 7, false, false,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          const std::size_t mine =
+              static_cast<std::size_t>(cs.counts[
+                  static_cast<std::size_t>(c.rank())]);
+          std::size_t total = 0;
+          for (const int cnt : cs.counts)
+            total += static_cast<std::size_t>(cnt);
+          std::vector<unsigned char> send = rank_input(cs, c.rank(), mine);
+          std::vector<unsigned char> recv(total * dtype_size(cs.dtype), 0xAA);
+          c.allgatherv(CBuf{ptr(send), mine, cs.dtype},
+                       MBuf{ptr(recv), total, cs.dtype}, cs.counts);
+          std::vector<unsigned char> want;
+          for (int r = 0; r < c.size(); ++r) {
+            const auto in = rank_input(
+                cs, r,
+                static_cast<std::size_t>(
+                    cs.counts[static_cast<std::size_t>(r)]));
+            want.insert(want.end(), in.begin(), in.end());
+          }
+          check(backend, c.size(), k, cs, "allgatherv", "ring", c.rank(),
+                recv, want, fail);
+        });
+}
+
+TEST_P(Conformance, Alltoall) {
+  const Backend backend = GetParam();
+  sweep(backend, 8, false, true,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          for (const AlltoallAlg alg : {AlltoallAlg::kAuto,
+                                        AlltoallAlg::kPairwise,
+                                        AlltoallAlg::kBruck}) {
+            c.tuning().alltoall_alg = alg;
+            const std::size_t n = static_cast<std::size_t>(c.size());
+            const std::size_t es = dtype_size(cs.dtype);
+            std::vector<unsigned char> send =
+                rank_input(cs, c.rank(), cs.count * n);
+            std::vector<unsigned char> recv(send.size(), 0xAA);
+            c.alltoall(CBuf{ptr(send), cs.count * n, cs.dtype},
+                       MBuf{ptr(recv), cs.count * n, cs.dtype});
+            std::vector<unsigned char> want;
+            for (int r = 0; r < c.size(); ++r) {
+              const auto in = rank_input(cs, r, cs.count * n);
+              const std::size_t off =
+                  static_cast<std::size_t>(c.rank()) * cs.count * es;
+              want.insert(want.end(),
+                          in.begin() + static_cast<std::ptrdiff_t>(off),
+                          in.begin() + static_cast<std::ptrdiff_t>(
+                                           off + cs.count * es));
+            }
+            check(backend, c.size(), k, cs, "alltoall", to_string(alg),
+                  c.rank(), recv, want, fail);
+          }
+        });
+}
+
+TEST_P(Conformance, Alltoallv) {
+  const Backend backend = GetParam();
+  sweep(backend, 9, false, true,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          const auto r = static_cast<std::size_t>(c.rank());
+          const std::size_t es = dtype_size(cs.dtype);
+          std::size_t send_total = 0, recv_total = 0;
+          std::vector<int> recv_counts(static_cast<std::size_t>(c.size()));
+          for (std::size_t j = 0; j < cs.matrix.size(); ++j) {
+            send_total += static_cast<std::size_t>(cs.matrix[r][j]);
+            recv_counts[j] = cs.matrix[j][r];
+            recv_total += static_cast<std::size_t>(cs.matrix[j][r]);
+          }
+          std::vector<unsigned char> send =
+              rank_input(cs, c.rank(), send_total);
+          std::vector<unsigned char> recv(recv_total * es, 0xAA);
+          c.alltoallv(CBuf{ptr(send), send_total, cs.dtype}, cs.matrix[r],
+                      MBuf{ptr(recv), recv_total, cs.dtype}, recv_counts);
+          std::vector<unsigned char> want;
+          for (std::size_t j = 0; j < cs.matrix.size(); ++j) {
+            std::size_t src_total = 0, src_off = 0;
+            for (std::size_t d = 0; d < cs.matrix[j].size(); ++d) {
+              if (d < r) src_off += static_cast<std::size_t>(cs.matrix[j][d]);
+              src_total += static_cast<std::size_t>(cs.matrix[j][d]);
+            }
+            const auto in =
+                rank_input(cs, static_cast<int>(j), src_total);
+            want.insert(
+                want.end(),
+                in.begin() + static_cast<std::ptrdiff_t>(src_off * es),
+                in.begin() + static_cast<std::ptrdiff_t>(
+                                 (src_off +
+                                  static_cast<std::size_t>(cs.matrix[j][r])) *
+                                 es));
+          }
+          check(backend, c.size(), k, cs, "alltoallv", "pairwise", c.rank(),
+                recv, want, fail);
+        });
+}
+
+TEST_P(Conformance, ReduceScatter) {
+  const Backend backend = GetParam();
+  sweep(backend, 10, true, true,
+        [&](Comm& c, const Case& cs, std::size_t k, std::string& fail) {
+          for (const ReduceScatterAlg alg :
+               {ReduceScatterAlg::kAuto, ReduceScatterAlg::kRecursiveHalving,
+                ReduceScatterAlg::kRing, ReduceScatterAlg::kPairwise}) {
+            c.tuning().reduce_scatter_alg = alg;
+            const std::size_t es = dtype_size(cs.dtype);
+            std::size_t total = 0, my_off = 0;
+            for (int r = 0; r < c.size(); ++r) {
+              if (r < c.rank())
+                my_off += static_cast<std::size_t>(
+                    cs.counts[static_cast<std::size_t>(r)]);
+              total += static_cast<std::size_t>(
+                  cs.counts[static_cast<std::size_t>(r)]);
+            }
+            const std::size_t mine = static_cast<std::size_t>(
+                cs.counts[static_cast<std::size_t>(c.rank())]);
+            std::vector<unsigned char> send = rank_input(cs, c.rank(), total);
+            std::vector<unsigned char> recv(mine * es, 0xAA);
+            c.reduce_scatter(CBuf{ptr(send), total, cs.dtype},
+                             MBuf{ptr(recv), mine, cs.dtype}, cs.counts,
+                             cs.op);
+            const std::vector<unsigned char> acc =
+                reduced_input(cs, c.size(), total);
+            const std::vector<unsigned char> want(
+                acc.begin() + static_cast<std::ptrdiff_t>(my_off * es),
+                acc.begin() +
+                    static_cast<std::ptrdiff_t>((my_off + mine) * es));
+            check(backend, c.size(), k, cs, "reduce_scatter", to_string(alg),
+                  c.rank(), recv, want, fail);
+          }
+        });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Substrates, Conformance,
+    ::testing::Values(Backend::kThreads, Backend::kSim),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      return std::string(test::to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace hpcx::xmpi

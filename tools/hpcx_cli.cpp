@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -26,6 +27,7 @@
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
 #include "xmpi/thread_comm.hpp"
+#include "xmpi/tuner/tuning_table.hpp"
 
 namespace {
 
@@ -46,13 +48,19 @@ void usage() {
       "  --repeats <n>            measurement repetitions for --metrics-out\n"
       "                           statistics (default: 1)\n"
       "  --bcast-alg <name>       force the broadcast algorithm\n"
-      "                           (auto|binomial|scatter-ring|pipelined-ring)\n"
+      "                           (auto|binomial|scatter-ring|pipelined-ring|\n"
+      "                           binomial-segmented)\n"
       "  --allreduce-alg <name>   force the allreduce algorithm\n"
       "                           (auto|recursive-doubling|rabenseifner)\n"
       "  --allgather-alg <name>   force the allgather algorithm\n"
-      "                           (auto|bruck|ring)\n"
+      "                           (auto|bruck|ring|gather-bcast)\n"
       "  --alltoall-alg <name>    force the alltoall algorithm\n"
-      "                           (auto|pairwise)\n"
+      "                           (auto|pairwise|bruck)\n"
+      "  --reduce-scatter-alg <name>  force the reduce_scatter algorithm\n"
+      "                           (auto|recursive-halving|ring|pairwise)\n"
+      "  --tuning <file>          load an hpcx-tuning/1 table (hpcx_tune)\n"
+      "                           and let kAuto consult it before the\n"
+      "                           static thresholds\n"
       "  --trace-out <file>       write a Chrome/Perfetto trace of the run\n"
       "                           (imb suite, needs --benchmark)\n"
       "  --metrics-out <file>     write a JSON run record of the results,\n"
@@ -104,6 +112,8 @@ struct ImbCliOptions {
   xmpi::AllreduceAlg allreduce_alg = xmpi::AllreduceAlg::kAuto;
   xmpi::AllgatherAlg allgather_alg = xmpi::AllgatherAlg::kAuto;
   xmpi::AlltoallAlg alltoall_alg = xmpi::AlltoallAlg::kAuto;
+  xmpi::ReduceScatterAlg reduce_scatter_alg = xmpi::ReduceScatterAlg::kAuto;
+  std::string tuning_path;  ///< --tuning table (installed process-wide)
   std::string trace_path;
   std::string metrics_path;
   int repeats = 1;
@@ -129,6 +139,8 @@ std::string alg_overrides(const ImbCliOptions& opts) {
     append("allgather", xmpi::to_string(opts.allgather_alg));
   if (opts.alltoall_alg != xmpi::AlltoallAlg::kAuto)
     append("alltoall", xmpi::to_string(opts.alltoall_alg));
+  if (opts.reduce_scatter_alg != xmpi::ReduceScatterAlg::kAuto)
+    append("reduce_scatter", xmpi::to_string(opts.reduce_scatter_alg));
   return out;
 }
 
@@ -143,6 +155,7 @@ metrics::RunRecord make_record(const ImbCliOptions& opts,
   rec.env.clock = m ? "virtual" : "wall";
   rec.env.eager_max_bytes = opts.transport.eager_max_bytes;
   rec.env.alg_overrides = alg_overrides(opts);
+  rec.env.tuning = opts.tuning_path;
   rec.env.repeats = opts.repeats;
   rec.timer = metrics::calibrate_timer();
   return rec;
@@ -163,6 +176,8 @@ int write_record(const metrics::RunRecord& rec, const std::string& path) {
 void print_stats(const trace::Recorder& recorder) {
   recorder.summary_table().print(std::cout);
   recorder.histogram_table().print(std::cout);
+  const Table algs = recorder.alg_table();
+  if (algs.rows() > 0) algs.print(std::cout);
   if (!recorder.link_tracks().empty())
     recorder.link_table().print(std::cout);
 }
@@ -188,6 +203,7 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
       c.tuning().allreduce_alg = opts.allreduce_alg;
       c.tuning().allgather_alg = opts.allgather_alg;
       c.tuning().alltoall_alg = opts.alltoall_alg;
+      c.tuning().reduce_scatter_alg = opts.reduce_scatter_alg;
       imb::ImbParams params;
       params.msg_bytes = id == imb::BenchmarkId::kBarrier ? 0 : opts.msg_bytes;
       params.phantom = machine.has_value();
@@ -340,6 +356,10 @@ int main(int argc, char** argv) {
       parse_alg(imb_options.allgather_alg);
     } else if (arg == "--alltoall-alg") {
       parse_alg(imb_options.alltoall_alg);
+    } else if (arg == "--reduce-scatter-alg") {
+      parse_alg(imb_options.reduce_scatter_alg);
+    } else if (arg == "--tuning") {
+      imb_options.tuning_path = next();
     } else if (arg == "--trace-out") {
       imb_options.trace_path = next();
     } else if (arg == "--metrics-out") {
@@ -357,6 +377,12 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!imb_options.tuning_path.empty()) {
+      // Every comm built from here on consults the table under kAuto.
+      hpcx::xmpi::tuner::set_default_table(
+          std::make_shared<const hpcx::xmpi::tuner::TuningTable>(
+              hpcx::xmpi::tuner::TuningTable::load(imb_options.tuning_path)));
+    }
     std::optional<hpcx::mach::MachineConfig> machine;
     if (!real_threads) machine = find_machine(machine_name);
     if (suite == "hpcc") {

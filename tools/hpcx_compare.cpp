@@ -1,24 +1,34 @@
-// hpcx_compare — diff two run records written with --metrics-out.
+// hpcx_compare — diff two run records written with --metrics-out, or
+// two hpcx-tuning/1 tables written by hpcx_tune (the schema field of
+// the first file decides which mode runs).
 //
 //   hpcx_compare baseline.json candidate.json        # exit 1 on regression
 //   hpcx_compare baseline.json candidate.json --threshold 0.10
+//   hpcx_compare old.tuning.json new.tuning.json     # tuning-table diff
 //   hpcx_compare --perturb 1.10 in.json out.json     # synthesise a known
 //                                                    # regression (testing)
 //
 // Every metric present in both records is compared in its own "better"
 // direction; the per-metric tolerance is the larger of --threshold and
 // the noise floor derived from the records' repeat statistics. See
-// src/metrics/compare.hpp for the engine.
+// src/metrics/compare.hpp for the engine. Tuning tables are compared
+// cell by cell (src/xmpi/tuner/tuning_table.hpp): algorithm changes are
+// reported, time regressions beyond the same threshold/CoV tolerance
+// fail the comparison.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/json.hpp"
 #include "core/table.hpp"
 #include "metrics/compare.hpp"
 #include "metrics/run_record.hpp"
+#include "xmpi/tuner/tuning_table.hpp"
 
 namespace {
 
@@ -57,6 +67,54 @@ int perturb_mode(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+}
+
+/// The "schema" field of a JSON file, or "" when unreadable/absent.
+std::string sniff_schema(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return "";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  JsonValue root;
+  if (!json_parse(buf.str(), root) || !root.is_object()) return "";
+  return root.string_or("schema", "");
+}
+
+int compare_tuning(const std::string& baseline_path,
+                   const std::string& candidate_path,
+                   const metrics::CompareOptions& options, bool quiet) {
+  using xmpi::tuner::TuningTable;
+  const TuningTable baseline = TuningTable::load(baseline_path);
+  const TuningTable candidate = TuningTable::load(candidate_path);
+  const xmpi::tuner::TuningDiff diff =
+      xmpi::tuner::diff_tables(baseline, candidate, options.rel_threshold,
+                               options.cov_multiple);
+  if (!quiet) {
+    Table t("Tuning-table diff: " + baseline.machine + " baseline vs " +
+            candidate.machine + " candidate");
+    t.set_header({"collective", "np", "class", "baseline", "candidate",
+                  "delta", "verdict"});
+    for (const auto& e : diff.entries) {
+      char delta[32];
+      std::snprintf(delta, sizeof delta, "%+.1f%%", e.rel_delta * 100.0);
+      t.add_row({xmpi::tuner::to_string(e.baseline.coll),
+                 std::to_string(e.baseline.np),
+                 std::to_string(e.baseline.size_class), e.baseline.alg,
+                 e.candidate.alg, delta,
+                 e.regressed     ? "REGRESSED"
+                 : e.alg_changed ? "alg changed"
+                                 : "slower"});
+    }
+    t.print(std::cout);
+  }
+  std::cout << (diff.regression() ? "FAIL" : "PASS") << ": "
+            << diff.entries.size() << " changed cell(s) across "
+            << diff.compared << " shared key(s)";
+  if (diff.only_baseline + diff.only_candidate > 0)
+    std::cout << " (" << diff.only_baseline << " only in baseline, "
+              << diff.only_candidate << " only in candidate)";
+  std::cout << "\n";
+  return diff.regression() ? 1 : 0;
 }
 
 }  // namespace
@@ -100,6 +158,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (sniff_schema(paths[0]) == "hpcx-tuning/1")
+      return compare_tuning(paths[0], paths[1], options, quiet);
     const metrics::RunRecord baseline = metrics::RunRecord::load(paths[0]);
     const metrics::RunRecord candidate = metrics::RunRecord::load(paths[1]);
     const metrics::CompareResult result =

@@ -1,0 +1,255 @@
+// hpcx_tune — empirical collective autotuner front end.
+//
+// Tune a simulated paper machine (or the real thread backend) and write
+// the winners as a persistent hpcx-tuning/1 JSON table:
+//
+//   hpcx_tune --machine sx8 --cpus 32 --out sx8.tuning.json
+//   hpcx_tune --threads 4 --max-bytes 65536 --out host.tuning.json
+//   hpcx_tune --machine altix_bx2 --cpus 64 --collective allreduce
+//
+// Verify a table end to end: load it, install it as the process-wide
+// default, replay each tuned collective with a trace recorder attached,
+// and check the per-(collective, algorithm) dispatch counters show the
+// tuned choice actually ran:
+//
+//   hpcx_tune --verify sx8.tuning.json
+//
+// Tables are consumed by hpcx_cli --tuning <file> and diffed across
+// commits with hpcx_compare <old.json> <new.json>.
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+#include "machine/registry.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+#include "xmpi/tuner/autotune.hpp"
+#include "xmpi/tuner/tuning_table.hpp"
+
+namespace {
+
+using namespace hpcx;
+using xmpi::tuner::Cell;
+using xmpi::tuner::Collective;
+using xmpi::tuner::TuneOptions;
+using xmpi::tuner::TuningTable;
+
+void usage() {
+  std::printf(
+      "usage: hpcx_tune [options]\n"
+      "  --machine <name>      simulated machine to tune (default: sx8)\n"
+      "  --cpus <n>            rank count to tune at (default: 32)\n"
+      "  --threads <n>         tune the REAL thread backend instead\n"
+      "  --collective <name>   restrict to one collective (repeatable:\n"
+      "                        bcast|allreduce|allgather|alltoall|\n"
+      "                        reduce_scatter; default: all)\n"
+      "  --min-bytes <n>       smallest message size (default: 8)\n"
+      "  --max-bytes <n>       largest message size (default: 1048576)\n"
+      "  --iters <n>           ops per timing (default: sim 1, threads 8)\n"
+      "  --repeats <n>         timings per cell (default: sim 1, threads 3)\n"
+      "  --out <file>          write the hpcx-tuning/1 JSON table\n"
+      "  --verify <file>       load a table, replay the tuned collectives\n"
+      "                        and check the dispatch counters (exit 1 on\n"
+      "                        any tuned choice that did not run)\n");
+}
+
+std::string utc_timestamp() {
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+trace::CollOp coll_op_of(Collective c) {
+  switch (c) {
+    case Collective::kBcast:
+      return trace::CollOp::kBcast;
+    case Collective::kAllreduce:
+      return trace::CollOp::kAllreduce;
+    case Collective::kAllgather:
+      return trace::CollOp::kAllgather;
+    case Collective::kAlltoall:
+      return trace::CollOp::kAlltoall;
+    case Collective::kReduceScatter:
+      return trace::CollOp::kReduceScatter;
+  }
+  return trace::CollOp::kBcast;
+}
+
+/// trace::AlgId whose to_string matches the xmpi algorithm name (the
+/// two layers use identical names by construction).
+bool alg_id_by_name(const std::string& name, trace::AlgId& out) {
+  for (std::size_t a = 0; a < trace::kNumAlgIds; ++a) {
+    const auto id = static_cast<trace::AlgId>(a);
+    if (name == trace::to_string(id)) {
+      out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+int verify_table(const std::string& path, int cpus_override) {
+  const TuningTable table = TuningTable::load(path);
+  if (table.empty()) {
+    std::fprintf(stderr, "verify: %s holds no cells\n", path.c_str());
+    return 1;
+  }
+  int np = cpus_override;
+  if (np <= 0)
+    for (const Cell& c : table.cells()) np = std::max(np, c.np);
+
+  // What should dispatch at this np: replay each cell's size-class lower
+  // bound through the same nearest-cell lookup kAuto uses.
+  struct Expectation {
+    Collective coll;
+    std::size_t bytes;
+    trace::AlgId alg;
+    std::string name;
+  };
+  std::vector<Expectation> expected;
+  for (const Cell& c : table.cells()) {
+    const std::size_t bytes =
+        c.size_class >= 1 ? std::size_t{1} << (c.size_class - 1) : 1;
+    const Cell* hit = table.lookup(c.coll, np, bytes);
+    if (hit == nullptr || hit->alg == "auto") continue;
+    trace::AlgId id;
+    if (!alg_id_by_name(hit->alg, id)) {
+      std::fprintf(stderr, "verify: unknown algorithm \"%s\" in %s\n",
+                   hit->alg.c_str(), path.c_str());
+      return 1;
+    }
+    expected.push_back({c.coll, bytes, id, hit->alg});
+  }
+
+  const bool threads = table.machine == "threads";
+  trace::Recorder recorder(np);
+  xmpi::tuner::set_default_table(
+      std::make_shared<const TuningTable>(table));
+  auto body = [&](xmpi::Comm& c) {
+    for (const Expectation& e : expected)
+      xmpi::tuner::measure_collective(c, e.coll, e.bytes, 1,
+                                      /*phantom=*/!threads);
+  };
+  try {
+    if (threads) {
+      xmpi::ThreadRunOptions options;
+      options.recorder = &recorder;
+      xmpi::run_on_threads(np, body, options);
+    } else {
+      xmpi::SimRunOptions options;
+      options.recorder = &recorder;
+      xmpi::run_on_machine(mach::machine_by_name(table.machine), np, body,
+                           options);
+    }
+  } catch (...) {
+    xmpi::tuner::set_default_table(nullptr);
+    throw;
+  }
+  xmpi::tuner::set_default_table(nullptr);
+
+  recorder.alg_table().print(std::cout);
+  const trace::Counters total = recorder.total();
+  int failures = 0;
+  for (const Expectation& e : expected) {
+    const auto op = static_cast<std::size_t>(coll_op_of(e.coll));
+    const auto alg = static_cast<std::size_t>(e.alg);
+    if (total.alg_dispatch[op][alg] == 0) {
+      std::fprintf(stderr,
+                   "verify: %s at %zu B should dispatch %s but did not\n",
+                   xmpi::tuner::to_string(e.coll), e.bytes, e.name.c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  std::cout << "verify: all " << expected.size()
+            << " tuned choices dispatched on " << table.machine << " at np="
+            << np << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine_name = "sx8";
+  std::string out_path;
+  std::string verify_path;
+  int cpus = 0;  // 0: default 32 for tuning, table-derived for --verify
+  bool threads = false;
+  TuneOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--machine") {
+      machine_name = next();
+    } else if (arg == "--cpus") {
+      cpus = std::atoi(next());
+    } else if (arg == "--threads") {
+      cpus = std::atoi(next());
+      threads = true;
+    } else if (arg == "--collective") {
+      Collective c;
+      const char* name = next();
+      if (!xmpi::tuner::parse(name, c)) {
+        std::fprintf(stderr, "unknown collective: %s\n", name);
+        return 2;
+      }
+      opts.collectives.push_back(c);
+    } else if (arg == "--min-bytes") {
+      opts.min_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-bytes") {
+      opts.max_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--iters") {
+      opts.iters = std::atoi(next());
+    } else if (arg == "--repeats") {
+      opts.repeats = std::atoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--verify") {
+      verify_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (!verify_path.empty()) return verify_table(verify_path, cpus);
+    const int nranks = cpus > 0 ? cpus : 32;
+    TuningTable table =
+        threads ? xmpi::tuner::autotune_threads(nranks, opts)
+                : xmpi::tuner::autotune(mach::machine_by_name(machine_name),
+                                        nranks, opts);
+    table.created = utc_timestamp();
+    table.summary_table().print(std::cout);
+    if (!out_path.empty()) {
+      table.write_json(out_path);
+      std::cout << "tuning table written to " << out_path << " ("
+                << table.cells().size() << " cells)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
