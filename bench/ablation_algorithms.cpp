@@ -1,12 +1,13 @@
 // Ablation: collective-algorithm choice per network. DESIGN.md calls out
 // that the figure shapes depend on the size-based algorithm switches
 // production MPIs use; this bench quantifies that by forcing each
-// algorithm explicitly and timing it on each simulated machine.
+// algorithm explicitly and timing it on each simulated machine. Every
+// (variant, machine) cell is one kCustom sweep point on the shared
+// --jobs/--cache executor. See harness.hpp for the shared flags.
 #include <functional>
-#include <iostream>
 
-#include "core/table.hpp"
 #include "core/units.hpp"
+#include "harness.hpp"
 #include "machine/registry.hpp"
 #include "xmpi/comm.hpp"
 #include "xmpi/sim_comm.hpp"
@@ -19,31 +20,17 @@ constexpr std::size_t kMsg = 1 << 20;
 constexpr std::size_t kCount = kMsg / 8;
 constexpr int kCpus = 64;
 
-double time_us(const hpcx::mach::MachineConfig& m,
-               const std::function<void(Comm&)>& tune,
-               const std::function<void(Comm&)>& op) {
-  double us = 0;
-  hpcx::xmpi::run_on_machine(m, kCpus, [&](Comm& c) {
-    tune(c);
-    op(c);  // warm-up
-    c.barrier();
-    const double t0 = c.now();
-    op(c);
-    c.barrier();  // cover full delivery, not just the initiator's sends
-    if (c.rank() == 0) us = (c.now() - t0) * 1e6;
-  });
-  return us;
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcx;
   using xmpi::AllgatherAlg;
   using xmpi::AllreduceAlg;
   using xmpi::BcastAlg;
   using xmpi::phantom_cbuf;
   using xmpi::phantom_mbuf;
+  bench::Runner runner(argc, argv,
+                       "Ablation: collective algorithm choice at 1 MB");
 
   auto bcast_op = [](Comm& c) { c.bcast(phantom_mbuf(kMsg), 0); };
   auto allreduce_op = [](Comm& c) {
@@ -86,24 +73,62 @@ int main() {
        allgather_op},
   };
 
-  hpcx::Table t("Ablation: collective algorithm choice at 1 MB, " +
-                std::to_string(kCpus) + " CPUs (us/call)");
-  std::vector<std::string> header{"Collective", "Algorithm"};
   std::vector<mach::MachineConfig> machines;
-  for (const auto& m : mach::paper_machines())
-    if (m.max_cpus >= kCpus) machines.push_back(m);
+  for (const auto& m : mach::paper_machines()) {
+    if (m.max_cpus < kCpus) continue;
+    if (runner.has_machine() && m.short_name != runner.options().machine)
+      continue;
+    machines.push_back(m);
+  }
+
+  // Row-major (variant, machine) point batch; the workload name carries
+  // the forced algorithm so each cell has its own cache address.
+  std::vector<report::SweepPoint> points;
+  for (const auto& v : variants)
+    for (const auto& m : machines) {
+      report::SweepPoint pt;
+      pt.workload = report::SweepWorkload::kCustom;
+      pt.workload_name = std::string("ablation/alg/") + v.collective + "/" +
+                         v.algorithm;
+      pt.machine = m;
+      pt.np = kCpus;
+      pt.msg_bytes = kMsg;
+      pt.run = [m, tune = v.tune, op = v.op](trace::Recorder*) {
+        double us = 0;
+        xmpi::run_on_machine(m, kCpus, [&](Comm& c) {
+          tune(c);
+          op(c);  // warm-up
+          c.barrier();
+          const double t0 = c.now();
+          op(c);
+          c.barrier();  // cover full delivery, not just initiator sends
+          if (c.rank() == 0) us = (c.now() - t0) * 1e6;
+        });
+        report::SweepResult out;
+        out.set("t_us", us);
+        return out;
+      };
+      points.push_back(std::move(pt));
+    }
+  const report::SweepRun run = runner.executor().run(std::move(points));
+
+  Table t("Ablation: collective algorithm choice at 1 MB, " +
+          std::to_string(kCpus) + " CPUs (us/call)");
+  std::vector<std::string> header{"Collective", "Algorithm"};
   for (const auto& m : machines) header.push_back(m.name);
   t.set_header(std::move(header));
-  for (const auto& v : variants) {
-    std::vector<std::string> row{v.collective, v.algorithm};
-    for (const auto& m : machines)
-      row.push_back(format_fixed(time_us(m, v.tune, v.op), 1));
+  for (std::size_t v = 0; v < std::size(variants); ++v) {
+    std::vector<std::string> row{variants[v].collective,
+                                 variants[v].algorithm};
+    for (std::size_t i = 0; i < machines.size(); ++i)
+      row.push_back(format_fixed(
+          run.results[v * machines.size() + i].get("t_us"), 1));
     t.add_row(std::move(row));
   }
   t.add_note("the size-switched defaults pick the bandwidth-optimal "
              "algorithm at 1 MB; the latency-optimal variants lose by the "
              "factor shown — the switch points are what the paper's "
              "figures implicitly measure");
-  t.print(std::cout);
+  runner.emit(t);
   return 0;
 }

@@ -3,10 +3,11 @@
 // non-blocking fat tree, the paper's 3:1-tapered fat tree, a 2:1 Clos,
 // and a full crossbar — isolating how much of the Alltoall/random-ring
 // behaviour is the *network*, which is the paper's central question.
-#include <iostream>
-
-#include "core/table.hpp"
+// Each (variant, cpus, pattern) cell is one kCustom sweep point — the
+// variants differ in topology fields, so their model fingerprints give
+// them distinct cache addresses. See harness.hpp for the shared flags.
 #include "core/units.hpp"
+#include "harness.hpp"
 #include "hpcc/ring.hpp"
 #include "machine/registry.hpp"
 #include "xmpi/sim_comm.hpp"
@@ -26,9 +27,61 @@ MachineConfig with_topology(const char* label, hpcx::mach::TopologyKind kind,
   return m;
 }
 
+hpcx::report::SweepPoint alltoall_point(const MachineConfig& m, int cpus) {
+  hpcx::report::SweepPoint pt;
+  pt.workload = hpcx::report::SweepWorkload::kCustom;
+  pt.workload_name = "ablation/topo/alltoall";
+  pt.machine = m;
+  pt.np = cpus;
+  pt.msg_bytes = 1 << 20;
+  pt.run = [m, cpus](hpcx::trace::Recorder*) {
+    double us = 0;
+    hpcx::xmpi::run_on_machine(m, cpus, [&](hpcx::xmpi::Comm& c) {
+      const std::size_t total =
+          (std::size_t{1} << 20) * static_cast<std::size_t>(c.size());
+      auto op = [&] {
+        c.alltoall(hpcx::xmpi::phantom_cbuf(total),
+                   hpcx::xmpi::phantom_mbuf(total));
+      };
+      op();
+      c.barrier();
+      const double t0 = c.now();
+      op();
+      if (c.rank() == 0) us = (c.now() - t0) * 1e6;
+    });
+    hpcx::report::SweepResult out;
+    out.set("t_us", us);
+    return out;
+  };
+  return pt;
+}
+
+hpcx::report::SweepPoint ring_point(const MachineConfig& m, int cpus) {
+  hpcx::report::SweepPoint pt;
+  pt.workload = hpcx::report::SweepWorkload::kCustom;
+  pt.workload_name = "ablation/topo/random_ring";
+  pt.machine = m;
+  pt.np = cpus;
+  pt.msg_bytes = 1 << 20;
+  pt.run = [m, cpus](hpcx::trace::Recorder*) {
+    double bw = 0;
+    hpcx::xmpi::run_on_machine(m, cpus, [&](hpcx::xmpi::Comm& c) {
+      const auto r = hpcx::hpcc::run_random_ring(c, 1 << 20, 2, 2, 0xB0EFF,
+                                                 /*phantom=*/true);
+      if (c.rank() == 0) bw = r.bandwidth_per_cpu_Bps;
+    });
+    hpcx::report::SweepResult out;
+    out.set("bw_Bps", bw);
+    return out;
+  };
+  return pt;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hpcx::bench::Runner runner(argc, argv,
+                             "Ablation: interconnect topology contribution");
   const MachineConfig variants[] = {
       with_topology("fat-tree 1:1", hpcx::mach::TopologyKind::kFatTree, 1.0),
       with_topology("fat-tree 3:1 (paper)", hpcx::mach::TopologyKind::kFatTree,
@@ -37,43 +90,32 @@ int main() {
       with_topology("crossbar", hpcx::mach::TopologyKind::kCrossbar, 1.0),
   };
 
+  // Four points per variant, in row order: alltoall@64, alltoall@256,
+  // ring@64, ring@256.
+  std::vector<hpcx::report::SweepPoint> points;
+  for (const auto& m : variants) {
+    for (const int cpus : {64, 256}) points.push_back(alltoall_point(m, cpus));
+    for (const int cpus : {64, 256}) points.push_back(ring_point(m, cpus));
+  }
+  const hpcx::report::SweepRun run = runner.executor().run(std::move(points));
+
   hpcx::Table t(
       "Ablation: interconnect topology on the Xeon node/NIC model "
       "(Alltoall 1 MB us/call; random-ring MB/s per CPU)");
   t.set_header({"Topology", "Alltoall@64", "Alltoall@256", "RingBW@64",
                 "RingBW@256"});
-  for (const auto& m : variants) {
-    std::vector<std::string> row{m.name};
-    for (const int cpus : {64, 256}) {
-      double us = 0;
-      hpcx::xmpi::run_on_machine(m, cpus, [&](hpcx::xmpi::Comm& c) {
-        const std::size_t total =
-            (std::size_t{1} << 20) * static_cast<std::size_t>(c.size());
-        auto op = [&] {
-          c.alltoall(hpcx::xmpi::phantom_cbuf(total),
-                     hpcx::xmpi::phantom_mbuf(total));
-        };
-        op();
-        c.barrier();
-        const double t0 = c.now();
-        op();
-        if (c.rank() == 0) us = (c.now() - t0) * 1e6;
-      });
-      row.push_back(hpcx::format_fixed(us, 0));
-    }
-    for (const int cpus : {64, 256}) {
-      double bw = 0;
-      hpcx::xmpi::run_on_machine(m, cpus, [&](hpcx::xmpi::Comm& c) {
-        const auto r = hpcx::hpcc::run_random_ring(c, 1 << 20, 2, 2, 0xB0EFF,
-                                                   /*phantom=*/true);
-        if (c.rank() == 0) bw = r.bandwidth_per_cpu_Bps;
-      });
-      row.push_back(hpcx::format_fixed(bw / 1e6, 1));
-    }
+  for (std::size_t v = 0; v < std::size(variants); ++v) {
+    std::vector<std::string> row{variants[v].name};
+    row.push_back(hpcx::format_fixed(run.results[4 * v].get("t_us"), 0));
+    row.push_back(hpcx::format_fixed(run.results[4 * v + 1].get("t_us"), 0));
+    row.push_back(
+        hpcx::format_fixed(run.results[4 * v + 2].get("bw_Bps") / 1e6, 1));
+    row.push_back(
+        hpcx::format_fixed(run.results[4 * v + 3].get("bw_Bps") / 1e6, 1));
     t.add_row(std::move(row));
   }
   t.add_note("tapered/over-subscribed cores slow Alltoall and random rings; "
              "the crossbar is the upper bound the NIC allows");
-  t.print(std::cout);
+  runner.emit(t);
   return 0;
 }

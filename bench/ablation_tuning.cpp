@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   for (const auto& m : machines)
     for (const Probe& p : probes)
       runner.emit(report::tuning_ablation_table(m.short_name, p.collective,
-                                                p.msg_bytes, counts));
+                                                p.msg_bytes, counts,
+                                                &runner.executor()));
   return 0;
 }

@@ -2,7 +2,9 @@
 // promised to evaluate ("Linux clusters with different networks, IBM
 // Blue Gene/P, Cray XT4, Cray X1E and a cluster of IBM POWER5+"),
 // run through the same IMB 1 MB battery and the HPCC balance metrics.
-// See harness.hpp for the shared flags.
+// The battery and the balance view are each one sweep batch (per-machine
+// CPU counts, so the points are built directly), executed on the shared
+// --jobs/--cache executor. See harness.hpp for the shared flags.
 #include <algorithm>
 
 #include "core/units.hpp"
@@ -10,7 +12,6 @@
 #include "hpcc/driver.hpp"
 #include "imb/imb.hpp"
 #include "machine/future.hpp"
-#include "report/series.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpcx;
@@ -24,47 +25,72 @@ int main(int argc, char** argv) {
       return m.short_name != runner.options().machine;
     });
 
-  // IMB 1 MB battery.
+  // IMB 1 MB battery: benchmark-major point batch (each machine capped
+  // at its own CPU count), mirroring the table's row-major cells.
+  const imb::BenchmarkId battery[] = {
+      imb::BenchmarkId::kBarrier, imb::BenchmarkId::kAllreduce,
+      imb::BenchmarkId::kAlltoall, imb::BenchmarkId::kBcast,
+      imb::BenchmarkId::kSendrecv};
+  std::vector<report::SweepPoint> points;
+  for (const auto id : battery) {
+    for (const auto& m : machines) {
+      report::SweepPoint pt;
+      pt.workload = report::SweepWorkload::kImb;
+      pt.workload_name = std::string("imb/") + imb::to_string(id);
+      pt.imb_id = id;
+      pt.machine = m;
+      pt.np = std::min(kCpus, m.max_cpus);
+      pt.msg_bytes = id == imb::BenchmarkId::kBarrier ? 0 : (1 << 20);
+      pt.repetitions = runner.options().repeats;
+      points.push_back(std::move(pt));
+    }
+  }
+  const report::SweepRun imb_run = runner.executor().run(std::move(points));
+
   Table imb_table("Future systems: IMB at 1 MB, " + std::to_string(kCpus) +
                   " CPUs");
   std::vector<std::string> header{"Benchmark"};
   for (const auto& m : machines) header.push_back(m.name);
   imb_table.set_header(std::move(header));
-  report::MeasureOptions measure_options;
-  measure_options.repetitions = runner.options().repeats;
-  for (const auto id :
-       {imb::BenchmarkId::kBarrier, imb::BenchmarkId::kAllreduce,
-        imb::BenchmarkId::kAlltoall, imb::BenchmarkId::kBcast,
-        imb::BenchmarkId::kSendrecv}) {
-    std::vector<std::string> row{imb::to_string(id)};
-    for (const auto& m : machines) {
-      const int cpus = std::min(kCpus, m.max_cpus);
-      const auto r = report::measure_imb(
-          m, cpus, id, id == imb::BenchmarkId::kBarrier ? 0 : (1 << 20),
-          measure_options);
-      if (id == imb::BenchmarkId::kSendrecv)
-        row.push_back(format_bandwidth(r.bandwidth_Bps));
+  for (std::size_t b = 0; b < std::size(battery); ++b) {
+    std::vector<std::string> row{imb::to_string(battery[b])};
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      const report::SweepResult& r =
+          imb_run.results[b * machines.size() + i];
+      if (battery[b] == imb::BenchmarkId::kSendrecv)
+        row.push_back(format_bandwidth(r.get("bandwidth_Bps")));
       else
-        row.push_back(format_fixed(r.t_avg_s * 1e6, 1) + " us");
+        row.push_back(format_fixed(r.get("t_avg_s") * 1e6, 1) + " us");
     }
     imb_table.add_row(std::move(row));
   }
   runner.emit(imb_table);
 
   // HPCC balance view (the paper's Figs 2/4 analysis on the new set).
+  std::vector<report::SweepPoint> hpcc_points;
+  for (const auto& m : machines) {
+    report::SweepPoint pt;
+    pt.workload = report::SweepWorkload::kHpcc;
+    pt.workload_name = "hpcc";
+    pt.machine = m;
+    pt.np = std::min(kCpus, m.max_cpus);
+    pt.parts.ptrans = pt.parts.random_access = pt.parts.fft = false;
+    hpcc_points.push_back(std::move(pt));
+  }
+  const report::SweepRun bal_run =
+      runner.executor().run(std::move(hpcc_points));
+
   Table bal("Future systems: HPCC balance at " + std::to_string(kCpus) +
             " CPUs");
   bal.set_header({"Machine", "G-HPL (Tflop/s)", "RingBW/HPL (B/kFlop)",
                   "Stream/HPL (B/F)"});
-  for (const auto& m : machines) {
-    const int cpus = std::min(kCpus, m.max_cpus);
-    hpcc::HpccParts parts;
-    parts.ptrans = parts.random_access = parts.fft = false;
-    const auto r = hpcc::run_hpcc_sim(m, cpus, {}, parts);
-    bal.add_row({m.name, format_fixed(r.g_hpl_flops / 1e12, 4),
-                 format_fixed(r.ring_bw_Bps * cpus / r.g_hpl_flops * 1e3, 1),
-                 format_fixed(r.ep_stream_copy_Bps * cpus / r.g_hpl_flops,
-                              2)});
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    const report::SweepResult& r = bal_run.results[i];
+    const int cpus = bal_run.points[i].np;
+    const double hpl = r.get("g_hpl_flops");
+    bal.add_row({machines[i].name, format_fixed(hpl / 1e12, 4),
+                 format_fixed(r.get("ring_bw_Bps") * cpus / hpl * 1e3, 1),
+                 format_fixed(r.get("ep_stream_copy_Bps") * cpus / hpl, 2)});
   }
   bal.add_note("torus machines (BG/P, XT4) trade bisection for cost and "
                "scale; the GigE cluster anchors the low end — the same "

@@ -1,51 +1,58 @@
 // Extension: IMB "-multi" mode — the same collective run concurrently by
 // disjoint groups sharing the fabric. Shows how much of each machine's
 // headline (single-group) number survives when the network is shared,
-// which is the regime real mixed workloads operate in. See harness.hpp
-// for the shared flags.
+// which is the regime real mixed workloads operate in. The isolated and
+// shared runs are independent sweep points (kImb with a groups knob),
+// so --jobs/--cache apply. See harness.hpp for the shared flags.
 #include "core/units.hpp"
 #include "harness.hpp"
 #include "imb/imb.hpp"
 #include "machine/registry.hpp"
-#include "xmpi/sim_comm.hpp"
-
-namespace {
-
-double alltoall_us(const hpcx::mach::MachineConfig& m, int cpus, int groups,
-                   int repetitions) {
-  double us = 0;
-  hpcx::xmpi::run_on_machine(m, cpus, [&](hpcx::xmpi::Comm& c) {
-    hpcx::imb::ImbParams p;
-    p.msg_bytes = 1 << 20;
-    p.phantom = true;
-    p.repetitions = repetitions;
-    p.groups = groups;
-    const auto r =
-        hpcx::imb::run_benchmark(hpcx::imb::BenchmarkId::kAlltoall, c, p);
-    if (c.rank() == 0) us = r.t_avg_s * 1e6;
-  });
-  return us;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hpcx;
   constexpr int kCpus = 64;
   bench::Runner runner(argc, argv,
                        "IMB -multi: shared-fabric Alltoall penalty");
-  Table t("IMB -multi: Alltoall 1 MB on 16-rank groups, isolated vs 4 "
-          "concurrent groups on 64 CPUs (us/call)");
-  t.set_header({"Machine", "isolated (16 CPUs)", "4 groups of 16",
-                "sharing penalty"});
+
+  std::vector<mach::MachineConfig> machines;
   for (const auto& m : mach::paper_machines()) {
     if (m.max_cpus < kCpus) continue;
     if (runner.has_machine() && m.short_name != runner.options().machine)
       continue;
-    const int reps = runner.options().repeats;
-    const double isolated = alltoall_us(m, 16, 1, reps);
-    const double shared = alltoall_us(m, kCpus, 4, reps);
-    t.add_row({m.name, format_fixed(isolated, 1) + " us",
+    machines.push_back(m);
+  }
+
+  // Two points per machine: one 16-rank group in isolation, and four
+  // concurrent 16-rank groups sharing the 64-CPU fabric.
+  auto make_point = [&](const mach::MachineConfig& m, int cpus, int groups) {
+    report::SweepPoint pt;
+    pt.workload = report::SweepWorkload::kImb;
+    pt.workload_name = std::string("imb/") +
+                       imb::to_string(imb::BenchmarkId::kAlltoall);
+    pt.imb_id = imb::BenchmarkId::kAlltoall;
+    pt.machine = m;
+    pt.np = cpus;
+    pt.msg_bytes = 1 << 20;
+    pt.repetitions = runner.options().repeats;
+    pt.groups = groups;
+    return pt;
+  };
+  std::vector<report::SweepPoint> points;
+  for (const auto& m : machines) {
+    points.push_back(make_point(m, 16, 1));
+    points.push_back(make_point(m, kCpus, 4));
+  }
+  const report::SweepRun run = runner.executor().run(std::move(points));
+
+  Table t("IMB -multi: Alltoall 1 MB on 16-rank groups, isolated vs 4 "
+          "concurrent groups on 64 CPUs (us/call)");
+  t.set_header({"Machine", "isolated (16 CPUs)", "4 groups of 16",
+                "sharing penalty"});
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    const double isolated = run.results[2 * i].get("t_avg_s") * 1e6;
+    const double shared = run.results[2 * i + 1].get("t_avg_s") * 1e6;
+    t.add_row({machines[i].name, format_fixed(isolated, 1) + " us",
                format_fixed(shared, 1) + " us",
                format_fixed(shared / isolated, 2) + "x"});
   }

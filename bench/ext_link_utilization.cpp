@@ -2,64 +2,115 @@
 // list the busiest links of each machine's fabric — showing *where* each
 // topology saturates (tapered Clos spines on the Xeon, node downlinks on
 // the crossbar, core links on the fat tree). This is the diagnostic view
-// behind the paper's "total communications capacity" discussion.
+// behind the paper's "total communications capacity" discussion. Each
+// machine is one kCustom sweep point (the hottest-link rows travel in
+// the SweepResult, so --cache memoises them too).
 //
 // With --trace-out the selected machine's run (or the first paper
-// machine's) is recorded and the per-link utilisation/backlog curves are
-// exported as Perfetto counter tracks.
+// machine's) is re-run with a recorder — simulation is deterministic, so
+// the traced run matches the sweep point — and the per-link
+// utilisation/backlog curves are exported as Perfetto counter tracks.
 #include "core/units.hpp"
 #include "harness.hpp"
 #include "machine/registry.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
 
+namespace {
+
+constexpr std::size_t kTopLinks = 5;
+
+void alltoall_1mb(hpcx::xmpi::Comm& c) {
+  const std::size_t total =
+      (std::size_t{1} << 20) * static_cast<std::size_t>(c.size());
+  c.alltoall(hpcx::xmpi::phantom_cbuf(total), hpcx::xmpi::phantom_mbuf(total));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hpcx;
   bench::Runner runner(argc, argv,
                        "Hottest links per machine, Alltoall 1 MB");
   const int cpus = runner.options().cpus > 0 ? runner.options().cpus : 64;
-  bool traced = false;
+
+  std::vector<report::SweepPoint> points;
   for (const auto& m : mach::paper_machines()) {
     if (m.max_cpus < cpus) continue;
     if (runner.has_machine() && m.short_name != runner.options().machine)
       continue;
-    const auto rank_fn = [](xmpi::Comm& c) {
-      const std::size_t total =
-          (std::size_t{1} << 20) * static_cast<std::size_t>(c.size());
-      c.alltoall(xmpi::phantom_cbuf(total), xmpi::phantom_mbuf(total));
+    report::SweepPoint pt;
+    pt.workload = report::SweepWorkload::kCustom;
+    pt.workload_name = "ext/link_utilization";
+    pt.machine = m;
+    pt.np = cpus;
+    pt.msg_bytes = 1 << 20;
+    pt.run = [m, cpus](trace::Recorder*) {
+      const auto run = xmpi::run_on_machine(m, cpus, alltoall_1mb);
+      report::SweepResult out;
+      out.set("makespan_s", run.makespan_s);
+      out.set("internode_messages",
+              static_cast<double>(run.internode_messages));
+      std::size_t shown = 0;
+      for (const auto& l : run.hottest_links) {
+        if (shown >= kTopLinks) break;
+        const std::string key = "link" + std::to_string(shown);
+        out.set_text(key, l.from + " -> " + l.to);
+        out.set(key + "_messages", static_cast<double>(l.messages));
+        out.set(key + "_bytes", static_cast<double>(l.bytes));
+        out.set(key + "_busy_s", l.busy_s);
+        out.set(key + "_queued_s", l.queued_s);
+        ++shown;
+      }
+      out.set("links", static_cast<double>(shown));
+      return out;
     };
+    points.push_back(std::move(pt));
+  }
+  const report::SweepRun run = runner.executor().run(std::move(points));
+
+  // Traced representative: first qualifying machine (or the --machine
+  // selection), re-run with a recorder attached.
+  if ((runner.wants_trace() || runner.wants_metrics()) &&
+      !run.points.empty()) {
+    const mach::MachineConfig& m = run.points.front().machine;
     xmpi::SimRunOptions sim_options;
     trace::Recorder recorder(cpus);
-    // Trace the first qualifying machine (or the --machine selection):
-    // its link busy/backlog counters become Perfetto counter tracks.
-    const bool trace_this =
-        (runner.wants_trace() || runner.wants_metrics()) && !traced;
-    if (trace_this) sim_options.recorder = &recorder;
-    const auto run = xmpi::run_on_machine(m, cpus, rank_fn, sim_options);
-    if (trace_this) {
-      traced = true;
-      if (runner.wants_metrics()) {
-        runner.record().env.clock = "virtual";
-        runner.record().set_rank_buckets(recorder);
-        runner.record().add_metric("alltoall 1MB x" + std::to_string(cpus) +
-                                       "/" + m.short_name + "/makespan",
-                                   run.makespan_s, "s",
-                                   metrics::Better::kLower);
-      }
-      if (runner.wants_trace()) runner.write_trace(recorder);
+    sim_options.recorder = &recorder;
+    const auto traced =
+        xmpi::run_on_machine(m, cpus, alltoall_1mb, sim_options);
+    if (runner.wants_metrics()) {
+      runner.record().env.clock = "virtual";
+      runner.record().set_rank_buckets(recorder);
+      runner.record().add_metric("alltoall 1MB x" + std::to_string(cpus) +
+                                     "/" + m.short_name + "/makespan",
+                                 traced.makespan_s, "s",
+                                 metrics::Better::kLower);
     }
+    if (runner.wants_trace()) runner.write_trace(recorder);
+  }
+
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const mach::MachineConfig& m = run.points[i].machine;
+    const report::SweepResult& r = run.results[i];
     Table t("Hottest links: " + m.name + " (" + m.network_name +
             "), Alltoall 1 MB x " + std::to_string(cpus) + " CPUs");
     t.set_header({"link", "messages", "volume", "busy", "queued"});
-    std::size_t shown = 0;
-    for (const auto& l : run.hottest_links) {
-      if (++shown > 5) break;
-      t.add_row({l.from + " -> " + l.to, std::to_string(l.messages),
-                 format_bytes(l.bytes), format_time(l.busy_s),
-                 format_time(l.queued_s)});
+    const auto links = static_cast<std::size_t>(r.get("links"));
+    for (std::size_t l = 0; l < links; ++l) {
+      const std::string key = "link" + std::to_string(l);
+      const std::string* name = r.text(key);
+      t.add_row({name != nullptr ? *name : "?",
+                 std::to_string(
+                     static_cast<std::uint64_t>(r.get(key + "_messages"))),
+                 format_bytes(
+                     static_cast<std::uint64_t>(r.get(key + "_bytes"))),
+                 format_time(r.get(key + "_busy_s")),
+                 format_time(r.get(key + "_queued_s"))});
     }
-    t.add_note("makespan " + format_time(run.makespan_s) + ", " +
-               std::to_string(run.internode_messages) +
+    t.add_note("makespan " + format_time(r.get("makespan_s")) + ", " +
+               std::to_string(static_cast<std::uint64_t>(
+                   r.get("internode_messages"))) +
                " inter-node messages");
     runner.emit(t);
   }

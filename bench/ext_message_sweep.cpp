@@ -2,11 +2,12 @@
 // a function of varying message sizes starting from 1 byte to 2 MB for
 // all 11 benchmarks". One table per benchmark: rows = message sizes
 // 1 B .. 2 MB (powers of four), columns = the five machines at 64 CPUs.
-// See harness.hpp for the shared flags (--machine/--cpus/--csv/...).
+// Each benchmark is one declarative SweepSpec with a size axis, so
+// --jobs fans the whole grid across host cores and --cache memoises it.
+// See harness.hpp for the shared flags (--machine/--cpus/--jobs/...).
 #include "core/units.hpp"
 #include "harness.hpp"
 #include "machine/registry.hpp"
-#include "report/series.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpcx;
@@ -19,29 +20,39 @@ int main(int argc, char** argv) {
   for (std::size_t s = 1; s <= (2u << 20); s *= 4) sizes.push_back(s);
   sizes.push_back(2u << 20);
 
-  report::MeasureOptions measure_options;
-  measure_options.repetitions = runner.options().repeats;
+  std::vector<mach::MachineConfig> machines;
+  for (const auto& m : mach::paper_machines()) {
+    if (m.max_cpus < cpus) continue;
+    if (runner.has_machine() && m.short_name != runner.options().machine)
+      continue;
+    machines.push_back(m);
+  }
 
   for (const auto id : imb::paper_benchmarks()) {
     if (id == imb::BenchmarkId::kBarrier) continue;  // size-independent
-    Table t(std::string("Message-size sweep: IMB ") + to_string(id) + ", " +
-            std::to_string(cpus) + " CPUs (us/call)");
+    report::SweepSpec spec;
+    spec.title = std::string("Message-size sweep: IMB ") + to_string(id) +
+                 ", " + std::to_string(cpus) + " CPUs (us/call)";
+    spec.workload = report::SweepWorkload::kImb;
+    spec.imb_id = id;
+    spec.machines = machines;
+    spec.np_set = {cpus};
+    spec.sizes = sizes;
+    spec.repetitions = runner.options().repeats;
+    const report::SweepRun run = runner.run_sweep(spec);
+
+    Table t(spec.title);
     std::vector<std::string> header{"bytes"};
-    std::vector<mach::MachineConfig> machines;
-    for (const auto& m : mach::paper_machines()) {
-      if (m.max_cpus < cpus) continue;
-      if (runner.has_machine() &&
-          m.short_name != runner.options().machine)
-        continue;
-      machines.push_back(m);
-    }
     for (const auto& m : machines) header.push_back(m.name);
     t.set_header(std::move(header));
     for (const std::size_t s : sizes) {
       std::vector<std::string> row{format_bytes(s)};
       for (const auto& m : machines) {
-        const auto r = report::measure_imb(m, cpus, id, s, measure_options);
-        row.push_back(format_fixed(r.t_avg_s * 1e6, 2) + " us");
+        const report::SweepResult* r = run.find(m.short_name, cpus, s);
+        row.push_back(
+            r != nullptr
+                ? format_fixed(r->get("t_avg_s") * 1e6, 2) + " us"
+                : std::string("-"));
       }
       t.add_row(std::move(row));
     }

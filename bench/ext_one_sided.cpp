@@ -1,7 +1,9 @@
 // Extension (the paper's stated future work): one-sided GET/PUT
 // performance with fence synchronisation, across the five machines —
 // unidirectional put and get bandwidth between two nodes, plus the cost
-// of an empty fence epoch. See harness.hpp for the shared flags.
+// of an empty fence epoch. Each machine is one kCustom sweep point (the
+// closure runs its own isolated world), so --jobs/--cache apply. See
+// harness.hpp for the shared flags.
 #include <algorithm>
 
 #include "core/units.hpp"
@@ -17,44 +19,65 @@ int main(int argc, char** argv) {
   bench::Runner runner(argc, argv,
                        "One-sided put/get bandwidth and fence cost");
 
-  Table t("One-sided (fence sync): 1 MB put/get between two nodes, and "
-          "empty-fence cost (16 CPUs)");
-  t.set_header({"Machine", "Put bandwidth", "Get bandwidth", "Fence time"});
+  std::vector<report::SweepPoint> points;
   for (const auto& m : mach::paper_machines()) {
     if (runner.has_machine() && m.short_name != runner.options().machine)
       continue;
     const int cpus = std::min(16, m.max_cpus);
     const int peer = std::min(m.cpus_per_node, cpus - 1);  // first off-node
-    double put_bw = 0, get_bw = 0, fence_us = 0;
-    xmpi::run_on_machine(m, cpus, [&](Comm& c) {
-      xmpi::Window win(c, xmpi::phantom_mbuf(kMsg), 1);
-      win.fence();  // open epoch boundary
+    report::SweepPoint pt;
+    pt.workload = report::SweepWorkload::kCustom;
+    pt.workload_name = "ext/one_sided";
+    pt.machine = m;
+    pt.np = cpus;
+    pt.msg_bytes = kMsg;
+    pt.run = [m, cpus, peer](trace::Recorder*) {
+      double put_bw = 0, get_bw = 0, fence_us = 0;
+      xmpi::run_on_machine(m, cpus, [&](Comm& c) {
+        xmpi::Window win(c, xmpi::phantom_mbuf(kMsg), 1);
+        win.fence();  // open epoch boundary
 
-      c.barrier();
-      double t0 = c.now();
-      if (c.rank() == 0) win.put(peer, 0, xmpi::phantom_cbuf(kMsg));
-      win.fence();
-      const double t_put = c.now() - t0;
+        c.barrier();
+        double t0 = c.now();
+        if (c.rank() == 0) win.put(peer, 0, xmpi::phantom_cbuf(kMsg));
+        win.fence();
+        const double t_put = c.now() - t0;
 
-      c.barrier();
-      t0 = c.now();
-      if (c.rank() == 0) win.get(peer, 0, xmpi::phantom_mbuf(kMsg));
-      win.fence();
-      const double t_get = c.now() - t0;
+        c.barrier();
+        t0 = c.now();
+        if (c.rank() == 0) win.get(peer, 0, xmpi::phantom_mbuf(kMsg));
+        win.fence();
+        const double t_get = c.now() - t0;
 
-      c.barrier();
-      t0 = c.now();
-      for (int i = 0; i < 4; ++i) win.fence();
-      const double t_fence = (c.now() - t0) / 4;
+        c.barrier();
+        t0 = c.now();
+        for (int i = 0; i < 4; ++i) win.fence();
+        const double t_fence = (c.now() - t0) / 4;
 
-      if (c.rank() == 0) {
-        put_bw = static_cast<double>(kMsg) / t_put;
-        get_bw = static_cast<double>(kMsg) / t_get;
-        fence_us = t_fence * 1e6;
-      }
-    });
-    t.add_row({m.name, format_bandwidth(put_bw), format_bandwidth(get_bw),
-               format_fixed(fence_us, 1) + " us"});
+        if (c.rank() == 0) {
+          put_bw = static_cast<double>(kMsg) / t_put;
+          get_bw = static_cast<double>(kMsg) / t_get;
+          fence_us = t_fence * 1e6;
+        }
+      });
+      report::SweepResult out;
+      out.set("put_Bps", put_bw);
+      out.set("get_Bps", get_bw);
+      out.set("fence_us", fence_us);
+      return out;
+    };
+    points.push_back(std::move(pt));
+  }
+  const report::SweepRun run = runner.executor().run(std::move(points));
+
+  Table t("One-sided (fence sync): 1 MB put/get between two nodes, and "
+          "empty-fence cost (16 CPUs)");
+  t.set_header({"Machine", "Put bandwidth", "Get bandwidth", "Fence time"});
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const report::SweepResult& r = run.results[i];
+    t.add_row({run.points[i].machine.name, format_bandwidth(r.get("put_Bps")),
+               format_bandwidth(r.get("get_Bps")),
+               format_fixed(r.get("fence_us"), 1) + " us"});
   }
   t.add_note("get pays one extra network traversal (request + reply), so "
              "its effective bandwidth trails put — matching the MPI-2 "

@@ -8,9 +8,6 @@
 int main(int argc, char** argv) {
   hpcx::bench::Runner runner(
       argc, argv, "Figs 1-2: accumulated random-ring bandwidth vs HPL");
-  hpcx::report::FigureOptions options;
-  options.machine = runner.options().machine;
-  options.cpus = runner.options().cpus;
-  runner.emit(hpcx::report::fig01_02_table(options));
+  runner.emit(hpcx::report::fig01_02_table(runner.figure_options()));
   return 0;
 }

@@ -7,9 +7,6 @@
 int main(int argc, char** argv) {
   hpcx::bench::Runner runner(argc, argv,
                              "Figs 3-4: accumulated EP-STREAM copy vs HPL");
-  hpcx::report::FigureOptions options;
-  options.machine = runner.options().machine;
-  options.cpus = runner.options().cpus;
-  runner.emit(hpcx::report::fig03_04_table(options));
+  runner.emit(hpcx::report::fig03_04_table(runner.figure_options()));
   return 0;
 }

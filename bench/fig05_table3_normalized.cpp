@@ -7,9 +7,8 @@
 int main(int argc, char** argv) {
   hpcx::bench::Runner runner(argc, argv,
                              "Fig 5 + Table 3: normalised HPCC ratios");
-  hpcx::report::FigureOptions options;
-  options.machine = runner.options().machine;
-  for (const hpcx::Table& t : hpcx::report::fig05_table3_tables(options))
+  for (const hpcx::Table& t :
+       hpcx::report::fig05_table3_tables(runner.figure_options()))
     runner.emit(t);
   return 0;
 }

@@ -26,6 +26,10 @@ void usage(const std::string& what) {
       "--list-machines)\n"
       "  --cpus <n>          one CPU count instead of the default sweep\n"
       "  --repeats <n>       repetitions per measurement (default 2)\n"
+      "  --jobs <n>          sweep worker threads (default 1; tables are\n"
+      "                      byte-identical at any job count)\n"
+      "  --cache <file>      persistent sweep result cache\n"
+      "                      (hpcx-sweep-cache/1 JSON)\n"
       "  --csv <file>        also write emitted tables as CSV\n"
       "  --trace-out <file>  write a Chrome/Perfetto trace of one traced "
       "run\n"
@@ -61,6 +65,15 @@ Runner::Runner(int argc, char** argv, std::string what)
       options_.cpus = std::atoi(next());
     } else if (arg == "--repeats") {
       options_.repeats = std::atoi(next());
+    } else if (arg == "--jobs") {
+      options_.jobs = std::atoi(next());
+      if (options_.jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a positive thread count\n");
+        usage(what_);
+        std::exit(2);
+      }
+    } else if (arg == "--cache") {
+      options_.cache_path = next();
     } else if (arg == "--csv") {
       options_.csv_path = next();
     } else if (arg == "--trace-out") {
@@ -87,9 +100,42 @@ Runner::Runner(int argc, char** argv, std::string what)
       std::exit(2);
     }
   }
+  if (!options_.cache_path.empty()) {
+    try {
+      cache_ = std::make_unique<report::ResultCache>(options_.cache_path);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+  }
 }
 
 Runner::~Runner() {
+  if (cache_ != nullptr) {
+    // Report and persist the sweep-cache outcome. The hit-rate metrics
+    // are only recorded when a cache is attached, so cacheless records
+    // stay comparable across commits.
+    const report::SweepStats totals =
+        executor_ != nullptr ? executor_->totals() : report::SweepStats{};
+    if (wants_metrics() && record_ != nullptr && totals.points > 0) {
+      record_->add_metric("sweep/points",
+                          static_cast<double>(totals.points), "points",
+                          metrics::Better::kHigher);
+      record_->add_metric("sweep/cache_hits",
+                          static_cast<double>(totals.cache_hits), "points",
+                          metrics::Better::kHigher);
+      record_->add_metric("sweep/cache_hit_rate", totals.hit_rate(), "",
+                          metrics::Better::kHigher);
+    }
+    try {
+      cache_->flush();
+      std::cout << "sweep cache: " << totals.cache_hits << "/"
+                << totals.points << " points from cache; " << cache_->size()
+                << " entries in " << cache_->path() << "\n";
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write sweep cache: %s\n", e.what());
+    }
+  }
   if (!wants_metrics() || record_ == nullptr) return;
   try {
     record_->write_json(options_.metrics_path);
@@ -134,6 +180,31 @@ void Runner::emit(const Table& table) const {
   table.print_csv(csv);
 }
 
+report::SweepExecutor& Runner::executor() const {
+  if (executor_ == nullptr) {
+    report::SweepExecutor::Config config;
+    config.jobs = options_.jobs;
+    config.cache = cache_.get();
+    executor_ = std::make_unique<report::SweepExecutor>(config);
+  }
+  return *executor_;
+}
+
+report::ResultCache* Runner::cache() const { return cache_.get(); }
+
+report::SweepRun Runner::run_sweep(const report::SweepSpec& spec) const {
+  return executor().run(report::enumerate(spec));
+}
+
+report::FigureOptions Runner::figure_options() const {
+  report::FigureOptions figure_options;
+  figure_options.machine = options_.machine;
+  figure_options.cpus = options_.cpus;
+  figure_options.repetitions = options_.repeats;
+  figure_options.executor = &executor();
+  return figure_options;
+}
+
 void Runner::write_trace(const trace::Recorder& recorder) const {
   std::ofstream out(options_.trace_path);
   if (!out)
@@ -144,12 +215,9 @@ void Runner::write_trace(const trace::Recorder& recorder) const {
 
 int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
                            std::size_t msg_bytes, bool as_bandwidth) const {
-  report::FigureOptions figure_options;
-  figure_options.machine = options_.machine;
-  figure_options.cpus = options_.cpus;
-  figure_options.repetitions = options_.repeats;
-  emit(report::imb_figure(title, id, msg_bytes, as_bandwidth,
-                          figure_options));
+  const report::SweepSpec spec = report::imb_figure_spec(
+      title, id, msg_bytes, as_bandwidth, figure_options());
+  emit(report::imb_figure_table(spec, run_sweep(spec)));
 
   if (!wants_trace() && !wants_metrics()) return 0;
   // Trace one representative operating point rather than the whole

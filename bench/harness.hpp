@@ -6,17 +6,30 @@
 //                       paper systems, variants and future projections)
 //   --cpus <n>          restrict to one CPU count instead of the sweep
 //   --repeats <n>       repetitions per measurement (default 2)
+//   --jobs <n>          worker threads for the sweep executor (default
+//                       1 = serial; each sweep point simulates in its
+//                       own isolated world, so tables are byte-identical
+//                       at any job count; exits(2) on n < 1)
+//   --cache <file>      content-addressable sweep result cache
+//                       (hpcx-sweep-cache/1 JSON; created if absent,
+//                       rewritten on exit; repeated runs answer
+//                       unchanged points from the cache)
 //   --csv <file>        also write every emitted table as CSV
 //   --trace-out <file>  write a Chrome/Perfetto trace of one
 //                       representative traced run
 //   --metrics-out <f>   write a JSON run record (metrics/run_record.hpp)
 //                       harvesting every emitted table, plus per-rank
-//                       time buckets of one representative traced run
+//                       time buckets of one representative traced run;
+//                       with --cache also the sweep hit-rate counters
+//   --eager-max <bytes> thread-transport eager/rendezvous threshold for
+//                       real-execution benches (0 = transport default)
 //   --help              print the flag summary and exit
 //
 // so `fig07_allreduce` with no arguments still reproduces the paper
 // figure, while `fig07_allreduce --machine sx8 --cpus 64 --trace-out
-// t.json` zooms into a single operating point and traces it.
+// t.json` zooms into a single operating point and traces it, and
+// `fig07_allreduce --jobs 8 --cache sweep.json` fans the sweep across
+// eight host cores behind a persistent result cache.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +40,8 @@
 #include "imb/imb.hpp"
 #include "machine/machine.hpp"
 #include "metrics/run_record.hpp"
+#include "report/figures.hpp"
+#include "report/sweep.hpp"
 
 namespace hpcx::trace {
 class Recorder;
@@ -38,6 +53,8 @@ struct Options {
   std::string machine;     ///< short_name; empty = binary's default set
   int cpus = 0;            ///< 0 = binary's default sweep
   int repeats = 2;
+  int jobs = 1;            ///< sweep executor worker threads (>= 1)
+  std::string cache_path;    ///< empty = no persistent sweep cache
   std::string csv_path;      ///< empty = no CSV
   std::string trace_path;    ///< empty = no trace
   std::string metrics_path;  ///< empty = no run record
@@ -79,6 +96,23 @@ class Runner {
   /// Write the recorder as Chrome trace-event JSON to --trace-out.
   void write_trace(const trace::Recorder& recorder) const;
 
+  /// The binary's sweep executor: --jobs worker threads in front of the
+  /// --cache result store (when one was requested). Shared by every
+  /// sweep the binary runs, so the destructor can report aggregate
+  /// cache-hit counters and flush the store once.
+  report::SweepExecutor& executor() const;
+
+  /// The --cache store, or null without --cache.
+  report::ResultCache* cache() const;
+
+  /// Enumerate the spec and execute it on executor() — the one
+  /// declarative entry point the fig/table/ext binaries sweep through.
+  report::SweepRun run_sweep(const report::SweepSpec& spec) const;
+
+  /// These options as report::FigureOptions (machine/cpus/repeats
+  /// narrowing plus the shared executor) for the figure builders.
+  report::FigureOptions figure_options() const;
+
   /// Run one of the paper's IMB figures under these options and emit the
   /// table. With --trace-out or --metrics-out, additionally re-runs one
   /// representative operating point (the selected machine or the
@@ -94,6 +128,8 @@ class Runner {
   std::string what_;
   std::string tool_;  ///< argv[0] basename, stamped into the record
   mutable std::unique_ptr<metrics::RunRecord> record_;
+  mutable std::unique_ptr<report::ResultCache> cache_;
+  mutable std::unique_ptr<report::SweepExecutor> executor_;
 };
 
 }  // namespace hpcx::bench

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Sweep executor fixture: one real figure binary, three ways —
+#   1. serial (the reference),
+#   2. --jobs 4 against a cold cache,
+#   3. --jobs 4 again against the now-warm cache (no simulation runs).
+# The emitted CSVs must be byte-identical across all three (the
+# executor's determinism contract and the cache's bit-exact round
+# trip), and hpcx_compare must accept the warm run's metrics record
+# against the serial one. CSV emission appends, so each run writes a
+# fresh file.
+#
+# usage: sweep_fixture.sh <figure-binary> <hpcx_compare-binary> <workdir>
+set -e
+FIG=$1
+COMPARE=$2
+OUT=$3
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+"$FIG" --csv "$OUT/serial.csv" --metrics-out "$OUT/serial.json" \
+    > "$OUT/serial.txt"
+"$FIG" --jobs 4 --cache "$OUT/cache.json" --csv "$OUT/cold.csv" \
+    --metrics-out "$OUT/cold.json" > "$OUT/cold.txt"
+cmp "$OUT/serial.csv" "$OUT/cold.csv"
+
+"$FIG" --jobs 4 --cache "$OUT/cache.json" --csv "$OUT/warm.csv" \
+    --metrics-out "$OUT/warm.json" > "$OUT/warm.txt"
+cmp "$OUT/serial.csv" "$OUT/warm.csv"
+grep -q "points from cache" "$OUT/warm.txt"
+
+"$COMPARE" "$OUT/serial.json" "$OUT/warm.json"
+echo "sweep fixture: serial, cold --jobs 4 and warm cache all byte-identical"

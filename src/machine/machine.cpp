@@ -1,5 +1,7 @@
 #include "machine/machine.hpp"
 
+#include <bit>
+
 #include "core/error.hpp"
 #include "topology/clos.hpp"
 #include "topology/crossbar.hpp"
@@ -75,6 +77,79 @@ topo::Graph MachineConfig::build_topology(int nodes) const {
     }
   }
   throw ConfigError("unknown topology kind");
+}
+
+namespace {
+
+/// 64-bit FNV-1a, fed field by field in declaration order. Strings are
+/// hashed with a terminating 0 so adjacent fields cannot alias;
+/// doubles go in as their IEEE bit pattern (bit-exact, no rounding).
+class Fingerprint {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(const std::string& s) {
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+    byte(0);
+  }
+  void mix(const topo::LinkParams& l) {
+    mix(l.bandwidth_Bps);
+    mix(l.latency_s);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  void byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;
+  }
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const MachineConfig& m) {
+  Fingerprint f;
+  f.mix(m.name);
+  f.mix(m.short_name);
+  f.mix(m.network_name);
+  f.mix(m.location);
+  f.mix(m.vendor);
+  f.mix(m.proc.name);
+  f.mix(static_cast<int>(m.proc.cpu_class));
+  f.mix(m.proc.clock_hz);
+  f.mix(m.proc.flops_per_cycle);
+  f.mix(m.proc.dgemm_efficiency);
+  f.mix(m.proc.hpl_kernel_efficiency);
+  f.mix(m.proc.hpl_panel_fraction);
+  f.mix(m.proc.fft_efficiency);
+  f.mix(m.proc.stream_copy_Bps);
+  f.mix(m.proc.random_update_rate);
+  f.mix(m.mem.single_cpu_Bps);
+  f.mix(m.mem.node_aggregate_Bps);
+  f.mix(m.cpus_per_node);
+  f.mix(m.max_cpus);
+  f.mix(static_cast<int>(m.topology));
+  f.mix(m.nic.send_overhead_s);
+  f.mix(m.nic.recv_overhead_s);
+  f.mix(m.nic.injection_Bps);
+  f.mix(m.nic.per_message_gap_s);
+  f.mix(m.node.intranode_Bps);
+  f.mix(m.node.intranode_latency_s);
+  f.mix(m.node.node_mem_Bps);
+  f.mix(m.host_link);
+  f.mix(m.fabric_link);
+  f.mix(m.core_taper);
+  f.mix(m.clos_hosts_per_leaf);
+  f.mix(m.clos_spines);
+  f.mix(m.torus_dimensions);
+  f.mix(m.hw_barrier_latency_s);
+  f.mix(m.single_box_nodes);
+  f.mix(m.multi_box_taper);
+  return f.value();
 }
 
 }  // namespace hpcx::mach

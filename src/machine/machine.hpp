@@ -3,6 +3,7 @@
 // plus whatever users define themselves (examples/design_your_cluster).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -74,5 +75,11 @@ struct MachineConfig {
     return mem.per_cpu_Bps(cpus_per_node);
   }
 };
+
+/// Content fingerprint of the full machine model (FNV-1a over every
+/// field that affects simulated timing, doubles hashed bit-exact).
+/// Stable across processes and hosts — the sweep ResultCache keys on
+/// it, so two configs hash equal iff they would simulate identically.
+std::uint64_t model_fingerprint(const MachineConfig& m);
 
 }  // namespace hpcx::mach

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <memory>
 #include <ostream>
-#include <set>
 
 #include "core/error.hpp"
 
@@ -15,64 +14,42 @@
 
 namespace hpcx::report {
 
+SweepSpec imb_figure_spec(const std::string& title, imb::BenchmarkId id,
+                          std::size_t msg_bytes, bool as_bandwidth,
+                          const FigureOptions& options) {
+  SweepSpec spec;
+  spec.title = title;
+  spec.workload = SweepWorkload::kImb;
+  spec.machines = imb_figure_machines();
+  if (!options.machine.empty())
+    std::erase_if(spec.machines, [&](const mach::MachineConfig& m) {
+      return m.short_name != options.machine;
+    });
+  if (options.cpus > 0) spec.np_set.push_back(options.cpus);
+  spec.imb_id = id;
+  spec.msg_bytes = msg_bytes;
+  spec.as_bandwidth = as_bandwidth;
+  spec.repetitions = options.repetitions;
+  return spec;
+}
+
 Table imb_figure(const std::string& title, imb::BenchmarkId id,
                  std::size_t msg_bytes, bool as_bandwidth,
                  const FigureOptions& options) {
-  auto machines = imb_figure_machines();
-  if (!options.machine.empty())
-    std::erase_if(machines, [&](const mach::MachineConfig& m) {
-      return m.short_name != options.machine;
-    });
-
-  // Row set: union of all machines' CPU counts.
-  std::set<int> all_counts;
-  if (options.cpus > 0) {
-    all_counts.insert(options.cpus);
-  } else {
-    for (const auto& m : machines)
-      for (int p : imb_cpu_counts(m)) all_counts.insert(p);
-  }
-
-  Table table(title);
-  std::vector<std::string> header{"CPUs"};
-  for (const auto& m : machines) header.push_back(m.name);
-  table.set_header(std::move(header));
-
-  MeasureOptions measure_options;
-  measure_options.repetitions = options.repetitions;
-  for (const int p : all_counts) {
-    std::vector<std::string> row{std::to_string(p)};
-    for (const auto& m : machines) {
-      const auto counts = imb_cpu_counts(m);
-      if (options.cpus == 0 &&
-          std::find(counts.begin(), counts.end(), p) == counts.end()) {
-        row.push_back("-");
-        continue;
-      }
-      if (p > m.max_cpus) {
-        row.push_back("-");
-        continue;
-      }
-      const imb::ImbResult r =
-          measure_imb(m, p, id, msg_bytes, measure_options);
-      if (as_bandwidth)
-        row.push_back(format_fixed(r.bandwidth_Bps / 1e6, 1) + " MB/s");
-      else
-        row.push_back(format_fixed(r.t_avg_s * 1e6, 2) + " us");
-    }
-    table.add_row(std::move(row));
-  }
-  table.add_note(as_bandwidth ? "cells: MB/s (higher is better)"
-                              : "cells: us/call (smaller is better)");
-  table.add_note("message size: " + format_bytes(msg_bytes) +
-                 " (per IMB convention of the benchmark)");
-  return table;
+  const SweepSpec spec =
+      imb_figure_spec(title, id, msg_bytes, as_bandwidth, options);
+  SweepExecutor serial;
+  SweepExecutor* executor =
+      options.executor != nullptr ? options.executor : &serial;
+  const SweepRun run = executor->run(enumerate(spec));
+  return imb_figure_table(spec, run);
 }
 
 Table tuning_ablation_table(const std::string& machine,
                             const std::string& collective,
                             std::size_t msg_bytes,
-                            std::vector<int> cpu_counts) {
+                            std::vector<int> cpu_counts,
+                            SweepExecutor* executor) {
   namespace tuner = xmpi::tuner;
   const mach::MachineConfig m = mach::machine_by_name(machine);
   tuner::Collective coll;
@@ -83,38 +60,67 @@ Table tuning_ablation_table(const std::string& machine,
       if (p <= m.max_cpus) cpu_counts.push_back(p);
   }
 
+  // One sweep point per CPU count: autotune this np, then time the
+  // collective under the static thresholds and under the tuned table,
+  // all inside the point's own isolated worlds.
+  std::vector<SweepPoint> points;
+  for (const int np : cpu_counts) {
+    SweepPoint pt;
+    pt.workload = SweepWorkload::kCustom;
+    pt.workload_name = "ablation/" + collective;
+    pt.machine = m;
+    pt.np = np;
+    pt.msg_bytes = msg_bytes;
+    pt.run = [m, coll, np, msg_bytes](trace::Recorder*) {
+      // Restrict the search to this collective around the probed size
+      // so the sweep stays cheap; the table still covers the lookup
+      // point.
+      tuner::TuneOptions opts;
+      opts.collectives = {coll};
+      opts.min_bytes = std::max<std::size_t>(1, msg_bytes / 4);
+      opts.max_bytes = std::max<std::size_t>(msg_bytes, 2);
+      const auto table_sp = std::make_shared<const tuner::TuningTable>(
+          tuner::autotune(m, np, opts));
+      const tuner::Cell* cell = table_sp->lookup(coll, np, msg_bytes);
+
+      double untuned_s = 0.0;
+      double tuned_s = 0.0;
+      xmpi::run_on_machine(m, np, [&](xmpi::Comm& c) {
+        c.tuning().table = nullptr;  // static thresholds only
+        const double a = tuner::measure_collective(c, coll, msg_bytes, 1,
+                                                   /*phantom=*/true);
+        c.tuning().table = table_sp;
+        const double b = tuner::measure_collective(c, coll, msg_bytes, 1,
+                                                   /*phantom=*/true);
+        if (c.rank() == 0) {
+          untuned_s = a;
+          tuned_s = b;
+        }
+      });
+      SweepResult out;
+      out.set("untuned_s", untuned_s);
+      out.set("tuned_s", tuned_s);
+      out.set_text("tuned_alg", cell != nullptr ? cell->alg : "-");
+      return out;
+    };
+    points.push_back(std::move(pt));
+  }
+
+  SweepExecutor serial;
+  if (executor == nullptr) executor = &serial;
+  const SweepRun run = executor->run(std::move(points));
+
   Table table("Tuning ablation: " + collective + " (" +
               std::string(format_bytes(msg_bytes)) + ") on " + m.name);
   table.set_header({"CPUs", "untuned", "tuned", "tuned algorithm",
                     "speedup"});
-  for (const int np : cpu_counts) {
-    // Restrict the search to this collective around the probed size so
-    // the sweep stays cheap; the table still covers the lookup point.
-    tuner::TuneOptions opts;
-    opts.collectives = {coll};
-    opts.min_bytes = std::max<std::size_t>(1, msg_bytes / 4);
-    opts.max_bytes = std::max<std::size_t>(msg_bytes, 2);
-    const auto table_sp = std::make_shared<const tuner::TuningTable>(
-        tuner::autotune(m, np, opts));
-    const tuner::Cell* cell = table_sp->lookup(coll, np, msg_bytes);
-
-    double untuned_s = 0.0;
-    double tuned_s = 0.0;
-    xmpi::run_on_machine(m, np, [&](xmpi::Comm& c) {
-      c.tuning().table = nullptr;  // static thresholds only
-      const double a =
-          tuner::measure_collective(c, coll, msg_bytes, 1, /*phantom=*/true);
-      c.tuning().table = table_sp;
-      const double b =
-          tuner::measure_collective(c, coll, msg_bytes, 1, /*phantom=*/true);
-      if (c.rank() == 0) {
-        untuned_s = a;
-        tuned_s = b;
-      }
-    });
-    table.add_row({std::to_string(np), format_time(untuned_s),
-                   format_time(tuned_s),
-                   cell != nullptr ? cell->alg : std::string("-"),
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const SweepResult& r = run.results[i];
+    const double untuned_s = r.get("untuned_s");
+    const double tuned_s = r.get("tuned_s");
+    const std::string* alg = r.text("tuned_alg");
+    table.add_row({std::to_string(run.points[i].np), format_time(untuned_s),
+                   format_time(tuned_s), alg != nullptr ? *alg : "-",
                    tuned_s > 0.0 ? format_fixed(untuned_s / tuned_s, 2) + "x"
                                  : std::string("-")});
   }

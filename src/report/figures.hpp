@@ -11,6 +11,7 @@
 
 #include "core/table.hpp"
 #include "imb/imb.hpp"
+#include "report/sweep.hpp"
 
 namespace hpcx::report {
 
@@ -20,9 +21,20 @@ struct FigureOptions {
   std::string machine;  ///< short_name; empty = all six figure machines
   int cpus = 0;         ///< a single CPU count; 0 = the full sweep
   int repetitions = 2;
+  /// Run the sweep on this executor (worker pool + result cache);
+  /// null = a private serial executor. Same table either way.
+  SweepExecutor* executor = nullptr;
 };
 
-/// Generic builder behind the per-figure functions.
+/// The declarative sweep behind imb_figure: the figure's machine set
+/// (narrowed per `options`), the default per-machine np axis (or the
+/// single options.cpus), one message size.
+SweepSpec imb_figure_spec(const std::string& title, imb::BenchmarkId id,
+                          std::size_t msg_bytes, bool as_bandwidth,
+                          const FigureOptions& options = {});
+
+/// Generic builder behind the per-figure functions: enumerate the spec,
+/// execute (options.executor or serial), render with imb_figure_table.
 Table imb_figure(const std::string& title, imb::BenchmarkId id,
                  std::size_t msg_bytes, bool as_bandwidth,
                  const FigureOptions& options = {});
@@ -46,10 +58,13 @@ void print_fig15_bcast(std::ostream& os);
 /// (bcast|allreduce|allgather|alltoall|reduce_scatter); throws
 /// ConfigError on unknown names. Empty `cpu_counts` sweeps {4,8,16,32}
 /// clipped to the machine's max.
+/// Each CPU count is one independent sweep point (autotune + both
+/// timings), so an executor with jobs > 1 tunes the counts in parallel.
 Table tuning_ablation_table(const std::string& machine,
                             const std::string& collective,
                             std::size_t msg_bytes,
-                            std::vector<int> cpu_counts = {});
+                            std::vector<int> cpu_counts = {},
+                            SweepExecutor* executor = nullptr);
 
 /// Tables 1-2 as data (the print_* forms below render these).
 Table table1_altix();

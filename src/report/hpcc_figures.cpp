@@ -6,7 +6,6 @@
 
 #include "core/units.hpp"
 #include "machine/registry.hpp"
-#include "report/series.hpp"
 
 namespace hpcx::report {
 
@@ -25,21 +24,42 @@ std::vector<mach::MachineConfig> balance_machines(
   return machines;
 }
 
-std::vector<int> sweep_counts(const mach::MachineConfig& m,
-                              const FigureOptions& options) {
-  if (options.cpus > 0) {
-    if (options.cpus > m.max_cpus) return {};
-    return {options.cpus};
-  }
-  return hpcc_cpu_counts(m);
-}
-
 hpcc::HpccParts balance_parts() {
   hpcc::HpccParts parts;
   parts.ptrans = false;
   parts.random_access = false;
   parts.fft = false;
   return parts;  // HPL + ring (+ EP values, which are free)
+}
+
+/// Execute a kHpcc sweep over the balance machines (default
+/// hpcc_cpu_counts axis, or the single options.cpus) on the caller's
+/// executor — or a private serial one.
+SweepRun run_balance_sweep(const FigureOptions& options,
+                           hpcc::HpccParts parts) {
+  SweepSpec spec;
+  spec.workload = SweepWorkload::kHpcc;
+  spec.machines = balance_machines(options);
+  if (options.cpus > 0) spec.np_set.push_back(options.cpus);
+  spec.parts = parts;
+  SweepExecutor serial;
+  SweepExecutor* executor =
+      options.executor != nullptr ? options.executor : &serial;
+  return executor->run(enumerate(spec));
+}
+
+hpcc::HpccReport report_of(const SweepPoint& pt, const SweepResult& r) {
+  hpcc::HpccReport report;
+  report.cpus = pt.np;
+  report.g_hpl_flops = r.get("g_hpl_flops");
+  report.g_ptrans_Bps = r.get("g_ptrans_Bps");
+  report.g_gups = r.get("g_gups");
+  report.g_fft_flops = r.get("g_fft_flops");
+  report.ep_stream_copy_Bps = r.get("ep_stream_copy_Bps");
+  report.ep_dgemm_flops = r.get("ep_dgemm_flops");
+  report.ring_bw_Bps = r.get("ring_bw_Bps");
+  report.ring_latency_s = r.get("ring_latency_s");
+  return report;
 }
 
 }  // namespace
@@ -50,15 +70,15 @@ Table fig01_02_table(const FigureOptions& options) {
       "their ratio (B/kFlop)");
   t.set_header({"Machine", "CPUs", "HPL (Tflop/s)", "AccRingBW (GB/s)",
                 "Ratio (B/kFlop)"});
-  for (const auto& m : balance_machines(options)) {
-    for (const int p : sweep_counts(m, options)) {
-      const hpcc::HpccReport& r = hpcc_report_cached(m, p, balance_parts());
-      const double acc_bw = r.ring_bw_Bps * p;
-      const double ratio = acc_bw / r.g_hpl_flops * 1000.0;  // B/kFlop
-      t.add_row({m.name, std::to_string(p),
-                 format_fixed(r.g_hpl_flops / 1e12, 4),
-                 format_fixed(acc_bw / 1e9, 2), format_fixed(ratio, 2)});
-    }
+  const SweepRun run = run_balance_sweep(options, balance_parts());
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const SweepPoint& pt = run.points[i];
+    const hpcc::HpccReport r = report_of(pt, run.results[i]);
+    const double acc_bw = r.ring_bw_Bps * pt.np;
+    const double ratio = acc_bw / r.g_hpl_flops * 1000.0;  // B/kFlop
+    t.add_row({pt.machine.name, std::to_string(pt.np),
+               format_fixed(r.g_hpl_flops / 1e12, 4),
+               format_fixed(acc_bw / 1e9, 2), format_fixed(ratio, 2)});
   }
   t.add_note("Fig 1 plots column 4 against column 3; Fig 2 plots column 5 "
              "against column 3");
@@ -73,15 +93,15 @@ Table fig03_04_table(const FigureOptions& options) {
       "Byte/Flop balance");
   t.set_header({"Machine", "CPUs", "HPL (Tflop/s)", "AccStream (GB/s)",
                 "Byte/Flop"});
-  for (const auto& m : balance_machines(options)) {
-    for (const int p : sweep_counts(m, options)) {
-      const hpcc::HpccReport& r = hpcc_report_cached(m, p, balance_parts());
-      const double acc_stream = r.ep_stream_copy_Bps * p;
-      t.add_row({m.name, std::to_string(p),
-                 format_fixed(r.g_hpl_flops / 1e12, 4),
-                 format_fixed(acc_stream / 1e9, 1),
-                 format_fixed(acc_stream / r.g_hpl_flops, 2)});
-    }
+  const SweepRun run = run_balance_sweep(options, balance_parts());
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const SweepPoint& pt = run.points[i];
+    const hpcc::HpccReport r = report_of(pt, run.results[i]);
+    const double acc_stream = r.ep_stream_copy_Bps * pt.np;
+    t.add_row({pt.machine.name, std::to_string(pt.np),
+               format_fixed(r.g_hpl_flops / 1e12, 4),
+               format_fixed(acc_stream / 1e9, 1),
+               format_fixed(acc_stream / r.g_hpl_flops, 2)});
   }
   t.add_note("paper anchors: NEC SX-8 consistently above 2.67 B/F, Altix "
              "above 0.36, Cray Opteron between 0.84 and 1.07");
@@ -95,7 +115,7 @@ std::vector<Table> fig05_table3_tables(const FigureOptions& options) {
     int cpus;
     hpcc::HpccReport report;
   };
-  std::vector<Entry> entries;
+  std::vector<SweepPoint> points;
   for (const auto& m : {mach::altix_bx2(), mach::cray_x1_msp(),
                         mach::cray_opteron(), mach::dell_xeon(),
                         mach::nec_sx8()}) {
@@ -105,8 +125,21 @@ std::vector<Table> fig05_table3_tables(const FigureOptions& options) {
     // stays inside one box (512), the SX-8 uses all 576 CPUs.
     int cpus = std::min(m.max_cpus, 512);
     if (m.short_name == "sx8") cpus = 576;
-    entries.push_back({m, cpus, hpcc_report_cached(m, cpus)});
+    SweepPoint pt;
+    pt.workload = SweepWorkload::kHpcc;
+    pt.workload_name = "hpcc";
+    pt.machine = m;
+    pt.np = cpus;
+    points.push_back(std::move(pt));
   }
+  SweepExecutor serial;
+  SweepExecutor* executor =
+      options.executor != nullptr ? options.executor : &serial;
+  const SweepRun run = executor->run(std::move(points));
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < run.points.size(); ++i)
+    entries.push_back({run.points[i].machine, run.points[i].np,
+                       report_of(run.points[i], run.results[i])});
 
   // The eight ratio columns of Fig 5 (all "per HPL-flop"), computed as
   // accumulated global values like the paper.

@@ -1,6 +1,7 @@
 #include "report/series.hpp"
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "machine/registry.hpp"
@@ -58,11 +59,17 @@ std::vector<mach::MachineConfig> imb_figure_machines() {
 
 const hpcc::HpccReport& hpcc_report_cached(const mach::MachineConfig& machine,
                                            int cpus, hpcc::HpccParts parts) {
+  // Guarded so sweep workers may share the process-wide memo. The
+  // simulation runs under the lock — concurrent callers of the *same*
+  // point must not simulate it twice — so parallel sweeps should
+  // prefer SweepWorkload::kHpcc points, which bypass this memo.
+  static std::mutex mutex;
   static std::map<std::tuple<std::string, int, int>, hpcc::HpccReport> cache;
   const int mask = (parts.hpl << 0) | (parts.ptrans << 1) |
                    (parts.random_access << 2) | (parts.fft << 3) |
                    (parts.ring << 4);
   const auto key = std::make_tuple(machine.short_name, cpus, mask);
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(key);
   if (it == cache.end())
     it = cache.emplace(key, hpcc::run_hpcc_sim(machine, cpus, {}, parts))

@@ -1,0 +1,471 @@
+#include "report/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "report/series.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx::report {
+
+void SweepResult::set(std::string name, double value) {
+  values.emplace_back(std::move(name), value);
+}
+
+void SweepResult::set_text(std::string name, std::string value) {
+  texts.emplace_back(std::move(name), std::move(value));
+}
+
+double SweepResult::get(std::string_view name, double fallback) const {
+  for (const auto& [n, v] : values)
+    if (n == name) return v;
+  return fallback;
+}
+
+bool SweepResult::has(std::string_view name) const {
+  for (const auto& [n, v] : values)
+    if (n == name) return true;
+  return false;
+}
+
+const std::string* SweepResult::text(std::string_view name) const {
+  for (const auto& [n, v] : texts)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const char* to_string(SweepWorkload w) {
+  switch (w) {
+    case SweepWorkload::kImb:
+      return "imb";
+    case SweepWorkload::kHpcc:
+      return "hpcc";
+    case SweepWorkload::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+std::string SweepPoint::cache_key() const {
+  char fp[20];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(
+                    mach::model_fingerprint(machine)));
+  std::string key = fp;
+  key += '/';
+  key += workload_name;
+  key += "/np";
+  key += std::to_string(np);
+  key += "/b";
+  key += std::to_string(msg_bytes);
+  if (workload == SweepWorkload::kImb) {
+    key += "/r" + std::to_string(repetitions) + "w" +
+           std::to_string(warmup) + "g" + std::to_string(groups);
+    auto alg = [&](const char* knob, const char* name) {
+      key += ',';
+      key += knob;
+      key += '=';
+      key += name;
+    };
+    if (bcast_alg != xmpi::BcastAlg::kAuto)
+      alg("bcast", xmpi::to_string(bcast_alg));
+    if (allreduce_alg != xmpi::AllreduceAlg::kAuto)
+      alg("allreduce", xmpi::to_string(allreduce_alg));
+    if (allgather_alg != xmpi::AllgatherAlg::kAuto)
+      alg("allgather", xmpi::to_string(allgather_alg));
+    if (alltoall_alg != xmpi::AlltoallAlg::kAuto)
+      alg("alltoall", xmpi::to_string(alltoall_alg));
+    if (reduce_scatter_alg != xmpi::ReduceScatterAlg::kAuto)
+      alg("reduce_scatter", xmpi::to_string(reduce_scatter_alg));
+  } else if (workload == SweepWorkload::kHpcc) {
+    const int mask = (parts.hpl << 0) | (parts.ptrans << 1) |
+                     (parts.random_access << 2) | (parts.fft << 3) |
+                     (parts.ring << 4);
+    key += "/parts" + std::to_string(mask);
+  }
+  if (!config.empty()) {
+    key += '/';
+    key += config;
+  }
+  return key;
+}
+
+std::vector<SweepPoint> enumerate(const SweepSpec& spec) {
+  std::vector<SweepPoint> points;
+  std::vector<std::size_t> sizes = spec.sizes;
+  if (sizes.empty()) sizes.push_back(spec.msg_bytes);
+  for (const auto& m : spec.machines) {
+    std::vector<int> counts = spec.np_set;
+    if (counts.empty())
+      counts = spec.workload == SweepWorkload::kHpcc ? hpcc_cpu_counts(m)
+                                                     : imb_cpu_counts(m);
+    for (const int p : counts) {
+      if (p > m.max_cpus || p < 1) continue;
+      for (const std::size_t s : sizes) {
+        SweepPoint pt;
+        pt.workload = spec.workload;
+        pt.machine = m;
+        pt.np = p;
+        pt.msg_bytes = s;
+        pt.repetitions = spec.repetitions;
+        pt.groups = spec.groups;
+        pt.config = spec.config;
+        if (spec.workload == SweepWorkload::kImb) {
+          pt.imb_id = spec.imb_id;
+          pt.workload_name =
+              std::string("imb/") + imb::to_string(spec.imb_id);
+        } else if (spec.workload == SweepWorkload::kHpcc) {
+          pt.parts = spec.parts;
+          pt.workload_name = "hpcc";
+        } else {
+          pt.workload_name = spec.title;
+        }
+        points.push_back(std::move(pt));
+      }
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    const auto ch = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// %.17g round-trips IEEE doubles exactly — the warm-cache rerun must
+/// emit byte-identical tables.
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in) return;  // absent file: start empty, flush() creates it
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, &error))
+    throw ConfigError("sweep cache " + path_ + ": " + error);
+  if (doc.string_or("schema", "") != kSchema)
+    throw ConfigError("sweep cache " + path_ + ": expected schema " +
+                      std::string(kSchema));
+  const JsonValue* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array())
+    throw ConfigError("sweep cache " + path_ + ": missing entries array");
+  for (const JsonValue& e : entries->as_array()) {
+    const JsonValue* key = e.find("key");
+    if (key == nullptr || !key->is_string()) continue;
+    SweepResult r;
+    if (const JsonValue* vals = e.find("values"); vals && vals->is_array())
+      for (const JsonValue& pair : vals->as_array()) {
+        const auto& arr = pair.as_array();
+        if (pair.is_array() && arr.size() == 2 && arr[0].is_string() &&
+            arr[1].is_number())
+          r.set(arr[0].as_string(), arr[1].as_number());
+      }
+    if (const JsonValue* txts = e.find("texts"); txts && txts->is_array())
+      for (const JsonValue& pair : txts->as_array()) {
+        const auto& arr = pair.as_array();
+        if (pair.is_array() && arr.size() == 2 && arr[0].is_string() &&
+            arr[1].is_string())
+          r.set_text(arr[0].as_string(), arr[1].as_string());
+      }
+    entries_[key->as_string()] = std::move(r);
+  }
+}
+
+bool ResultCache::lookup(const std::string& key, SweepResult& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void ResultCache::store(const std::string& key, SweepResult value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = std::move(value);
+  dirty_ = true;
+}
+
+void ResultCache::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty() || !dirty_) return;
+  std::vector<const std::pair<const std::string, SweepResult>*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::ofstream out(path_);
+  if (!out) throw ConfigError("cannot write sweep cache: " + path_);
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"entries\": [";
+  bool first_entry = true;
+  for (const auto* e : sorted) {
+    out << (first_entry ? "\n" : ",\n");
+    first_entry = false;
+    out << "    {\"key\": \"" << json_escape(e->first) << "\", \"values\": [";
+    bool first = true;
+    for (const auto& [n, v] : e->second.values) {
+      if (!first) out << ", ";
+      first = false;
+      out << "[\"" << json_escape(n) << "\", " << json_number(v) << "]";
+    }
+    out << "], \"texts\": [";
+    first = true;
+    for (const auto& [n, v] : e->second.texts) {
+      if (!first) out << ", ";
+      first = false;
+      out << "[\"" << json_escape(n) << "\", \"" << json_escape(v) << "\"]";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  dirty_ = false;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+// ---------------------------------------------------------------------------
+// SweepExecutor
+
+namespace {
+
+SweepResult run_imb_point(const SweepPoint& p, trace::Recorder* recorder) {
+  imb::ImbResult r{};
+  xmpi::SimRunOptions run_options;
+  run_options.recorder = recorder;
+  xmpi::run_on_machine(
+      p.machine, p.np,
+      [&](xmpi::Comm& c) {
+        c.tuning().bcast_alg = p.bcast_alg;
+        c.tuning().allreduce_alg = p.allreduce_alg;
+        c.tuning().allgather_alg = p.allgather_alg;
+        c.tuning().alltoall_alg = p.alltoall_alg;
+        c.tuning().reduce_scatter_alg = p.reduce_scatter_alg;
+        imb::ImbParams params;
+        params.msg_bytes = p.msg_bytes;
+        params.phantom = true;
+        params.warmup = p.warmup;
+        params.repetitions = p.repetitions;
+        params.groups = p.groups;
+        const imb::ImbResult res = imb::run_benchmark(p.imb_id, c, params);
+        if (c.rank() == 0) r = res;
+      },
+      run_options);
+  SweepResult out;
+  out.set("t_min_s", r.t_min_s);
+  out.set("t_avg_s", r.t_avg_s);
+  out.set("t_max_s", r.t_max_s);
+  out.set("bandwidth_Bps", r.bandwidth_Bps);
+  return out;
+}
+
+SweepResult run_hpcc_point(const SweepPoint& p, trace::Recorder* recorder) {
+  const hpcc::HpccReport r =
+      hpcc::run_hpcc_sim(p.machine, p.np, {}, p.parts, recorder);
+  SweepResult out;
+  out.set("g_hpl_flops", r.g_hpl_flops);
+  out.set("g_ptrans_Bps", r.g_ptrans_Bps);
+  out.set("g_gups", r.g_gups);
+  out.set("g_fft_flops", r.g_fft_flops);
+  out.set("ep_stream_copy_Bps", r.ep_stream_copy_Bps);
+  out.set("ep_dgemm_flops", r.ep_dgemm_flops);
+  out.set("ring_bw_Bps", r.ring_bw_Bps);
+  out.set("ring_latency_s", r.ring_latency_s);
+  return out;
+}
+
+SweepResult execute_point(const SweepPoint& p, trace::Recorder* recorder) {
+  switch (p.workload) {
+    case SweepWorkload::kImb:
+      return run_imb_point(p, recorder);
+    case SweepWorkload::kHpcc:
+      return run_hpcc_point(p, recorder);
+    case SweepWorkload::kCustom:
+      HPCX_REQUIRE(p.run != nullptr, "custom sweep point without a closure");
+      return p.run(recorder);
+  }
+  return {};
+}
+
+}  // namespace
+
+SweepExecutor::SweepExecutor(Config config) : config_(config) {
+  HPCX_REQUIRE(config_.jobs >= 1, "SweepExecutor: jobs must be >= 1");
+}
+
+SweepRun SweepExecutor::run(std::vector<SweepPoint> points) {
+  SweepRun out;
+  out.points = std::move(points);
+  const std::size_t n = out.points.size();
+  out.results.resize(n);
+  out.recorders.resize(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> cache_hits{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      const SweepPoint& p = out.points[i];
+      try {
+        std::string key;
+        if (config_.cache != nullptr) {
+          key = p.cache_key();
+          if (config_.cache->lookup(key, out.results[i])) {
+            cache_hits.fetch_add(1);
+            continue;
+          }
+        }
+        trace::Recorder* recorder = nullptr;
+        if (config_.record_points && p.np > 0) {
+          out.recorders[i] = std::make_unique<trace::Recorder>(
+              p.np, config_.record_events_per_rank);
+          recorder = out.recorders[i].get();
+        }
+        out.results[i] = execute_point(p, recorder);
+        executed.fetch_add(1);
+        if (config_.cache != nullptr)
+          config_.cache->store(key, out.results[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t jobs =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.jobs),
+                            n > 0 ? n : 1);
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  out.stats.points = n;
+  out.stats.executed = executed.load();
+  out.stats.cache_hits = cache_hits.load();
+  totals_.points += out.stats.points;
+  totals_.executed += out.stats.executed;
+  totals_.cache_hits += out.stats.cache_hits;
+  return out;
+}
+
+const SweepResult* SweepRun::find(std::string_view machine_short, int np,
+                                  std::size_t msg_bytes) const {
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (points[i].np == np && points[i].msg_bytes == msg_bytes &&
+        points[i].machine.short_name == machine_short)
+      return &results[i];
+  return nullptr;
+}
+
+Table imb_figure_table(const SweepSpec& spec, const SweepRun& run) {
+  Table table(spec.title);
+  std::vector<std::string> header{"CPUs"};
+  for (const auto& m : spec.machines) header.push_back(m.name);
+  table.set_header(std::move(header));
+
+  std::set<int> all_counts;
+  if (!spec.np_set.empty())
+    all_counts.insert(spec.np_set.begin(), spec.np_set.end());
+  else
+    for (const SweepPoint& p : run.points) all_counts.insert(p.np);
+
+  for (const int p : all_counts) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& m : spec.machines) {
+      const SweepResult* r = run.find(m.short_name, p, spec.msg_bytes);
+      if (r == nullptr) {
+        row.push_back("-");
+        continue;
+      }
+      if (spec.as_bandwidth)
+        row.push_back(format_fixed(r->get("bandwidth_Bps") / 1e6, 1) +
+                      " MB/s");
+      else
+        row.push_back(format_fixed(r->get("t_avg_s") * 1e6, 2) + " us");
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_note(spec.as_bandwidth ? "cells: MB/s (higher is better)"
+                                   : "cells: us/call (smaller is better)");
+  table.add_note("message size: " + format_bytes(spec.msg_bytes) +
+                 " (per IMB convention of the benchmark)");
+  return table;
+}
+
+}  // namespace hpcx::report

@@ -1,0 +1,242 @@
+// Declarative sweep API with a parallel sharded executor and a shared
+// result cache.
+//
+// The paper's figures are sweeps over (machine, np, message size). A
+// SweepSpec names that grid declaratively — workload kind, machine set,
+// np set, size set, algorithm/tuning config — and enumerate() expands it
+// into independent SweepPoints. A SweepExecutor runs the points on a
+// host worker pool (jobs = 1 reproduces the historical serial loops
+// exactly) in front of a content-addressable ResultCache, so repeated
+// figure/tune/compare requests are O(lookup).
+//
+// Determinism contract: every point is an isolated simulated world —
+// each worker thread builds its own Simulator/SimComm stack (the DES
+// fiber pools are thread_local), virtual time starts at zero, and no
+// state is shared between points. Points may therefore execute in any
+// order on any number of workers; results merge back *by point index*,
+// so tables built from a SweepRun are byte-identical to serial
+// execution. Real-execution (ThreadComm) workloads must not go through
+// a parallel executor — concurrent worlds would perturb each other's
+// wall-clock timings — and the standard workload kinds below are all
+// simulated.
+//
+// Tracing ownership: a worker never shares a trace::Recorder. With
+// Config::record_points each *executed* point records into its own
+// recorder (sized to the point's np), returned index-aligned in
+// SweepRun::recorders; callers merge them in point order via
+// trace::Recorder::merge. Cache hits carry no recorder — nothing ran.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hpcc/driver.hpp"
+#include "imb/imb.hpp"
+#include "machine/machine.hpp"
+#include "xmpi/comm.hpp"
+
+#include "trace/trace.hpp"
+
+namespace hpcx {
+class Table;
+}  // namespace hpcx
+
+namespace hpcx::report {
+
+/// The value of one sweep point: named scalars plus named strings
+/// (e.g. a tuned algorithm's name). Small, ordered, and serialisable,
+/// so it can live in the on-disk cache and round-trip bit-exactly
+/// (doubles are written as %.17g).
+struct SweepResult {
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<std::pair<std::string, std::string>> texts;
+
+  void set(std::string name, double value);
+  void set_text(std::string name, std::string value);
+  /// First value of that name, or `fallback` when absent.
+  double get(std::string_view name, double fallback = 0.0) const;
+  bool has(std::string_view name) const;
+  const std::string* text(std::string_view name) const;
+};
+
+enum class SweepWorkload {
+  kImb,     ///< one IMB benchmark at one message size (simulated)
+  kHpcc,    ///< HPCC suite parts (simulated)
+  kCustom,  ///< caller-provided closure running its own isolated world
+};
+
+const char* to_string(SweepWorkload w);
+
+/// One independent simulation point. The executor knows how to run the
+/// standard workloads; kCustom points carry their own closure (the
+/// trace::Recorder* argument is non-null only under
+/// Config::record_points and is owned by this point alone).
+struct SweepPoint {
+  SweepWorkload workload = SweepWorkload::kImb;
+  /// Workload identity inside the cache key, e.g. "imb/Allreduce",
+  /// "hpcc/1f", "ext/one_sided". Filled by enumerate() for the
+  /// standard kinds; kCustom points must name themselves.
+  std::string workload_name;
+  mach::MachineConfig machine;
+  int np = 0;
+  std::size_t msg_bytes = 0;
+
+  // kImb knobs (all folded into the cache key).
+  imb::BenchmarkId imb_id = imb::BenchmarkId::kBarrier;
+  int repetitions = 2;  ///< 0 = IMB auto (volume-capped)
+  int warmup = 1;
+  int groups = 1;  ///< IMB "-multi" concurrent disjoint groups
+  xmpi::BcastAlg bcast_alg = xmpi::BcastAlg::kAuto;
+  xmpi::AllreduceAlg allreduce_alg = xmpi::AllreduceAlg::kAuto;
+  xmpi::AllgatherAlg allgather_alg = xmpi::AllgatherAlg::kAuto;
+  xmpi::AlltoallAlg alltoall_alg = xmpi::AlltoallAlg::kAuto;
+  xmpi::ReduceScatterAlg reduce_scatter_alg = xmpi::ReduceScatterAlg::kAuto;
+
+  // kHpcc knobs.
+  hpcc::HpccParts parts;
+
+  /// Extra key material the typed fields cannot see (e.g. "tuning=<f>"
+  /// when a process-wide tuning table steers kAuto). Callers must fold
+  /// in *everything* that changes the point's result.
+  std::string config;
+
+  /// kCustom only: compute the result in an isolated world.
+  std::function<SweepResult(trace::Recorder*)> run;
+
+  /// Content address: machine-model fingerprint / workload / np / size
+  /// / canonical config. Stable across processes and hosts.
+  std::string cache_key() const;
+};
+
+/// The declarative sweep grid. enumerate() expands machine-major, then
+/// np, then size — the order the historical serial loops used.
+struct SweepSpec {
+  std::string title;
+  SweepWorkload workload = SweepWorkload::kImb;
+
+  std::vector<mach::MachineConfig> machines;
+  /// Explicit np axis; empty = the per-machine default axis
+  /// (imb_cpu_counts for kImb, hpcc_cpu_counts for kHpcc). Points with
+  /// np > machine.max_cpus are not enumerated (tables show "-").
+  std::vector<int> np_set;
+  /// Message sizes (kImb); empty = {msg_bytes of the figure}.
+  std::vector<std::size_t> sizes;
+
+  imb::BenchmarkId imb_id = imb::BenchmarkId::kBarrier;
+  std::size_t msg_bytes = 0;
+  bool as_bandwidth = false;
+  int repetitions = 2;
+  int groups = 1;
+
+  hpcc::HpccParts parts;
+  std::string config;  ///< forwarded to every point
+};
+
+std::vector<SweepPoint> enumerate(const SweepSpec& spec);
+
+/// Content-addressable result store shared by all workers of an
+/// executor (and, via the optional on-disk JSON form, across
+/// processes). Schema "hpcx-sweep-cache/1": a flat key -> SweepResult
+/// map; doubles round-trip bit-exactly, so a warm-cache rerun emits
+/// byte-identical tables.
+class ResultCache {
+ public:
+  static constexpr const char* kSchema = "hpcx-sweep-cache/1";
+
+  ResultCache() = default;
+  /// Backed by `path`: loads the store if the file exists (throws
+  /// ConfigError on a malformed or wrong-schema file) and flush()
+  /// rewrites it. An absent file starts an empty cache.
+  explicit ResultCache(std::string path);
+
+  bool lookup(const std::string& key, SweepResult& out);
+  void store(const std::string& key, SweepResult value);
+
+  /// Rewrite the on-disk store (no-op for a memory-only cache or when
+  /// nothing changed). Entries are written key-sorted so the file is
+  /// deterministic for a given content.
+  void flush();
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SweepResult> entries_;
+  std::string path_;
+  bool dirty_ = false;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Executor tallies, accumulated across run() calls.
+struct SweepStats {
+  std::size_t points = 0;      ///< points submitted
+  std::size_t executed = 0;    ///< points actually simulated
+  std::size_t cache_hits = 0;  ///< points answered from the cache
+  double hit_rate() const {
+    return points > 0 ? static_cast<double>(cache_hits) / points : 0.0;
+  }
+};
+
+/// One batch's outcome: results index-aligned with the submitted
+/// points (the deterministic in-order merge).
+struct SweepRun {
+  std::vector<SweepPoint> points;
+  std::vector<SweepResult> results;
+  /// Per-point recorders under Config::record_points (null for cache
+  /// hits); merge in index order for deterministic aggregate counters.
+  std::vector<std::unique_ptr<trace::Recorder>> recorders;
+  SweepStats stats;  ///< this batch only
+
+  /// Result of the point matching (machine short name, np, msg_bytes);
+  /// null when no such point was enumerated.
+  const SweepResult* find(std::string_view machine_short, int np,
+                          std::size_t msg_bytes) const;
+};
+
+/// Runs sweep points on a pool of host worker threads behind the
+/// shared cache. jobs = 1 executes inline on the calling thread.
+class SweepExecutor {
+ public:
+  struct Config {
+    int jobs = 1;                 ///< worker threads (>= 1)
+    ResultCache* cache = nullptr;  ///< optional shared result cache
+    /// Give each executed point its own trace::Recorder (counters and
+    /// link tracks; ring capacity record_events_per_rank).
+    bool record_points = false;
+    std::size_t record_events_per_rank = 1024;
+  };
+
+  SweepExecutor() = default;
+  explicit SweepExecutor(Config config);
+
+  /// Execute the batch; throws the first (by point index) exception any
+  /// point raised, after all workers have drained.
+  SweepRun run(std::vector<SweepPoint> points);
+
+  const Config& config() const { return config_; }
+  /// Tallies accumulated over every run() on this executor.
+  const SweepStats& totals() const { return totals_; }
+
+ private:
+  Config config_;
+  SweepStats totals_;
+};
+
+/// The standard figure table for an executed kImb spec: rows = union of
+/// the machines' CPU counts, columns = the machines, cells = us/call or
+/// MB/s — byte-identical to the historical serial builder.
+Table imb_figure_table(const SweepSpec& spec, const SweepRun& run);
+
+}  // namespace hpcx::report

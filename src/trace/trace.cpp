@@ -189,6 +189,31 @@ Counters Recorder::total() const {
   return sum;
 }
 
+void Recorder::merge(const Recorder& other) {
+  if (ranks_.empty()) return;
+  const int last = nranks() - 1;
+  for (int r = 0; r < other.nranks(); ++r) {
+    RankTrace& mine = rank(std::min(r, last));
+    mine.counters().merge(other.rank(r).counters());
+    mine.fold_counts(other.rank(r).recorded(), other.rank(r).dropped());
+  }
+  for (const LinkTrack& track : other.links_) {
+    auto it = std::find_if(
+        links_.begin(), links_.end(),
+        [&](const LinkTrack& mine) { return mine.name == track.name; });
+    if (it == links_.end()) {
+      links_.push_back(track);
+      continue;
+    }
+    it->messages += track.messages;
+    it->bytes += track.bytes;
+    it->busy_s += track.busy_s;
+    it->queued_s += track.queued_s;
+    it->points.insert(it->points.end(), track.points.begin(),
+                      track.points.end());
+  }
+}
+
 Table Recorder::summary_table() const {
   Table t(std::string("Trace summary (") +
           (virtual_time_ ? "virtual" : "wall-clock") + " time)");

@@ -192,11 +192,18 @@ class RankTrace {
   /// Events in record order (oldest surviving first).
   std::vector<Event> events() const;
 
-  std::uint64_t recorded() const { return total_; }
+  std::uint64_t recorded() const { return total_ + merged_recorded_; }
   std::uint64_t dropped() const {
-    return total_ > capacity_ ? total_ - capacity_ : 0;
+    return (total_ > capacity_ ? total_ - capacity_ : 0) + merged_dropped_;
   }
   std::size_t capacity() const { return capacity_; }
+
+  /// Fold another rank's event accounting into this one (the events
+  /// themselves stay with their source ring — only the totals commute).
+  void fold_counts(std::uint64_t recorded, std::uint64_t dropped) {
+    merged_recorded_ += recorded;
+    merged_dropped_ += dropped;
+  }
 
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
@@ -206,6 +213,8 @@ class RankTrace {
   std::vector<Event> ring_;
   std::size_t next_ = 0;  ///< overwrite cursor once the ring is full
   std::uint64_t total_ = 0;
+  std::uint64_t merged_recorded_ = 0;  ///< from Recorder::merge sources
+  std::uint64_t merged_dropped_ = 0;
   Counters counters_;
 };
 
@@ -248,6 +257,12 @@ class Recorder {
 
   /// Counters summed over all ranks.
   Counters total() const;
+
+  /// Fold another recorder's counters into this one, rank-aligned
+  /// (other ranks beyond nranks() fold into rank nranks()-1). Event
+  /// rings are not merged — only counters commute; call in a fixed
+  /// order (e.g. sweep point index) for deterministic aggregates.
+  void merge(const Recorder& other);
 
   /// Per-rank counter summary (core/table formatted).
   Table summary_table() const;

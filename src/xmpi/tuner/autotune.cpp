@@ -1,5 +1,6 @@
 #include "xmpi/tuner/autotune.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <string>
@@ -12,8 +13,6 @@
 
 namespace hpcx::xmpi::tuner {
 
-namespace {
-
 const std::vector<Collective>& all_collectives() {
   static const std::vector<Collective> all = {
       Collective::kBcast, Collective::kAllreduce, Collective::kAllgather,
@@ -21,23 +20,32 @@ const std::vector<Collective>& all_collectives() {
   return all;
 }
 
-/// The concrete (non-auto) algorithms the tuner races per collective.
-std::vector<std::string> algorithms_for(Collective c) {
+const std::vector<std::string>& algorithms_for(Collective c) {
+  static const std::vector<std::string> bcast = {
+      "binomial", "scatter-ring", "pipelined-ring", "binomial-segmented"};
+  static const std::vector<std::string> allreduce = {"recursive-doubling",
+                                                     "rabenseifner"};
+  static const std::vector<std::string> allgather = {"bruck", "ring",
+                                                     "gather-bcast"};
+  static const std::vector<std::string> alltoall = {"pairwise", "bruck"};
+  static const std::vector<std::string> reduce_scatter = {"recursive-halving",
+                                                          "ring", "pairwise"};
   switch (c) {
     case Collective::kBcast:
-      return {"binomial", "scatter-ring", "pipelined-ring",
-              "binomial-segmented"};
+      return bcast;
     case Collective::kAllreduce:
-      return {"recursive-doubling", "rabenseifner"};
+      return allreduce;
     case Collective::kAllgather:
-      return {"bruck", "ring", "gather-bcast"};
+      return allgather;
     case Collective::kAlltoall:
-      return {"pairwise", "bruck"};
+      return alltoall;
     case Collective::kReduceScatter:
-      return {"recursive-halving", "ring", "pairwise"};
+      return reduce_scatter;
   }
-  return {};
+  return bcast;
 }
+
+namespace {
 
 /// Force `c` to run `name` for `coll` (the names come from
 /// algorithms_for, so parse cannot fail).
@@ -88,13 +96,19 @@ TuningTable tune_on(const std::string& machine_name, const std::string& clock,
   table.clock = clock;
 
   for (const Collective coll : colls) {
+    std::vector<std::string> algs;
+    for (const std::string& alg : algorithms_for(coll))
+      if (opts.algorithms.empty() ||
+          std::find(opts.algorithms.begin(), opts.algorithms.end(), alg) !=
+              opts.algorithms.end())
+        algs.push_back(alg);
     std::vector<Measurement> plan;
     for (std::size_t bytes = opts.min_bytes; bytes <= opts.max_bytes;
          bytes *= 2) {
-      for (const std::string& alg : algorithms_for(coll))
-        plan.push_back({bytes, alg, {}});
+      for (const std::string& alg : algs) plan.push_back({bytes, alg, {}});
       if (bytes > opts.max_bytes / 2) break;  // overflow guard
     }
+    if (algs.empty()) continue;
 
     // One world per collective: every rank walks the identical plan so
     // the collectives stay matched; only rank 0 stores timings.

@@ -28,7 +28,20 @@ struct TuneOptions {
   int iters = 0;    ///< ops per timing; 0 = substrate default (sim 1, threads 8)
   int repeats = 0;  ///< timings per cell; 0 = default (sim 1, threads 3)
   std::vector<Collective> collectives;  ///< empty = all five
+  /// Restrict the race to these algorithm names (empty = every algorithm
+  /// registered for the collective). Lets a driver decompose the search
+  /// into independent per-algorithm worlds and merge the winners itself.
+  std::vector<std::string> algorithms;
 };
+
+/// The collectives autotune() races by default, in race order.
+const std::vector<Collective>& all_collectives();
+
+/// The concrete (non-auto) algorithm names raced for `c`, in race order —
+/// the serial tuner breaks timing ties by first-listed-wins, so any
+/// decomposed search must merge winners in this order with a strict
+/// less-than to reproduce the serial table.
+const std::vector<std::string>& algorithms_for(Collective c);
 
 /// Tune on `nranks` simulated ranks of machine `m`.
 TuningTable autotune(const mach::MachineConfig& m, int nranks,

@@ -1,0 +1,331 @@
+// Sweep API: spec enumeration, cache-key content addressing, on-disk
+// round trips, hit/miss accounting, and the executor's determinism
+// contract (jobs = N merges index-aligned, so results are identical to
+// serial execution at any worker count — the tsan preset runs the
+// stress cases under the race detector).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "machine/machine.hpp"
+#include "machine/registry.hpp"
+#include "report/sweep.hpp"
+#include "trace/trace.hpp"
+
+namespace hpcx::report {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+SweepPoint custom_point(const std::string& name, double value,
+                        std::function<SweepResult(trace::Recorder*)> fn = {}) {
+  SweepPoint pt;
+  pt.workload = SweepWorkload::kCustom;
+  pt.workload_name = name;
+  pt.machine = mach::dell_xeon();
+  pt.np = 4;
+  pt.msg_bytes = static_cast<std::size_t>(value);  // distinct cache keys
+  if (fn) {
+    pt.run = std::move(fn);
+  } else {
+    pt.run = [value](trace::Recorder*) {
+      SweepResult out;
+      out.set("v", value);
+      return out;
+    };
+  }
+  return pt;
+}
+
+TEST(SweepSpec, EnumeratesMachineMajorGrid) {
+  SweepSpec spec;
+  spec.workload = SweepWorkload::kImb;
+  spec.imb_id = imb::BenchmarkId::kAllreduce;
+  spec.machines = {mach::dell_xeon(), mach::nec_sx8()};
+  spec.np_set = {4, 8};
+  spec.sizes = {1024, 4096};
+  const auto points = enumerate(spec);
+  ASSERT_EQ(8u, points.size());
+  EXPECT_EQ("dell_xeon", points[0].machine.short_name);
+  EXPECT_EQ(4, points[0].np);
+  EXPECT_EQ(1024u, points[0].msg_bytes);
+  EXPECT_EQ(4096u, points[1].msg_bytes);  // size is the innermost axis
+  EXPECT_EQ(8, points[2].np);
+  EXPECT_EQ("sx8", points[4].machine.short_name);
+  for (const auto& pt : points) EXPECT_EQ("imb/Allreduce", pt.workload_name);
+}
+
+TEST(SweepSpec, SkipsCpuCountsAboveMachineMax) {
+  SweepSpec spec;
+  spec.workload = SweepWorkload::kImb;
+  spec.imb_id = imb::BenchmarkId::kBcast;
+  spec.machines = {mach::cray_x1_msp()};  // max_cpus = 16
+  spec.np_set = {8, 16, 64, 512};
+  spec.sizes = {1024};
+  const auto points = enumerate(spec);
+  ASSERT_EQ(2u, points.size());
+  EXPECT_EQ(8, points[0].np);
+  EXPECT_EQ(16, points[1].np);
+}
+
+TEST(SweepSpec, DefaultAxesComeFromSeriesTables) {
+  SweepSpec spec;
+  spec.workload = SweepWorkload::kImb;
+  spec.imb_id = imb::BenchmarkId::kAllreduce;
+  spec.msg_bytes = 1 << 20;
+  spec.machines = {mach::cray_x1_msp()};
+  const auto points = enumerate(spec);
+  ASSERT_FALSE(points.empty());
+  for (const auto& pt : points) {
+    EXPECT_LE(pt.np, 16);
+    EXPECT_EQ(std::size_t{1} << 20, pt.msg_bytes);
+  }
+}
+
+TEST(ModelFingerprint, StableAndSensitive) {
+  const auto a = mach::model_fingerprint(mach::nec_sx8());
+  const auto b = mach::model_fingerprint(mach::nec_sx8());
+  EXPECT_EQ(a, b);  // same config, same process-independent hash
+  mach::MachineConfig tweaked = mach::nec_sx8();
+  tweaked.nic.injection_Bps *= 2;
+  EXPECT_NE(a, mach::model_fingerprint(tweaked));
+  EXPECT_NE(a, mach::model_fingerprint(mach::dell_xeon()));
+}
+
+TEST(SweepPoint, CacheKeyIsContentAddressed) {
+  SweepPoint pt;
+  pt.workload = SweepWorkload::kImb;
+  pt.workload_name = "imb/Allreduce";
+  pt.imb_id = imb::BenchmarkId::kAllreduce;
+  pt.machine = mach::nec_sx8();
+  pt.np = 16;
+  pt.msg_bytes = 1024;
+  const std::string key = pt.cache_key();
+  EXPECT_EQ(key, pt.cache_key());  // deterministic
+
+  SweepPoint other = pt;
+  other.np = 32;
+  EXPECT_NE(key, other.cache_key());
+  other = pt;
+  other.msg_bytes = 2048;
+  EXPECT_NE(key, other.cache_key());
+  other = pt;
+  other.config = "tuning=abc";
+  EXPECT_NE(key, other.cache_key());
+  other = pt;
+  other.allreduce_alg = xmpi::AllreduceAlg::kRabenseifner;
+  EXPECT_NE(key, other.cache_key());
+  other = pt;
+  other.machine.proc.flops_per_cycle *= 2;  // model change = new address
+  EXPECT_NE(key, other.cache_key());
+}
+
+TEST(ResultCache, RoundTripsBitExactDoubles) {
+  const std::string path = temp_path("sweep_cache_roundtrip.json");
+  std::remove(path.c_str());
+  const double v1 = 1.0 / 3.0;
+  const double v2 = 6.02214076e-23;
+  {
+    ResultCache cache(path);
+    SweepResult r;
+    r.set("third", v1);
+    r.set("tiny", v2);
+    r.set_text("alg", "rabenseifner");
+    cache.store("k1", r);
+    cache.flush();
+  }
+  {
+    ResultCache cache(path);
+    EXPECT_EQ(1u, cache.size());
+    SweepResult r;
+    ASSERT_TRUE(cache.lookup("k1", r));
+    EXPECT_EQ(v1, r.get("third"));  // bit-exact, not approximate
+    EXPECT_EQ(v2, r.get("tiny"));
+    ASSERT_NE(nullptr, r.text("alg"));
+    EXPECT_EQ("rabenseifner", *r.text("alg"));
+    EXPECT_FALSE(cache.lookup("absent", r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, RejectsForeignSchema) {
+  const std::string path = temp_path("sweep_cache_bad.json");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(nullptr, f);
+    std::fputs("{\"schema\": \"not-a-sweep-cache/9\"}", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(ResultCache{path}, ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(SweepExecutor, CountsHitsAndMissesAcrossRuns) {
+  ResultCache cache;  // memory-only
+  SweepExecutor::Config config;
+  config.cache = &cache;
+  std::atomic<int> executions{0};
+  auto counted = [&](double v) {
+    return custom_point("test/hits", v, [&executions, v](trace::Recorder*) {
+      executions.fetch_add(1);
+      SweepResult out;
+      out.set("v", v);
+      return out;
+    });
+  };
+
+  SweepExecutor executor(config);
+  const SweepRun cold = executor.run({counted(1), counted(2)});
+  EXPECT_EQ(2, executions.load());
+  EXPECT_EQ(2u, cold.stats.points);
+  EXPECT_EQ(2u, cold.stats.executed);
+  EXPECT_EQ(0u, cold.stats.cache_hits);
+
+  const SweepRun warm = executor.run({counted(1), counted(2), counted(3)});
+  EXPECT_EQ(3, executions.load());  // only the new point ran
+  EXPECT_EQ(2u, warm.stats.cache_hits);
+  EXPECT_EQ(1u, warm.stats.executed);
+  EXPECT_EQ(1.0, warm.results[0].get("v"));
+  EXPECT_EQ(2.0, warm.results[1].get("v"));
+  EXPECT_EQ(3.0, warm.results[2].get("v"));
+
+  EXPECT_EQ(5u, executor.totals().points);
+  EXPECT_EQ(3u, executor.totals().executed);
+  EXPECT_EQ(2u, executor.totals().cache_hits);
+  EXPECT_DOUBLE_EQ(2.0 / 5.0, executor.totals().hit_rate());
+}
+
+TEST(SweepExecutor, CacheHitsCarryNoRecorder) {
+  ResultCache cache;
+  SweepExecutor::Config config;
+  config.cache = &cache;
+  config.record_points = true;
+  SweepExecutor executor(config);
+  const SweepRun cold = executor.run({custom_point("test/rec", 1)});
+  ASSERT_EQ(1u, cold.recorders.size());
+  EXPECT_NE(nullptr, cold.recorders[0]);
+  const SweepRun warm = executor.run({custom_point("test/rec", 1)});
+  ASSERT_EQ(1u, warm.recorders.size());
+  EXPECT_EQ(nullptr, warm.recorders[0]);  // nothing ran
+}
+
+/// The determinism contract: identical results at any job count. Runs
+/// real simulated IMB points so the worlds exercise the DES engine from
+/// several host threads at once (a race here is a tsan finding).
+TEST(SweepExecutor, ParallelResultsIdenticalToSerial) {
+  SweepSpec spec;
+  spec.workload = SweepWorkload::kImb;
+  spec.imb_id = imb::BenchmarkId::kAllreduce;
+  spec.machines = {mach::dell_xeon(), mach::nec_sx8()};
+  spec.np_set = {2, 4, 8};
+  spec.sizes = {1024, 65536};
+
+  SweepExecutor serial;
+  const SweepRun a = serial.run(enumerate(spec));
+  SweepExecutor::Config config;
+  config.jobs = 4;
+  SweepExecutor parallel(config);
+  const SweepRun b = parallel.run(enumerate(spec));
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  ASSERT_EQ(12u, a.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].values.size(), b.results[i].values.size());
+    for (std::size_t v = 0; v < a.results[i].values.size(); ++v) {
+      EXPECT_EQ(a.results[i].values[v].first, b.results[i].values[v].first);
+      // Bit-exact: virtual time is independent of host scheduling.
+      EXPECT_EQ(a.results[i].values[v].second, b.results[i].values[v].second);
+    }
+  }
+}
+
+/// tsan stress: many tiny worlds, a shared cache, and per-point
+/// recorders, all hammered from 8 workers.
+TEST(SweepExecutor, StressSharedCacheUnderContention) {
+  ResultCache cache;
+  SweepExecutor::Config config;
+  config.jobs = 8;
+  config.cache = &cache;
+  config.record_points = true;
+  SweepExecutor executor(config);
+
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < 32; ++i)
+    points.push_back(custom_point("test/stress", 100 + i));
+  const SweepRun run = executor.run(std::move(points));
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(100.0 + i, run.results[static_cast<std::size_t>(i)].get("v"));
+  EXPECT_EQ(32u, run.stats.executed);
+
+  // Second pass: all hits, still index-aligned.
+  std::vector<SweepPoint> again;
+  for (int i = 0; i < 32; ++i)
+    again.push_back(custom_point("test/stress", 100 + i));
+  const SweepRun warm = executor.run(std::move(again));
+  EXPECT_EQ(32u, warm.stats.cache_hits);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(100.0 + i, warm.results[static_cast<std::size_t>(i)].get("v"));
+}
+
+TEST(SweepExecutor, LowestIndexExceptionWins) {
+  SweepExecutor::Config config;
+  config.jobs = 4;
+  SweepExecutor executor(config);
+  std::vector<SweepPoint> points;
+  points.push_back(custom_point("test/ok", 1));
+  points.push_back(custom_point("test/boom-a", 2, [](trace::Recorder*) {
+    throw ConfigError("boom-a");
+    return SweepResult{};
+  }));
+  points.push_back(custom_point("test/boom-b", 3, [](trace::Recorder*) {
+    throw ConfigError("boom-b");
+    return SweepResult{};
+  }));
+  try {
+    executor.run(std::move(points));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ("boom-a", e.what());
+  }
+}
+
+TEST(RecorderMerge, FoldsCountersAndLinks) {
+  trace::Recorder a(2);
+  a.rank(0).counters().note_send(100);
+  a.rank(1).counters().note_recv(50);
+  trace::LinkTrack l1;
+  l1.name = "h0->sw";
+  l1.messages = 3;
+  l1.bytes = 300;
+  l1.busy_s = 0.5;
+  a.set_link_tracks({l1});
+
+  trace::Recorder b(2);
+  b.rank(0).counters().note_send(10);
+  trace::LinkTrack l2 = l1;
+  l2.messages = 7;
+  l2.bytes = 700;
+  trace::LinkTrack l3;
+  l3.name = "sw->h1";
+  l3.messages = 1;
+  b.set_link_tracks({l2, l3});
+
+  a.merge(b);
+  EXPECT_EQ(2u, a.rank(0).counters().sends);
+  EXPECT_EQ(110u, a.rank(0).counters().bytes_sent);
+  EXPECT_EQ(1u, a.rank(1).counters().recvs);
+  // Same-name links fold; new links append.
+  ASSERT_EQ(2u, a.link_tracks().size());
+  EXPECT_EQ(10u, a.link_tracks()[0].messages);
+  EXPECT_EQ(1000u, a.link_tracks()[0].bytes);
+  EXPECT_EQ("sw->h1", a.link_tracks()[1].name);
+}
+
+}  // namespace
+}  // namespace hpcx::report

@@ -7,6 +7,7 @@
 //   hpcx_cli --machine dell_xeon --cpus 32 --suite imb --msg-bytes 65536
 //   hpcx_cli --threads 4 --suite hpcc            # real execution
 //   hpcx_cli --machine sx8 --suite hpcc --metrics-out run.json
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
 #include "metrics/run_record.hpp"
+#include "report/sweep.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
@@ -47,6 +49,15 @@ void usage() {
       "  --msg-bytes <n>          IMB message size (default: 1048576)\n"
       "  --repeats <n>            measurement repetitions for --metrics-out\n"
       "                           statistics (default: 1)\n"
+      "  --jobs <n>               worker threads for the simulated IMB\n"
+      "                           suite (default: 1; every benchmark is an\n"
+      "                           isolated sweep point, so results are\n"
+      "                           identical at any job count; rejected\n"
+      "                           with --threads)\n"
+      "  --cache <file>           persistent hpcx-sweep-cache/1 result\n"
+      "                           cache for the simulated IMB suite\n"
+      "                           (ignored while --trace-out needs a live\n"
+      "                           run)\n"
       "  --bcast-alg <name>       force the broadcast algorithm\n"
       "                           (auto|binomial|scatter-ring|pipelined-ring|\n"
       "                           binomial-segmented)\n"
@@ -117,9 +128,28 @@ struct ImbCliOptions {
   std::string trace_path;
   std::string metrics_path;
   int repeats = 1;
+  int jobs = 1;            ///< sweep executor workers (simulated runs)
+  std::string cache_path;  ///< persistent sweep cache (simulated runs)
   bool stats = false;
   xmpi::TransportTuning transport;  ///< --threads runs only
 };
+
+/// FNV-1a over a file's bytes, as hex — folds the *content* of a
+/// --tuning table into sweep cache keys, so editing the table (not just
+/// renaming it) invalidates cached points.
+std::string file_content_hash(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::uint64_t h = 1469598103934665603ull;
+  char c;
+  while (in.get(c)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
 
 /// Forced (non-auto) algorithm overrides as "bcast=binomial,..." for the
 /// record's environment block.
@@ -182,19 +212,151 @@ void print_stats(const trace::Recorder& recorder) {
     recorder.link_table().print(std::cout);
 }
 
-int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
-            const ImbCliOptions& opts) {
-  const std::string where =
-      machine ? machine->name : std::to_string(cpus) + " host threads";
+/// Simulated IMB suite, routed through the sweep executor: every
+/// (benchmark, repeat) is an isolated sweep point, so --jobs fans the
+/// suite across host cores and --cache answers repeated runs from disk.
+/// Per-point recorders are merged in point order, so --stats prints the
+/// same aggregate counters at any job count (cache hits carry no
+/// recorder — nothing ran).
+int run_imb_sim(const mach::MachineConfig& machine, int cpus,
+                const ImbCliOptions& opts) {
+  const bool wants_metrics = !opts.metrics_path.empty();
+  const bool traced = !opts.trace_path.empty() || opts.stats || wants_metrics;
+
+  std::vector<imb::BenchmarkId> ids;
+  for (const auto id : imb::all_benchmarks())
+    if (!opts.only || id == *opts.only) ids.push_back(id);
+  const int reps = wants_metrics ? std::max(1, opts.repeats) : 1;
+
+  const std::string tuning_key =
+      opts.tuning_path.empty()
+          ? std::string()
+          : "tuning=" + file_content_hash(opts.tuning_path);
+  std::vector<report::SweepPoint> points;
+  for (const auto id : ids)
+    for (int rep = 0; rep < reps; ++rep) {
+      report::SweepPoint pt;
+      pt.workload = report::SweepWorkload::kImb;
+      pt.workload_name = std::string("imb/") + imb::to_string(id);
+      pt.imb_id = id;
+      pt.machine = machine;
+      pt.np = cpus;
+      pt.msg_bytes =
+          id == imb::BenchmarkId::kBarrier ? 0 : opts.msg_bytes;
+      pt.repetitions = 0;  // IMB auto (volume-capped), the CLI default
+      pt.bcast_alg = opts.bcast_alg;
+      pt.allreduce_alg = opts.allreduce_alg;
+      pt.allgather_alg = opts.allgather_alg;
+      pt.alltoall_alg = opts.alltoall_alg;
+      pt.reduce_scatter_alg = opts.reduce_scatter_alg;
+      pt.config = tuning_key;
+      points.push_back(std::move(pt));
+    }
+
+  // --trace-out needs the traced benchmark to actually execute, so the
+  // cache only backs untraced invocations.
+  std::optional<report::ResultCache> cache;
+  if (!opts.cache_path.empty() && opts.trace_path.empty())
+    cache.emplace(opts.cache_path);
+  report::SweepExecutor::Config config;
+  config.jobs = opts.jobs;
+  config.cache = cache ? &*cache : nullptr;
+  config.record_points = traced;
+  if (!opts.trace_path.empty()) config.record_events_per_rank = 1 << 15;
+  report::SweepExecutor executor(config);
+  const report::SweepRun run = executor.run(std::move(points));
+
+  // Merge per-point counters in point order into one aggregate view.
+  trace::Recorder recorder(cpus);
+  recorder.set_virtual_time(true);
+  const trace::Recorder* event_source = nullptr;
+  for (const auto& r : run.recorders)
+    if (r != nullptr) {
+      recorder.merge(*r);
+      if (event_source == nullptr) event_source = r.get();
+    }
+
+  std::optional<metrics::RunRecord> record;
+  if (wants_metrics) record = make_record(opts, machine, cpus);
+  const std::string where = machine.name;
   Table t("IMB (" + std::string(format_bytes(opts.msg_bytes)) + ") on " +
           where + ", " + std::to_string(cpus) + " CPUs");
+  t.set_header({"benchmark", "t_min", "t_avg", "t_max", "bandwidth"});
+  for (std::size_t b = 0; b < ids.size(); ++b) {
+    Stats t_avg;
+    const report::SweepResult* last = nullptr;
+    for (int rep = 0; rep < reps; ++rep) {
+      last = &run.results[b * reps + rep];
+      t_avg.add(last->get("t_avg_s"));
+    }
+    if (record) {
+      const std::string base =
+          std::string("imb/") + imb::to_string(ids[b]);
+      metrics::Metric& avg = record->add_metric(
+          base + "/t_avg", t_avg.mean(), "s", metrics::Better::kLower);
+      avg.repeats = static_cast<int>(t_avg.count());
+      avg.min = t_avg.min();
+      avg.max = t_avg.max();
+      avg.cov = t_avg.mean() > 0.0 ? t_avg.stddev() / t_avg.mean() : 0.0;
+      record->add_metric(base + "/t_max", last->get("t_max_s"), "s",
+                         metrics::Better::kLower);
+      if (last->get("bandwidth_Bps") > 0)
+        record->add_metric(base + "/bandwidth", last->get("bandwidth_Bps"),
+                           "B/s", metrics::Better::kHigher);
+    }
+    t.add_row({imb::to_string(ids[b]), format_time(last->get("t_min_s")),
+               format_time(last->get("t_avg_s")),
+               format_time(last->get("t_max_s")),
+               last->get("bandwidth_Bps") > 0
+                   ? format_bandwidth(last->get("bandwidth_Bps"))
+                   : std::string("-")});
+  }
+  t.print(std::cout);
+  if (cache) {
+    cache->flush();
+    std::cout << "sweep cache: " << run.stats.cache_hits << "/"
+              << run.stats.points << " points from cache; " << cache->size()
+              << " entries in " << opts.cache_path << "\n";
+  }
+  if (opts.stats) print_stats(recorder);
+  if (!opts.trace_path.empty()) {
+    if (event_source == nullptr) {
+      std::fprintf(stderr, "no traced run to export\n");
+      return 1;
+    }
+    std::ofstream out(opts.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file: %s\n",
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    trace::write_chrome_trace(out, *event_source);
+    std::cout << "trace written to " << opts.trace_path << "\n";
+  }
+  if (record) {
+    record->set_rank_buckets(recorder);
+    if (cache)
+      record->add_metric("sweep/cache_hit_rate", run.stats.hit_rate(), "",
+                         metrics::Better::kHigher);
+    return write_record(*record, opts.metrics_path);
+  }
+  return 0;
+}
+
+/// Real-execution IMB suite on host threads. Stays serial: concurrent
+/// worlds would contend for the same cores and perturb each other's
+/// wall-clock timings, so --jobs does not apply here.
+int run_imb_threads(int cpus, const ImbCliOptions& opts) {
+  Table t("IMB (" + std::string(format_bytes(opts.msg_bytes)) + ") on " +
+          std::to_string(cpus) + " host threads, " + std::to_string(cpus) +
+          " CPUs");
   t.set_header({"benchmark", "t_min", "t_avg", "t_max", "bandwidth"});
   const bool wants_metrics = !opts.metrics_path.empty();
   const bool traced = !opts.trace_path.empty() || opts.stats || wants_metrics;
   std::optional<trace::Recorder> recorder;
   if (traced) recorder.emplace(cpus);
   std::optional<metrics::RunRecord> record;
-  if (wants_metrics) record = make_record(opts, machine, cpus);
+  if (wants_metrics) record = make_record(opts, std::nullopt, cpus);
   for (const auto id : imb::all_benchmarks()) {
     if (opts.only && id != *opts.only) continue;
     imb::ImbResult r;
@@ -206,21 +368,15 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
       c.tuning().reduce_scatter_alg = opts.reduce_scatter_alg;
       imb::ImbParams params;
       params.msg_bytes = id == imb::BenchmarkId::kBarrier ? 0 : opts.msg_bytes;
-      params.phantom = machine.has_value();
+      params.phantom = false;
       const auto res = imb::run_benchmark(id, c, params);
       if (c.rank() == 0) r = res;
     };
     auto run_once = [&] {
-      if (machine) {
-        xmpi::SimRunOptions run_options;
-        run_options.recorder = recorder ? &*recorder : nullptr;
-        xmpi::run_on_machine(*machine, cpus, body, run_options);
-      } else {
-        xmpi::ThreadRunOptions run_options;
-        run_options.recorder = recorder ? &*recorder : nullptr;
-        run_options.transport = opts.transport;
-        xmpi::run_on_threads(cpus, body, run_options);
-      }
+      xmpi::ThreadRunOptions run_options;
+      run_options.recorder = recorder ? &*recorder : nullptr;
+      run_options.transport = opts.transport;
+      xmpi::run_on_threads(cpus, body, run_options);
     };
     Stats t_avg;
     const int reps = wants_metrics ? std::max(1, opts.repeats) : 1;
@@ -264,6 +420,12 @@ int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
     return write_record(*record, opts.metrics_path);
   }
   return 0;
+}
+
+int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
+            const ImbCliOptions& opts) {
+  return machine ? run_imb_sim(*machine, cpus, opts)
+                 : run_imb_threads(cpus, opts);
 }
 
 int run_hpcc(const std::optional<mach::MachineConfig>& machine, int cpus,
@@ -366,6 +528,14 @@ int main(int argc, char** argv) {
       imb_options.metrics_path = next();
     } else if (arg == "--stats") {
       imb_options.stats = true;
+    } else if (arg == "--jobs") {
+      imb_options.jobs = std::atoi(next());
+      if (imb_options.jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a positive thread count\n");
+        return 2;
+      }
+    } else if (arg == "--cache") {
+      imb_options.cache_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -376,6 +546,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (real_threads && imb_options.jobs > 1) {
+    std::fprintf(stderr,
+                 "--jobs applies to simulated runs only; real --threads "
+                 "execution stays serial\n");
+    return 2;
+  }
   try {
     if (!imb_options.tuning_path.empty()) {
       // Every comm built from here on consults the table under kAuto.

@@ -21,12 +21,15 @@
 #include <ctime>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
 #include "core/table.hpp"
 #include "machine/registry.hpp"
+#include "report/sweep.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
 #include "xmpi/thread_comm.hpp"
@@ -54,6 +57,12 @@ void usage() {
       "  --max-bytes <n>       largest message size (default: 1048576)\n"
       "  --iters <n>           ops per timing (default: sim 1, threads 8)\n"
       "  --repeats <n>         timings per cell (default: sim 1, threads 3)\n"
+      "  --jobs <n>            race the (collective, algorithm) search\n"
+      "                        points on n worker threads (simulated\n"
+      "                        tuning only; the table is identical at any\n"
+      "                        job count)\n"
+      "  --cache <file>        reuse per-algorithm timings from this\n"
+      "                        sweep-cache JSON store across runs\n"
       "  --out <file>          write the hpcx-tuning/1 JSON table\n"
       "  --verify <file>       load a table, replay the tuned collectives\n"
       "                        and check the dispatch counters (exit 1 on\n"
@@ -177,6 +186,94 @@ int verify_table(const std::string& path, int cpus_override) {
   return 0;
 }
 
+/// Decomposed simulated autotune: one sweep point per (collective,
+/// algorithm), each timing the full size sweep in its own isolated
+/// world — no channel state left behind by a rival algorithm perturbs
+/// the measurement. The simulator is deterministic, so the merged
+/// table (winners in algorithms_for order, strict less-than, so the
+/// first-listed algorithm keeps ties) is identical at any job count,
+/// warm or cold cache. Timings can differ in the last bits from the
+/// old shared-world plan walk, which measured every algorithm in one
+/// long-lived world.
+TuningTable autotune_sweep(const mach::MachineConfig& m, int nranks,
+                           const TuneOptions& opts,
+                           report::SweepExecutor& executor) {
+  const std::vector<Collective>& colls = opts.collectives.empty()
+                                             ? xmpi::tuner::all_collectives()
+                                             : opts.collectives;
+  const std::string config =
+      "tune min=" + std::to_string(opts.min_bytes) +
+      ",max=" + std::to_string(opts.max_bytes) +
+      ",iters=" + std::to_string(opts.iters) +
+      ",repeats=" + std::to_string(opts.repeats);
+
+  std::vector<report::SweepPoint> points;
+  std::vector<std::pair<Collective, std::string>> labels;
+  for (const Collective coll : colls)
+    for (const std::string& alg : xmpi::tuner::algorithms_for(coll)) {
+      report::SweepPoint pt;
+      pt.workload = report::SweepWorkload::kCustom;
+      pt.workload_name =
+          std::string("tune/") + xmpi::tuner::to_string(coll) + "/" + alg;
+      pt.machine = m;
+      pt.np = nranks;
+      pt.msg_bytes = opts.max_bytes;
+      pt.config = config;
+      pt.run = [m, nranks, opts, coll, alg](trace::Recorder*) {
+        TuneOptions sub = opts;
+        sub.collectives = {coll};
+        sub.algorithms = {alg};
+        const TuningTable t = xmpi::tuner::autotune(m, nranks, sub);
+        report::SweepResult out;
+        for (const Cell& cell : t.cells()) {
+          const std::string key = "sc" + std::to_string(cell.size_class);
+          out.set(key + "_t", cell.t_s);
+          out.set(key + "_cov", cell.cov);
+        }
+        return out;
+      };
+      points.push_back(std::move(pt));
+      labels.emplace_back(coll, alg);
+    }
+  const report::SweepRun run = executor.run(std::move(points));
+
+  // Merge: same bytes sweep, same race order, strict < — first-listed
+  // algorithm wins ties exactly as in the serial plan walk.
+  TuningTable table;
+  table.machine = m.short_name;
+  table.clock = "virtual";
+  for (const Collective coll : colls) {
+    for (std::size_t bytes = opts.min_bytes; bytes <= opts.max_bytes;
+         bytes *= 2) {
+      const int sc = static_cast<int>(trace::size_class(bytes));
+      const std::string key = "sc" + std::to_string(sc);
+      const report::SweepResult* best = nullptr;
+      std::string best_alg;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i].first != coll) continue;
+        const report::SweepResult& r = run.results[i];
+        if (!r.has(key + "_t")) continue;
+        if (best == nullptr || r.get(key + "_t") < best->get(key + "_t")) {
+          best = &r;
+          best_alg = labels[i].second;
+        }
+      }
+      if (best != nullptr) {
+        Cell cell;
+        cell.coll = coll;
+        cell.np = nranks;
+        cell.size_class = sc;
+        cell.alg = best_alg;
+        cell.t_s = best->get(key + "_t");
+        cell.cov = best->get(key + "_cov");
+        table.add(cell);
+      }
+      if (bytes > opts.max_bytes / 2) break;  // overflow guard
+    }
+  }
+  return table;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +282,8 @@ int main(int argc, char** argv) {
   std::string verify_path;
   int cpus = 0;  // 0: default 32 for tuning, table-derived for --verify
   bool threads = false;
+  int jobs = 1;
+  std::string cache_path;
   TuneOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -219,6 +318,14 @@ int main(int argc, char** argv) {
       opts.iters = std::atoi(next());
     } else if (arg == "--repeats") {
       opts.repeats = std::atoi(next());
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a positive thread count\n");
+        return 2;
+      }
+    } else if (arg == "--cache") {
+      cache_path = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--verify") {
@@ -233,13 +340,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (threads && (jobs > 1 || !cache_path.empty())) {
+    std::fprintf(stderr,
+                 "--jobs/--cache apply to simulated tuning only; real "
+                 "--threads timing stays serial\n");
+    return 2;
+  }
   try {
     if (!verify_path.empty()) return verify_table(verify_path, cpus);
     const int nranks = cpus > 0 ? cpus : 32;
-    TuningTable table =
-        threads ? xmpi::tuner::autotune_threads(nranks, opts)
-                : xmpi::tuner::autotune(mach::machine_by_name(machine_name),
-                                        nranks, opts);
+    TuningTable table;
+    if (threads) {
+      table = xmpi::tuner::autotune_threads(nranks, opts);
+    } else {
+      std::optional<report::ResultCache> cache;
+      if (!cache_path.empty()) cache.emplace(cache_path);
+      report::SweepExecutor::Config config;
+      config.jobs = jobs;
+      config.cache = cache ? &*cache : nullptr;
+      report::SweepExecutor executor(config);
+      table = autotune_sweep(mach::machine_by_name(machine_name), nranks,
+                             opts, executor);
+      if (cache) {
+        cache->flush();
+        const report::SweepStats totals = executor.totals();
+        std::cout << "sweep cache: " << totals.cache_hits << "/"
+                  << totals.points << " points from cache; " << cache->size()
+                  << " entries in " << cache_path << "\n";
+      }
+    }
     table.created = utc_timestamp();
     table.summary_table().print(std::cout);
     if (!out_path.empty()) {
