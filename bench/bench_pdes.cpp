@@ -1,0 +1,83 @@
+// Parallel-DES scaling benchmarks: the conservative multi-LP engine on
+// a fig06-shape (IMB Barrier) workload at rank counts far beyond the
+// paper's 2048-CPU ceiling. Two questions are measured:
+//
+//   1. scaling — wall time per simulated barrier at 4Ki/16Ki ranks as
+//      the host worker count grows (BM_PdesBarrier);
+//   2. agreement — at 64Ki ranks the 8-worker makespan must be
+//      *bit-identical* to the single-worker one (BM_PdesAgreement64Ki
+//      fails the run otherwise), pinning the acceptance bar of the
+//      parallel-engine PR at benchmark scale, where the unit tests
+//      cannot afford to go.
+//
+// The machine model is the paper's dell_xeon stretched to 512 CPUs per
+// node, so 64Ki ranks fit in a 128-node fat tree — wide nodes keep the
+// topology build cheap while the rank count stresses fibers, queues and
+// the cross-LP merge. Baseline lives in BENCH_pdes.json at the repo
+// root (regenerate with tools/bench_engine.sh).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "machine/registry.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace {
+
+hpcx::mach::MachineConfig wide_machine() {
+  hpcx::mach::MachineConfig m = hpcx::mach::dell_xeon();
+  m.cpus_per_node = 512;
+  m.max_cpus = 1 << 20;
+  return m;
+}
+
+double simulate_barrier(int ranks, int workers) {
+  hpcx::xmpi::SimRunOptions options;
+  options.sim_workers = workers;
+  const auto r = hpcx::xmpi::run_on_machine(
+      wide_machine(), ranks, [](hpcx::xmpi::Comm& c) { c.barrier(); },
+      options);
+  return r.makespan_s;
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+void BM_PdesBarrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_barrier(ranks, workers));
+  }
+  // Ranks per second of host wall time: the figure-sweep planning
+  // number ("how wide a machine can one point simulate per second").
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_PdesBarrier)
+    ->ArgsProduct({{4096, 16384}, {1, 2, 4, 8}})
+    ->ArgNames({"ranks", "workers"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PdesAgreement64Ki(benchmark::State& state) {
+  constexpr int kRanks = 1 << 16;
+  // The serial reference is computed once — it is the same double every
+  // time by the engine-determinism contract.
+  static const std::uint64_t serial_bits = bits_of(simulate_barrier(kRanks, 1));
+  for (auto _ : state) {
+    const double parallel = simulate_barrier(kRanks, 8);
+    if (bits_of(parallel) != serial_bits) {
+      state.SkipWithError("64Ki-rank 8-worker makespan diverged from serial");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRanks);
+}
+BENCHMARK(BM_PdesAgreement64Ki)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

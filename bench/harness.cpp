@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "core/error.hpp"
+#include "core/parse_num.hpp"
 #include "core/stats.hpp"
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
@@ -28,6 +30,9 @@ void usage(const std::string& what) {
       "  --repeats <n>       repetitions per measurement (default 2)\n"
       "  --jobs <n>          sweep worker threads (default 1; tables are\n"
       "                      byte-identical at any job count)\n"
+      "  --sim-workers <n>   parallel-DES workers inside each simulated\n"
+      "                      point (default 1; makespans are identical\n"
+      "                      at any worker count)\n"
       "  --cache <file>      persistent sweep result cache\n"
       "                      (hpcx-sweep-cache/1 JSON)\n"
       "  --csv <file>        also write emitted tables as CSV\n"
@@ -62,16 +67,17 @@ Runner::Runner(int argc, char** argv, std::string what)
     if (arg == "--machine") {
       options_.machine = next();
     } else if (arg == "--cpus") {
-      options_.cpus = std::atoi(next());
+      options_.cpus =
+          static_cast<int>(parse_cli_int("--cpus", next(), 0, 1 << 30));
     } else if (arg == "--repeats") {
-      options_.repeats = std::atoi(next());
+      options_.repeats =
+          static_cast<int>(parse_cli_int("--repeats", next(), 0, 1 << 30));
     } else if (arg == "--jobs") {
-      options_.jobs = std::atoi(next());
-      if (options_.jobs < 1) {
-        std::fprintf(stderr, "--jobs wants a positive thread count\n");
-        usage(what_);
-        std::exit(2);
-      }
+      options_.jobs =
+          static_cast<int>(parse_cli_int("--jobs", next(), 1, 1 << 20));
+    } else if (arg == "--sim-workers") {
+      options_.sim_workers =
+          static_cast<int>(parse_cli_int("--sim-workers", next(), 1, 1 << 20));
     } else if (arg == "--cache") {
       options_.cache_path = next();
     } else if (arg == "--csv") {
@@ -81,7 +87,8 @@ Runner::Runner(int argc, char** argv, std::string what)
     } else if (arg == "--metrics-out") {
       options_.metrics_path = next();
     } else if (arg == "--eager-max") {
-      options_.eager_max_bytes = static_cast<std::size_t>(std::atoll(next()));
+      options_.eager_max_bytes = static_cast<std::size_t>(parse_cli_int(
+          "--eager-max", next(), 0, std::numeric_limits<long long>::max()));
     } else if (arg == "--help" || arg == "-h") {
       usage(what_);
       std::exit(0);
@@ -184,6 +191,7 @@ report::SweepExecutor& Runner::executor() const {
   if (executor_ == nullptr) {
     report::SweepExecutor::Config config;
     config.jobs = options_.jobs;
+    config.sim_workers = options_.sim_workers;
     config.cache = cache_.get();
     executor_ = std::make_unique<report::SweepExecutor>(config);
   }

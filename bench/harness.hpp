@@ -10,6 +10,10 @@
 //                       1 = serial; each sweep point simulates in its
 //                       own isolated world, so tables are byte-identical
 //                       at any job count; exits(2) on n < 1)
+//   --sim-workers <n>   parallel-DES worker threads *inside* each
+//                       simulated point (default 1 = the serial engine;
+//                       the conservative-lookahead scheduler reproduces
+//                       serial makespans exactly at any worker count)
 //   --cache <file>      content-addressable sweep result cache
 //                       (hpcx-sweep-cache/1 JSON; created if absent,
 //                       rewritten on exit; repeated runs answer
@@ -54,6 +58,7 @@ struct Options {
   int cpus = 0;            ///< 0 = binary's default sweep
   int repeats = 2;
   int jobs = 1;            ///< sweep executor worker threads (>= 1)
+  int sim_workers = 1;     ///< parallel-DES workers per simulated point
   std::string cache_path;    ///< empty = no persistent sweep cache
   std::string csv_path;      ///< empty = no CSV
   std::string trace_path;    ///< empty = no trace

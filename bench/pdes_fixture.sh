@@ -1,0 +1,21 @@
+#!/bin/sh
+# Parallel-DES fixture: one real figure binary, serial vs --sim-workers 4.
+# The conservative multi-LP engine's contract is that the schedule —
+# and therefore every emitted table cell — is identical at any worker
+# count, so the two CSVs must be byte-identical. A fast operating point
+# (one machine, one CPU count) keeps this in tier-1 territory; the full
+# sweeps stay with tools/bench_engine.sh.
+#
+# usage: pdes_fixture.sh <figure-binary> <workdir>
+set -e
+FIG=$1
+OUT=$2
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+"$FIG" --machine dell_xeon --csv "$OUT/serial.csv" > "$OUT/serial.txt"
+"$FIG" --machine dell_xeon --sim-workers 4 --csv "$OUT/parallel.csv" \
+    > "$OUT/parallel.txt"
+cmp "$OUT/serial.csv" "$OUT/parallel.csv"
+echo "pdes fixture: serial and --sim-workers 4 CSVs byte-identical"

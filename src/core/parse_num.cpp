@@ -1,0 +1,31 @@
+#include "core/parse_num.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hpcx {
+
+std::optional<long long> parse_ll(std::string_view text, long long min,
+                                  long long max) {
+  if (text.empty()) return std::nullopt;
+  // std::from_chars already rejects whitespace, '+' and hex prefixes;
+  // it only needs the trailing-junk and range checks layered on top.
+  long long value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  if (value < min || value > max) return std::nullopt;
+  return value;
+}
+
+long long parse_cli_int(const char* flag, const char* text, long long min,
+                        long long max) {
+  if (const auto v = parse_ll(text, min, max)) return *v;
+  std::fprintf(stderr, "%s wants an integer in [%lld, %lld], got '%s'\n",
+               flag, min, max, text);
+  std::exit(2);
+}
+
+}  // namespace hpcx

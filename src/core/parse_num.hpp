@@ -1,0 +1,32 @@
+// Checked numeric parsing for command-line flags.
+//
+// std::atoi silently turns "banana" into 0 and saturates nothing, so a
+// typo'd flag value used to slip through as a nonsense-but-valid
+// integer. parse_ll accepts exactly an optional minus sign followed by
+// decimal digits spanning the *whole* string, range-checks the value,
+// and reports failure instead of guessing. parse_cli_int is the CLI
+// convenience wrapper every tool shares: on a bad value it prints one
+// clear line naming the flag and exits 2 (the usage-error code the
+// tools already use for unknown flags).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hpcx {
+
+/// Strict base-10 parse of the whole string: optional leading '-',
+/// digits, nothing else (no whitespace, no '+', no hex). Returns
+/// nullopt on malformed input, overflow, or a value outside
+/// [min, max].
+std::optional<long long> parse_ll(std::string_view text, long long min,
+                                  long long max);
+
+/// Parse a CLI flag value or die: returns the value on success, prints
+/// "<flag> wants an integer in [min, max], got '<text>'" to stderr and
+/// exits 2 otherwise.
+long long parse_cli_int(const char* flag, const char* text, long long min,
+                        long long max);
+
+}  // namespace hpcx

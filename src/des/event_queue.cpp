@@ -6,17 +6,18 @@
 
 namespace hpcx::des {
 
-void EventQueue::push(SimTime t, Callback cb) {
+void EventQueue::push(SimTime t, Callback cb, std::int64_t pusher,
+                      std::uint32_t ordinal) {
   HPCX_ASSERT(cb != nullptr);
   const std::uint64_t seq = next_seq_++;
   // Fast path: an event at exactly the time being popped fires after
   // everything already queued for that time (its seq is the largest), so
   // FIFO order in the bucket is heap order.
   if (bucket_active_ && t == bucket_time_) {
-    bucket_.push_back(Entry{t, seq, std::move(cb)});
+    bucket_.push_back(Entry{t, seq, pusher, ordinal, std::move(cb)});
     return;
   }
-  heap_push(Entry{t, seq, std::move(cb)});
+  heap_push(Entry{t, seq, pusher, ordinal, std::move(cb)});
 }
 
 SimTime EventQueue::next_time() const {
@@ -29,7 +30,9 @@ SimTime EventQueue::next_time() const {
                                            : bucket_time_;
 }
 
-EventQueue::Callback EventQueue::pop(SimTime* time_out) {
+EventQueue::Callback EventQueue::pop(SimTime* time_out,
+                                     std::int64_t* pusher_out,
+                                     std::uint32_t* ordinal_out) {
   HPCX_ASSERT(!empty());
   // Heap entries at bucket_time_ were pushed before the bucket opened
   // (smaller seq), so on a time tie the heap pops first.
@@ -48,6 +51,8 @@ EventQueue::Callback EventQueue::pop(SimTime* time_out) {
     bucket_active_ = true;
   }
   if (time_out) *time_out = e.time;
+  if (pusher_out) *pusher_out = e.pusher;
+  if (ordinal_out) *ordinal_out = e.ordinal;
   return std::move(e.cb);
 }
 
@@ -58,7 +63,7 @@ void EventQueue::heap_push(Entry e) {
   Entry v = std::move(heap_[i]);
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
-    if (before(heap_[parent].time, heap_[parent].seq, v)) break;
+    if (before(heap_[parent], v)) break;
     heap_[i] = std::move(heap_[parent]);
     i = parent;
   }
@@ -78,9 +83,9 @@ EventQueue::Entry EventQueue::heap_pop() {
       std::size_t best = first;
       const std::size_t end = first + 4 < n ? first + 4 : n;
       for (std::size_t c = first + 1; c < end; ++c) {
-        if (before(heap_[c].time, heap_[c].seq, heap_[best])) best = c;
+        if (before(heap_[c], heap_[best])) best = c;
       }
-      if (!before(heap_[best].time, heap_[best].seq, last)) break;
+      if (!before(heap_[best], last)) break;
       heap_[i] = std::move(heap_[best]);
       i = best;
     }

@@ -31,8 +31,12 @@ class EventQueue {
  public:
   using Callback = des::Callback;
 
-  /// Schedule `cb` at absolute time `t`.
-  void push(SimTime t, Callback cb);
+  /// Schedule `cb` at absolute time `t`. `pusher` and `ordinal` are an
+  /// opaque provenance tag the simulator's order log rides on (who
+  /// scheduled this event, and as its how-many-eth push); the queue
+  /// stores and returns them untouched. Serial runs pass zeros.
+  void push(SimTime t, Callback cb, std::int64_t pusher = 0,
+            std::uint32_t ordinal = 0);
 
   bool empty() const { return heap_.empty() && bucket_empty(); }
   std::size_t size() const {
@@ -43,19 +47,56 @@ class EventQueue {
   SimTime next_time() const;
 
   /// Pop and return the earliest event's callback. Queue must be
-  /// non-empty. `time_out` (optional) receives the event time.
-  Callback pop(SimTime* time_out);
+  /// non-empty. `time_out` (optional) receives the event time;
+  /// `pusher_out`/`ordinal_out` (optional) the provenance tag.
+  Callback pop(SimTime* time_out, std::int64_t* pusher_out = nullptr,
+               std::uint32_t* ordinal_out = nullptr);
+
+  /// Visit every pending entry's provenance tag (mutable). Used by the
+  /// parallel engine to resolve window-local pusher references into
+  /// global sequence numbers once a window's order is merged. Rewrites
+  /// preserve every entry's relative tag order (the merge is consistent
+  /// with local execution order), so the heap needs no rebuild.
+  template <typename Fn>
+  void for_each_tag(Fn&& fn) {
+    for (Entry& e : heap_) fn(e.pusher, e.ordinal);
+    for (std::size_t i = bucket_head_; i < bucket_.size(); ++i)
+      fn(bucket_[i].pusher, bucket_[i].ordinal);
+  }
+
+  /// Break same-time ties by provenance tag instead of push sequence
+  /// (parallel engine only). Entries pushed before a window began —
+  /// earlier-window survivors and flush-scheduled deliveries — arrive
+  /// in an order unrelated to the serial engine's push order, but their
+  /// resolved tags reconstruct it: resolved pushers before window-local
+  /// ones, then by pusher position, then by push ordinal. In-window
+  /// pushes are tag-ordered by construction, so for them this is
+  /// identical to sequence order.
+  void set_tag_order(bool on) { tag_order_ = on; }
 
  private:
   struct Entry {
     SimTime time;
     std::uint64_t seq;
+    std::int64_t pusher;
+    std::uint32_t ordinal;
     Callback cb;
   };
   // a fires strictly before b (seq is unique, so no equality case).
-  static bool before(SimTime at, std::uint64_t aseq, const Entry& b) {
-    if (at != b.time) return at < b.time;
-    return aseq < b.seq;
+  bool before(const Entry& a, const Entry& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (tag_order_) {
+      // Resolved tags (pusher >= 0, a global position) precede
+      // window-local ones (pusher < 0 encodes -(index + 1), so a LATER
+      // local pusher is MORE negative — descending value = ascending
+      // position).
+      const bool a_local = a.pusher < 0, b_local = b.pusher < 0;
+      if (a_local != b_local) return b_local;
+      if (a.pusher != b.pusher)
+        return a_local ? a.pusher > b.pusher : a.pusher < b.pusher;
+      if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+    }
+    return a.seq < b.seq;
   }
 
   bool bucket_empty() const { return bucket_head_ == bucket_.size(); }
@@ -69,6 +110,7 @@ class EventQueue {
   std::size_t bucket_head_ = 0;
   SimTime bucket_time_ = 0.0;
   bool bucket_active_ = false;  // becomes true at the first pop
+  bool tag_order_ = false;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -98,18 +98,113 @@ class StackPool {
 };
 
 thread_local StackPool g_stack_pool;
+
+// Dense-mode stacks: carved contiguously from big slab mappings so a
+// million fibers cost ~2 VMAs per 512 stacks instead of 2 per stack
+// (vm.max_map_count would otherwise cap runs near 32Ki fibers). Only
+// the slab base carries a guard page; the low page of each carved stack
+// is ordinary memory. MAP_NORESERVE keeps the (huge, mostly untouched)
+// reservations out of the commit charge.
+class SlabPool {
+ public:
+  ~SlabPool() {
+    for (const Slab& s : slabs_) munmap(s.base, s.bytes);
+  }
+
+  void* acquire(std::size_t size) {
+    for (std::size_t i = free_.size(); i-- > 0;) {
+      if (free_[i].size == size) {
+        void* p = free_[i].ptr;
+        free_[i] = free_.back();
+        free_.pop_back();
+        ++reuses_;
+        ++live_;
+        return p;
+      }
+    }
+    if (spare_stacks_ == 0 || carve_size_ != size) new_slab(size);
+    void* p = bump_;
+    bump_ += size;
+    --spare_stacks_;
+    ++live_;
+    return p;
+  }
+
+  void release(void* p, std::size_t size) {
+    madvise(p, size, MADV_DONTNEED);
+    free_.push_back(Item{p, size});
+    HPCX_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+  std::size_t reuses() const { return reuses_; }
+
+  void trim() {
+    if (live_ != 0) return;  // fibers still running on slab stacks
+    for (const Slab& s : slabs_) munmap(s.base, s.bytes);
+    slabs_.clear();
+    free_.clear();
+    spare_stacks_ = 0;
+    carve_size_ = 0;
+    bump_ = nullptr;
+  }
+
+ private:
+  struct Slab {
+    void* base;
+    std::size_t bytes;
+  };
+  struct Item {
+    void* ptr;
+    std::size_t size;
+  };
+  static constexpr std::size_t kSlabStacks = 512;
+
+  void new_slab(std::size_t size) {
+    const std::size_t ps = page_size();
+    const std::size_t bytes = ps + kSlabStacks * size;
+    void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK | MAP_NORESERVE,
+                      -1, 0);
+    HPCX_ASSERT_MSG(base != MAP_FAILED, "fiber stack slab mmap failed");
+    HPCX_ASSERT(mprotect(base, ps, PROT_NONE) == 0);
+    slabs_.push_back(Slab{base, bytes});
+    bump_ = static_cast<char*>(base) + ps;
+    spare_stacks_ = kSlabStacks;
+    carve_size_ = size;
+  }
+
+  std::vector<Slab> slabs_;
+  std::vector<Item> free_;
+  char* bump_ = nullptr;        // next carve point in the current slab
+  std::size_t spare_stacks_ = 0;
+  std::size_t carve_size_ = 0;  // stack size the current slab is cut for
+  std::size_t live_ = 0;        // carved stacks not yet released
+  std::size_t reuses_ = 0;
+};
+
+thread_local SlabPool g_slab_pool;
+thread_local bool g_dense_stacks = false;
 }  // namespace
 
 std::size_t Fiber::pooled_stacks() { return g_stack_pool.pooled(); }
 std::size_t Fiber::stack_pool_reuses() { return g_stack_pool.reuses(); }
-void Fiber::trim_stack_pool() { g_stack_pool.trim(); }
+void Fiber::trim_stack_pool() {
+  g_stack_pool.trim();
+  g_slab_pool.trim();
+}
+void Fiber::set_dense_stacks(bool on) { g_dense_stacks = on; }
+bool Fiber::dense_stacks() { return g_dense_stacks; }
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)) {
   HPCX_ASSERT(body_ != nullptr);
   const std::size_t ps = page_size();
   stack_size_ = round_up(stack_bytes, ps) + ps;  // +1 guard page
-  stack_base_ = g_stack_pool.acquire(stack_size_);
+  dense_ = g_dense_stacks;
+  stack_base_ = dense_ ? g_slab_pool.acquire(stack_size_)
+                       : g_stack_pool.acquire(stack_size_);
 
 #ifdef HPCX_UCONTEXT_FIBERS
   HPCX_ASSERT(getcontext(&context_) == 0);
@@ -170,7 +265,12 @@ Fiber::~Fiber() {
     resume();
     HPCX_ASSERT(state_ == State::kFinished);
   }
-  if (stack_base_ != nullptr) g_stack_pool.release(stack_base_, stack_size_);
+  if (stack_base_ != nullptr) {
+    if (dense_)
+      g_slab_pool.release(stack_base_, stack_size_);
+    else
+      g_stack_pool.release(stack_base_, stack_size_);
+  }
 }
 
 #ifdef HPCX_UCONTEXT_FIBERS

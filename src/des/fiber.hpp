@@ -84,8 +84,23 @@ class Fiber {
   static std::size_t pooled_stacks();
   /// Times a Fiber on this thread reused a pooled stack instead of mmap'ing.
   static std::size_t stack_pool_reuses();
-  /// Unmap every pooled stack (e.g. between unrelated sweeps).
+  /// Unmap every pooled stack (e.g. between unrelated sweeps). Dense
+  /// slabs (below) are released too, provided no dense-stack fiber is
+  /// still alive on this thread.
   static void trim_stack_pool();
+
+  /// Dense slab stacks for huge rank counts. The default pool maps every
+  /// stack separately with its own low guard page — two kernel VMAs per
+  /// fiber, which collides with vm.max_map_count (typically 65530)
+  /// around 32Ki live fibers. In dense mode stacks are carved
+  /// contiguously out of large slab mappings with a single guard page at
+  /// the slab base: two VMAs per *slab* of 512 stacks, so million-fiber
+  /// simulations fit comfortably. The trade: only the first stack of
+  /// each slab faults on overflow; the others would run into their
+  /// neighbour. Thread-local, affects fibers created after the call;
+  /// each fiber remembers which pool owns its stack.
+  static void set_dense_stacks(bool on);
+  static bool dense_stacks();
 
  private:
 #ifdef HPCX_UCONTEXT_FIBERS
@@ -107,6 +122,7 @@ class Fiber {
   std::exception_ptr pending_exception_;
   State state_ = State::kReady;
   bool unwinding_ = false;       // destructor-driven forced unwind
+  bool dense_ = false;           // stack carved from a slab, not pooled
 };
 
 }  // namespace hpcx::des

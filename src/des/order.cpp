@@ -1,0 +1,115 @@
+#include "des/order.hpp"
+
+#include "core/error.hpp"
+
+namespace hpcx::des {
+
+namespace {
+constexpr std::uint32_t kNone = 0xffffffffu;
+}  // namespace
+
+// a fires strictly before b in the serial order. Pushes are serialised
+// by their pusher's execution position and, within one pusher, by push
+// ordinal — so (t, pusher, ordinal) reproduces the single queue's
+// (time, sequence) order. Keys are unique by construction (an ordinal
+// is used once per pusher); lp/idx make the comparison total anyway.
+static bool order_before(const WindowOrder::Item& a,
+                         const WindowOrder::Item& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.pusher != b.pusher) return a.pusher < b.pusher;
+  if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+  if (a.lp != b.lp) return a.lp < b.lp;
+  return a.idx < b.idx;
+}
+
+void WindowOrder::heap_push(Item item) {
+  heap_.push_back(item);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (order_before(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+WindowOrder::Item WindowOrder::heap_pop() {
+  Item top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    std::size_t best = l;
+    if (l + 1 < n && order_before(heap_[l + 1], heap_[l])) best = l + 1;
+    if (order_before(heap_[i], heap_[best])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+std::vector<std::vector<std::uint64_t>> WindowOrder::merge(
+    const std::vector<Simulator*>& lps) {
+  const std::uint32_t nl = static_cast<std::uint32_t>(lps.size());
+  log_base_.assign(nl + 1, 0);
+  for (std::uint32_t l = 0; l < nl; ++l)
+    log_base_[l + 1] =
+        log_base_[l] + static_cast<std::uint32_t>(lps[l]->order_log().size());
+  const std::uint32_t total = log_base_[nl];
+
+  std::vector<std::vector<std::uint64_t>> gseq(nl);
+  for (std::uint32_t l = 0; l < nl; ++l)
+    gseq[l].assign(lps[l]->order_log().size(), 0);
+
+  child_head_.assign(total, kNone);
+  child_next_.assign(total, kNone);
+  heap_.clear();
+
+  // Events whose pusher executed in an earlier window (or before the
+  // run) are eligible immediately; the rest chain off their in-window
+  // pusher and become eligible when it is placed.
+  for (std::uint32_t l = 0; l < nl; ++l) {
+    const std::vector<OrderLogEntry>& log = lps[l]->order_log();
+    for (std::uint32_t i = 0; i < log.size(); ++i) {
+      const OrderLogEntry& e = log[i];
+      if (e.pusher >= 0) {
+        heap_push(Item{e.t, static_cast<std::uint64_t>(e.pusher), e.ordinal,
+                       l, i});
+      } else {
+        const std::uint32_t parent =
+            static_cast<std::uint32_t>(-e.pusher - 1);
+        HPCX_ASSERT(parent < i);
+        const std::uint32_t flat_parent = log_base_[l] + parent;
+        const std::uint32_t flat_child = log_base_[l] + i;
+        child_next_[flat_child] = child_head_[flat_parent];
+        child_head_[flat_parent] = flat_child;
+      }
+    }
+  }
+
+  // Replay the queue discipline: repeatedly place the earliest eligible
+  // event. The serial-next event is always eligible (its pusher ran
+  // strictly earlier, hence is already placed), so the pop sequence IS
+  // the serial execution order.
+  std::uint32_t placed = 0;
+  while (!heap_.empty()) {
+    const Item it = heap_pop();
+    const std::uint64_t g = next_gseq_++;
+    gseq[it.lp][it.idx] = g;
+    ++placed;
+    const std::vector<OrderLogEntry>& log = lps[it.lp]->order_log();
+    std::uint32_t child = child_head_[log_base_[it.lp] + it.idx];
+    while (child != kNone) {
+      const std::uint32_t ci = child - log_base_[it.lp];
+      heap_push(Item{log[ci].t, g, log[ci].ordinal, it.lp, ci});
+      child = child_next_[child];
+    }
+  }
+  HPCX_ASSERT_MSG(placed == total, "order merge left unplaced events");
+  return gseq;
+}
+
+}  // namespace hpcx::des

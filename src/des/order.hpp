@@ -1,0 +1,65 @@
+// Exact cross-LP event-order reconstruction for the parallel engine.
+//
+// The serial simulator executes events in (time, push order): the event
+// queue is a heap with a same-timestamp FIFO bucket, so two events at
+// one instant fire in the order they were pushed, and pushes happen
+// during the execution of earlier events. That order is therefore a
+// recursive property of the whole execution history — it cannot be
+// recovered from any static per-event key. WindowOrder recovers it
+// exactly instead: each logical process logs every event it executes
+// together with the identity of the event that pushed it (a resolved
+// global position from an earlier window, or a window-local reference),
+// and merge() replays the queue discipline over all LPs' logs at once —
+// a priority queue on (time, pusher position, push ordinal) in which an
+// event becomes eligible once its pusher has been placed. The result is
+// the serial engine's global execution order, as dense global sequence
+// numbers, computed window by window with transient memory only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace hpcx::des {
+
+class WindowOrder {
+ public:
+  /// `first_gseq` must exceed every pre-run pseudo position handed to
+  /// set_next_push_tag() (the parallel engine uses spawn order, so the
+  /// rank count).
+  explicit WindowOrder(std::uint64_t first_gseq) : next_gseq_(first_gseq) {}
+
+  /// Merge the LPs' current window logs into the serial global
+  /// execution order. Returns one vector per LP, aligned with its
+  /// order_log(): the global sequence number of each executed event.
+  /// Does not mutate the simulators — callers use the numbers to order
+  /// deferred cross-LP work, then call finalize_order_window() on each
+  /// LP to resolve pending-event tags and reset the logs.
+  std::vector<std::vector<std::uint64_t>> merge(
+      const std::vector<Simulator*>& lps);
+
+  std::uint64_t next_gseq() const { return next_gseq_; }
+
+  struct Item {
+    SimTime t;
+    std::uint64_t pusher;  // resolved global position of the pusher
+    std::uint32_t ordinal;
+    std::uint32_t lp;
+    std::uint32_t idx;  // index into that LP's order log
+  };
+
+ private:
+  std::uint64_t next_gseq_;
+
+  // Scratch reused across windows (merge is called per flush).
+  std::vector<Item> heap_;
+  std::vector<std::uint32_t> child_head_;  // per (lp,idx): first child
+  std::vector<std::uint32_t> child_next_;  // intrusive child lists
+  std::vector<std::uint32_t> log_base_;    // flat offset of each LP's log
+
+  void heap_push(Item item);
+  Item heap_pop();
+};
+
+}  // namespace hpcx::des

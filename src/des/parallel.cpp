@@ -1,0 +1,158 @@
+#include "des/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace hpcx::des {
+
+namespace {
+
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+// Persistent worker pool with a generation-counter handshake: the main
+// thread publishes a horizon under the mutex and bumps the generation;
+// workers run their LP share and decrement pending_. The mutex/condvar
+// pair gives the happens-before edges that make per-LP state (queues,
+// fibers, per-shard pools) safely owned by whichever thread runs the
+// window — an LP never migrates (index % workers), so its state only
+// ever crosses threads through these fences.
+class WindowPool {
+ public:
+  WindowPool(const std::vector<Simulator*>& lps, int workers)
+      : lps_(lps), workers_(workers), errors_(lps.size()) {
+    threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+    for (int w = 1; w < workers_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~WindowPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Run every LP to `horizon`; rethrows the lowest-index LP's
+  /// exception once all workers have finished the window.
+  void run_window(SimTime horizon) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      horizon_ = horizon;
+      pending_ = workers_ - 1;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    run_share(0, horizon);  // the main thread is worker 0
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+    }
+    for (std::size_t i = 0; i < errors_.size(); ++i) {
+      if (errors_[i]) {
+        std::exception_ptr e = errors_[i];
+        errors_[i] = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+ private:
+  void run_share(int w, SimTime horizon) {
+    for (std::size_t i = static_cast<std::size_t>(w); i < lps_.size();
+         i += static_cast<std::size_t>(workers_)) {
+      try {
+        lps_[i]->run_until(horizon);
+      } catch (...) {
+        errors_[i] = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      SimTime horizon;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        horizon = horizon_;
+      }
+      run_share(w, horizon);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  const std::vector<Simulator*>& lps_;
+  const int workers_;
+  std::vector<std::exception_ptr> errors_;  // slot i owned by LP i's worker
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_, done_cv_;
+  SimTime horizon_ = 0.0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+SimTime lbts(const std::vector<Simulator*>& lps) {
+  SimTime t = kInf;
+  for (Simulator* lp : lps) t = std::min(t, lp->next_event_time());
+  return t;
+}
+
+}  // namespace
+
+void run_conservative(const std::vector<Simulator*>& lps,
+                      const std::function<void()>& flush, int workers,
+                      SimTime lookahead) {
+  HPCX_ASSERT(!lps.empty());
+  HPCX_ASSERT_MSG(lookahead > 0.0,
+                  "conservative sync needs positive lookahead");
+  const int w =
+      std::min<int>(std::max(workers, 1), static_cast<int>(lps.size()));
+
+  if (w <= 1) {
+    for (;;) {
+      flush();
+      const SimTime t = lbts(lps);
+      if (t == kInf) break;
+      const SimTime horizon = t + lookahead;
+      for (Simulator* lp : lps) lp->run_until(horizon);
+    }
+  } else {
+    WindowPool pool(lps, w);
+    for (;;) {
+      flush();
+      const SimTime t = lbts(lps);
+      if (t == kInf) break;
+      pool.run_window(t + lookahead);
+    }
+  }
+
+  std::size_t blocked = 0;
+  for (Simulator* lp : lps) blocked += lp->live_processes();
+  if (blocked > 0) {
+    // Identical wording to Simulator::run() so existing deadlock
+    // handling (tests, harness messages) sees one vocabulary.
+    throw Error("simulation deadlock: " + std::to_string(blocked) +
+                " process(es) still blocked with no pending events");
+  }
+}
+
+}  // namespace hpcx::des

@@ -1,0 +1,41 @@
+// Conservative parallel driver for a set of logical-process simulators.
+//
+// The machine is partitioned into logical processes (LPs), each a
+// complete des::Simulator with its own event queue and fibers. LPs
+// synchronize with a windowed (YAWNS-style) conservative protocol: each
+// round computes the lower bound on time stamps LBTS = min over LPs of
+// the next pending event, then every LP processes all events strictly
+// before LBTS + lookahead in parallel. Lookahead is the caller-derived
+// minimum time any in-window action needs before it can affect another
+// LP (for the network model: the minimum modeled link latency), so no
+// event executed inside a window can schedule into another LP's past.
+//
+// Cross-LP effects are NOT applied in-window: the caller records them
+// locally and applies them in `flush`, which runs single-threaded
+// between windows — cross-LP delivery, shared-resource reservations and
+// barrier releases all happen there, in a deterministic order the
+// caller controls. This is what makes the schedule worker-count
+// invariant: the window boundaries depend only on event times, and
+// everything with cross-LP visibility is ordered by flush, never by
+// thread interleaving.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace hpcx::des {
+
+/// Drive `lps` to completion. Each round: flush() (single-threaded
+/// cross-LP application), LBTS = min next_event_time(), then all LPs
+/// run_until(LBTS + lookahead) on `workers` host threads (LP i is
+/// pinned to worker i % workers; workers <= 1 runs inline). Terminates
+/// when flush() leaves every queue empty; throws des::Error with the
+/// serial engine's deadlock message if processes are still blocked
+/// then. Exceptions from LP bodies are rethrown lowest-LP-index first.
+void run_conservative(const std::vector<Simulator*>& lps,
+                      const std::function<void()>& flush, int workers,
+                      SimTime lookahead);
+
+}  // namespace hpcx::des

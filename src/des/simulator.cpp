@@ -1,14 +1,66 @@
 #include "des/simulator.hpp"
 
+#include <limits>
 #include <string>
 
 #include "core/error.hpp"
 
 namespace hpcx::des {
 
+void Simulator::push_event(SimTime t, Callback fn) {
+  if (!order_log_on_) {
+    queue_.push(t, std::move(fn));
+    return;
+  }
+  if (tag_override_) {
+    tag_override_ = false;
+    queue_.push(t, std::move(fn), override_pusher_, override_ordinal_);
+    return;
+  }
+  queue_.push(t, std::move(fn), cur_pusher_, cur_ordinal_++);
+}
+
 void Simulator::schedule(SimTime delay, Callback fn) {
   HPCX_ASSERT_MSG(delay >= 0.0, "negative event delay");
-  queue_.push(now_ + delay, std::move(fn));
+  push_event(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime t, Callback fn) {
+  HPCX_ASSERT_MSG(t >= now_, "schedule_at in the past");
+  push_event(t, std::move(fn));
+}
+
+void Simulator::schedule_at_tagged(SimTime t, Callback fn, std::int64_t pusher,
+                                   std::uint32_t ordinal) {
+  HPCX_ASSERT_MSG(t >= now_, "schedule_at in the past");
+  HPCX_ASSERT_MSG(pusher >= 0, "tagged schedule needs a resolved pusher");
+  queue_.push(t, std::move(fn), pusher, ordinal);
+}
+
+void Simulator::set_next_push_tag(std::int64_t pusher, std::uint32_t ordinal) {
+  HPCX_ASSERT_MSG(pusher >= 0, "push tag must be a resolved position");
+  tag_override_ = true;
+  override_pusher_ = pusher;
+  override_ordinal_ = ordinal;
+}
+
+std::size_t Simulator::current_log_index() const {
+  HPCX_ASSERT_MSG(order_log_on_ && !order_log_.empty(),
+                  "no event is executing under the order log");
+  return order_log_.size() - 1;
+}
+
+void Simulator::finalize_order_window(
+    const std::vector<std::uint64_t>& gseq) {
+  HPCX_ASSERT(gseq.size() == order_log_.size());
+  queue_.for_each_tag([&gseq](std::int64_t& pusher, std::uint32_t&) {
+    if (pusher < 0) {
+      const std::size_t idx = static_cast<std::size_t>(-pusher - 1);
+      HPCX_ASSERT(idx < gseq.size());
+      pusher = static_cast<std::int64_t>(gseq[idx]);
+    }
+  });
+  order_log_.clear();
 }
 
 ProcessId Simulator::spawn(std::function<void()> body,
@@ -16,7 +68,7 @@ ProcessId Simulator::spawn(std::function<void()> body,
   const ProcessId pid = static_cast<ProcessId>(processes_.size());
   processes_.emplace_back(std::move(body), stack_bytes);
   ++live_processes_;
-  queue_.push(now_, [this, pid] { resume_process(pid); });
+  push_event(now_, [this, pid] { resume_process(pid); });
   return pid;
 }
 
@@ -38,14 +90,24 @@ void Simulator::resume_process(ProcessId pid) {
   }
 }
 
+void Simulator::dispatch_logged(SimTime t, std::int64_t pusher,
+                                std::uint32_t ordinal) {
+  order_log_.push_back(OrderLogEntry{t, pusher, ordinal});
+  cur_pusher_ = -static_cast<std::int64_t>(order_log_.size());
+  cur_ordinal_ = 0;
+}
+
 void Simulator::run() {
   HPCX_ASSERT_MSG(!in_run_, "re-entrant Simulator::run");
   in_run_ = true;
   while (!queue_.empty()) {
     SimTime t;
-    EventQueue::Callback cb = queue_.pop(&t);
+    std::int64_t pusher;
+    std::uint32_t ordinal;
+    EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal);
     HPCX_ASSERT_MSG(t >= now_, "time went backwards");
     now_ = t;
+    if (order_log_on_) dispatch_logged(t, pusher, ordinal);
     cb();
   }
   in_run_ = false;
@@ -55,12 +117,33 @@ void Simulator::run() {
   }
 }
 
+void Simulator::run_until(SimTime horizon) {
+  HPCX_ASSERT_MSG(!in_run_, "re-entrant Simulator::run_until");
+  in_run_ = true;
+  while (!queue_.empty() && queue_.next_time() < horizon) {
+    SimTime t;
+    std::int64_t pusher;
+    std::uint32_t ordinal;
+    EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal);
+    HPCX_ASSERT_MSG(t >= now_, "time went backwards");
+    now_ = t;
+    if (order_log_on_) dispatch_logged(t, pusher, ordinal);
+    cb();
+  }
+  in_run_ = false;
+}
+
+SimTime Simulator::next_event_time() const {
+  return queue_.empty() ? std::numeric_limits<SimTime>::infinity()
+                        : queue_.next_time();
+}
+
 void Simulator::sleep(SimTime duration) {
   HPCX_ASSERT_MSG(duration >= 0.0, "negative sleep");
   const ProcessId pid = current_process();
   Process& p = processes_[pid];
   p.blocked = true;
-  queue_.push(now_ + duration, [this, pid] { resume_process(pid); });
+  push_event(now_ + duration, [this, pid] { resume_process(pid); });
   Fiber::yield();
 }
 
@@ -82,7 +165,7 @@ void Simulator::wake(ProcessId pid) {
   HPCX_ASSERT_MSG(p.blocked, "wake of a process that is not blocked");
   if (p.wake_pending) return;  // a resume is already queued
   p.wake_pending = true;
-  queue_.push(now_, [this, pid] { resume_process(pid); });
+  push_event(now_, [this, pid] { resume_process(pid); });
 }
 
 }  // namespace hpcx::des

@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "des/event_queue.hpp"
 #include "des/fiber.hpp"
@@ -26,6 +27,21 @@ namespace hpcx::des {
 
 using ProcessId = std::uint32_t;
 constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+/// One executed event in a logical process's order log: when it fired
+/// and who pushed it. `pusher` >= 0 is a resolved global sequence
+/// number (assigned by an earlier window's merge, or a pre-run pseudo
+/// position such as spawn order); `pusher` < 0 encodes -(i+1) where i
+/// indexes the pushing event in this same LP's log for the current
+/// window. `ordinal` counts the pusher's pushes, so (pusher, ordinal)
+/// totally orders all pushes — and therefore, per FIFO bucket
+/// semantics, all same-timestamp events — exactly as the serial
+/// engine's single queue would.
+struct OrderLogEntry {
+  SimTime t = 0.0;
+  std::int64_t pusher = 0;
+  std::uint32_t ordinal = 0;
+};
 
 class Simulator {
  public:
@@ -39,6 +55,11 @@ class Simulator {
   /// (see des::Callback) — the engine's own events never allocate.
   void schedule(SimTime delay, Callback fn);
 
+  /// Schedule a plain event at absolute time `t` (t >= now()). Used by
+  /// the parallel scheduler to inject cross-LP deliveries between
+  /// synchronization windows.
+  void schedule_at(SimTime t, Callback fn);
+
   /// Create a process; it starts when the simulation reaches the current
   /// time's event horizon (i.e. it is scheduled like an event at now()).
   ProcessId spawn(std::function<void()> body,
@@ -47,6 +68,17 @@ class Simulator {
   /// Run until no events remain. Throws Error if processes are still
   /// blocked when the event queue drains (deadlock), listing how many.
   void run();
+
+  /// Process every event strictly before `horizon`, then return. Unlike
+  /// run(), an empty queue is not a deadlock — more events may arrive
+  /// from other logical processes before the next window. now() is NOT
+  /// advanced to the horizon: it stays at the last processed event, so
+  /// a between-window schedule_at() can still land anywhere >= now().
+  void run_until(SimTime horizon);
+
+  /// Time of the earliest pending event, or +infinity when idle — the
+  /// per-LP component of the parallel scheduler's LBTS computation.
+  SimTime next_event_time() const;
 
   /// Number of spawned processes that have not yet finished.
   std::size_t live_processes() const { return live_processes_; }
@@ -69,6 +101,61 @@ class Simulator {
   /// that is not blocked is an error.
   void wake(ProcessId pid);
 
+  // --- Event-order reconstruction (parallel engine only) ---
+  //
+  // With the order log enabled, every executed event is recorded with
+  // its push provenance. Between windows the parallel engine merges the
+  // LPs' logs into the serial engine's exact global execution order
+  // (des::WindowOrder) and hands each LP the resulting global sequence
+  // numbers, which finalize_order_window() folds back into the tags of
+  // still-pending events. The serial engine never enables any of this.
+
+  /// Turn per-event order logging on or off (off by default). Also
+  /// switches the event queue to tag-ordered ties: events that arrive
+  /// in the queue out of serial push order (flush-scheduled deliveries,
+  /// earlier-window survivors) still execute in the serial engine's
+  /// same-instant order, so in-window decisions that depend on it (a
+  /// receive finding its message already delivered versus blocking)
+  /// come out identically.
+  void enable_order_log(bool on) {
+    order_log_on_ = on;
+    queue_.set_tag_order(on);
+  }
+
+  /// Executed events of the current window, in execution order.
+  const std::vector<OrderLogEntry>& order_log() const { return order_log_; }
+
+  /// Log index of the event currently executing (requires logging on and
+  /// an event in flight).
+  std::size_t current_log_index() const;
+
+  /// Next push ordinal the current event would use — the slot a
+  /// deferred serial-engine push must occupy when the flush performs it
+  /// on this event's behalf.
+  std::uint32_t current_push_ordinal() const { return cur_ordinal_; }
+
+  /// Skip one push ordinal of the current event — used where the serial
+  /// engine performs a push (e.g. scheduling a message delivery) that
+  /// the parallel engine defers to the flush, so later pushes keep the
+  /// serial numbering.
+  void consume_push_ordinal() {
+    if (order_log_on_) ++cur_ordinal_;
+  }
+
+  /// One-shot provenance override for the next push made outside any
+  /// event (e.g. pre-run spawns, whose serial position is rank order).
+  void set_next_push_tag(std::int64_t pusher, std::uint32_t ordinal);
+
+  /// schedule_at() with explicit, already-resolved provenance — for
+  /// flush-scheduled cross-LP deliveries and barrier wake-ups.
+  void schedule_at_tagged(SimTime t, Callback fn, std::int64_t pusher,
+                          std::uint32_t ordinal);
+
+  /// Resolve window-local pusher references in all pending events using
+  /// the merged global sequence numbers (aligned with order_log()) and
+  /// start a fresh window log.
+  void finalize_order_window(const std::vector<std::uint64_t>& gseq);
+
  private:
   struct Process {
     Process(std::function<void()> body, std::size_t stack_bytes)
@@ -79,9 +166,18 @@ class Simulator {
   };
 
   void resume_process(ProcessId pid);
+  void push_event(SimTime t, Callback fn);
+  void dispatch_logged(SimTime t, std::int64_t pusher, std::uint32_t ordinal);
 
   EventQueue queue_;
   SimTime now_ = 0.0;
+  bool order_log_on_ = false;
+  std::vector<OrderLogEntry> order_log_;
+  std::int64_t cur_pusher_ = 0;     // tag for pushes by the current event
+  std::uint32_t cur_ordinal_ = 0;   // next push ordinal of the current event
+  bool tag_override_ = false;       // one-shot set_next_push_tag() pending
+  std::int64_t override_pusher_ = 0;
+  std::uint32_t override_ordinal_ = 0;
   // deque: stable addresses (a fiber may be mid-execution while another
   // spawn() grows the table) without a per-process heap allocation.
   std::deque<Process> processes_;

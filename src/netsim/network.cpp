@@ -1,6 +1,7 @@
 #include "netsim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/error.hpp"
@@ -48,17 +49,15 @@ void Network::send(int src, int dst, std::size_t bytes,
   HPCX_ASSERT(src >= 0 && static_cast<std::size_t>(src) < graph_.num_hosts());
   HPCX_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < graph_.num_hosts());
   if (src == dst) {
-    ++intranode_messages_;
-    send_local(src, bytes, std::move(on_delivered));
+    send_local_on(*sim_, src, bytes, std::move(on_delivered));
   } else {
-    ++internode_messages_;
-    internode_bytes_ += bytes;
     send_remote(src, dst, bytes, std::move(on_delivered));
   }
 }
 
-void Network::send_local(int host, std::size_t bytes,
-                         des::Callback on_delivered) {
+void Network::send_local_on(des::Simulator& sim, int host, std::size_t bytes,
+                            des::Callback on_delivered) {
+  intranode_messages_.fetch_add(1, std::memory_order_relaxed);
   // The sending CPU performs the copy: per-transfer effective bandwidth,
   // stretched if the node's aggregate memory bandwidth is oversubscribed
   // by concurrent transfers.
@@ -68,29 +67,16 @@ void Network::send_local(int host, std::size_t bytes,
   // Reserve the aggregate memory engine for this transfer's share of
   // traffic; the transfer cannot finish before either constraint.
   const double aggregate_end =
-      mem.reserve(sim_->now(), fbytes / node_.node_mem_Bps);
-  const double done = std::max(sim_->now() + copy_s, aggregate_end);
-  sim_->schedule(done - sim_->now(), std::move(on_delivered));
-  sim_->sleep(done - sim_->now());  // sender CPU busy for the copy
+      mem.reserve(sim.now(), fbytes / node_.node_mem_Bps);
+  const double done = std::max(sim.now() + copy_s, aggregate_end);
+  sim.schedule(done - sim.now(), std::move(on_delivered));
+  sim.sleep(done - sim.now());  // sender CPU busy for the copy
 }
 
-void Network::send_remote(int src, int dst, std::size_t bytes,
-                          des::Callback on_delivered) {
+double Network::walk_path(int src, int dst, std::size_t bytes,
+                          double inject_entry, double inject_end,
+                          double t_sample) {
   const double fbytes = static_cast<double>(bytes);
-
-  // Send-side software overhead: CPU busy.
-  sim_->sleep(nic_.send_overhead_s);
-
-  // NIC injection behaves like a virtual first link of the cut-through
-  // chain: it serialises the message at injection_Bps (back-pressuring
-  // concurrent senders on the same host adaptor) while the head already
-  // propagates into the fabric — injection and wire serialisation
-  // overlap, as on real cut-through networks.
-  auto& tx = nic_tx_[static_cast<std::size_t>(src)];
-  const double inject_entry = std::max(sim_->now(), tx.next_free());
-  const double inject_end = tx.reserve(
-      inject_entry, nic_.per_message_gap_s + fbytes / nic_.injection_Bps);
-
   // Walk the routed path reserving each link. The head advances one hop
   // latency per link and queues behind busy links; serialisation runs
   // concurrently on all links (cut-through), so arrival is bounded by
@@ -114,7 +100,7 @@ void Network::send_remote(int src, int dst, std::size_t bytes,
     stats.queued_s += std::max(0.0, free_at - (head + hop.latency_s));
     if (sampling_ && link_samples_.size() < sample_cap_) {
       double& last = last_sample_t_[static_cast<std::size_t>(hop.edge)];
-      const double t = sim_->now();
+      const double t = t_sample;
       if (last < 0.0 || t - last >= sample_min_interval_s_) {
         last = t;
         link_samples_.push_back(
@@ -124,10 +110,76 @@ void Network::send_remote(int src, int dst, std::size_t bytes,
     head = entry;
     arrival = std::max(arrival, ser_end);
   }
+  return arrival;
+}
+
+void Network::send_remote(int src, int dst, std::size_t bytes,
+                          des::Callback on_delivered) {
+  internode_messages_.fetch_add(1, std::memory_order_relaxed);
+  internode_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  const double fbytes = static_cast<double>(bytes);
+
+  // Send-side software overhead: CPU busy.
+  sim_->sleep(nic_.send_overhead_s);
+
+  // NIC injection behaves like a virtual first link of the cut-through
+  // chain: it serialises the message at injection_Bps (back-pressuring
+  // concurrent senders on the same host adaptor) while the head already
+  // propagates into the fabric — injection and wire serialisation
+  // overlap, as on real cut-through networks.
+  auto& tx = nic_tx_[static_cast<std::size_t>(src)];
+  const double inject_entry = std::max(sim_->now(), tx.next_free());
+  const double inject_end = tx.reserve(
+      inject_entry, nic_.per_message_gap_s + fbytes / nic_.injection_Bps);
+
+  const double arrival =
+      walk_path(src, dst, bytes, inject_entry, inject_end, sim_->now());
 
   sim_->schedule(arrival - sim_->now(), std::move(on_delivered));
   // Block the sending CPU until its NIC has drained the message.
   sim_->sleep(inject_end - sim_->now());
+}
+
+Network::DeferredSend Network::begin_remote(des::Simulator& sim, int src,
+                                            int dst, std::size_t bytes) {
+  internode_messages_.fetch_add(1, std::memory_order_relaxed);
+  internode_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  const double fbytes = static_cast<double>(bytes);
+
+  // Sender-local half, float-for-float the same as send_remote: the
+  // overhead sleep, then the NIC injection reservation (nic_tx_ is
+  // per-host, so the calling LP owns it exclusively).
+  sim.sleep(nic_.send_overhead_s);
+  auto& tx = nic_tx_[static_cast<std::size_t>(src)];
+  const double inject_entry = std::max(sim.now(), tx.next_free());
+  const double inject_end = tx.reserve(
+      inject_entry, nic_.per_message_gap_s + fbytes / nic_.injection_Bps);
+
+  DeferredSend d;
+  d.src = src;
+  d.dst = dst;
+  d.bytes = bytes;
+  d.t_walk = sim.now();
+  d.inject_entry = inject_entry;
+  d.inject_end = inject_end;
+  return d;
+}
+
+double Network::finish_remote(const DeferredSend& d) {
+  const double arrival =
+      walk_path(d.src, d.dst, d.bytes, d.inject_entry, d.inject_end, d.t_walk);
+  // The serial engine schedules the delivery `arrival - now` seconds
+  // ahead and the queue stores now + delay; reproduce that exact
+  // floating-point expression rather than returning `arrival` directly.
+  return d.t_walk + (arrival - d.t_walk);
+}
+
+double Network::min_link_latency_s() const {
+  double min_lat = std::numeric_limits<double>::infinity();
+  for (std::size_t e = 0; e < graph_.num_edges(); ++e)
+    min_lat = std::min(min_lat,
+                       graph_.edge(static_cast<topo::EdgeId>(e)).params.latency_s);
+  return min_lat;
 }
 
 void Network::enable_link_sampling(double min_interval_s,

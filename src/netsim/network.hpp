@@ -17,6 +17,7 @@
 // given workload always produces the same timings.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -63,15 +64,68 @@ class Network {
   /// the whole delivery path allocation-free.
   void send(int src, int dst, std::size_t bytes, des::Callback on_delivered);
 
+  // --- Split-phase API for the parallel (multi-LP) simulator ---
+  //
+  // The serial send() touches shared fabric state (per-edge busy
+  // reservations) inline; under the parallel scheduler that state must
+  // only be touched single-threaded between synchronization windows.
+  // begin_remote() performs the sender-local half in the calling LP
+  // (overhead sleep + NIC injection reservation — the NIC is per-host,
+  // hence LP-exclusive) and records everything the deferred fabric walk
+  // needs; finish_remote() replays the walk later. When the deferred
+  // walks are applied in the serial engine's global order — ascending
+  // (t_walk, send sequence) — every reservation, statistic and delivery
+  // time is bit-identical to the serial run.
+
+  /// A remote send whose fabric walk has not happened yet.
+  struct DeferredSend {
+    int src = 0;
+    int dst = 0;
+    std::size_t bytes = 0;
+    double t_walk = 0;        ///< time the serial engine would walk at
+    double inject_entry = 0;  ///< NIC reservation start
+    double inject_end = 0;    ///< NIC reservation end (sender unblocks)
+  };
+
+  /// Sender-local half of a remote send, on the LP simulator `sim`
+  /// owning host `src`. Must be called from a process fiber; the caller
+  /// stays blocked for the software overhead, and should additionally
+  /// sleep until inject_end (as the serial path does) after recording
+  /// the returned DeferredSend.
+  DeferredSend begin_remote(des::Simulator& sim, int src, int dst,
+                            std::size_t bytes);
+
+  /// Deferred fabric walk: reserves the path's links exactly as the
+  /// serial engine would have at d.t_walk and returns the absolute
+  /// delivery time (same floating-point expression as the serial
+  /// schedule() call). Single-threaded use only.
+  double finish_remote(const DeferredSend& d);
+
+  /// Intra-node copy on an explicit LP simulator (node memory is
+  /// per-host, hence LP-exclusive). The serial send() delegates here
+  /// with its own simulator.
+  void send_local_on(des::Simulator& sim, int host, std::size_t bytes,
+                     des::Callback on_delivered);
+
+  /// Minimum modeled link latency over every edge — the raw material
+  /// for the parallel scheduler's lookahead. +infinity with no edges.
+  double min_link_latency_s() const;
+
   double recv_overhead_s() const { return nic_.recv_overhead_s; }
   const topo::Graph& graph() const { return graph_; }
   const topo::Routing& routing() const { return routing_; }
 
   /// Number of messages that crossed node boundaries / stayed local.
-  std::uint64_t internode_messages() const { return internode_messages_; }
-  std::uint64_t intranode_messages() const { return intranode_messages_; }
+  std::uint64_t internode_messages() const {
+    return internode_messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t intranode_messages() const {
+    return intranode_messages_.load(std::memory_order_relaxed);
+  }
   /// Total bytes carried over network links (payload, once per message).
-  std::uint64_t internode_bytes() const { return internode_bytes_; }
+  std::uint64_t internode_bytes() const {
+    return internode_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Per-directed-edge traffic accounting, for hotspot analysis.
   struct EdgeStats {
@@ -104,9 +158,15 @@ class Network {
   const std::vector<LinkSample>& link_samples() const { return link_samples_; }
 
  private:
-  void send_local(int host, std::size_t bytes, des::Callback on_delivered);
   void send_remote(int src, int dst, std::size_t bytes,
                    des::Callback on_delivered);
+
+  /// The shared cut-through walk: reserve every link of src->dst,
+  /// update edge stats and samples (sample timestamps use t_sample),
+  /// return the arrival time. Factored out so the serial inline path
+  /// and the deferred parallel path run the identical float sequence.
+  double walk_path(int src, int dst, std::size_t bytes, double inject_entry,
+                   double inject_end, double t_sample);
 
   // One hop of a cached route: the edge id plus the per-edge parameters
   // the inner send loop needs, so it touches neither the routing tables
@@ -137,9 +197,12 @@ class Network {
   std::vector<PathHop> hop_arena_;           // backing store for PathRefs
   std::vector<des::SimResource> nic_tx_;     // per host
   std::vector<des::SimResource> node_mem_;   // per host (aggregate memory)
-  std::uint64_t internode_messages_ = 0;
-  std::uint64_t intranode_messages_ = 0;
-  std::uint64_t internode_bytes_ = 0;
+  // Relaxed atomics: under the parallel scheduler, concurrent LPs bump
+  // these in-window. The totals are commutative sums, so they stay
+  // deterministic at any worker count.
+  std::atomic<std::uint64_t> internode_messages_{0};
+  std::atomic<std::uint64_t> intranode_messages_{0};
+  std::atomic<std::uint64_t> internode_bytes_{0};
   bool sampling_ = false;
   double sample_min_interval_s_ = 0.0;
   std::size_t sample_cap_ = 0;

@@ -1,5 +1,7 @@
 #include "report/sweep.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -192,8 +194,16 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
   const std::string text = buffer.str();
   JsonValue doc;
   std::string error;
-  if (!json_parse(text, doc, &error))
-    throw ConfigError("sweep cache " + path_ + ": " + error);
+  if (!json_parse(text, doc, &error)) {
+    // A torn cache (interrupted writer, disk-full truncation) must not
+    // kill the sweep it was meant to speed up: treat every point as a
+    // miss and let the next flush replace the file wholesale.
+    std::fprintf(stderr,
+                 "warning: sweep cache %s is unreadable (%s); ignoring it\n",
+                 path_.c_str(), error.c_str());
+    dirty_ = true;
+    return;
+  }
   if (doc.string_or("schema", "") != kSchema)
     throw ConfigError("sweep cache " + path_ + ": expected schema " +
                       std::string(kSchema));
@@ -248,8 +258,12 @@ void ResultCache::flush() {
   for (const auto& e : entries_) sorted.push_back(&e);
   std::sort(sorted.begin(), sorted.end(),
             [](const auto* a, const auto* b) { return a->first < b->first; });
-  std::ofstream out(path_);
-  if (!out) throw ConfigError("cannot write sweep cache: " + path_);
+  // Write-to-temp + rename: a reader (or a crash) never observes a
+  // half-written cache, only the old file or the new one.
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(static_cast<long long>(getpid()));
+  std::ofstream out(tmp);
+  if (!out) throw ConfigError("cannot write sweep cache: " + tmp);
   out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"entries\": [";
   bool first_entry = true;
   for (const auto* e : sorted) {
@@ -272,6 +286,15 @@ void ResultCache::flush() {
     out << "]}";
   }
   out << "\n  ]\n}\n";
+  out.close();
+  if (!out) {
+    std::remove(tmp.c_str());
+    throw ConfigError("cannot write sweep cache: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ConfigError("cannot replace sweep cache: " + path_);
+  }
   dirty_ = false;
 }
 
@@ -295,10 +318,12 @@ std::uint64_t ResultCache::misses() const {
 
 namespace {
 
-SweepResult run_imb_point(const SweepPoint& p, trace::Recorder* recorder) {
+SweepResult run_imb_point(const SweepPoint& p, trace::Recorder* recorder,
+                          int sim_workers) {
   imb::ImbResult r{};
   xmpi::SimRunOptions run_options;
   run_options.recorder = recorder;
+  run_options.sim_workers = sim_workers;
   xmpi::run_on_machine(
       p.machine, p.np,
       [&](xmpi::Comm& c) {
@@ -340,10 +365,11 @@ SweepResult run_hpcc_point(const SweepPoint& p, trace::Recorder* recorder) {
   return out;
 }
 
-SweepResult execute_point(const SweepPoint& p, trace::Recorder* recorder) {
+SweepResult execute_point(const SweepPoint& p, trace::Recorder* recorder,
+                          int sim_workers) {
   switch (p.workload) {
     case SweepWorkload::kImb:
-      return run_imb_point(p, recorder);
+      return run_imb_point(p, recorder, sim_workers);
     case SweepWorkload::kHpcc:
       return run_hpcc_point(p, recorder);
     case SweepWorkload::kCustom:
@@ -390,7 +416,7 @@ SweepRun SweepExecutor::run(std::vector<SweepPoint> points) {
               p.np, config_.record_events_per_rank);
           recorder = out.recorders[i].get();
         }
-        out.results[i] = execute_point(p, recorder);
+        out.results[i] = execute_point(p, recorder, config_.sim_workers);
         executed.fetch_add(1);
         if (config_.cache != nullptr)
           config_.cache->store(key, out.results[i]);

@@ -211,6 +211,11 @@ class SweepExecutor {
  public:
   struct Config {
     int jobs = 1;                 ///< worker threads (>= 1)
+    /// Simulator worker threads per IMB point (the parallel multi-LP
+    /// engine; 1 = serial engine). Deliberately NOT part of the cache
+    /// key: any worker count produces identical results, so cached
+    /// entries stay valid across --sim-workers settings.
+    int sim_workers = 1;
     ResultCache* cache = nullptr;  ///< optional shared result cache
     /// Give each executed point its own trace::Recorder (counters and
     /// link tracks; ring capacity record_events_per_rank).

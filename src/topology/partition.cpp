@@ -1,0 +1,79 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpcx::topo {
+
+namespace {
+
+/// Leaf-group key of a host: the far end of its first out-edge — the
+/// leaf/edge switch it attaches to, or the peer host for direct
+/// host-host cables. Hosts with no links group by themselves.
+VertexId group_key(const Graph& graph, VertexId host) {
+  const std::vector<EdgeId>& out = graph.out_edges(host);
+  return out.empty() ? host : graph.edge(out.front()).to;
+}
+
+}  // namespace
+
+Partition partition_hosts(const Graph& graph, int target_lps) {
+  const int num_hosts = static_cast<int>(graph.num_hosts());
+  HPCX_ASSERT(num_hosts > 0);
+
+  // Leaf groups in order of first appearance over ascending host index,
+  // so group boundaries (and therefore LP contents) are a pure function
+  // of the graph.
+  std::vector<std::vector<int>> groups;
+  std::vector<VertexId> keys;
+  for (int h = 0; h < num_hosts; ++h) {
+    const VertexId key = group_key(graph, graph.hosts()[h]);
+    std::size_t g = 0;
+    while (g < keys.size() && keys[g] != key) ++g;
+    if (g == keys.size()) {
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[g].push_back(h);
+  }
+  const int num_groups = static_cast<int>(groups.size());
+
+  int target = target_lps;
+  if (target <= 0) target = num_groups >= 2 ? num_groups : std::min(num_hosts, 8);
+  target = std::min(target, num_hosts);
+  target = std::max(target, 1);
+
+  Partition part;
+  part.lp_of_host.assign(static_cast<std::size_t>(num_hosts), 0);
+  if (num_groups >= target) {
+    // Merge whole groups: LP k takes the proportional slice of the
+    // group list, so topology boundaries are never cut.
+    part.hosts_of_lp.resize(static_cast<std::size_t>(target));
+    for (int k = 0; k < target; ++k) {
+      const int lo = k * num_groups / target;
+      const int hi = (k + 1) * num_groups / target;
+      for (int g = lo; g < hi; ++g)
+        for (const int h : groups[static_cast<std::size_t>(g)]) {
+          part.lp_of_host[static_cast<std::size_t>(h)] = k;
+          part.hosts_of_lp[static_cast<std::size_t>(k)].push_back(h);
+        }
+      std::sort(part.hosts_of_lp[static_cast<std::size_t>(k)].begin(),
+                part.hosts_of_lp[static_cast<std::size_t>(k)].end());
+    }
+  } else {
+    // More LPs than groups: fall back to proportional host-index cuts.
+    part.hosts_of_lp.resize(static_cast<std::size_t>(target));
+    for (int k = 0; k < target; ++k) {
+      const int lo = k * num_hosts / target;
+      const int hi = (k + 1) * num_hosts / target;
+      for (int h = lo; h < hi; ++h) {
+        part.lp_of_host[static_cast<std::size_t>(h)] = k;
+        part.hosts_of_lp[static_cast<std::size_t>(k)].push_back(h);
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace hpcx::topo

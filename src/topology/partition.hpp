@@ -1,0 +1,37 @@
+// Host partitioning for the parallel (multi-LP) simulator.
+//
+// One logical process owns a contiguous-by-construction set of hosts;
+// the partitioner cuts along the explicit topology boundaries the
+// builders create: hosts hanging off the same first-hop switch (a
+// fat-tree leaf switch, a Clos edge switch, the crossbar hub's ports, a
+// hypercube corner) form a leaf group, and LPs are unions of whole leaf
+// groups whenever the requested LP count allows. The result depends
+// only on the graph and the target count — never on worker count or
+// host-thread scheduling — so a partition is reproducible across runs
+// and machines, which the deterministic parallel schedule relies on.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace hpcx::topo {
+
+struct Partition {
+  /// lp_of_host[h] = owning LP of host index h.
+  std::vector<int> lp_of_host;
+  /// hosts_of_lp[lp] = host indices owned, in ascending order.
+  std::vector<std::vector<int>> hosts_of_lp;
+
+  int num_lps() const { return static_cast<int>(hosts_of_lp.size()); }
+};
+
+/// Partition the graph's hosts into at most `target_lps` logical
+/// processes (>= 1). With target_lps <= 0 a default is chosen: one LP
+/// per leaf group when the graph has at least two groups, else
+/// min(num_hosts, 8). Groups are merged (never split) while the group
+/// count exceeds the target; when the target exceeds the group count,
+/// hosts are cut proportionally instead. Deterministic in the graph.
+Partition partition_hosts(const Graph& graph, int target_lps);
+
+}  // namespace hpcx::topo

@@ -1,0 +1,493 @@
+// Parallel simulated-machine backend: the machine's hosts are
+// partitioned into logical processes (LPs) along topology boundaries,
+// each LP a complete des::Simulator with its own event queue, fibers
+// and envelope pool, driven by des::run_conservative with lookahead
+// derived from the minimum modeled link latency (and the hardware
+// barrier latency, when the machine has one).
+//
+// The schedule is the SERIAL schedule, re-ordered but not re-timed:
+//
+//  * Everything host-local (compute, intra-node copies, NIC injection,
+//    per-node memory contention) runs in-window on the owning LP —
+//    those resources are per-host, and a host belongs to exactly one
+//    LP, so no lock is needed and no float changes value.
+//
+//  * The shared fabric (per-edge busy reservations) is never touched
+//    in-window. A remote send records a Network::DeferredSend; the
+//    inter-window flush first reconstructs the serial engine's exact
+//    global event order for the window (des::WindowOrder over the LPs'
+//    order logs), then replays all recorded walks single-threaded in
+//    that order — so every link reservation, queueing decision,
+//    statistic and delivery time comes out bit-identical, at any worker
+//    count. Same-instant walk order is a property of the whole
+//    execution history (the serial queue runs timestamp ties in push
+//    order, and pushes inherit positions through wakes and deliveries),
+//    which is why it is reconstructed rather than approximated by a
+//    static sort key.
+//
+//  * Hardware barriers complete in the flush too: arrivals are recorded
+//    per-LP in-window; once all ranks have arrived, every rank is
+//    released at t_last + hw_latency, waking the last-arriving rank
+//    first (whose sleep would have expired first in the serial engine)
+//    and the rest in arrival order.
+//
+// Conservative-safety argument: a window runs events in [T, T + la)
+// where T is the global minimum pending event time and la is strictly
+// less than both the minimum link latency and the hw barrier latency.
+// A deferred send walked at t_walk >= T delivers no earlier than
+// t_walk + min link latency > T + la, and a barrier completing at
+// t_last >= T releases at t_last + hw > T + la — both beyond every
+// LP's clock when the flush applies them, so nothing is ever scheduled
+// into an LP's past.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/error.hpp"
+#include "des/order.hpp"
+#include "des/parallel.hpp"
+#include "des/simulator.hpp"
+#include "des/sync.hpp"
+#include "netsim/network.hpp"
+#include "topology/partition.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/sim_internal.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+
+/// A remote send whose sender-local half ran in-window; the fabric walk
+/// and the delivery are applied by the next flush.
+struct PendingSend {
+  net::Network::DeferredSend d;
+  std::uint32_t log_idx = 0;  ///< sending segment in its LP's order log
+  int lp = 0;
+  int src_rank = 0;
+  int src_node = 0;
+  int dst_rank = 0;
+  int tag = 0;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+  bool phantom = false;
+  std::vector<unsigned char> payload;
+};
+
+struct BarrierArrival {
+  double t = 0;
+  std::uint32_t log_idx = 0;  ///< arriving segment in its LP's order log
+  std::uint32_t ordinal = 0;  ///< that segment's next push ordinal
+  int rank = 0;
+  int lp = 0;
+  // Arrivals can outlive the window they were recorded in (the barrier
+  // completes only when the slowest rank arrives), but log_idx is only
+  // meaningful within that window — so the first flush after recording
+  // resolves it to the global sequence number and stores it here.
+  std::uint64_t g = 0;
+  bool resolved = false;
+};
+
+/// One logical process: a full simulator plus everything it records
+/// in-window for the flush to apply. Only the owning worker thread
+/// touches a shard inside a window; the flush (single-threaded) is the
+/// only other reader, fenced by the window pool's handshake.
+struct Shard {
+  des::Simulator sim;
+  detail::EnvelopePool pool;
+  std::vector<PendingSend> pending;
+  std::vector<BarrierArrival> barrier_arrivals;
+};
+
+struct ParWorld {
+  ParWorld(const mach::MachineConfig& machine, int n, topo::Graph graph,
+           topo::Partition p)
+      : config(&machine),
+        nranks(n),
+        part(std::move(p)),
+        shards(static_cast<std::size_t>(part.num_lps())),
+        network(shards.front().sim, std::move(graph), machine.nic,
+                machine.node),
+        lp_of_rank(static_cast<std::size_t>(n)),
+        ranks(static_cast<std::size_t>(n)),
+        barrier_wqs(static_cast<std::size_t>(n)) {
+    for (int r = 0; r < n; ++r) {
+      const int node = machine.node_of_rank(r);
+      const int lp = part.lp_of_host[static_cast<std::size_t>(node)];
+      des::Simulator& owner = shards[static_cast<std::size_t>(lp)].sim;
+      lp_of_rank[static_cast<std::size_t>(r)] = lp;
+      ranks[static_cast<std::size_t>(r)].wq =
+          std::make_unique<des::WaitQueue>(owner);
+      // Barrier waits get their own queue (the serial engine's shared
+      // rendezvous queue becomes one per rank): an in-flight delivery's
+      // notify_one on the inbox queue must stay a no-op while the rank
+      // sits in a barrier, exactly as in the serial engine.
+      barrier_wqs[static_cast<std::size_t>(r)] =
+          std::make_unique<des::WaitQueue>(owner);
+    }
+  }
+
+  Shard& shard_of_rank(int r) {
+    return shards[static_cast<std::size_t>(
+        lp_of_rank[static_cast<std::size_t>(r)])];
+  }
+
+  const mach::MachineConfig* config;
+  int nranks;
+  topo::Partition part;
+  std::deque<Shard> shards;  // deque: Simulator is pinned, never moves
+  net::Network network;      // sim reference unused on the parallel path
+  std::vector<int> lp_of_rank;
+  std::vector<detail::RankState> ranks;
+  std::vector<std::unique_ptr<des::WaitQueue>> barrier_wqs;
+  std::vector<PendingSend> batch;  // flush scratch, reused across rounds
+};
+
+/// Append the envelope to dst's inbox and poke its inbox wait queue —
+/// the same three-word continuation the serial engine uses. Runs on the
+/// destination rank's own LP.
+void deliver(ParWorld* w, int dst, detail::Envelope* env) {
+  detail::RankState& rs = w->ranks[static_cast<std::size_t>(dst)];
+  if (rs.inbox_tail == nullptr) {
+    rs.inbox_head = env;
+  } else {
+    rs.inbox_tail->next = env;
+  }
+  rs.inbox_tail = env;
+  rs.wq->notify_one();
+}
+
+class PSimComm final : public Comm {
+ public:
+  PSimComm(ParWorld& world, int rank)
+      : world_(&world),
+        rank_(rank),
+        node_(world.config->node_of_rank(rank)),
+        lp_(world.lp_of_rank[static_cast<std::size_t>(rank)]),
+        shard_(&world.shards[static_cast<std::size_t>(lp_)]) {
+    set_peer_limit(world.nranks);
+  }
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_->nranks; }
+  double now() override { return shard_->sim.now(); }
+
+  void charge_reduce_arithmetic(std::size_t operand_bytes) override {
+    const double cost = 3.0 * static_cast<double>(operand_bytes) /
+                        world_->config->stream_per_cpu_all_active();
+    shard_->sim.sleep(cost);
+    if (trace::RankTrace* t = trace()) t->counters().compute_s += cost;
+  }
+
+ protected:
+  void compute_impl(double seconds) override { shard_->sim.sleep(seconds); }
+
+  trace::AlgId barrier_impl() override {
+    const double hw = world_->config->hw_barrier_latency_s;
+    if (hw <= 0.0 || world_->nranks == 1) return Comm::barrier_impl();
+    // Record the arrival for the flush-time rendezvous and block on the
+    // per-rank barrier queue; the flush releases everyone at
+    // t_last + hw once all ranks have arrived.
+    const double t0 = shard_->sim.now();
+    shard_->barrier_arrivals.push_back(BarrierArrival{
+        t0, static_cast<std::uint32_t>(shard_->sim.current_log_index()),
+        shard_->sim.current_push_ordinal(), rank_, lp_});
+    world_->barrier_wqs[static_cast<std::size_t>(rank_)]->wait();
+    if (trace::RankTrace* t = trace())
+      t->counters().wait_s += shard_->sim.now() - t0;
+    return trace::AlgId::kHardware;
+  }
+
+  void send_impl(int dst, int tag, CBuf buf) override {
+    ParWorld* w = world_;
+    const int dst_node = w->config->node_of_rank(dst);
+    const double t0 = shard_->sim.now();
+    if (dst_node == node_) {
+      // Same node => same LP: the whole transfer is LP-local, envelope
+      // from the destination's (== our) shard pool, delivered in-window.
+      detail::Envelope* env = shard_->pool.acquire();
+      fill(env, tag, buf);
+      w->network.send_local_on(shard_->sim, node_, buf.bytes(),
+                               [w, dst, env] { deliver(w, dst, env); });
+    } else {
+      // Remote: run the sender-local half now (overhead + NIC
+      // injection, both per-host resources we own) and leave the
+      // fabric walk + delivery to the flush. The payload snapshot
+      // happens here, at send time, as the serial engine's does.
+      PendingSend ps;
+      ps.lp = lp_;
+      ps.src_rank = rank_;
+      ps.src_node = node_;
+      ps.dst_rank = dst;
+      ps.tag = tag;
+      ps.count = buf.count;
+      ps.dtype = buf.dtype;
+      ps.phantom = buf.phantom();
+      if (!buf.phantom() && buf.count > 0) {
+        ps.payload.resize(buf.bytes());
+        std::memcpy(ps.payload.data(), buf.data, buf.bytes());
+      }
+      ps.d = w->network.begin_remote(shard_->sim, node_, dst_node,
+                                     buf.bytes());
+      // Sequenced after begin_remote's overhead sleep: this fiber
+      // segment executes at t_walk, and in the serial engine it is the
+      // segment that walks the fabric AND pushes the delivery event —
+      // so record its log position as the walk's order key, and consume
+      // the push ordinal the delivery would have used (the flush makes
+      // that push on this segment's behalf, before the inject sleep's).
+      ps.log_idx =
+          static_cast<std::uint32_t>(shard_->sim.current_log_index());
+      shard_->sim.consume_push_ordinal();
+      const double inject_end = ps.d.inject_end;
+      shard_->pending.push_back(std::move(ps));
+      shard_->sim.sleep(inject_end - shard_->sim.now());
+    }
+    if (trace::RankTrace* t = trace())
+      t->counters().copy_s += shard_->sim.now() - t0;
+  }
+
+  void recv_impl(int src, int tag, MBuf buf) override {
+    detail::RankState& rs = world_->ranks[static_cast<std::size_t>(rank_)];
+    for (;;) {
+      detail::Envelope* prev = nullptr;
+      for (detail::Envelope* env = rs.inbox_head; env != nullptr;
+           prev = env, env = env->next) {
+        if (env->src == src && env->tag == tag) {
+          detail::validate_match(*env, buf);
+          if (prev == nullptr) {
+            rs.inbox_head = env->next;
+          } else {
+            prev->next = env->next;
+          }
+          if (rs.inbox_tail == env) rs.inbox_tail = prev;
+          if (env->src_node != node_) {
+            const double oh = world_->network.recv_overhead_s();
+            shard_->sim.sleep(oh);
+            if (trace::RankTrace* t = trace()) t->counters().copy_s += oh;
+          }
+          if (!buf.phantom() && buf.count > 0)
+            std::memcpy(buf.data, env->payload.data(), buf.bytes());
+          shard_->pool.release(env);
+          return;
+        }
+      }
+      const double t0 = shard_->sim.now();
+      rs.wq->wait();
+      if (trace::RankTrace* t = trace())
+        t->counters().wait_s += shard_->sim.now() - t0;
+    }
+  }
+
+ private:
+  void fill(detail::Envelope* env, int tag, const CBuf& buf) {
+    env->src = rank_;
+    env->src_node = node_;
+    env->tag = tag;
+    env->count = buf.count;
+    env->dtype = buf.dtype;
+    env->phantom = buf.phantom();
+    if (!buf.phantom() && buf.count > 0) {
+      env->payload.resize(buf.bytes());
+      std::memcpy(env->payload.data(), buf.data, buf.bytes());
+    }
+  }
+
+  ParWorld* world_;
+  int rank_;
+  int node_;
+  int lp_;
+  Shard* shard_;
+};
+
+/// Replay every deferred fabric walk in the serial engine's global
+/// order and schedule the deliveries on the destination LPs.
+void apply_pending_sends(ParWorld& w,
+                         const std::vector<std::vector<std::uint64_t>>& gseq) {
+  w.batch.clear();
+  for (Shard& s : w.shards) {
+    for (PendingSend& ps : s.pending) w.batch.push_back(std::move(ps));
+    s.pending.clear();
+  }
+  if (w.batch.empty()) return;
+  // The merged global sequence numbers ARE the serial execution order
+  // (time-ascending, ties in serial push order), so ordering walks by
+  // the sending segment's number replays the fabric exactly.
+  std::sort(w.batch.begin(), w.batch.end(),
+            [&gseq](const PendingSend& a, const PendingSend& b) {
+              return gseq[static_cast<std::size_t>(a.lp)][a.log_idx] <
+                     gseq[static_cast<std::size_t>(b.lp)][b.log_idx];
+            });
+  for (PendingSend& ps : w.batch) {
+    const double deliver_t = w.network.finish_remote(ps.d);
+    Shard& ds = w.shard_of_rank(ps.dst_rank);
+    detail::Envelope* env = ds.pool.acquire();
+    env->src = ps.src_rank;
+    env->src_node = ps.src_node;
+    env->tag = ps.tag;
+    env->count = ps.count;
+    env->dtype = ps.dtype;
+    env->phantom = ps.phantom;
+    env->payload = std::move(ps.payload);
+    ParWorld* wp = &w;
+    const int dst = ps.dst_rank;
+    // The delivery's provenance is the serial push the sender deferred:
+    // (sending segment's global position, consumed ordinal 0).
+    ds.sim.schedule_at_tagged(
+        deliver_t, [wp, dst, env] { deliver(wp, dst, env); },
+        static_cast<std::int64_t>(
+            gseq[static_cast<std::size_t>(ps.lp)][ps.log_idx]),
+        0);
+  }
+  w.batch.clear();
+}
+
+void schedule_barrier_wake(ParWorld& w, int rank, double t,
+                           std::int64_t pusher, std::uint32_t ordinal) {
+  ParWorld* wp = &w;
+  w.shard_of_rank(rank).sim.schedule_at_tagged(
+      t,
+      [wp, rank] {
+        wp->barrier_wqs[static_cast<std::size_t>(rank)]->notify_one();
+      },
+      pusher, ordinal);
+}
+
+/// Complete a hardware barrier once every rank has arrived: release all
+/// at t_last + hw, waking the last-arriving rank first (in the serial
+/// engine its own sleep expires before the rendezvous queue's FIFO
+/// wake-ups are issued), then the rest in arrival order.
+void apply_barrier(ParWorld& w,
+                   const std::vector<std::vector<std::uint64_t>>& gseq) {
+  const double hw = w.config->hw_barrier_latency_s;
+  if (hw <= 0.0 || w.nranks == 1) return;
+  // This window's new arrivals carry a log_idx into a log that is about
+  // to be reset — pin down their global positions now, whether or not
+  // the barrier completes this flush.
+  std::size_t total = 0;
+  for (Shard& s : w.shards) {
+    for (BarrierArrival& a : s.barrier_arrivals) {
+      if (!a.resolved) {
+        a.g = gseq[static_cast<std::size_t>(a.lp)][a.log_idx];
+        a.resolved = true;
+      }
+    }
+    total += s.barrier_arrivals.size();
+  }
+  if (static_cast<int>(total) < w.nranks) return;
+  HPCX_ASSERT(static_cast<int>(total) == w.nranks);
+
+  std::vector<BarrierArrival> arrivals;
+  arrivals.reserve(total);
+  for (Shard& s : w.shards) {
+    arrivals.insert(arrivals.end(), s.barrier_arrivals.begin(),
+                    s.barrier_arrivals.end());
+    s.barrier_arrivals.clear();
+  }
+  // Arrival order = global sequence order of the arriving fiber
+  // segments (the merged order already sorts by time, then by serial
+  // push order within ties).
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const BarrierArrival& a, const BarrierArrival& b) {
+              return a.g < b.g;
+            });
+  const BarrierArrival& last = arrivals.back();
+  const double t_release = last.t + hw;
+  // In the serial engine the last arrival's own sleep(hw) pushes its
+  // resume first, then its post-sleep segment issues the rendezvous
+  // queue's FIFO notify_ones — all at t_release, all pushed by the last
+  // arrival's segment. Emulate those pushes with the last arriver's
+  // global position and consecutive ordinals starting at the one its
+  // segment had reached. (If an unrelated event of the same LP landed
+  // at exactly t_release and was pushed by a later segment, it would
+  // interleave differently than in the serial engine; that requires an
+  // exact double collision with t_last + hw from an independent
+  // expression, which no modeled path produces.)
+  const std::int64_t last_g = static_cast<std::int64_t>(last.g);
+  schedule_barrier_wake(w, last.rank, t_release, last_g, last.ordinal);
+  std::uint32_t ord = last.ordinal + 1;
+  for (const BarrierArrival& a : arrivals) {
+    if (a.rank == last.rank) continue;
+    schedule_barrier_wake(w, a.rank, t_release, last_g, ord++);
+  }
+}
+
+void flush(ParWorld& w, des::WindowOrder& order,
+           const std::vector<des::Simulator*>& lps) {
+  const std::vector<std::vector<std::uint64_t>> gseq = order.merge(lps);
+  // Resolve pending-event tags BEFORE scheduling anything new: the
+  // queues order same-time ties by tag at sift time, so a delivery
+  // pushed while older events still carry window-local tags would sort
+  // ahead of events whose resolved position precedes its sender's.
+  for (std::size_t i = 0; i < lps.size(); ++i)
+    lps[i]->finalize_order_window(gseq[i]);
+  apply_pending_sends(w, gseq);
+  apply_barrier(w, gseq);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
+                                         int nranks, const RankFn& fn,
+                                         const SimRunOptions& options) {
+  topo::Graph graph = machine.build_topology(machine.nodes_for(nranks));
+  topo::Partition part = topo::partition_hosts(graph, options.sim_lps);
+  if (part.num_lps() < 2) return std::nullopt;
+
+  const double hw = machine.hw_barrier_latency_s;
+  ParWorld world(machine, nranks, std::move(graph), std::move(part));
+  double lookahead = world.network.min_link_latency_s();
+  if (hw > 0.0) lookahead = std::min(lookahead, hw);
+  if (!(lookahead > 0.0) || !std::isfinite(lookahead)) return std::nullopt;
+  // Shave one part in 1e9: deferred deliveries recompute the serial
+  // engine's float expressions, which can round an ulp below
+  // t_walk + min-latency. A marginally smaller window is always safe
+  // (window boundaries never affect results); an optimistic one would
+  // trip schedule_at's past-time assertion.
+  lookahead *= 1.0 - 1e-9;
+
+  trace::Recorder* recorder = options.recorder;
+  if (recorder) {
+    recorder->set_virtual_time(true);
+    world.network.enable_link_sampling(options.link_sample_interval_s);
+  }
+  for (Shard& s : world.shards) s.sim.enable_order_log(true);
+  for (int r = 0; r < nranks; ++r) {
+    Shard& shard = world.shard_of_rank(r);
+    // The serial engine spawns ranks in rank order before running, so
+    // rank r's initial resume occupies pre-run pseudo position r.
+    shard.sim.set_next_push_tag(static_cast<std::int64_t>(r), 0);
+    shard.sim.spawn(
+        [&world, &fn, recorder, r] {
+          Shard& s = world.shard_of_rank(r);
+          PSimComm comm(world, r);
+          if (recorder) comm.set_trace(&recorder->rank(r));
+          const double t0 = s.sim.now();
+          fn(comm);
+          world.ranks[static_cast<std::size_t>(r)].finish_time = s.sim.now();
+          if (recorder)
+            recorder->rank(r).counters().elapsed_s += s.sim.now() - t0;
+        },
+        options.fiber_stack_bytes);
+  }
+
+  std::vector<des::Simulator*> lps;
+  lps.reserve(world.shards.size());
+  for (Shard& s : world.shards) lps.push_back(&s.sim);
+  des::WindowOrder order(static_cast<std::uint64_t>(nranks));
+  des::run_conservative(
+      lps, [&world, &order, &lps] { flush(world, order, lps); },
+      options.sim_workers, lookahead);
+
+  if (recorder) fold_link_tracks(*recorder, world.network);
+  return build_sim_result(world.network, world.ranks);
+}
+
+}  // namespace detail
+
+}  // namespace hpcx::xmpi

@@ -6,62 +6,20 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "des/fiber.hpp"
 #include "des/simulator.hpp"
 #include "des/sync.hpp"
 #include "netsim/network.hpp"
 #include "trace/trace.hpp"
+#include "xmpi/sim_internal.hpp"
 
 namespace hpcx::xmpi {
 
 namespace {
 
-// Message envelopes are pooled: a send takes a node from the world's
-// freelist, the matching recv returns it. The payload vector keeps its
-// capacity across reuses, so steady-state traffic performs no heap
-// allocation at all. Envelopes are threaded through intrusive `next`
-// links — the same field serves as freelist link and inbox FIFO link.
-struct Envelope {
-  int src = -1;
-  int src_node = -1;
-  int tag = 0;
-  std::size_t count = 0;
-  DType dtype = DType::kByte;
-  bool phantom = false;
-  std::vector<unsigned char> payload;
-  Envelope* next = nullptr;
-};
-
-class EnvelopePool {
- public:
-  Envelope* acquire() {
-    if (Envelope* env = free_head_) {
-      free_head_ = env->next;
-      env->next = nullptr;
-      return env;
-    }
-    owned_.push_back(std::make_unique<Envelope>());
-    return owned_.back().get();
-  }
-
-  void release(Envelope* env) {
-    env->payload.clear();  // keeps capacity for the next reuse
-    env->next = free_head_;
-    free_head_ = env;
-  }
-
- private:
-  Envelope* free_head_ = nullptr;
-  std::vector<std::unique_ptr<Envelope>> owned_;  // for destruction only
-};
-
-struct RankState {
-  // Intrusive FIFO of pending envelopes (append at tail, match scans
-  // from head, the order a deque gave).
-  Envelope* inbox_head = nullptr;
-  Envelope* inbox_tail = nullptr;
-  std::unique_ptr<des::WaitQueue> wq;
-  double finish_time = 0.0;
-};
+using detail::Envelope;
+using detail::EnvelopePool;
+using detail::RankState;
 
 struct World {
   World(const mach::MachineConfig& machine, int nranks,
@@ -86,23 +44,6 @@ struct World {
   des::WaitQueue barrier_wq;
   int barrier_arrived = 0;
 };
-
-// Same validation contract as the thread backend: check *before* the
-// envelope leaves the inbox, so a mismatch keeps the message intact and
-// the error names exactly what is queued.
-void validate_match(const Envelope& env, const MBuf& buf) {
-  if (env.count != buf.count || env.dtype != buf.dtype)
-    throw CommError(
-        "recv size/type mismatch from rank " + std::to_string(env.src) +
-        " tag " + std::to_string(env.tag) + ": expected " +
-        std::to_string(buf.count) + " x " + std::string(to_string(buf.dtype)) +
-        ", got " + std::to_string(env.count) + " x " +
-        std::string(to_string(env.dtype)) + " (message left queued)");
-  if (buf.count > 0 && env.phantom != buf.phantom())
-    throw CommError("phantom/real payload mismatch from rank " +
-                    std::to_string(env.src) + " tag " +
-                    std::to_string(env.tag) + " (message left queued)");
-}
 
 class SimComm final : public Comm {
  public:
@@ -192,7 +133,7 @@ class SimComm final : public Comm {
       for (Envelope* env = rs.inbox_head; env != nullptr;
            prev = env, env = env->next) {
         if (env->src == src && env->tag == tag) {
-          validate_match(*env, buf);
+          detail::validate_match(*env, buf);
           // Unlink only after validation, so a mismatch keeps the
           // message queued (same contract as the thread backend).
           if (prev == nullptr) {
@@ -228,11 +169,34 @@ class SimComm final : public Comm {
   int node_;
 };
 
+// Wide simulations would exhaust the kernel's VMA budget with one
+// guard-paged mapping per fiber stack; dense slab stacks keep the
+// mapping count flat. The threshold stays above every golden-workload
+// rank count so narrow runs keep byte-identical allocation behaviour.
+struct DenseStackGuard {
+  explicit DenseStackGuard(bool on) : on_(on) {
+    if (on_) des::Fiber::set_dense_stacks(true);
+  }
+  ~DenseStackGuard() {
+    if (on_) des::Fiber::set_dense_stacks(false);
+  }
+  bool on_;
+};
+
 }  // namespace
 
 SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
                             const RankFn& fn, SimRunOptions options) {
   HPCX_REQUIRE(nranks >= 1, "need at least one rank");
+  DenseStackGuard dense(nranks >= 4096);
+
+  if (options.sim_workers > 1 || options.sim_lps > 1) {
+    if (auto par = detail::run_parallel(machine, nranks, fn, options))
+      return *par;
+    // Not partitionable (single host, or no finite lookahead): the
+    // serial engine below handles it.
+  }
+
   des::Simulator sim;
   World world(machine, nranks, sim);
   trace::Recorder* recorder = options.recorder;
@@ -257,48 +221,8 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
   }
   sim.run();
 
-  if (recorder) {
-    // Fold the per-edge totals and the time-series samples into
-    // LinkTracks, skipping edges nothing crossed.
-    std::vector<trace::LinkTrack> tracks;
-    std::vector<int> track_of(world.network.graph().num_edges(), -1);
-    for (std::size_t e = 0; e < world.network.graph().num_edges(); ++e) {
-      const auto& stats =
-          world.network.edge_stats(static_cast<topo::EdgeId>(e));
-      if (stats.messages == 0) continue;
-      const topo::Edge& edge =
-          world.network.graph().edge(static_cast<topo::EdgeId>(e));
-      track_of[e] = static_cast<int>(tracks.size());
-      tracks.push_back(trace::LinkTrack{
-          world.network.graph().label(edge.from) + "->" +
-              world.network.graph().label(edge.to),
-          stats.messages, stats.bytes, stats.busy_s, stats.queued_s,
-          {}});
-    }
-    for (const auto& s : world.network.link_samples()) {
-      const int t = track_of[static_cast<std::size_t>(s.edge)];
-      if (t >= 0)
-        tracks[static_cast<std::size_t>(t)].points.push_back(
-            trace::LinkPoint{s.t, s.busy_s, s.backlog_s});
-    }
-    recorder->set_link_tracks(std::move(tracks));
-  }
-
-  SimRunResult result;
-  for (const auto& rs : world.ranks)
-    result.makespan_s = std::max(result.makespan_s, rs.finish_time);
-  result.internode_messages = world.network.internode_messages();
-  result.intranode_messages = world.network.intranode_messages();
-  result.internode_bytes = world.network.internode_bytes();
-  for (const auto& [edge_id, stats] : world.network.hottest_edges(16)) {
-    if (stats.messages == 0) break;
-    const topo::Edge& e = world.network.graph().edge(edge_id);
-    result.hottest_links.push_back(LinkUsage{
-        world.network.graph().label(e.from),
-        world.network.graph().label(e.to), stats.messages, stats.bytes,
-        stats.busy_s, stats.queued_s});
-  }
-  return result;
+  if (recorder) detail::fold_link_tracks(*recorder, world.network);
+  return detail::build_sim_result(world.network, world.ranks);
 }
 
 }  // namespace hpcx::xmpi

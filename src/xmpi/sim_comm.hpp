@@ -47,6 +47,15 @@ struct SimRunOptions {
   /// Minimum virtual time between two utilisation samples of the same
   /// link while a recorder is attached (0 = sample every traversal).
   double link_sample_interval_s = 0.0;
+  /// Host worker threads for the parallel (multi-LP, conservative
+  /// lookahead) engine. 1 = today's serial engine, byte for byte. Any
+  /// value produces the same makespans: the parallel schedule is
+  /// worker-count invariant.
+  int sim_workers = 1;
+  /// Logical-process count for the parallel engine (0 = one LP per
+  /// topology leaf group). Setting this > 1 exercises the parallel
+  /// engine even with sim_workers = 1.
+  int sim_lps = 0;
 };
 
 /// Run `fn` on `nranks` simulated ranks of `machine`. Deterministic:

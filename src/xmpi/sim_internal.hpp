@@ -1,0 +1,148 @@
+// Internals shared by the serial (sim_comm.cpp) and parallel
+// (par_sim_comm.cpp) simulated-machine backends: pooled message
+// envelopes, per-rank mailbox state, receive-side validation, and the
+// result/recorder folding that both engines perform identically after
+// the last event. Nothing here is public API — tools and benches see
+// only xmpi/sim_comm.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "des/sync.hpp"
+#include "netsim/network.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx::xmpi::detail {
+
+// Message envelopes are pooled: a send takes a node from a pool, the
+// matching recv returns it. The payload vector keeps its capacity
+// across reuses, so steady-state traffic performs no heap allocation at
+// all. Envelopes are threaded through intrusive `next` links — the same
+// field serves as freelist link and inbox FIFO link. Under the parallel
+// engine each logical process owns a pool, and an envelope is always
+// acquired from (and released to) the *destination* rank's pool, so no
+// pool is ever touched by two threads.
+struct Envelope {
+  int src = -1;
+  int src_node = -1;
+  int tag = 0;
+  std::size_t count = 0;
+  DType dtype = DType::kByte;
+  bool phantom = false;
+  std::vector<unsigned char> payload;
+  Envelope* next = nullptr;
+};
+
+class EnvelopePool {
+ public:
+  Envelope* acquire() {
+    if (Envelope* env = free_head_) {
+      free_head_ = env->next;
+      env->next = nullptr;
+      return env;
+    }
+    owned_.push_back(std::make_unique<Envelope>());
+    return owned_.back().get();
+  }
+
+  void release(Envelope* env) {
+    env->payload.clear();  // keeps capacity for the next reuse
+    env->next = free_head_;
+    free_head_ = env;
+  }
+
+ private:
+  Envelope* free_head_ = nullptr;
+  std::vector<std::unique_ptr<Envelope>> owned_;  // for destruction only
+};
+
+struct RankState {
+  // Intrusive FIFO of pending envelopes (append at tail, match scans
+  // from head, the order a deque gave).
+  Envelope* inbox_head = nullptr;
+  Envelope* inbox_tail = nullptr;
+  std::unique_ptr<des::WaitQueue> wq;
+  double finish_time = 0.0;
+};
+
+// Same validation contract as the thread backend: check *before* the
+// envelope leaves the inbox, so a mismatch keeps the message intact and
+// the error names exactly what is queued.
+inline void validate_match(const Envelope& env, const MBuf& buf) {
+  if (env.count != buf.count || env.dtype != buf.dtype)
+    throw CommError(
+        "recv size/type mismatch from rank " + std::to_string(env.src) +
+        " tag " + std::to_string(env.tag) + ": expected " +
+        std::to_string(buf.count) + " x " + std::string(to_string(buf.dtype)) +
+        ", got " + std::to_string(env.count) + " x " +
+        std::string(to_string(env.dtype)) + " (message left queued)");
+  if (buf.count > 0 && env.phantom != buf.phantom())
+    throw CommError("phantom/real payload mismatch from rank " +
+                    std::to_string(env.src) + " tag " +
+                    std::to_string(env.tag) + " (message left queued)");
+}
+
+/// Fold the per-edge totals and the time-series samples into
+/// LinkTracks, skipping edges nothing crossed.
+inline void fold_link_tracks(trace::Recorder& recorder,
+                             const net::Network& network) {
+  std::vector<trace::LinkTrack> tracks;
+  std::vector<int> track_of(network.graph().num_edges(), -1);
+  for (std::size_t e = 0; e < network.graph().num_edges(); ++e) {
+    const auto& stats = network.edge_stats(static_cast<topo::EdgeId>(e));
+    if (stats.messages == 0) continue;
+    const topo::Edge& edge = network.graph().edge(static_cast<topo::EdgeId>(e));
+    track_of[e] = static_cast<int>(tracks.size());
+    tracks.push_back(trace::LinkTrack{
+        network.graph().label(edge.from) + "->" +
+            network.graph().label(edge.to),
+        stats.messages, stats.bytes, stats.busy_s, stats.queued_s,
+        {}});
+  }
+  for (const auto& s : network.link_samples()) {
+    const int t = track_of[static_cast<std::size_t>(s.edge)];
+    if (t >= 0)
+      tracks[static_cast<std::size_t>(t)].points.push_back(
+          trace::LinkPoint{s.t, s.busy_s, s.backlog_s});
+  }
+  recorder.set_link_tracks(std::move(tracks));
+}
+
+/// Build the run result both engines return: makespan over per-rank
+/// finish times plus the network's traffic totals and hottest links.
+inline SimRunResult build_sim_result(const net::Network& network,
+                                     const std::vector<RankState>& ranks) {
+  SimRunResult result;
+  for (const auto& rs : ranks)
+    result.makespan_s = std::max(result.makespan_s, rs.finish_time);
+  result.internode_messages = network.internode_messages();
+  result.intranode_messages = network.intranode_messages();
+  result.internode_bytes = network.internode_bytes();
+  for (const auto& [edge_id, stats] : network.hottest_edges(16)) {
+    if (stats.messages == 0) break;
+    const topo::Edge& e = network.graph().edge(edge_id);
+    result.hottest_links.push_back(LinkUsage{
+        network.graph().label(e.from), network.graph().label(e.to),
+        stats.messages, stats.bytes, stats.busy_s, stats.queued_s});
+  }
+  return result;
+}
+
+/// Parallel (multi-LP, conservative-lookahead) engine. Returns nullopt
+/// when the machine/topology cannot be meaningfully partitioned (fewer
+/// than two logical processes, or no positive finite lookahead) — the
+/// caller then falls back to the serial engine. Defined in
+/// par_sim_comm.cpp.
+std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
+                                         int nranks, const RankFn& fn,
+                                         const SimRunOptions& options);
+
+}  // namespace hpcx::xmpi::detail

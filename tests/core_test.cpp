@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/parse_num.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
@@ -101,6 +103,41 @@ TEST(Units, TimeFormatting) {
 TEST(Units, BandwidthFormatting) {
   EXPECT_EQ("841.00 MB/s", format_bandwidth(841e6));
   EXPECT_EQ("16.00 GB/s", format_bandwidth(16e9));
+}
+
+TEST(ParseNum, AcceptsWholeStringDecimal) {
+  EXPECT_EQ(0, parse_ll("0", -10, 10));
+  EXPECT_EQ(42, parse_ll("42", 0, 100));
+  EXPECT_EQ(-7, parse_ll("-7", -10, 10));
+  EXPECT_EQ(9223372036854775807ll,
+            parse_ll("9223372036854775807",
+                     std::numeric_limits<long long>::min(),
+                     std::numeric_limits<long long>::max()));
+}
+
+TEST(ParseNum, RejectsNonNumeric) {
+  const long long lo = std::numeric_limits<long long>::min();
+  const long long hi = std::numeric_limits<long long>::max();
+  EXPECT_FALSE(parse_ll("banana", lo, hi).has_value());
+  EXPECT_FALSE(parse_ll("", lo, hi).has_value());
+  EXPECT_FALSE(parse_ll("12x", lo, hi).has_value());    // trailing junk
+  EXPECT_FALSE(parse_ll("x12", lo, hi).has_value());
+  EXPECT_FALSE(parse_ll(" 12", lo, hi).has_value());    // whitespace
+  EXPECT_FALSE(parse_ll("12 ", lo, hi).has_value());
+  EXPECT_FALSE(parse_ll("+12", lo, hi).has_value());    // explicit plus
+  EXPECT_FALSE(parse_ll("0x10", lo, hi).has_value());   // hex
+  EXPECT_FALSE(parse_ll("1.5", lo, hi).has_value());    // float
+  EXPECT_FALSE(parse_ll("-", lo, hi).has_value());
+}
+
+TEST(ParseNum, RejectsOverflowAndOutOfRange) {
+  const long long lo = std::numeric_limits<long long>::min();
+  const long long hi = std::numeric_limits<long long>::max();
+  EXPECT_FALSE(parse_ll("9223372036854775808", lo, hi).has_value());
+  EXPECT_FALSE(parse_ll("99999999999999999999999", lo, hi).has_value());
+  EXPECT_FALSE(parse_ll("11", 0, 10).has_value());
+  EXPECT_FALSE(parse_ll("-1", 0, 10).has_value());
+  EXPECT_EQ(10, parse_ll("10", 0, 10));  // bounds are inclusive
 }
 
 TEST(Units, ByteLabels) {

@@ -1,0 +1,200 @@
+// Parallel-DES determinism: the conservative multi-LP engine must
+// reproduce the serial engine's schedule exactly.
+//
+// The contract (see DESIGN.md, "LP partitioning") is stronger than
+// statistical equivalence: at any worker count and any LP count the
+// parallel engine replays the serial (time, seq) event order through
+// cross-window order reconstruction, so every simulated makespan is
+// *bit-identical* to the serial engine's. These tests pin that contract
+// on the five paper machines (which between them cover fat-tree, Clos,
+// crossbar and hardware-barrier paths), on non-power-of-two LP counts
+// that force uneven leaf-group unions, and under repeated multi-worker
+// runs (the tsan preset turns the last one into a race hunt).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+
+#include "machine/registry.hpp"
+#include "topology/partition.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+// Same golden workload as engine_determinism_test: allreduce(16 KiB
+// doubles) -> barrier -> alltoall(256 B per peer) over 32 ranks. Broad
+// engine coverage (tree + ring schedules, hardware barrier, per-message
+// serialisation) in a sub-second run.
+constexpr int kRanks = 32;
+
+void golden_workload(xmpi::Comm& c) {
+  c.allreduce(xmpi::phantom_cbuf(16384, xmpi::DType::kF64),
+              xmpi::phantom_mbuf(16384, xmpi::DType::kF64), xmpi::ROp::kSum);
+  c.barrier();
+  c.alltoall(xmpi::phantom_cbuf(kRanks * 256, xmpi::DType::kByte),
+             xmpi::phantom_mbuf(kRanks * 256, xmpi::DType::kByte));
+}
+
+xmpi::SimRunResult run(const mach::MachineConfig& machine, int workers,
+                       int lps = 0) {
+  xmpi::SimRunOptions options;
+  options.sim_workers = workers;
+  options.sim_lps = lps;
+  return xmpi::run_on_machine(machine, kRanks, golden_workload, options);
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+// Full-result equality: makespan compared bitwise, traffic counters
+// exactly. Link hotspot lists are derived from the same counters and
+// checked by size only (ordering among equal-busy links is stable too,
+// but the counters are the primary contract).
+void expect_same_result(const xmpi::SimRunResult& serial,
+                        const xmpi::SimRunResult& parallel,
+                        const char* label) {
+  EXPECT_EQ(bits_of(serial.makespan_s), bits_of(parallel.makespan_s))
+      << label << ": serial " << serial.makespan_s << " vs parallel "
+      << parallel.makespan_s;
+  EXPECT_EQ(serial.internode_messages, parallel.internode_messages) << label;
+  EXPECT_EQ(serial.intranode_messages, parallel.intranode_messages) << label;
+  EXPECT_EQ(serial.internode_bytes, parallel.internode_bytes) << label;
+  EXPECT_EQ(serial.hottest_links.size(), parallel.hottest_links.size())
+      << label;
+}
+
+struct PaperMachine {
+  const char* name;
+  mach::MachineConfig (*machine)();
+};
+
+constexpr PaperMachine kPaperMachines[] = {
+    {"altix_bx2", mach::altix_bx2},   {"cray_x1_msp", mach::cray_x1_msp},
+    {"cray_opteron", mach::cray_opteron}, {"dell_xeon", mach::dell_xeon},
+    {"nec_sx8", mach::nec_sx8},
+};
+
+class PdesDeterminism : public ::testing::TestWithParam<PaperMachine> {};
+
+// Worker-count invariance: the serial engine's makespan must be
+// reproduced bit-exactly at 2, 4 and 8 host workers.
+TEST_P(PdesDeterminism, MakespanMatchesSerialAtAnyWorkerCount) {
+  const PaperMachine& pm = GetParam();
+  const xmpi::SimRunResult serial = run(pm.machine(), 1);
+  for (int workers : {2, 4, 8}) {
+    const xmpi::SimRunResult parallel = run(pm.machine(), workers);
+    expect_same_result(serial, parallel,
+                       (std::string(pm.name) + " workers=" +
+                        std::to_string(workers))
+                           .c_str());
+  }
+}
+
+// LP-count invariance: the schedule depends only on event times, never
+// on where the partition boundaries fall. Odd LP counts force uneven
+// unions of topology leaf groups.
+TEST_P(PdesDeterminism, MakespanInvariantAcrossLpCounts) {
+  const PaperMachine& pm = GetParam();
+  const xmpi::SimRunResult serial = run(pm.machine(), 1);
+  for (int lps : {2, 3, 5, 7}) {
+    const xmpi::SimRunResult parallel = run(pm.machine(), 2, lps);
+    expect_same_result(
+        serial, parallel,
+        (std::string(pm.name) + " lps=" + std::to_string(lps)).c_str());
+  }
+}
+
+// Single worker through the parallel engine (sim_lps > 1 forces the
+// multi-LP path even with one host thread): windowing alone must not
+// perturb the schedule.
+TEST_P(PdesDeterminism, SingleWorkerMultiLpMatchesSerial)
+{
+  const PaperMachine& pm = GetParam();
+  const xmpi::SimRunResult serial = run(pm.machine(), 1);
+  const xmpi::SimRunResult windowed = run(pm.machine(), 1, 4);
+  expect_same_result(serial, windowed, pm.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, PdesDeterminism,
+                         ::testing::ValuesIn(kPaperMachines),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// Repeated multi-worker runs are bit-identical to each other — under
+// the tsan preset this doubles as the race hunt over the worker pool,
+// cross-LP inboxes and the order-reconstruction merge.
+TEST(PdesStress, RepeatedEightWorkerRunsAreBitIdentical) {
+  const xmpi::SimRunResult first = run(mach::cray_opteron(), 8);
+  for (int i = 0; i < 4; ++i) {
+    const xmpi::SimRunResult again = run(mach::cray_opteron(), 8);
+    EXPECT_EQ(bits_of(first.makespan_s), bits_of(again.makespan_s))
+        << "iteration " << i;
+  }
+}
+
+// A blocked workload must die with the serial engine's deadlock
+// vocabulary (harness error handling keys on it), not hang a window
+// loop or report a different message.
+TEST(PdesFailure, DeadlockReportsBlockedProcesses) {
+  xmpi::SimRunOptions options;
+  options.sim_workers = 2;
+  try {
+    xmpi::run_on_machine(
+        mach::dell_xeon(), 4,
+        [](xmpi::Comm& c) {
+          if (c.rank() == 0) {
+            // Nobody ever sends tag 99: rank 0 blocks forever.
+            c.recv(1, 99, xmpi::phantom_mbuf(1, xmpi::DType::kByte));
+          }
+        },
+        options);
+    FAIL() << "expected a deadlock error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("simulation deadlock"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// Partition unit coverage: every host in exactly one LP, LP host lists
+// ascending and contiguous with the lp_of_host map, the target count
+// respected when feasible, and the whole thing a pure function of the
+// graph.
+TEST(Partition, CoversEveryHostExactlyOnce) {
+  const mach::MachineConfig m = mach::altix_bx2();
+  const topo::Graph g = m.build_topology(m.nodes_for(kRanks));
+  const topo::Partition p = topo::partition_hosts(g, 4);
+  ASSERT_GE(p.num_lps(), 1);
+  EXPECT_EQ(p.lp_of_host.size(), g.num_hosts());
+  std::set<int> seen;
+  for (int lp = 0; lp < p.num_lps(); ++lp) {
+    int prev = -1;
+    for (int h : p.hosts_of_lp[static_cast<std::size_t>(lp)]) {
+      EXPECT_GT(h, prev) << "hosts of an LP must ascend";
+      prev = h;
+      EXPECT_EQ(p.lp_of_host[static_cast<std::size_t>(h)], lp);
+      EXPECT_TRUE(seen.insert(h).second) << "host " << h << " owned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_hosts());
+}
+
+TEST(Partition, RespectsTargetAndIsDeterministic) {
+  const mach::MachineConfig m = mach::cray_opteron();
+  const topo::Graph g = m.build_topology(m.nodes_for(kRanks));
+  for (int target : {1, 2, 3, 5, 7}) {
+    const topo::Partition a = topo::partition_hosts(g, target);
+    const topo::Partition b = topo::partition_hosts(g, target);
+    EXPECT_LE(a.num_lps(), std::max(target, 1));
+    EXPECT_EQ(a.lp_of_host, b.lp_of_host) << "target " << target;
+  }
+}
+
+}  // namespace
+}  // namespace hpcx

@@ -4,6 +4,7 @@
 // serial execution at any worker count — the tsan preset runs the
 // stress cases under the race detector).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -151,6 +152,52 @@ TEST(ResultCache, RoundTripsBitExactDoubles) {
     EXPECT_EQ("rabenseifner", *r.text("alg"));
     EXPECT_FALSE(cache.lookup("absent", r));
   }
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, TruncatedFileIsTreatedAsEmpty) {
+  const std::string path = temp_path("sweep_cache_torn.json");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(nullptr, f);
+    // A flush interrupted mid-write: valid prefix, no closing braces.
+    std::fputs("{\n  \"schema\": \"hpcx-sweep-cache/1\",\n  \"entries\": [\n"
+               "    {\"key\": \"k1\", \"values\": [[\"x\", 1",
+               f);
+    std::fclose(f);
+  }
+  ResultCache cache(path);
+  EXPECT_EQ(0u, cache.size());
+  SweepResult r;
+  EXPECT_FALSE(cache.lookup("k1", r));  // torn entries are misses
+  // The poisoned file is replaced wholesale by the next flush, even
+  // without new stores.
+  cache.flush();
+  ResultCache reread(path);
+  EXPECT_EQ(0u, reread.size());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, FlushLeavesNoTempFileBehind) {
+  const std::string path = temp_path("sweep_cache_atomic.json");
+  std::remove(path.c_str());
+  {
+    ResultCache cache(path);
+    SweepResult r;
+    r.set("v", 42.0);
+    cache.store("k", r);
+    cache.flush();
+  }
+  // The temp file used for the atomic rename must be gone...
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(getpid()));
+  EXPECT_EQ(nullptr, std::fopen(tmp.c_str(), "r"));
+  // ...and the final file must be complete, valid JSON.
+  ResultCache reread(path);
+  EXPECT_EQ(1u, reread.size());
+  SweepResult r;
+  ASSERT_TRUE(reread.lookup("k", r));
+  EXPECT_EQ(42.0, r.get("v"));
   std::remove(path.c_str());
 }
 

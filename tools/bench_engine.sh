@@ -1,7 +1,13 @@
 #!/bin/sh
-# Regenerate the engine micro-benchmark baseline committed at the repo
-# root. Run from the repo root after building; pass the build dir as $1
-# if it is not ./build. Diff against the committed BENCH_engine.json
-# (the seed-engine baseline) to quantify engine perf changes.
-exec "${1:-build}/bench/bench_des" --benchmark_min_time=0.2 \
+# Regenerate the engine benchmark baselines committed at the repo root.
+# Run from the repo root after building; pass the build dir as $1 if it
+# is not ./build. Diff against the committed baselines to quantify
+# engine perf changes:
+#   BENCH_engine.json — serial-engine micro-benchmarks (seed baseline)
+#   BENCH_pdes.json   — parallel-engine scaling + 64Ki agreement check
+set -e
+BUILD="${1:-build}"
+"$BUILD/bench/bench_des" --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_engine.json --benchmark_out_format=json
+"$BUILD/bench/bench_pdes" --benchmark_min_time=0.05 \
+  --benchmark_out=BENCH_pdes.json --benchmark_out_format=json

@@ -12,10 +12,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "core/parse_num.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
@@ -54,6 +56,10 @@ void usage() {
       "                           isolated sweep point, so results are\n"
       "                           identical at any job count; rejected\n"
       "                           with --threads)\n"
+      "  --sim-workers <n>        parallel-DES workers inside each\n"
+      "                           simulated run (default: 1 = serial\n"
+      "                           engine; makespans are identical at any\n"
+      "                           worker count; rejected with --threads)\n"
       "  --cache <file>           persistent hpcx-sweep-cache/1 result\n"
       "                           cache for the simulated IMB suite\n"
       "                           (ignored while --trace-out needs a live\n"
@@ -129,6 +135,7 @@ struct ImbCliOptions {
   std::string metrics_path;
   int repeats = 1;
   int jobs = 1;            ///< sweep executor workers (simulated runs)
+  int sim_workers = 1;     ///< parallel-DES workers (simulated runs)
   std::string cache_path;  ///< persistent sweep cache (simulated runs)
   bool stats = false;
   xmpi::TransportTuning transport;  ///< --threads runs only
@@ -260,6 +267,7 @@ int run_imb_sim(const mach::MachineConfig& machine, int cpus,
     cache.emplace(opts.cache_path);
   report::SweepExecutor::Config config;
   config.jobs = opts.jobs;
+  config.sim_workers = opts.sim_workers;
   config.cache = cache ? &*cache : nullptr;
   config.record_points = traced;
   if (!opts.trace_path.empty()) config.record_events_per_rank = 1 << 15;
@@ -495,21 +503,25 @@ int main(int argc, char** argv) {
     if (arg == "--machine") {
       machine_name = next();
     } else if (arg == "--cpus") {
-      cpus = std::atoi(next());
+      cpus = static_cast<int>(parse_cli_int("--cpus", next(), 1, 1 << 30));
     } else if (arg == "--threads") {
-      cpus = std::atoi(next());
+      cpus = static_cast<int>(parse_cli_int("--threads", next(), 1, 1 << 20));
       real_threads = true;
     } else if (arg == "--eager-max") {
-      imb_options.transport.eager_max_bytes =
-          static_cast<std::size_t>(std::atoll(next()));
+      imb_options.transport.eager_max_bytes = static_cast<std::size_t>(
+          parse_cli_int("--eager-max", next(), 0,
+                        std::numeric_limits<long long>::max()));
     } else if (arg == "--suite") {
       suite = next();
     } else if (arg == "--benchmark") {
       benchmark = next();
     } else if (arg == "--msg-bytes") {
-      imb_options.msg_bytes = static_cast<std::size_t>(std::atoll(next()));
+      imb_options.msg_bytes = static_cast<std::size_t>(
+          parse_cli_int("--msg-bytes", next(), 0,
+                        std::numeric_limits<long long>::max()));
     } else if (arg == "--repeats") {
-      imb_options.repeats = std::max(1, std::atoi(next()));
+      imb_options.repeats =
+          static_cast<int>(parse_cli_int("--repeats", next(), 1, 1 << 30));
     } else if (arg == "--bcast-alg") {
       parse_alg(imb_options.bcast_alg);
     } else if (arg == "--allreduce-alg") {
@@ -529,11 +541,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats") {
       imb_options.stats = true;
     } else if (arg == "--jobs") {
-      imb_options.jobs = std::atoi(next());
-      if (imb_options.jobs < 1) {
-        std::fprintf(stderr, "--jobs wants a positive thread count\n");
-        return 2;
-      }
+      imb_options.jobs =
+          static_cast<int>(parse_cli_int("--jobs", next(), 1, 1 << 20));
+    } else if (arg == "--sim-workers") {
+      imb_options.sim_workers =
+          static_cast<int>(parse_cli_int("--sim-workers", next(), 1, 1 << 20));
     } else if (arg == "--cache") {
       imb_options.cache_path = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -550,6 +562,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--jobs applies to simulated runs only; real --threads "
                  "execution stays serial\n");
+    return 2;
+  }
+  if (real_threads && imb_options.sim_workers > 1) {
+    std::fprintf(stderr,
+                 "--sim-workers applies to simulated runs only; real "
+                 "--threads execution has no event engine to parallelize\n");
     return 2;
   }
   try {

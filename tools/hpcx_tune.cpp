@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/parse_num.hpp"
 #include "core/table.hpp"
 #include "machine/registry.hpp"
 #include "report/sweep.hpp"
@@ -298,9 +300,9 @@ int main(int argc, char** argv) {
     if (arg == "--machine") {
       machine_name = next();
     } else if (arg == "--cpus") {
-      cpus = std::atoi(next());
+      cpus = static_cast<int>(parse_cli_int("--cpus", next(), 1, 1 << 30));
     } else if (arg == "--threads") {
-      cpus = std::atoi(next());
+      cpus = static_cast<int>(parse_cli_int("--threads", next(), 1, 1 << 20));
       threads = true;
     } else if (arg == "--collective") {
       Collective c;
@@ -311,19 +313,21 @@ int main(int argc, char** argv) {
       }
       opts.collectives.push_back(c);
     } else if (arg == "--min-bytes") {
-      opts.min_bytes = static_cast<std::size_t>(std::atoll(next()));
+      opts.min_bytes = static_cast<std::size_t>(
+          parse_cli_int("--min-bytes", next(), 1,
+                        std::numeric_limits<long long>::max()));
     } else if (arg == "--max-bytes") {
-      opts.max_bytes = static_cast<std::size_t>(std::atoll(next()));
+      opts.max_bytes = static_cast<std::size_t>(
+          parse_cli_int("--max-bytes", next(), 1,
+                        std::numeric_limits<long long>::max()));
     } else if (arg == "--iters") {
-      opts.iters = std::atoi(next());
+      opts.iters =
+          static_cast<int>(parse_cli_int("--iters", next(), 1, 1 << 30));
     } else if (arg == "--repeats") {
-      opts.repeats = std::atoi(next());
+      opts.repeats =
+          static_cast<int>(parse_cli_int("--repeats", next(), 1, 1 << 30));
     } else if (arg == "--jobs") {
-      jobs = std::atoi(next());
-      if (jobs < 1) {
-        std::fprintf(stderr, "--jobs wants a positive thread count\n");
-        return 2;
-      }
+      jobs = static_cast<int>(parse_cli_int("--jobs", next(), 1, 1 << 20));
     } else if (arg == "--cache") {
       cache_path = next();
     } else if (arg == "--out") {
