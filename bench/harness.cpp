@@ -12,6 +12,9 @@
 #include "core/stats.hpp"
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
 #include "report/figures.hpp"
 #include "report/series.hpp"
 #include "trace/chrome_trace.hpp"
@@ -39,6 +42,11 @@ void usage(const std::string& what) {
       "  --trace-out <file>  write a Chrome/Perfetto trace of one traced "
       "run\n"
       "  --metrics-out <file> write a JSON run record (see hpcx_compare)\n"
+      "  --obs-out <file>    write the metrics registry as hpcx-obs/1 JSON\n"
+      "  --progress          ~1 Hz progress heartbeat on stderr\n"
+      "  --critical-path     profile the representative run's simulated-\n"
+      "                      time critical path (table; embedded in\n"
+      "                      --obs-out and --trace-out when set)\n"
       "  --eager-max <bytes> thread-transport eager/rendezvous threshold\n"
       "                      for real-execution benches (0 = default)\n"
       "  --help              this message\n",
@@ -86,6 +94,12 @@ Runner::Runner(int argc, char** argv, std::string what)
       options_.trace_path = next();
     } else if (arg == "--metrics-out") {
       options_.metrics_path = next();
+    } else if (arg == "--obs-out") {
+      options_.obs_path = next();
+    } else if (arg == "--progress") {
+      options_.progress = true;
+    } else if (arg == "--critical-path") {
+      options_.critical_path = true;
     } else if (arg == "--eager-max") {
       options_.eager_max_bytes = static_cast<std::size_t>(parse_cli_int(
           "--eager-max", next(), 0, std::numeric_limits<long long>::max()));
@@ -115,9 +129,49 @@ Runner::Runner(int argc, char** argv, std::string what)
       std::exit(2);
     }
   }
+  if (options_.progress)
+    heartbeat_ = std::make_unique<obs::ProgressHeartbeat>();
 }
 
 Runner::~Runner() {
+  if (heartbeat_ != nullptr) heartbeat_->stop();
+  if (wants_obs()) {
+    try {
+      const obs::Snapshot snap = obs::Registry::global().snapshot();
+      std::string extra;
+      {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "\"makespan_s\":%.17g,",
+                      repr_makespan_s_);
+        extra = buf;
+      }
+      if (cp_report_ != nullptr) extra += cp_report_->json_fragment() + ",";
+      extra += "\"tool\":\"" + (tool_.empty() ? what_ : tool_) + "\"";
+      std::ofstream out(options_.obs_path);
+      if (!out)
+        throw ConfigError("cannot open obs file: " + options_.obs_path);
+      snap.write_json(out, extra);
+      out << "\n";
+      std::cout << "obs registry written to " << options_.obs_path << " ("
+                << snap.metrics.size() << " metrics)\n";
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write obs registry: %s\n", e.what());
+    }
+  }
+  if (wants_obs() && wants_metrics() && record_ != nullptr) {
+    // Embed the registry scrape in the run record as obs/* metrics so
+    // hpcx_compare diffs runtime-internals counters alongside results.
+    // Only under --obs-out: the scrape includes wall-clock counters that
+    // vary run to run, and default records must stay comparable (the
+    // sweep fixture diffs a cold run against a warm-cache one).
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    for (const obs::MetricValue& m : snap.metrics) {
+      const double v = m.kind == obs::MetricKind::kGauge
+                           ? m.gauge
+                           : static_cast<double>(m.count);
+      record_->add_metric("obs/" + m.name, v, "", metrics::Better::kHigher);
+    }
+  }
   if (cache_ != nullptr) {
     // Report and persist the sweep-cache outcome. The hit-rate metrics
     // are only recorded when a cache is attached, so cacheless records
@@ -217,7 +271,10 @@ void Runner::write_trace(const trace::Recorder& recorder) const {
   std::ofstream out(options_.trace_path);
   if (!out)
     throw ConfigError("cannot open trace file: " + options_.trace_path);
-  trace::write_chrome_trace(out, recorder);
+  trace::write_chrome_trace(
+      out, recorder,
+      cp_report_ != nullptr && cp_report_->ok ? &cp_report_->overlay
+                                              : nullptr);
   std::cout << "trace written to " << options_.trace_path << "\n";
 }
 
@@ -227,13 +284,17 @@ int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
       title, id, msg_bytes, as_bandwidth, figure_options());
   emit(report::imb_figure_table(spec, run_sweep(spec)));
 
-  if (!wants_trace() && !wants_metrics()) return 0;
+  if (!wants_trace() && !wants_metrics() && !wants_obs() &&
+      !options_.critical_path)
+    return 0;
   // Trace one representative operating point rather than the whole
   // sweep: the selected machine (or the figure's first) at --cpus (or a
   // small default the machine can host). With --metrics-out the point
   // is measured --repeats times so the record carries min/avg/max/CoV
   // across repeats, and the recorder's accumulated per-rank time
-  // buckets land in the record.
+  // buckets land in the record. With --critical-path the last
+  // repetition's run is profiled (the schedule is identical either way)
+  // and the ranked table printed.
   const mach::MachineConfig m =
       has_machine() ? machine() : report::imb_figure_machines().front();
   const int cpus =
@@ -242,6 +303,11 @@ int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
   report::MeasureOptions measure_options;
   measure_options.repetitions = options_.repeats;
   measure_options.recorder = &recorder;
+  measure_options.makespan_s = &repr_makespan_s_;
+  if (options_.critical_path) {
+    cp_report_ = std::make_unique<obs::CriticalPathReport>();
+    measure_options.critical_path = cp_report_.get();
+  }
   Stats t_avg;
   imb::ImbResult last{};
   const int reps = wants_metrics() ? options_.repeats : 1;
@@ -249,6 +315,7 @@ int Runner::run_imb_figure(const std::string& title, imb::BenchmarkId id,
     last = measure_imb(m, cpus, id, msg_bytes, measure_options);
     t_avg.add(last.t_avg_s);
   }
+  if (cp_report_ != nullptr) emit(cp_report_->table());
   if (wants_metrics()) {
     metrics::RunRecord& rec = record();
     rec.env.clock = recorder.virtual_time() ? "virtual" : "wall";

@@ -25,6 +25,14 @@
 //                       harvesting every emitted table, plus per-rank
 //                       time buckets of one representative traced run;
 //                       with --cache also the sweep hit-rate counters
+//   --obs-out <file>    write the process-wide metrics registry as
+//                       hpcx-obs/1 JSON on exit (with --critical-path
+//                       the critical-path analysis is embedded)
+//   --progress          print a ~1 Hz progress heartbeat line to stderr
+//                       while sweeps run (reads the metrics registry)
+//   --critical-path     profile the representative run's simulated-time
+//                       critical path and print the ranked table (off
+//                       by default; the default path is bit-identical)
 //   --eager-max <bytes> thread-transport eager/rendezvous threshold for
 //                       real-execution benches (0 = transport default)
 //   --help              print the flag summary and exit
@@ -51,6 +59,11 @@ namespace hpcx::trace {
 class Recorder;
 }  // namespace hpcx::trace
 
+namespace hpcx::obs {
+struct CriticalPathReport;
+class ProgressHeartbeat;
+}  // namespace hpcx::obs
+
 namespace hpcx::bench {
 
 struct Options {
@@ -63,6 +76,9 @@ struct Options {
   std::string csv_path;      ///< empty = no CSV
   std::string trace_path;    ///< empty = no trace
   std::string metrics_path;  ///< empty = no run record
+  std::string obs_path;      ///< empty = no hpcx-obs/1 registry scrape
+  bool progress = false;       ///< stderr heartbeat while sweeps run
+  bool critical_path = false;  ///< profile the representative run's path
   /// Thread-transport eager/rendezvous threshold for real-execution
   /// benches (0 = the transport default; see xmpi::TransportTuning).
   std::size_t eager_max_bytes = 0;
@@ -88,6 +104,7 @@ class Runner {
 
   bool wants_trace() const { return !options_.trace_path.empty(); }
   bool wants_metrics() const { return !options_.metrics_path.empty(); }
+  bool wants_obs() const { return !options_.obs_path.empty(); }
 
   /// The run record being built for --metrics-out (created lazily with
   /// environment capture and timer calibration). Valid to call even
@@ -135,6 +152,11 @@ class Runner {
   mutable std::unique_ptr<metrics::RunRecord> record_;
   mutable std::unique_ptr<report::ResultCache> cache_;
   mutable std::unique_ptr<report::SweepExecutor> executor_;
+  std::unique_ptr<obs::ProgressHeartbeat> heartbeat_;
+  /// The representative run's critical-path analysis (--critical-path),
+  /// embedded in --obs-out and overlaid on --trace-out.
+  mutable std::unique_ptr<obs::CriticalPathReport> cp_report_;
+  mutable double repr_makespan_s_ = 0.0;  ///< representative run makespan
 };
 
 }  // namespace hpcx::bench

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Observability fixture, end to end through a real figure binary:
+#   1. a fig06 operating point with --obs-out + --critical-path must
+#      produce a valid hpcx-obs/1 scrape whose embedded critical-path
+#      length equals the reported makespan bit-exactly (json_check
+#      --obs), plus a well-formed Chrome trace with the path overlay;
+#   2. the registry instrumentation on the serial engine's hot path must
+#      stay within 2% of the committed BM_SimulatedAllreduce/256
+#      baseline (BENCH_engine.json, regenerated on the CI host via
+#      tools/bench_engine.sh) — hpcx_compare reads the google-benchmark
+#      JSON directly.
+#
+# usage: obs_fixture.sh <fig06-binary> <json_check> <hpcx_compare>
+#                       <bench_des> <baseline.json> <workdir>
+set -e
+FIG=$1
+CHECK=$2
+COMPARE=$3
+BENCH=$4
+BASELINE=$5
+OUT=$6
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+"$FIG" --machine dell_xeon --cpus 16 --obs-out "$OUT/obs.json" \
+    --critical-path --trace-out "$OUT/trace.json" --progress \
+    > "$OUT/run.txt" 2> "$OUT/progress.txt"
+"$CHECK" --obs "$OUT/obs.json"
+"$CHECK" "$OUT/trace.json"
+grep -q "Critical path:" "$OUT/run.txt"
+grep -q "hpcx critical path" "$OUT/trace.json"
+grep -q "\[progress\]" "$OUT/progress.txt"
+
+"$BENCH" --benchmark_filter='BM_SimulatedAllreduce/256$' \
+    --benchmark_repetitions=3 --benchmark_min_time=0.05 \
+    --benchmark_out="$OUT/bench.json" --benchmark_out_format=json \
+    > "$OUT/bench.txt"
+"$COMPARE" "$BASELINE" "$OUT/bench.json" --threshold 0.02
+
+echo "obs fixture: scrape valid, path == makespan, hot-path overhead gated"

@@ -1,6 +1,7 @@
 #include "des/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -17,6 +18,34 @@ namespace {
 
 constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
 
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Time one LP's window and fold it into its stats slot. The slot is
+// written only by the worker the LP is pinned to; the pool's
+// generation handshake provides the fences that let the main thread
+// read the totals after the drive.
+void run_lp_window(Simulator* lp, SimTime horizon, ConservativeLpStats* slot) {
+  if (slot == nullptr) {
+    lp->run_until(horizon);
+    return;
+  }
+  const std::uint64_t events0 = lp->executed_events();
+  const double t0 = wall_now();
+  lp->run_until(horizon);
+  slot->busy_wall_s += wall_now() - t0;
+  const std::uint64_t ran = lp->executed_events() - events0;
+  slot->events += ran;
+  if (ran > 0) {
+    ++slot->windows;
+  } else {
+    ++slot->idle_windows;
+  }
+}
+
 // Persistent worker pool with a generation-counter handshake: the main
 // thread publishes a horizon under the mutex and bumps the generation;
 // workers run their LP share and decrement pending_. The mutex/condvar
@@ -26,8 +55,9 @@ constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
 // ever crosses threads through these fences.
 class WindowPool {
  public:
-  WindowPool(const std::vector<Simulator*>& lps, int workers)
-      : lps_(lps), workers_(workers), errors_(lps.size()) {
+  WindowPool(const std::vector<Simulator*>& lps, int workers,
+             ConservativeStats* stats)
+      : lps_(lps), workers_(workers), stats_(stats), errors_(lps.size()) {
     threads_.reserve(static_cast<std::size_t>(workers_ - 1));
     for (int w = 1; w < workers_; ++w)
       threads_.emplace_back([this, w] { worker_loop(w); });
@@ -72,7 +102,8 @@ class WindowPool {
     for (std::size_t i = static_cast<std::size_t>(w); i < lps_.size();
          i += static_cast<std::size_t>(workers_)) {
       try {
-        lps_[i]->run_until(horizon);
+        run_lp_window(lps_[i], horizon,
+                      stats_ != nullptr ? &stats_->lps[i] : nullptr);
       } catch (...) {
         errors_[i] = std::current_exception();
       }
@@ -100,6 +131,7 @@ class WindowPool {
 
   const std::vector<Simulator*>& lps_;
   const int workers_;
+  ConservativeStats* stats_;
   std::vector<std::exception_ptr> errors_;  // slot i owned by LP i's worker
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -120,29 +152,76 @@ SimTime lbts(const std::vector<Simulator*>& lps) {
 
 void run_conservative(const std::vector<Simulator*>& lps,
                       const std::function<void()>& flush, int workers,
-                      SimTime lookahead) {
+                      SimTime lookahead, ConservativeStats* stats) {
   HPCX_ASSERT(!lps.empty());
   HPCX_ASSERT_MSG(lookahead > 0.0,
                   "conservative sync needs positive lookahead");
   const int w =
       std::min<int>(std::max(workers, 1), static_cast<int>(lps.size()));
 
+  if (stats != nullptr) {
+    *stats = ConservativeStats{};
+    stats->workers = w;
+    stats->lps.resize(lps.size());
+  }
+  const double drive_t0 = stats != nullptr ? wall_now() : 0.0;
+  SimTime prev_lbts = -kInf;  // classify window i when window i+1's LBTS known
+
+  const auto account_round = [&](SimTime t) {
+    if (stats == nullptr) return;
+    if (prev_lbts != -kInf) {
+      // The previous window ran to prev_lbts + lookahead; the new LBTS
+      // tells us what bounded it. An advance of ~lookahead means an
+      // event sat right at the horizon (protocol-bound); a larger jump
+      // means the queues went dry first (work-bound).
+      if (t != kInf && t - prev_lbts <= lookahead * (1.0 + 1e-9)) {
+        ++stats->lookahead_limited;
+      } else {
+        ++stats->work_limited;
+      }
+    }
+    if (t != kInf) {
+      ++stats->windows;
+      prev_lbts = t;
+    }
+  };
+
   if (w <= 1) {
     for (;;) {
+      const double f0 = stats != nullptr ? wall_now() : 0.0;
       flush();
+      if (stats != nullptr) stats->flush_wall_s += wall_now() - f0;
       const SimTime t = lbts(lps);
+      account_round(t);
       if (t == kInf) break;
       const SimTime horizon = t + lookahead;
-      for (Simulator* lp : lps) lp->run_until(horizon);
+      const double w0 = stats != nullptr ? wall_now() : 0.0;
+      for (std::size_t i = 0; i < lps.size(); ++i)
+        run_lp_window(lps[i], horizon,
+                      stats != nullptr ? &stats->lps[i] : nullptr);
+      if (stats != nullptr) stats->window_wall_s += wall_now() - w0;
     }
   } else {
-    WindowPool pool(lps, w);
+    WindowPool pool(lps, w, stats);
     for (;;) {
+      const double f0 = stats != nullptr ? wall_now() : 0.0;
       flush();
+      if (stats != nullptr) stats->flush_wall_s += wall_now() - f0;
       const SimTime t = lbts(lps);
+      account_round(t);
       if (t == kInf) break;
+      const double w0 = stats != nullptr ? wall_now() : 0.0;
       pool.run_window(t + lookahead);
+      if (stats != nullptr) stats->window_wall_s += wall_now() - w0;
     }
+  }
+
+  if (stats != nullptr) {
+    stats->total_wall_s = wall_now() - drive_t0;
+    double busy = 0.0;
+    for (const ConservativeLpStats& lp : stats->lps) busy += lp.busy_wall_s;
+    stats->stall_wall_s =
+        std::max(0.0, stats->window_wall_s * static_cast<double>(w) - busy);
   }
 
   std::size_t blocked = 0;

@@ -20,12 +20,42 @@
 // thread interleaving.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "des/simulator.hpp"
 
 namespace hpcx::des {
+
+/// Per-LP instrumentation from one run_conservative drive. All wall
+/// clocks are host time (std::chrono::steady_clock) — they never feed
+/// back into simulated time, so recording them cannot perturb the
+/// schedule.
+struct ConservativeLpStats {
+  std::uint64_t windows = 0;       ///< windows in which this LP ran events
+  std::uint64_t idle_windows = 0;  ///< windows it was invoked but had none
+  std::uint64_t events = 0;        ///< events executed across all windows
+  double busy_wall_s = 0.0;        ///< wall time inside run_until()
+};
+
+/// Whole-drive instrumentation (optionally filled by run_conservative).
+struct ConservativeStats {
+  std::uint64_t windows = 0;
+  /// Windows whose LBTS advance was ~= the lookahead: the sync protocol,
+  /// not the event supply, bounded the window. The complement
+  /// (work_limited) means the queues went dry and LBTS jumped ahead.
+  std::uint64_t lookahead_limited = 0;
+  std::uint64_t work_limited = 0;
+  int workers = 0;             ///< effective worker count used
+  double total_wall_s = 0.0;   ///< whole drive, flush included
+  double flush_wall_s = 0.0;   ///< single-threaded cross-LP application
+  double window_wall_s = 0.0;  ///< inside parallel windows (barrier to barrier)
+  /// Worker-seconds spent stalled at window barriers (LBTS stalls):
+  /// window_wall_s * workers minus the sum of per-LP busy wall.
+  double stall_wall_s = 0.0;
+  std::vector<ConservativeLpStats> lps;  ///< one slot per LP, by index
+};
 
 /// Drive `lps` to completion. Each round: flush() (single-threaded
 /// cross-LP application), LBTS = min next_event_time(), then all LPs
@@ -34,8 +64,10 @@ namespace hpcx::des {
 /// when flush() leaves every queue empty; throws des::Error with the
 /// serial engine's deadlock message if processes are still blocked
 /// then. Exceptions from LP bodies are rethrown lowest-LP-index first.
+/// When `stats` is non-null it is reset and filled with per-window and
+/// per-LP instrumentation; passing it does not change the schedule.
 void run_conservative(const std::vector<Simulator*>& lps,
                       const std::function<void()>& flush, int workers,
-                      SimTime lookahead);
+                      SimTime lookahead, ConservativeStats* stats = nullptr);
 
 }  // namespace hpcx::des

@@ -7,17 +7,54 @@
 
 namespace hpcx::des {
 
-void Simulator::push_event(SimTime t, Callback fn) {
-  if (!order_log_on_) {
-    queue_.push(t, std::move(fn));
+void Simulator::push_event(SimTime t, Callback fn, std::uint32_t label) {
+  if (order_log_on_) {
+    if (tag_override_) {
+      tag_override_ = false;
+      queue_.push(t, std::move(fn), override_pusher_, override_ordinal_);
+      return;
+    }
+    queue_.push(t, std::move(fn), cur_pusher_, cur_ordinal_++);
     return;
   }
-  if (tag_override_) {
-    tag_override_ = false;
-    queue_.push(t, std::move(fn), override_pusher_, override_ordinal_);
+  if (cp_on_) {
+    // Ride the queue's provenance fields: predecessor = the executing
+    // event's log index, label = the push site's causal-edge class.
+    // Tie-breaking stays (time, seq) — tag order is never enabled — so
+    // the schedule is bit-identical to an unrecorded run.
+    if (cp_override_) {
+      cp_override_ = false;
+      label = cp_override_label_;
+    }
+    queue_.push(t, std::move(fn), cp_cur_, label);
     return;
   }
-  queue_.push(t, std::move(fn), cur_pusher_, cur_ordinal_++);
+  queue_.push(t, std::move(fn));
+}
+
+void Simulator::enable_critical_path(bool on) {
+  HPCX_ASSERT_MSG(!(on && order_log_on_),
+                  "critical-path recording and the order log are mutually "
+                  "exclusive (both ride the queue's provenance fields)");
+  cp_on_ = on;
+  cp_truncated_ = false;
+  cp_override_ = false;
+  cp_cur_ = -1;
+  cp_log_.clear();
+}
+
+void Simulator::dispatch_cp(SimTime t, std::int64_t pred,
+                            std::uint32_t label) {
+  // Cap the log so a pathological run degrades to "no report" instead
+  // of exhausting memory (16 bytes per executed event).
+  constexpr std::size_t kCpLogCap = std::size_t{1} << 26;
+  if (cp_log_.size() >= kCpLogCap) {
+    cp_truncated_ = true;
+    cp_cur_ = -1;
+    return;
+  }
+  cp_log_.push_back(CpRecord{t, static_cast<std::int32_t>(pred), label});
+  cp_cur_ = static_cast<std::int64_t>(cp_log_.size()) - 1;
 }
 
 void Simulator::schedule(SimTime delay, Callback fn) {
@@ -68,7 +105,8 @@ ProcessId Simulator::spawn(std::function<void()> body,
   const ProcessId pid = static_cast<ProcessId>(processes_.size());
   processes_.emplace_back(std::move(body), stack_bytes);
   ++live_processes_;
-  push_event(now_, [this, pid] { resume_process(pid); });
+  push_event(now_, [this, pid] { resume_process(pid); },
+             cp_label(CpKind::kSpawn, pid));
   return pid;
 }
 
@@ -107,7 +145,9 @@ void Simulator::run() {
     EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal);
     HPCX_ASSERT_MSG(t >= now_, "time went backwards");
     now_ = t;
+    ++executed_events_;
     if (order_log_on_) dispatch_logged(t, pusher, ordinal);
+    if (cp_on_) dispatch_cp(t, pusher, ordinal);
     cb();
   }
   in_run_ = false;
@@ -127,6 +167,7 @@ void Simulator::run_until(SimTime horizon) {
     EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal);
     HPCX_ASSERT_MSG(t >= now_, "time went backwards");
     now_ = t;
+    ++executed_events_;
     if (order_log_on_) dispatch_logged(t, pusher, ordinal);
     cb();
   }
@@ -143,7 +184,8 @@ void Simulator::sleep(SimTime duration) {
   const ProcessId pid = current_process();
   Process& p = processes_[pid];
   p.blocked = true;
-  push_event(now_ + duration, [this, pid] { resume_process(pid); });
+  push_event(now_ + duration, [this, pid] { resume_process(pid); },
+             cp_label(CpKind::kResume, pid));
   Fiber::yield();
 }
 
@@ -165,7 +207,8 @@ void Simulator::wake(ProcessId pid) {
   HPCX_ASSERT_MSG(p.blocked, "wake of a process that is not blocked");
   if (p.wake_pending) return;  // a resume is already queued
   p.wake_pending = true;
-  push_event(now_, [this, pid] { resume_process(pid); });
+  push_event(now_, [this, pid] { resume_process(pid); },
+             cp_label(CpKind::kWake, pid));
 }
 
 }  // namespace hpcx::des

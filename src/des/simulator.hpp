@@ -43,6 +43,44 @@ struct OrderLogEntry {
   std::uint32_t ordinal = 0;
 };
 
+// --- Critical-path provenance (serial engine only; see obs/critical_path) ---
+
+/// What kind of causal edge delivered control to an event — the push
+/// site classifies it, optionally naming an actor (a process id for
+/// fiber resumes, a topology edge id for network deliveries).
+enum class CpKind : std::uint8_t {
+  kEvent = 0,    ///< plain scheduled callback
+  kSpawn,        ///< process creation (actor = pid)
+  kResume,       ///< sleep expiry: the process was busy (actor = pid)
+  kWake,         ///< zero-delay wake of a blocked process (actor = pid)
+  kDelivery,     ///< network message delivery (actor = bottleneck edge)
+  kCopy,         ///< intra-node copy delivery (actor = host)
+  kBarrier,      ///< hardware-barrier release edge
+};
+constexpr std::uint32_t kCpActorBits = 26;
+constexpr std::uint32_t kCpNoActor = (1u << kCpActorBits) - 1;
+
+constexpr std::uint32_t cp_label(CpKind kind, std::uint32_t actor) {
+  return (static_cast<std::uint32_t>(kind) << kCpActorBits) |
+         (actor & kCpNoActor);
+}
+constexpr CpKind cp_kind(std::uint32_t label) {
+  return static_cast<CpKind>(label >> kCpActorBits);
+}
+constexpr std::uint32_t cp_actor(std::uint32_t label) {
+  return label & kCpNoActor;
+}
+
+/// One executed event in the critical-path log: when it fired, which
+/// logged event pushed it (-1 = pushed before the run / outside any
+/// event), and the causal-edge label its push site attached. 16 bytes,
+/// one per executed event while recording is on.
+struct CpRecord {
+  SimTime t = 0.0;
+  std::int32_t pred = -1;
+  std::uint32_t label = 0;
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -82,6 +120,11 @@ class Simulator {
 
   /// Number of spawned processes that have not yet finished.
   std::size_t live_processes() const { return live_processes_; }
+
+  /// Events executed so far (both run() and run_until()). Cheap enough
+  /// to maintain unconditionally; the parallel driver diffs it around
+  /// windows for per-LP work accounting.
+  std::uint64_t executed_events() const { return executed_events_; }
 
   // --- Operations available *inside* a process fiber ---
 
@@ -156,6 +199,34 @@ class Simulator {
   /// start a fresh window log.
   void finalize_order_window(const std::vector<std::uint64_t>& gseq);
 
+  // --- Critical-path recording (serial engine only) ---
+  //
+  // With recording on, every executed event appends a CpRecord naming
+  // its pushing event, so walking pred links from the LAST executed
+  // event yields a causal chain spanning exactly [0, makespan] — the
+  // critical path. The predecessor/label ride the event queue's
+  // existing provenance fields; tie-breaking stays (time, seq), so the
+  // schedule is bit-identical to an unrecorded run. Mutually exclusive
+  // with the order log (the parallel engine owns those fields there).
+
+  /// Turn critical-path recording on or off (off by default).
+  void enable_critical_path(bool on);
+  bool critical_path() const { return cp_on_; }
+
+  /// One-shot label override for the next push — the network model
+  /// classifies its delivery edges this way. No-op while recording is
+  /// off, so call sites need no guard.
+  void set_next_cp(CpKind kind, std::uint32_t actor) {
+    if (!cp_on_) return;
+    cp_override_ = true;
+    cp_override_label_ = cp_label(kind, actor);
+  }
+
+  const std::vector<CpRecord>& cp_log() const { return cp_log_; }
+  /// True when the log hit its cap and stopped recording (the analysis
+  /// refuses a truncated log rather than reporting a wrong path).
+  bool cp_truncated() const { return cp_truncated_; }
+
  private:
   struct Process {
     Process(std::function<void()> body, std::size_t stack_bytes)
@@ -166,12 +237,22 @@ class Simulator {
   };
 
   void resume_process(ProcessId pid);
-  void push_event(SimTime t, Callback fn);
+  void push_event(SimTime t, Callback fn,
+                  std::uint32_t label = cp_label(CpKind::kEvent, kCpNoActor));
   void dispatch_logged(SimTime t, std::int64_t pusher, std::uint32_t ordinal);
+  void dispatch_cp(SimTime t, std::int64_t pred, std::uint32_t label);
 
   EventQueue queue_;
   SimTime now_ = 0.0;
+  std::uint64_t executed_events_ = 0;
   bool order_log_on_ = false;
+  // Critical-path recording (mutually exclusive with the order log).
+  bool cp_on_ = false;
+  bool cp_truncated_ = false;
+  bool cp_override_ = false;
+  std::uint32_t cp_override_label_ = 0;
+  std::int64_t cp_cur_ = -1;  ///< log index of the executing event
+  std::vector<CpRecord> cp_log_;
   std::vector<OrderLogEntry> order_log_;
   std::int64_t cur_pusher_ = 0;     // tag for pushes by the current event
   std::uint32_t cur_ordinal_ = 0;   // next push ordinal of the current event

@@ -69,6 +69,8 @@ void Network::send_local_on(des::Simulator& sim, int host, std::size_t bytes,
   const double aggregate_end =
       mem.reserve(sim.now(), fbytes / node_.node_mem_Bps);
   const double done = std::max(sim.now() + copy_s, aggregate_end);
+  if (cp_labels_)
+    sim.set_next_cp(des::CpKind::kCopy, static_cast<std::uint32_t>(host));
   sim.schedule(done - sim.now(), std::move(on_delivered));
   sim.sleep(done - sim.now());  // sender CPU busy for the copy
 }
@@ -107,6 +109,8 @@ double Network::walk_path(int src, int dst, std::size_t bytes,
             LinkSample{t, hop.edge, stats.busy_s, std::max(0.0, ser_end - t)});
       }
     }
+    if (cp_labels_ && ser_end > arrival)
+      cp_bottleneck_edge_ = static_cast<std::int64_t>(hop.edge);
     head = entry;
     arrival = std::max(arrival, ser_end);
   }
@@ -132,9 +136,15 @@ void Network::send_remote(int src, int dst, std::size_t bytes,
   const double inject_end = tx.reserve(
       inject_entry, nic_.per_message_gap_s + fbytes / nic_.injection_Bps);
 
+  cp_bottleneck_edge_ = -1;  // injection-limited unless a hop beats it
   const double arrival =
       walk_path(src, dst, bytes, inject_entry, inject_end, sim_->now());
 
+  if (cp_labels_)
+    sim_->set_next_cp(des::CpKind::kDelivery,
+                      cp_bottleneck_edge_ >= 0
+                          ? static_cast<std::uint32_t>(cp_bottleneck_edge_)
+                          : des::kCpNoActor);
   sim_->schedule(arrival - sim_->now(), std::move(on_delivered));
   // Block the sending CPU until its NIC has drained the message.
   sim_->sleep(inject_end - sim_->now());

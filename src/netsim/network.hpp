@@ -157,6 +157,13 @@ class Network {
                             std::size_t max_samples = std::size_t{1} << 20);
   const std::vector<LinkSample>& link_samples() const { return link_samples_; }
 
+  /// Label delivery events for the simulator's critical-path log: each
+  /// remote delivery push names the constraining element of its walk
+  /// (the edge whose serialisation finished last, or "NIC injection"
+  /// when the source adaptor bounded the arrival). Serial engine only;
+  /// off by default — the walk loop stays untouched.
+  void enable_cp_labels(bool on) { cp_labels_ = on; }
+
  private:
   void send_remote(int src, int dst, std::size_t bytes,
                    des::Callback on_delivered);
@@ -203,6 +210,11 @@ class Network {
   std::atomic<std::uint64_t> internode_messages_{0};
   std::atomic<std::uint64_t> intranode_messages_{0};
   std::atomic<std::uint64_t> internode_bytes_{0};
+  bool cp_labels_ = false;
+  // Constraining element of the most recent walk_path under cp_labels_:
+  // the edge whose reservation set the arrival, or -1 when the source
+  // NIC's injection serialisation did.
+  std::int64_t cp_bottleneck_edge_ = -1;
   bool sampling_ = false;
   double sample_min_interval_s_ = 0.0;
   std::size_t sample_cap_ = 0;

@@ -1,0 +1,283 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/table.hpp"
+#include "topology/graph.hpp"
+#include "trace/trace.hpp"
+
+namespace hpcx::obs {
+
+namespace {
+
+std::string fmt_us(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_g17(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Attribution key for a segment: category + actor strings.
+std::pair<std::string, std::string> segment_key(
+    const CriticalPathSegment& seg, const topo::Graph& graph) {
+  switch (seg.kind) {
+    case des::CpKind::kSpawn:
+    case des::CpKind::kResume:
+      return {"rank", "rank " + std::to_string(seg.actor)};
+    case des::CpKind::kWake:
+      return {"wake", "rank " + std::to_string(seg.actor)};
+    case des::CpKind::kDelivery:
+      if (seg.actor == des::kCpNoActor) return {"nic-injection", "-"};
+      {
+        const topo::Edge& e =
+            graph.edge(static_cast<topo::EdgeId>(seg.actor));
+        return {"link", graph.label(e.from) + "->" + graph.label(e.to)};
+      }
+    case des::CpKind::kCopy: {
+      const std::size_t h = seg.actor;
+      const std::string label = h < graph.num_hosts()
+                                    ? graph.label(graph.hosts()[h])
+                                    : std::to_string(seg.actor);
+      return {"node-copy", label};
+    }
+    case des::CpKind::kBarrier:
+      return {"hw-barrier", "-"};
+    case des::CpKind::kEvent:
+      return {"event", "-"};
+  }
+  return {"event", "-"};
+}
+
+/// Per-rank collective spans from the recorder's rings, time-sorted.
+struct PhaseSpans {
+  std::vector<trace::Event> spans;  // kCollective only, by t_begin
+
+  const trace::Event* covering(double t) const {
+    // Last span with t_begin <= t; check containment.
+    auto it = std::upper_bound(
+        spans.begin(), spans.end(), t,
+        [](double v, const trace::Event& e) { return v < e.t_begin; });
+    while (it != spans.begin()) {
+      --it;
+      if (t <= it->t_end) return &*it;
+      // Collective spans on one rank never nest, so one step back that
+      // already ended before t means nothing earlier covers t either.
+      break;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const des::Simulator& sim,
+                                         const topo::Graph& graph,
+                                         const trace::Recorder* recorder) {
+  CriticalPathReport report;
+  const std::vector<des::CpRecord>& log = sim.cp_log();
+  report.events = log.size();
+  if (sim.cp_truncated()) {
+    report.error =
+        "critical-path log truncated (run exceeded the record cap); "
+        "no path reported";
+    return report;
+  }
+  if (log.empty()) {
+    report.error = "critical-path log is empty (recording was off?)";
+    return report;
+  }
+
+  // Walk predecessor links from the globally last executed event. Each
+  // step's interval is [t(pred), t(event)] — the push happened while
+  // pred executed, i.e. at t(pred) in simulated time — so consecutive
+  // segments tile the timeline exactly.
+  std::vector<CriticalPathSegment> chain;  // leaf-first, reversed below
+  std::int64_t idx = static_cast<std::int64_t>(log.size()) - 1;
+  report.makespan_s = log.back().t;
+  while (idx >= 0) {
+    const des::CpRecord& rec = log[static_cast<std::size_t>(idx)];
+    CriticalPathSegment seg;
+    seg.t1 = rec.t;
+    seg.t0 = rec.pred >= 0 ? log[static_cast<std::size_t>(rec.pred)].t : 0.0;
+    seg.kind = des::cp_kind(rec.label);
+    seg.actor = des::cp_actor(rec.label);
+    chain.push_back(seg);
+    idx = rec.pred;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Rank context: a delivery or barrier segment is attributed to the
+  // rank whose fiber pushed it — the nearest preceding rank-labelled
+  // segment in the chain.
+  int rank = -1;
+  for (CriticalPathSegment& seg : chain) {
+    if ((seg.kind == des::CpKind::kSpawn || seg.kind == des::CpKind::kResume ||
+         seg.kind == des::CpKind::kWake) &&
+        seg.actor != des::kCpNoActor)
+      rank = static_cast<int>(seg.actor);
+    seg.rank = rank;
+  }
+
+  report.segments = std::move(chain);
+  report.path_events = report.segments.size();
+  report.total_s = report.makespan_s - report.segments.front().t0;
+
+  // Group by (kind, actor); the same resolved labels feed the exporter
+  // overlay (merging zero-length administrative steps into nothing —
+  // Perfetto renders them as instants anyway, so keep every segment).
+  std::map<std::pair<std::string, std::string>,
+           std::pair<double, std::uint64_t>>
+      groups;
+  report.overlay.reserve(report.segments.size());
+  for (const CriticalPathSegment& seg : report.segments) {
+    const std::pair<std::string, std::string> key = segment_key(seg, graph);
+    auto& slot = groups[key];
+    slot.first += seg.t1 - seg.t0;
+    ++slot.second;
+    trace::CriticalPathSlice slice;
+    slice.t0 = seg.t0;
+    slice.t1 = seg.t1;
+    slice.rank = seg.rank;
+    slice.category = key.first;
+    slice.name = key.second == "-" ? key.first : key.first + " " + key.second;
+    report.overlay.push_back(std::move(slice));
+  }
+  for (const auto& [key, value] : groups)
+    report.groups.push_back(
+        CriticalPathGroup{key.first, key.second, value.first, value.second});
+  std::sort(report.groups.begin(), report.groups.end(),
+            [](const CriticalPathGroup& a, const CriticalPathGroup& b) {
+              return a.seconds != b.seconds ? a.seconds > b.seconds
+                                            : a.actor < b.actor;
+            });
+
+  // Phase attribution via the recorder's collective spans (when given).
+  if (recorder != nullptr) {
+    std::vector<PhaseSpans> per_rank(
+        static_cast<std::size_t>(recorder->nranks()));
+    for (int r = 0; r < recorder->nranks(); ++r) {
+      for (const trace::Event& e : recorder->rank(r).events())
+        if (e.kind == trace::EventKind::kCollective)
+          per_rank[static_cast<std::size_t>(r)].spans.push_back(e);
+      auto& spans = per_rank[static_cast<std::size_t>(r)].spans;
+      std::sort(spans.begin(), spans.end(),
+                [](const trace::Event& a, const trace::Event& b) {
+                  return a.t_begin < b.t_begin;
+                });
+    }
+    std::map<std::string, std::pair<double, std::uint64_t>> phases;
+    for (const CriticalPathSegment& seg : report.segments) {
+      const double dt = seg.t1 - seg.t0;
+      std::string name = "outside-collective";
+      if (seg.rank >= 0 && seg.rank < recorder->nranks()) {
+        // Sample at the segment's end on the owning rank: the fiber was
+        // inside whichever collective span covers that instant.
+        if (const trace::Event* span =
+                per_rank[static_cast<std::size_t>(seg.rank)].covering(seg.t1))
+          name = trace::to_string(span->coll_op());
+      }
+      auto& slot = phases[name];
+      slot.first += dt;
+      ++slot.second;
+    }
+    for (const auto& [name, value] : phases)
+      report.phases.push_back(
+          CriticalPathGroup{"phase", name, value.first, value.second});
+    std::sort(report.phases.begin(), report.phases.end(),
+              [](const CriticalPathGroup& a, const CriticalPathGroup& b) {
+                return a.seconds > b.seconds;
+              });
+  }
+
+  report.ok = true;
+  return report;
+}
+
+Table CriticalPathReport::table(std::size_t top_n) const {
+  Table t("Critical path: " + fmt_us(total_s) + " over " +
+          std::to_string(path_events) + " of " + std::to_string(events) +
+          " events");
+  t.set_header({"category", "actor", "time", "share", "segments"});
+  if (!ok) {
+    t.add_note(error);
+    return t;
+  }
+  const double denom = total_s > 0.0 ? total_s : 1.0;
+  std::size_t shown = 0;
+  double other = 0.0;
+  std::uint64_t other_segments = 0;
+  for (const CriticalPathGroup& g : groups) {
+    if (shown < top_n) {
+      t.add_row({g.category, g.actor, fmt_us(g.seconds),
+                 fmt_pct(g.seconds / denom), std::to_string(g.segments)});
+      ++shown;
+    } else {
+      other += g.seconds;
+      other_segments += g.segments;
+    }
+  }
+  if (other_segments > 0)
+    t.add_row({"other", "(" + std::to_string(groups.size() - shown) + " more)",
+               fmt_us(other), fmt_pct(other / denom),
+               std::to_string(other_segments)});
+  for (const CriticalPathGroup& p : phases)
+    t.add_row({p.category, p.actor, fmt_us(p.seconds),
+               fmt_pct(p.seconds / denom), std::to_string(p.segments)});
+  return t;
+}
+
+std::string CriticalPathReport::json_fragment(std::size_t top_n) const {
+  std::ostringstream os;
+  os << "\"critical_path\":{\"ok\":" << (ok ? "true" : "false");
+  if (!ok) {
+    os << ",\"error\":\"" << json_escape(error) << "\"}";
+    return os.str();
+  }
+  os << ",\"makespan_s\":" << fmt_g17(makespan_s)
+     << ",\"total_s\":" << fmt_g17(total_s) << ",\"events\":" << events
+     << ",\"path_events\":" << path_events << ",\"groups\":[";
+  const std::size_t n = std::min(top_n, groups.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) os << ",";
+    os << "{\"category\":\"" << json_escape(groups[i].category)
+       << "\",\"actor\":\"" << json_escape(groups[i].actor)
+       << "\",\"seconds\":" << fmt_g17(groups[i].seconds)
+       << ",\"segments\":" << groups[i].segments << "}";
+  }
+  os << "],\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(phases[i].actor)
+       << "\",\"seconds\":" << fmt_g17(phases[i].seconds)
+       << ",\"segments\":" << phases[i].segments << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hpcx::obs

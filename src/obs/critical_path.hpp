@@ -1,0 +1,92 @@
+// Simulated-time critical-path analysis over a des::Simulator's
+// critical-path log (see Simulator::enable_critical_path).
+//
+// Every executed event records which event pushed it, so the chain of
+// predecessor links from the globally last event back to a root is a
+// causal chain through the whole run: each link's [push time, fire
+// time] interval is the exact simulated duration of the modelled
+// action that created it (a rank computing through a sleep, a message
+// crossing the fabric, a barrier releasing). The chain's segments tile
+// [0, makespan] with no gaps — an event fires at the same instant its
+// successor is pushed — so the path length equals the makespan by
+// construction, to the ulp.
+//
+// Attribution: each segment carries the push site's CpKind/actor label
+// (rank for fiber resumes, constraining edge for deliveries); segments
+// are grouped per (kind, actor) and ranked by time. When a
+// trace::Recorder is supplied, segments are additionally attributed to
+// the collective phase active on their rank at that instant (via the
+// recorder's kCollective spans), answering "which collective owns the
+// critical path".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace hpcx {
+class Table;
+}
+namespace hpcx::topo {
+class Graph;
+}
+namespace hpcx::trace {
+class Recorder;
+}
+
+namespace hpcx::obs {
+
+/// One edge of the critical path, root-first. `t1 - t0` is the
+/// simulated time this causal step took.
+struct CriticalPathSegment {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  des::CpKind kind = des::CpKind::kEvent;
+  std::uint32_t actor = des::kCpNoActor;
+  int rank = -1;  ///< rank context (the fiber whose chain this is part of)
+};
+
+/// Path time grouped by one attribution key, ranked descending.
+struct CriticalPathGroup {
+  std::string category;  ///< "rank", "link", "nic-injection", "phase", ...
+  std::string actor;     ///< "rank 17", "h3->spine1", "Allreduce", ...
+  double seconds = 0.0;
+  std::uint64_t segments = 0;
+};
+
+struct CriticalPathReport {
+  bool ok = false;    ///< false: empty or truncated log (see error)
+  std::string error;
+  double makespan_s = 0.0;  ///< fire time of the path's last event
+  double total_s = 0.0;     ///< path length; == makespan_s - t(root)
+  std::uint64_t events = 0;       ///< events in the log
+  std::uint64_t path_events = 0;  ///< events on the critical path
+  std::vector<CriticalPathSegment> segments;  ///< root-first
+  std::vector<CriticalPathGroup> groups;      ///< by (kind, actor), ranked
+  std::vector<CriticalPathGroup> phases;      ///< by collective op, ranked
+  /// The segments with resolved labels, ready for the Chrome-trace
+  /// exporter's flow-event overlay (see trace/chrome_trace.hpp).
+  std::vector<trace::CriticalPathSlice> overlay;
+
+  /// Ranked human-readable table (groups, then phases).
+  Table table(std::size_t top_n = 16) const;
+
+  /// JSON object fragment `"critical_path":{...}` for splicing into an
+  /// obs Snapshot's JSON (doubles as %.17g, so total_s and makespan_s
+  /// survive the round trip bit-exactly).
+  std::string json_fragment(std::size_t top_n = 32) const;
+};
+
+/// Analyze `sim`'s critical-path log. `graph` names delivery edges and
+/// copy hosts; `recorder` (optional) enables per-collective phase
+/// attribution; process ids are reported as ranks (the simulated
+/// backends spawn rank r as process r).
+CriticalPathReport analyze_critical_path(const des::Simulator& sim,
+                                         const topo::Graph& graph,
+                                         const trace::Recorder* recorder);
+
+}  // namespace hpcx::obs

@@ -1,0 +1,72 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace hpcx::obs {
+
+namespace {
+
+double metric_gauge(const Snapshot& snap, const char* name) {
+  const MetricValue* m = snap.find(name);
+  return m != nullptr ? m->gauge : 0.0;
+}
+
+}  // namespace
+
+ProgressHeartbeat::ProgressHeartbeat(double interval_s) {
+  if (interval_s < 0.05) interval_s = 0.05;
+  thread_ = std::thread([this, interval_s] { loop(interval_s); });
+}
+
+ProgressHeartbeat::~ProgressHeartbeat() { stop(); }
+
+void ProgressHeartbeat::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Always attempt the final line: a run shorter than the interval has
+  // had no periodic tick, but its summary is still worth one line.
+  tick(/*final_line=*/true);
+}
+
+void ProgressHeartbeat::loop(double interval_s) {
+  const auto interval = std::chrono::duration<double>(interval_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) return;
+    lock.unlock();
+    tick(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+bool ProgressHeartbeat::tick(bool final_line) {
+  const Snapshot snap = Registry::global().snapshot();
+  const double total = metric_gauge(snap, "hpcx_sweep_points_total");
+  if (total <= 0.0) return false;
+  const double done = metric_gauge(snap, "hpcx_sweep_points_done");
+  const double eta = metric_gauge(snap, "hpcx_sweep_eta_s");
+  const double busy = metric_gauge(snap, "hpcx_sweep_workers_busy");
+  const double hit_rate = metric_gauge(snap, "hpcx_sweep_cache_hit_rate");
+  const long hits = static_cast<long>(hit_rate * total + 0.5);
+  if (final_line) {
+    std::fprintf(stderr, "[progress] %ld/%ld points, %ld from cache, done\n",
+                 static_cast<long>(done), static_cast<long>(total), hits);
+  } else {
+    std::fprintf(stderr,
+                 "[progress] %ld/%ld points, %ld from cache, %ld workers "
+                 "busy, ETA %lds\n",
+                 static_cast<long>(done), static_cast<long>(total), hits,
+                 static_cast<long>(busy), static_cast<long>(eta + 0.5));
+  }
+  return true;
+}
+
+}  // namespace hpcx::obs

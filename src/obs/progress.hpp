@@ -1,0 +1,45 @@
+// Periodic progress heartbeat driven by the global metrics registry.
+//
+// A ProgressHeartbeat owns a background thread that scrapes
+// obs::Registry::global() every `interval_s` host seconds and, when a
+// sweep batch is in flight (hpcx_sweep_points_total > 0), prints one
+// status line to stderr:
+//
+//   [progress] 12/80 points, 3 from cache, 4 workers busy, ETA 41s
+//
+// It reads only folded snapshots — never the executors' internals — so
+// attaching it cannot perturb a run; stderr keeps stdout's tables and
+// CSV streams clean. Construction starts the thread; destruction (or
+// stop()) joins it and prints a final summary line when a sweep ran at
+// all — so even runs shorter than the interval emit one line.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hpcx::obs {
+
+class ProgressHeartbeat {
+ public:
+  explicit ProgressHeartbeat(double interval_s = 1.0);
+  ~ProgressHeartbeat();
+  ProgressHeartbeat(const ProgressHeartbeat&) = delete;
+  ProgressHeartbeat& operator=(const ProgressHeartbeat&) = delete;
+
+  /// Join the thread, then print the final line (when a sweep ran).
+  /// Idempotent.
+  void stop();
+
+ private:
+  void loop(double interval_s);
+  /// Print one status line; returns false when there is nothing to say.
+  bool tick(bool final_line);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hpcx::obs

@@ -1,0 +1,310 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace hpcx::obs {
+
+std::size_t hist_bucket(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::string hist_bucket_label(std::size_t bucket) {
+  if (bucket == 0) return "0";
+  if (bucket >= kHistBuckets) bucket = kHistBuckets - 1;
+  // Inclusive upper bound 2^(bucket-1) ... except the top bucket, whose
+  // bound does not fit in 64 bits; label it by its lower bound instead.
+  if (bucket == kHistBuckets - 1) return ">=2^63";
+  return std::to_string(std::uint64_t{1} << (bucket - 1));
+}
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+/// %.17g, matching the sweep cache / run records: doubles survive a
+/// text round trip bit-exactly.
+void write_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  for (const MetricValue& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+void Snapshot::write_text(std::ostream& os) const {
+  os << "# " << kSchema << "\n";
+  for (const MetricValue& m : metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "counter " << m.name << " " << m.count << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "gauge " << m.name << " ";
+        write_double(os, m.gauge);
+        os << "\n";
+        break;
+      case MetricKind::kHistogram:
+        os << "histogram " << m.name << " count " << m.count << " sum "
+           << m.sum;
+        for (std::size_t b = 0; b < m.buckets.size(); ++b)
+          if (m.buckets[b] != 0)
+            os << " " << hist_bucket_label(b) << ":" << m.buckets[b];
+        os << "\n";
+        break;
+    }
+  }
+}
+
+void Snapshot::write_json(std::ostream& os, const std::string& extra) const {
+  os << "{\"schema\":\"" << kSchema << "\",";
+  if (!extra.empty()) os << extra << ",";
+  os << "\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << m.name << "\",\"kind\":\"" << to_string(m.kind)
+       << "\",";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "\"value\":" << m.count;
+        break;
+      case MetricKind::kGauge:
+        os << "\"value\":";
+        write_double(os, m.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        os << "\"count\":" << m.count << ",\"sum\":" << m.sum
+           << ",\"buckets\":{";
+        bool bfirst = true;
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          if (m.buckets[b] == 0) continue;
+          if (!bfirst) os << ",";
+          bfirst = false;
+          os << "\"" << hist_bucket_label(b) << "\":" << m.buckets[b];
+        }
+        os << "}";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+/// One thread's slot array. Only the owning thread writes; scrapes read
+/// concurrently with relaxed loads (sums are monotone, so a live scrape
+/// sees a valid, possibly slightly stale, total). `size` is fixed at
+/// construction — when registration outgrows it the owning thread
+/// retires it (stops writing) and starts a larger one; retired shards
+/// stay in the registry for folding, so no count is ever lost.
+struct Registry::Shard {
+  explicit Shard(std::uint32_t n)
+      : size(n), slots(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    for (std::uint32_t i = 0; i < n; ++i)
+      slots[i].store(0, std::memory_order_relaxed);
+  }
+  const std::uint32_t size;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+};
+
+namespace {
+
+// MetricId layout: kind in the top 2 bits, slot/gauge index below —
+// the hot path decodes its slot from the id alone and never reads the
+// registry's (mutex-guarded, growable) info table.
+constexpr std::uint32_t kIdIndexMask = 0x3FFFFFFFu;
+
+std::uint32_t id_index(MetricId id) { return id & kIdIndexMask; }
+
+MetricId make_id(MetricKind kind, std::uint32_t index) {
+  return (static_cast<std::uint32_t>(kind) << 30) | index;
+}
+
+std::atomic<std::uint64_t> g_next_uid{1};
+
+/// Per-thread (registry uid -> shard) map. A tiny linear-scan vector:
+/// in practice a thread touches one or two registries (the global one,
+/// plus a test-local one). Entries are never removed — a destroyed
+/// registry's uid is never reused, so its entry simply never matches
+/// again (the dangling pointer is never dereferenced).
+struct ThreadShards {
+  struct Entry {
+    std::uint64_t uid;
+    Registry::Shard* shard;
+  };
+  std::vector<Entry> entries;
+};
+
+thread_local ThreadShards t_shards;
+
+}  // namespace
+
+Registry::Registry()
+    : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // never destroyed: worker threads
+  return *g;                            // may outlive static teardown
+}
+
+MetricId Registry::register_metric(const std::string& name,
+                                   const std::string& help, MetricKind kind,
+                                   std::uint32_t slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Info& existing : info_) {
+    if (existing.name == name) {
+      HPCX_REQUIRE(existing.kind == kind,
+                   "metric '" + name + "' re-registered as a different kind");
+      return make_id(kind, kind == MetricKind::kGauge ? existing.gauge
+                                                      : existing.slot);
+    }
+  }
+  Info info;
+  info.name = name;
+  info.help = help;
+  info.kind = kind;
+  if (kind == MetricKind::kGauge) {
+    info.gauge = static_cast<std::uint32_t>(gauges_.size());
+    gauges_.emplace_back(0.0);
+  } else {
+    info.slot = next_slot_;
+    next_slot_ += slots;
+  }
+  info_.push_back(info);
+  return make_id(kind, kind == MetricKind::kGauge ? info.gauge : info.slot);
+}
+
+MetricId Registry::counter(const std::string& name, const std::string& help) {
+  return register_metric(name, help, MetricKind::kCounter, 1);
+}
+
+MetricId Registry::gauge(const std::string& name, const std::string& help) {
+  return register_metric(name, help, MetricKind::kGauge, 0);
+}
+
+MetricId Registry::histogram(const std::string& name,
+                             const std::string& help) {
+  // Buckets plus a sum slot; the sample count is the bucket total.
+  return register_metric(name, help, MetricKind::kHistogram,
+                         kHistBuckets + 1);
+}
+
+Registry::Shard* Registry::shard_slow(std::uint32_t min_slots) {
+  // Round up so a burst of registrations does not retire a shard per
+  // metric. The retired shard (if any) stays in shards_ for folding.
+  std::uint32_t cap = 256;
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (cap < next_slot_ || cap < min_slots) cap *= 2;
+    auto owned = std::make_unique<Shard>(cap);
+    shard = owned.get();  // grab before unlocking: a concurrent
+    shards_.push_back(std::move(owned));  // push_back may move the vector
+  }
+  for (auto& e : t_shards.entries) {
+    if (e.uid == uid_) {
+      e.shard = shard;
+      return shard;
+    }
+  }
+  t_shards.entries.push_back({uid_, shard});
+  return shard;
+}
+
+inline Registry::Shard* Registry::shard_for(std::uint32_t min_slots) {
+  for (const auto& e : t_shards.entries)
+    if (e.uid == uid_ && min_slots <= e.shard->size) return e.shard;
+  return shard_slow(min_slots);
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  const std::uint32_t slot = id_index(id);
+  Shard* s = shard_for(slot + 1);
+  s->slots[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, std::uint64_t value) {
+  const std::uint32_t slot = id_index(id);
+  Shard* s = shard_for(slot + kHistBuckets + 1);
+  s->slots[slot + hist_bucket(value)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  s->slots[slot + kHistBuckets].fetch_add(value, std::memory_order_relaxed);
+}
+
+void Registry::set(MetricId id, double value) {
+  // gauges_ is a deque: growth never moves existing atomics, and an id
+  // always refers to an element registered before it was handed out.
+  gauges_[id_index(id)].store(value, std::memory_order_relaxed);
+}
+
+void Registry::gauge_add(MetricId id, double delta) {
+  std::atomic<double>& g = gauges_[id_index(id)];
+  double cur = g.load(std::memory_order_relaxed);
+  while (!g.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Fold every shard's slot array once.
+  std::vector<std::uint64_t> slots(next_slot_, 0);
+  for (const auto& shard : shards_) {
+    const std::uint32_t n = std::min<std::uint32_t>(shard->size, next_slot_);
+    for (std::uint32_t i = 0; i < n; ++i)
+      slots[i] += shard->slots[i].load(std::memory_order_relaxed);
+  }
+  Snapshot snap;
+  snap.metrics.reserve(info_.size());
+  for (const Info& info : info_) {
+    MetricValue m;
+    m.name = info.name;
+    m.help = info.help;
+    m.kind = info.kind;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        m.count = slots[info.slot];
+        break;
+      case MetricKind::kGauge:
+        m.gauge = gauges_[info.gauge].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        m.buckets.assign(slots.begin() + info.slot,
+                         slots.begin() + info.slot + kHistBuckets);
+        for (const std::uint64_t b : m.buckets) m.count += b;
+        m.sum = slots[info.slot + kHistBuckets];
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+std::size_t Registry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return info_.size();
+}
+
+}  // namespace hpcx::obs

@@ -1,0 +1,142 @@
+// hpcx::obs — process-wide metrics registry.
+//
+// Counters, gauges and log2-bucketed histograms with a lock-free hot
+// path: counter/histogram updates land in per-thread *shards* (plain
+// relaxed-atomic slot arrays, one writer each), which a scrape folds
+// into a single snapshot. Registration takes the registry mutex and is
+// expected at setup time; updates never do. Gauges are single
+// process-wide atomics with set semantics (last write wins — they
+// describe a current level, not a sum, so sharding them would be
+// wrong).
+//
+// Conventions: durations are stored as integer NANOSECONDS and named
+// `*_ns`; sizes in bytes are named `*_bytes`. The scrape formats (text
+// and JSON) both carry the schema marker "hpcx-obs/1" and are stable:
+// tools may parse them.
+//
+// Why shards instead of one atomic per counter: the PDES window loop
+// and the sweep worker pool bump the same logical counters from many
+// threads at MHz rates; a shared cache line per counter would serialise
+// them. A shard is owned by exactly one writing thread, so the
+// fetch_adds are uncontended; folding at scrape time sums shards, and
+// because counters are monotone sums the fold is exact once the writing
+// threads have quiesced (and a consistent-enough live view otherwise).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpcx::obs {
+
+/// Handle to a registered metric, stable for the registry's lifetime.
+/// Encodes everything the hot path needs (kind + slot index), so
+/// updates never touch the registry's mutable tables.
+using MetricId = std::uint32_t;
+
+/// Log2 value classes shared by every histogram: class 0 is the value
+/// 0, class k >= 1 covers [2^(k-1), 2^k). 64-bit values need 65.
+constexpr std::size_t kHistBuckets = 65;
+std::size_t hist_bucket(std::uint64_t value);
+/// Inclusive upper bound of a bucket ("0", "1", "2", "4", ... "2^63").
+std::string hist_bucket_label(std::size_t bucket);
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+const char* to_string(MetricKind k);
+
+/// One folded metric of a scrape.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  ///< counter value, or histogram sample count
+  std::uint64_t sum = 0;    ///< histogram only: sum of observed values
+  double gauge = 0.0;       ///< gauge only
+  std::vector<std::uint64_t> buckets;  ///< histogram only (kHistBuckets)
+};
+
+/// A folded, self-contained view of a registry at one instant.
+struct Snapshot {
+  static constexpr const char* kSchema = "hpcx-obs/1";
+  std::vector<MetricValue> metrics;
+
+  const MetricValue* find(std::string_view name) const;
+  /// Stable text form, one metric per line, "# hpcx-obs/1" first.
+  void write_text(std::ostream& os) const;
+  /// JSON object {"schema":"hpcx-obs/1","metrics":[...]}. `extra`, when
+  /// non-empty, is spliced verbatim as additional top-level members
+  /// (callers append e.g. a critical-path section); it must be a valid
+  /// JSON fragment of the form "\"key\":value,...".
+  void write_json(std::ostream& os, const std::string& extra = "") const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every runtime subsystem reports into.
+  static Registry& global();
+
+  // --- registration (mutex-guarded; idempotent by name) ---
+
+  /// Register (or look up) a monotone counter / gauge / histogram.
+  /// Re-registering an existing name returns the same id; the kind must
+  /// match (throws core Error otherwise).
+  MetricId counter(const std::string& name, const std::string& help = "");
+  MetricId gauge(const std::string& name, const std::string& help = "");
+  MetricId histogram(const std::string& name, const std::string& help = "");
+
+  // --- hot path (lock-free; any thread) ---
+
+  /// Add to a counter.
+  void add(MetricId id, std::uint64_t delta = 1);
+  /// Record one histogram sample.
+  void observe(MetricId id, std::uint64_t value);
+  /// Set a gauge's current level.
+  void set(MetricId id, double value);
+  /// Add to a gauge (atomic read-modify-write; for +1/-1 level
+  /// tracking, e.g. in-flight work).
+  void gauge_add(MetricId id, double delta);
+
+  // --- scrape (mutex-guarded) ---
+
+  /// Fold every shard into a snapshot, metrics in registration order.
+  Snapshot snapshot() const;
+
+  std::size_t num_metrics() const;
+
+ public:
+  struct Shard;  // public only for the thread-local cache's benefit
+
+ private:
+  struct Info {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t slot = 0;   ///< first shard slot (counter/histogram)
+    std::uint32_t gauge = 0;  ///< gauge index (kGauge)
+  };
+
+  MetricId register_metric(const std::string& name, const std::string& help,
+                           MetricKind kind, std::uint32_t slots);
+  Shard* shard_slow(std::uint32_t min_slots);
+  Shard* shard_for(std::uint32_t min_slots);
+
+  const std::uint64_t uid_;  ///< process-unique; keys the thread cache
+  mutable std::mutex mutex_;
+  std::vector<Info> info_;
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< every shard ever made
+  // deque: grows without moving — hot-path writers hold references.
+  std::deque<std::atomic<double>> gauges_;
+  std::uint32_t next_slot_ = 0;
+};
+
+}  // namespace hpcx::obs

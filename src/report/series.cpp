@@ -37,7 +37,8 @@ imb::ImbResult measure_imb(const mach::MachineConfig& machine, int cpus,
   imb::ImbResult out;
   xmpi::SimRunOptions run_options;
   run_options.recorder = options.recorder;
-  xmpi::run_on_machine(
+  run_options.critical_path = options.critical_path;
+  const xmpi::SimRunResult run = xmpi::run_on_machine(
       machine, cpus,
       [&](xmpi::Comm& c) {
         imb::ImbParams params;
@@ -49,6 +50,7 @@ imb::ImbResult measure_imb(const mach::MachineConfig& machine, int cpus,
         if (c.rank() == 0) out = r;
       },
       run_options);
+  if (options.makespan_s != nullptr) *options.makespan_s = run.makespan_s;
   return out;
 }
 

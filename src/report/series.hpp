@@ -14,6 +14,10 @@ namespace hpcx::trace {
 class Recorder;
 }  // namespace hpcx::trace
 
+namespace hpcx::obs {
+struct CriticalPathReport;
+}  // namespace hpcx::obs
+
 namespace hpcx::report {
 
 /// Power-of-two CPU counts 2,4,...,512 clipped to the machine's maximum,
@@ -31,6 +35,11 @@ struct MeasureOptions {
   /// When set, the run records into the recorder (which must have been
   /// built with at least `cpus` ranks).
   trace::Recorder* recorder = nullptr;
+  /// When set, the run records event predecessors and the critical-path
+  /// analysis is written here (serial engine; see SimRunOptions).
+  obs::CriticalPathReport* critical_path = nullptr;
+  /// When set, receives the run's makespan (virtual seconds).
+  double* makespan_s = nullptr;
 };
 
 /// One IMB measurement on the simulated machine (phantom payloads,

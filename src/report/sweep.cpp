@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "core/json.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
+#include "obs/registry.hpp"
 #include "report/series.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
@@ -395,6 +397,50 @@ SweepRun SweepExecutor::run(std::vector<SweepPoint> points) {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> done{0};
+
+  // Progress gauges describe the batch in flight (the --progress
+  // heartbeat reads them); counters accumulate across batches.
+  obs::Registry& reg = obs::Registry::global();
+  const obs::MetricId g_total =
+      reg.gauge("hpcx_sweep_points_total", "points in the running batch");
+  const obs::MetricId g_done =
+      reg.gauge("hpcx_sweep_points_done", "points finished in the batch");
+  const obs::MetricId g_eta =
+      reg.gauge("hpcx_sweep_eta_s", "estimated seconds to batch completion");
+  const obs::MetricId g_busy =
+      reg.gauge("hpcx_sweep_workers_busy", "workers simulating right now");
+  const obs::MetricId g_hit_rate =
+      reg.gauge("hpcx_sweep_cache_hit_rate", "cache hits / points, running");
+  const obs::MetricId c_executed = reg.counter(
+      "hpcx_sweep_points_executed_total", "points actually simulated");
+  const obs::MetricId c_hits = reg.counter(
+      "hpcx_sweep_cache_hits_total", "points answered from the cache");
+  const obs::MetricId c_busy_ns = reg.counter(
+      "hpcx_sweep_worker_busy_ns",
+      "worker wall time inside point execution (utilization numerator)");
+  const obs::MetricId h_point_ns =
+      reg.histogram("hpcx_sweep_point_ns", "wall time of one executed point");
+  reg.set(g_total, static_cast<double>(n));
+  reg.set(g_done, 0.0);
+  reg.set(g_eta, 0.0);
+  const auto batch_t0 = std::chrono::steady_clock::now();
+  auto finish_point = [&](bool hit) {
+    const std::size_t d = done.fetch_add(1) + 1;
+    reg.set(g_done, static_cast<double>(d));
+    if (hit) {
+      reg.add(c_hits, 1);
+      cache_hits.fetch_add(1);
+    }
+    const std::size_t hits_now = cache_hits.load();
+    reg.set(g_hit_rate, static_cast<double>(hits_now) / static_cast<double>(n));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_t0)
+            .count();
+    reg.set(g_eta, elapsed * static_cast<double>(n - d) /
+                       static_cast<double>(d));
+  };
 
   auto worker = [&] {
     for (;;) {
@@ -406,7 +452,7 @@ SweepRun SweepExecutor::run(std::vector<SweepPoint> points) {
         if (config_.cache != nullptr) {
           key = p.cache_key();
           if (config_.cache->lookup(key, out.results[i])) {
-            cache_hits.fetch_add(1);
+            finish_point(true);
             continue;
           }
         }
@@ -416,8 +462,19 @@ SweepRun SweepExecutor::run(std::vector<SweepPoint> points) {
               p.np, config_.record_events_per_rank);
           recorder = out.recorders[i].get();
         }
+        reg.gauge_add(g_busy, 1.0);
+        const auto p_t0 = std::chrono::steady_clock::now();
         out.results[i] = execute_point(p, recorder, config_.sim_workers);
+        const double point_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          p_t0)
+                .count();
+        reg.gauge_add(g_busy, -1.0);
+        reg.add(c_busy_ns, static_cast<std::uint64_t>(point_s * 1e9));
+        reg.observe(h_point_ns, static_cast<std::uint64_t>(point_s * 1e9));
+        reg.add(c_executed, 1);
         executed.fetch_add(1);
+        finish_point(false);
         if (config_.cache != nullptr)
           config_.cache->store(key, out.results[i]);
       } catch (...) {

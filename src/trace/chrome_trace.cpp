@@ -104,7 +104,8 @@ void write_span(EventWriter& w, int rank, const Event& e) {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os, const Recorder& rec) {
+void write_chrome_trace(std::ostream& os, const Recorder& rec,
+                        const std::vector<CriticalPathSlice>* critical_path) {
   const auto flags = os.flags();
   const auto precision = os.precision();
   os << std::setprecision(15);
@@ -115,6 +116,8 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec) {
   write_meta(w, 0, 0, "process_name", "hpcx ranks");
   if (!rec.link_tracks().empty())
     write_meta(w, 1, 0, "process_name", "hpcx network");
+  if (critical_path != nullptr && !critical_path->empty())
+    write_meta(w, 2, 0, "process_name", "hpcx critical path");
 
   for (int r = 0; r < rec.nranks(); ++r) {
     write_meta(w, 0, r, "thread_name", "rank " + std::to_string(r));
@@ -146,6 +149,32 @@ void write_chrome_trace(std::ostream& os, const Recorder& rec) {
                 << ",\"backlog_s\":" << p.backlog_s << "}}";
       prev_t = p.t;
       prev_busy = p.busy_s;
+    }
+  }
+
+  // Critical-path overlay: the path's segments tile [0, makespan], so
+  // they render as one continuous row; flow events chain consecutive
+  // segments (and each segment binds to its owning rank's track via the
+  // args) so the causal route is followable in the UI.
+  if (critical_path != nullptr) {
+    int flow = 0;
+    for (std::size_t i = 0; i < critical_path->size(); ++i) {
+      const CriticalPathSlice& s = (*critical_path)[i];
+      auto& o = w.begin();
+      o << "{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":" << us(s.t0)
+        << ",\"dur\":" << us(s.t1 - s.t0) << ",\"name\":\""
+        << json_escape(s.name) << "\",\"cat\":\"" << json_escape(s.category)
+        << "\",\"args\":{\"rank\":" << s.rank << "}}";
+      if (i + 1 < critical_path->size()) {
+        w.begin() << "{\"ph\":\"s\",\"pid\":2,\"tid\":0,\"ts\":" << us(s.t1)
+                  << ",\"id\":" << flow
+                  << ",\"cat\":\"cp\",\"name\":\"critical-path\"}";
+        const CriticalPathSlice& n = (*critical_path)[i + 1];
+        w.begin() << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":2,\"tid\":0,\"ts\":"
+                  << us(n.t1) << ",\"id\":" << flow
+                  << ",\"cat\":\"cp\",\"name\":\"critical-path\"}";
+        ++flow;
+      }
     }
   }
   os << "\n]}\n";

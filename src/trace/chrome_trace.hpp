@@ -6,14 +6,33 @@
 // counter event per link-utilization sample (pid 1 = the network).
 // Timestamps are microseconds; whether they are virtual or wall-clock
 // seconds at source is stamped into otherData.clock.
+//
+// With a critical-path overlay (see obs/critical_path.hpp), the
+// makespan-tiling path segments additionally render as "X" slices on a
+// dedicated "hpcx critical path" process (pid 2), chained by "s"/"f"
+// flow events so Perfetto draws the causal arrows along the path.
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 namespace hpcx::trace {
 
 class Recorder;
 
-void write_chrome_trace(std::ostream& os, const Recorder& rec);
+/// One critical-path segment prepared for the exporter (the obs layer
+/// builds these from its analysis, so the exporter needs no obs types).
+struct CriticalPathSlice {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int rank = -1;         ///< owning rank context, -1 when none
+  std::string name;      ///< slice label, e.g. "link h3->spine1"
+  std::string category;  ///< "rank", "link", "nic-injection", ...
+};
+
+void write_chrome_trace(std::ostream& os, const Recorder& rec,
+                        const std::vector<CriticalPathSlice>* critical_path =
+                            nullptr);
 
 }  // namespace hpcx::trace

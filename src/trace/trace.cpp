@@ -143,6 +143,30 @@ void Counters::merge(const Counters& other) {
     rendezvous_size_hist[i] += other.rendezvous_size_hist[i];
 }
 
+void EngineStats::merge(const EngineStats& other) {
+  workers = std::max(workers, other.workers);
+  windows += other.windows;
+  lookahead_limited += other.lookahead_limited;
+  work_limited += other.work_limited;
+  delivery_batches += other.delivery_batches;
+  deliveries += other.deliveries;
+  total_wall_s += other.total_wall_s;
+  flush_wall_s += other.flush_wall_s;
+  merge_wall_s += other.merge_wall_s;
+  window_wall_s += other.window_wall_s;
+  stall_wall_s += other.stall_wall_s;
+  if (lps.size() < other.lps.size()) lps.resize(other.lps.size());
+  for (std::size_t i = 0; i < other.lps.size(); ++i) {
+    LpStats& mine = lps[i];
+    const LpStats& theirs = other.lps[i];
+    mine.ranks = std::max(mine.ranks, theirs.ranks);
+    mine.windows += theirs.windows;
+    mine.idle_windows += theirs.idle_windows;
+    mine.events += theirs.events;
+    mine.busy_wall_s += theirs.busy_wall_s;
+  }
+}
+
 RankTrace::RankTrace(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {
   ring_.reserve(capacity_);
@@ -212,6 +236,7 @@ void Recorder::merge(const Recorder& other) {
     it->points.insert(it->points.end(), track.points.begin(),
                       track.points.end());
   }
+  engine_.merge(other.engine_);
 }
 
 Table Recorder::summary_table() const {
@@ -284,6 +309,39 @@ Table Recorder::alg_table() const {
         t.add_row({to_string(static_cast<CollOp>(op)),
                    to_string(static_cast<AlgId>(a)),
                    std::to_string(sum.alg_dispatch[op][a])});
+  return t;
+}
+
+Table Recorder::lp_table() const {
+  Table t("Parallel engine: per-LP windows");
+  t.set_header({"lp", "ranks", "windows", "idle", "events", "busy wall"});
+  if (!engine_.present()) {
+    t.add_note("serial engine (no LP windows recorded)");
+    return t;
+  }
+  std::uint64_t events = 0;
+  double busy = 0.0;
+  for (std::size_t i = 0; i < engine_.lps.size(); ++i) {
+    const LpStats& lp = engine_.lps[i];
+    t.add_row({std::to_string(i), std::to_string(lp.ranks),
+               std::to_string(lp.windows), std::to_string(lp.idle_windows),
+               std::to_string(lp.events), format_time(lp.busy_wall_s)});
+    events += lp.events;
+    busy += lp.busy_wall_s;
+  }
+  t.add_row({"total", "-", std::to_string(engine_.windows), "-",
+             std::to_string(events), format_time(busy)});
+  t.add_note(std::to_string(engine_.lookahead_limited) +
+             " lookahead-limited / " + std::to_string(engine_.work_limited) +
+             " work-limited windows on " + std::to_string(engine_.workers) +
+             " worker(s)");
+  t.add_note("flush " + format_time(engine_.flush_wall_s) + " (order merge " +
+             format_time(engine_.merge_wall_s) + "), windows " +
+             format_time(engine_.window_wall_s) + ", barrier stall " +
+             format_time(engine_.stall_wall_s) + " worker-seconds");
+  t.add_note(std::to_string(engine_.deliveries) +
+             " cross-LP deliveries in " +
+             std::to_string(engine_.delivery_batches) + " flush batches");
   return t;
 }
 

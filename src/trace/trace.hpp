@@ -235,6 +235,38 @@ struct LinkTrack {
   std::vector<LinkPoint> points;
 };
 
+/// One logical process of the parallel (conservative) simulation engine:
+/// window participation and host-time cost. Wall seconds are host time
+/// and never feed back into the schedule.
+struct LpStats {
+  int ranks = 0;                   ///< simulated ranks hosted by this LP
+  std::uint64_t windows = 0;       ///< windows in which the LP ran events
+  std::uint64_t idle_windows = 0;  ///< windows it was invoked but had none
+  std::uint64_t events = 0;
+  double busy_wall_s = 0.0;  ///< host time inside the LP's run_until calls
+};
+
+/// Parallel-engine drive summary (zero `windows` = the serial engine
+/// ran; the per-LP table is then empty). Filled by the simulated
+/// backend, folded across runs by Recorder::merge.
+struct EngineStats {
+  int workers = 0;  ///< max across merged runs
+  std::uint64_t windows = 0;
+  std::uint64_t lookahead_limited = 0;  ///< windows bounded by the lookahead
+  std::uint64_t work_limited = 0;       ///< windows where queues went dry
+  std::uint64_t delivery_batches = 0;   ///< flushes that moved >= 1 send
+  std::uint64_t deliveries = 0;         ///< cross-LP sends applied in flushes
+  double total_wall_s = 0.0;
+  double flush_wall_s = 0.0;   ///< single-threaded cross-LP application
+  double merge_wall_s = 0.0;   ///< order-log merge portion of the flushes
+  double window_wall_s = 0.0;  ///< inside parallel windows
+  double stall_wall_s = 0.0;   ///< worker-seconds idle at window barriers
+  std::vector<LpStats> lps;    ///< by LP index
+
+  bool present() const { return windows > 0; }
+  void merge(const EngineStats& other);
+};
+
 /// Aggregates the per-rank rings of one run plus (for simulated runs)
 /// the network's link-utilization tracks. Create one per run and hand it
 /// to run_on_machine / run_on_threads via their options structs.
@@ -254,6 +286,9 @@ class Recorder {
     links_ = std::move(tracks);
   }
   const std::vector<LinkTrack>& link_tracks() const { return links_; }
+
+  void set_engine_stats(EngineStats stats) { engine_ = std::move(stats); }
+  const EngineStats& engine_stats() const { return engine_; }
 
   /// Counters summed over all ranks.
   Counters total() const;
@@ -278,9 +313,14 @@ class Recorder {
   /// Nonzero (collective, algorithm) dispatch counts summed over ranks.
   Table alg_table() const;
 
+  /// Parallel-engine per-LP window stats (empty note when the serial
+  /// engine ran — i.e. engine_stats().present() is false).
+  Table lp_table() const;
+
  private:
   std::vector<RankTrace> ranks_;
   std::vector<LinkTrack> links_;
+  EngineStats engine_;
   bool virtual_time_ = false;
 };
 

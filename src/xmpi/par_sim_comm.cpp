@@ -40,6 +40,7 @@
 // LP's clock when the flush applies them, so nothing is ever scheduled
 // into an LP's past.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -54,6 +55,7 @@
 #include "des/simulator.hpp"
 #include "des/sync.hpp"
 #include "netsim/network.hpp"
+#include "obs/registry.hpp"
 #include "topology/partition.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_internal.hpp"
@@ -145,7 +147,17 @@ struct ParWorld {
   std::vector<detail::RankState> ranks;
   std::vector<std::unique_ptr<des::WaitQueue>> barrier_wqs;
   std::vector<PendingSend> batch;  // flush scratch, reused across rounds
+  // Flush instrumentation (single-threaded, like the flush itself).
+  std::uint64_t deliveries = 0;
+  std::uint64_t delivery_batches = 0;
+  double merge_wall_s = 0.0;
 };
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Append the envelope to dst's inbox and poke its inbox wait queue —
 /// the same three-word continuation the serial engine uses. Runs on the
@@ -313,6 +325,8 @@ void apply_pending_sends(ParWorld& w,
     s.pending.clear();
   }
   if (w.batch.empty()) return;
+  ++w.delivery_batches;
+  w.deliveries += w.batch.size();
   // The merged global sequence numbers ARE the serial execution order
   // (time-ascending, ties in serial push order), so ordering walks by
   // the sending segment's number replays the fabric exactly.
@@ -417,7 +431,9 @@ void apply_barrier(ParWorld& w,
 
 void flush(ParWorld& w, des::WindowOrder& order,
            const std::vector<des::Simulator*>& lps) {
+  const double m0 = wall_now();
   const std::vector<std::vector<std::uint64_t>> gseq = order.merge(lps);
+  w.merge_wall_s += wall_now() - m0;
   // Resolve pending-event tags BEFORE scheduling anything new: the
   // queues order same-time ties by tag at sift time, so a delivery
   // pushed while older events still carry window-local tags would sort
@@ -480,9 +496,74 @@ std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
   lps.reserve(world.shards.size());
   for (Shard& s : world.shards) lps.push_back(&s.sim);
   des::WindowOrder order(static_cast<std::uint64_t>(nranks));
+  des::ConservativeStats cs;
   des::run_conservative(
       lps, [&world, &order, &lps] { flush(world, order, lps); },
-      options.sim_workers, lookahead);
+      options.sim_workers, lookahead, &cs);
+
+  trace::EngineStats es;
+  es.workers = cs.workers;
+  es.windows = cs.windows;
+  es.lookahead_limited = cs.lookahead_limited;
+  es.work_limited = cs.work_limited;
+  es.delivery_batches = world.delivery_batches;
+  es.deliveries = world.deliveries;
+  es.total_wall_s = cs.total_wall_s;
+  es.flush_wall_s = cs.flush_wall_s;
+  es.merge_wall_s = world.merge_wall_s;
+  es.window_wall_s = cs.window_wall_s;
+  es.stall_wall_s = cs.stall_wall_s;
+  es.lps.resize(cs.lps.size());
+  for (std::size_t i = 0; i < cs.lps.size(); ++i) {
+    es.lps[i].windows = cs.lps[i].windows;
+    es.lps[i].idle_windows = cs.lps[i].idle_windows;
+    es.lps[i].events = cs.lps[i].events;
+    es.lps[i].busy_wall_s = cs.lps[i].busy_wall_s;
+  }
+  for (const int lp : world.lp_of_rank)
+    ++es.lps[static_cast<std::size_t>(lp)].ranks;
+
+  {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.counter("hpcx_pdes_runs_total",
+                        "simulated runs completed (parallel engine)"),
+            1);
+    reg.add(reg.counter("hpcx_pdes_windows_total",
+                        "conservative synchronization windows run"),
+            es.windows);
+    reg.add(reg.counter("hpcx_pdes_windows_lookahead_limited_total",
+                        "windows bounded by the lookahead"),
+            es.lookahead_limited);
+    reg.add(reg.counter("hpcx_pdes_windows_work_limited_total",
+                        "windows where the event queues went dry"),
+            es.work_limited);
+    reg.add(reg.counter("hpcx_pdes_delivery_batches_total",
+                        "flushes that applied at least one cross-LP send"),
+            es.delivery_batches);
+    reg.add(reg.counter("hpcx_pdes_deliveries_total",
+                        "cross-LP sends applied by flushes"),
+            es.deliveries);
+    const obs::MetricId stall = reg.counter(
+        "hpcx_pdes_stall_ns", "worker-nanoseconds idle at window barriers");
+    reg.add(stall, static_cast<std::uint64_t>(es.stall_wall_s * 1e9));
+    const obs::MetricId merge_ns = reg.counter(
+        "hpcx_pdes_order_merge_ns", "wall time inside the order-log merge");
+    reg.add(merge_ns, static_cast<std::uint64_t>(es.merge_wall_s * 1e9));
+    const obs::MetricId flush_ns = reg.counter(
+        "hpcx_pdes_flush_ns", "wall time inside the cross-LP flush");
+    reg.add(flush_ns, static_cast<std::uint64_t>(es.flush_wall_s * 1e9));
+    const obs::MetricId wevents = reg.histogram(
+        "hpcx_pdes_window_events", "events one LP ran in one window");
+    std::uint64_t events_total = 0;
+    for (const trace::LpStats& lp : es.lps) {
+      events_total += lp.events;
+      if (lp.windows > 0) reg.observe(wevents, lp.events / lp.windows);
+    }
+    reg.add(reg.counter("hpcx_pdes_events_total",
+                        "events executed by the parallel engine"),
+            events_total);
+  }
+  if (recorder) recorder->set_engine_stats(std::move(es));
 
   if (recorder) fold_link_tracks(*recorder, world.network);
   return build_sim_result(world.network, world.ranks);

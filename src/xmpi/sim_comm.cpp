@@ -10,6 +10,8 @@
 #include "des/simulator.hpp"
 #include "des/sync.hpp"
 #include "netsim/network.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_internal.hpp"
 
@@ -84,6 +86,7 @@ class SimComm final : public Comm {
       w.barrier_wq.wait();
     } else {
       w.barrier_arrived = 0;
+      w.sim->set_next_cp(des::CpKind::kBarrier, des::kCpNoActor);
       w.sim->schedule(hw, [&w] { w.barrier_wq.notify_all(); });
       w.sim->sleep(hw);
     }
@@ -190,7 +193,10 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
   HPCX_REQUIRE(nranks >= 1, "need at least one rank");
   DenseStackGuard dense(nranks >= 4096);
 
-  if (options.sim_workers > 1 || options.sim_lps > 1) {
+  // Critical-path recording rides the event queue's provenance fields,
+  // which the parallel engine's order log owns — profile serially.
+  if (options.critical_path == nullptr &&
+      (options.sim_workers > 1 || options.sim_lps > 1)) {
     if (auto par = detail::run_parallel(machine, nranks, fn, options))
       return *par;
     // Not partitionable (single host, or no finite lookahead): the
@@ -204,6 +210,11 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
     recorder->set_virtual_time(true);
     world.network.enable_link_sampling(options.link_sample_interval_s);
   }
+  if (options.critical_path != nullptr) {
+    sim.enable_critical_path(true);
+    world.network.enable_cp_labels(true);
+  }
+  const std::uint64_t fiber_reuses0 = des::Fiber::stack_pool_reuses();
   for (int r = 0; r < nranks; ++r) {
     sim.spawn(
         [&world, &fn, recorder, r] {
@@ -220,6 +231,44 @@ SimRunResult run_on_machine(const mach::MachineConfig& machine, int nranks,
         options.fiber_stack_bytes);
   }
   sim.run();
+
+  if (options.critical_path != nullptr)
+    *options.critical_path =
+        obs::analyze_critical_path(sim, world.network.graph(), recorder);
+
+  {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.counter("hpcx_sim_runs_total",
+                        "simulated runs completed (serial engine)"),
+            1);
+    reg.add(reg.counter("hpcx_sim_events_total",
+                        "events executed by the serial engine"),
+            sim.executed_events());
+    reg.set(reg.gauge("hpcx_envelope_pool_free",
+                      "pooled message envelopes currently free"),
+            static_cast<double>(world.pool.free_count()));
+    reg.add(reg.counter("hpcx_envelope_pool_allocs_total",
+                        "envelope acquisitions that had to allocate"),
+            world.pool.allocs());
+    reg.add(reg.counter("hpcx_envelope_pool_reuses_total",
+                        "envelope acquisitions served from the pool"),
+            world.pool.acquires() - world.pool.allocs());
+    reg.set(reg.gauge("hpcx_fiber_stack_pool_free",
+                      "pooled fiber stacks currently free"),
+            static_cast<double>(des::Fiber::pooled_stacks()));
+    reg.add(reg.counter("hpcx_fiber_stack_pool_reuses_total",
+                        "fiber spawns served from the stack pool"),
+            des::Fiber::stack_pool_reuses() - fiber_reuses0);
+    reg.add(reg.counter("hpcx_sim_internode_messages_total",
+                        "simulated messages that crossed the network"),
+            world.network.internode_messages());
+    reg.add(reg.counter("hpcx_sim_intranode_messages_total",
+                        "simulated messages delivered within a node"),
+            world.network.intranode_messages());
+    reg.add(reg.counter("hpcx_sim_internode_bytes_total",
+                        "simulated payload bytes that crossed the network"),
+            world.network.internode_bytes());
+  }
 
   if (recorder) detail::fold_link_tracks(*recorder, world.network);
   return detail::build_sim_result(world.network, world.ranks);

@@ -16,6 +16,10 @@ namespace hpcx::trace {
 class Recorder;
 }  // namespace hpcx::trace
 
+namespace hpcx::obs {
+struct CriticalPathReport;
+}  // namespace hpcx::obs
+
 namespace hpcx::xmpi {
 
 /// One network link's traffic during a run (hotspot analysis).
@@ -56,6 +60,12 @@ struct SimRunOptions {
   /// topology leaf group). Setting this > 1 exercises the parallel
   /// engine even with sim_workers = 1.
   int sim_lps = 0;
+  /// Record event predecessor edges and write the critical-path
+  /// analysis into *critical_path (both must be set). Serial engine
+  /// only: the parallel path is skipped for the run (the order log owns
+  /// the provenance fields there). Off by default; the default path is
+  /// bit-identical with this off.
+  obs::CriticalPathReport* critical_path = nullptr;
 };
 
 /// Run `fn` on `nranks` simulated ranks of `machine`. Deterministic:

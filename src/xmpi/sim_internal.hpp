@@ -44,9 +44,11 @@ struct Envelope {
 class EnvelopePool {
  public:
   Envelope* acquire() {
+    ++acquires_;
     if (Envelope* env = free_head_) {
       free_head_ = env->next;
       env->next = nullptr;
+      --free_count_;
       return env;
     }
     owned_.push_back(std::make_unique<Envelope>());
@@ -57,10 +59,19 @@ class EnvelopePool {
     env->payload.clear();  // keeps capacity for the next reuse
     env->next = free_head_;
     free_head_ = env;
+    ++free_count_;
   }
+
+  // Occupancy counters for the obs registry (single-threaded per pool,
+  // like the pool itself).
+  std::uint64_t acquires() const { return acquires_; }
+  std::uint64_t allocs() const { return owned_.size(); }
+  std::uint64_t free_count() const { return free_count_; }
 
  private:
   Envelope* free_head_ = nullptr;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t free_count_ = 0;
   std::vector<std::unique_ptr<Envelope>> owned_;  // for destruction only
 };
 

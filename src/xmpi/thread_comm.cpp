@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace.hpp"
 
 namespace hpcx::xmpi {
@@ -127,6 +128,13 @@ struct World {
   std::chrono::steady_clock::time_point epoch;
   std::atomic<bool> aborted{false};
   std::atomic<int> failed_rank{-1};
+
+  // Transport totals for the obs registry, folded in once per rank when
+  // its comm goes out of scope (never touched on the send hot path).
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> eager_sends{0};
+  std::atomic<std::uint64_t> rendezvous_sends{0};
 };
 
 // Spin-wait convention (wait_posted / finish_send): on an oversubscribed
@@ -197,6 +205,16 @@ class ThreadComm final : public Comm {
  public:
   ThreadComm(World& world, int rank) : world_(&world), rank_(rank) {
     set_peer_limit(world.nranks);
+  }
+
+  ~ThreadComm() override {
+    // Fold this rank's plain tallies into the world totals — exception
+    // exits included, so an aborted run still reports what it moved.
+    world_->sends.fetch_add(sends_, memory_order_relaxed);
+    world_->bytes_sent.fetch_add(bytes_sent_, memory_order_relaxed);
+    world_->eager_sends.fetch_add(eager_sends_, memory_order_relaxed);
+    world_->rendezvous_sends.fetch_add(rendezvous_sends_,
+                                       memory_order_relaxed);
   }
 
   int rank() const override { return rank_; }
@@ -290,6 +308,13 @@ class ThreadComm final : public Comm {
     if (w.aborted.load(memory_order_acquire)) throw_peer_failed(w);
     Channel& ch = w.channel(rank_, dst);
     const std::size_t bytes = buf.bytes();
+
+    ++sends_;
+    bytes_sent_ += bytes;
+    if (bytes <= w.tuning.eager_max_bytes || buf.phantom())
+      ++eager_sends_;
+    else
+      ++rendezvous_sends_;
 
     if (trace::RankTrace* t = trace()) {
       trace::Counters& c = t->counters();
@@ -527,6 +552,12 @@ class ThreadComm final : public Comm {
 
   World* world_;
   int rank_;
+  // Per-rank transport tallies; plain integers because only the owning
+  // thread writes (see ~ThreadComm for the fold).
+  std::uint64_t sends_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t eager_sends_ = 0;
+  std::uint64_t rendezvous_sends_ = 0;
 };
 
 }  // namespace
@@ -570,6 +601,25 @@ ThreadRunResult run_on_threads(int nranks, const RankFn& fn,
   result.elapsed_s = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+  {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.counter("hpcx_threads_runs_total",
+                        "real-thread transport runs completed"),
+            1);
+    reg.add(reg.counter("hpcx_threads_sends_total",
+                        "messages sent over the shared-memory transport"),
+            world.sends.load(memory_order_relaxed));
+    reg.add(reg.counter("hpcx_threads_bytes_sent_total",
+                        "payload bytes sent over the shared-memory "
+                        "transport"),
+            world.bytes_sent.load(memory_order_relaxed));
+    reg.add(reg.counter("hpcx_threads_eager_sends_total",
+                        "sends that took the eager (staged-copy) path"),
+            world.eager_sends.load(memory_order_relaxed));
+    reg.add(reg.counter("hpcx_threads_rendezvous_sends_total",
+                        "sends that took the rendezvous protocol"),
+            world.rendezvous_sends.load(memory_order_relaxed));
+  }
   return result;
 }
 

@@ -1,0 +1,374 @@
+// Observability tests: metrics-registry semantics (shard-fold
+// exactness under concurrent writers, histogram bucket boundaries,
+// registration idempotence), the critical-path profiler's tiling and
+// path-length == makespan contract, the per-LP engine statistics the
+// parallel backend reports, and — most importantly — that leaving
+// --critical-path off keeps the makespans of all five paper machines
+// bit-identical to the default path (the profiler must be a pure
+// observer).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+#include "machine/registry.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/registry.hpp"
+#include "trace/trace.hpp"
+#include "xmpi/sim_comm.hpp"
+#include "xmpi/thread_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, RegistrationIsIdempotentAndKindChecked) {
+  obs::Registry reg;
+  const obs::MetricId a = reg.counter("requests_total", "help");
+  const obs::MetricId b = reg.counter("requests_total");
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(reg.gauge("requests_total"), Error);
+  EXPECT_THROW(reg.histogram("requests_total"), Error);
+  EXPECT_EQ(reg.num_metrics(), 1u);
+}
+
+TEST(Registry, CountersGaugesHistogramsFold) {
+  obs::Registry reg;
+  const obs::MetricId c = reg.counter("c");
+  const obs::MetricId g = reg.gauge("g");
+  const obs::MetricId h = reg.histogram("h");
+  reg.add(c, 3);
+  reg.add(c);
+  reg.set(g, 1.5);
+  reg.gauge_add(g, -0.5);
+  reg.observe(h, 0);
+  reg.observe(h, 7);
+  reg.observe(h, 8);
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.find("c")->count, 4u);
+  EXPECT_DOUBLE_EQ(snap.find("g")->gauge, 1.0);
+  const obs::MetricValue* hist = snap.find("h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->sum, 15u);
+  EXPECT_EQ(hist->buckets[obs::hist_bucket(0)], 1u);
+  EXPECT_EQ(hist->buckets[obs::hist_bucket(7)], 1u);
+  EXPECT_EQ(hist->buckets[obs::hist_bucket(8)], 1u);
+}
+
+// Shard-fold exactness: concurrent writers on their own shards must
+// fold to the exact total once they have joined. Labelled tsan via the
+// test binary: this is the registry's lock-free hot path.
+TEST(Registry, ConcurrentIncrementsFoldExactly) {
+  obs::Registry reg;
+  const obs::MetricId c = reg.counter("hits_total");
+  const obs::MetricId h = reg.histogram("sizes");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&reg, c, h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        reg.add(c);
+        reg.observe(h, static_cast<std::uint64_t>(t));
+      }
+    });
+  for (std::thread& t : pool) t.join();
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("hits_total")->count, kThreads * kPerThread);
+  const obs::MetricValue* hist = snap.find("sizes");
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t)
+    expected_sum += static_cast<std::uint64_t>(t) * kPerThread;
+  EXPECT_EQ(hist->sum, expected_sum);
+}
+
+// Late registration must not lose earlier counts: the owning thread's
+// shard is retired (kept for folding) when the slot space outgrows it.
+TEST(Registry, ShardGrowthKeepsCounts) {
+  obs::Registry reg;
+  const obs::MetricId first = reg.counter("m0");
+  reg.add(first, 41);
+  // Outgrow the initial 256-slot shard with histogram registrations
+  // (66 slots each), then bump the first counter from the same thread.
+  std::vector<obs::MetricId> hists;
+  for (int i = 0; i < 8; ++i)
+    hists.push_back(reg.histogram("h" + std::to_string(i)));
+  reg.observe(hists.back(), 1024);
+  reg.add(first, 1);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("m0")->count, 42u);
+  EXPECT_EQ(snap.find("h7")->count, 1u);
+  EXPECT_EQ(snap.find("h7")->sum, 1024u);
+}
+
+// Bucket boundaries: class 0 is the value 0; class k >= 1 covers
+// [2^(k-1), 2^k) — so each power of two starts a new class.
+TEST(Registry, HistogramBucketBoundariesAtPowersOfTwo) {
+  EXPECT_EQ(obs::hist_bucket(0), 0u);
+  EXPECT_EQ(obs::hist_bucket(1), 1u);
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t lo = std::uint64_t{1} << (k - 1);
+    EXPECT_EQ(obs::hist_bucket(lo), k) << "lower edge of class " << k;
+    EXPECT_EQ(obs::hist_bucket(lo + (lo >> 1)), k) << "inside class " << k;
+    const std::uint64_t hi = (std::uint64_t{1} << k) - 1;
+    EXPECT_EQ(obs::hist_bucket(hi), k) << "upper edge of class " << k;
+    if (k < 63) {
+      EXPECT_EQ(obs::hist_bucket(std::uint64_t{1} << k), k + 1)
+          << "next power of two leaves class " << k;
+    }
+  }
+  EXPECT_EQ(obs::hist_bucket(~std::uint64_t{0}), obs::kHistBuckets - 1);
+  EXPECT_EQ(obs::hist_bucket_label(0), "0");
+  EXPECT_EQ(obs::hist_bucket_label(1), "1");
+  EXPECT_EQ(obs::hist_bucket_label(3), "4");
+  EXPECT_EQ(obs::hist_bucket_label(obs::kHistBuckets - 1), ">=2^63");
+}
+
+TEST(Registry, ScrapeFormatsCarrySchema) {
+  obs::Registry reg;
+  reg.add(reg.counter("a_total"), 2);
+  reg.set(reg.gauge("level"), 0.25);
+  const obs::Snapshot snap = reg.snapshot();
+  std::ostringstream text;
+  snap.write_text(text);
+  EXPECT_NE(text.str().find("# hpcx-obs/1"), std::string::npos);
+  EXPECT_NE(text.str().find("counter a_total 2"), std::string::npos);
+  std::ostringstream json;
+  snap.write_json(json, "\"tool\":\"test\"");
+  EXPECT_NE(json.str().find("\"schema\":\"hpcx-obs/1\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"tool\":\"test\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+
+// The engine-determinism workload (32 ranks: allreduce -> barrier ->
+// alltoall), small enough to run on every paper machine twice.
+xmpi::SimRunResult run_workload(const mach::MachineConfig& machine,
+                                xmpi::SimRunOptions options = {}) {
+  constexpr int kRanks = 32;
+  return xmpi::run_on_machine(
+      machine, kRanks,
+      [](xmpi::Comm& c) {
+        c.allreduce(xmpi::phantom_cbuf(16384, xmpi::DType::kF64),
+                    xmpi::phantom_mbuf(16384, xmpi::DType::kF64),
+                    xmpi::ROp::kSum);
+        c.barrier();
+        c.alltoall(xmpi::phantom_cbuf(32 * 256, xmpi::DType::kByte),
+                   xmpi::phantom_mbuf(32 * 256, xmpi::DType::kByte));
+      },
+      options);
+}
+
+// The profiler must be a pure observer: with --critical-path OFF the
+// makespan is the engine-determinism golden; with it ON the schedule is
+// identical, so the makespan must not move by a single ulp on any of
+// the five paper machines.
+TEST(CriticalPath, OffPathMakespansBitIdenticalOnAllPaperMachines) {
+  const mach::MachineConfig machines[] = {
+      mach::altix_bx2(), mach::cray_x1_msp(), mach::cray_opteron(),
+      mach::dell_xeon(), mach::nec_sx8()};
+  for (const mach::MachineConfig& m : machines) {
+    const xmpi::SimRunResult off = run_workload(m);
+    obs::CriticalPathReport report;
+    xmpi::SimRunOptions options;
+    options.critical_path = &report;
+    const xmpi::SimRunResult on = run_workload(m, options);
+    EXPECT_EQ(bits_of(off.makespan_s), bits_of(on.makespan_s)) << m.name;
+    EXPECT_TRUE(report.ok) << m.name << ": " << report.error;
+  }
+}
+
+TEST(CriticalPath, PathLengthEqualsMakespanToTheUlp) {
+  obs::CriticalPathReport report;
+  xmpi::SimRunOptions options;
+  options.critical_path = &report;
+  const xmpi::SimRunResult run = run_workload(mach::dell_xeon(), options);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(bits_of(report.makespan_s), bits_of(run.makespan_s));
+  EXPECT_EQ(bits_of(report.total_s), bits_of(report.makespan_s));
+}
+
+TEST(CriticalPath, SegmentsTileTheTimelineAndGroupsRank) {
+  obs::CriticalPathReport report;
+  xmpi::SimRunOptions options;
+  options.critical_path = &report;
+  run_workload(mach::dell_xeon(), options);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_FALSE(report.segments.empty());
+  EXPECT_DOUBLE_EQ(report.segments.front().t0, 0.0);
+  for (std::size_t i = 1; i < report.segments.size(); ++i) {
+    EXPECT_EQ(bits_of(report.segments[i - 1].t1),
+              bits_of(report.segments[i].t0))
+        << "gap before segment " << i;
+    EXPECT_LE(report.segments[i].t0, report.segments[i].t1);
+  }
+  ASSERT_FALSE(report.groups.empty());
+  for (std::size_t i = 1; i < report.groups.size(); ++i)
+    EXPECT_GE(report.groups[i - 1].seconds, report.groups[i].seconds);
+  EXPECT_EQ(report.path_events, report.segments.size());
+  EXPECT_LE(report.path_events, report.events);
+  // Rendering must not throw and must name the makespan.
+  const Table t = report.table();
+  EXPECT_GT(t.rows(), 0u);
+  const std::string json = report.json_fragment();
+  EXPECT_NE(json.find("\"critical_path\":{\"ok\":true"), std::string::npos);
+  EXPECT_EQ(report.overlay.size(), report.segments.size());
+}
+
+// With a recorder attached the path is additionally attributed to
+// collective phases, and those cover the whole path for this workload
+// (every rank is always inside a collective).
+TEST(CriticalPath, PhaseAttributionCoversCollectives) {
+  trace::Recorder recorder(32);
+  obs::CriticalPathReport report;
+  xmpi::SimRunOptions options;
+  options.recorder = &recorder;
+  options.critical_path = &report;
+  run_workload(mach::dell_xeon(), options);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_FALSE(report.phases.empty());
+  bool saw_collective = false;
+  for (const obs::CriticalPathGroup& p : report.phases)
+    if (p.actor != "outside-collective") saw_collective = true;
+  EXPECT_TRUE(saw_collective);
+}
+
+// ---------------------------------------------------------------------------
+// Engine stats / registry wiring
+
+TEST(EngineStats, ParallelRunReportsPerLpTable) {
+  trace::Recorder recorder(32);
+  xmpi::SimRunOptions options;
+  options.recorder = &recorder;
+  options.sim_workers = 2;
+  run_workload(mach::dell_xeon(), options);
+  const trace::EngineStats& es = recorder.engine_stats();
+  ASSERT_TRUE(es.present());
+  EXPECT_EQ(es.workers, 2);
+  EXPECT_GT(es.windows, 0u);
+  EXPECT_FALSE(es.lps.empty());
+  std::uint64_t events = 0;
+  int ranks = 0;
+  for (const trace::LpStats& lp : es.lps) {
+    events += lp.events;
+    ranks += lp.ranks;
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(ranks, 32);
+  EXPECT_EQ(es.lookahead_limited + es.work_limited, es.windows);
+  const Table t = recorder.lp_table();
+  EXPECT_GT(t.rows(), static_cast<std::size_t>(es.lps.size()) - 1);
+}
+
+TEST(EngineStats, SerialRunHasNoLpWindows) {
+  trace::Recorder recorder(32);
+  xmpi::SimRunOptions options;
+  options.recorder = &recorder;
+  run_workload(mach::dell_xeon(), options);
+  EXPECT_FALSE(recorder.engine_stats().present());
+}
+
+TEST(EngineStats, MergeFoldsAcrossRecorders) {
+  trace::EngineStats a;
+  a.workers = 2;
+  a.windows = 10;
+  a.lookahead_limited = 4;
+  a.work_limited = 6;
+  a.lps.resize(2);
+  a.lps[0].windows = 10;
+  a.lps[0].events = 100;
+  a.lps[0].ranks = 16;
+  trace::EngineStats b;
+  b.workers = 4;
+  b.windows = 5;
+  b.lookahead_limited = 5;
+  b.lps.resize(1);
+  b.lps[0].windows = 5;
+  b.lps[0].events = 50;
+  b.lps[0].ranks = 16;
+  a.merge(b);
+  EXPECT_EQ(a.workers, 4);
+  EXPECT_EQ(a.windows, 15u);
+  EXPECT_EQ(a.lookahead_limited, 9u);
+  EXPECT_EQ(a.lps.size(), 2u);
+  EXPECT_EQ(a.lps[0].events, 150u);
+  EXPECT_EQ(a.lps[0].ranks, 16);
+}
+
+TEST(GlobalRegistry, SimulatedRunsReportEngineCounters) {
+  obs::Registry& reg = obs::Registry::global();
+  const obs::Snapshot before = reg.snapshot();
+  const obs::MetricValue* runs0 = before.find("hpcx_sim_runs_total");
+  const std::uint64_t runs_before = runs0 != nullptr ? runs0->count : 0;
+  run_workload(mach::dell_xeon());
+  const obs::Snapshot after = reg.snapshot();
+  const obs::MetricValue* runs = after.find("hpcx_sim_runs_total");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(runs->count, runs_before + 1);
+  const obs::MetricValue* events = after.find("hpcx_sim_events_total");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->count, 0u);
+  EXPECT_NE(after.find("hpcx_envelope_pool_allocs_total"), nullptr);
+  EXPECT_NE(after.find("hpcx_fiber_stack_pool_free"), nullptr);
+}
+
+TEST(GlobalRegistry, ThreadRunsReportTransportCounters) {
+  obs::Registry& reg = obs::Registry::global();
+  const auto count = [](const obs::Snapshot& s, const char* name) {
+    const obs::MetricValue* m = s.find(name);
+    return m != nullptr ? m->count : std::uint64_t{0};
+  };
+  const obs::Snapshot before = reg.snapshot();
+  xmpi::run_on_threads(4, [](xmpi::Comm& c) {
+    c.allreduce(xmpi::phantom_cbuf(1024, xmpi::DType::kF64),
+                xmpi::phantom_mbuf(1024, xmpi::DType::kF64), xmpi::ROp::kSum);
+    c.barrier();
+  });
+  const obs::Snapshot after = reg.snapshot();
+  EXPECT_EQ(count(after, "hpcx_threads_runs_total"),
+            count(before, "hpcx_threads_runs_total") + 1);
+  EXPECT_GT(count(after, "hpcx_threads_sends_total"),
+            count(before, "hpcx_threads_sends_total"));
+  EXPECT_GT(count(after, "hpcx_threads_bytes_sent_total"),
+            count(before, "hpcx_threads_bytes_sent_total"));
+  EXPECT_GT(count(after, "hpcx_threads_eager_sends_total"),
+            count(before, "hpcx_threads_eager_sends_total"));
+}
+
+TEST(GlobalRegistry, ParallelRunsReportPdesCounters) {
+  obs::Registry& reg = obs::Registry::global();
+  const obs::Snapshot before = reg.snapshot();
+  const obs::MetricValue* runs0 = before.find("hpcx_pdes_runs_total");
+  const std::uint64_t runs_before = runs0 != nullptr ? runs0->count : 0;
+  xmpi::SimRunOptions options;
+  options.sim_workers = 2;
+  run_workload(mach::dell_xeon(), options);
+  const obs::Snapshot after = reg.snapshot();
+  const obs::MetricValue* runs = after.find("hpcx_pdes_runs_total");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(runs->count, runs_before + 1);
+  const obs::MetricValue* windows = after.find("hpcx_pdes_windows_total");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_GT(windows->count, 0u);
+}
+
+}  // namespace
+}  // namespace hpcx

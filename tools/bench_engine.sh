@@ -7,6 +7,17 @@
 #   BENCH_pdes.json   — parallel-engine scaling + 64Ki agreement check
 set -e
 BUILD="${1:-build}"
+
+missing=0
+for target in bench/bench_des bench/bench_pdes; do
+  if [ ! -x "$BUILD/$target" ]; then
+    echo "bench_engine.sh: missing benchmark binary $BUILD/$target" \
+         "(build the '$(basename "$target")' target first)" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
 "$BUILD/bench/bench_des" --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_engine.json --benchmark_out_format=json
 "$BUILD/bench/bench_pdes" --benchmark_min_time=0.05 \

@@ -26,6 +26,10 @@
 #include "machine/future.hpp"
 #include "machine/registry.hpp"
 #include "metrics/run_record.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+#include "report/series.hpp"
 #include "report/sweep.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
@@ -85,7 +89,16 @@ void usage() {
       "                           (diff two records with hpcx_compare)\n"
       "  --stats                  print per-rank traffic counters, the send\n"
       "                           size-class histogram and the busiest\n"
-      "                           links after the run\n");
+      "                           links after the run (with --sim-workers\n"
+      "                           also the per-LP engine table)\n"
+      "  --obs-out <file>         write the process-wide metrics registry\n"
+      "                           as hpcx-obs/1 JSON on exit\n"
+      "  --progress               print a ~1 Hz heartbeat line to stderr\n"
+      "                           while the sweep runs\n"
+      "  --critical-path          profile the simulated-time critical path\n"
+      "                           of one representative run and print the\n"
+      "                           ranked table (imb suite, needs\n"
+      "                           --benchmark; off by default)\n");
 }
 
 std::vector<mach::MachineConfig> every_machine() {
@@ -137,6 +150,9 @@ struct ImbCliOptions {
   int jobs = 1;            ///< sweep executor workers (simulated runs)
   int sim_workers = 1;     ///< parallel-DES workers (simulated runs)
   std::string cache_path;  ///< persistent sweep cache (simulated runs)
+  std::string obs_path;    ///< --obs-out hpcx-obs/1 registry scrape
+  bool progress = false;       ///< stderr heartbeat while the sweep runs
+  bool critical_path = false;  ///< profile one representative run's path
   bool stats = false;
   xmpi::TransportTuning transport;  ///< --threads runs only
 };
@@ -217,6 +233,37 @@ void print_stats(const trace::Recorder& recorder) {
   if (algs.rows() > 0) algs.print(std::cout);
   if (!recorder.link_tracks().empty())
     recorder.link_table().print(std::cout);
+  if (recorder.engine_stats().present())
+    recorder.lp_table().print(std::cout);
+}
+
+/// Write the global metrics registry as hpcx-obs/1 JSON. `cp` (may be
+/// null) embeds the critical-path analysis; `makespan_s` (may be null)
+/// records the representative run's makespan for cross-checking.
+int write_obs(const std::string& path, const obs::CriticalPathReport* cp,
+              const double* makespan_s) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open obs file: %s\n", path.c_str());
+    return 1;
+  }
+  std::string extra;
+  if (makespan_s != nullptr) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "\"makespan_s\":%.17g,", *makespan_s);
+    extra += buf;
+  }
+  if (cp != nullptr) extra += cp->json_fragment() + ",";
+  extra += "\"tool\":\"hpcx_cli\"";
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  snap.write_json(out, extra);
+  if (!out) {
+    std::fprintf(stderr, "failed writing obs file: %s\n", path.c_str());
+    return 1;
+  }
+  std::cout << "obs registry written to " << path << " ("
+            << snap.metrics.size() << " metrics)\n";
+  return 0;
 }
 
 /// Simulated IMB suite, routed through the sweep executor: every
@@ -341,6 +388,30 @@ int run_imb_sim(const mach::MachineConfig& machine, int cpus,
     trace::write_chrome_trace(out, *event_source);
     std::cout << "trace written to " << opts.trace_path << "\n";
   }
+  // --critical-path: one representative re-run of the selected benchmark
+  // with predecessor recording on (serial engine; the sweep results
+  // above are untouched, so they stay bit-identical to a run without
+  // this flag).
+  std::optional<obs::CriticalPathReport> cp;
+  double cp_makespan = 0.0;
+  if (opts.critical_path) {
+    report::MeasureOptions measure;
+    measure.repetitions = 1;
+    cp.emplace();
+    measure.critical_path = &*cp;
+    measure.makespan_s = &cp_makespan;
+    report::measure_imb(machine, cpus, *opts.only,
+                        *opts.only == imb::BenchmarkId::kBarrier
+                            ? 0
+                            : opts.msg_bytes,
+                        measure);
+    cp->table().print(std::cout);
+  }
+  if (!opts.obs_path.empty()) {
+    const int rc = write_obs(opts.obs_path, cp ? &*cp : nullptr,
+                             opts.critical_path ? &cp_makespan : nullptr);
+    if (rc != 0) return rc;
+  }
   if (record) {
     record->set_rank_buckets(recorder);
     if (cache)
@@ -423,6 +494,10 @@ int run_imb_threads(int cpus, const ImbCliOptions& opts) {
     trace::write_chrome_trace(out, *recorder);
     std::cout << "trace written to " << opts.trace_path << "\n";
   }
+  if (!opts.obs_path.empty()) {
+    const int rc = write_obs(opts.obs_path, nullptr, nullptr);
+    if (rc != 0) return rc;
+  }
   if (record) {
     if (recorder) record->set_rank_buckets(*recorder);
     return write_record(*record, opts.metrics_path);
@@ -463,6 +538,10 @@ int run_hpcc(const std::optional<mach::MachineConfig>& machine, int cpus,
   t.add_row({"RandomRing latency", format_time(r.ring_latency_s)});
   t.print(std::cout);
   if (opts.stats && recorder) print_stats(*recorder);
+  if (!opts.obs_path.empty()) {
+    const int rc = write_obs(opts.obs_path, nullptr, nullptr);
+    if (rc != 0) return rc;
+  }
   if (wants_metrics) {
     metrics::RunRecord record = make_record(opts, machine, cpus);
     metrics::add_hpcc_metrics(record, r);
@@ -540,6 +619,12 @@ int main(int argc, char** argv) {
       imb_options.metrics_path = next();
     } else if (arg == "--stats") {
       imb_options.stats = true;
+    } else if (arg == "--obs-out") {
+      imb_options.obs_path = next();
+    } else if (arg == "--progress") {
+      imb_options.progress = true;
+    } else if (arg == "--critical-path") {
+      imb_options.critical_path = true;
     } else if (arg == "--jobs") {
       imb_options.jobs =
           static_cast<int>(parse_cli_int("--jobs", next(), 1, 1 << 20));
@@ -570,7 +655,16 @@ int main(int argc, char** argv) {
                  "--threads execution has no event engine to parallelize\n");
     return 2;
   }
+  if (imb_options.critical_path &&
+      (real_threads || suite != "imb" || benchmark.empty())) {
+    std::fprintf(stderr,
+                 "--critical-path profiles one simulated IMB run: it needs "
+                 "--machine (not --threads), --suite imb and --benchmark\n");
+    return 2;
+  }
   try {
+    std::optional<hpcx::obs::ProgressHeartbeat> heartbeat;
+    if (imb_options.progress) heartbeat.emplace();
     if (!imb_options.tuning_path.empty()) {
       // Every comm built from here on consults the table under kAuto.
       hpcx::xmpi::tuner::set_default_table(

@@ -1,10 +1,16 @@
 // hpcx_compare — diff two run records written with --metrics-out, or
 // two hpcx-tuning/1 tables written by hpcx_tune (the schema field of
-// the first file decides which mode runs).
+// the first file decides which mode runs). Google-benchmark JSON
+// (`bench_* --benchmark_format=json`) is also accepted on either side:
+// it has no schema field but a "benchmarks" array, and is converted to
+// a run record on load (mean of the repetitions as the value, the cv
+// aggregate as the noise floor), so CI can gate bench output against a
+// stored baseline with the same threshold machinery.
 //
 //   hpcx_compare baseline.json candidate.json        # exit 1 on regression
 //   hpcx_compare baseline.json candidate.json --threshold 0.10
 //   hpcx_compare old.tuning.json new.tuning.json     # tuning-table diff
+//   hpcx_compare BENCH_engine.json fresh_bench.json  # google-benchmark diff
 //   hpcx_compare --perturb 1.10 in.json out.json     # synthesise a known
 //                                                    # regression (testing)
 //
@@ -15,6 +21,7 @@
 // cell by cell (src/xmpi/tuner/tuning_table.hpp): algorithm changes are
 // reported, time regressions beyond the same threshold/CoV tolerance
 // fail the comparison.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +29,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/json.hpp"
 #include "core/table.hpp"
 #include "metrics/compare.hpp"
@@ -78,6 +87,98 @@ std::string sniff_schema(const std::string& path) {
   JsonValue root;
   if (!json_parse(buf.str(), root) || !root.is_object()) return "";
   return root.string_or("schema", "");
+}
+
+/// Google-benchmark JSON: no "schema" field, but a "benchmarks" array.
+bool is_benchmark_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  JsonValue root;
+  if (!json_parse(buf.str(), root) || !root.is_object()) return false;
+  if (!root.string_or("schema", "").empty()) return false;
+  const JsonValue* benchmarks = root.find("benchmarks");
+  return benchmarks != nullptr && benchmarks->is_array();
+}
+
+/// Convert google-benchmark JSON to a run record: one metric per
+/// benchmark (its run_name), real_time in the benchmark's time unit.
+/// With --benchmark_repetitions the iteration entries supply
+/// repeats/min/max and the "cv" aggregate the CoV, so the comparison's
+/// noise floor reflects the measured spread; without repetitions each
+/// benchmark is a single sample.
+metrics::RunRecord load_benchmark_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  JsonValue root;
+  std::string error;
+  if (!json_parse(buf.str(), root, &error))
+    throw Error(path + ": " + error);
+
+  metrics::RunRecord rec;
+  rec.tool = "google-benchmark";
+  rec.machine = "host";
+  if (const JsonValue* context = root.find("context"))
+    rec.env.host = context->string_or("host_name", "");
+
+  struct Samples {
+    std::vector<double> iterations;  ///< real_time per repetition
+    std::string unit;
+    double mean = -1.0;  ///< "mean" aggregate, when present
+    double cv = 0.0;     ///< "cv" aggregate (stddev/mean fraction)
+  };
+  std::vector<std::pair<std::string, Samples>> order;  // first-seen order
+  auto slot = [&order](const std::string& name) -> Samples& {
+    for (auto& [n, s] : order)
+      if (n == name) return s;
+    order.emplace_back(name, Samples{});
+    return order.back().second;
+  };
+
+  const JsonValue* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array())
+    throw Error(path + ": missing benchmarks array");
+  for (const JsonValue& b : benchmarks->as_array()) {
+    const std::string run_name =
+        b.string_or("run_name", b.string_or("name", ""));
+    if (run_name.empty()) continue;
+    Samples& s = slot(run_name);
+    if (s.unit.empty()) s.unit = b.string_or("time_unit", "ns");
+    const std::string run_type = b.string_or("run_type", "iteration");
+    const double real_time = b.number_or("real_time", 0.0);
+    if (run_type == "aggregate") {
+      const std::string agg = b.string_or("aggregate_name", "");
+      if (agg == "mean") s.mean = real_time;
+      // The cv row is unitless (a fraction) regardless of time_unit.
+      if (agg == "cv") s.cv = real_time;
+    } else {
+      s.iterations.push_back(real_time);
+    }
+  }
+
+  for (const auto& [name, s] : order) {
+    double value = s.mean;
+    if (value < 0.0) {
+      if (s.iterations.empty()) continue;
+      value = 0.0;
+      for (const double t : s.iterations) value += t;
+      value /= static_cast<double>(s.iterations.size());
+    }
+    metrics::Metric& m = rec.add_metric(name + "/real_time", value, s.unit,
+                                        metrics::Better::kLower);
+    if (!s.iterations.empty()) {
+      m.repeats = s.iterations.size();
+      m.min = *std::min_element(s.iterations.begin(), s.iterations.end());
+      m.max = *std::max_element(s.iterations.begin(), s.iterations.end());
+    }
+    m.cov = s.cv;
+  }
+  if (rec.metrics.empty())
+    throw Error(path + ": no usable benchmark entries");
+  return rec;
 }
 
 int compare_tuning(const std::string& baseline_path,
@@ -160,8 +261,12 @@ int main(int argc, char** argv) {
   try {
     if (sniff_schema(paths[0]) == "hpcx-tuning/1")
       return compare_tuning(paths[0], paths[1], options, quiet);
-    const metrics::RunRecord baseline = metrics::RunRecord::load(paths[0]);
-    const metrics::RunRecord candidate = metrics::RunRecord::load(paths[1]);
+    auto load_record = [](const std::string& path) {
+      return is_benchmark_json(path) ? load_benchmark_json(path)
+                                     : metrics::RunRecord::load(path);
+    };
+    const metrics::RunRecord baseline = load_record(paths[0]);
+    const metrics::RunRecord candidate = load_record(paths[1]);
     const metrics::CompareResult result =
         metrics::compare(baseline, candidate, options);
     if (quiet) {

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <ctime>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -31,6 +32,8 @@
 #include "core/parse_num.hpp"
 #include "core/table.hpp"
 #include "machine/registry.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
 #include "report/sweep.hpp"
 #include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
@@ -66,6 +69,10 @@ void usage() {
       "  --cache <file>        reuse per-algorithm timings from this\n"
       "                        sweep-cache JSON store across runs\n"
       "  --out <file>          write the hpcx-tuning/1 JSON table\n"
+      "  --obs-out <file>      write the process-wide metrics registry as\n"
+      "                        hpcx-obs/1 JSON on exit\n"
+      "  --progress            print a ~1 Hz heartbeat line to stderr\n"
+      "                        while the tuning sweep runs\n"
       "  --verify <file>       load a table, replay the tuned collectives\n"
       "                        and check the dispatch counters (exit 1 on\n"
       "                        any tuned choice that did not run)\n");
@@ -286,6 +293,8 @@ int main(int argc, char** argv) {
   bool threads = false;
   int jobs = 1;
   std::string cache_path;
+  std::string obs_path;
+  bool progress = false;
   TuneOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -332,6 +341,10 @@ int main(int argc, char** argv) {
       cache_path = next();
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--obs-out") {
+      obs_path = next();
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--verify") {
       verify_path = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -351,7 +364,28 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    if (!verify_path.empty()) return verify_table(verify_path, cpus);
+    std::optional<obs::ProgressHeartbeat> heartbeat;
+    if (progress) heartbeat.emplace();
+    // Scrape the global registry on the way out (tuning sweeps report
+    // through the same hpcx_sweep_* metrics as the figure harnesses).
+    auto write_obs = [&obs_path]() -> int {
+      if (obs_path.empty()) return 0;
+      std::ofstream out(obs_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open obs file: %s\n", obs_path.c_str());
+        return 1;
+      }
+      const obs::Snapshot snap = obs::Registry::global().snapshot();
+      snap.write_json(out, "\"tool\":\"hpcx_tune\"");
+      std::cout << "obs registry written to " << obs_path << " ("
+                << snap.metrics.size() << " metrics)\n";
+      return 0;
+    };
+    if (!verify_path.empty()) {
+      const int rc = verify_table(verify_path, cpus);
+      const int obs_rc = write_obs();
+      return rc != 0 ? rc : obs_rc;
+    }
     const int nranks = cpus > 0 ? cpus : 32;
     TuningTable table;
     if (threads) {
@@ -380,7 +414,7 @@ int main(int argc, char** argv) {
       std::cout << "tuning table written to " << out_path << " ("
                 << table.cells().size() << " cells)\n";
     }
-    return 0;
+    return write_obs();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

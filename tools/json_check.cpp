@@ -1,29 +1,99 @@
 // json_check <file> — exit 0 when the file is well-formed JSON, 1 with a
 // diagnostic otherwise. Used by the ctest case that validates the trace
 // files hpcx_cli emits.
+//
+// json_check --obs <file> — additionally require an hpcx-obs/1 registry
+// scrape: the schema marker, a metrics array, and (when a critical-path
+// section is embedded) that the analysis succeeded and its path length
+// equals the reported makespan *bit-exactly* (both doubles are written
+// as %.17g, so == after a parse round-trip is an exact comparison).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "core/json.hpp"
 #include "core/jsonlint.hpp"
 
+namespace {
+
+int fail(const char* path, const std::string& what) {
+  std::fprintf(stderr, "json_check: %s: %s\n", path, what.c_str());
+  return 1;
+}
+
+int check_obs(const char* path, const std::string& text) {
+  hpcx::JsonValue doc;
+  std::string error;
+  if (!hpcx::json_parse(text, doc, &error)) return fail(path, error);
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "hpcx-obs/1")
+    return fail(path, "expected schema hpcx-obs/1, got \"" + schema + "\"");
+  const hpcx::JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array())
+    return fail(path, "missing metrics array");
+
+  if (const hpcx::JsonValue* cp = doc.find("critical_path")) {
+    const hpcx::JsonValue* ok = cp->find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool())
+      return fail(path, "critical_path.ok is not true: " +
+                            cp->string_or("error", "(no error message)"));
+    const hpcx::JsonValue* total = cp->find("total_s");
+    const hpcx::JsonValue* makespan = cp->find("makespan_s");
+    if (total == nullptr || !total->is_number() || makespan == nullptr ||
+        !makespan->is_number())
+      return fail(path, "critical_path lacks total_s/makespan_s numbers");
+    if (total->as_number() != makespan->as_number()) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "critical_path length %.17g != makespan %.17g",
+                    total->as_number(), makespan->as_number());
+      return fail(path, buf);
+    }
+    // The scrape's top-level makespan comes from the run result, the
+    // critical_path one from the event log — they must agree exactly.
+    if (const hpcx::JsonValue* top = doc.find("makespan_s");
+        top != nullptr && top->is_number() &&
+        top->as_number() != makespan->as_number()) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "critical_path makespan %.17g != run makespan %.17g",
+                    makespan->as_number(), top->as_number());
+      return fail(path, buf);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: json_check <file>\n");
+  bool obs = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--obs")
+      obs = true;
+    else if (path == nullptr)
+      path = argv[i];
+    else
+      path = "";  // too many operands; falls through to usage
+  }
+  if (path == nullptr || *path == '\0') {
+    std::fprintf(stderr, "usage: json_check [--obs] <file>\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "json_check: cannot open %s\n", path);
     return 2;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string error;
   if (!hpcx::json_well_formed(buffer.str(), &error)) {
-    std::fprintf(stderr, "json_check: %s: %s\n", argv[1], error.c_str());
+    std::fprintf(stderr, "json_check: %s: %s\n", path, error.c_str());
     return 1;
   }
-  return 0;
+  return obs ? check_obs(path, buffer.str()) : 0;
 }
