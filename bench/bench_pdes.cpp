@@ -1,43 +1,46 @@
 // Parallel-DES scaling benchmarks: the conservative multi-LP engine on
 // a fig06-shape (IMB Barrier) workload at rank counts far beyond the
-// paper's 2048-CPU ceiling. Two questions are measured:
+// paper's 2048-CPU ceiling. Three questions are measured:
 //
 //   1. scaling — wall time per simulated barrier at 4Ki/16Ki ranks as
-//      the host worker count grows (BM_PdesBarrier);
+//      the host worker count grows (BM_PdesBarrier), plus single-shot
+//      wide points at 256Ki and 1Mi ranks with 8 workers (the rank
+//      counts the segmented merge + sharded flush were built for);
 //   2. agreement — at 64Ki ranks the 8-worker makespan must be
 //      *bit-identical* to the single-worker one (BM_PdesAgreement64Ki
 //      fails the run otherwise), pinning the acceptance bar of the
 //      parallel-engine PR at benchmark scale, where the unit tests
-//      cannot afford to go.
+//      cannot afford to go;
+//   3. serial share — BM_PdesMergeWall reports the per-run flush and
+//      order-merge wall seconds at the 64Ki point as counters, so
+//      hpcx_compare diffs of BENCH_pdes.json quantify the Amdahl
+//      bottleneck directly rather than inferring it from total wall.
 //
-// The machine model is the paper's dell_xeon stretched to 512 CPUs per
-// node, so 64Ki ranks fit in a 128-node fat tree — wide nodes keep the
-// topology build cheap while the rank count stresses fibers, queues and
-// the cross-LP merge. Baseline lives in BENCH_pdes.json at the repo
-// root (regenerate with tools/bench_engine.sh).
+// The machine model is dell_xeon_wide: the paper's dell_xeon stretched
+// to 512 CPUs per node, so 64Ki ranks fit in a 128-node fat tree —
+// wide nodes keep the topology build cheap while the rank count
+// stresses fibers, queues and the cross-LP merge. Baseline lives in
+// BENCH_pdes.json at the repo root (regenerate with
+// tools/bench_engine.sh).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <cstring>
 
 #include "machine/registry.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/sim_comm.hpp"
 
 namespace {
 
-hpcx::mach::MachineConfig wide_machine() {
-  hpcx::mach::MachineConfig m = hpcx::mach::dell_xeon();
-  m.cpus_per_node = 512;
-  m.max_cpus = 1 << 20;
-  return m;
-}
-
-double simulate_barrier(int ranks, int workers) {
+double simulate_barrier(int ranks, int workers,
+                        hpcx::trace::Recorder* recorder = nullptr) {
   hpcx::xmpi::SimRunOptions options;
   options.sim_workers = workers;
+  options.recorder = recorder;
   const auto r = hpcx::xmpi::run_on_machine(
-      wide_machine(), ranks, [](hpcx::xmpi::Comm& c) { c.barrier(); },
-      options);
+      hpcx::mach::dell_xeon_wide(), ranks,
+      [](hpcx::xmpi::Comm& c) { c.barrier(); }, options);
   return r.makespan_s;
 }
 
@@ -61,6 +64,15 @@ BENCHMARK(BM_PdesBarrier)
     ->ArgsProduct({{4096, 16384}, {1, 2, 4, 8}})
     ->ArgNames({"ranks", "workers"})
     ->Unit(benchmark::kMillisecond);
+// Wide scaling points: one shot each — a 1Mi-rank barrier is minutes of
+// wall time, so the value of the baseline is the trend, not the noise
+// floor. 8 workers matches the figure-sweep operating point.
+BENCHMARK(BM_PdesBarrier)
+    ->Args({1 << 18, 8})
+    ->Args({1 << 20, 8})
+    ->ArgNames({"ranks", "workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_PdesAgreement64Ki(benchmark::State& state) {
   constexpr int kRanks = 1 << 16;
@@ -77,6 +89,28 @@ void BM_PdesAgreement64Ki(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kRanks);
 }
 BENCHMARK(BM_PdesAgreement64Ki)->Unit(benchmark::kMillisecond);
+
+// The single-threaded share of the window loop: flush wall seconds and
+// the order-merge portion, read from the engine stats of a 64Ki-rank
+// 8-worker run. These counters are the acceptance-bar numbers of the
+// segmented-merge/sharded-flush work; regressions here show up directly
+// in hpcx_compare output as counter deltas.
+void BM_PdesMergeWall(benchmark::State& state) {
+  constexpr int kRanks = 1 << 16;
+  double flush_s = 0.0, merge_s = 0.0;
+  for (auto _ : state) {
+    // One ring slot per rank: engine stats are wanted, event rings not.
+    hpcx::trace::Recorder rec(kRanks, 1);
+    benchmark::DoNotOptimize(simulate_barrier(kRanks, 8, &rec));
+    flush_s += rec.engine_stats().flush_wall_s;
+    merge_s += rec.engine_stats().merge_wall_s;
+  }
+  const auto avg = benchmark::Counter::kAvgIterations;
+  state.counters["flush_wall_s"] = benchmark::Counter(flush_s, avg);
+  state.counters["merge_wall_s"] = benchmark::Counter(merge_s, avg);
+  state.SetItemsProcessed(state.iterations() * kRanks);
+}
+BENCHMARK(BM_PdesMergeWall)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

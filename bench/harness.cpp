@@ -228,6 +228,7 @@ mach::MachineConfig Runner::machine() const {
     if (m.short_name == options_.machine) return m;
   for (auto& m : mach::future_machines())
     if (m.short_name == options_.machine) return m;
+  if (options_.machine == "dell_xeon_wide") return mach::dell_xeon_wide();
   throw ConfigError("unknown machine: " + options_.machine +
                     " (try hpcx_cli --list-machines)");
 }

@@ -1,21 +1,66 @@
 #!/bin/sh
-# Parallel-DES fixture: one real figure binary, serial vs --sim-workers 4.
-# The conservative multi-LP engine's contract is that the schedule —
-# and therefore every emitted table cell — is identical at any worker
-# count, so the two CSVs must be byte-identical. A fast operating point
-# (one machine, one CPU count) keeps this in tier-1 territory; the full
-# sweeps stay with tools/bench_engine.sh.
+# Parallel-DES fixtures, end to end through real binaries. The
+# conservative multi-LP engine's contract is that the schedule — and
+# therefore every emitted table cell — is identical at any worker
+# count, so serial and parallel CSVs must be byte-identical.
 #
-# usage: pdes_fixture.sh <figure-binary> <workdir>
+#   cmp mode: (1) the default fig06 sweep on dell_xeon, serial vs
+#       --sim-workers 4 (fast, tier-1 shaped); (2) a 16Ki-rank point on
+#       the wide PDES testbed machine, serial vs --sim-workers 8 —
+#       the scale where the segmented order merge and sharded flush
+#       actually engage (the default sweep's windows are too small).
+#   gate mode: a fresh run of the 4Ki scaling points must compare
+#       clean against the committed BENCH_pdes.json via hpcx_compare
+#       (generous threshold: the gate catches schema drift and wild
+#       regressions, not scheduler noise). Registered as a separate
+#       non-tsan test — sanitizer builds distort wall time.
+#
+# usage: pdes_fixture.sh cmp  <figure-binary> <workdir>
+#        pdes_fixture.sh gate <bench_pdes> <hpcx_compare> <baseline.json> <workdir>
 set -e
-FIG=$1
-OUT=$2
+MODE=$1
 
-rm -rf "$OUT"
-mkdir -p "$OUT"
+case "$MODE" in
+cmp)
+  FIG=$2
+  OUT=$3
+  rm -rf "$OUT"
+  mkdir -p "$OUT"
 
-"$FIG" --machine dell_xeon --csv "$OUT/serial.csv" > "$OUT/serial.txt"
-"$FIG" --machine dell_xeon --sim-workers 4 --csv "$OUT/parallel.csv" \
-    > "$OUT/parallel.txt"
-cmp "$OUT/serial.csv" "$OUT/parallel.csv"
-echo "pdes fixture: serial and --sim-workers 4 CSVs byte-identical"
+  "$FIG" --machine dell_xeon --csv "$OUT/serial.csv" > "$OUT/serial.txt"
+  "$FIG" --machine dell_xeon --sim-workers 4 --csv "$OUT/parallel.csv" \
+      > "$OUT/parallel.txt"
+  cmp "$OUT/serial.csv" "$OUT/parallel.csv"
+
+  "$FIG" --machine dell_xeon_wide --cpus 16384 --repeats 1 \
+      --csv "$OUT/serial16k.csv" > "$OUT/serial16k.txt"
+  "$FIG" --machine dell_xeon_wide --cpus 16384 --repeats 1 \
+      --sim-workers 8 --csv "$OUT/parallel16k.csv" > "$OUT/parallel16k.txt"
+  cmp "$OUT/serial16k.csv" "$OUT/parallel16k.csv"
+
+  echo "pdes fixture: serial and parallel CSVs byte-identical" \
+       "(fig06 sweep @4 workers, 16Ki point @8 workers)"
+  ;;
+gate)
+  BENCH=$2
+  COMPARE=$3
+  BASELINE=$4
+  OUT=$5
+  rm -rf "$OUT"
+  mkdir -p "$OUT"
+
+  "$BENCH" --benchmark_filter='BM_PdesBarrier/ranks:4096' \
+      --benchmark_min_time=0.05 \
+      --benchmark_out="$OUT/bench.json" --benchmark_out_format=json \
+      > "$OUT/bench.txt"
+  "$COMPARE" "$BASELINE" "$OUT/bench.json" --threshold 0.5
+
+  echo "pdes fixture: fresh 4Ki scaling points gate against BENCH_pdes.json"
+  ;;
+*)
+  echo "usage: pdes_fixture.sh cmp <figure-binary> <workdir>" >&2
+  echo "       pdes_fixture.sh gate <bench_pdes> <hpcx_compare>" \
+       "<baseline.json> <workdir>" >&2
+  exit 2
+  ;;
+esac

@@ -7,17 +7,17 @@
 namespace hpcx::des {
 
 void EventQueue::push(SimTime t, Callback cb, std::int64_t pusher,
-                      std::uint32_t ordinal) {
+                      std::uint32_t ordinal, std::uint32_t epoch) {
   HPCX_ASSERT(cb != nullptr);
   const std::uint64_t seq = next_seq_++;
   // Fast path: an event at exactly the time being popped fires after
   // everything already queued for that time (its seq is the largest), so
   // FIFO order in the bucket is heap order.
   if (bucket_active_ && t == bucket_time_) {
-    bucket_.push_back(Entry{t, seq, pusher, ordinal, std::move(cb)});
+    bucket_.push_back(Entry{t, seq, pusher, ordinal, epoch, std::move(cb)});
     return;
   }
-  heap_push(Entry{t, seq, pusher, ordinal, std::move(cb)});
+  heap_push(Entry{t, seq, pusher, ordinal, epoch, std::move(cb)});
 }
 
 SimTime EventQueue::next_time() const {
@@ -32,7 +32,8 @@ SimTime EventQueue::next_time() const {
 
 EventQueue::Callback EventQueue::pop(SimTime* time_out,
                                      std::int64_t* pusher_out,
-                                     std::uint32_t* ordinal_out) {
+                                     std::uint32_t* ordinal_out,
+                                     std::uint32_t* epoch_out) {
   HPCX_ASSERT(!empty());
   // Heap entries at bucket_time_ were pushed before the bucket opened
   // (smaller seq), so on a time tie the heap pops first.
@@ -53,6 +54,7 @@ EventQueue::Callback EventQueue::pop(SimTime* time_out,
   if (time_out) *time_out = e.time;
   if (pusher_out) *pusher_out = e.pusher;
   if (ordinal_out) *ordinal_out = e.ordinal;
+  if (epoch_out) *epoch_out = e.epoch;
   return std::move(e.cb);
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "des/callback.hpp"
@@ -27,16 +28,114 @@ namespace hpcx::des {
 /// by sequence number.
 using SimTime = double;
 
+/// Per-window global-sequence tables of one logical process (parallel
+/// engine only). Window k's merge assigns every event the LP executed a
+/// dense global sequence number; the table of those numbers, aligned
+/// with the window's order log, is the window's *epoch*. Pending events
+/// pushed during window k carry the tag (epoch k, local log index of
+/// their pusher); the event queue's tie-break comparator resolves such
+/// a tag to the pusher's true global position by table lookup — lazily,
+/// at comparison time — instead of the engine rewriting every pending
+/// entry's tag after each merge (a full-queue walk per window that
+/// dominated flush cost at scale).
+///
+/// Lifetime: a table stays alive while any pending entry references its
+/// epoch (tracked by push/pop refcounts); commit() retires leading
+/// unreferenced epochs and recycles their buffers. Only the newest
+/// epoch can be unfilled (its window merged not yet); the comparator
+/// never needs an unfilled lookup, because every resolved tag already
+/// in the queue predates that window's merge and therefore sorts first.
+class OrderEpochs {
+ public:
+  /// Forget everything and open epoch 0, unfilled.
+  void reset() {
+    tables_.clear();
+    spare_.clear();
+    tables_.emplace_back();
+    base_ = 0;
+    filled_ = false;
+  }
+
+  /// Absolute number of the open (current-window) epoch.
+  std::uint32_t current() const {
+    return base_ + static_cast<std::uint32_t>(tables_.size()) - 1;
+  }
+
+  /// True when `epoch`'s table can be read (everything but an unfilled
+  /// current window).
+  bool resolvable(std::uint32_t epoch) const {
+    return filled_ || epoch != current();
+  }
+
+  /// Global position of the pusher logged at `idx` in `epoch`'s window.
+  std::uint64_t g(std::uint32_t epoch, std::uint32_t idx) const {
+    return tables_[epoch - base_].g[idx];
+  }
+
+  /// A pending entry now references the current epoch / no longer
+  /// references `epoch` (pushes always tag the open window; pops may
+  /// release any epoch still alive).
+  void add_ref_current() { ++tables_.back().refs; }
+  void drop_ref(std::uint32_t epoch) { --tables_[epoch - base_].refs; }
+
+  bool current_filled() const { return filled_; }
+
+  /// Size the current epoch's table to `n` (the window's executed-event
+  /// count) and return it for the merge to fill. Marks the epoch
+  /// resolvable: the caller must fill all n slots before the next
+  /// event-queue operation.
+  std::uint64_t* begin_fill(std::size_t n) {
+    Table& t = tables_.back();
+    t.g.resize(n);
+    filled_ = true;
+    return t.g.data();
+  }
+
+  /// Read access to the (filled) current epoch's table.
+  const std::uint64_t* current_table() const {
+    return tables_.back().g.data();
+  }
+
+  /// Seal the filled current epoch, open the next window's (unfilled),
+  /// and retire leading epochs nothing references any more. Buffers of
+  /// retired epochs are recycled, so the steady state allocates nothing.
+  void commit() {
+    tables_.emplace_back();
+    if (!spare_.empty()) {
+      tables_.back().g = std::move(spare_.back());
+      tables_.back().g.clear();
+      spare_.pop_back();
+    }
+    filled_ = false;
+    while (tables_.size() > 1 && tables_.front().refs == 0) {
+      if (spare_.size() < 4) spare_.push_back(std::move(tables_.front().g));
+      tables_.pop_front();
+      ++base_;
+    }
+  }
+
+ private:
+  struct Table {
+    std::vector<std::uint64_t> g;
+    std::uint64_t refs = 0;
+  };
+  std::deque<Table> tables_;  // front = epoch base_, back = current
+  std::vector<std::vector<std::uint64_t>> spare_;  // recycled buffers
+  std::uint32_t base_ = 0;
+  bool filled_ = false;  // current epoch's table complete?
+};
+
 class EventQueue {
  public:
   using Callback = des::Callback;
 
-  /// Schedule `cb` at absolute time `t`. `pusher` and `ordinal` are an
-  /// opaque provenance tag the simulator's order log rides on (who
-  /// scheduled this event, and as its how-many-eth push); the queue
-  /// stores and returns them untouched. Serial runs pass zeros.
+  /// Schedule `cb` at absolute time `t`. `pusher`, `ordinal` and
+  /// `epoch` are an opaque provenance tag the simulator's order log
+  /// rides on (who scheduled this event, as its how-many-eth push, and
+  /// in which window); the queue stores and returns them untouched.
+  /// Serial runs pass zeros.
   void push(SimTime t, Callback cb, std::int64_t pusher = 0,
-            std::uint32_t ordinal = 0);
+            std::uint32_t ordinal = 0, std::uint32_t epoch = 0);
 
   bool empty() const { return heap_.empty() && bucket_empty(); }
   std::size_t size() const {
@@ -47,32 +146,25 @@ class EventQueue {
   SimTime next_time() const;
 
   /// Pop and return the earliest event's callback. Queue must be
-  /// non-empty. `time_out` (optional) receives the event time;
-  /// `pusher_out`/`ordinal_out` (optional) the provenance tag.
+  /// non-empty. `time_out` (optional) receives the event time; the
+  /// remaining out-params (optional) the provenance tag.
   Callback pop(SimTime* time_out, std::int64_t* pusher_out = nullptr,
-               std::uint32_t* ordinal_out = nullptr);
-
-  /// Visit every pending entry's provenance tag (mutable). Used by the
-  /// parallel engine to resolve window-local pusher references into
-  /// global sequence numbers once a window's order is merged. Rewrites
-  /// preserve every entry's relative tag order (the merge is consistent
-  /// with local execution order), so the heap needs no rebuild.
-  template <typename Fn>
-  void for_each_tag(Fn&& fn) {
-    for (Entry& e : heap_) fn(e.pusher, e.ordinal);
-    for (std::size_t i = bucket_head_; i < bucket_.size(); ++i)
-      fn(bucket_[i].pusher, bucket_[i].ordinal);
-  }
+               std::uint32_t* ordinal_out = nullptr,
+               std::uint32_t* epoch_out = nullptr);
 
   /// Break same-time ties by provenance tag instead of push sequence
   /// (parallel engine only). Entries pushed before a window began —
   /// earlier-window survivors and flush-scheduled deliveries — arrive
   /// in an order unrelated to the serial engine's push order, but their
-  /// resolved tags reconstruct it: resolved pushers before window-local
-  /// ones, then by pusher position, then by push ordinal. In-window
-  /// pushes are tag-ordered by construction, so for them this is
-  /// identical to sequence order.
-  void set_tag_order(bool on) { tag_order_ = on; }
+  /// tags reconstruct it: a window-local tag resolves through `epochs`
+  /// to its pusher's global position once that window has merged, and
+  /// while it has not, every resolved tag in the queue predates the
+  /// window and sorts first. In-window pushes are tag-ordered by
+  /// construction, so for them this is identical to sequence order.
+  void set_tag_order(bool on, const OrderEpochs* epochs) {
+    tag_order_ = on;
+    epochs_ = epochs;
+  }
 
  private:
   struct Entry {
@@ -80,21 +172,44 @@ class EventQueue {
     std::uint64_t seq;
     std::int64_t pusher;
     std::uint32_t ordinal;
+    std::uint32_t epoch;
     Callback cb;
   };
   // a fires strictly before b (seq is unique, so no equality case).
+  // Tag comparisons never change their answer over an entry's lifetime
+  // (window-local tags resolve to positions consistent with the
+  // pre-merge rules below), so the heap never needs a rebuild.
   bool before(const Entry& a, const Entry& b) const {
     if (a.time != b.time) return a.time < b.time;
     if (tag_order_) {
-      // Resolved tags (pusher >= 0, a global position) precede
-      // window-local ones (pusher < 0 encodes -(index + 1), so a LATER
-      // local pusher is MORE negative — descending value = ascending
-      // position).
       const bool a_local = a.pusher < 0, b_local = b.pusher < 0;
-      if (a_local != b_local) return b_local;
-      if (a.pusher != b.pusher)
-        return a_local ? a.pusher > b.pusher : a.pusher < b.pusher;
-      if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+      if (a_local && b_local) {
+        // Global position order across windows is epoch order; within
+        // one window it is log-index order (pusher < 0 encodes
+        // -(index + 1), so a LATER local pusher is MORE negative —
+        // descending value = ascending position).
+        if (a.epoch != b.epoch) return a.epoch < b.epoch;
+        if (a.pusher != b.pusher) return a.pusher > b.pusher;
+        if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+      } else if (a_local != b_local) {
+        const Entry& loc = a_local ? a : b;
+        if (!epochs_->resolvable(loc.epoch)) {
+          // Unmerged window: every resolved tag predates it.
+          return b_local;
+        }
+        const std::uint64_t lg = epochs_->g(
+            loc.epoch, static_cast<std::uint32_t>(-loc.pusher - 1));
+        const std::uint64_t rg =
+            static_cast<std::uint64_t>(a_local ? b.pusher : a.pusher);
+        // Equal positions mean the SAME pusher in two representations
+        // (a resolved delivery tag vs a local log reference) — fall
+        // through to the push ordinal.
+        if (lg != rg) return a_local ? lg < rg : rg < lg;
+        if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+      } else {
+        if (a.pusher != b.pusher) return a.pusher < b.pusher;
+        if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+      }
     }
     return a.seq < b.seq;
   }
@@ -111,6 +226,7 @@ class EventQueue {
   SimTime bucket_time_ = 0.0;
   bool bucket_active_ = false;  // becomes true at the first pop
   bool tag_order_ = false;
+  const OrderEpochs* epochs_ = nullptr;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,115 +1,242 @@
 #include "des/order.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "core/error.hpp"
+#include "des/parallel.hpp"
 
 namespace hpcx::des {
 
 namespace {
-constexpr std::uint32_t kNone = 0xffffffffu;
-}  // namespace
+
+constexpr std::uint32_t kNoLocal = 0xffffffffu;
+
+/// Segments smaller than this merge faster serially than the boundary
+/// search costs; windows below ~2 segments' worth stay single-segment.
+constexpr std::uint32_t kMinSegmentEvents = 2048;
 
 // a fires strictly before b in the serial order. Pushes are serialised
 // by their pusher's execution position and, within one pusher, by push
-// ordinal — so (t, pusher, ordinal) reproduces the single queue's
+// ordinal — so (t, g, ordinal) reproduces the single queue's
 // (time, sequence) order. Keys are unique by construction (an ordinal
-// is used once per pusher); lp/idx make the comparison total anyway.
-static bool order_before(const WindowOrder::Item& a,
-                         const WindowOrder::Item& b) {
+// is used once per pusher); lp makes the comparison total anyway.
+bool head_before(const WindowOrder::Head& a, const WindowOrder::Head& b) {
   if (a.t != b.t) return a.t < b.t;
-  if (a.pusher != b.pusher) return a.pusher < b.pusher;
+  if (a.g != b.g) return a.g < b.g;
   if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
-  if (a.lp != b.lp) return a.lp < b.lp;
-  return a.idx < b.idx;
+  return a.lp < b.lp;
 }
 
-void WindowOrder::heap_push(Item item) {
-  heap_.push_back(item);
-  std::size_t i = heap_.size() - 1;
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (order_before(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
+}  // namespace
+
+WindowOrder::Head WindowOrder::make_head(std::uint32_t lp, std::uint32_t idx,
+                                         std::uint64_t window_base) const {
+  const LpView& v = views_[lp];
+  const OrderLogEntry& e = v.log[idx];
+  std::uint64_t pg;
+  if (e.pusher >= 0) {
+    pg = static_cast<std::uint64_t>(e.pusher);
+    if (pg >= window_base) {
+      throw Error(
+          "order log corrupt: resolved pusher " + std::to_string(pg) +
+          " is at or beyond this window's first global sequence number " +
+          std::to_string(window_base) +
+          " (first_gseq precondition violated)");
+    }
+  } else {
+    const std::uint32_t p = static_cast<std::uint32_t>(-e.pusher - 1);
+    // The pusher precedes its pushee in the same stream and (by the
+    // segment-boundary condition) in the same segment, so its global
+    // number is already assigned.
+    HPCX_ASSERT(p < idx);
+    pg = v.g[p];
+  }
+  return Head{e.t, pg, e.ordinal, lp};
+}
+
+// Merge one segment: a k-way merge over the LPs' stream slices
+// [splits_[s], splits_[s+1]), assigning dense global numbers from the
+// segment's base. Runs on any worker — all state it touches is either
+// segment-local arena slices or per-LP gseq slots disjoint from every
+// other segment's.
+void WindowOrder::merge_segment(std::uint32_t s, std::uint32_t nl,
+                                std::uint64_t window_base) {
+  const std::uint32_t* beg = &splits_[static_cast<std::size_t>(s) * nl];
+  const std::uint32_t* fin = &splits_[static_cast<std::size_t>(s + 1) * nl];
+  std::uint32_t* cur = &cursor_[static_cast<std::size_t>(s) * nl];
+  Head* heap = &heads_[static_cast<std::size_t>(s) * nl];
+  std::uint64_t g = seg_base_[s];
+
+  std::uint32_t hn = 0;
+  for (std::uint32_t l = 0; l < nl; ++l) {
+    cur[l] = beg[l];
+    if (beg[l] >= fin[l]) continue;
+    // Binary-heap push of this LP's first head.
+    Head h = make_head(l, beg[l], window_base);
+    std::uint32_t i = hn++;
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (head_before(heap[parent], h)) break;
+      heap[i] = heap[parent];
+      i = parent;
+    }
+    heap[i] = h;
+  }
+
+  while (hn > 0) {
+    if (hn == 1) {
+      // Single remaining stream: the rest is already in order (the
+      // resolved-pusher sanity check still runs on every entry).
+      const std::uint32_t l = heap[0].lp;
+      const LpView& v = views_[l];
+      for (std::uint32_t i = cur[l]; i < fin[l]; ++i) {
+        if (v.log[i].pusher >= 0 &&
+            static_cast<std::uint64_t>(v.log[i].pusher) >= window_base) {
+          (void)make_head(l, i, window_base);  // throws the diagnostic
+        }
+        v.g[i] = g++;
+      }
+      break;
+    }
+    const std::uint32_t l = heap[0].lp;
+    views_[l].g[cur[l]] = g++;
+    const std::uint32_t next = ++cur[l];
+    Head h;
+    if (next < fin[l]) {
+      h = make_head(l, next, window_base);
+    } else {
+      h = heap[--hn];
+    }
+    // Sift down from the root.
+    std::uint32_t i = 0;
+    for (;;) {
+      const std::uint32_t c1 = 2 * i + 1;
+      if (c1 >= hn) break;
+      std::uint32_t best = c1;
+      const std::uint32_t c2 = c1 + 1;
+      if (c2 < hn && head_before(heap[c2], heap[c1])) best = c2;
+      if (head_before(h, heap[best])) break;
+      heap[i] = heap[best];
+      i = best;
+    }
+    heap[i] = h;
   }
 }
 
-WindowOrder::Item WindowOrder::heap_pop() {
-  Item top = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  std::size_t i = 0;
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t l = 2 * i + 1;
-    if (l >= n) break;
-    std::size_t best = l;
-    if (l + 1 < n && order_before(heap_[l + 1], heap_[l])) best = l + 1;
-    if (order_before(heap_[i], heap_[best])) break;
-    std::swap(heap_[i], heap_[best]);
-    i = best;
-  }
-  return top;
-}
-
-std::vector<std::vector<std::uint64_t>> WindowOrder::merge(
-    const std::vector<Simulator*>& lps) {
+void WindowOrder::merge(const std::vector<Simulator*>& lps, WorkerPool* pool) {
   const std::uint32_t nl = static_cast<std::uint32_t>(lps.size());
+  views_.resize(nl);
   log_base_.assign(nl + 1, 0);
-  for (std::uint32_t l = 0; l < nl; ++l)
-    log_base_[l + 1] =
-        log_base_[l] + static_cast<std::uint32_t>(lps[l]->order_log().size());
-  const std::uint32_t total = log_base_[nl];
-
-  std::vector<std::vector<std::uint64_t>> gseq(nl);
-  for (std::uint32_t l = 0; l < nl; ++l)
-    gseq[l].assign(lps[l]->order_log().size(), 0);
-
-  child_head_.assign(total, kNone);
-  child_next_.assign(total, kNone);
-  heap_.clear();
-
-  // Events whose pusher executed in an earlier window (or before the
-  // run) are eligible immediately; the rest chain off their in-window
-  // pusher and become eligible when it is placed.
+  std::uint32_t biggest = 0;
   for (std::uint32_t l = 0; l < nl; ++l) {
     const std::vector<OrderLogEntry>& log = lps[l]->order_log();
-    for (std::uint32_t i = 0; i < log.size(); ++i) {
-      const OrderLogEntry& e = log[i];
-      if (e.pusher >= 0) {
-        heap_push(Item{e.t, static_cast<std::uint64_t>(e.pusher), e.ordinal,
-                       l, i});
-      } else {
-        const std::uint32_t parent =
-            static_cast<std::uint32_t>(-e.pusher - 1);
-        HPCX_ASSERT(parent < i);
-        const std::uint32_t flat_parent = log_base_[l] + parent;
-        const std::uint32_t flat_child = log_base_[l] + i;
-        child_next_[flat_child] = child_head_[flat_parent];
-        child_head_[flat_parent] = flat_child;
-      }
-    }
+    const std::uint32_t n = static_cast<std::uint32_t>(log.size());
+    views_[l] = LpView{log.data(), lps[l]->begin_window_gseq(), n};
+    log_base_[l + 1] = log_base_[l] + n;
+    if (n > views_[biggest].n) biggest = l;
+  }
+  const std::uint32_t total = log_base_[nl];
+  seg_events_.clear();
+  if (total == 0) return;
+  const std::uint64_t window_base = next_gseq_;
+
+  const int workers = pool != nullptr ? pool->workers() : 1;
+  const std::uint32_t min_seg =
+      min_segment_events_ != 0 ? min_segment_events_ : kMinSegmentEvents;
+  std::uint32_t nseg = 1;
+  if (workers > 1 && total >= 2 * min_seg) {
+    nseg = std::min<std::uint32_t>(total / min_seg,
+                                   2 * static_cast<std::uint32_t>(workers));
   }
 
-  // Replay the queue discipline: repeatedly place the earliest eligible
-  // event. The serial-next event is always eligible (its pusher ran
-  // strictly earlier, hence is already placed), so the pop sequence IS
-  // the serial execution order.
-  std::uint32_t placed = 0;
-  while (!heap_.empty()) {
-    const Item it = heap_pop();
-    const std::uint64_t g = next_gseq_++;
-    gseq[it.lp][it.idx] = g;
-    ++placed;
-    const std::vector<OrderLogEntry>& log = lps[it.lp]->order_log();
-    std::uint32_t child = child_head_[log_base_[it.lp] + it.idx];
-    while (child != kNone) {
-      const std::uint32_t ci = child - log_base_[it.lp];
-      heap_push(Item{log[ci].t, g, log[ci].ordinal, it.lp, ci});
-      child = child_next_[child];
+  splits_.assign(static_cast<std::size_t>(nseg + 1) * nl, 0);
+  std::uint32_t accepted = 0;  // boundaries accepted so far
+  if (nseg > 1) {
+    // Per-LP suffix minima of window-local pusher indices: boundary
+    // validity below is "no local reference crosses the split".
+    suffix_min_.resize(total);
+    const auto suffix_pass = [&](int w) {
+      for (std::uint32_t l = static_cast<std::uint32_t>(w); l < nl;
+           l += static_cast<std::uint32_t>(workers)) {
+        const LpView& v = views_[l];
+        std::uint32_t m = kNoLocal;
+        std::uint32_t* out = suffix_min_.data() + log_base_[l];
+        for (std::uint32_t i = v.n; i-- > 0;) {
+          const std::int64_t p = v.log[i].pusher;
+          if (p < 0)
+            m = std::min(m, static_cast<std::uint32_t>(-p - 1));
+          out[i] = m;
+        }
+      }
+    };
+    pool->run(suffix_pass);
+
+    // Candidate boundary times: quantiles of the largest LP's stream
+    // (streams are time-sorted). A candidate T is valid when, in every
+    // LP, no entry at or after lower_bound(T) references a local pusher
+    // before it — then [.., T) and [T, ..) merge independently.
+    const LpView& big = views_[biggest];
+    for (std::uint32_t k = 1; k < nseg; ++k) {
+      const std::uint32_t qi = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(big.n) * k) / nseg);
+      const SimTime T = big.log[qi].t;
+      std::uint32_t* row = &splits_[static_cast<std::size_t>(accepted + 1) *
+                                    nl];
+      const std::uint32_t* prev = row - nl;
+      bool ok = false;  // reject boundaries that add an empty segment
+      for (std::uint32_t l = 0; l < nl; ++l) {
+        const LpView& v = views_[l];
+        // lower_bound over the stream's times.
+        std::uint32_t lo = 0, hi = v.n;
+        while (lo < hi) {
+          const std::uint32_t mid = (lo + hi) / 2;
+          if (v.log[mid].t < T) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < v.n && suffix_min_[log_base_[l] + lo] < lo) {
+          ok = false;
+          break;
+        }
+        row[l] = lo;
+        if (lo > prev[l]) ok = true;
+      }
+      if (ok) ++accepted;
     }
   }
-  HPCX_ASSERT_MSG(placed == total, "order merge left unplaced events");
-  return gseq;
+  const std::uint32_t last = accepted + 1;  // segments = boundaries + 1
+  for (std::uint32_t l = 0; l < nl; ++l)
+    splits_[static_cast<std::size_t>(last) * nl + l] = views_[l].n;
+
+  seg_base_.resize(last);
+  seg_events_.resize(last);
+  std::uint64_t base = next_gseq_;
+  for (std::uint32_t s = 0; s < last; ++s) {
+    std::uint32_t sz = 0;
+    for (std::uint32_t l = 0; l < nl; ++l)
+      sz += splits_[static_cast<std::size_t>(s + 1) * nl + l] -
+            splits_[static_cast<std::size_t>(s) * nl + l];
+    seg_base_[s] = base;
+    seg_events_[s] = sz;
+    base += sz;
+  }
+  next_gseq_ += total;
+
+  cursor_.resize(static_cast<std::size_t>(last) * nl);
+  heads_.resize(static_cast<std::size_t>(last) * nl);
+  if (last == 1 || pool == nullptr) {
+    for (std::uint32_t s = 0; s < last; ++s)
+      merge_segment(s, nl, window_base);
+  } else {
+    pool->run([&](int w) {
+      for (std::uint32_t s = static_cast<std::uint32_t>(w); s < last;
+           s += static_cast<std::uint32_t>(workers))
+        merge_segment(s, nl, window_base);
+    });
+  }
 }
 
 }  // namespace hpcx::des

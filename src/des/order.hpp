@@ -3,17 +3,22 @@
 // The serial simulator executes events in (time, push order): the event
 // queue is a heap with a same-timestamp FIFO bucket, so two events at
 // one instant fire in the order they were pushed, and pushes happen
-// during the execution of earlier events. That order is therefore a
-// recursive property of the whole execution history — it cannot be
-// recovered from any static per-event key. WindowOrder recovers it
-// exactly instead: each logical process logs every event it executes
-// together with the identity of the event that pushed it (a resolved
-// global position from an earlier window, or a window-local reference),
-// and merge() replays the queue discipline over all LPs' logs at once —
-// a priority queue on (time, pusher position, push ordinal) in which an
-// event becomes eligible once its pusher has been placed. The result is
-// the serial engine's global execution order, as dense global sequence
-// numbers, computed window by window with transient memory only.
+// during the execution of earlier events. Once every pusher's own
+// position is known, that order is the ascending lexicographic key
+// (time, pusher position, push ordinal) — and each logical process's
+// window log, being the global order restricted to one LP, is already
+// sorted by it. merge() therefore reconstructs the serial order with a
+// k-way merge of the per-LP streams, resolving window-local pusher
+// references on the fly (a pusher always precedes its pushees in its
+// own stream, so its global number is assigned before it is needed).
+//
+// The merge parallelizes by splitting the window into time-disjoint
+// segments at timestamps where no window-local pusher reference crosses
+// (checked with per-LP suffix minima of local pusher indices). Segment
+// sizes are known up front, so each segment's first global sequence
+// number comes from a prefix sum and the segments merge independently
+// on the host worker pool — identical output to the serial replay by
+// construction. All scratch lives in flat arenas reused across windows.
 #pragma once
 
 #include <cstdint>
@@ -23,43 +28,73 @@
 
 namespace hpcx::des {
 
+class WorkerPool;
+
 class WindowOrder {
  public:
   /// `first_gseq` must exceed every pre-run pseudo position handed to
   /// set_next_push_tag() (the parallel engine uses spawn order, so the
-  /// rank count).
-  explicit WindowOrder(std::uint64_t first_gseq) : next_gseq_(first_gseq) {}
+  /// rank count). `min_segment_events` floors the per-segment size of
+  /// the parallel merge; 0 picks the tuned default. Tests lower it to
+  /// force segmented merges on windows far below production scale.
+  explicit WindowOrder(std::uint64_t first_gseq,
+                       std::uint32_t min_segment_events = 0)
+      : next_gseq_(first_gseq), min_segment_events_(min_segment_events) {}
 
   /// Merge the LPs' current window logs into the serial global
-  /// execution order. Returns one vector per LP, aligned with its
-  /// order_log(): the global sequence number of each executed event.
-  /// Does not mutate the simulators — callers use the numbers to order
-  /// deferred cross-LP work, then call finalize_order_window() on each
-  /// LP to resolve pending-event tags and reset the logs.
-  std::vector<std::vector<std::uint64_t>> merge(
-      const std::vector<Simulator*>& lps);
+  /// execution order, filling each LP's begin_window_gseq() table
+  /// (aligned with its order_log()) with dense global sequence numbers.
+  /// Callers read the numbers via Simulator::window_gseq() to order
+  /// deferred cross-LP work, then call commit_order_window() on each
+  /// LP. When `pool` has more than one worker and the window is large
+  /// enough, segments merge in parallel on it. Throws des::Error if a
+  /// log entry carries a resolved pusher at or beyond this window's
+  /// first global number (a corrupted or stale log).
+  void merge(const std::vector<Simulator*>& lps, WorkerPool* pool = nullptr);
 
   std::uint64_t next_gseq() const { return next_gseq_; }
 
-  struct Item {
+  /// Segment layout of the most recent merge (for observability):
+  /// per-segment executed-event counts. A serial or small merge is one
+  /// segment; an empty window is zero.
+  const std::vector<std::uint32_t>& last_segment_events() const {
+    return seg_events_;
+  }
+
+  /// One LP's next unmerged entry with its pusher reference resolved —
+  /// the static serial-order key (t, g, ordinal).
+  struct Head {
     SimTime t;
-    std::uint64_t pusher;  // resolved global position of the pusher
+    std::uint64_t g;
     std::uint32_t ordinal;
     std::uint32_t lp;
-    std::uint32_t idx;  // index into that LP's order log
   };
 
  private:
+  struct LpView {
+    const OrderLogEntry* log;
+    std::uint64_t* g;
+    std::uint32_t n;
+  };
+
+  Head make_head(std::uint32_t lp, std::uint32_t idx,
+                 std::uint64_t window_base) const;
+  void merge_segment(std::uint32_t s, std::uint32_t nl,
+                     std::uint64_t window_base);
+
   std::uint64_t next_gseq_;
+  std::uint32_t min_segment_events_;  // 0 = default
 
   // Scratch reused across windows (merge is called per flush).
-  std::vector<Item> heap_;
-  std::vector<std::uint32_t> child_head_;  // per (lp,idx): first child
-  std::vector<std::uint32_t> child_next_;  // intrusive child lists
+  std::vector<LpView> views_;
   std::vector<std::uint32_t> log_base_;    // flat offset of each LP's log
-
-  void heap_push(Item item);
-  Item heap_pop();
+  std::vector<std::uint32_t> suffix_min_;  // per flat entry: min local
+                                           // pusher index at or after it
+  std::vector<std::uint32_t> splits_;      // (nseg+1) x nl boundary indices
+  std::vector<std::uint32_t> cursor_;      // nseg x nl merge cursors
+  std::vector<Head> heads_;                // nseg x nl k-way heads
+  std::vector<std::uint64_t> seg_base_;    // first gseq of each segment
+  std::vector<std::uint32_t> seg_events_;  // events per segment (stats)
 };
 
 }  // namespace hpcx::des

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <exception>
 #include <limits>
 #include <mutex>
 #include <string>
@@ -23,6 +22,97 @@ double wall_now() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  explicit Impl(WorkerPool* pool, int workers) {
+    threads.reserve(static_cast<std::size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w)
+      threads.emplace_back([pool, this, w] { worker_loop(pool, w); });
+  }
+
+  void worker_loop(WorkerPool* pool, int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        start_cv.wait(lock, [&] { return generation != seen; });
+        seen = generation;
+        if (stop) return;
+        task = fn;
+      }
+      try {
+        (*task)(w);
+      } catch (...) {
+        pool->errors_[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) done_cv.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable start_cv, done_cv;
+  const std::function<void(int)>* fn = nullptr;
+  std::uint64_t generation = 0;
+  int pending = 0;
+  bool stop = false;
+};
+
+WorkerPool::WorkerPool(int workers)
+    : workers_(std::max(workers, 1)),
+      errors_(static_cast<std::size_t>(workers_)) {
+  if (workers_ > 1) impl_ = new Impl(this, workers_);
+}
+
+WorkerPool::~WorkerPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (impl_ == nullptr) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->pending = workers_ - 1;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  try {
+    fn(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [this] { return impl_->pending == 0; });
+  }
+  for (std::size_t w = 0; w < errors_.size(); ++w) {
+    if (errors_[w]) {
+      std::exception_ptr e = errors_[w];
+      errors_[w] = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+namespace {
 
 // Time one LP's window and fold it into its stats slot. The slot is
 // written only by the worker the LP is pinned to; the pool's
@@ -46,102 +136,6 @@ void run_lp_window(Simulator* lp, SimTime horizon, ConservativeLpStats* slot) {
   }
 }
 
-// Persistent worker pool with a generation-counter handshake: the main
-// thread publishes a horizon under the mutex and bumps the generation;
-// workers run their LP share and decrement pending_. The mutex/condvar
-// pair gives the happens-before edges that make per-LP state (queues,
-// fibers, per-shard pools) safely owned by whichever thread runs the
-// window — an LP never migrates (index % workers), so its state only
-// ever crosses threads through these fences.
-class WindowPool {
- public:
-  WindowPool(const std::vector<Simulator*>& lps, int workers,
-             ConservativeStats* stats)
-      : lps_(lps), workers_(workers), stats_(stats), errors_(lps.size()) {
-    threads_.reserve(static_cast<std::size_t>(workers_ - 1));
-    for (int w = 1; w < workers_; ++w)
-      threads_.emplace_back([this, w] { worker_loop(w); });
-  }
-
-  ~WindowPool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-      ++generation_;
-    }
-    start_cv_.notify_all();
-    for (auto& t : threads_) t.join();
-  }
-
-  /// Run every LP to `horizon`; rethrows the lowest-index LP's
-  /// exception once all workers have finished the window.
-  void run_window(SimTime horizon) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      horizon_ = horizon;
-      pending_ = workers_ - 1;
-      ++generation_;
-    }
-    start_cv_.notify_all();
-    run_share(0, horizon);  // the main thread is worker 0
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [this] { return pending_ == 0; });
-    }
-    for (std::size_t i = 0; i < errors_.size(); ++i) {
-      if (errors_[i]) {
-        std::exception_ptr e = errors_[i];
-        errors_[i] = nullptr;
-        std::rethrow_exception(e);
-      }
-    }
-  }
-
- private:
-  void run_share(int w, SimTime horizon) {
-    for (std::size_t i = static_cast<std::size_t>(w); i < lps_.size();
-         i += static_cast<std::size_t>(workers_)) {
-      try {
-        run_lp_window(lps_[i], horizon,
-                      stats_ != nullptr ? &stats_->lps[i] : nullptr);
-      } catch (...) {
-        errors_[i] = std::current_exception();
-      }
-    }
-  }
-
-  void worker_loop(int w) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      SimTime horizon;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        start_cv_.wait(lock, [&] { return generation_ != seen; });
-        seen = generation_;
-        if (stop_) return;
-        horizon = horizon_;
-      }
-      run_share(w, horizon);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) done_cv_.notify_one();
-      }
-    }
-  }
-
-  const std::vector<Simulator*>& lps_;
-  const int workers_;
-  ConservativeStats* stats_;
-  std::vector<std::exception_ptr> errors_;  // slot i owned by LP i's worker
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable start_cv_, done_cv_;
-  SimTime horizon_ = 0.0;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
-};
-
 SimTime lbts(const std::vector<Simulator*>& lps) {
   SimTime t = kInf;
   for (Simulator* lp : lps) t = std::min(t, lp->next_event_time());
@@ -151,8 +145,9 @@ SimTime lbts(const std::vector<Simulator*>& lps) {
 }  // namespace
 
 void run_conservative(const std::vector<Simulator*>& lps,
-                      const std::function<void()>& flush, int workers,
-                      SimTime lookahead, ConservativeStats* stats) {
+                      const std::function<void(WorkerPool&)>& flush,
+                      int workers, SimTime lookahead,
+                      ConservativeStats* stats) {
   HPCX_ASSERT(!lps.empty());
   HPCX_ASSERT_MSG(lookahead > 0.0,
                   "conservative sync needs positive lookahead");
@@ -186,33 +181,40 @@ void run_conservative(const std::vector<Simulator*>& lps,
     }
   };
 
-  if (w <= 1) {
-    for (;;) {
-      const double f0 = stats != nullptr ? wall_now() : 0.0;
-      flush();
-      if (stats != nullptr) stats->flush_wall_s += wall_now() - f0;
-      const SimTime t = lbts(lps);
-      account_round(t);
-      if (t == kInf) break;
-      const SimTime horizon = t + lookahead;
-      const double w0 = stats != nullptr ? wall_now() : 0.0;
-      for (std::size_t i = 0; i < lps.size(); ++i)
-        run_lp_window(lps[i], horizon,
+  WorkerPool pool(w);
+  // LP-body exceptions are captured per LP so the rethrow order is by
+  // LP index (deterministic), not by worker index.
+  std::vector<std::exception_ptr> lp_errors(lps.size());
+  SimTime horizon_shared = 0.0;  // published to workers via pool.run's fences
+  const std::function<void(int)> window_share = [&](int worker) {
+    for (std::size_t i = static_cast<std::size_t>(worker); i < lps.size();
+         i += static_cast<std::size_t>(w)) {
+      try {
+        run_lp_window(lps[i], horizon_shared,
                       stats != nullptr ? &stats->lps[i] : nullptr);
-      if (stats != nullptr) stats->window_wall_s += wall_now() - w0;
+      } catch (...) {
+        lp_errors[i] = std::current_exception();
+      }
     }
-  } else {
-    WindowPool pool(lps, w, stats);
-    for (;;) {
-      const double f0 = stats != nullptr ? wall_now() : 0.0;
-      flush();
-      if (stats != nullptr) stats->flush_wall_s += wall_now() - f0;
-      const SimTime t = lbts(lps);
-      account_round(t);
-      if (t == kInf) break;
-      const double w0 = stats != nullptr ? wall_now() : 0.0;
-      pool.run_window(t + lookahead);
-      if (stats != nullptr) stats->window_wall_s += wall_now() - w0;
+  };
+
+  for (;;) {
+    const double f0 = stats != nullptr ? wall_now() : 0.0;
+    flush(pool);
+    if (stats != nullptr) stats->flush_wall_s += wall_now() - f0;
+    const SimTime t = lbts(lps);
+    account_round(t);
+    if (t == kInf) break;
+    horizon_shared = t + lookahead;
+    const double w0 = stats != nullptr ? wall_now() : 0.0;
+    pool.run(window_share);
+    if (stats != nullptr) stats->window_wall_s += wall_now() - w0;
+    for (std::size_t i = 0; i < lp_errors.size(); ++i) {
+      if (lp_errors[i]) {
+        std::exception_ptr e = lp_errors[i];
+        lp_errors[i] = nullptr;
+        std::rethrow_exception(e);
+      }
     }
   }
 

@@ -11,22 +11,59 @@
 // event executed inside a window can schedule into another LP's past.
 //
 // Cross-LP effects are NOT applied in-window: the caller records them
-// locally and applies them in `flush`, which runs single-threaded
-// between windows — cross-LP delivery, shared-resource reservations and
-// barrier releases all happen there, in a deterministic order the
-// caller controls. This is what makes the schedule worker-count
-// invariant: the window boundaries depend only on event times, and
-// everything with cross-LP visibility is ordered by flush, never by
-// thread interleaving.
+// locally and applies them in `flush`, which runs between windows —
+// cross-LP delivery, shared-resource reservations and barrier releases
+// all happen there, in a deterministic order the caller controls. The
+// flush receives the drive's WorkerPool so it can fan independent
+// pieces (per-segment order merges, per-destination-LP delivery
+// scheduling) back onto the worker threads; anything it runs serially
+// stays on the calling thread. This is what makes the schedule
+// worker-count invariant: the window boundaries depend only on event
+// times, and everything with cross-LP visibility is ordered by flush,
+// never by thread interleaving.
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <vector>
 
 #include "des/simulator.hpp"
 
 namespace hpcx::des {
+
+/// Persistent host-thread pool with a generation-counter handshake:
+/// run(fn) publishes fn under the mutex, wakes the workers, runs
+/// worker 0's share on the calling thread, and returns once every
+/// worker finished. With `workers` <= 1 no threads are ever spawned
+/// and run(fn) is a plain inline call — the serial path stays free of
+/// synchronization. The mutex/condvar pair provides the happens-before
+/// edges that let state touched inside fn(w) be read by the caller
+/// after run() returns (and by other workers in later rounds).
+///
+/// Exceptions thrown by fn are captured per worker and the lowest-
+/// index worker's exception is rethrown after the round completes;
+/// callers that need finer attribution (run_conservative rethrows by
+/// LP index) catch inside fn themselves.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return workers_; }
+
+  /// Run fn(w) for every w in [0, workers); the calling thread is
+  /// worker 0. Returns when all workers are done. Not reentrant.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  struct Impl;  // threads + handshake live out-of-line
+  const int workers_;
+  std::vector<std::exception_ptr> errors_;  // slot w owned by worker w
+  Impl* impl_ = nullptr;                    // null when workers_ <= 1
+};
 
 /// Per-LP instrumentation from one run_conservative drive. All wall
 /// clocks are host time (std::chrono::steady_clock) — they never feed
@@ -49,7 +86,7 @@ struct ConservativeStats {
   std::uint64_t work_limited = 0;
   int workers = 0;             ///< effective worker count used
   double total_wall_s = 0.0;   ///< whole drive, flush included
-  double flush_wall_s = 0.0;   ///< single-threaded cross-LP application
+  double flush_wall_s = 0.0;   ///< cross-LP application between windows
   double window_wall_s = 0.0;  ///< inside parallel windows (barrier to barrier)
   /// Worker-seconds spent stalled at window barriers (LBTS stalls):
   /// window_wall_s * workers minus the sum of per-LP busy wall.
@@ -57,8 +94,9 @@ struct ConservativeStats {
   std::vector<ConservativeLpStats> lps;  ///< one slot per LP, by index
 };
 
-/// Drive `lps` to completion. Each round: flush() (single-threaded
-/// cross-LP application), LBTS = min next_event_time(), then all LPs
+/// Drive `lps` to completion. Each round: flush(pool) (cross-LP
+/// application; `pool` is the drive's own WorkerPool for any internal
+/// fan-out), LBTS = min next_event_time(), then all LPs
 /// run_until(LBTS + lookahead) on `workers` host threads (LP i is
 /// pinned to worker i % workers; workers <= 1 runs inline). Terminates
 /// when flush() leaves every queue empty; throws des::Error with the
@@ -67,7 +105,8 @@ struct ConservativeStats {
 /// When `stats` is non-null it is reset and filled with per-window and
 /// per-LP instrumentation; passing it does not change the schedule.
 void run_conservative(const std::vector<Simulator*>& lps,
-                      const std::function<void()>& flush, int workers,
-                      SimTime lookahead, ConservativeStats* stats = nullptr);
+                      const std::function<void(WorkerPool&)>& flush,
+                      int workers, SimTime lookahead,
+                      ConservativeStats* stats = nullptr);
 
 }  // namespace hpcx::des

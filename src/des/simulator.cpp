@@ -14,7 +14,11 @@ void Simulator::push_event(SimTime t, Callback fn, std::uint32_t label) {
       queue_.push(t, std::move(fn), override_pusher_, override_ordinal_);
       return;
     }
-    queue_.push(t, std::move(fn), cur_pusher_, cur_ordinal_++);
+    // Window-local tag: reference the open epoch so its gseq table
+    // outlives the entry (the queue resolves the tag lazily).
+    epochs_.add_ref_current();
+    queue_.push(t, std::move(fn), cur_pusher_, cur_ordinal_++,
+                epochs_.current());
     return;
   }
   if (cp_on_) {
@@ -87,17 +91,15 @@ std::size_t Simulator::current_log_index() const {
   return order_log_.size() - 1;
 }
 
-void Simulator::finalize_order_window(
-    const std::vector<std::uint64_t>& gseq) {
-  HPCX_ASSERT(gseq.size() == order_log_.size());
-  queue_.for_each_tag([&gseq](std::int64_t& pusher, std::uint32_t&) {
-    if (pusher < 0) {
-      const std::size_t idx = static_cast<std::size_t>(-pusher - 1);
-      HPCX_ASSERT(idx < gseq.size());
-      pusher = static_cast<std::int64_t>(gseq[idx]);
-    }
-  });
+std::uint64_t* Simulator::begin_window_gseq() {
+  return epochs_.begin_fill(order_log_.size());
+}
+
+void Simulator::commit_order_window() {
+  HPCX_ASSERT_MSG(epochs_.current_filled(),
+                  "window committed before its merge filled the gseq table");
   order_log_.clear();
+  epochs_.commit();
 }
 
 ProcessId Simulator::spawn(std::function<void()> body,
@@ -129,7 +131,17 @@ void Simulator::resume_process(ProcessId pid) {
 }
 
 void Simulator::dispatch_logged(SimTime t, std::int64_t pusher,
-                                std::uint32_t ordinal) {
+                                std::uint32_t ordinal, std::uint32_t epoch) {
+  if (pusher < 0) {
+    epochs_.drop_ref(epoch);
+    // A survivor from an earlier window: its pusher's global position
+    // is sealed, so log it resolved. Same-window pushers stay local
+    // references for the merge to chase.
+    if (epoch != epochs_.current()) {
+      pusher = static_cast<std::int64_t>(
+          epochs_.g(epoch, static_cast<std::uint32_t>(-pusher - 1)));
+    }
+  }
   order_log_.push_back(OrderLogEntry{t, pusher, ordinal});
   cur_pusher_ = -static_cast<std::int64_t>(order_log_.size());
   cur_ordinal_ = 0;
@@ -141,12 +153,12 @@ void Simulator::run() {
   while (!queue_.empty()) {
     SimTime t;
     std::int64_t pusher;
-    std::uint32_t ordinal;
-    EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal);
+    std::uint32_t ordinal, epoch;
+    EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal, &epoch);
     HPCX_ASSERT_MSG(t >= now_, "time went backwards");
     now_ = t;
     ++executed_events_;
-    if (order_log_on_) dispatch_logged(t, pusher, ordinal);
+    if (order_log_on_) dispatch_logged(t, pusher, ordinal, epoch);
     if (cp_on_) dispatch_cp(t, pusher, ordinal);
     cb();
   }
@@ -163,12 +175,12 @@ void Simulator::run_until(SimTime horizon) {
   while (!queue_.empty() && queue_.next_time() < horizon) {
     SimTime t;
     std::int64_t pusher;
-    std::uint32_t ordinal;
-    EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal);
+    std::uint32_t ordinal, epoch;
+    EventQueue::Callback cb = queue_.pop(&t, &pusher, &ordinal, &epoch);
     HPCX_ASSERT_MSG(t >= now_, "time went backwards");
     now_ = t;
     ++executed_events_;
-    if (order_log_on_) dispatch_logged(t, pusher, ordinal);
+    if (order_log_on_) dispatch_logged(t, pusher, ordinal, epoch);
     cb();
   }
   in_run_ = false;

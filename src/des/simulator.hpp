@@ -149,9 +149,13 @@ class Simulator {
   // With the order log enabled, every executed event is recorded with
   // its push provenance. Between windows the parallel engine merges the
   // LPs' logs into the serial engine's exact global execution order
-  // (des::WindowOrder) and hands each LP the resulting global sequence
-  // numbers, which finalize_order_window() folds back into the tags of
-  // still-pending events. The serial engine never enables any of this.
+  // (des::WindowOrder), filling each LP's window_gseq() table with the
+  // resulting global sequence numbers; commit_order_window() then seals
+  // that table as the window's epoch. Still-pending events keep their
+  // window-local tags — the event queue resolves them lazily through
+  // the epoch tables (see des::OrderEpochs) instead of the engine
+  // rewriting every pending entry after each window. The serial engine
+  // never enables any of this.
 
   /// Turn per-event order logging on or off (off by default). Also
   /// switches the event queue to tag-ordered ties: events that arrive
@@ -162,7 +166,8 @@ class Simulator {
   /// come out identically.
   void enable_order_log(bool on) {
     order_log_on_ = on;
-    queue_.set_tag_order(on);
+    if (on) epochs_.reset();
+    queue_.set_tag_order(on, &epochs_);
   }
 
   /// Executed events of the current window, in execution order.
@@ -194,10 +199,20 @@ class Simulator {
   void schedule_at_tagged(SimTime t, Callback fn, std::int64_t pusher,
                           std::uint32_t ordinal);
 
-  /// Resolve window-local pusher references in all pending events using
-  /// the merged global sequence numbers (aligned with order_log()) and
-  /// start a fresh window log.
-  void finalize_order_window(const std::vector<std::uint64_t>& gseq);
+  /// Size this window's global-sequence table to order_log().size()
+  /// and return it for the merge to fill (slot i = the global position
+  /// of the i-th logged event). The caller must fill every slot before
+  /// the next event-queue operation on this simulator — handing the
+  /// table out marks the window resolvable for tag comparisons.
+  std::uint64_t* begin_window_gseq();
+
+  /// The filled table (valid between the merge and commit).
+  const std::uint64_t* window_gseq() const { return epochs_.current_table(); }
+
+  /// Seal the filled window table as this window's epoch (pending
+  /// events' local tags resolve through it from now on), retire epochs
+  /// nothing references any more, and start a fresh window log.
+  void commit_order_window();
 
   // --- Critical-path recording (serial engine only) ---
   //
@@ -239,10 +254,12 @@ class Simulator {
   void resume_process(ProcessId pid);
   void push_event(SimTime t, Callback fn,
                   std::uint32_t label = cp_label(CpKind::kEvent, kCpNoActor));
-  void dispatch_logged(SimTime t, std::int64_t pusher, std::uint32_t ordinal);
+  void dispatch_logged(SimTime t, std::int64_t pusher, std::uint32_t ordinal,
+                       std::uint32_t epoch);
   void dispatch_cp(SimTime t, std::int64_t pred, std::uint32_t label);
 
   EventQueue queue_;
+  OrderEpochs epochs_;  // per-window gseq tables (parallel engine only)
   SimTime now_ = 0.0;
   std::uint64_t executed_events_ = 0;
   bool order_log_on_ = false;

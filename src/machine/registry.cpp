@@ -267,6 +267,15 @@ MachineConfig nec_sx8() {
   return m;
 }
 
+MachineConfig dell_xeon_wide() {
+  MachineConfig m = dell_xeon();
+  m.name = "Dell Xeon Cluster (wide PDES testbed)";
+  m.short_name = "dell_xeon_wide";
+  m.cpus_per_node = 512;
+  m.max_cpus = 1 << 20;
+  return m;
+}
+
 std::vector<MachineConfig> paper_machines() {
   return {altix_bx2(), cray_x1_msp(), cray_opteron(), dell_xeon(), nec_sx8()};
 }
@@ -279,6 +288,7 @@ std::vector<MachineConfig> all_machines() {
 MachineConfig machine_by_name(const std::string& short_name) {
   for (MachineConfig& m : all_machines())
     if (m.short_name == short_name) return m;
+  if (short_name == "dell_xeon_wide") return dell_xeon_wide();
   throw ConfigError("unknown machine: " + short_name);
 }
 

@@ -19,6 +19,14 @@ MachineConfig cray_opteron();     // Cray Opteron Cluster, Myrinet Clos
 MachineConfig dell_xeon();        // Dell Xeon Cluster, InfiniBand fat tree
 MachineConfig nec_sx8();          // NEC SX-8, IXS crossbar
 
+/// dell_xeon stretched to 512 CPUs per node and 1Mi max CPUs: the
+/// parallel-DES scaling testbed. Wide nodes keep the topology build
+/// cheap while the rank count stresses fibers, queues and the cross-LP
+/// merge. Not a paper system — excluded from all_machines() so the
+/// default sweeps stay paper-shaped, but resolvable by name
+/// ("dell_xeon_wide") from every figure binary and the CLI.
+MachineConfig dell_xeon_wide();
+
 /// The five headline systems in the paper's plotting order.
 std::vector<MachineConfig> paper_machines();
 

@@ -21,10 +21,16 @@ SweepSpec imb_figure_spec(const std::string& title, imb::BenchmarkId id,
   spec.title = title;
   spec.workload = SweepWorkload::kImb;
   spec.machines = imb_figure_machines();
-  if (!options.machine.empty())
+  if (!options.machine.empty()) {
     std::erase_if(spec.machines, [&](const mach::MachineConfig& m) {
       return m.short_name != options.machine;
     });
+    // A named machine outside the figure's paper set (e.g. the
+    // dell_xeon_wide PDES testbed) still gets a curve: resolve it by
+    // name instead of silently emitting an empty table.
+    if (spec.machines.empty())
+      spec.machines.push_back(mach::machine_by_name(options.machine));
+  }
   if (options.cpus > 0) spec.np_set.push_back(options.cpus);
   spec.imb_id = id;
   spec.msg_bytes = msg_bytes;

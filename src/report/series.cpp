@@ -11,7 +11,11 @@ namespace hpcx::report {
 
 std::vector<int> imb_cpu_counts(const mach::MachineConfig& machine) {
   std::vector<int> counts;
-  for (int p = 2; p <= 512 && p <= machine.max_cpus; p *= 2)
+  // The paper's IMB figures sweep 2..512 CPUs. The synthetic wide-PDES
+  // testbed (dell_xeon_wide) is not a paper system: its scaling curves
+  // keep doubling to the machine's full width (1Mi ranks).
+  const int cap = machine.max_cpus >= (1 << 18) ? machine.max_cpus : 512;
+  for (int p = 2; p <= cap && p <= machine.max_cpus; p *= 2)
     counts.push_back(p);
   if (!counts.empty() && machine.max_cpus > counts.back() &&
       machine.max_cpus <= 1024 && machine.max_cpus != counts.back() * 2)

@@ -150,6 +150,8 @@ void EngineStats::merge(const EngineStats& other) {
   work_limited += other.work_limited;
   delivery_batches += other.delivery_batches;
   deliveries += other.deliveries;
+  merge_segments += other.merge_segments;
+  merge_seg_max = std::max(merge_seg_max, other.merge_seg_max);
   total_wall_s += other.total_wall_s;
   flush_wall_s += other.flush_wall_s;
   merge_wall_s += other.merge_wall_s;
@@ -163,6 +165,7 @@ void EngineStats::merge(const EngineStats& other) {
     mine.windows += theirs.windows;
     mine.idle_windows += theirs.idle_windows;
     mine.events += theirs.events;
+    mine.deliveries_in += theirs.deliveries_in;
     mine.busy_wall_s += theirs.busy_wall_s;
   }
 }
@@ -314,23 +317,28 @@ Table Recorder::alg_table() const {
 
 Table Recorder::lp_table() const {
   Table t("Parallel engine: per-LP windows");
-  t.set_header({"lp", "ranks", "windows", "idle", "events", "busy wall"});
+  t.set_header(
+      {"lp", "ranks", "windows", "idle", "events", "deliv in", "busy wall"});
   if (!engine_.present()) {
     t.add_note("serial engine (no LP windows recorded)");
     return t;
   }
   std::uint64_t events = 0;
+  std::uint64_t deliv = 0;
   double busy = 0.0;
   for (std::size_t i = 0; i < engine_.lps.size(); ++i) {
     const LpStats& lp = engine_.lps[i];
     t.add_row({std::to_string(i), std::to_string(lp.ranks),
                std::to_string(lp.windows), std::to_string(lp.idle_windows),
-               std::to_string(lp.events), format_time(lp.busy_wall_s)});
+               std::to_string(lp.events), std::to_string(lp.deliveries_in),
+               format_time(lp.busy_wall_s)});
     events += lp.events;
+    deliv += lp.deliveries_in;
     busy += lp.busy_wall_s;
   }
   t.add_row({"total", "-", std::to_string(engine_.windows), "-",
-             std::to_string(events), format_time(busy)});
+             std::to_string(events), std::to_string(deliv),
+             format_time(busy)});
   t.add_note(std::to_string(engine_.lookahead_limited) +
              " lookahead-limited / " + std::to_string(engine_.work_limited) +
              " work-limited windows on " + std::to_string(engine_.workers) +
@@ -342,6 +350,11 @@ Table Recorder::lp_table() const {
   t.add_note(std::to_string(engine_.deliveries) +
              " cross-LP deliveries in " +
              std::to_string(engine_.delivery_batches) + " flush batches");
+  if (engine_.merge_segments > 0) {
+    t.add_note("order merge: " + std::to_string(engine_.merge_segments) +
+               " segments (largest " + std::to_string(engine_.merge_seg_max) +
+               " events)");
+  }
   return t;
 }
 

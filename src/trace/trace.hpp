@@ -243,6 +243,7 @@ struct LpStats {
   std::uint64_t windows = 0;       ///< windows in which the LP ran events
   std::uint64_t idle_windows = 0;  ///< windows it was invoked but had none
   std::uint64_t events = 0;
+  std::uint64_t deliveries_in = 0;  ///< cross-LP deliveries it received
   double busy_wall_s = 0.0;  ///< host time inside the LP's run_until calls
 };
 
@@ -256,6 +257,8 @@ struct EngineStats {
   std::uint64_t work_limited = 0;       ///< windows where queues went dry
   std::uint64_t delivery_batches = 0;   ///< flushes that moved >= 1 send
   std::uint64_t deliveries = 0;         ///< cross-LP sends applied in flushes
+  std::uint64_t merge_segments = 0;     ///< order-merge segments across windows
+  std::uint64_t merge_seg_max = 0;      ///< events in the largest segment
   double total_wall_s = 0.0;
   double flush_wall_s = 0.0;   ///< single-threaded cross-LP application
   double merge_wall_s = 0.0;   ///< order-log merge portion of the flushes

@@ -16,14 +16,18 @@
 //    in-window. A remote send records a Network::DeferredSend; the
 //    inter-window flush first reconstructs the serial engine's exact
 //    global event order for the window (des::WindowOrder over the LPs'
-//    order logs), then replays all recorded walks single-threaded in
-//    that order — so every link reservation, queueing decision,
-//    statistic and delivery time comes out bit-identical, at any worker
-//    count. Same-instant walk order is a property of the whole
-//    execution history (the serial queue runs timestamp ties in push
-//    order, and pushes inherit positions through wakes and deliveries),
-//    which is why it is reconstructed rather than approximated by a
-//    static sort key.
+//    order logs — segmented and merged on the worker pool), then
+//    replays all recorded walks on the serial tail in that order — so
+//    every link reservation, queueing decision, statistic and delivery
+//    time comes out bit-identical, at any worker count. Same-instant
+//    walk order is a property of the whole execution history (the
+//    serial queue runs timestamp ties in push order, and pushes inherit
+//    positions through wakes and deliveries), which is why it is
+//    reconstructed rather than approximated by a static sort key. Once
+//    walk order and delivery times are fixed, scheduling the deliveries
+//    is independent per destination LP (each LP's queue and envelope
+//    pool are touched in merged-order by exactly one worker), so that
+//    half of the flush shards across the pool.
 //
 //  * Hardware barriers complete in the flush too: arrivals are recorded
 //    per-LP in-window; once all ranks have arrived, every rank is
@@ -73,11 +77,16 @@ struct PendingSend {
   int src_rank = 0;
   int src_node = 0;
   int dst_rank = 0;
+  int dst_lp = 0;
   int tag = 0;
   std::size_t count = 0;
   DType dtype = DType::kByte;
   bool phantom = false;
   std::vector<unsigned char> payload;
+  // Filled by the flush: the sending segment's merged global position,
+  // then the fabric walk's delivery time.
+  std::uint64_t g = 0;
+  double deliver_t = 0.0;
 };
 
 struct BarrierArrival {
@@ -131,6 +140,13 @@ struct ParWorld {
       barrier_wqs[static_cast<std::size_t>(r)] =
           std::make_unique<des::WaitQueue>(owner);
     }
+    deliveries_in.assign(shards.size(), 0);
+    obs::Registry& reg = obs::Registry::global();
+    seg_hist = reg.histogram("hpcx_pdes_merge_segment_events",
+                             "events merged by one order-merge segment");
+    batch_hist = reg.histogram(
+        "hpcx_pdes_delivery_batch_size",
+        "cross-LP deliveries bound for one destination LP in one flush");
   }
 
   Shard& shard_of_rank(int r) {
@@ -146,11 +162,22 @@ struct ParWorld {
   std::vector<int> lp_of_rank;
   std::vector<detail::RankState> ranks;
   std::vector<std::unique_ptr<des::WaitQueue>> barrier_wqs;
-  std::vector<PendingSend> batch;  // flush scratch, reused across rounds
-  // Flush instrumentation (single-threaded, like the flush itself).
+  // Flush scratch, reused across rounds.
+  std::vector<PendingSend*> batch;      // all pendings, merged-g order
+  std::vector<std::uint32_t> dst_off;     // per-dst-LP offsets into dst_order
+  std::vector<std::uint32_t> dst_cursor;  // counting-sort insert points
+  std::vector<PendingSend*> dst_order;  // batch bucketed by destination LP
+  // Flush instrumentation (written on the serial tail only).
   std::uint64_t deliveries = 0;
   std::uint64_t delivery_batches = 0;
+  std::uint64_t merge_segments = 0;
+  std::uint64_t merge_seg_max = 0;  ///< events in the largest segment
+  std::vector<std::uint64_t> deliveries_in;  ///< per destination LP
   double merge_wall_s = 0.0;
+  // Pre-registered metric ids (registration locks; observation is the
+  // lock-free hot path, safe from the per-flush loops).
+  obs::MetricId seg_hist;
+  obs::MetricId batch_hist;
 };
 
 double wall_now() {
@@ -235,6 +262,7 @@ class PSimComm final : public Comm {
       ps.src_rank = rank_;
       ps.src_node = node_;
       ps.dst_rank = dst;
+      ps.dst_lp = w->lp_of_rank[static_cast<std::size_t>(dst)];
       ps.tag = tag;
       ps.count = buf.count;
       ps.dtype = buf.dtype;
@@ -316,46 +344,86 @@ class PSimComm final : public Comm {
 };
 
 /// Replay every deferred fabric walk in the serial engine's global
-/// order and schedule the deliveries on the destination LPs.
-void apply_pending_sends(ParWorld& w,
-                         const std::vector<std::vector<std::uint64_t>>& gseq) {
+/// order, then schedule the deliveries on the destination LPs — the
+/// walk stays on the serial tail (per-edge reservations are shared
+/// state), but once it has fixed each delivery's time, scheduling is
+/// independent per destination LP and shards across the pool.
+void apply_pending_sends(ParWorld& w, const std::vector<des::Simulator*>& lps,
+                         des::WorkerPool& pool) {
   w.batch.clear();
   for (Shard& s : w.shards) {
-    for (PendingSend& ps : s.pending) w.batch.push_back(std::move(ps));
-    s.pending.clear();
+    for (PendingSend& ps : s.pending) {
+      // The merged global sequence numbers ARE the serial execution
+      // order (time-ascending, ties in serial push order), so ordering
+      // walks by the sending segment's number replays the fabric
+      // exactly.
+      ps.g = lps[static_cast<std::size_t>(ps.lp)]->window_gseq()[ps.log_idx];
+      w.batch.push_back(&ps);
+    }
   }
   if (w.batch.empty()) return;
   ++w.delivery_batches;
   w.deliveries += w.batch.size();
-  // The merged global sequence numbers ARE the serial execution order
-  // (time-ascending, ties in serial push order), so ordering walks by
-  // the sending segment's number replays the fabric exactly.
   std::sort(w.batch.begin(), w.batch.end(),
-            [&gseq](const PendingSend& a, const PendingSend& b) {
-              return gseq[static_cast<std::size_t>(a.lp)][a.log_idx] <
-                     gseq[static_cast<std::size_t>(b.lp)][b.log_idx];
+            [](const PendingSend* a, const PendingSend* b) {
+              return a->g < b->g;
             });
-  for (PendingSend& ps : w.batch) {
-    const double deliver_t = w.network.finish_remote(ps.d);
-    Shard& ds = w.shard_of_rank(ps.dst_rank);
-    detail::Envelope* env = ds.pool.acquire();
-    env->src = ps.src_rank;
-    env->src_node = ps.src_node;
-    env->tag = ps.tag;
-    env->count = ps.count;
-    env->dtype = ps.dtype;
-    env->phantom = ps.phantom;
-    env->payload = std::move(ps.payload);
-    ParWorld* wp = &w;
-    const int dst = ps.dst_rank;
-    // The delivery's provenance is the serial push the sender deferred:
-    // (sending segment's global position, consumed ordinal 0).
-    ds.sim.schedule_at_tagged(
-        deliver_t, [wp, dst, env] { deliver(wp, dst, env); },
-        static_cast<std::int64_t>(
-            gseq[static_cast<std::size_t>(ps.lp)][ps.log_idx]),
-        0);
+  for (PendingSend* ps : w.batch)
+    ps->deliver_t = w.network.finish_remote(ps->d);
+
+  // Bucket by destination LP, preserving merged order within each
+  // bucket (a counting sort over the already-sorted batch).
+  const std::size_t nlp = w.shards.size();
+  obs::Registry& reg = obs::Registry::global();
+  w.dst_off.assign(nlp + 1, 0);
+  for (const PendingSend* ps : w.batch)
+    ++w.dst_off[static_cast<std::size_t>(ps->dst_lp) + 1];
+  for (std::size_t lp = 0; lp < nlp; ++lp) {
+    const std::uint32_t c = w.dst_off[lp + 1];
+    if (c > 0) {
+      w.deliveries_in[lp] += c;
+      reg.observe(w.batch_hist, c);
+    }
+    w.dst_off[lp + 1] += w.dst_off[lp];
   }
+  w.dst_order.resize(w.batch.size());
+  w.dst_cursor.assign(w.dst_off.begin(), w.dst_off.end() - 1);
+  for (PendingSend* ps : w.batch)
+    w.dst_order[w.dst_cursor[static_cast<std::size_t>(ps->dst_lp)]++] = ps;
+
+  // Per-destination application: each task owns its LP's event queue
+  // and envelope pool exclusively, and applies that LP's deliveries in
+  // merged order — the per-queue push sequence (and so the envelope
+  // reuse pattern) is exactly the serial flush's, at any worker count.
+  ParWorld* wp = &w;
+  const int workers = pool.workers();
+  pool.run([wp, workers](int worker) {
+    const std::size_t n = wp->shards.size();
+    for (std::size_t lp = static_cast<std::size_t>(worker); lp < n;
+         lp += static_cast<std::size_t>(workers)) {
+      Shard& ds = wp->shards[lp];
+      const std::uint32_t b = wp->dst_off[lp];
+      const std::uint32_t e = wp->dst_off[lp + 1];
+      for (std::uint32_t i = b; i < e; ++i) {
+        PendingSend* ps = wp->dst_order[i];
+        detail::Envelope* env = ds.pool.acquire();
+        env->src = ps->src_rank;
+        env->src_node = ps->src_node;
+        env->tag = ps->tag;
+        env->count = ps->count;
+        env->dtype = ps->dtype;
+        env->phantom = ps->phantom;
+        env->payload = std::move(ps->payload);
+        const int dst = ps->dst_rank;
+        // The delivery's provenance is the serial push the sender
+        // deferred: (sending segment's global position, ordinal 0).
+        ds.sim.schedule_at_tagged(
+            ps->deliver_t, [wp, dst, env] { deliver(wp, dst, env); },
+            static_cast<std::int64_t>(ps->g), 0);
+      }
+    }
+  });
+  for (Shard& s : w.shards) s.pending.clear();
   w.batch.clear();
 }
 
@@ -374,8 +442,7 @@ void schedule_barrier_wake(ParWorld& w, int rank, double t,
 /// at t_last + hw, waking the last-arriving rank first (in the serial
 /// engine its own sleep expires before the rendezvous queue's FIFO
 /// wake-ups are issued), then the rest in arrival order.
-void apply_barrier(ParWorld& w,
-                   const std::vector<std::vector<std::uint64_t>>& gseq) {
+void apply_barrier(ParWorld& w, const std::vector<des::Simulator*>& lps) {
   const double hw = w.config->hw_barrier_latency_s;
   if (hw <= 0.0 || w.nranks == 1) return;
   // This window's new arrivals carry a log_idx into a log that is about
@@ -385,7 +452,7 @@ void apply_barrier(ParWorld& w,
   for (Shard& s : w.shards) {
     for (BarrierArrival& a : s.barrier_arrivals) {
       if (!a.resolved) {
-        a.g = gseq[static_cast<std::size_t>(a.lp)][a.log_idx];
+        a.g = lps[static_cast<std::size_t>(a.lp)]->window_gseq()[a.log_idx];
         a.resolved = true;
       }
     }
@@ -430,18 +497,26 @@ void apply_barrier(ParWorld& w,
 }
 
 void flush(ParWorld& w, des::WindowOrder& order,
-           const std::vector<des::Simulator*>& lps) {
+           const std::vector<des::Simulator*>& lps, des::WorkerPool& pool) {
   const double m0 = wall_now();
-  const std::vector<std::vector<std::uint64_t>> gseq = order.merge(lps);
+  order.merge(lps, &pool);
   w.merge_wall_s += wall_now() - m0;
-  // Resolve pending-event tags BEFORE scheduling anything new: the
-  // queues order same-time ties by tag at sift time, so a delivery
-  // pushed while older events still carry window-local tags would sort
-  // ahead of events whose resolved position precedes its sender's.
-  for (std::size_t i = 0; i < lps.size(); ++i)
-    lps[i]->finalize_order_window(gseq[i]);
-  apply_pending_sends(w, gseq);
-  apply_barrier(w, gseq);
+  const std::vector<std::uint32_t>& segs = order.last_segment_events();
+  if (!segs.empty()) {
+    obs::Registry& reg = obs::Registry::global();
+    w.merge_segments += segs.size();
+    for (const std::uint32_t sz : segs) {
+      reg.observe(w.seg_hist, sz);
+      if (sz > w.merge_seg_max) w.merge_seg_max = sz;
+    }
+  }
+  // The merge marked every LP's window resolvable, so deliveries and
+  // barrier wakes pushed below sort correctly against still-pending
+  // window-local tags (the queues resolve those lazily through the
+  // epoch tables — no per-window rewrite of pending entries).
+  apply_pending_sends(w, lps, pool);
+  apply_barrier(w, lps);
+  for (des::Simulator* lp : lps) lp->commit_order_window();
 }
 
 }  // namespace
@@ -495,10 +570,15 @@ std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
   std::vector<des::Simulator*> lps;
   lps.reserve(world.shards.size());
   for (Shard& s : world.shards) lps.push_back(&s.sim);
-  des::WindowOrder order(static_cast<std::uint64_t>(nranks));
+  des::WindowOrder order(
+      static_cast<std::uint64_t>(nranks),
+      static_cast<std::uint32_t>(std::max(options.sim_merge_min_events, 0)));
   des::ConservativeStats cs;
   des::run_conservative(
-      lps, [&world, &order, &lps] { flush(world, order, lps); },
+      lps,
+      [&world, &order, &lps](des::WorkerPool& pool) {
+        flush(world, order, lps, pool);
+      },
       options.sim_workers, lookahead, &cs);
 
   trace::EngineStats es;
@@ -508,6 +588,8 @@ std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
   es.work_limited = cs.work_limited;
   es.delivery_batches = world.delivery_batches;
   es.deliveries = world.deliveries;
+  es.merge_segments = world.merge_segments;
+  es.merge_seg_max = world.merge_seg_max;
   es.total_wall_s = cs.total_wall_s;
   es.flush_wall_s = cs.flush_wall_s;
   es.merge_wall_s = world.merge_wall_s;
@@ -518,6 +600,7 @@ std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
     es.lps[i].windows = cs.lps[i].windows;
     es.lps[i].idle_windows = cs.lps[i].idle_windows;
     es.lps[i].events = cs.lps[i].events;
+    es.lps[i].deliveries_in = world.deliveries_in[i];
     es.lps[i].busy_wall_s = cs.lps[i].busy_wall_s;
   }
   for (const int lp : world.lp_of_rank)
@@ -543,6 +626,9 @@ std::optional<SimRunResult> run_parallel(const mach::MachineConfig& machine,
     reg.add(reg.counter("hpcx_pdes_deliveries_total",
                         "cross-LP sends applied by flushes"),
             es.deliveries);
+    reg.add(reg.counter("hpcx_pdes_merge_segments_total",
+                        "time-disjoint segments merged by the order merge"),
+            es.merge_segments);
     const obs::MetricId stall = reg.counter(
         "hpcx_pdes_stall_ns", "worker-nanoseconds idle at window barriers");
     reg.add(stall, static_cast<std::uint64_t>(es.stall_wall_s * 1e9));

@@ -60,6 +60,12 @@ struct SimRunOptions {
   /// topology leaf group). Setting this > 1 exercises the parallel
   /// engine even with sim_workers = 1.
   int sim_lps = 0;
+  /// Per-segment size floor of the parallel order merge (0 = tuned
+  /// default). Production runs leave this alone; tests lower it so
+  /// small windows exercise the segmented-merge boundary search. Any
+  /// value produces the same schedule — segmentation only re-buckets
+  /// identical merge output.
+  int sim_merge_min_events = 0;
   /// Record event predecessor edges and write the critical-path
   /// analysis into *critical_path (both must be set). Serial engine
   /// only: the parallel path is skipped for the run (the order log owns

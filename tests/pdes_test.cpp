@@ -126,6 +126,47 @@ INSTANTIATE_TEST_SUITE_P(AllMachines, PdesDeterminism,
                            return std::string(info.param.name);
                          });
 
+// Forced single-timestamp pile-ups at segment-forcing scale. Every
+// rank enters each round at the same instant (a barrier release), then
+// a tiny uniform alltoall pushes hundreds of equal-latency messages —
+// thousands of order-log entries share each timestamp across all LPs,
+// so the segmented merge's boundary search keeps rejecting candidate
+// splits (a split inside a pile-up would separate pushers from their
+// pushees) and must still reproduce the serial order bit-exactly.
+// sim_merge_min_events drops the segment-size floor so these small
+// windows segment like 64Ki-rank production windows do (the floor only
+// re-buckets identical merge output); dell_xeon covers the software
+// tree barrier, nec_sx8 the hardware-barrier rendezvous whose flush
+// tail stays serial. 16 LPs exceeds the 8 host workers, so worker
+// striding over LPs and merge segments is exercised too.
+TEST(PdesStress, SingleTimestampPileUpsAcrossLpCounts) {
+  constexpr int kPileRanks = 256;
+  const auto pileup_workload = [](xmpi::Comm& c) {
+    for (int round = 0; round < 2; ++round) {
+      c.barrier();
+      c.alltoall(xmpi::phantom_cbuf(kPileRanks * 8, xmpi::DType::kByte),
+                 xmpi::phantom_mbuf(kPileRanks * 8, xmpi::DType::kByte));
+    }
+    c.barrier();
+  };
+  for (auto machine : {mach::dell_xeon, mach::nec_sx8}) {
+    const mach::MachineConfig m = machine();
+    const xmpi::SimRunResult serial =
+        xmpi::run_on_machine(m, kPileRanks, pileup_workload);
+    for (int lps : {2, 3, 5, 7, 16}) {
+      xmpi::SimRunOptions options;
+      options.sim_workers = 8;
+      options.sim_lps = lps;
+      options.sim_merge_min_events = 16;
+      const xmpi::SimRunResult parallel =
+          xmpi::run_on_machine(m, kPileRanks, pileup_workload, options);
+      expect_same_result(
+          serial, parallel,
+          (m.short_name + " pile-up lps=" + std::to_string(lps)).c_str());
+    }
+  }
+}
+
 // Repeated multi-worker runs are bit-identical to each other — under
 // the tsan preset this doubles as the race hunt over the worker pool,
 // cross-LP inboxes and the order-reconstruction merge.

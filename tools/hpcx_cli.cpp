@@ -104,6 +104,7 @@ void usage() {
 std::vector<mach::MachineConfig> every_machine() {
   auto all = mach::all_machines();
   for (auto& m : mach::future_machines()) all.push_back(std::move(m));
+  all.push_back(mach::dell_xeon_wide());
   return all;
 }
 
