@@ -1,0 +1,31 @@
+#!/bin/sh
+# b_eff fixture: one small measured b_eff point over the forked
+# ProcComm transport, end to end through the reporting pipeline —
+#   1. bench_beff --procs 2 writes a run record and an obs scrape,
+#   2. json_check validates both files,
+#   3. hpcx_compare must accept the record against itself,
+#   4. the table must carry the headline b_eff row and the obs scrape
+#      the transport's send counters (proof the world really ran over
+#      shared memory, not a stub).
+#
+# usage: beff_fixture.sh <bench_beff> <json_check> <hpcx_compare> <workdir>
+set -e
+BEFF=$1
+CHECK=$2
+COMPARE=$3
+OUT=$4
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+"$BEFF" --procs 2 --repeats 2 \
+    --metrics-out "$OUT/beff.json" --obs-out "$OUT/beff_obs.json" \
+    > "$OUT/beff.txt"
+grep -q "b_eff" "$OUT/beff.txt"
+
+"$CHECK" "$OUT/beff.json"
+"$CHECK" "$OUT/beff_obs.json"
+grep -q "hpcx_procs_sends_total" "$OUT/beff_obs.json"
+
+"$COMPARE" "$OUT/beff.json" "$OUT/beff.json"
+echo "beff fixture: measured 2-proc b_eff record validated and self-compared"

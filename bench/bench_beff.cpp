@@ -1,0 +1,43 @@
+// bench_beff — the b_eff effective-bandwidth benchmark, measured for
+// REAL over the multi-process ProcComm transport (forked ranks, POSIX
+// shared memory). Shared harness flags apply; the ones that matter:
+//
+//   --procs <n>     world size, one OS process per rank (default 4)
+//   --repeats <n>   timed ring iterations per pattern (min 2)
+//   --machine <m>   also simulate the random ring of machine <m> at the
+//                   same world size and show it as a comparison column
+//   --eager-max <b> transport eager/rendezvous threshold
+//
+// The table reports per-process natural-ring and random-ring bandwidth
+// over the size ladder plus the aggregate b_eff figure; --metrics-out
+// records b_eff so hpcx_compare can diff runs.
+#include <algorithm>
+
+#include "harness.hpp"
+#include "report/beff.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcx;
+  bench::Runner runner(argc, argv,
+                       "b_eff: measured ring/random-ring bandwidth over the "
+                       "multi-process ProcComm transport");
+  report::BeffOptions options;
+  if (runner.options().procs > 0) options.procs = runner.options().procs;
+  options.iterations = std::max(2, runner.options().repeats);
+  if (runner.options().eager_max_bytes > 0)
+    options.transport.eager_max_bytes = runner.options().eager_max_bytes;
+  if (runner.has_machine()) options.sim_machine = runner.options().machine;
+
+  const report::BeffReport report = report::run_beff(options);
+  runner.emit(report::beff_table(report));
+  if (runner.wants_metrics()) {
+    metrics::RunRecord& rec = runner.record();
+    rec.env.clock = "wall";
+    rec.cpus = report.procs;
+    rec.add_metric("beff/b_eff", report.beff_Bps, "B/s",
+                   metrics::Better::kHigher);
+    rec.add_metric("beff/b_eff_per_proc", report.beff_per_proc_Bps, "B/s",
+                   metrics::Better::kHigher);
+  }
+  return 0;
+}

@@ -49,6 +49,8 @@ void usage(const std::string& what) {
       "                      --obs-out and --trace-out when set)\n"
       "  --eager-max <bytes> thread-transport eager/rendezvous threshold\n"
       "                      for real-execution benches (0 = default)\n"
+      "  --procs <n>         rank count for real multi-process (ProcComm)\n"
+      "                      benches, e.g. bench_beff (0 = binary default)\n"
       "  --help              this message\n",
       what.c_str());
 }
@@ -103,6 +105,9 @@ Runner::Runner(int argc, char** argv, std::string what)
     } else if (arg == "--eager-max") {
       options_.eager_max_bytes = static_cast<std::size_t>(parse_cli_int(
           "--eager-max", next(), 0, std::numeric_limits<long long>::max()));
+    } else if (arg == "--procs") {
+      options_.procs =
+          static_cast<int>(parse_cli_int("--procs", next(), 1, 512));
     } else if (arg == "--help" || arg == "-h") {
       usage(what_);
       std::exit(0);

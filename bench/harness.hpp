@@ -82,6 +82,10 @@ struct Options {
   /// Thread-transport eager/rendezvous threshold for real-execution
   /// benches (0 = the transport default; see xmpi::TransportTuning).
   std::size_t eager_max_bytes = 0;
+  /// Rank count for real multi-process (ProcComm) benches — bench_beff
+  /// measures a world of this many forked processes (0 = the binary's
+  /// default). Distinct from --cpus, which narrows simulated sweeps.
+  int procs = 0;
 };
 
 class Runner {

@@ -1,0 +1,127 @@
+#include "report/beff.hpp"
+
+#include <cstring>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "hpcc/ring.hpp"
+#include "machine/registry.hpp"
+#include "xmpi/proc_comm.hpp"
+#include "xmpi/sim_comm.hpp"
+
+namespace hpcx::report {
+
+namespace {
+
+/// Rank 0's measurements cross the process boundary through the shared
+/// user area as a flat array of doubles: 3 per size (ring bw, random
+/// ring bw, random ring latency).
+constexpr std::size_t kDoublesPerSize = 3;
+
+}  // namespace
+
+std::vector<std::size_t> beff_default_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t b = 1; b <= (1u << 20); b *= 4) sizes.push_back(b);
+  return sizes;
+}
+
+BeffReport run_beff(const BeffOptions& options) {
+  HPCX_REQUIRE(options.procs >= 1, "b_eff needs at least one process");
+  const std::vector<std::size_t> sizes =
+      options.sizes.empty() ? beff_default_sizes() : options.sizes;
+  const int iterations = options.iterations;
+  const int patterns = options.patterns;
+
+  xmpi::ProcRunOptions run;
+  run.transport = options.transport;
+  run.ring_bytes = options.ring_bytes;
+  run.user_bytes = sizes.size() * kDoublesPerSize * sizeof(double);
+  xmpi::ProcRunResult measured = xmpi::run_on_procs(
+      options.procs,
+      [&sizes, iterations, patterns](xmpi::Comm& comm,
+                                     std::span<unsigned char> user) {
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+          const hpcc::RingResult ring =
+              hpcc::run_natural_ring(comm, sizes[i], iterations);
+          const hpcc::RingResult rring =
+              hpcc::run_random_ring(comm, sizes[i], iterations, patterns);
+          if (comm.rank() != 0) continue;
+          double cells[kDoublesPerSize] = {ring.bandwidth_per_cpu_Bps,
+                                           rring.bandwidth_per_cpu_Bps,
+                                           rring.latency_s};
+          std::memcpy(user.data() + i * sizeof(cells), cells, sizeof(cells));
+        }
+      },
+      run);
+
+  BeffReport rep;
+  rep.procs = options.procs;
+  rep.elapsed_s = measured.elapsed_s;
+  rep.points.resize(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    BeffPoint& p = rep.points[i];
+    p.msg_bytes = sizes[i];
+    double cells[kDoublesPerSize];
+    std::memcpy(cells, measured.user.data() + i * sizeof(cells),
+                sizeof(cells));
+    p.ring_Bps = cells[0];
+    p.rring_Bps = cells[1];
+    p.rring_latency_s = cells[2];
+  }
+
+  if (!options.sim_machine.empty()) {
+    // Phantom payloads: the simulated machine charges modelled transfer
+    // time either way, and the virtual clock is what we are after.
+    const mach::MachineConfig machine =
+        mach::machine_by_name(options.sim_machine);
+    xmpi::run_on_machine(
+        machine, options.procs,
+        [&rep, &sizes, iterations, patterns](xmpi::Comm& comm) {
+          for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const hpcc::RingResult r = hpcc::run_random_ring(
+                comm, sizes[i], iterations, patterns, 0xB0EFF,
+                /*phantom=*/true);
+            if (comm.rank() == 0) rep.points[i].sim_rring_Bps =
+                r.bandwidth_per_cpu_Bps;
+          }
+        });
+  }
+
+  double sum = 0;
+  for (const BeffPoint& p : rep.points) sum += p.rring_Bps;
+  rep.beff_per_proc_Bps =
+      rep.points.empty() ? 0 : sum / static_cast<double>(rep.points.size());
+  rep.beff_Bps = rep.beff_per_proc_Bps * rep.procs;
+  return rep;
+}
+
+Table beff_table(const BeffReport& report) {
+  Table t("b_eff effective bandwidth, " + std::to_string(report.procs) +
+          " processes (measured intra-host ProcComm)");
+  const bool sim = !report.points.empty() && report.points[0].sim_rring_Bps > 0;
+  std::vector<std::string> header = {"msg size", "ring bw/proc",
+                                     "rand-ring bw/proc", "rand-ring lat"};
+  if (sim) header.push_back("sim rand-ring bw/proc");
+  t.set_header(std::move(header));
+  for (const BeffPoint& p : report.points) {
+    std::vector<std::string> row = {
+        format_bytes(p.msg_bytes), format_bandwidth(p.ring_Bps),
+        format_bandwidth(p.rring_Bps), format_time(p.rring_latency_s)};
+    if (sim) row.push_back(format_bandwidth(p.sim_rring_Bps));
+    t.add_row(std::move(row));
+  }
+  t.add_note("b_eff = " + format_bandwidth(report.beff_Bps) + " aggregate (" +
+             format_bandwidth(report.beff_per_proc_Bps) +
+             " per process, random-ring average over " +
+             std::to_string(report.points.size()) + " sizes x " +
+             std::to_string(report.procs) + " procs)");
+  return t;
+}
+
+void print_beff(std::ostream& os, const BeffOptions& options) {
+  beff_table(run_beff(options)).print(os);
+}
+
+}  // namespace hpcx::report

@@ -1,0 +1,70 @@
+// The b_eff effective-bandwidth benchmark (Rabenseifner/Koniges), run
+// for real over the multi-process ProcComm transport: natural-ring and
+// random-ring exchange patterns over a ladder of message sizes,
+// aggregated into the single b_eff figure
+//
+//   b_eff = P * (1/|L|) * sum_{L} bw_randring(L)
+//
+// (per-process random-ring bandwidth averaged over the size ladder,
+// scaled to the whole world — the random-ring pattern is the paper's
+// proxy for application-shaped traffic). Reported alongside the
+// simulated Random-Ring numbers of the HPCC figures so measured
+// intra-host bandwidth and the machine model sit in one table.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "xmpi/thread_comm.hpp"  // TransportTuning
+
+namespace hpcx::report {
+
+struct BeffOptions {
+  int procs = 4;          ///< world size (one OS process per rank)
+  /// Message-size ladder; empty = the default geometric ladder
+  /// 1 B .. 1 MiB (powers of four).
+  std::vector<std::size_t> sizes;
+  int iterations = 4;     ///< timed ring iterations per pattern
+  int patterns = 3;       ///< random-ring permutations per size
+  xmpi::TransportTuning transport;  ///< eager/rendezvous + spin tuning
+  std::size_t ring_bytes = 64 * 1024;  ///< shared-memory ring capacity
+  /// When non-empty, also run the simulated random ring of this machine
+  /// (machine registry name, e.g. "dell_xeon") at the same world size
+  /// and show it as a comparison column.
+  std::string sim_machine;
+};
+
+/// One row of the ladder. Bandwidths are per-process (HPCC convention);
+/// the aggregate table scales by P.
+struct BeffPoint {
+  std::size_t msg_bytes = 0;
+  double ring_Bps = 0;        ///< measured natural ring
+  double rring_Bps = 0;       ///< measured random ring
+  double rring_latency_s = 0; ///< measured random-ring latency
+  double sim_rring_Bps = 0;   ///< simulated random ring (0 = not run)
+};
+
+struct BeffReport {
+  int procs = 0;
+  std::vector<BeffPoint> points;
+  double beff_Bps = 0;           ///< the headline aggregate
+  double beff_per_proc_Bps = 0;  ///< beff_Bps / procs
+  double elapsed_s = 0;          ///< wall time of the measured run
+};
+
+/// Default ladder: 1 B .. 1 MiB in powers of four (11 sizes).
+std::vector<std::size_t> beff_default_sizes();
+
+/// Run the measured patterns on `procs` forked ranks (and the optional
+/// simulated column) and aggregate.
+BeffReport run_beff(const BeffOptions& options = {});
+
+/// Render the ladder plus the b_eff summary rows.
+Table beff_table(const BeffReport& report);
+
+void print_beff(std::ostream& os, const BeffOptions& options = {});
+
+}  // namespace hpcx::report

@@ -1,0 +1,674 @@
+#include "xmpi/proc_comm.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <time.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "obs/registry.hpp"
+#include "xmpi/proc_shm.hpp"
+
+namespace hpcx::xmpi {
+
+namespace {
+
+using procshm::Segment;
+
+// Park cadence shared with the thread transport: ticked sleeps make
+// every blocked wait self-healing — a poisoned world is noticed within
+// one tick even though processes share no condition variables.
+constexpr auto kParkTick = std::chrono::milliseconds(1);
+
+/// 16-byte frame prefix streamed through the ring ahead of the payload.
+/// Both sides run in the same image on the same host, so the in-memory
+/// representation is the wire format.
+struct WireHeader {
+  std::int32_t tag = 0;
+  std::uint8_t dtype = 0;
+  std::uint8_t phantom = 0;
+  std::uint8_t pad0 = 0;
+  std::uint8_t pad1 = 0;
+  std::uint64_t count = 0;
+};
+static_assert(sizeof(WireHeader) == 16, "wire header is 16 bytes");
+
+std::size_t payload_bytes_of(const WireHeader& wh) {
+  return wh.phantom != 0
+             ? 0
+             : static_cast<std::size_t>(wh.count) *
+                   dtype_size(static_cast<DType>(wh.dtype));
+}
+
+[[noreturn]] void throw_peer_failed(const procshm::Header& h) {
+  throw CommError("peer rank " + std::to_string(h.failed_rank.load()) +
+                  " failed");
+}
+
+/// Same diagnostics as the thread transport: name the offending frame,
+/// leave it queued so a corrected receive can still match it.
+[[noreturn]] void throw_mismatch(const WireHeader& wh, int src,
+                                 const MBuf& buf) {
+  if (wh.count != buf.count || static_cast<DType>(wh.dtype) != buf.dtype)
+    throw CommError(
+        "recv size/type mismatch from rank " + std::to_string(src) + " tag " +
+        std::to_string(wh.tag) + ": expected " + std::to_string(buf.count) +
+        " x " + std::string(to_string(buf.dtype)) + ", got " +
+        std::to_string(wh.count) + " x " +
+        std::string(to_string(static_cast<DType>(wh.dtype))) +
+        " (message left queued)");
+  throw CommError("phantom/real payload mismatch from rank " +
+                  std::to_string(src) + " tag " + std::to_string(wh.tag) +
+                  " (message left queued)");
+}
+
+bool matches_shape(const WireHeader& wh, const MBuf& buf) {
+  return wh.count == buf.count && static_cast<DType>(wh.dtype) == buf.dtype &&
+         (buf.count == 0 || (wh.phantom != 0) == buf.phantom());
+}
+
+/// Producer/consumer view over one SPSC ring. Cursors are free-running
+/// byte counts; capacity is a power of two, so positions wrap with a
+/// mask and every transfer is at most two memcpys.
+struct RingView {
+  procshm::RingHeader* h = nullptr;
+  unsigned char* data = nullptr;
+  std::size_t cap = 0;
+
+  std::size_t writable() const {
+    return cap - (h->tail.load(std::memory_order_relaxed) -
+                  h->head.load(std::memory_order_acquire));
+  }
+  void write(const void* src, std::size_t n) {
+    const std::uint64_t t = h->tail.load(std::memory_order_relaxed);
+    const std::size_t i = static_cast<std::size_t>(t) & (cap - 1);
+    const std::size_t first = n < cap - i ? n : cap - i;
+    std::memcpy(data + i, src, first);
+    std::memcpy(data, static_cast<const unsigned char*>(src) + first,
+                n - first);
+    h->tail.store(t + n, std::memory_order_release);
+  }
+
+  std::size_t readable() const {
+    return h->tail.load(std::memory_order_acquire) -
+           h->head.load(std::memory_order_relaxed);
+  }
+  void read(void* dst, std::size_t n) {
+    const std::uint64_t hd = h->head.load(std::memory_order_relaxed);
+    const std::size_t i = static_cast<std::size_t>(hd) & (cap - 1);
+    const std::size_t first = n < cap - i ? n : cap - i;
+    std::memcpy(dst, data + i, first);
+    std::memcpy(static_cast<unsigned char*>(dst) + first, data, n - first);
+    h->head.store(hd + n, std::memory_order_release);
+  }
+};
+
+/// Completion flag shared between isend() and wait() within one rank
+/// (one process is single-threaded, so a plain bool suffices).
+struct SendState {
+  bool done = false;
+};
+
+/// An outbound message staged (eager) or parked (rendezvous) until the
+/// progress engine has streamed it fully into the destination ring.
+struct PendingSend {
+  int dst = 0;
+  unsigned char header[sizeof(WireHeader)];
+  const unsigned char* payload = nullptr;  ///< copy.get() or user buffer
+  std::unique_ptr<unsigned char[]> copy;   ///< eager staging block
+  std::size_t payload_bytes = 0;
+  std::size_t written = 0;  ///< over header + payload
+  std::shared_ptr<SendState> state;  ///< null for fire-and-forget eager
+};
+
+/// A fully assembled frame waiting for a matching receive.
+struct Deferred {
+  WireHeader wh;
+  std::unique_ptr<unsigned char[]> block;
+};
+
+/// Per-source reassembly state: frames can arrive split across many
+/// pump calls (the ring is smaller than the message, or the producer
+/// paused mid-frame), so the consumer runs a byte state machine.
+struct Incoming {
+  std::size_t header_read = 0;
+  unsigned char hbuf[sizeof(WireHeader)];
+  WireHeader wh;
+  bool direct = false;  ///< payload streams into the posted buffer
+  std::unique_ptr<unsigned char[]> block;
+  std::size_t payload_bytes = 0;
+  std::size_t payload_read = 0;
+
+  void reset() {
+    header_read = 0;
+    direct = false;
+    block.reset();
+    payload_bytes = 0;
+    payload_read = 0;
+  }
+};
+
+/// The receive a pump call is trying to satisfy in place.
+struct Posting {
+  int tag = 0;
+  MBuf buf;
+  bool completed = false;
+};
+
+class ProcComm final : public Comm {
+ public:
+  ProcComm(const Segment& seg, int rank, const TransportTuning& tuning)
+      : seg_(seg),
+        hdr_(&seg.header()),
+        rank_(rank),
+        nranks_(seg.header().nranks) {
+    set_peer_limit(nranks_);
+    eager_max_ = tuning.eager_max_bytes;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool oversubscribed =
+        hw != 0 && static_cast<unsigned>(nranks_) > hw;
+    spin_iters_ = tuning.spin_iters > 0 ? tuning.spin_iters
+                                        : (oversubscribed ? 512 : 16384);
+    pending_.resize(static_cast<std::size_t>(nranks_));
+    deferred_.resize(static_cast<std::size_t>(nranks_));
+    incoming_.resize(static_cast<std::size_t>(nranks_));
+    out_.resize(static_cast<std::size_t>(nranks_));
+    in_.resize(static_cast<std::size_t>(nranks_));
+    for (int peer = 0; peer < nranks_; ++peer) {
+      out_[peer] = RingView{&seg.ring_header(rank_, peer),
+                            seg.ring_data(rank_, peer),
+                            static_cast<std::size_t>(hdr_->ring_bytes)};
+      in_[peer] = RingView{&seg.ring_header(peer, rank_),
+                           seg.ring_data(peer, rank_),
+                           static_cast<std::size_t>(hdr_->ring_bytes)};
+    }
+  }
+
+  int rank() const override { return rank_; }
+  int size() const override { return nranks_; }
+
+  double now() override {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    const std::int64_t ns =
+        static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+    return static_cast<double>(ns - hdr_->epoch_ns) * 1e-9;
+  }
+
+  /// Flush every staged send into the rings before the rank exits, so
+  /// receivers still draining can complete after this process is gone
+  /// (frames live in the segment, not in this address space).
+  void finalize() {
+    int polls = 0;
+    while (pending_count_ > 0) {
+      check_abort();
+      if (progress()) {
+        polls = 0;
+        continue;
+      }
+      if (++polls >= spin_iters_) {
+        std::this_thread::sleep_for(kParkTick);
+        polls = 0;
+      }
+    }
+  }
+
+  /// Fold this rank's counters into its segment slot for the parent.
+  void fold_stats() {
+    procshm::RankSlot& s = seg_.slot(rank_);
+    s.sends.fetch_add(sends_, std::memory_order_relaxed);
+    s.bytes_sent.fetch_add(bytes_sent_, std::memory_order_relaxed);
+    s.eager_sends.fetch_add(eager_sends_, std::memory_order_relaxed);
+    s.rendezvous_sends.fetch_add(rendezvous_sends_,
+                                 std::memory_order_relaxed);
+  }
+
+ protected:
+  void send_impl(int dst, int tag, CBuf buf) override {
+    // A self-send must always be eager: the one process cannot both
+    // park in send and run the matching receive.
+    const bool eager = dst == rank_ || buf.bytes() <= eager_max_;
+    if (eager) {
+      enqueue(dst, tag, buf, /*stage_copy=*/true, nullptr);
+      progress();
+      return;
+    }
+    auto st = std::make_shared<SendState>();
+    enqueue(dst, tag, buf, /*stage_copy=*/false, st);
+    wait_done(*st);
+  }
+
+  SendRequest isend_impl(int dst, int tag, CBuf buf) override {
+    const bool eager = dst == rank_ || buf.bytes() <= eager_max_;
+    if (eager) {
+      // The staging copy makes the user buffer reusable immediately:
+      // the request completes at once and wait() is a no-op.
+      enqueue(dst, tag, buf, /*stage_copy=*/true, nullptr);
+      progress();
+      return SendRequest{};
+    }
+    auto st = std::make_shared<SendState>();
+    enqueue(dst, tag, buf, /*stage_copy=*/false, st);
+    progress();
+    if (st->done) return SendRequest{};
+    return make_request(st);
+  }
+
+  void wait_impl(SendRequest& req) override {
+    auto st = std::static_pointer_cast<SendState>(request_state(req));
+    wait_done(*st);
+  }
+
+  void recv_impl(int src, int tag, MBuf buf) override {
+    Posting post{tag, buf, false};
+    int polls = 0;
+    for (;;) {
+      check_abort();
+      // 1. Arrival order is deferred-list order: the oldest queued
+      //    frame with this tag matches first (validate before dequeue —
+      //    a mismatch throws and leaves it queued).
+      auto& dq = deferred_[static_cast<std::size_t>(src)];
+      for (auto it = dq.begin(); it != dq.end(); ++it) {
+        if (it->wh.tag != tag) continue;
+        if (!matches_shape(it->wh, buf)) throw_mismatch(it->wh, src, buf);
+        if (!buf.phantom() && it->block != nullptr)
+          std::memcpy(buf.data, it->block.get(), payload_bytes_of(it->wh));
+        dq.erase(it);
+        return;
+      }
+      // 2. Pump the source ring with this receive posted: a matching
+      //    frame at the ring head streams straight into `buf`.
+      bool prog = pump(src, &post);
+      if (post.completed) return;
+      // 3. Keep our own outbound traffic moving and drain every other
+      //    ring into deferred lists — senders blocked on a full ring
+      //    toward us must never deadlock against this receive.
+      prog |= push_pending();
+      for (int s = 0; s < nranks_; ++s)
+        if (s != src) prog |= pump(s, nullptr);
+      if (prog) {
+        polls = 0;
+        continue;
+      }
+      if (++polls >= spin_iters_) {
+        std::this_thread::sleep_for(kParkTick);
+        polls = 0;
+      }
+    }
+  }
+
+  void compute_impl(double seconds) override {
+    // Mirror ThreadComm: charge with a sleep so relative timings stay
+    // meaningful on the real clock.
+    if (seconds > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
+ private:
+  void check_abort() const {
+    if (hdr_->aborted.load(std::memory_order_acquire))
+      throw_peer_failed(*hdr_);
+  }
+
+  void enqueue(int dst, int tag, CBuf buf, bool stage_copy,
+               std::shared_ptr<SendState> st) {
+    PendingSend p;
+    p.dst = dst;
+    WireHeader wh;
+    wh.tag = tag;
+    wh.dtype = static_cast<std::uint8_t>(buf.dtype);
+    wh.phantom = buf.phantom() ? 1 : 0;
+    wh.count = buf.count;
+    std::memcpy(p.header, &wh, sizeof(wh));
+    p.payload_bytes = buf.phantom() ? 0 : buf.bytes();
+    if (stage_copy) {
+      if (p.payload_bytes > 0) {
+        p.copy = std::make_unique<unsigned char[]>(p.payload_bytes);
+        std::memcpy(p.copy.get(), buf.data, p.payload_bytes);
+        p.payload = p.copy.get();
+      }
+      ++eager_sends_;
+    } else {
+      p.payload = static_cast<const unsigned char*>(buf.data);
+      ++rendezvous_sends_;
+    }
+    p.state = std::move(st);
+    ++sends_;
+    bytes_sent_ += p.payload_bytes;
+    pending_[static_cast<std::size_t>(dst)].push_back(std::move(p));
+    ++pending_count_;
+  }
+
+  /// Stream queue heads into their rings as far as space allows.
+  /// Per-destination queues keep frames of one (src,dst) pair strictly
+  /// ordered and never interleaved.
+  bool push_pending() {
+    bool prog = false;
+    for (int dst = 0; dst < nranks_; ++dst) {
+      auto& q = pending_[static_cast<std::size_t>(dst)];
+      while (!q.empty()) {
+        PendingSend& p = q.front();
+        RingView& ring = out_[static_cast<std::size_t>(dst)];
+        const std::size_t total = sizeof(WireHeader) + p.payload_bytes;
+        std::size_t space = ring.writable();
+        while (space > 0 && p.written < total) {
+          std::size_t n;
+          if (p.written < sizeof(WireHeader)) {
+            n = sizeof(WireHeader) - p.written;
+            if (n > space) n = space;
+            ring.write(p.header + p.written, n);
+          } else {
+            const std::size_t off = p.written - sizeof(WireHeader);
+            n = p.payload_bytes - off;
+            if (n > space) n = space;
+            ring.write(p.payload + off, n);
+          }
+          p.written += n;
+          space -= n;
+          prog = true;
+        }
+        if (p.written < total) break;  // ring full; try again later
+        if (p.state != nullptr) p.state->done = true;
+        q.pop_front();
+        --pending_count_;
+      }
+    }
+    return prog;
+  }
+
+  /// Drain the ring from `src`. With a posting, a tag-matching frame at
+  /// the head streams directly into the posted buffer; everything else
+  /// is assembled into the deferred list. Returns true on any progress;
+  /// stops early when a frame with the posted tag completed either way,
+  /// so the caller re-runs the FIFO deferred scan.
+  bool pump(int src, Posting* post) {
+    RingView& ring = in_[static_cast<std::size_t>(src)];
+    Incoming& inc = incoming_[static_cast<std::size_t>(src)];
+    bool prog = false;
+    for (;;) {
+      if (inc.header_read < sizeof(WireHeader)) {
+        const std::size_t avail = ring.readable();
+        if (avail == 0) return prog;
+        std::size_t n = sizeof(WireHeader) - inc.header_read;
+        if (n > avail) n = avail;
+        ring.read(inc.hbuf + inc.header_read, n);
+        inc.header_read += n;
+        prog = true;
+        if (inc.header_read < sizeof(WireHeader)) continue;
+        std::memcpy(&inc.wh, inc.hbuf, sizeof(WireHeader));
+        inc.payload_bytes = payload_bytes_of(inc.wh);
+        inc.payload_read = 0;
+        if (post != nullptr && !post->completed && inc.wh.tag == post->tag) {
+          // The deferred scan already ran, so this is the oldest frame
+          // with the posted tag: validate it now. On mismatch, route it
+          // to the deferred list first — later pumps finish assembling
+          // it — then throw with the message left queued.
+          if (!matches_shape(inc.wh, post->buf)) {
+            inc.direct = false;
+            if (inc.payload_bytes > 0)
+              inc.block =
+                  std::make_unique<unsigned char[]>(inc.payload_bytes);
+            throw_mismatch(inc.wh, src, post->buf);
+          }
+          inc.direct = true;
+        } else {
+          inc.direct = false;
+          if (inc.payload_bytes > 0)
+            inc.block = std::make_unique<unsigned char[]>(inc.payload_bytes);
+        }
+      }
+      if (inc.payload_read < inc.payload_bytes) {
+        const std::size_t avail = ring.readable();
+        std::size_t n = inc.payload_bytes - inc.payload_read;
+        if (n > avail) n = avail;
+        if (n == 0) return prog;
+        unsigned char* dst =
+            inc.direct
+                ? static_cast<unsigned char*>(post->buf.data) +
+                      inc.payload_read
+                : inc.block.get() + inc.payload_read;
+        ring.read(dst, n);
+        inc.payload_read += n;
+        prog = true;
+        if (inc.payload_read < inc.payload_bytes) continue;
+      }
+      // Frame complete.
+      const bool was_direct = inc.direct;
+      const std::int32_t tag = inc.wh.tag;
+      if (was_direct) {
+        post->completed = true;
+        inc.reset();
+        return true;
+      }
+      deferred_[static_cast<std::size_t>(src)].push_back(
+          Deferred{inc.wh, std::move(inc.block)});
+      inc.reset();
+      // A same-tag frame just became visible in the deferred list; the
+      // caller's FIFO scan must pick it up before any newer frame could
+      // match the posting directly.
+      if (post != nullptr && !post->completed && tag == post->tag)
+        return true;
+    }
+  }
+
+  bool progress() {
+    bool prog = push_pending();
+    for (int s = 0; s < nranks_; ++s) prog |= pump(s, nullptr);
+    return prog;
+  }
+
+  void wait_done(SendState& st) {
+    int polls = 0;
+    while (!st.done) {
+      check_abort();
+      if (progress()) {
+        polls = 0;
+        continue;
+      }
+      if (st.done) return;
+      if (++polls >= spin_iters_) {
+        std::this_thread::sleep_for(kParkTick);
+        polls = 0;
+      }
+    }
+  }
+
+  const Segment& seg_;
+  procshm::Header* hdr_;
+  int rank_;
+  int nranks_;
+  std::size_t eager_max_ = 0;
+  int spin_iters_ = 0;
+
+  std::vector<RingView> out_;  ///< rank_ -> peer, indexed by peer
+  std::vector<RingView> in_;   ///< peer -> rank_, indexed by peer
+  std::vector<std::deque<PendingSend>> pending_;  ///< per destination
+  std::size_t pending_count_ = 0;
+  std::vector<std::deque<Deferred>> deferred_;  ///< per source
+  std::vector<Incoming> incoming_;              ///< per source
+
+  // Plain counters (single-threaded rank); folded into the segment
+  // slot once on exit.
+  std::uint64_t sends_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t eager_sends_ = 0;
+  std::uint64_t rendezvous_sends_ = 0;
+};
+
+/// Record an exception into the rank's slot (fixed-size, allocation
+/// free: the process is about to _exit).
+void record_error(procshm::RankSlot& slot, const char* what) {
+  std::size_t n = std::strlen(what);
+  if (n > sizeof(slot.error) - 1) n = sizeof(slot.error) - 1;
+  std::memcpy(slot.error, what, n);
+  slot.error[n] = '\0';
+  slot.has_error.store(1, std::memory_order_release);
+}
+
+/// Body shared by forked ranks and exec()ed workers. Returns the
+/// process exit code; on exception the world is poisoned before the
+/// error is recorded so blocked peers stop within one park tick.
+int rank_body(const Segment& seg, int rank, const ProcRankFn& fn,
+              const TransportTuning& tuning) {
+  procshm::RankSlot& slot = seg.slot(rank);
+  slot.pid.store(static_cast<std::int32_t>(getpid()),
+                 std::memory_order_relaxed);
+  try {
+    ProcComm comm(seg, rank, tuning);
+    fn(comm, std::span<unsigned char>(seg.user(), seg.user_bytes()));
+    comm.finalize();
+    comm.fold_stats();
+    return 0;
+  } catch (const std::exception& e) {
+    procshm::poison(seg.header(), rank);
+    record_error(slot, e.what());
+    return 1;
+  } catch (...) {
+    procshm::poison(seg.header(), rank);
+    record_error(slot, "unknown exception");
+    return 1;
+  }
+}
+
+void fold_world_obs(const ProcRunResult& res) {
+  std::uint64_t sends = 0, bytes = 0, eager = 0, rdv = 0;
+  for (const ProcRankStats& s : res.rank_stats) {
+    sends += s.sends;
+    bytes += s.bytes_sent;
+    eager += s.eager_sends;
+    rdv += s.rendezvous_sends;
+  }
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(reg.counter("hpcx_procs_runs_total",
+                      "multi-process transport worlds completed"),
+          1);
+  reg.add(reg.counter("hpcx_procs_sends_total",
+                      "messages sent over the cross-process rings"),
+          sends);
+  reg.add(reg.counter("hpcx_procs_bytes_sent_total",
+                      "payload bytes sent over the cross-process rings"),
+          bytes);
+  reg.add(reg.counter("hpcx_procs_eager_sends_total",
+                      "sends that took the eager (staged-copy) path"),
+          eager);
+  reg.add(reg.counter("hpcx_procs_rendezvous_sends_total",
+                      "sends that streamed straight from the user buffer"),
+          rdv);
+}
+
+/// Compose the error run_on_procs throws from the first failure.
+std::string describe_failure(const ProcRunResult& res, bool timed_out) {
+  const int r = res.first_failed_rank();
+  const ProcRankOutcome& out = res.outcomes[static_cast<std::size_t>(r)];
+  std::string msg = "rank " + std::to_string(r);
+  if (!out.error.empty()) {
+    msg += " failed: " + out.error;
+  } else if (out.term_signal != 0) {
+    msg += " killed by signal " + std::to_string(out.term_signal);
+  } else {
+    msg += " exited with code " + std::to_string(out.exit_code);
+  }
+  if (timed_out) msg += " (world timed out; stragglers were killed)";
+  return msg;
+}
+
+}  // namespace
+
+bool ProcRunResult::failed() const { return first_failed_rank() >= 0; }
+
+int ProcRunResult::first_failed_rank() const {
+  for (std::size_t r = 0; r < outcomes.size(); ++r)
+    if (!outcomes[r].ok()) return static_cast<int>(r);
+  return -1;
+}
+
+ProcRunResult run_on_procs(int nranks, const ProcRankFn& fn,
+                           ProcRunOptions options) {
+  HPCX_REQUIRE(nranks >= 1, "run_on_procs needs nranks >= 1");
+  Segment seg = Segment::create_anonymous(nranks, options.ring_bytes,
+                                          options.user_bytes);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0; r < nranks; ++r) {
+    const pid_t pid = fork();
+    HPCX_REQUIRE(pid >= 0, std::string("fork failed: ") +
+                               std::strerror(errno));
+    if (pid == 0) {
+      // Child: run the rank and leave without flushing inherited stdio
+      // buffers or running parent-owned destructors — results travel
+      // through the segment, not through this process's teardown.
+      _exit(rank_body(seg, r, fn, options.transport));
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  procshm::SuperviseResult sup =
+      procshm::supervise_children(seg.header(), pids, options.timeout_s);
+
+  ProcRunResult res;
+  res.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  res.rank_stats.resize(static_cast<std::size_t>(nranks));
+  res.outcomes.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const procshm::RankSlot& slot = seg.slot(r);
+    ProcRankStats& st = res.rank_stats[static_cast<std::size_t>(r)];
+    st.sends = slot.sends.load(std::memory_order_relaxed);
+    st.bytes_sent = slot.bytes_sent.load(std::memory_order_relaxed);
+    st.eager_sends = slot.eager_sends.load(std::memory_order_relaxed);
+    st.rendezvous_sends =
+        slot.rendezvous_sends.load(std::memory_order_relaxed);
+    ProcRankOutcome& out = res.outcomes[static_cast<std::size_t>(r)];
+    out.exit_code = sup.outcomes[static_cast<std::size_t>(r)].exit_code;
+    out.term_signal = sup.outcomes[static_cast<std::size_t>(r)].term_signal;
+    if (slot.has_error.load(std::memory_order_acquire) != 0)
+      out.error = slot.error;
+  }
+  res.user.assign(seg.user(), seg.user() + seg.user_bytes());
+  fold_world_obs(res);
+  if (!options.collect_outcomes && res.failed())
+    throw CommError(describe_failure(res, sup.timed_out));
+  return res;
+}
+
+ProcRunResult run_on_procs(int nranks, const RankFn& fn,
+                           ProcRunOptions options) {
+  return run_on_procs(
+      nranks, [&fn](Comm& c, std::span<unsigned char>) { fn(c); },
+      std::move(options));
+}
+
+bool launched_by_hpcx() { return std::getenv("HPCX_PROC_SHM") != nullptr; }
+
+int run_launched(const RankFn& fn, TransportTuning tuning) {
+  const char* name = std::getenv("HPCX_PROC_SHM");
+  const char* rank_s = std::getenv("HPCX_PROC_RANK");
+  HPCX_REQUIRE(name != nullptr && rank_s != nullptr,
+               "run_launched: HPCX_PROC_SHM / HPCX_PROC_RANK not set "
+               "(start this program under hpcx_launch)");
+  Segment seg = Segment::attach(name);
+  char* end = nullptr;
+  const long rank = std::strtol(rank_s, &end, 10);
+  HPCX_REQUIRE(end != rank_s && *end == '\0' && rank >= 0 &&
+                   rank < seg.header().nranks,
+               std::string("run_launched: bad HPCX_PROC_RANK '") + rank_s +
+                   "'");
+  const int code = rank_body(
+      seg, static_cast<int>(rank),
+      [&fn](Comm& c, std::span<unsigned char>) { fn(c); }, tuning);
+  if (code != 0) {
+    const procshm::RankSlot& slot = seg.slot(static_cast<int>(rank));
+    std::fprintf(stderr, "hpcx rank %ld failed: %s\n", rank,
+                 slot.has_error.load() != 0 ? slot.error : "unknown error");
+  }
+  return code;
+}
+
+}  // namespace hpcx::xmpi

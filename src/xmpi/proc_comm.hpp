@@ -1,0 +1,116 @@
+// Multi-process backend: every rank is an OS process, data moves through
+// per-(src,dst) SPSC byte rings in a POSIX shared-memory segment
+// (xmpi/proc_shm.hpp). The same RankFn that runs on threads or on a
+// simulated machine runs here unmodified — this is the third substrate
+// of the conformance wall.
+//
+// Protocol (mirrors the ThreadComm transport, PR 2, across address
+// spaces):
+//  * Messages are length-prefixed frames streamed through the bounded
+//    ring: a 16-byte wire header (tag/count/dtype/phantom) followed by
+//    the payload. Frames larger than the ring stream through it in
+//    pieces — the producer advances tail as the consumer frees space —
+//    so any message size works with any ring size.
+//  * Eager (bytes <= eager_max_bytes): the payload is copied into a
+//    sender-private staging block and send()/isend() complete
+//    immediately; a progress engine pushes staged frames into the ring
+//    opportunistically from every blocking transport call (and flushes
+//    the rest when the rank finishes).
+//  * Rendezvous (bytes > eager_max_bytes): no staging copy — the frame
+//    streams straight from the user buffer; send()/wait() return once
+//    the last byte entered the ring (the buffer is then reusable).
+//  * Receives match (source, tag) with per-pair FIFO order: frames that
+//    do not match the posted receive are assembled into a
+//    receiver-private deferred list; a matching frame at the ring head
+//    streams directly into the posted buffer with no intermediate copy.
+//    Shape mismatches throw CommError naming rank/tag and leave the
+//    message queued, exactly like ThreadComm.
+//  * World-abort poisoning: a rank that dies — exception, exit, or
+//    SIGKILL — poisons the segment header (the parent's supervisor
+//    handles deaths the child could not report itself) and every rank
+//    blocked in the transport throws CommError("peer rank N failed")
+//    within one park tick. Peer death surfaces as an error, never a
+//    hang; a supervisor timeout SIGKILLs stragglers as a last resort.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/thread_comm.hpp"  // TransportTuning
+
+namespace hpcx::xmpi {
+
+/// Transport stats of one rank, read back from the segment after the
+/// world joined (the boundary tests assert eager/rendezvous routing
+/// from the parent — child-side asserts would be invisible).
+struct ProcRankStats {
+  std::uint64_t sends = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t eager_sends = 0;
+  std::uint64_t rendezvous_sends = 0;
+};
+
+/// How one rank's process ended.
+struct ProcRankOutcome {
+  int exit_code = -1;   ///< valid when term_signal == 0
+  int term_signal = 0;  ///< e.g. SIGKILL for a murdered rank
+  std::string error;    ///< exception text the rank reported, if any
+  bool ok() const { return term_signal == 0 && exit_code == 0; }
+};
+
+struct ProcRunOptions {
+  TransportTuning transport;
+  /// Watchdog budget: after this many wall seconds the supervisor
+  /// poisons the world and SIGKILLs stragglers — a wedged world becomes
+  /// a reported failure, not a hang.
+  double timeout_s = 120.0;
+  /// Per-(src,dst) ring payload capacity (rounded up to a power of
+  /// two). Any message size works with any capacity; bigger rings just
+  /// buffer more in flight.
+  std::size_t ring_bytes = 64 * 1024;
+  /// Size of the shared user area handed to ProcRankFn and copied into
+  /// ProcRunResult::user after the join (zero-initialised).
+  std::size_t user_bytes = 0;
+  /// false: a failed rank makes run_on_procs throw CommError (first
+  /// failure's message). true: never throw; inspect
+  /// ProcRunResult::outcomes instead (fault-injection tests).
+  bool collect_outcomes = false;
+};
+
+struct ProcRunResult {
+  double elapsed_s = 0;
+  std::vector<ProcRankStats> rank_stats;  ///< indexed by rank
+  std::vector<ProcRankOutcome> outcomes;  ///< indexed by rank
+  /// Snapshot of the shared user area taken after every rank exited.
+  std::vector<unsigned char> user;
+  bool failed() const;
+  int first_failed_rank() const;  ///< -1 when all ranks succeeded
+};
+
+/// Rank body that also sees the shared user area (live shared memory:
+/// whatever ranks write is visible to the others and survives into
+/// ProcRunResult::user).
+using ProcRankFn = std::function<void(Comm&, std::span<unsigned char>)>;
+
+/// Run `fn` on `nranks` forked processes communicating over shared
+/// memory. Blocks until every rank exited (or the watchdog fired).
+ProcRunResult run_on_procs(int nranks, const RankFn& fn,
+                           ProcRunOptions options = {});
+ProcRunResult run_on_procs(int nranks, const ProcRankFn& fn,
+                           ProcRunOptions options = {});
+
+/// True when this process was exec()ed by hpcx_launch (HPCX_PROC_SHM
+/// and friends are in the environment).
+bool launched_by_hpcx();
+
+/// Worker side of hpcx_launch: attach to the launcher's segment, run
+/// `fn` as this process's rank, and return the process exit code (0 on
+/// success; 1 after an exception, with the world poisoned first and the
+/// error text both on stderr and in the rank's segment slot).
+int run_launched(const RankFn& fn, TransportTuning tuning = {});
+
+}  // namespace hpcx::xmpi

@@ -1,0 +1,256 @@
+#include "xmpi/proc_shm.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <thread>
+#include <time.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+
+namespace hpcx::xmpi::procshm {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+std::size_t align_up(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+struct Layout {
+  std::size_t ring_bytes;
+  std::size_t slots_offset;
+  std::size_t rings_offset;
+  std::size_t user_offset;
+  std::size_t total;
+};
+
+Layout compute_layout(int nranks, std::size_t ring_bytes,
+                      std::size_t user_bytes) {
+  HPCX_REQUIRE(nranks >= 1, "proc world needs at least one rank");
+  Layout l;
+  l.ring_bytes = pow2_at_least(ring_bytes < 4096 ? 4096 : ring_bytes);
+  l.slots_offset = align_up(sizeof(Header));
+  l.rings_offset = l.slots_offset + sizeof(RankSlot) * nranks;
+  const std::size_t per_ring = sizeof(RingHeader) + l.ring_bytes;
+  l.user_offset = l.rings_offset +
+                  per_ring * static_cast<std::size_t>(nranks) * nranks;
+  l.total = align_up(l.user_offset + user_bytes);
+  return l;
+}
+
+std::int64_t monotonic_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+void init_header(Header& h, int nranks, const Layout& l,
+                 std::size_t user_bytes) {
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.nranks = nranks;
+  h.ring_bytes = l.ring_bytes;
+  h.user_bytes = user_bytes;
+  h.slots_offset = l.slots_offset;
+  h.rings_offset = l.rings_offset;
+  h.user_offset = l.user_offset;
+  h.epoch_ns = monotonic_ns();
+  h.aborted.store(0);
+  h.failed_rank.store(-1);
+}
+
+}  // namespace
+
+Segment::Segment(Segment&& o) noexcept
+    : base_(o.base_), map_bytes_(o.map_bytes_), name_(std::move(o.name_)) {
+  o.base_ = nullptr;
+  o.map_bytes_ = 0;
+  o.name_.clear();
+}
+
+Segment& Segment::operator=(Segment&& o) noexcept {
+  if (this != &o) {
+    this->~Segment();
+    new (this) Segment(std::move(o));
+  }
+  return *this;
+}
+
+Segment::~Segment() {
+  if (base_ != nullptr) munmap(base_, map_bytes_);
+  base_ = nullptr;
+}
+
+Segment Segment::create_anonymous(int nranks, std::size_t ring_bytes,
+                                  std::size_t user_bytes) {
+  const Layout l = compute_layout(nranks, ring_bytes, user_bytes);
+  void* base = mmap(nullptr, l.total, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  HPCX_REQUIRE(base != MAP_FAILED,
+               "mmap of " + std::to_string(l.total) +
+                   "-byte proc segment failed: " + std::strerror(errno));
+  Segment s;
+  s.base_ = base;
+  s.map_bytes_ = l.total;
+  init_header(s.header(), nranks, l, user_bytes);
+  return s;
+}
+
+Segment Segment::create_named(int nranks, std::size_t ring_bytes,
+                              std::size_t user_bytes) {
+  const Layout l = compute_layout(nranks, ring_bytes, user_bytes);
+  static std::atomic<int> counter{0};
+  const std::string name = "/hpcx-" + std::to_string(getpid()) + "-" +
+                           std::to_string(counter.fetch_add(1));
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  HPCX_REQUIRE(fd >= 0,
+               "shm_open(" + name + ") failed: " + std::strerror(errno));
+  if (ftruncate(fd, static_cast<off_t>(l.total)) != 0) {
+    const int err = errno;
+    close(fd);
+    shm_unlink(name.c_str());
+    throw Error("ftruncate of proc segment " + name +
+                " failed: " + std::strerror(err));
+  }
+  void* base =
+      mmap(nullptr, l.total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  close(fd);
+  if (base == MAP_FAILED) {
+    shm_unlink(name.c_str());
+    throw Error("mmap of proc segment " + name +
+                " failed: " + std::strerror(map_err));
+  }
+  Segment s;
+  s.base_ = base;
+  s.map_bytes_ = l.total;
+  s.name_ = name;
+  init_header(s.header(), nranks, l, user_bytes);
+  return s;
+}
+
+Segment Segment::attach(const std::string& name) {
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  HPCX_REQUIRE(fd >= 0,
+               "shm_open(" + name + ") failed: " + std::strerror(errno));
+  // Map the header first to learn the full size.
+  void* probe = mmap(nullptr, sizeof(Header), PROT_READ, MAP_SHARED, fd, 0);
+  if (probe == MAP_FAILED) {
+    close(fd);
+    throw Error("mmap of proc segment header " + name + " failed");
+  }
+  const Header& h = *reinterpret_cast<const Header*>(probe);
+  HPCX_REQUIRE(h.magic == kMagic && h.version == kVersion,
+               "proc segment " + name + " has wrong magic/version");
+  const Layout l = compute_layout(
+      h.nranks, h.ring_bytes, h.user_bytes);
+  munmap(probe, sizeof(Header));
+  void* base =
+      mmap(nullptr, l.total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  close(fd);
+  HPCX_REQUIRE(base != MAP_FAILED, "mmap of proc segment " + name +
+                                       " failed: " + std::strerror(map_err));
+  Segment s;
+  s.base_ = base;
+  s.map_bytes_ = l.total;
+  s.name_ = name;
+  return s;
+}
+
+void Segment::unlink() {
+  if (!name_.empty()) shm_unlink(name_.c_str());
+}
+
+RankSlot& Segment::slot(int rank) const {
+  auto* bytes = static_cast<unsigned char*>(base_);
+  return reinterpret_cast<RankSlot*>(bytes + header().slots_offset)[rank];
+}
+
+RingHeader& Segment::ring_header(int src, int dst) const {
+  const Header& h = header();
+  auto* bytes = static_cast<unsigned char*>(base_);
+  const std::size_t per_ring = sizeof(RingHeader) + h.ring_bytes;
+  const std::size_t idx =
+      static_cast<std::size_t>(src) * h.nranks + static_cast<std::size_t>(dst);
+  return *reinterpret_cast<RingHeader*>(bytes + h.rings_offset +
+                                        idx * per_ring);
+}
+
+unsigned char* Segment::ring_data(int src, int dst) const {
+  return reinterpret_cast<unsigned char*>(&ring_header(src, dst)) +
+         sizeof(RingHeader);
+}
+
+unsigned char* Segment::user() const {
+  return static_cast<unsigned char*>(base_) + header().user_offset;
+}
+
+SuperviseResult supervise_children(Header& hdr, const std::vector<pid_t>& pids,
+                                   double timeout_s) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  SuperviseResult res;
+  res.outcomes.resize(pids.size());
+  for (std::size_t r = 0; r < pids.size(); ++r) res.outcomes[r].pid = pids[r];
+  std::size_t live = pids.size();
+  std::vector<bool> reaped(pids.size(), false);
+  bool killed = false;
+  while (live > 0) {
+    bool progressed = false;
+    for (std::size_t r = 0; r < pids.size(); ++r) {
+      if (reaped[r]) continue;
+      int status = 0;
+      const pid_t p = waitpid(pids[r], &status, WNOHANG);
+      if (p == 0) continue;
+      reaped[r] = true;
+      --live;
+      progressed = true;
+      ChildOutcome& out = res.outcomes[r];
+      if (p < 0) {
+        // Should not happen (the pid is our direct child); treat as a
+        // failure so it cannot pass silently.
+        out.exit_code = 127;
+      } else if (WIFEXITED(status)) {
+        out.exit_code = WEXITSTATUS(status);
+        out.term_signal = 0;
+      } else if (WIFSIGNALED(status)) {
+        out.exit_code = -1;
+        out.term_signal = WTERMSIG(status);
+      }
+      const bool failed = out.term_signal != 0 || out.exit_code != 0;
+      // A SIGKILLed child can never poison the world itself; the
+      // supervisor does it on its behalf so the survivors' next park
+      // tick converts the loss into CommError instead of a hang.
+      if (failed) poison(hdr, static_cast<int>(r));
+    }
+    if (live == 0) break;
+    if (!killed && clock::now() >= deadline) {
+      res.timed_out = true;
+      killed = true;
+      for (std::size_t r = 0; r < pids.size(); ++r) {
+        if (reaped[r]) continue;
+        poison(hdr, static_cast<int>(r));
+        kill(pids[r], SIGKILL);
+      }
+      continue;  // reap the corpses on the next pass
+    }
+    if (!progressed) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return res;
+}
+
+}  // namespace hpcx::xmpi::procshm

@@ -1,0 +1,146 @@
+// Shared-memory segment layout for the multi-process transport
+// (xmpi/proc_comm.hpp). One segment hosts a whole world: a header with
+// the world-abort flags, one stats/error slot per rank, an n x n grid
+// of SPSC byte rings (src-major), and an optional caller-visible "user"
+// area ranks and the launcher both can read/write (results written by
+// child processes cross the address-space boundary through it).
+//
+// Two lifetimes share this layout:
+//  * run_on_procs() maps it MAP_SHARED|MAP_ANONYMOUS and fork()s — the
+//    segment has no name and dies with the last mapping.
+//  * hpcx_launch creates a named POSIX shm object (shm_open) so that
+//    exec()ed workers can attach via the HPCX_PROC_SHM environment
+//    variable; the launcher unlinks it on exit.
+//
+// Everything in the segment is either a std::atomic (lock-free and
+// address-free on this platform, so valid across processes) or plain
+// bytes published/consumed under the ring cursors' release/acquire
+// pairs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace hpcx::xmpi::procshm {
+
+inline constexpr std::uint64_t kMagic = 0x48504358'50524F43ull;  // "HPCXPROC"
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Per-rank slot: transport stats folded in by the rank on exit, plus a
+/// fixed-size error message (child exception text must reach the parent
+/// without heap allocation in a dying process). `has_error` is the
+/// release-store publishing `error`.
+struct RankSlot {
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> eager_sends{0};
+  std::atomic<std::uint64_t> rendezvous_sends{0};
+  std::atomic<std::int32_t> pid{0};
+  std::atomic<std::int32_t> has_error{0};
+  char error[216];
+};
+static_assert(sizeof(RankSlot) == 256, "keep slots cache-line friendly");
+
+/// SPSC ring cursors. Free-running byte counts: readable = tail - head,
+/// writable = capacity - readable; positions wrap via pos & (cap - 1).
+/// Producer owns tail, consumer owns head; each publishes with a
+/// release store the other acquires.
+struct RingHeader {
+  std::atomic<std::uint64_t> head{0};  ///< consumer cursor
+  std::atomic<std::uint64_t> tail{0};  ///< producer cursor
+  char pad[48];
+};
+static_assert(sizeof(RingHeader) == 64, "one cache line");
+
+/// Segment header. `aborted`/`failed_rank` implement the world-abort
+/// poisoning: the first failure CASes failed_rank from -1 and sets
+/// aborted; every blocked transport loop polls aborted each tick and
+/// throws CommError("peer rank N failed"). The parent's supervisor sets
+/// it too when a child dies abnormally (e.g. SIGKILL), which a dead
+/// child never could.
+struct Header {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::int32_t nranks = 0;
+  std::uint64_t ring_bytes = 0;  ///< payload capacity per ring (pow2)
+  std::uint64_t user_bytes = 0;
+  std::uint64_t slots_offset = 0;
+  std::uint64_t rings_offset = 0;
+  std::uint64_t user_offset = 0;
+  std::int64_t epoch_ns = 0;  ///< CLOCK_MONOTONIC at creation; now() base
+  std::atomic<std::int32_t> aborted{0};
+  std::atomic<std::int32_t> failed_rank{-1};
+};
+
+/// First-failure-wins poisoning (mirrors ThreadComm's World::abort).
+inline void poison(Header& h, int rank) {
+  std::int32_t expected = -1;
+  h.failed_rank.compare_exchange_strong(expected, rank);
+  h.aborted.store(1, std::memory_order_release);
+}
+
+/// A mapped segment (owner or attached view). Move-only RAII over the
+/// mapping; unlink() additionally removes a named object.
+class Segment {
+ public:
+  Segment() = default;
+  Segment(Segment&& o) noexcept;
+  Segment& operator=(Segment&& o) noexcept;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  ~Segment();
+
+  /// MAP_ANONYMOUS | MAP_SHARED mapping for fork()-based worlds.
+  static Segment create_anonymous(int nranks, std::size_t ring_bytes,
+                                  std::size_t user_bytes);
+  /// shm_open a fresh named object (name auto-generated from the pid)
+  /// for exec()-based worlds; pass name() to workers via the
+  /// environment.
+  static Segment create_named(int nranks, std::size_t ring_bytes,
+                              std::size_t user_bytes);
+  /// Attach to an existing named object created by create_named().
+  static Segment attach(const std::string& name);
+
+  bool valid() const { return base_ != nullptr; }
+  const std::string& name() const { return name_; }
+  /// Remove the name (named segments only); mappings stay valid.
+  void unlink();
+
+  Header& header() const { return *reinterpret_cast<Header*>(base_); }
+  RankSlot& slot(int rank) const;
+  RingHeader& ring_header(int src, int dst) const;
+  unsigned char* ring_data(int src, int dst) const;
+  unsigned char* user() const;
+  std::size_t user_bytes() const { return header().user_bytes; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::string name_;  ///< empty for anonymous segments
+};
+
+/// One supervised child of a world.
+struct ChildOutcome {
+  pid_t pid = -1;
+  int exit_code = -1;   ///< valid when term_signal == 0
+  int term_signal = 0;  ///< non-zero when the child died of a signal
+};
+
+struct SuperviseResult {
+  bool timed_out = false;
+  std::vector<ChildOutcome> outcomes;  ///< indexed by rank
+};
+
+/// Reap `pids` (rank r == pids[r]), poisoning the world on the first
+/// abnormal exit so surviving ranks stop blocking, and SIGKILLing every
+/// straggler once `timeout_s` elapses (the watchdog budget: peer death
+/// or deadlock must surface as failure, never a hang).
+SuperviseResult supervise_children(Header& hdr,
+                                   const std::vector<pid_t>& pids,
+                                   double timeout_s);
+
+}  // namespace hpcx::xmpi::procshm

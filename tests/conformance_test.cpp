@@ -1,6 +1,7 @@
 // Randomized differential conformance suite: every collective, every
-// selectable algorithm, on both substrates (ThreadComm and SimComm),
-// checked bit-identically against a serial reference.
+// selectable algorithm, on all three substrates (ThreadComm, SimComm,
+// and the multi-process ProcComm), checked bit-identically against a
+// serial reference.
 //
 // Each case draws its shape — element count (including 0, 1, odd sizes
 // crossing the *_long_bytes thresholds), dtype, reduction operator,
@@ -17,8 +18,11 @@
 // HPCX_CONFORMANCE_CASES) so any failure replays exactly.
 //
 // Case volume: ranks 1-8 x HPCX_CONFORMANCE_CASES (default 80) cases
-// per rank count x 2 substrates = 1280 randomized cases per collective,
-// before multiplying by the per-collective algorithm sweep.
+// per rank count x 3 substrates = 1920 randomized cases per collective,
+// before multiplying by the per-collective algorithm sweep. On the
+// procs substrate the per-rank failure slots live in the world's shared
+// user area (test_util.hpp) — a child process's by-reference captures
+// and EXPECTs would be invisible to the parent running gtest.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -218,12 +222,12 @@ void sweep(Backend backend, std::uint64_t tag, bool reduction,
   for (int np = 1; np <= kMaxRanks; ++np) {
     const std::vector<Case> cases =
         make_cases(tag, np, reduction, small_blocks);
-    std::vector<std::string> fails(static_cast<std::size_t>(np));
-    run_world(backend, np, [&](Comm& c) {
-      c.tuning().table = nullptr;  // conformance tests the raw dispatch
-      for (std::size_t k = 0; k < cases.size(); ++k)
-        body(c, cases[k], k, fails[static_cast<std::size_t>(c.rank())]);
-    });
+    const std::vector<std::string> fails = test::run_world_collect(
+        backend, np, [&](Comm& c, std::string& fail) {
+          c.tuning().table = nullptr;  // conformance tests the raw dispatch
+          for (std::size_t k = 0; k < cases.size(); ++k)
+            body(c, cases[k], k, fail);
+        });
     for (int r = 0; r < np; ++r)
       EXPECT_TRUE(fails[static_cast<std::size_t>(r)].empty())
           << fails[static_cast<std::size_t>(r)];
@@ -493,7 +497,7 @@ TEST_P(Conformance, ReduceScatter) {
 
 INSTANTIATE_TEST_SUITE_P(
     Substrates, Conformance,
-    ::testing::Values(Backend::kThreads, Backend::kSim),
+    ::testing::Values(Backend::kThreads, Backend::kSim, Backend::kProcs),
     [](const ::testing::TestParamInfo<Backend>& info) {
       return std::string(test::to_string(info.param));
     });

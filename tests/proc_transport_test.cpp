@@ -1,0 +1,390 @@
+// Regression tests for the ProcComm multi-process transport, mirroring
+// transport_test.cpp across the fork boundary: eager/rendezvous
+// selection at the --eager-max threshold, per-(src,tag) FIFO under
+// flooding, mismatch diagnostics that keep the message queued, and the
+// world-abort poisoning — including the fault-injection case where one
+// rank is SIGKILLed mid-collective and every survivor must get
+// CommError within the watchdog budget instead of deadlocking.
+//
+// Every assertion runs in the parent: EXPECT/ASSERT inside a forked
+// child is invisible to gtest, so child-side checks report through the
+// shared user area (run_world_collect) or through ProcRunResult's
+// rank_stats / outcomes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "test_util.hpp"
+#include "xmpi/comm.hpp"
+#include "xmpi/proc_comm.hpp"
+
+namespace hpcx {
+namespace {
+
+using test::Backend;
+using xmpi::CBuf;
+using xmpi::Comm;
+using xmpi::MBuf;
+using xmpi::ProcRunOptions;
+using xmpi::ProcRunResult;
+
+/// Parent-side guard: the supervisor's own timeout already SIGKILLs a
+/// wedged world, so this second net only fires if run_on_procs itself
+/// regresses into a hang — in which case fail loudly and leave.
+void with_watchdog(const std::function<void()>& fn, int timeout_s = 60) {
+  auto fut = std::async(std::launch::async, fn);
+  if (fut.wait_for(std::chrono::seconds(timeout_s)) !=
+      std::future_status::ready) {
+    ADD_FAILURE() << "watchdog: proc world did not terminate within "
+                  << timeout_s << "s";
+    std::fflush(nullptr);
+    std::_Exit(3);
+  }
+  fut.get();
+}
+
+void expect_no_failures(const std::vector<std::string>& fails) {
+  for (std::size_t r = 0; r < fails.size(); ++r)
+    EXPECT_TRUE(fails[r].empty()) << "rank " << r << ": " << fails[r];
+}
+
+TEST(ProcAbort, ThrowingRankPoisonsBlockedReceivers) {
+  // Ranks 0 and 2 block in recv on rank 1, which throws: the supervisor
+  // must poison the world so the survivors throw CommError naming the
+  // dead peer instead of hanging.
+  with_watchdog([] {
+    ProcRunOptions options;
+    options.collect_outcomes = true;
+    const ProcRunResult res = xmpi::run_on_procs(
+        3,
+        [](Comm& c) {
+          if (c.rank() == 1) throw Error("boom");
+          double x = 0;
+          c.recv(1, 5, MBuf{&x, 1, xmpi::DType::kF64});
+        },
+        options);
+    ASSERT_TRUE(res.failed());
+    EXPECT_NE(res.outcomes[1].error.find("boom"), std::string::npos)
+        << res.outcomes[1].error;
+    for (const int survivor : {0, 2}) {
+      EXPECT_EQ(res.outcomes[survivor].exit_code, 1);
+      EXPECT_NE(res.outcomes[survivor].error.find("peer rank 1 failed"),
+                std::string::npos)
+          << res.outcomes[survivor].error;
+    }
+  });
+}
+
+TEST(ProcAbort, ThrowingRankUnparksRendezvousSender) {
+  // Rank 0's 256 KiB send is rendezvous and the 64 KiB ring fills with
+  // no receiver draining it: the poisoned world must unpark the blocked
+  // sender with CommError.
+  with_watchdog([] {
+    ProcRunOptions options;
+    options.collect_outcomes = true;
+    const ProcRunResult res = xmpi::run_on_procs(
+        2,
+        [](Comm& c) {
+          if (c.rank() == 1) throw Error("boom");
+          std::vector<unsigned char> buf(256 * 1024);
+          c.send(1, 5, xmpi::cbuf_bytes(buf.data(), buf.size()));
+        },
+        options);
+    ASSERT_TRUE(res.failed());
+    EXPECT_NE(res.outcomes[0].error.find("peer rank 1 failed"),
+              std::string::npos)
+        << res.outcomes[0].error;
+  });
+}
+
+TEST(ProcAbort, SigkillMidCollectiveSurfacesCommError) {
+  // Fault injection: rank 1 is destroyed by SIGKILL in the middle of an
+  // allreduce loop — it can never report or poison anything itself, so
+  // the supervisor must do it, and every surviving rank must come back
+  // with CommError("peer rank 1 failed") within the watchdog budget.
+  with_watchdog([] {
+    constexpr int kRanks = 4;
+    ProcRunOptions options;
+    options.collect_outcomes = true;
+    options.timeout_s = 45;  // the budget the abort must beat
+    const auto start = std::chrono::steady_clock::now();
+    const ProcRunResult res = xmpi::run_on_procs(
+        kRanks,
+        [](Comm& c) {
+          std::vector<double> in(4096, 1.0), out(4096);
+          for (int iter = 0;; ++iter) {
+            if (c.rank() == 1 && iter == 3) raise(SIGKILL);
+            c.allreduce(xmpi::cbuf(std::span<const double>(in)),
+                        xmpi::mbuf(std::span<double>(out)),
+                        xmpi::ROp::kSum);
+          }
+        },
+        options);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    ASSERT_TRUE(res.failed());
+    EXPECT_EQ(res.outcomes[1].term_signal, SIGKILL);
+    for (const int survivor : {0, 2, 3}) {
+      EXPECT_EQ(res.outcomes[survivor].term_signal, 0);
+      EXPECT_EQ(res.outcomes[survivor].exit_code, 1);
+      EXPECT_NE(res.outcomes[survivor].error.find("peer rank 1 failed"),
+                std::string::npos)
+          << "rank " << survivor << ": " << res.outcomes[survivor].error;
+    }
+    // Poisoning, not the timeout, must be what ended the world.
+    EXPECT_LT(elapsed, options.timeout_s / 2.0);
+  });
+}
+
+TEST(ProcAbort, WatchdogTimeoutKillsWedgedWorld) {
+  // A receive that can never match (nothing is ever sent) must not hang
+  // run_on_procs: the supervisor's deadline SIGKILLs the world.
+  with_watchdog([] {
+    ProcRunOptions options;
+    options.collect_outcomes = true;
+    options.timeout_s = 2.0;
+    const ProcRunResult res = xmpi::run_on_procs(
+        2,
+        [](Comm& c) {
+          if (c.rank() == 0) {
+            double x = 0;
+            c.recv(1, 99, MBuf{&x, 1, xmpi::DType::kF64});
+          }
+        },
+        options);
+    ASSERT_TRUE(res.failed());
+    // Rank 1 exits cleanly; rank 0 is either SIGKILLed by the deadline
+    // or, if it lost the race with the poisoning, throws CommError.
+    EXPECT_TRUE(res.outcomes[0].term_signal == SIGKILL ||
+                res.outcomes[0].exit_code == 1)
+        << "signal " << res.outcomes[0].term_signal << " exit "
+        << res.outcomes[0].exit_code;
+  });
+}
+
+TEST(ProcTransport, EagerRendezvousBoundary) {
+  // Sizes threshold-1 / threshold / threshold+1 around a 4 KiB eager
+  // threshold: exactly the first two take the staged-copy path, the
+  // third streams as rendezvous, and every payload arrives intact.
+  constexpr std::size_t kThreshold = 4096;
+  const std::size_t sizes[3] = {kThreshold - 1, kThreshold, kThreshold + 1};
+  ProcRunOptions options;
+  options.transport.eager_max_bytes = kThreshold;
+  options.user_bytes = 1;
+  with_watchdog([&] {
+    const ProcRunResult res = xmpi::run_on_procs(
+        2,
+        [&sizes](Comm& c, std::span<unsigned char> user) {
+          bool ok = true;
+          for (int k = 0; k < 3; ++k) {
+            std::vector<unsigned char> buf(sizes[k]);
+            if (c.rank() == 0) {
+              for (std::size_t i = 0; i < buf.size(); ++i)
+                buf[i] = static_cast<unsigned char>((i + k) & 0xff);
+              c.send(1, 40 + k, xmpi::cbuf_bytes(buf.data(), buf.size()));
+            } else {
+              c.recv(0, 40 + k, xmpi::mbuf_bytes(buf.data(), buf.size()));
+              for (std::size_t i = 0; i < buf.size(); i += 97)
+                ok = ok && buf[i] == static_cast<unsigned char>((i + k) & 0xff);
+            }
+          }
+          if (c.rank() == 1) user[0] = ok ? 1 : 2;
+        },
+        options);
+    EXPECT_EQ(res.user[0], 1) << "payload corruption on the receiver";
+    EXPECT_EQ(res.rank_stats[0].sends, 3u);
+    EXPECT_EQ(res.rank_stats[0].eager_sends, 2u);
+    EXPECT_EQ(res.rank_stats[0].rendezvous_sends, 1u);
+    EXPECT_EQ(res.rank_stats[0].bytes_sent, sizes[0] + sizes[1] + sizes[2]);
+    EXPECT_EQ(res.rank_stats[1].sends, 0u);
+  });
+}
+
+TEST(ProcTransport, SelfSendStaysEagerAtAnySize) {
+  // A rank sending to itself above the rendezvous threshold must buffer
+  // eagerly — one process cannot both park in send and run the
+  // matching receive.
+  with_watchdog([] {
+    const std::vector<std::string> fails = test::run_world_collect(
+        Backend::kProcs, 1, [](Comm& c, std::string& fail) {
+          std::vector<std::uint64_t> src(1 << 17), dst(1 << 17);
+          std::iota(src.begin(), src.end(), 0);
+          c.send(0, 3, xmpi::cbuf(std::span<const std::uint64_t>(src)));
+          c.recv(0, 3, xmpi::mbuf(std::span<std::uint64_t>(dst)));
+          if (dst.back() != src.back()) fail = "self-send payload lost";
+        });
+    expect_no_failures(fails);
+  });
+  // The eager classification itself is visible in the stats.
+  const ProcRunResult res = xmpi::run_on_procs(1, [](Comm& c) {
+    std::vector<std::uint64_t> src(1 << 17), dst(1 << 17);
+    c.send(0, 3, xmpi::cbuf(std::span<const std::uint64_t>(src)));
+    c.recv(0, 3, xmpi::mbuf(std::span<std::uint64_t>(dst)));
+  });
+  EXPECT_EQ(res.rank_stats[0].eager_sends, 1u);
+  EXPECT_EQ(res.rank_stats[0].rendezvous_sends, 0u);
+}
+
+TEST(ProcTransport, MismatchNamesSourceAndTagAndKeepsMessage) {
+  with_watchdog([] {
+    const std::vector<std::string> fails = test::run_world_collect(
+        Backend::kProcs, 2, [](Comm& c, std::string& fail) {
+          const int kTag = 7;
+          if (c.rank() == 0) {
+            double vals[4] = {1, 2, 3, 4};
+            c.send(1, kTag, CBuf{vals, 4, xmpi::DType::kF64});
+          } else {
+            double out[4] = {0, 0, 0, 0};
+            try {
+              c.recv(0, kTag, MBuf{out, 2, xmpi::DType::kF64});  // wrong count
+              fail = "mismatched recv did not throw";
+              return;
+            } catch (const CommError& e) {
+              const std::string what = e.what();
+              if (what.find("rank 0") == std::string::npos ||
+                  what.find("tag 7") == std::string::npos ||
+                  what.find("message left queued") == std::string::npos) {
+                fail = "bad mismatch diagnostic: " + what;
+                return;
+              }
+            }
+            // The message must still be matchable by a corrected receive.
+            c.recv(0, kTag, MBuf{out, 4, xmpi::DType::kF64});
+            if (out[0] != 1 || out[3] != 4)
+              fail = "message not kept after mismatch";
+          }
+        });
+    expect_no_failures(fails);
+  });
+}
+
+TEST(ProcTransport, ManyTagsFifoStress) {
+  // Every rank floods every other rank on several tags, then drains the
+  // tags in reverse order: per-(src, tag) FIFO must survive the
+  // deferred-list machinery across process boundaries, including
+  // streaming frames through rings much smaller than the backlog.
+  constexpr int kRanks = 4;
+  constexpr int kTags = 6;
+  constexpr int kMsgs = 25;
+  auto value = [](int src, int tag, int i) {
+    return static_cast<std::int32_t>(src * 100000 + tag * 1000 + i);
+  };
+  with_watchdog([&] {
+    const std::vector<std::string> fails = test::run_world_collect(
+        Backend::kProcs, kRanks, [&](Comm& c, std::string& fail) {
+          for (int i = 0; i < kMsgs; ++i)
+            for (int tag = 0; tag < kTags; ++tag)
+              for (int dst = 0; dst < kRanks; ++dst) {
+                if (dst == c.rank()) continue;
+                const std::int32_t v = value(c.rank(), tag, i);
+                c.send(dst, tag, CBuf{&v, 1, xmpi::DType::kI32});
+              }
+          for (int src = 0; src < kRanks; ++src) {
+            if (src == c.rank()) continue;
+            for (int tag = kTags - 1; tag >= 0; --tag)
+              for (int i = 0; i < kMsgs; ++i) {
+                std::int32_t v = -1;
+                c.recv(src, tag, MBuf{&v, 1, xmpi::DType::kI32});
+                if (v != value(src, tag, i) && fail.empty())
+                  fail = "FIFO broken at src " + std::to_string(src) +
+                         " tag " + std::to_string(tag) + " msg " +
+                         std::to_string(i) + ": got " + std::to_string(v);
+              }
+          }
+        });
+    expect_no_failures(fails);
+  });
+}
+
+TEST(ProcTransport, LargeSendrecvRingAboveThreshold) {
+  // Fully cyclic exchange at 4x the ring capacity: sendrecv must stream
+  // deadlock-free (isend under the hood) and deliver correct data.
+  constexpr std::size_t kBytes = 256 * 1024;
+  with_watchdog([] {
+    const std::vector<std::string> fails = test::run_world_collect(
+        Backend::kProcs, 3, [](Comm& c, std::string& fail) {
+          const int right = (c.rank() + 1) % c.size();
+          const int left = (c.rank() + c.size() - 1) % c.size();
+          std::vector<unsigned char> snd(kBytes,
+                                         static_cast<unsigned char>(c.rank()));
+          std::vector<unsigned char> rcv(kBytes, 0xFF);
+          c.sendrecv(right, 11, xmpi::cbuf_bytes(snd.data(), snd.size()),
+                     left, 11, xmpi::mbuf_bytes(rcv.data(), rcv.size()));
+          for (std::size_t i = 0; i < rcv.size(); i += 4097)
+            if (rcv[i] != static_cast<unsigned char>(left)) {
+              fail = "corrupt byte at " + std::to_string(i);
+              return;
+            }
+        });
+    expect_no_failures(fails);
+  });
+}
+
+TEST(ProcTransport, ZeroCountAndPhantomTraffic) {
+  // Zero-element messages and phantom (metadata-only) payloads both
+  // cross the ring as header-only frames.
+  with_watchdog([] {
+    const std::vector<std::string> fails = test::run_world_collect(
+        Backend::kProcs, 2, [](Comm& c, std::string& fail) {
+          if (c.rank() == 0) {
+            c.send(1, 1, CBuf{nullptr, 0, xmpi::DType::kF64});
+            c.send(1, 2, xmpi::phantom_cbuf(1 << 20, xmpi::DType::kByte));
+            double v = 42.0;
+            c.send(1, 3, CBuf{&v, 1, xmpi::DType::kF64});
+          } else {
+            c.recv(0, 1, MBuf{nullptr, 0, xmpi::DType::kF64});
+            c.recv(0, 2, xmpi::phantom_mbuf(1 << 20, xmpi::DType::kByte));
+            double v = 0;
+            c.recv(0, 3, MBuf{&v, 1, xmpi::DType::kF64});
+            if (v != 42.0) fail = "real payload after phantoms corrupted";
+          }
+        });
+    expect_no_failures(fails);
+  });
+}
+
+TEST(ProcTransport, IsendWaitIsIdempotentAndOrdered) {
+  // Multiple outstanding isends to the same destination complete in
+  // order; waiting twice on the same request is harmless.
+  with_watchdog([] {
+    const std::vector<std::string> fails = test::run_world_collect(
+        Backend::kProcs, 2, [](Comm& c, std::string& fail) {
+          constexpr int kN = 8;
+          if (c.rank() == 0) {
+            std::vector<std::vector<double>> bufs(kN);
+            std::vector<xmpi::SendRequest> reqs;
+            for (int i = 0; i < kN; ++i) {
+              bufs[i].assign(9000, static_cast<double>(i));  // rendezvous
+              reqs.push_back(c.isend(
+                  1, 21, xmpi::cbuf(std::span<const double>(bufs[i]))));
+            }
+            for (auto& r : reqs) {
+              c.wait(r);
+              c.wait(r);  // second wait must be a no-op
+            }
+          } else {
+            for (int i = 0; i < kN; ++i) {
+              std::vector<double> buf(9000, -1.0);
+              c.recv(0, 21, xmpi::mbuf(std::span<double>(buf)));
+              if (buf[17] != static_cast<double>(i) && fail.empty())
+                fail = "out-of-order isend: got " + std::to_string(buf[17]) +
+                       " want " + std::to_string(i);
+            }
+          }
+        });
+    expect_no_failures(fails);
+  });
+}
+
+}  // namespace
+}  // namespace hpcx

@@ -1,31 +1,90 @@
-// Shared helpers for tests that run the same rank function on both
-// backends (real threads and the simulated machine).
+// Shared helpers for tests that run the same rank function on every
+// backend (real threads, the simulated machine, and forked processes).
 #pragma once
 
+#include <cstdio>
+#include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "machine/registry.hpp"
 #include "xmpi/comm.hpp"
+#include "xmpi/proc_comm.hpp"
 #include "xmpi/sim_comm.hpp"
 #include "xmpi/thread_comm.hpp"
 
 namespace hpcx::test {
 
-enum class Backend { kThreads, kSim };
+enum class Backend { kThreads, kSim, kProcs };
 
 inline const char* to_string(Backend b) {
-  return b == Backend::kThreads ? "threads" : "sim";
+  switch (b) {
+    case Backend::kThreads:
+      return "threads";
+    case Backend::kSim:
+      return "sim";
+    case Backend::kProcs:
+      return "procs";
+  }
+  return "?";
 }
 
 /// Run `fn` on `nranks` ranks of the chosen backend. The sim backend uses
 /// the Dell Xeon model (2 CPUs/node: exercises both intra- and inter-node
 /// paths from 3 ranks up).
 inline void run_world(Backend backend, int nranks, const xmpi::RankFn& fn) {
-  if (backend == Backend::kThreads) {
-    xmpi::run_on_threads(nranks, fn);
-  } else {
-    xmpi::run_on_machine(mach::dell_xeon(), nranks, fn);
+  switch (backend) {
+    case Backend::kThreads:
+      xmpi::run_on_threads(nranks, fn);
+      return;
+    case Backend::kSim:
+      xmpi::run_on_machine(mach::dell_xeon(), nranks, fn);
+      return;
+    case Backend::kProcs:
+      xmpi::run_on_procs(nranks, fn);
+      return;
   }
+}
+
+/// Run `fn` with a per-rank failure string and collect the non-empty
+/// ones. A by-reference capture would be invisible across the kProcs
+/// fork boundary, so there the strings travel through fixed-size slots
+/// in the world's shared user area; in-process backends use plain
+/// strings. EXPECT/ASSERT inside a child process would be equally lost,
+/// which is why conformance checks report through this channel.
+using FailRankFn = std::function<void(xmpi::Comm&, std::string&)>;
+
+inline std::vector<std::string> run_world_collect(Backend backend, int nranks,
+                                                  const FailRankFn& fn) {
+  if (backend == Backend::kProcs) {
+    constexpr std::size_t kSlot = 1024;
+    xmpi::ProcRunOptions options;
+    options.user_bytes = kSlot * static_cast<std::size_t>(nranks);
+    const xmpi::ProcRunResult res = xmpi::run_on_procs(
+        nranks,
+        [&fn](xmpi::Comm& c, std::span<unsigned char> user) {
+          std::string fail;
+          fn(c, fail);
+          if (fail.empty()) return;
+          char* slot = reinterpret_cast<char*>(user.data()) +
+                       kSlot * static_cast<std::size_t>(c.rank());
+          std::snprintf(slot, kSlot, "%s", fail.c_str());
+        },
+        options);
+    std::vector<std::string> fails(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      const char* slot = reinterpret_cast<const char*>(res.user.data()) +
+                         kSlot * static_cast<std::size_t>(r);
+      fails[static_cast<std::size_t>(r)] = slot;  // user area is zeroed
+    }
+    return fails;
+  }
+  std::vector<std::string> fails(static_cast<std::size_t>(nranks));
+  run_world(backend, nranks, [&fn, &fails](xmpi::Comm& c) {
+    fn(c, fails[static_cast<std::size_t>(c.rank())]);
+  });
+  return fails;
 }
 
 /// Deterministic per-(rank, index) test payload.

@@ -15,6 +15,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/parse_num.hpp"
@@ -33,6 +34,7 @@
 #include "report/sweep.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
+#include "xmpi/proc_comm.hpp"
 #include "xmpi/sim_comm.hpp"
 #include "xmpi/thread_comm.hpp"
 #include "xmpi/tuner/tuning_table.hpp"
@@ -48,8 +50,11 @@ void usage() {
       "  --machine <name>         simulated machine (default: sx8)\n"
       "  --cpus <n>               CPU count (default: 64)\n"
       "  --threads <n>            run for REAL on n host threads instead\n"
-      "  --eager-max <bytes>      thread-transport eager/rendezvous\n"
-      "                           threshold (default: 32768; --threads only)\n"
+      "  --procs <n>              run for REAL on n forked processes over\n"
+      "                           POSIX shared memory (ProcComm) instead;\n"
+      "                           imb suite only (or use hpcx_launch)\n"
+      "  --eager-max <bytes>      transport eager/rendezvous threshold\n"
+      "                           (default: 32768; --threads/--procs only)\n"
       "  --suite hpcc|imb         which suite (default: imb)\n"
       "  --benchmark <name>       one IMB benchmark (default: all)\n"
       "  --msg-bytes <n>          IMB message size (default: 1048576)\n"
@@ -506,6 +511,139 @@ int run_imb_threads(int cpus, const ImbCliOptions& opts) {
   return 0;
 }
 
+/// Shared by both ProcComm paths: apply the forced algorithms, run the
+/// selected benchmarks reps times, and hand each rank-0 result to `emit`.
+void imb_proc_body(xmpi::Comm& c, const std::vector<imb::BenchmarkId>& ids,
+                   const ImbCliOptions& opts, int reps,
+                   const std::function<void(std::size_t, int,
+                                            const imb::ImbResult&)>& emit) {
+  c.tuning().bcast_alg = opts.bcast_alg;
+  c.tuning().allreduce_alg = opts.allreduce_alg;
+  c.tuning().allgather_alg = opts.allgather_alg;
+  c.tuning().alltoall_alg = opts.alltoall_alg;
+  c.tuning().reduce_scatter_alg = opts.reduce_scatter_alg;
+  for (std::size_t b = 0; b < ids.size(); ++b) {
+    imb::ImbParams params;
+    params.msg_bytes =
+        ids[b] == imb::BenchmarkId::kBarrier ? 0 : opts.msg_bytes;
+    params.phantom = false;
+    for (int rep = 0; rep < reps; ++rep) {
+      const imb::ImbResult res = imb::run_benchmark(ids[b], c, params);
+      if (c.rank() == 0) emit(b, rep, res);
+    }
+  }
+}
+
+/// Table + optional metrics record from the per-(benchmark, rep)
+/// results either ProcComm path produced.
+int report_imb_procs(int procs, const ImbCliOptions& opts,
+                     const std::vector<imb::BenchmarkId>& ids, int reps,
+                     const std::vector<imb::ImbResult>& results) {
+  Table t("IMB (" + std::string(format_bytes(opts.msg_bytes)) + ") on " +
+          std::to_string(procs) + " processes (ProcComm), " +
+          std::to_string(procs) + " CPUs");
+  t.set_header({"benchmark", "t_min", "t_avg", "t_max", "bandwidth"});
+  std::optional<metrics::RunRecord> record;
+  if (!opts.metrics_path.empty()) {
+    record = make_record(opts, std::nullopt, procs);
+    record->machine = "host-procs";
+  }
+  for (std::size_t b = 0; b < ids.size(); ++b) {
+    Stats t_avg;
+    for (int rep = 0; rep < reps; ++rep)
+      t_avg.add(results[b * static_cast<std::size_t>(reps) +
+                        static_cast<std::size_t>(rep)].t_avg_s);
+    const imb::ImbResult& r =
+        results[(b + 1) * static_cast<std::size_t>(reps) - 1];
+    if (record) {
+      const std::string base = std::string("imb/") + imb::to_string(ids[b]);
+      metrics::Metric& avg = record->add_metric(
+          base + "/t_avg", t_avg.mean(), "s", metrics::Better::kLower);
+      avg.repeats = static_cast<int>(t_avg.count());
+      avg.min = t_avg.min();
+      avg.max = t_avg.max();
+      avg.cov = t_avg.mean() > 0.0 ? t_avg.stddev() / t_avg.mean() : 0.0;
+      record->add_metric(base + "/t_max", r.t_max_s, "s",
+                         metrics::Better::kLower);
+      if (r.bandwidth_Bps > 0)
+        record->add_metric(base + "/bandwidth", r.bandwidth_Bps, "B/s",
+                           metrics::Better::kHigher);
+    }
+    t.add_row({imb::to_string(ids[b]), format_time(r.t_min_s),
+               format_time(r.t_avg_s), format_time(r.t_max_s),
+               r.bandwidth_Bps > 0 ? format_bandwidth(r.bandwidth_Bps)
+                                   : std::string("-")});
+  }
+  t.print(std::cout);
+  if (!opts.obs_path.empty()) {
+    const int rc = write_obs(opts.obs_path, nullptr, nullptr);
+    if (rc != 0) return rc;
+  }
+  if (record) return write_record(*record, opts.metrics_path);
+  return 0;
+}
+
+/// Real-execution IMB suite on forked processes. One ProcComm world
+/// runs all selected benchmarks; child memory is invisible to this
+/// parent, so rank 0 publishes each ImbResult through the segment's
+/// shared user area and the table is built from there.
+int run_imb_procs(int procs, const ImbCliOptions& opts) {
+  std::vector<imb::BenchmarkId> ids;
+  for (const auto id : imb::all_benchmarks())
+    if (!opts.only || id == *opts.only) ids.push_back(id);
+  const int reps = opts.metrics_path.empty() ? 1 : std::max(1, opts.repeats);
+  xmpi::ProcRunOptions run_options;
+  run_options.transport = opts.transport;
+  run_options.user_bytes =
+      ids.size() * static_cast<std::size_t>(reps) * sizeof(imb::ImbResult);
+  const xmpi::ProcRunResult world = xmpi::run_on_procs(
+      procs,
+      [&](xmpi::Comm& c, std::span<unsigned char> user) {
+        imb_proc_body(c, ids, opts, reps,
+                      [&user, reps](std::size_t b, int rep,
+                                    const imb::ImbResult& res) {
+                        std::memcpy(user.data() +
+                                        (b * static_cast<std::size_t>(reps) +
+                                         static_cast<std::size_t>(rep)) *
+                                            sizeof(imb::ImbResult),
+                                    &res, sizeof(imb::ImbResult));
+                      });
+      },
+      run_options);
+  std::vector<imb::ImbResult> results(ids.size() *
+                                      static_cast<std::size_t>(reps));
+  std::memcpy(results.data(), world.user.data(),
+              results.size() * sizeof(imb::ImbResult));
+  return report_imb_procs(procs, opts, ids, reps, results);
+}
+
+/// IMB suite inside an hpcx_launch world: this process is ONE rank of
+/// an already-created segment. Every rank runs the benchmark loop; rank
+/// 0 keeps the results in its own memory (no shared-area hop needed)
+/// and prints/records them.
+int run_imb_attached(const ImbCliOptions& opts) {
+  std::vector<imb::BenchmarkId> ids;
+  for (const auto id : imb::all_benchmarks())
+    if (!opts.only || id == *opts.only) ids.push_back(id);
+  const int reps = opts.metrics_path.empty() ? 1 : std::max(1, opts.repeats);
+  int rc = 0;
+  const int worker_rc = xmpi::run_launched(
+      [&](xmpi::Comm& c) {
+        std::vector<imb::ImbResult> results(
+            ids.size() * static_cast<std::size_t>(reps));
+        imb_proc_body(c, ids, opts, reps,
+                      [&results, reps](std::size_t b, int rep,
+                                       const imb::ImbResult& res) {
+                        results[b * static_cast<std::size_t>(reps) +
+                                static_cast<std::size_t>(rep)] = res;
+                      });
+        if (c.rank() != 0) return;
+        rc = report_imb_procs(c.size(), opts, ids, reps, results);
+      },
+      opts.transport);
+  return worker_rc != 0 ? worker_rc : rc;
+}
+
 int run_imb(const std::optional<mach::MachineConfig>& machine, int cpus,
             const ImbCliOptions& opts) {
   return machine ? run_imb_sim(*machine, cpus, opts)
@@ -560,6 +698,7 @@ int main(int argc, char** argv) {
   std::string benchmark;
   int cpus = 64;
   bool real_threads = false;
+  bool real_procs = false;
   ImbCliOptions imb_options;
 
   for (int i = 1; i < argc; ++i) {
@@ -587,6 +726,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       cpus = static_cast<int>(parse_cli_int("--threads", next(), 1, 1 << 20));
       real_threads = true;
+    } else if (arg == "--procs") {
+      cpus = static_cast<int>(parse_cli_int("--procs", next(), 1, 512));
+      real_procs = true;
     } else if (arg == "--eager-max") {
       imb_options.transport.eager_max_bytes = static_cast<std::size_t>(
           parse_cli_int("--eager-max", next(), 0,
@@ -644,6 +786,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (real_procs && real_threads) {
+    std::fprintf(stderr,
+                 "--procs and --threads are mutually exclusive: pick one "
+                 "real transport\n");
+    return 2;
+  }
+  if (real_procs && suite != "imb") {
+    std::fprintf(stderr, "--procs runs the imb suite only\n");
+    return 2;
+  }
+  if (real_procs && (imb_options.jobs > 1 || imb_options.sim_workers > 1)) {
+    std::fprintf(stderr,
+                 "--jobs/--sim-workers apply to simulated runs only; a "
+                 "--procs world already runs one rank per process\n");
+    return 2;
+  }
+  if (real_procs && (!imb_options.trace_path.empty() || imb_options.stats)) {
+    std::fprintf(stderr,
+                 "--trace-out/--stats need in-process trace spans; the "
+                 "forked --procs world reports timings only\n");
+    return 2;
+  }
   if (real_threads && imb_options.jobs > 1) {
     std::fprintf(stderr,
                  "--jobs applies to simulated runs only; real --threads "
@@ -657,7 +821,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (imb_options.critical_path &&
-      (real_threads || suite != "imb" || benchmark.empty())) {
+      (real_threads || real_procs || suite != "imb" || benchmark.empty())) {
     std::fprintf(stderr,
                  "--critical-path profiles one simulated IMB run: it needs "
                  "--machine (not --threads), --suite imb and --benchmark\n");
@@ -673,7 +837,8 @@ int main(int argc, char** argv) {
               hpcx::xmpi::tuner::TuningTable::load(imb_options.tuning_path)));
     }
     std::optional<hpcx::mach::MachineConfig> machine;
-    if (!real_threads) machine = find_machine(machine_name);
+    if (!real_threads && !real_procs && !hpcx::xmpi::launched_by_hpcx())
+      machine = find_machine(machine_name);
     if (suite == "hpcc") {
       if (!imb_options.trace_path.empty()) {
         std::fprintf(stderr, "--trace-out only applies to the imb suite\n");
@@ -696,6 +861,11 @@ int main(int argc, char** argv) {
                      "one benchmark run)\n");
         return 2;
       }
+      // Started under hpcx_launch? Then this process is one rank of an
+      // existing ProcComm world: attach instead of creating anything.
+      if (hpcx::xmpi::launched_by_hpcx())
+        return run_imb_attached(imb_options);
+      if (real_procs) return run_imb_procs(cpus, imb_options);
       return run_imb(machine, cpus, imb_options);
     }
     std::fprintf(stderr, "unknown suite: %s\n", suite.c_str());

@@ -1,0 +1,143 @@
+// hpcx_launch — fork/exec bootstrap for the multi-process ProcComm
+// transport: the moral equivalent of mpirun for one host.
+//
+//   hpcx_launch --procs 4 [--ring-bytes 65536] [--timeout 120] \
+//       -- <program> [args...]
+//
+// Creates a named POSIX shared-memory segment sized for an N-rank
+// world, exec()s N copies of <program> with HPCX_PROC_SHM /
+// HPCX_PROC_RANK / HPCX_PROC_NPROCS in their environment (workers
+// attach via xmpi::run_launched), supervises them with the same
+// world-abort poisoning run_on_procs uses — a dead or wedged rank
+// becomes CommError on the survivors and a nonzero exit here, never a
+// hang — and unlinks the segment when the world is done.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/parse_num.hpp"
+#include "xmpi/proc_shm.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --procs <n> [--ring-bytes <bytes>] [--timeout <s>]\n"
+      "          [--user-bytes <bytes>] -- <program> [args...]\n"
+      "\n"
+      "Run <program> as an n-rank shared-memory world (ProcComm).\n"
+      "  --procs <n>        number of ranks (one process each), 1..512\n"
+      "  --ring-bytes <b>   per-(src,dst) ring capacity (default 65536)\n"
+      "  --user-bytes <b>   shared user area size (default 0)\n"
+      "  --timeout <s>      watchdog: SIGKILL the world after s seconds\n"
+      "                     (default 600)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpcx;
+  int procs = 0;
+  long long ring_bytes = 64 * 1024;
+  long long user_bytes = 0;
+  long long timeout_s = 600;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s wants a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg == "--procs" || arg == "-n") {
+      procs = static_cast<int>(parse_cli_int("--procs", value(), 1, 512));
+    } else if (arg == "--ring-bytes") {
+      ring_bytes = parse_cli_int("--ring-bytes", value(), 4096, 1 << 30);
+    } else if (arg == "--user-bytes") {
+      user_bytes = parse_cli_int("--user-bytes", value(), 0, 1 << 30);
+    } else if (arg == "--timeout") {
+      timeout_s = parse_cli_int("--timeout", value(), 1, 86400);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (procs < 1 || i >= argc) return usage(argv[0]);
+  char** child_argv = argv + i;
+
+  using xmpi::procshm::Segment;
+  Segment seg;
+  try {
+    seg = Segment::create_named(procs, static_cast<std::size_t>(ring_bytes),
+                                static_cast<std::size_t>(user_bytes));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(procs), -1);
+  setenv("HPCX_PROC_SHM", seg.name().c_str(), 1);
+  setenv("HPCX_PROC_NPROCS", std::to_string(procs).c_str(), 1);
+  for (int r = 0; r < procs; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "%s: fork failed: %s\n", argv[0],
+                   std::strerror(errno));
+      xmpi::procshm::poison(seg.header(), r);
+      for (int k = 0; k < r; ++k) kill(pids[static_cast<std::size_t>(k)],
+                                       SIGKILL);
+      seg.unlink();
+      return 1;
+    }
+    if (pid == 0) {
+      setenv("HPCX_PROC_RANK", std::to_string(r).c_str(), 1);
+      execvp(child_argv[0], child_argv);
+      std::fprintf(stderr, "%s: exec of '%s' failed: %s\n", argv[0],
+                   child_argv[0], std::strerror(errno));
+      // Poison from the child: the parent only sees "exited 127" —
+      // without this, sibling ranks that did exec would block forever.
+      xmpi::procshm::poison(seg.header(), r);
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  const xmpi::procshm::SuperviseResult sup = xmpi::procshm::supervise_children(
+      seg.header(), pids, static_cast<double>(timeout_s));
+  seg.unlink();
+
+  int code = 0;
+  for (int r = 0; r < procs; ++r) {
+    const xmpi::procshm::ChildOutcome& out =
+        sup.outcomes[static_cast<std::size_t>(r)];
+    if (out.term_signal != 0) {
+      std::fprintf(stderr, "%s: rank %d killed by signal %d%s\n", argv[0], r,
+                   out.term_signal, sup.timed_out ? " (watchdog timeout)" : "");
+      code = 1;
+    } else if (out.exit_code != 0) {
+      const xmpi::procshm::RankSlot& slot = seg.slot(r);
+      std::fprintf(stderr, "%s: rank %d exited with code %d%s%s\n", argv[0], r,
+                   out.exit_code, slot.has_error.load() != 0 ? ": " : "",
+                   slot.has_error.load() != 0 ? slot.error : "");
+      code = 1;
+    }
+  }
+  return code;
+}
